@@ -1,0 +1,57 @@
+"""E4 — coil construction: size and time vs recall n and base-graph size.
+
+Theory: |Coil(G,n)| = |Paths(G,n)| · (n+1), which grows with the base
+graph's out-degree to the n-th power — the price of bounded-recall
+unravelling.  Properties 1–3 are verified online for every built coil.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core.coil import coil
+from repro.graphs.generators import cycle_graph, random_connected_graph
+from repro.graphs.homomorphism import is_homomorphism
+
+
+def _verify(c):
+    mapping = {v: c.h(v) for v in c.graph.node_list()}
+    assert is_homomorphism(c.graph, c.base, mapping)
+    assert set(mapping.values()) == set(c.base.node_list())
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_coil_vs_recall(benchmark, n):
+    base = cycle_graph(4, "r", ["A"])
+    c = benchmark(lambda: coil(base, n))
+    _verify(c)
+
+
+@pytest.mark.parametrize("size", [3, 5, 7])
+def test_coil_vs_base_size(benchmark, size):
+    base = random_connected_graph(size, 1, ["A"], ["r"], seed=size)
+    c = benchmark(lambda: coil(base, 2))
+    _verify(c)
+
+
+def test_coil_growth_table(benchmark):
+    def build_table():
+        rows = []
+        for size in (3, 4, 5):
+            base = random_connected_graph(size, 1, ["A"], ["r"], seed=size)
+            for n in (1, 2, 3):
+                c = coil(base, n)
+                rows.append([size, base.edge_count(), n, len(c.graph), c.graph.edge_count()])
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_table(
+        "E4 — |Coil(G,n)| growth (nodes = |Paths(G,n)|·(n+1))",
+        ["|G| nodes", "|G| edges", "n", "coil nodes", "coil edges"],
+        rows,
+    )
+    # growth in n is monotone for a fixed base
+    by_size = {}
+    for size, _e, n, nodes, _ce in rows:
+        by_size.setdefault(size, []).append(nodes)
+    for series in by_size.values():
+        assert series == sorted(series)

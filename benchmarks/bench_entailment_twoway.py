@@ -1,0 +1,88 @@
+"""E8 — the Section 6 pipeline: cost vs number of roles.
+
+The role-elimination recursion has depth 2·|Σ_T| (Appendix B.7) and each
+level multiplies the counter alphabet, so latency grows steeply with the
+number of roles in the TBox.
+"""
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.core.twoway import TwoWayConfig, realizable_refuting_twoway
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.types import Type
+from repro.queries.parser import parse_query
+
+
+def _config():
+    return TwoWayConfig(max_types=2_000_000, max_connector_candidates=2_000_000)
+
+
+def test_single_role_negative(benchmark):
+    tbox = normalize(TBox.of([("A", "exists r.B")]))
+    q = parse_query("A(x), r(x,y), B(y)")
+    result = benchmark.pedantic(
+        lambda: realizable_refuting_twoway(Type.of("A"), tbox, q, config=_config()),
+        rounds=1, iterations=1,
+    )
+    assert not result.realizable
+
+
+def test_single_role_positive(benchmark):
+    tbox = normalize(TBox.of([("A", "exists r.B")]))
+    q = parse_query("A(x), r(x,y), C(y)")
+    result = benchmark.pedantic(
+        lambda: realizable_refuting_twoway(Type.of("A"), tbox, q, config=_config()),
+        rounds=1, iterations=1,
+    )
+    assert result.realizable
+
+
+def test_counting_constraints(benchmark):
+    tbox = normalize(TBox.of([("A", ">=2 r.B"), ("A", "<=2 r.B")]))
+    q = parse_query("B(x), r(x,y)")
+    result = benchmark.pedantic(
+        lambda: realizable_refuting_twoway(Type.of("A"), tbox, q, config=_config()),
+        rounds=1, iterations=1,
+    )
+    assert result.realizable
+
+
+def test_roles_table(benchmark):
+    def measure():
+        rows = []
+        cases = [
+            ("no roles", [], "A(x), r(x,y), B(y)", True),
+            ("one role", [("A", "exists r.B")], "A(x), r(x,y), B(y)", False),
+            ("one role + count", [("A", ">=2 r.B")], "A(x), r(x,y), C(y)", True),
+        ]
+        for name, cis, query, expected in cases:
+            tbox = normalize(TBox.of(cis))
+            start = time.perf_counter()
+            result = realizable_refuting_twoway(
+                Type.of("A"), tbox, parse_query(query), config=_config()
+            )
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    name,
+                    len(tbox.role_names()),
+                    result.recursion_depth,
+                    result.realizable,
+                    expected,
+                    "✓" if result.realizable == expected else "✗",
+                    f"{elapsed:.1f}s",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "E8 — two-way pipeline vs roles (recursion depth = 2·|Σ_T|)",
+        ["case", "|Σ_T|", "depth", "verdict", "expected", "ok", "time"],
+        rows,
+    )
+    assert all(row[5] == "✓" for row in rows)

@@ -1,0 +1,55 @@
+"""E11 — C2RPQ evaluation throughput vs graph size.
+
+The evaluation substrate (graph × automaton reachability + backtracking
+join) underlies every decision procedure; this experiment charts its
+scaling so the higher-level timings can be interpreted.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.graphs.generators import random_connected_graph
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_query
+
+QUERY = parse_query("A(x), (r|s)*(x,y), B(y), r(y,z)")
+TWOWAY = parse_query("A(x), (r.s-)+(x,y)")
+
+
+def _graph(size: int):
+    return random_connected_graph(size, size // 2, ["A", "B"], ["r", "s"], seed=size)
+
+
+@pytest.mark.parametrize("size", [10, 30, 100, 300])
+def test_evaluation_scaling(benchmark, size):
+    graph = _graph(size)
+    result = benchmark(lambda: satisfies_union(graph, QUERY))
+    assert isinstance(result, bool)
+
+
+@pytest.mark.parametrize("size", [10, 30, 100])
+def test_two_way_evaluation(benchmark, size):
+    graph = _graph(size)
+    result = benchmark(lambda: satisfies_union(graph, TWOWAY))
+    assert isinstance(result, bool)
+
+
+def test_evaluation_table(benchmark):
+    import time
+
+    def measure():
+        rows = []
+        for size in (10, 30, 100, 300):
+            graph = _graph(size)
+            start = time.perf_counter()
+            hit = satisfies_union(graph, QUERY)
+            elapsed = (time.perf_counter() - start) * 1000
+            rows.append([size, graph.edge_count(), hit, f"{elapsed:.2f}ms"])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "E11 — evaluation latency vs graph size",
+        ["nodes", "edges", "matched", "latency"],
+        rows,
+    )

@@ -1,0 +1,65 @@
+"""E1 — Example 1.1 / Fig. 1: the paper's stated containment outcomes.
+
+Paper claims (Section 1): without a schema, q2 ⊆ q1 but q1 ⊄ q2; modulo the
+Fig. 1 schema S, q1 ⊆_S q2 as well.  The benchmark regenerates the verdict
+table and times each decision.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.core.containment import is_contained
+from repro.dl.pg_schema import figure1_schema
+from repro.queries.presets import example_11_q1, example_11_q2
+
+SCHEMA = figure1_schema()
+Q1 = example_11_q1()
+Q2 = example_11_q2()
+
+CASES = [
+    ("q2 ⊆ q1", Q2, Q1, None, True),
+    ("q1 ⊆ q2", Q1, Q2, None, False),
+    ("q1 ⊆_S q2", Q1, Q2, SCHEMA, True),
+    ("q2 ⊆_S q1", Q2, Q1, SCHEMA, True),
+]
+
+
+def test_example11_verdict_table(benchmark):
+    def run_all():
+        rows = []
+        for name, lhs, rhs, tbox, expected in CASES:
+            start = time.perf_counter()
+            result = is_contained(lhs, rhs, tbox)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    name,
+                    result.contained,
+                    expected,
+                    "✓" if result.contained == expected else "✗",
+                    result.method,
+                    f"{elapsed*1000:.1f}ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E1 — Example 1.1 verdicts (paper: q2⊆q1, q1⊄q2, q1⊆_S q2)",
+        ["direction", "verdict", "paper", "match", "method", "time"],
+        rows,
+    )
+    assert all(row[3] == "✓" for row in rows)
+
+
+def test_example11_schema_free_refutation(benchmark):
+    result = benchmark(lambda: is_contained(Q1, Q2))
+    assert not result.contained and result.countermodel is not None
+
+
+def test_example11_schema_containment(benchmark):
+    result = benchmark.pedantic(
+        lambda: is_contained(Q1, Q2, SCHEMA), rounds=1, iterations=1
+    )
+    assert result.contained

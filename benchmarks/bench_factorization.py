@@ -1,0 +1,106 @@
+"""E2 + E10 — query factorization (Lemma 3.7).
+
+E2 reproduces Example 3.6's stated behaviour on a Fig. 2-like star; E10
+measures the blow-up of the generic construction: exponentially many
+disjuncts, each of polynomial size, as the paper proves.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core.starlike import star_of
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph
+from repro.queries.evaluation import satisfies_union
+from repro.queries.factorization import factorize
+from repro.queries.parser import parse_query
+from repro.queries.presets import (
+    example_36_factorization,
+    example_36_factorization_paper,
+    example_36_query,
+)
+
+QUERIES = [
+    ("r+(x,y)", "single reachability atom"),
+    ("A(x), r+(x,y)", "source-labelled"),
+    ("A(x), r+(x,y), B(y)", "Example 3.6"),
+]
+
+
+def test_factorization_blowup_table(benchmark):
+    def build():
+        rows = []
+        for text, label in QUERIES:
+            query = parse_query(text)
+            fact = factorize(query)
+            sizes = [d.size() for d in fact.factored.disjuncts]
+            rows.append(
+                [
+                    label,
+                    query.max_disjunct_size(),
+                    len(fact.permissions),
+                    len(fact.factored.disjuncts),
+                    max(sizes) if sizes else 0,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "E10 — Q̂ blow-up (many disjuncts, each of polynomial size)",
+        ["query", "|q|", "permissions", "|Q̂| disjuncts", "max disjunct size"],
+        rows,
+    )
+    # exponential disjunct growth, polynomially bounded disjunct size
+    assert rows[-1][3] > rows[0][3]
+    assert all(row[4] <= 4 * row[1] + 2 for row in rows)
+
+
+@pytest.mark.parametrize(
+    "builder", [example_36_factorization, example_36_factorization_paper],
+    ids=["minimal", "paper"],
+)
+def test_factorize_example36(benchmark, builder):
+    fact = benchmark(builder)
+    assert fact.permissions
+
+
+def test_generic_factorization_speed(benchmark):
+    query = example_36_query()
+    fact = benchmark.pedantic(lambda: factorize(query), rounds=1, iterations=1)
+    assert len(fact.factored.disjuncts) > 5
+
+
+def _figure2_star():
+    central = path_graph(2, "r")
+    left = Graph()
+    left.add_node("a", ["A"])
+    left.add_node("sh1")
+    left.add_edge("a", "r", "sh1")
+    right = Graph()
+    right.add_node("sh2")
+    right.add_node("b", ["B"])
+    right.add_edge("sh2", "r", "b")
+    return star_of(central, [(left, "sh1", 0), (right, "sh2", 2)])
+
+
+def test_example36_on_figure2(benchmark):
+    """E2: Q crosses parts; Q̂ localizes the detection to one part."""
+    star = _figure2_star()
+    fact = example_36_factorization()
+
+    def check():
+        assembled = star.assemble()
+        q_whole = satisfies_union(assembled, fact.original)
+        q_in_parts = any(satisfies_union(p, fact.original) for p in star.parts())
+        labelled = fact.truthful_labelling(assembled)
+        qhat_whole = satisfies_union(labelled, fact.factored)
+        return q_whole, q_in_parts, qhat_whole
+
+    q_whole, q_in_parts, qhat_whole = benchmark(check)
+    print_table(
+        "E2 — Example 3.6 on the Fig. 2 star",
+        ["Q on whole", "Q in some part", "Q̂ on labelled whole"],
+        [[q_whole, q_in_parts, qhat_whole]],
+    )
+    assert q_whole and not q_in_parts and qhat_whole

@@ -1,0 +1,66 @@
+"""E12 — type-elimination satisfiability scaling (classical ExpTime core).
+
+The elimination enumerates maximal types over the signature; runtime follows
+the surviving-type count.  This is the same combinatorial core the Section
+5/6 fixpoints are built on, measured in isolation.
+"""
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.dl.normalize import normalize
+from repro.dl.reasoning import build_model, is_satisfiable, type_elimination
+from repro.dl.tbox import TBox
+from repro.graphs.types import Type
+from repro.workloads import chain_schema
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_satisfiability_chain(benchmark, depth):
+    tbox = chain_schema(depth)
+    result = benchmark(lambda: is_satisfiable("L0", tbox))
+    assert result
+
+
+def test_unsatisfiable_detection(benchmark):
+    tbox = TBox.of([("A", "exists r.B"), ("A", "forall r.~B")])
+    result = benchmark(lambda: is_satisfiable("A", tbox))
+    assert not result
+
+
+def test_model_building(benchmark):
+    tbox = normalize(TBox.of([("A", ">=2 r.B"), ("B", "exists r.A")]))
+    model = benchmark(lambda: build_model(Type.of("A"), tbox))
+    assert model is not None
+
+
+def test_elimination_scaling_table(benchmark):
+    def measure():
+        rows = []
+        for depth in (2, 4, 6, 8):
+            tbox = normalize(chain_schema(depth))
+            start = time.perf_counter()
+            result = type_elimination(tbox)
+            elapsed = (time.perf_counter() - start) * 1000
+            rows.append(
+                [
+                    depth,
+                    len(result.signature),
+                    2 ** len(result.signature),
+                    len(result.surviving_types),
+                    result.iterations,
+                    f"{elapsed:.1f}ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "E12 — type-elimination satisfiability vs signature size",
+        ["chain depth", "|signature|", "2^|sig|", "surviving", "iterations", "time"],
+        rows,
+    )
+    survivors = [row[3] for row in rows]
+    assert survivors == sorted(survivors)  # grows with the signature

@@ -1,0 +1,86 @@
+"""E15 — containment latency vs conceptual-model size.
+
+Random coherent ER schemas of growing size (entities, relationships,
+constraints) against a fixed pair of queries: how does the chase-based
+decision scale with the schema?  Schemas stay within ALCQ, so every
+instance is in a combination the paper decides.
+"""
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.core.search import SearchLimits
+from repro.dl.normalize import normalize
+from repro.dl.reasoning import is_coherent
+from repro.workloads.er_schemas import ERProfile, random_er_schema
+
+SIZES = [(2, 2), (4, 3), (6, 5), (8, 8)]
+
+
+def _options():
+    return ContainmentOptions(
+        max_word_length=3, max_expansions=20,
+        limits=SearchLimits(max_nodes=8, max_steps=15_000),
+    )
+
+
+@pytest.mark.parametrize("entities,relationships", SIZES[:3])
+def test_containment_vs_schema_size(benchmark, entities, relationships):
+    profile = ERProfile(entities=entities, relationships=relationships)
+    schema = random_er_schema(profile, seed=entities)
+    lhs = "E0(x), rel0(x,y)"
+    rhs = "rel0(x,y)"
+    result = benchmark.pedantic(
+        lambda: is_contained(lhs, rhs, schema.to_tbox(), options=_options()),
+        rounds=1, iterations=1,
+    )
+    assert result.contained  # structural: lhs strengthens rhs
+
+
+def test_schema_scaling_table(benchmark):
+    def measure():
+        rows = []
+        for entities, relationships in SIZES:
+            profile = ERProfile(entities=entities, relationships=relationships)
+            schema = random_er_schema(profile, seed=entities)
+            tbox = schema.to_tbox()
+            normalized = normalize(tbox)
+            start = time.perf_counter()
+            positive = is_contained("E0(x), rel0(x,y)", "rel0(x,y)", tbox, options=_options())
+            negative = is_contained("rel0(x,y)", "E0S0(x)", tbox, options=_options())
+            elapsed = (time.perf_counter() - start) * 1000
+            rows.append(
+                [
+                    entities,
+                    relationships,
+                    len(tbox),
+                    len(normalized.at_leasts),
+                    positive.contained,
+                    negative.contained,
+                    f"{elapsed:.1f}ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "E15 — containment vs ER-schema size (ALCQ, chase engine)",
+        ["entities", "relationships", "CIs", "participations", "pos ok", "neg verdict", "time (both)"],
+        rows,
+    )
+    assert all(row[4] for row in rows)
+
+
+def test_generated_schemas_coherent(benchmark):
+    def check():
+        reports = []
+        for seed in range(4):
+            schema = random_er_schema(ERProfile(entities=3, relationships=3), seed=seed)
+            reports.append(all(is_coherent(schema.to_tbox()).values()))
+        return reports
+
+    reports = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert all(reports)

@@ -1,0 +1,78 @@
+"""E5 — the doubly-exponential frontier of type elimination (Section 5).
+
+The fixpoint of Appendix A.2 ranges over 2^|Γ₀| maximal types.  This
+experiment grows Γ₀ one fresh label at a time and charts iterations, type
+counts, and wall time — the predicted exponential wall is clearly visible
+within a handful of labels.
+"""
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.core.oneway import realizable_refuting_oneway
+from repro.core.search import SearchLimits
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.types import Type
+from repro.queries.presets import example_36_factorization, example_36_query
+
+LIMITS = SearchLimits(max_nodes=4, max_steps=4000)
+
+
+def _tbox_with_extra_labels(extra: int):
+    """A ⊑ ∃r.B plus `extra` independent label chains inflating Γ₀."""
+    cis = [("A", "exists r.B")]
+    for i in range(extra):
+        cis.append((f"X{i}", f"Y{i}"))
+    return normalize(TBox.of(cis, name=f"pad{extra}"))
+
+
+@pytest.mark.parametrize("extra", [0, 1, 2])
+def test_fixpoint_vs_gamma(benchmark, extra):
+    tbox = _tbox_with_extra_labels(extra)
+    result = benchmark.pedantic(
+        lambda: realizable_refuting_oneway(
+            Type.of("A"), tbox, example_36_query(),
+            factorization=example_36_factorization(),
+            limits=LIMITS, max_types=2**16,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert not result.realizable  # A ⊑ ∃r.B forces the match regardless
+
+
+def test_type_elimination_table(benchmark):
+    def measure():
+        rows = []
+        for extra in range(0, 4):
+            tbox = _tbox_with_extra_labels(extra)
+            start = time.perf_counter()
+            result = realizable_refuting_oneway(
+                Type.of("A"), tbox, example_36_query(),
+                factorization=example_36_factorization(),
+                limits=LIMITS, max_types=2**18,
+            )
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    len(result.gamma),
+                    2 ** len(result.gamma),
+                    result.type_counts[0],
+                    result.type_counts[-1],
+                    result.iterations,
+                    f"{elapsed:.2f}s",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "E5 — type elimination vs |Γ₀| (doubly-exponential frontier)",
+        ["|Γ₀|", "2^|Γ₀|", "initial types", "surviving", "iterations", "time"],
+        rows,
+    )
+    # the initial type count grows exponentially with the signature
+    initial = [row[2] for row in rows]
+    assert all(b >= 2 * a for a, b in zip(initial, initial[1:]))

@@ -1,0 +1,86 @@
+"""E9 — a query-log-like workload through the containment checker.
+
+Per the query-log studies the paper cites, most real path queries are
+simple; the workload mixes shapes accordingly and reports, per shape, how
+many instances fall into each supported combination (C1/C2/C3) and the
+latency distribution of `is_contained` against a participation schema.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.core.search import SearchLimits
+from repro.dl.normalize import normalize
+from repro.workloads import chain_schema, log_like_queries
+
+LABELS = ["L0", "L1", "L2"]
+ROLES = ["r", "s"]
+SCHEMA = chain_schema(2)
+N_QUERIES = 24
+
+
+def _options():
+    return ContainmentOptions(
+        max_word_length=3, max_expansions=40,
+        limits=SearchLimits(max_nodes=6, max_steps=8000),
+    )
+
+
+def test_workload_table(benchmark):
+    def run_workload():
+        queries = list(log_like_queries(N_QUERIES, LABELS, ROLES, seed=11))
+        normalized = normalize(SCHEMA)
+        per_shape: dict[str, dict] = {}
+        for shape, query in queries:
+            stats = per_shape.setdefault(
+                shape, {"n": 0, "simple": 0, "one_way": 0, "contained": 0, "ms": []}
+            )
+            stats["n"] += 1
+            stats["simple"] += query.is_simple()
+            stats["one_way"] += query.is_one_way()
+            rhs = query  # self-containment: a sanity workload with uniform cost
+            start = time.perf_counter()
+            result = is_contained(query, rhs, normalized, options=_options())
+            stats["ms"].append((time.perf_counter() - start) * 1000)
+            stats["contained"] += result.contained
+        rows = []
+        for shape, stats in sorted(per_shape.items()):
+            latencies = sorted(stats["ms"])
+            median = latencies[len(latencies) // 2]
+            rows.append(
+                [
+                    shape,
+                    stats["n"],
+                    stats["simple"],
+                    stats["one_way"],
+                    stats["contained"],
+                    f"{median:.1f}ms",
+                    f"{max(latencies):.1f}ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_workload, rounds=1, iterations=1)
+    print_table(
+        "E9 — log-like workload (self-containment sanity sweep)",
+        ["shape", "count", "simple", "one-way", "contained", "median", "max"],
+        rows,
+    )
+    # every self-containment must hold, and the simple shapes dominate
+    assert all(row[1] == row[4] for row in rows)
+    totals = {row[0]: row[1] for row in rows}
+    simple_shapes = totals.get("single_edge", 0) + totals.get("transitive", 0)
+    assert simple_shapes >= 0.6 * N_QUERIES
+
+
+def test_workload_shape_mix(benchmark):
+    def classify():
+        counts: dict[str, int] = {}
+        for shape, query in log_like_queries(100, LABELS, ROLES, seed=5):
+            counts[shape] = counts.get(shape, 0) + 1
+        return counts
+
+    counts = benchmark(classify)
+    assert counts["single_edge"] > counts.get("two_way", 0)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""A tour of the countermodel machinery: coils, frames, star-like graphs.
+
+This example walks the internal constructions of Sections 3–4 — the same
+machinery the decision procedures use — and shows them producing concrete,
+verifiable artefacts:
+
+1. the coil: breaking short query matches without changing local structure;
+2. sparse shadows (Theorem 3.1): shrinking a countermodel to |q|-sparse;
+3. star-like countermodels (Lemma 3.5): the reduction's verified output.
+
+Run:  python examples/countermodel_tour.py
+"""
+
+from repro.core.coil import coil
+from repro.core.frames import ConcreteFrame, coil_frame
+from repro.core.reduction import contains_via_reduction
+from repro.core.sparse_search import sparsify
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.generators import cycle_graph
+from repro.graphs.graph import PointedGraph, single_node_graph
+from repro.graphs.labels import Role
+from repro.graphs.sparse import sparsity
+from repro.queries.evaluation import satisfies, satisfies_union
+from repro.queries.parser import parse_crpq, parse_query
+
+
+def coil_demo() -> None:
+    print("== 1. the coil (Section 4) ==")
+    g = cycle_graph(2, "r", ["A"])
+    query = parse_query("(r.r)(x,x)")
+    print(f"base graph: 2-cycle; (r.r)(x,x) matches: {satisfies_union(g, query)}")
+    for n in (1, 2, 3):
+        c = coil(g, n)
+        hit = satisfies_union(c.graph, query)
+        print(f"Coil(G,{n}): {len(c.graph)} nodes, matches (r.r)(x,x): {hit}")
+    print("the coil preserves every local neighbourhood (Property 2) while")
+    print("stretching cycles past the query's reach — Lemma 4.3 in action.\n")
+
+
+def frame_demo() -> None:
+    print("== 2. frames ==")
+    a = single_node_graph(["A"], node=("a", 0))
+    b = single_node_graph(["B"], node=("b", 0))
+    frame = ConcreteFrame({})
+    frame.add_component("fa", PointedGraph(a, ("a", 0)))
+    frame.add_component("fb", PointedGraph(b, ("b", 0)))
+    frame.add_edge("fa", ("a", 0), Role("r"), "fb")
+    frame.add_edge("fb", ("b", 0), Role("r"), "fa")
+    g = frame.represented_graph()
+    query = parse_query("(r.r)(x,x)")
+    print(f"frame skeleton: 2-cycle of components; represented graph matches: "
+          f"{satisfies_union(g, query)}")
+    restructured = coil_frame(frame, 3)
+    g2 = restructured.represented_graph()
+    print(f"after coil_frame(F, 3): {len(restructured.components)} components, "
+          f"matches: {satisfies_union(g2, query)}")
+    print("components and connectors are unchanged up to isomorphism —")
+    print("weakly-refuted queries become actually refuted.\n")
+
+
+def sparsify_demo() -> None:
+    print("== 3. sparse shadows (Theorem 3.1) ==")
+    from repro.graphs.generators import random_connected_graph
+
+    g = random_connected_graph(8, 8, ["A", "B"], ["r"], seed=3)
+    q = parse_crpq("r*(x,y), r(y,z), r*(z,w)")
+    if satisfies(g, q):
+        shadow = sparsify(g, q)
+        print(f"dense graph: {g} (sparsity {sparsity(g)})")
+        print(f"sparse shadow: {shadow} (sparsity {sparsity(shadow)}), "
+              f"still satisfies q: {satisfies(shadow, q)}")
+    print()
+
+
+def starlike_demo() -> None:
+    print("== 4. star-like countermodels (Lemma 3.5) ==")
+    tbox = normalize(TBox.of([("A", "exists r.A")], name="loops"))
+    lhs = parse_crpq("A(x)")
+    rhs = parse_query("B(x)")
+    result = contains_via_reduction(lhs, rhs, tbox)
+    print(f"A(x) ⊆_T B(x) with T = {{A ⊑ ∃r.A}}: {result.contained}")
+    print(f"star-like countermodel ({result.entailment_calls} entailment calls):")
+    print("  " + result.countermodel.describe().replace("\n", "\n  "))
+    print(f"central part: {result.star.central}; "
+          f"peripheral parts: {len(result.star.attachments)}")
+
+
+def main() -> None:
+    coil_demo()
+    frame_demo()
+    sparsify_demo()
+    starlike_demo()
+
+
+if __name__ == "__main__":
+    main()

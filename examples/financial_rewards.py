@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Example 1.1 from the paper, end to end — the financial rewards scenario.
+
+Schema S (Fig. 1): customers own credit cards; premier cards earn rewards
+programs (at most 3); programs partner with retail companies; companies own
+subsidiary companies.
+
+    q1(x,y) = (Owns · Earns · Partner · Owns*)(x, y)
+    q2(x,y) = (Owns·Earns·Partner)(x,z) ∧ RetailCompany(z) ∧ Owns*(z,y)
+
+Without a schema q2 ⊆ q1 but q1 ⊄ q2; modulo S, also q1 ⊆_S q2.
+
+Run:  python examples/financial_rewards.py
+"""
+
+from repro import figure1_instance, figure1_schema, is_contained, satisfies_union
+from repro.dl.normalize import normalize
+from repro.dl.tbox import satisfies_tbox
+from repro.queries.presets import example_11_q1, example_11_q2
+
+
+def main() -> None:
+    schema = figure1_schema()
+    q1, q2 = example_11_q1(), example_11_q2()
+
+    print("== the schema (Fig. 1) ==")
+    print(schema)
+    normalized = normalize(schema)
+    print(f"\nfragment: {normalized.fragment()}; "
+          f"participation constraints: {len(normalized.at_leasts)}; "
+          f"cardinality bounds: {len(normalized.at_mosts)}")
+
+    print("\n== the queries ==")
+    print(f"q1: {q1}")
+    print(f"q2: {q2}")
+
+    print("\n== a conforming instance ==")
+    instance = figure1_instance()
+    print(instance.describe())
+    print(f"satisfies S: {satisfies_tbox(instance, schema)}")
+    print(f"q1 matches: {satisfies_union(instance, q1)}")
+    print(f"q2 matches: {satisfies_union(instance, q2)}")
+
+    print("\n== containment without schema ==")
+    r = is_contained(q2, q1)
+    print(f"q2 ⊆ q1 : {r.contained}")
+    r = is_contained(q1, q2)
+    print(f"q1 ⊆ q2 : {r.contained}")
+    if r.countermodel is not None:
+        print("countermodel — a rewards path whose partner is NOT retail:")
+        print("  " + r.countermodel.describe().replace("\n", "\n  "))
+
+    print("\n== containment modulo the schema ==")
+    r = is_contained(q1, q2, schema)
+    print(f"q1 ⊆_S q2 : {r.contained}   (method={r.method}, "
+          f"certified={r.complete}, seeds={r.seeds_tried})")
+    r = is_contained(q2, q1, schema)
+    print(f"q2 ⊆_S q1 : {r.contained}")
+
+    print("\nThe schema closes the gap: every partner-edge target is forced")
+    print("to be a RetailCompany (RwrdProg ⊑ ∀partner.RetailCompany plus the")
+    print("closed-source rule for partner edges), so q1's matches always")
+    print("satisfy q2's extra RetailCompany(z) test.")
+
+    print("\n== minimization: the schema makes q2's test redundant ==")
+    from repro import minimize
+
+    q2_text = "(owns.earns.partner)(x,z), RetailCompany(z), owns*(z,y)"
+    with_schema = minimize(q2_text, schema)
+    without = minimize(q2_text)
+    print(f"modulo S, dropped atoms: {[str(a) for a in with_schema.dropped]}")
+    print(f"minimized q2: {with_schema.minimized}")
+    print(f"without the schema, dropped: {[str(a) for a in without.dropped]}")
+    print("(the owns* atom drops in both cases: under Boolean semantics the")
+    print(" free endpoint y can match z via the empty iteration; the schema's")
+    print(" contribution is dropping the RetailCompany test.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The knowledge-representation view: TBox + ABox reasoning.
+
+The paper's entailment problem is traditionally phrased over ABoxes ("a
+finite set of ground facts").  This example works a small university KB:
+consistency checking, instance checking, certain answers over finite
+models, and the finite-model twist that makes the paper's setting special.
+
+Run:  python examples/knowledge_base.py
+"""
+
+from repro.dl.abox import ABox, ConceptAssertion, KnowledgeBase
+from repro.dl.tbox import TBox
+from repro.graphs.labels import NodeLabel
+from repro.queries.parser import parse_query
+
+
+def main() -> None:
+    tbox = TBox.of(
+        [
+            ("Professor", "Staff"),
+            ("Student", "~Staff"),
+            ("Professor", "exists teaches.Course"),
+            ("Course", "exists taughtby.Professor"),
+            ("Professor", "forall teaches.Course"),
+        ],
+        name="university",
+    )
+    print("== TBox ==")
+    print(tbox)
+
+    abox = (
+        ABox()
+        .assert_concept("Professor", "turing")
+        .assert_concept("Student", "alice")
+        .assert_role("teaches", "turing", "cs101")
+    )
+    print("\n== ABox ==")
+    print(abox)
+
+    kb = KnowledgeBase(tbox, abox)
+    print("\nconsistent:", kb.is_consistent())
+
+    # instance checking: the TBox forces cs101 to be a Course
+    print(
+        "K ⊨ Course(cs101):",
+        kb.entails_assertion(ConceptAssertion(NodeLabel("Course"), "cs101")),
+    )
+    print(
+        "K ⊨ Staff(turing):",
+        kb.entails_assertion(ConceptAssertion(NodeLabel("Staff"), "turing")),
+    )
+    print(
+        "K ⊨ Staff(alice):",
+        kb.entails_assertion(ConceptAssertion(NodeLabel("Staff"), "alice")),
+    )
+
+    # certain answers over finite models
+    q = parse_query("Course(c), taughtby(c,p), Professor(p)")
+    result = kb.entails_query(q)
+    print(f"\nK ⊨ 'every model has a professor-taught course': {result.entailed}")
+
+    q2 = parse_query("Student(s), teaches(s,c)")
+    result2 = kb.entails_query(q2)
+    print(f"K ⊨ 'some student teaches': {result2.entailed}")
+    if result2.countermodel is not None:
+        print("countermodel (no student teaches):")
+        print("  " + result2.countermodel.describe().replace("\n", "\n  "))
+
+    # an inconsistent extension is caught
+    broken = KnowledgeBase(
+        tbox,
+        ABox()
+        .assert_concept("Professor", "bob")
+        .assert_concept("Student", "bob"),
+    )
+    print("\nProfessor+Student simultaneously:", "consistent" if broken.is_consistent() else "INCONSISTENT")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: graphs, queries, schemas, and containment in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Graph,
+    TBox,
+    figure1_schema,
+    is_contained,
+    parse_query,
+    satisfies_tbox,
+    satisfies_union,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Build a graph database: nodes carry label sets, edges one label.
+    print("== 1. graphs ==")
+    g = Graph()
+    g.add_node("alice", ["Customer"])
+    g.add_node("gold", ["CredCard", "PremCC"])
+    g.add_node("miles", ["RwrdProg"])
+    g.add_edge("alice", "owns", "gold")
+    g.add_edge("gold", "earns", "miles")
+    print(f"graph: {g}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Queries are (unions of) conjunctive two-way regular path queries.
+    print("\n== 2. queries ==")
+    q = parse_query("Customer(x), (owns.earns)(x,y), RwrdProg(y)")
+    print(f"query: {q}")
+    print(f"matches: {satisfies_union(g, q)}")
+
+    backwards = parse_query("RwrdProg(y), (earns-.owns-)(y,x), Customer(x)")
+    print(f"two-way variant matches: {satisfies_union(g, backwards)}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Schemas are description-logic TBoxes (fragments of ALCQI).
+    print("\n== 3. schemas ==")
+    schema = TBox.of(
+        [
+            ("Customer", "exists owns.CredCard"),   # participation
+            ("Customer", "forall owns.CredCard"),   # edge typing
+            ("PremCC", "CredCard"),                 # generalization
+            ("PremCC", "<=3 earns.RwrdProg"),       # cardinality
+        ],
+        name="mini-rewards",
+    )
+    print(schema)
+    print(f"graph satisfies schema: {satisfies_tbox(g, schema)}")
+
+    # ------------------------------------------------------------------ #
+    # 4. Containment modulo schema — the paper's problem.
+    print("\n== 4. containment ==")
+    lhs = "Customer(x), owns(x,y)"
+    rhs = "owns(x,y), CredCard(y)"
+    plain = is_contained(lhs, rhs)
+    with_schema = is_contained(lhs, rhs, schema)
+    print(f"P ⊆ Q without schema: {plain.contained}  (method: {plain.method})")
+    print(f"P ⊆ Q modulo schema:  {with_schema.contained}  (method: {with_schema.method})")
+    if plain.countermodel is not None:
+        print("countermodel without schema:")
+        print("  " + plain.countermodel.describe().replace("\n", "\n  "))
+
+    # ------------------------------------------------------------------ #
+    # 5. The Fig. 1 schema from the paper ships as a preset.
+    print("\n== 5. the paper's Example 1.1 ==")
+    s = figure1_schema()
+    q1 = "(owns.earns.partner.owns*)(x,y)"
+    q2 = "(owns.earns.partner)(x,z), RetailCompany(z), owns*(z,y)"
+    print(f"q1 ⊆ q2 without schema: {is_contained(q1, q2).contained}")
+    print(f"q1 ⊆ q2 modulo S:       {is_contained(q1, q2, s).contained}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Social-network access control: verifying query privacy modulo schema.
+
+A moderation team wants to know whether the "escalation" query — used to
+decide who can see a flagged post — can ever return more than the intended
+audience.  Both the audience policy and the escalation rule are path
+queries; the guarantee only holds because of the schema's structural
+invariants (every group has an owner, memberships point at groups, ...).
+
+This example also shows the two-way features: `member-` walks memberships
+backwards, and the schema uses a one-to-many pattern captured without
+inverse roles by flipping constraints (Section 1's remark on supporting
+one-to-many relationships through backward edges in the *query*).
+
+Run:  python examples/social_network.py
+"""
+
+from repro import Graph, PGSchema, is_contained, parse_query, satisfies_union
+from repro.core.entailment import finitely_entails
+
+
+def build_schema() -> PGSchema:
+    schema = PGSchema(name="social")
+    schema.edge_type("member", "User", "Group")
+    schema.edge_type("owns_group", "User", "Group")
+    schema.edge_type("flagged", "Post", "Group")
+    schema.edge_type("follows", "User", "User")
+    schema.disjoint("User", "Group")
+    schema.disjoint("User", "Post")
+    schema.disjoint("Group", "Post")
+    # moderators are users; every group has at most one owner-designate
+    schema.subtype("Moderator", "User")
+    # every flagged post is flagged into at least one group
+    schema.participation("Post", "flagged", "Group")
+    # owners are members of their group:
+    # (owner ⊑ member is not expressible edge-to-edge in ALCQI; instead the
+    # policy models owners as Moderators of the group via labels)
+    schema.constraint("Moderator", "exists member.Group")
+    return schema
+
+
+def main() -> None:
+    schema = build_schema()
+    tbox = schema.to_tbox()
+
+    print("== social schema ==")
+    print(tbox)
+
+    # the audience of a flagged post: co-members of a group it is flagged to
+    audience = "Post(p), (flagged.member-)(p,u), User(u)"
+    # the escalation rule: walk to the group, then to any moderator member
+    escalation = "Post(p), (flagged.member-)(p,u), Moderator(u)"
+
+    print("\n== policy containment ==")
+    r = is_contained(escalation, audience, tbox)
+    print(f"escalation ⊆ audience (mod schema): {r.contained}")
+    r = is_contained(audience, escalation, tbox)
+    print(f"audience ⊆ escalation: {r.contained}  — ordinary members are not moderators")
+    if r.countermodel is not None:
+        print("countermodel:")
+        print("  " + r.countermodel.describe().replace("\n", "\n  "))
+
+    print("\n== two-way reachability ==")
+    g = Graph()
+    g.add_node("alice", ["User", "Moderator"])
+    g.add_node("bob", ["User"])
+    g.add_node("dev", ["Group"])
+    g.add_node("leak", ["Post"])
+    g.add_edge("alice", "member", "dev")
+    g.add_edge("bob", "member", "dev")
+    g.add_edge("leak", "flagged", "dev")
+    g.add_edge("bob", "follows", "alice")
+
+    who_sees = parse_query("Post(p), (flagged.member-)(p,u)")
+    print(f"audience query matches: {satisfies_union(g, who_sees)}")
+
+    two_hop = parse_query("Post(p), (flagged.member-.follows-)(p,u)")
+    print(f"follower-of-audience reachable: {satisfies_union(g, two_hop)}")
+
+    print("\n== entailment: does every conforming network leak? ==")
+    seed = Graph()
+    seed.add_node("post", ["Post"])
+    result = finitely_entails(seed, tbox, parse_query("(flagged.member-)(p,u)"))
+    print(f"flagged post always has an audience member: {result.entailed}")
+    result = finitely_entails(seed, tbox, parse_query("flagged(p,g)"))
+    print(f"flagged post always has a group: {result.entailed}")
+
+
+if __name__ == "__main__":
+    main()

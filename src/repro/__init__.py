@@ -1,0 +1,72 @@
+"""repro — containment of graph queries modulo schema.
+
+A from-scratch reproduction of "Containment of Graph Queries Modulo Schema"
+(Gutiérrez-Basulto, Gutowski, Ibáñez-García, Murlak; PODS 2024): UC2RPQ
+containment under description-logic schemas (fragments of ALCQI), finite
+entailment, and the frame/coil countermodel machinery, with a practical
+chase-based countermodel engine.
+
+Quickstart::
+
+    from repro import Graph, TBox, is_contained, parse_query
+
+    tbox = TBox.of([("Customer", "exists owns.CredCard")])
+    p = parse_query("Customer(x), owns(x,y)")
+    q = parse_query("owns(x,y), CredCard(y)")
+    result = is_contained(q, p, tbox)
+"""
+
+from repro.core.containment import ContainmentOptions, ContainmentResult, is_contained
+from repro.core.certify import probe_containment
+from repro.core.entailment import EntailmentResult, finitely_entails
+from repro.core.equivalence import are_equivalent, minimize
+from repro.core.repair import complete_to_model, repair_report
+from repro.dl.concepts import parse_concept
+from repro.dl.pg_schema import PGSchema, figure1_instance, figure1_schema
+from repro.dl.reasoning import is_coherent, is_satisfiable
+from repro.io import dump_graph, dump_query, dump_tbox, load_graph, load_query, load_tbox
+from repro.dl.tbox import CI, TBox, satisfies_tbox
+from repro.graphs.graph import Graph
+from repro.queries.evaluation import satisfies, satisfies_union
+from repro.queries.parser import parse_crpq, parse_query
+from repro.queries.results import answers, explain
+from repro.queries.ucrpq import UCRPQ
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CI",
+    "ContainmentOptions",
+    "ContainmentResult",
+    "EntailmentResult",
+    "Graph",
+    "PGSchema",
+    "TBox",
+    "UCRPQ",
+    "dump_graph",
+    "dump_query",
+    "dump_tbox",
+    "figure1_instance",
+    "is_coherent",
+    "answers",
+    "are_equivalent",
+    "minimize",
+    "explain",
+    "is_satisfiable",
+    "load_graph",
+    "load_query",
+    "load_tbox",
+    "complete_to_model",
+    "figure1_schema",
+    "probe_containment",
+    "repair_report",
+    "finitely_entails",
+    "is_contained",
+    "parse_concept",
+    "parse_crpq",
+    "parse_query",
+    "satisfies",
+    "satisfies_tbox",
+    "satisfies_union",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""DFA minimization and canonical forms for regular languages.
+
+Moore's partition-refinement minimization over the subset-construction DFAs
+of :mod:`repro.automata.nfa`.  Minimal DFAs give
+
+* a canonical form per regular language (used to hash/compare atom
+  languages when deduplicating factors and abstract-frame side conditions),
+* a faster equivalence test than double inclusion for repeated comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.automata.nfa import DFA, NFA
+from repro.automata.regex import Regex
+from repro.graphs.labels import Label
+
+
+@dataclass(frozen=True)
+class MinimalDFA:
+    """A minimized, canonically numbered complete DFA."""
+
+    alphabet: tuple[Label, ...]
+    n_states: int
+    start: int
+    delta: dict[tuple[int, Label], int]
+    finals: frozenset[int]
+
+    def accepts(self, word: Sequence[Label]) -> bool:
+        state = self.start
+        for symbol in word:
+            if (state, symbol) not in self.delta:
+                return False
+            state = self.delta[(state, symbol)]
+        return state in self.finals
+
+    def canonical_key(self) -> tuple:
+        """Equal keys ⟺ equal languages (over this alphabet)."""
+        return (
+            self.alphabet,
+            self.n_states,
+            self.start,
+            tuple(sorted((s, str(a), t) for (s, a), t in self.delta.items())),
+            tuple(sorted(self.finals)),
+        )
+
+
+def minimize_dfa(dfa: DFA) -> MinimalDFA:
+    """Moore minimization + canonical BFS renumbering from the start state."""
+    states = list(dfa.states)
+    # initial partition: finals vs non-finals
+    block_of = {s: (s in dfa.finals) for s in states}
+    while True:
+        signatures = {
+            s: (block_of[s], tuple(block_of[dfa.step(s, a)] for a in dfa.alphabet))
+            for s in states
+        }
+        ranking = {sig: i for i, sig in enumerate(sorted(set(signatures.values()), key=repr))}
+        refined = {s: ranking[signatures[s]] for s in states}
+        if len(set(refined.values())) == len(set(block_of.values())):
+            block_of = refined
+            break
+        block_of = refined
+
+    # canonical renumbering: BFS from the start block in alphabet order
+    start_block = block_of[dfa.start]
+    order: dict[int, int] = {start_block: 0}
+    queue = [start_block]
+    representative = {block_of[s]: s for s in states}
+    while queue:
+        block = queue.pop(0)
+        state = representative[block]
+        for symbol in dfa.alphabet:
+            successor = block_of[dfa.step(state, symbol)]
+            if successor not in order:
+                order[successor] = len(order)
+                queue.append(successor)
+    # unreachable blocks are dropped (dead states may remain as one sink)
+    delta = {}
+    finals = set()
+    for block, index in order.items():
+        state = representative[block]
+        if state in dfa.finals:
+            finals.add(index)
+        for symbol in dfa.alphabet:
+            successor = block_of[dfa.step(state, symbol)]
+            if successor in order:
+                delta[(index, symbol)] = order[successor]
+    return MinimalDFA(
+        tuple(dfa.alphabet), len(order), 0, delta, frozenset(finals)
+    )
+
+
+def minimal_dfa(
+    source: Union[str, Regex, NFA], alphabet: Optional[Iterable[Label]] = None
+) -> MinimalDFA:
+    """The canonical minimal DFA of a regex/NFA over the given alphabet."""
+    nfa = source if isinstance(source, NFA) else NFA.from_regex(source)
+    return minimize_dfa(nfa.determinize(alphabet))
+
+
+def languages_equal(
+    left: Union[str, Regex, NFA], right: Union[str, Regex, NFA]
+) -> bool:
+    """L(left) = L(right), via canonical minimal DFAs over the joint alphabet."""
+    left_nfa = left if isinstance(left, NFA) else NFA.from_regex(left)
+    right_nfa = right if isinstance(right, NFA) else NFA.from_regex(right)
+    sigma = sorted(set(left_nfa.alphabet) | set(right_nfa.alphabet), key=str)
+    return (
+        minimal_dfa(left_nfa, sigma).canonical_key()
+        == minimal_dfa(right_nfa, sigma).canonical_key()
+    )

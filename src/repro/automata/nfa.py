@@ -1,0 +1,172 @@
+"""Classical NFA operations layered on top of semiautomata.
+
+Used for regular-language reasoning in the baselines and in abstract-frame
+side conditions (query containment between factorized queries reduces to
+language inclusion for single-atom queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Iterable, Sequence, Union
+
+from repro.automata.regex import Regex
+from repro.automata.semiautomaton import CompiledRegex, Semiautomaton, State, compile_regex
+from repro.graphs.labels import Label
+
+
+@dataclass
+class NFA:
+    """A semiautomaton plus initial and final state sets."""
+
+    automaton: Semiautomaton
+    initials: frozenset[State]
+    finals: frozenset[State]
+    accepts_epsilon_extra: bool = False
+    """True if ε is accepted regardless of initials/finals overlap (used when
+    wrapping a :class:`CompiledRegex`, whose ε-acceptance is tracked apart)."""
+
+    @staticmethod
+    def from_compiled(compiled: CompiledRegex) -> "NFA":
+        return NFA(
+            compiled.automaton,
+            frozenset({compiled.pair.start}),
+            frozenset({compiled.pair.end}),
+            accepts_epsilon_extra=compiled.accepts_epsilon,
+        )
+
+    @staticmethod
+    def from_regex(expr: Union[str, Regex]) -> "NFA":
+        return NFA.from_compiled(compile_regex(expr))
+
+    @property
+    def alphabet(self) -> set[Label]:
+        return self.automaton.alphabet
+
+    def accepts(self, word: Sequence[Label]) -> bool:
+        if not word:
+            return self.accepts_epsilon_extra or bool(self.initials & self.finals)
+        current = set(self.initials)
+        for symbol in word:
+            current = {t for s in current for t in self.automaton.successors(s, symbol)}
+            if not current:
+                return False
+        return bool(current & self.finals)
+
+    def is_empty(self) -> bool:
+        """Is L(A) = ∅?"""
+        if self.accepts(()):
+            return False
+        seen = set(self.initials)
+        frontier = list(self.initials)
+        while frontier:
+            state = frontier.pop()
+            if state in self.finals:
+                return False
+            for _label, target in self.automaton.outgoing(state):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return True
+
+    def intersect(self, other: "NFA") -> "NFA":
+        """Product automaton for L(A) ∩ L(B)."""
+        pair_ids: dict[tuple[State, State], State] = {}
+        auto = Semiautomaton()
+
+        def state_id(pair: tuple[State, State]) -> State:
+            if pair not in pair_ids:
+                pair_ids[pair] = auto.add_state()
+            return pair_ids[pair]
+
+        for s1 in self.automaton.states:
+            for s2 in other.automaton.states:
+                state_id((s1, s2))
+        for (s1, lbl1, t1), (s2, lbl2, t2) in iter_product(
+            self.automaton.transitions, other.automaton.transitions
+        ):
+            if lbl1 == lbl2:
+                auto.transitions.add((state_id((s1, s2)), lbl1, state_id((t1, t2))))
+        initials = frozenset(state_id(p) for p in iter_product(self.initials, other.initials))
+        finals = frozenset(state_id(p) for p in iter_product(self.finals, other.finals))
+        eps = self.accepts(()) and other.accepts(())
+        return NFA(auto, initials, finals, accepts_epsilon_extra=eps)
+
+    def determinize(self, alphabet: Iterable[Label] | None = None) -> "DFA":
+        """Subset construction over the given (or own) alphabet."""
+        sigma = sorted(set(alphabet) if alphabet is not None else self.alphabet, key=str)
+        start = frozenset(self.initials)
+        states = {start}
+        delta: dict[tuple[frozenset[State], Label], frozenset[State]] = {}
+        frontier = [start]
+        while frontier:
+            subset = frontier.pop()
+            for symbol in sigma:
+                image = frozenset(
+                    t for s in subset for t in self.automaton.successors(s, symbol)
+                )
+                delta[(subset, symbol)] = image
+                if image not in states:
+                    states.add(image)
+                    frontier.append(image)
+        finals = {
+            subset
+            for subset in states
+            if (subset & self.finals) or (subset == start and self.accepts(()))
+        }
+        return DFA(tuple(sigma), states, start, delta, finals)
+
+    def includes(self, other: "NFA") -> bool:
+        """Language inclusion L(other) ⊆ L(self).
+
+        Decided over ``other``'s alphabet: symbols unknown to ``self`` simply
+        lead to the dead state of its determinization.
+        """
+        sigma = set(self.alphabet) | set(other.alphabet)
+        dfa = self.determinize(sigma)
+        # search for a word accepted by `other` and rejected by `self`
+        start = (frozenset(other.initials), dfa.start)
+        if other.accepts(()) and not self.accepts(()):
+            return False
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            subset, dstate = frontier.pop()
+            for symbol in sorted(sigma, key=str):
+                next_subset = frozenset(
+                    t for s in subset for t in other.automaton.successors(s, symbol)
+                )
+                if not next_subset:
+                    continue
+                next_d = dfa.step(dstate, symbol)
+                key = (next_subset, next_d)
+                if next_subset & other.finals and next_d not in dfa.finals:
+                    return False
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append(key)
+        return True
+
+    def equivalent(self, other: "NFA") -> bool:
+        return self.includes(other) and other.includes(self)
+
+
+@dataclass
+class DFA:
+    """A complete DFA over a fixed alphabet (subset-construction states)."""
+
+    alphabet: tuple[Label, ...]
+    states: set[frozenset[State]]
+    start: frozenset[State]
+    delta: dict[tuple[frozenset[State], Label], frozenset[State]]
+    finals: set[frozenset[State]]
+
+    def step(self, state: frozenset[State], symbol: Label) -> frozenset[State]:
+        return self.delta.get((state, symbol), frozenset())
+
+    def accepts(self, word: Sequence[Label]) -> bool:
+        state = self.start
+        for symbol in word:
+            state = self.step(state, symbol)
+        return state in self.finals

@@ -1,0 +1,124 @@
+"""Product of a graph with a semiautomaton — the 2RPQ evaluation work-horse.
+
+A configuration is a pair (node, state).  Automaton transitions labelled by
+roles move along (possibly inverse) graph edges; transitions labelled by node
+labels are *tests* that stay at the current node (Section 2, match item 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.automata.semiautomaton import CompiledRegex, Semiautomaton, State
+from repro.graphs.graph import Graph, Node
+from repro.graphs.labels import NodeLabel, Role
+
+
+def product_successors(
+    graph: Graph, automaton: Semiautomaton, node: Node, state: State
+) -> Iterator[tuple[Node, State]]:
+    """One-step successors of configuration ``(node, state)``."""
+    for label, target_state in automaton.outgoing(state):
+        if isinstance(label, Role):
+            for successor in graph.successors(node, label):
+                yield (successor, target_state)
+        elif isinstance(label, NodeLabel):
+            if graph.has_label(node, label):
+                yield (node, target_state)
+
+
+def reachable_configurations(
+    graph: Graph,
+    automaton: Semiautomaton,
+    sources: Iterable[tuple[Node, State]],
+) -> set[tuple[Node, State]]:
+    """All configurations reachable from ``sources`` (inclusive)."""
+    seen = set(sources)
+    frontier = list(seen)
+    while frontier:
+        node, state = frontier.pop()
+        for successor in product_successors(graph, automaton, node, state):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+def rpq_relation(graph: Graph, compiled: CompiledRegex) -> set[tuple[Node, Node]]:
+    """The full binary relation defined by the compiled regex on ``graph``.
+
+    (v, w) is in the result iff some path from v to w spells a word in L(φ).
+    """
+    relation: set[tuple[Node, Node]] = set()
+    if compiled.accepts_epsilon:
+        relation.update((v, v) for v in graph.node_list())
+    for source in graph.node_list():
+        reached = reachable_configurations(
+            graph, compiled.automaton, [(source, compiled.pair.start)]
+        )
+        relation.update(
+            (source, node) for node, state in reached if state == compiled.pair.end
+        )
+    return relation
+
+
+def rpq_targets(graph: Graph, compiled: CompiledRegex, source: Node) -> set[Node]:
+    """Nodes reachable from ``source`` along a word in L(φ)."""
+    targets = set()
+    if compiled.accepts_epsilon:
+        targets.add(source)
+    reached = reachable_configurations(graph, compiled.automaton, [(source, compiled.pair.start)])
+    targets.update(node for node, state in reached if state == compiled.pair.end)
+    return targets
+
+
+def rpq_holds(graph: Graph, compiled: CompiledRegex, source: Node, target: Node) -> bool:
+    """Does φ(source, target) hold in ``graph``?"""
+    return target in rpq_targets(graph, compiled, source)
+
+
+def witness_path(
+    graph: Graph, compiled: CompiledRegex, source: Node, target: Node
+) -> list[tuple[Node, object, Node]] | None:
+    """A witnessing path for φ(source, target), or ``None``.
+
+    Returns a list of steps ``(v, label, w)``; test steps have ``v == w`` and
+    a :class:`NodeLabel` as label.  Used for explanations and for span
+    computations over frames (Section 4).
+    """
+    if source == target and compiled.accepts_epsilon:
+        return []
+    start = (source, compiled.pair.start)
+    parents: dict[tuple[Node, State], tuple[tuple[Node, State], object]] = {}
+    seen = {start}
+    frontier = [start]
+    goal = None
+    while frontier and goal is None:
+        config = frontier.pop(0)
+        node, state = config
+        for label, target_state in compiled.automaton.outgoing(state):
+            steps: list[tuple[Node, State]] = []
+            if isinstance(label, Role):
+                steps = [(succ, target_state) for succ in graph.successors(node, label)]
+            elif isinstance(label, NodeLabel) and graph.has_label(node, label):
+                steps = [(node, target_state)]
+            for successor in steps:
+                if successor not in seen:
+                    seen.add(successor)
+                    parents[successor] = (config, label)
+                    if successor == (target, compiled.pair.end):
+                        goal = successor
+                        break
+                    frontier.append(successor)
+            if goal:
+                break
+    if goal is None:
+        return None
+    path: list[tuple[Node, object, Node]] = []
+    config = goal
+    while config != start:
+        previous, label = parents[config]
+        path.append((previous[0], label, config[0]))
+        config = previous
+    path.reverse()
+    return path

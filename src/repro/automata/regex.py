@@ -1,0 +1,374 @@
+"""Regular expressions over the alphabet Γ± ∪ Σ± (Section 2).
+
+Queries use regular expressions whose symbols are either roles (edge labels,
+possibly inverted) or node labels (possibly complemented) acting as *tests*:
+a node-label symbol is matched by staying at a node carrying the label.
+
+Text syntax
+-----------
+
+* roles: ``owns``, inverse ``owns-``;
+* node-label tests: ``{Partner}``, complements ``{!Partner}``;
+* concatenation with ``.``: ``owns.earns``;
+* union with ``|``: ``(owns | earns)``;
+* postfix ``*`` (Kleene star), ``+`` (one or more), ``?`` (optional);
+* ``()`` for grouping, ``<eps>`` for the empty word.
+
+Example 1.1's q1 path:  ``owns.earns.{Partner}.owns*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+from repro.graphs.labels import Label, NodeLabel, Role
+
+
+class Regex:
+    """Base class of the regular-expression AST."""
+
+    def symbols(self) -> Iterator[Label]:
+        """All alphabet symbols occurring in the expression."""
+        raise NotImplementedError
+
+    def is_test_free(self) -> bool:
+        """No node-label symbols from Γ± (Section 2, *test-free*)."""
+        return not any(isinstance(sym, NodeLabel) for sym in self.symbols())
+
+    def is_one_way(self) -> bool:
+        """No inverse roles from Σ⁻ (CRPQs rather than C2RPQs)."""
+        return not any(isinstance(sym, Role) and sym.inverted for sym in self.symbols())
+
+    def is_simple(self) -> bool:
+        """Of the form ``r`` or ``(r1 | ... | rn)*`` with roles only (Section 2)."""
+        if isinstance(self, Sym):
+            return isinstance(self.label, Role)
+        if isinstance(self, Star):
+            inner = self.inner
+            options = inner.parts if isinstance(inner, Union) else (inner,)
+            return all(isinstance(part, Sym) and isinstance(part.label, Role) for part in options)
+        return False
+
+    # constructors usable as combinators -------------------------------- #
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return Union((self, other))
+
+    def concat(self, other: "Regex") -> "Regex":
+        return Concat((self, other))
+
+    def star(self) -> "Regex":
+        return Star(self)
+
+    def plus(self) -> "Regex":
+        return Plus(self)
+
+    def optional(self) -> "Regex":
+        return Optional_(self)
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The empty word."""
+
+    def symbols(self) -> Iterator[Label]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return "<eps>"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single alphabet symbol — a role or a node-label test."""
+
+    label: Label
+
+    def symbols(self) -> Iterator[Label]:
+        yield self.label
+
+    def __str__(self) -> str:
+        if isinstance(self.label, NodeLabel):
+            return "{" + str(self.label) + "}"
+        return str(self.label)
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    parts: tuple[Regex, ...]
+
+    def symbols(self) -> Iterator[Label]:
+        for part in self.parts:
+            yield from part.symbols()
+
+    def __str__(self) -> str:
+        return ".".join(_wrap(part, for_concat=True) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    parts: tuple[Regex, ...]
+
+    def symbols(self) -> Iterator[Label]:
+        for part in self.parts:
+            yield from part.symbols()
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    inner: Regex
+
+    def symbols(self) -> Iterator[Label]:
+        return self.inner.symbols()
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "*"
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    inner: Regex
+
+    def symbols(self) -> Iterator[Label]:
+        return self.inner.symbols()
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "+"
+
+
+@dataclass(frozen=True)
+class Optional_(Regex):
+    inner: Regex
+
+    def symbols(self) -> Iterator[Label]:
+        return self.inner.symbols()
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "?"
+
+
+def _wrap(expr: Regex, for_concat: bool = False) -> str:
+    needs_parens = isinstance(expr, Union) or (for_concat and isinstance(expr, Concat))
+    if isinstance(expr, (Star, Plus, Optional_)) and not for_concat:
+        needs_parens = False
+    text = str(expr)
+    if needs_parens and not text.startswith("("):
+        return f"({text})"
+    return text
+
+
+def sym(label: Union[str, Label]) -> Sym:
+    """Build a symbol; strings in braces are node labels, otherwise roles."""
+    if isinstance(label, (NodeLabel, Role)):
+        return Sym(label)
+    text = label.strip()
+    if text.startswith("{") and text.endswith("}"):
+        return Sym(NodeLabel.parse(text[1:-1]))
+    return Sym(Role.parse(text))
+
+
+def concat(*parts: Union[str, Regex]) -> Regex:
+    resolved = tuple(part if isinstance(part, Regex) else sym(part) for part in parts)
+    return resolved[0] if len(resolved) == 1 else Concat(resolved)
+
+
+def union(*parts: Union[str, Regex]) -> Regex:
+    resolved = tuple(part if isinstance(part, Regex) else sym(part) for part in parts)
+    return resolved[0] if len(resolved) == 1 else Union(resolved)
+
+
+def star(part: Union[str, Regex]) -> Star:
+    return Star(part if isinstance(part, Regex) else sym(part))
+
+
+def plus(part: Union[str, Regex]) -> Plus:
+    return Plus(part if isinstance(part, Regex) else sym(part))
+
+
+# ---------------------------------------------------------------------- #
+# parser
+
+
+class RegexSyntaxError(ValueError):
+    """Raised on malformed regular-expression text."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()|.*+?":
+            tokens.append(ch)
+            i += 1
+        elif ch == "{":
+            j = text.find("}", i)
+            if j < 0:
+                raise RegexSyntaxError(f"unclosed '{{' in {text!r}")
+            tokens.append(text[i : j + 1])
+            i = j + 1
+        elif text.startswith("<eps>", i):
+            tokens.append("<eps>")
+            i += 5
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < len(text) and (text[j].isalnum() or text[j] in "_'"):
+                j += 1
+            # a trailing dash marks an inverse role
+            if j < len(text) and text[j] == "-":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+        else:
+            raise RegexSyntaxError(f"unexpected character {ch!r} in {text!r}")
+    return tokens
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the text syntax described in the module docstring.
+
+    >>> str(parse_regex("owns.earns.{Partner}.owns*"))
+    'owns.earns.{Partner}.owns*'
+    """
+    tokens = _tokenize(text)
+    position = 0
+
+    def peek() -> str | None:
+        return tokens[position] if position < len(tokens) else None
+
+    def take(expected: str | None = None) -> str:
+        nonlocal position
+        if position >= len(tokens):
+            raise RegexSyntaxError(f"unexpected end of input in {text!r}")
+        token = tokens[position]
+        if expected is not None and token != expected:
+            raise RegexSyntaxError(f"expected {expected!r}, found {token!r} in {text!r}")
+        position += 1
+        return token
+
+    def parse_union() -> Regex:
+        parts = [parse_concat()]
+        while peek() == "|":
+            take("|")
+            parts.append(parse_concat())
+        return parts[0] if len(parts) == 1 else Union(tuple(parts))
+
+    def parse_concat() -> Regex:
+        parts = [parse_postfix()]
+        while True:
+            nxt = peek()
+            if nxt == ".":
+                take(".")
+                parts.append(parse_postfix())
+            elif nxt is not None and nxt not in ")|":
+                # juxtaposition also concatenates
+                parts.append(parse_postfix())
+            else:
+                break
+        return parts[0] if len(parts) == 1 else Concat(tuple(parts))
+
+    def parse_postfix() -> Regex:
+        expr = parse_atom()
+        while peek() in ("*", "+", "?"):
+            op = take()
+            if op == "*":
+                expr = Star(expr)
+            elif op == "+":
+                expr = Plus(expr)
+            else:
+                expr = Optional_(expr)
+        return expr
+
+    def parse_atom() -> Regex:
+        token = peek()
+        if token == "(":
+            take("(")
+            inner = parse_union()
+            take(")")
+            return inner
+        if token == "<eps>":
+            take()
+            return Epsilon()
+        if token is None or token in ")|.*+?":
+            raise RegexSyntaxError(f"unexpected token {token!r} in {text!r}")
+        take()
+        return sym(token)
+
+    expr = parse_union()
+    if position != len(tokens):
+        raise RegexSyntaxError(f"trailing tokens {tokens[position:]} in {text!r}")
+    return expr
+
+
+def regex(value: Union[str, Regex]) -> Regex:
+    """Coerce a string or AST to a :class:`Regex`."""
+    return value if isinstance(value, Regex) else parse_regex(value)
+
+
+def matches_word(expr: Regex, word: Sequence[Label]) -> bool:
+    """Direct (derivative-free) membership test, for validation in tests.
+
+    Uses a simple NFA-less recursive decomposition with memoization; intended
+    only for short words.
+    """
+    from functools import lru_cache
+
+    word_tuple = tuple(word)
+
+    @lru_cache(maxsize=None)
+    def match(node_id: int, start: int, end: int) -> bool:
+        node = _index[node_id]
+        if isinstance(node, Epsilon):
+            return start == end
+        if isinstance(node, Sym):
+            return end == start + 1 and word_tuple[start] == node.label
+        if isinstance(node, Union):
+            return any(match(_ids[part], start, end) for part in node.parts)
+        if isinstance(node, Concat):
+            if not node.parts:
+                return start == end
+            head, rest = node.parts[0], node.parts[1:]
+            rest_node = Concat(rest) if len(rest) > 1 else (rest[0] if rest else Epsilon())
+            _register(rest_node)
+            return any(
+                match(_ids[head], start, mid) and match(_ids[rest_node], mid, end)
+                for mid in range(start, end + 1)
+            )
+        if isinstance(node, Star):
+            if start == end:
+                return True
+            return any(
+                mid > start and match(_ids[node.inner], start, mid) and match(node_id, mid, end)
+                for mid in range(start + 1, end + 1)
+            )
+        if isinstance(node, Plus):
+            expanded = Concat((node.inner, Star(node.inner)))
+            _register(expanded)
+            return match(_ids[expanded], start, end)
+        if isinstance(node, Optional_):
+            return start == end or match(_ids[node.inner], start, end)
+        raise TypeError(type(node))
+
+    _index: dict[int, Regex] = {}
+    _ids: dict[Regex, int] = {}
+
+    def _register(node: Regex) -> None:
+        if node not in _ids:
+            ident = len(_index)
+            _ids[node] = ident
+            _index[ident] = node
+            if isinstance(node, (Star, Plus, Optional_)):
+                _register(node.inner)
+            elif isinstance(node, (Concat, Union)):
+                for part in node.parts:
+                    _register(part)
+
+    _register(expr)
+    # register all sub-nodes reachable via lazy Concat decompositions up front
+    return match(_ids[expr], 0, len(word_tuple))

@@ -1,0 +1,251 @@
+"""Nondeterministic tree automata over finite ranked trees.
+
+Theorem 3.2 decides containment without participation constraints by
+building "a tree automaton recognizing trees resulting from p-sparse
+counterexamples" and testing emptiness.  This module supplies that device
+as a reusable substrate:
+
+* :class:`TreeAutomaton` — bottom-up nondeterministic automata over finite
+  trees whose nodes carry labels from a finite alphabet and have at most
+  ``max_arity`` children (transitions list the allowed child-state tuples);
+* :func:`TreeAutomaton.is_empty` — the classical least-fixpoint emptiness
+  test, with a witness tree when non-empty;
+* :func:`tbox_tree_automaton` — the bridge to the paper's use: an automaton
+  whose language is exactly the finite *tree-shaped* models of an ALC TBox
+  (each tree node labelled by a maximal type, each ∃-obligation discharged
+  by a child).  Emptiness then decides tree-model satisfiability, which for
+  ALC coincides with satisfiability — giving a third independent oracle
+  besides type elimination and the chase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Hashable, Iterable, Optional, Sequence, Union
+
+from repro.dl.normalize import NormalizedTBox
+from repro.dl.types import clause_consistent
+from repro.graphs.graph import Graph
+from repro.graphs.types import Type, maximal_types
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass(frozen=True)
+class Tree:
+    """A finite ordered tree with labelled nodes."""
+
+    label: Symbol
+    children: tuple["Tree", ...] = ()
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        return 1 + max((child.depth() for child in self.children), default=0)
+
+    def __str__(self) -> str:
+        if not self.children:
+            return str(self.label)
+        inner = ", ".join(str(child) for child in self.children)
+        return f"{self.label}({inner})"
+
+
+@dataclass(frozen=True)
+class TreeTransition:
+    """``symbol(child_states...) → state`` — a bottom-up rule."""
+
+    symbol: Symbol
+    child_states: tuple[State, ...]
+    state: State
+
+
+@dataclass
+class TreeAutomaton:
+    """A bottom-up nondeterministic finite tree automaton."""
+
+    transitions: list[TreeTransition] = field(default_factory=list)
+    accepting: set[State] = field(default_factory=set)
+
+    def add_rule(
+        self, symbol: Symbol, child_states: Sequence[State], state: State
+    ) -> None:
+        self.transitions.append(TreeTransition(symbol, tuple(child_states), state))
+
+    @property
+    def states(self) -> set[State]:
+        found: set[State] = set(self.accepting)
+        for rule in self.transitions:
+            found.add(rule.state)
+            found.update(rule.child_states)
+        return found
+
+    # ------------------------------------------------------------- #
+    # runs
+
+    def states_of(self, tree: Tree) -> set[State]:
+        """All states reachable at the root of ``tree``."""
+        child_state_sets = [self.states_of(child) for child in tree.children]
+        result: set[State] = set()
+        for rule in self.transitions:
+            if rule.symbol != tree.label:
+                continue
+            if len(rule.child_states) != len(tree.children):
+                continue
+            if all(
+                required in available
+                for required, available in zip(rule.child_states, child_state_sets)
+            ):
+                result.add(rule.state)
+        return result
+
+    def accepts(self, tree: Tree) -> bool:
+        return bool(self.states_of(tree) & self.accepting)
+
+    # ------------------------------------------------------------- #
+    # emptiness
+
+    def productive_states(self) -> dict[State, Tree]:
+        """States reachable at the root of *some* tree, with witnesses.
+
+        The classical least fixpoint: a rule fires once all its child states
+        are productive; smaller witnesses are found first (rules with fewer
+        children saturate earlier).
+        """
+        witness: dict[State, Tree] = {}
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.transitions:
+                if rule.state in witness:
+                    continue
+                if all(child in witness for child in rule.child_states):
+                    witness[rule.state] = Tree(
+                        rule.symbol,
+                        tuple(witness[child] for child in rule.child_states),
+                    )
+                    changed = True
+        return witness
+
+    def is_empty(self) -> bool:
+        return self.witness() is None
+
+    def witness(self) -> Optional[Tree]:
+        """An accepted tree, or ``None`` when the language is empty."""
+        productive = self.productive_states()
+        for state in sorted(self.accepting, key=str):
+            if state in productive:
+                return productive[state]
+        return None
+
+    def intersect(self, other: "TreeAutomaton") -> "TreeAutomaton":
+        """Product automaton for the intersection of the two languages."""
+        result = TreeAutomaton()
+        for a in self.transitions:
+            for b in other.transitions:
+                if a.symbol != b.symbol or len(a.child_states) != len(b.child_states):
+                    continue
+                result.add_rule(
+                    a.symbol,
+                    tuple(zip(a.child_states, b.child_states)),
+                    (a.state, b.state),
+                )
+        result.accepting = {
+            (a, b) for a in self.accepting for b in other.accepting
+        }
+        return result
+
+
+# --------------------------------------------------------------------- #
+# the Theorem 3.2-style bridge: tree models of an ALC TBox
+
+
+def tbox_tree_automaton(
+    tbox: NormalizedTBox,
+    extra_names: Iterable[str] = (),
+) -> TreeAutomaton:
+    """An automaton accepting exactly the tree-shaped models of an ALC TBox.
+
+    Tree nodes are labelled ``(type, role_from_parent)``; a node's children
+    discharge its at-least obligations (one child per obligation, ALC means
+    n = 1), and every parent→child edge respects the universal CIs.  States
+    are the types themselves; all clause-consistent types accept (any type
+    may sit at the root).
+
+    Only meaningful for ALC: inverse roles would need child-to-parent
+    constraints and counting would need sibling coordination.
+    """
+    if tbox.uses_inverse_roles() or tbox.uses_counting():
+        raise ValueError("the tree-model automaton supports plain ALC TBoxes")
+    names = sorted(set(tbox.concept_names()) | set(extra_names))
+    types = [
+        sigma for sigma in maximal_types(names) if clause_consistent(tbox, sigma)
+    ]
+    automaton = TreeAutomaton()
+
+    def edge_allowed(parent: Type, role, child: Type) -> bool:
+        return all(
+            ci.filler in child
+            for ci in tbox.universals
+            if ci.role == role and ci.subject in parent
+        )
+
+    for sigma in types:
+        obligations = [ci for ci in tbox.at_leasts if ci.subject in sigma]
+        child_options: list[list[tuple[Type, object]]] = []
+        feasible = True
+        for ci in obligations:
+            candidates = [
+                (theta, ci.role)
+                for theta in types
+                if ci.filler in theta and edge_allowed(sigma, ci.role, theta)
+            ]
+            if not candidates:
+                feasible = False
+                break
+            child_options.append(candidates)
+        if not feasible:
+            continue
+        for pick in product(*child_options) if child_options else [()]:
+            # symbol records the type's positive labels (the tree's labelling)
+            symbol = (frozenset(sigma.positive_names),)
+            automaton.add_rule(symbol, tuple(theta for theta, _role in pick), sigma)
+            # remember the roles on the rule for graph extraction
+            automaton.transitions[-1] = TreeTransition(
+                (frozenset(sigma.positive_names), tuple(str(role) for _t, role in pick)),
+                tuple(theta for theta, _role in pick),
+                sigma,
+            )
+    automaton.accepting = set(types)
+    return automaton
+
+
+def tree_to_graph(tree: Tree) -> Graph:
+    """Materialize a witness tree (from :func:`tbox_tree_automaton`) as a
+    graph: labels from the node symbols, edges from the recorded roles."""
+    graph = Graph()
+
+    def build(node: Tree, path: tuple) -> tuple:
+        labels, roles = node.label
+        graph.add_node(path, sorted(labels))
+        for index, child in enumerate(node.children):
+            child_id = build(child, path + (index,))
+            graph.add_edge(path, roles[index], child_id)
+        return path
+
+    build(tree, ("t",))
+    return graph
+
+
+def satisfiable_via_tree_automaton(label: str, tbox: NormalizedTBox) -> bool:
+    """Is the concept name satisfiable w.r.t. the ALC TBox, by tree-automaton
+    emptiness?  (ALC has the tree model property, so this is exact.)"""
+    automaton = tbox_tree_automaton(tbox, extra_names=[label])
+    productive = automaton.productive_states()
+    from repro.graphs.labels import NodeLabel
+
+    return any(
+        NodeLabel(label) in sigma for sigma in productive if sigma in automaton.accepting
+    )

@@ -1,0 +1,149 @@
+"""Command-line interface:  python -m repro <command> ...
+
+Commands
+--------
+
+contain   decide P ⊆_T Q
+    python -m repro contain "A(x), r(x,y)" "r(x,y), B(y)" --schema schema.tbox
+entail    decide G, T ⊨fin Q for a graph file
+    python -m repro entail graph.edges schema.tbox "B(x)"
+eval      evaluate a query over a graph file
+    python -m repro eval graph.edges "A(x), r*(x,y)"
+
+File formats
+------------
+
+Schema files: one CI per line, ``lhs <= rhs`` in the concept text syntax;
+``#`` comments and blank lines ignored.
+
+Graph files: one item per line — ``node: Label1,Label2`` declares a node,
+``a -r-> b`` an edge; ``#`` comments ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.containment import is_contained
+from repro.core.entailment import finitely_entails
+from repro.dl.tbox import CI, TBox
+from repro.graphs.graph import Graph
+from repro.queries.evaluation import find_union_match
+from repro.queries.parser import parse_query
+
+
+def load_schema(path: str) -> TBox:
+    cis = []
+    for line_no, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "<=" not in line:
+            raise SystemExit(f"{path}:{line_no}: expected 'lhs <= rhs'")
+        lhs, rhs = line.split("<=", 1)
+        cis.append(CI.of(lhs.strip(), rhs.strip()))
+    return TBox.of(cis, name=Path(path).stem)
+
+
+def load_graph(path: str) -> Graph:
+    graph = Graph()
+    for line_no, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "->" in line:
+            try:
+                left, target = line.rsplit("->", 1)
+                source, role = left.rsplit("-", 1)
+            except ValueError:
+                raise SystemExit(f"{path}:{line_no}: expected 'a -r-> b'")
+            graph.add_edge(source.strip(), role.strip(), target.strip())
+        elif ":" in line:
+            node, labels = line.split(":", 1)
+            graph.add_node(
+                node.strip(), [l.strip() for l in labels.split(",") if l.strip()]
+            )
+        else:
+            graph.add_node(line)
+    return graph
+
+
+def cmd_contain(args: argparse.Namespace) -> int:
+    tbox = load_schema(args.schema) if args.schema else None
+    result = is_contained(args.lhs, args.rhs, tbox, method=args.method)
+    verdict = "CONTAINED" if result.contained else "NOT CONTAINED"
+    certainty = "certain" if result.complete else "within search budgets"
+    print(f"{verdict}  (method: {result.method}, {certainty})")
+    if not result.supported_by_theory:
+        print("note: this (query, schema) combination is open in the paper;")
+        print("      the verdict comes from the sound-but-incomplete engine")
+    if result.countermodel is not None:
+        print("countermodel:")
+        print("  " + result.countermodel.describe().replace("\n", "\n  "))
+    return 0 if result.contained else 1
+
+
+def cmd_entail(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    tbox = load_schema(args.schema)
+    query = parse_query(args.query)
+    result = finitely_entails(graph, tbox, query)
+    print("ENTAILED" if result.entailed else "NOT ENTAILED", f"(method: {result.method})")
+    if result.countermodel is not None:
+        print("countermodel:")
+        print("  " + result.countermodel.describe().replace("\n", "\n  "))
+    return 0 if result.entailed else 1
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    query = parse_query(args.query)
+    hit = find_union_match(graph, query)
+    if hit is None:
+        print("NO MATCH")
+        return 1
+    disjunct, match = hit
+    print("MATCH")
+    for variable, node in sorted(match.items(), key=lambda kv: str(kv[0])):
+        print(f"  {variable} -> {node}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="containment of graph queries modulo schema"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    contain = sub.add_parser("contain", help="decide P ⊆_T Q")
+    contain.add_argument("lhs", help="left query P")
+    contain.add_argument("rhs", help="right query Q")
+    contain.add_argument("--schema", help="TBox file", default=None)
+    contain.add_argument(
+        "--method", default="auto",
+        choices=["auto", "baseline", "sparse", "reduction", "direct"],
+    )
+    contain.set_defaults(func=cmd_contain)
+
+    entail = sub.add_parser("entail", help="decide G, T ⊨fin Q")
+    entail.add_argument("graph", help="graph file")
+    entail.add_argument("schema", help="TBox file")
+    entail.add_argument("query", help="query Q")
+    entail.set_defaults(func=cmd_entail)
+
+    evaluate = sub.add_parser("eval", help="evaluate a query over a graph")
+    evaluate.add_argument("graph", help="graph file")
+    evaluate.add_argument("query", help="query")
+    evaluate.set_defaults(func=cmd_eval)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""The paper's contribution: containment modulo schema and finite entailment."""
+
+from repro.core.baseline import BaselineResult, contained_no_schema, expansions, words_of
+from repro.core.bounded import exhaustive_countermodel, extensions_of
+from repro.core.coil import Coil, coil, paths_from, paths_up_to, unravel
+from repro.core.containment import ContainmentOptions, ContainmentResult, is_contained
+from repro.core.entailment import EntailmentResult, finitely_entails, realizable_type
+from repro.core.equivalence import (
+    EquivalenceResult,
+    MinimizationResult,
+    are_equivalent,
+    minimize,
+)
+from repro.core.frames import (
+    AbstractComponent,
+    AbstractFrame,
+    ConcreteFrame,
+    FrameEdge,
+    coil_frame,
+    restructure,
+    unravel_frame,
+)
+from repro.core.certify import ProbeReport, probe_containment
+from repro.core.display import strip_internal_labels
+from repro.core.records import DecisionLog, DecisionRecord, decide
+from repro.core.repair import RepairResult, complete_to_model, repair_report
+from repro.core.oneway import (
+    OneWayResult,
+    realizable_refuting_oneway,
+    synthesize_countermodel_oneway,
+)
+from repro.core.reduction import ReductionConfig, ReductionResult, contains_via_reduction
+from repro.core.search import CountermodelSearch, SearchLimits, SearchOutcome
+from repro.core.sparse_search import (
+    SparseSearchResult,
+    contained_without_participation,
+    sparsify,
+)
+from repro.core.starlike import Attachment, StarLikeGraph, star_of
+from repro.core.twoway import (
+    TwoWayConfig,
+    TwoWayResult,
+    drop_reachability,
+    is_reachability_atom,
+    realizable_refuting_twoway,
+)
+
+__all__ = [
+    "AbstractComponent",
+    "AbstractFrame",
+    "Attachment",
+    "BaselineResult",
+    "Coil",
+    "ConcreteFrame",
+    "ContainmentOptions",
+    "ContainmentResult",
+    "CountermodelSearch",
+    "EntailmentResult",
+    "FrameEdge",
+    "OneWayResult",
+    "ReductionConfig",
+    "ReductionResult",
+    "SearchLimits",
+    "SearchOutcome",
+    "SparseSearchResult",
+    "StarLikeGraph",
+    "TwoWayConfig",
+    "TwoWayResult",
+    "ProbeReport",
+    "DecisionLog",
+    "DecisionRecord",
+    "RepairResult",
+    "decide",
+    "EquivalenceResult",
+    "MinimizationResult",
+    "are_equivalent",
+    "coil",
+    "minimize",
+    "complete_to_model",
+    "probe_containment",
+    "repair_report",
+    "coil_frame",
+    "contained_no_schema",
+    "contained_without_participation",
+    "contains_via_reduction",
+    "drop_reachability",
+    "exhaustive_countermodel",
+    "expansions",
+    "extensions_of",
+    "finitely_entails",
+    "is_contained",
+    "is_reachability_atom",
+    "paths_from",
+    "paths_up_to",
+    "realizable_refuting_oneway",
+    "realizable_refuting_twoway",
+    "realizable_type",
+    "restructure",
+    "sparsify",
+    "strip_internal_labels",
+    "synthesize_countermodel_oneway",
+    "star_of",
+    "unravel",
+    "unravel_frame",
+    "words_of",
+]

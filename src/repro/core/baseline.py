@@ -1,0 +1,188 @@
+"""Schema-free UC2RPQ containment — the classical baseline [13, 23].
+
+Without a schema, P ⊆ Q iff every *canonical expansion* of (each disjunct
+of) P satisfies Q: an expansion picks a witnessing word for every path atom
+and freezes it into a graph.  The full decision procedure is ExpSpace; this
+module implements the expansion test with a word-length bound:
+
+* refutation is *sound and certain*: an expansion that violates Q is a real
+  countermodel (it satisfies P by construction, verified);
+* certification is complete only when every regular expression in P has a
+  finite language fully enumerated within the bound, and reported as such.
+
+The bounded test is also the seed generator for schema-aware containment:
+:mod:`repro.core.containment` extends expansions to TBox models with the
+chase engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Optional, Sequence
+
+from repro.automata.semiautomaton import CompiledRegex
+from repro.graphs.graph import Graph, Node
+from repro.graphs.labels import Label, NodeLabel, Role
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import satisfies, satisfies_union
+from repro.queries.ucrpq import UCRPQ
+
+
+def words_of(compiled: CompiledRegex, max_length: int) -> Iterator[tuple[Label, ...]]:
+    """Words of L(φ) up to ``max_length``, shortest first."""
+    if compiled.accepts_epsilon:
+        yield ()
+    frontier: list[tuple[tuple[Label, ...], int]] = [((), compiled.pair.start)]
+    for _step in range(max_length):
+        next_frontier: list[tuple[tuple[Label, ...], int]] = []
+        for word, state in frontier:
+            for label, target in sorted(
+                compiled.automaton.outgoing(state), key=lambda lt: (str(lt[0]), lt[1])
+            ):
+                extended = word + (label,)
+                next_frontier.append((extended, target))
+                if target == compiled.pair.end:
+                    yield extended
+        frontier = next_frontier
+
+
+def language_is_finite(compiled: CompiledRegex) -> bool:
+    """Is L(φ) finite?  True iff no productive state lies on a cycle."""
+    # a state is productive if it can reach the end state
+    reach: dict[int, set[int]] = {s: set() for s in compiled.automaton.states}
+    for s, _lbl, t in compiled.automaton.transitions:
+        reach[s].add(t)
+    changed = True
+    while changed:
+        changed = False
+        for s in reach:
+            grown = set()
+            for m in reach[s]:
+                grown |= reach[m]
+            if not grown <= reach[s]:
+                reach[s] |= grown
+                changed = True
+    end = compiled.pair.end
+    productive = {s for s in reach if end in reach[s] or s == end}
+    co_reachable = {s for s in productive if s == compiled.pair.start or s in reach[compiled.pair.start]}
+    return not any(s in reach[s] and s in co_reachable for s in productive)
+
+
+@dataclass
+class Expansion:
+    """A canonical expansion of a C2RPQ: a graph plus the variable map."""
+
+    graph: Graph
+    assignment: dict
+
+    def verify(self, query: CRPQ) -> bool:
+        return satisfies(self.graph, query)
+
+
+def expansions(query: CRPQ, max_word_length: int, max_expansions: int = 10_000) -> Iterator[Expansion]:
+    """Canonical expansions with witness words of bounded length.
+
+    Each path atom picks a word; the word is frozen into a path of fresh
+    nodes between the atom's endpoint variables; node-label symbols become
+    positive labels at the current node (complement tests add nothing — the
+    absence is checked by the final verification).  Expansions whose label
+    choices conflict with the query's complement atoms are discarded by
+    verification in the caller.
+    """
+    atom_words = []
+    for atom in query.path_atoms:
+        choices = list(words_of(atom.compiled, max_word_length))
+        if not choices:
+            return  # an unsatisfiable atom: no expansions at all
+        atom_words.append(choices)
+
+    emitted = 0
+    for pick in product(*atom_words) if atom_words else [()]:
+        # role-free words force their endpoints to coincide (Boolean
+        # semantics): merge such variables via union-find first
+        parent: dict = {v: v for v in query.variables}
+
+        def find(v):
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for atom, word in zip(query.path_atoms, pick):
+            if not any(isinstance(s, Role) for s in word):
+                ra, rb = find(atom.source), find(atom.target)
+                if ra != rb:
+                    parent[ra] = rb
+
+        def node_of(variable) -> Node:
+            return ("v", find(variable))
+
+        graph = Graph()
+        assignment = {v: node_of(v) for v in query.variables}
+        for v in query.variables:
+            graph.add_node(node_of(v))
+        for catom in query.concept_atoms:
+            if not catom.label.negated:
+                graph.add_label(node_of(catom.variable), catom.label.name)
+        for index, (atom, word) in enumerate(zip(query.path_atoms, pick)):
+            role_positions = [i for i, s in enumerate(word) if isinstance(s, Role)]
+            if not role_positions:
+                for symbol in word:
+                    if isinstance(symbol, NodeLabel) and not symbol.negated:
+                        graph.add_label(node_of(atom.source), symbol.name)
+                continue
+            last_role = role_positions[-1]
+            current: Node = node_of(atom.source)
+            for position, symbol in enumerate(word):
+                if isinstance(symbol, Role):
+                    if position == last_role:
+                        target: Node = node_of(atom.target)
+                    else:
+                        target = ("p", index, position)
+                    graph.add_node(target)
+                    graph.add_edge(current, symbol, target)
+                    current = target
+                elif isinstance(symbol, NodeLabel) and not symbol.negated:
+                    graph.add_label(current, symbol.name)
+        expansion = Expansion(graph, assignment)
+        if expansion.verify(query):
+            yield expansion
+            emitted += 1
+            if emitted >= max_expansions:
+                return
+
+
+@dataclass
+class BaselineResult:
+    contained: bool
+    complete: bool
+    countermodel: Optional[Graph]
+    expansions_checked: int
+
+    def __bool__(self) -> bool:
+        return self.contained
+
+
+def contained_no_schema(
+    lhs: UCRPQ,
+    rhs: UCRPQ,
+    max_word_length: int = 4,
+    max_expansions: int = 2000,
+) -> BaselineResult:
+    """P ⊆ Q over all finite graphs (no schema), by the expansion test."""
+    finite = all(
+        language_is_finite(atom.compiled)
+        for disjunct in lhs
+        for atom in disjunct.path_atoms
+    )
+    checked = 0
+    for disjunct in lhs:
+        for expansion in expansions(disjunct, max_word_length, max_expansions):
+            checked += 1
+            if not satisfies_union(expansion.graph, rhs):
+                return BaselineResult(False, True, expansion.graph, checked)
+    # containment certified only if all expansion spaces were finite and
+    # fully enumerated within the bounds
+    complete = finite and checked < max_expansions
+    return BaselineResult(True, complete, None, checked)

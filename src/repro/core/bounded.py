@@ -1,0 +1,88 @@
+"""Exhaustive bounded-model enumeration — the ground-truth oracle.
+
+Enumerates *every* extension of a seed graph up to a node budget over a
+fixed signature and checks it against a TBox and a query.  Doubly
+exponential and only usable for tiny instances; the test suite uses it to
+cross-validate the chase-based :mod:`repro.core.search` engine and the
+fixpoint procedures.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterator, Optional, Sequence
+
+from repro.dl.normalize import NormalizedTBox
+from repro.graphs.graph import Graph
+from repro.queries.evaluation import satisfies_union
+from repro.queries.ucrpq import UCRPQ
+
+
+def extensions_of(
+    seed: Graph,
+    extra_nodes: int,
+    labels: Sequence[str],
+    roles: Sequence[str],
+) -> Iterator[Graph]:
+    """All graphs G' ⊇ seed with exactly ``extra_nodes`` fresh nodes, any
+    additional labels from ``labels`` and any additional edges over
+    ``roles``."""
+    base_nodes = seed.node_list()
+    fresh = [("x", i) for i in range(extra_nodes)]
+    nodes = base_nodes + fresh
+    label_slots = []
+    for node in nodes:
+        for label in labels:
+            if node in seed.node_list() and seed.has_label(node, label):
+                continue  # already present, not a free choice
+            label_slots.append((node, label))
+    edge_slots = []
+    for source in nodes:
+        for target in nodes:
+            for role in roles:
+                if source in seed.node_list() and target in seed.node_list() and seed.has_edge(source, role, target):
+                    continue
+                edge_slots.append((source, role, target))
+
+    for label_bits in product((False, True), repeat=len(label_slots)):
+        for edge_bits in product((False, True), repeat=len(edge_slots)):
+            graph = seed.copy()
+            for node in fresh:
+                graph.add_node(node)
+            for chosen, (node, label) in zip(label_bits, label_slots):
+                if chosen:
+                    graph.add_label(node, label)
+            for chosen, (source, role, target) in zip(edge_bits, edge_slots):
+                if chosen:
+                    graph.add_edge(source, role, target)
+            yield graph
+
+
+def exhaustive_countermodel(
+    tbox: NormalizedTBox,
+    avoid: UCRPQ,
+    seed: Graph,
+    max_extra_nodes: int,
+    labels: Optional[Sequence[str]] = None,
+    roles: Optional[Sequence[str]] = None,
+) -> Optional[Graph]:
+    """The first G' ⊇ seed (≤ ``max_extra_nodes`` fresh nodes) with
+    G' ⊨ T and G' ⊭ Q, or ``None`` if none exists in the space.
+
+    WARNING: doubly exponential; keep node counts and signatures tiny.
+    """
+    label_list = sorted(
+        set(labels)
+        if labels is not None
+        else tbox.concept_names() | avoid.node_label_names() | seed.node_label_names()
+    )
+    role_list = sorted(
+        set(roles)
+        if roles is not None
+        else tbox.role_names() | avoid.role_names() | seed.role_names()
+    )
+    for extra in range(max_extra_nodes + 1):
+        for graph in extensions_of(seed, extra, label_list, role_list):
+            if tbox.satisfied_by(graph) and not satisfies_union(graph, avoid):
+                return graph
+    return None

@@ -1,0 +1,124 @@
+"""Probabilistic confirmation of bounded "contained" verdicts.
+
+The chase engines certify refutations absolutely (verified countermodels)
+but certify containment only within search budgets.  This module adds an
+*independent statistical probe*: sample many random schema models that
+match P (random expansions completed to T-models from randomized chases)
+and check that Q holds in each.  A surviving verdict gains confidence; any
+failing probe is a hard refutation (the probe IS a countermodel) and is
+returned as such.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.baseline import expansions
+from repro.core.search import CountermodelSearch, SearchLimits
+from repro.dl.normalize import NormalizedTBox, normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import satisfies, satisfies_union
+from repro.queries.parser import parse_query
+from repro.queries.ucrpq import UCRPQ
+from repro.queries.cq import query_of_graph
+
+_NOTHING = UCRPQ(())
+
+
+@dataclass
+class ProbeReport:
+    probes: int
+    confirmed: int
+    refutation: Optional[Graph]
+    """A probe model matching P but not Q — a genuine countermodel."""
+
+    @property
+    def refuted(self) -> bool:
+        return self.refutation is not None
+
+    def __str__(self) -> str:
+        if self.refuted:
+            return f"REFUTED by probe (after {self.confirmed} confirmations)"
+        return f"confirmed on {self.confirmed}/{self.probes} probe models"
+
+
+def _randomized_completion(
+    seed_graph: Graph,
+    tbox: NormalizedTBox,
+    rng: random.Random,
+    limits: SearchLimits,
+) -> Optional[Graph]:
+    """A T-model extending the seed, randomized by decorating the seed with
+    extra labels/edges before the chase."""
+    decorated = seed_graph.copy()
+    labels = sorted(tbox.concept_names() - tbox.fresh_names)
+    nodes = decorated.node_list()
+    roles = sorted(tbox.role_names())
+    for node in nodes:
+        if labels and rng.random() < 0.4:
+            decorated.add_label(node, rng.choice(labels))
+    if roles and len(nodes) >= 2 and rng.random() < 0.4:
+        decorated.add_edge(rng.choice(nodes), rng.choice(roles), rng.choice(nodes))
+    outcome = CountermodelSearch(tbox, _NOTHING, decorated, limits=limits).run()
+    if outcome.countermodel is not None:
+        return outcome.countermodel
+    # the decoration may have clashed with the schema; fall back to the
+    # undecorated seed so the probe still contributes
+    outcome = CountermodelSearch(tbox, _NOTHING, seed_graph.copy(), limits=limits).run()
+    return outcome.countermodel
+
+
+def probe_containment(
+    lhs: Union[str, CRPQ, UCRPQ],
+    rhs: Union[str, CRPQ, UCRPQ],
+    tbox: Union[TBox, NormalizedTBox],
+    probes: int = 25,
+    seed: int = 0,
+    max_word_length: int = 4,
+    limits: Optional[SearchLimits] = None,
+) -> ProbeReport:
+    """Sample random T-models matching P and check Q on each.
+
+    Any failing probe is returned as a verified countermodel (P ⊄_T Q); a
+    clean report is evidence (not proof) for containment.
+    """
+    if isinstance(lhs, str):
+        lhs = parse_query(lhs)
+    if isinstance(lhs, CRPQ):
+        lhs = UCRPQ.single(lhs)
+    if isinstance(rhs, str):
+        rhs = parse_query(rhs)
+    if isinstance(rhs, CRPQ):
+        rhs = UCRPQ.single(rhs)
+    normalized = tbox if isinstance(tbox, NormalizedTBox) else normalize(tbox)
+    limits = limits or SearchLimits(max_nodes=10, max_steps=10_000)
+    rng = random.Random(seed)
+
+    seeds = []
+    for disjunct in lhs:
+        seeds.extend(expansions(disjunct, max_word_length, max_expansions=20))
+    if not seeds:
+        return ProbeReport(0, 0, None)
+
+    confirmed = 0
+    attempted = 0
+    for index in range(probes):
+        expansion = seeds[index % len(seeds)]
+        model = _randomized_completion(expansion.graph, normalized, rng, limits)
+        if model is None:
+            continue
+        # the decoration may have broken the P-match (complement atoms);
+        # only P-matching models are valid probes
+        if not satisfies_union(model, lhs):
+            continue
+        attempted += 1
+        if satisfies_union(model, rhs):
+            confirmed += 1
+        else:
+            assert normalized.satisfied_by(model)
+            return ProbeReport(attempted, confirmed, model)
+    return ProbeReport(attempted, confirmed, None)

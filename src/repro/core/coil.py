@@ -1,0 +1,155 @@
+"""The coil — the paper's bounded-recall unravelling (Section 4).
+
+``Unravel(G, n, v)`` is the tree of paths of length ≤ n from v;
+``Coil(G, n)`` has nodes Paths(G, n) × {0..n} with an edge
+((π, ℓ), (π', ℓ')) whenever ℓ' ≡ ℓ+1 (mod n+1) and π' is the n-suffix of a
+one-edge extension of π.
+
+Key properties (verified by property tests):
+
+1. h_G : Coil(G, n) → G (last node of the path) is a surjective homomorphism;
+2. the ≤(n−1)-step out-neighbourhood of any coil node is isomorphic to an
+   unravelling of G;
+3. any connected subgraph visiting k ≤ n levels maps homomorphically into
+   Unravel(G, k−1, v) for some v.
+
+The construction powers Lemma 4.3: restructuring frames so that weakly
+refuting a query implies actually refuting it — the UC2RPQ analogue of the
+large-girth method for conjunctive queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.graphs.graph import Graph, Node
+
+Path = tuple
+"""A directed path ``(v0, (r1, v1), (r2, v2), ...)`` — start node, then
+(role, node) steps.  Length = number of steps."""
+
+
+def path_start(path: Path) -> Node:
+    return path[0]
+
+
+def path_end(path: Path) -> Node:
+    return path[-1][1] if len(path) > 1 else path[0]
+
+
+def path_length(path: Path) -> int:
+    return len(path) - 1
+
+
+def extend_path(path: Path, role_name: str, target: Node) -> Path:
+    return path + ((role_name, target),)
+
+
+def suffix(path: Path, n: int) -> Path:
+    """The n-suffix: the last n steps (the whole path if shorter)."""
+    if path_length(path) <= n:
+        return path
+    steps = path[1:]
+    kept = steps[len(steps) - n :]
+    start = steps[len(steps) - n - 1][1]
+    return (start,) + kept
+
+
+def paths_up_to(graph: Graph, n: int) -> Iterator[Path]:
+    """Paths(G, n): all directed paths of length ≤ n (not necessarily simple)."""
+    frontier: list[Path] = [(v,) for v in graph.node_list()]
+    for path in frontier:
+        yield path
+    for _step in range(n):
+        next_frontier: list[Path] = []
+        for path in frontier:
+            end = path_end(path)
+            for r_name in sorted(graph.role_names()):
+                for target in sorted(graph.successors(end, r_name), key=repr):
+                    extended = extend_path(path, r_name, target)
+                    next_frontier.append(extended)
+                    yield extended
+        frontier = next_frontier
+
+
+def paths_from(graph: Graph, n: int, start: Node) -> Iterator[Path]:
+    """Paths(G, n, v): paths of length ≤ n originating in ``start``."""
+    for path in paths_up_to(graph, n):
+        if path_start(path) == start:
+            yield path
+
+
+def unravel(graph: Graph, n: int, start: Node) -> Graph:
+    """Unravel(G, n, v) — the depth-n unravelling tree from ``start``.
+
+    Nodes are paths; labels are inherited from a path's last node, edge
+    labels from the last edge.
+    """
+    tree = Graph()
+    frontier: list[Path] = [(start,)]
+    tree.add_node((start,), graph.labels_of(start))
+    for _step in range(n):
+        next_frontier: list[Path] = []
+        for path in frontier:
+            end = path_end(path)
+            for r_name in sorted(graph.role_names()):
+                for target in sorted(graph.successors(end, r_name), key=repr):
+                    extended = extend_path(path, r_name, target)
+                    tree.add_node(extended, graph.labels_of(target))
+                    tree.add_edge(path, r_name, extended)
+                    next_frontier.append(extended)
+        frontier = next_frontier
+    return tree
+
+
+@dataclass
+class Coil:
+    """Coil(G, n) together with its bookkeeping.
+
+    ``graph`` is the coil itself; nodes are pairs ``(path, level)``.
+    ``base`` is G and ``n`` the recall.  ``h(node)`` is the canonical
+    homomorphism (last node of the path).
+    """
+
+    graph: Graph
+    base: Graph
+    n: int
+
+    @staticmethod
+    def node_level(node: Node) -> int:
+        return node[1]
+
+    @staticmethod
+    def h(node: Node):
+        """h_G — maps a coil node to the last node of its path."""
+        return path_end(node[0])
+
+    def levels_visited(self, nodes: Iterator[Node]) -> set[int]:
+        return {self.node_level(v) for v in nodes}
+
+
+def coil(graph: Graph, n: int) -> Coil:
+    """Build Coil(G, n).
+
+    Size is |Paths(G, n)| · (n+1); both the node set and the edge relation
+    follow the paper's definition verbatim.
+    """
+    if n <= 0:
+        raise ValueError("coil recall n must be positive")
+    result = Graph()
+    all_paths = list(paths_up_to(graph, n))
+    for path in all_paths:
+        labels = graph.labels_of(path_end(path))
+        for level in range(n + 1):
+            result.add_node((path, level), labels)
+    # edges: (π, ℓ) → (suffix(π·e, n), ℓ+1 mod n+1) for each edge e from end(π)
+    for path in all_paths:
+        end = path_end(path)
+        for r_name in sorted(graph.role_names()):
+            for target in sorted(graph.successors(end, r_name), key=repr):
+                extended = suffix(extend_path(path, r_name, target), n)
+                for level in range(n + 1):
+                    next_level = (level + 1) % (n + 1)
+                    result.add_edge((path, level), r_name, (extended, next_level))
+    return Coil(result, graph, n)

@@ -1,0 +1,214 @@
+"""Containment modulo schema — the library's front door.
+
+``is_contained(P, Q, tbox)`` decides P ⊆_T Q for UC2RPQs P, Q and an ALCQI
+TBox T, dispatching on the combinations the paper supports:
+
+===========  =======================================  ====================
+method       when                                      machinery
+===========  =======================================  ====================
+baseline     no schema                                 expansion test [13]
+sparse       T without participation constraints       Theorem 3.2
+reduction    ALCI / ALCQ with participation            Section 3 + Lemma 3.5
+direct       any (fallback, and the fast path)         chase countermodel
+             ‒ including the open ALCQI combinations     search
+===========  =======================================  ====================
+
+"Not contained" verdicts always carry a fully verified countermodel (a
+T-model matching P and not Q).  "Contained" verdicts are bounded by search
+budgets; ``complete`` reports whether the verdict is certain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.baseline import contained_no_schema, expansions
+from repro.core.display import strip_internal_labels
+from repro.core.reduction import ReductionConfig, contains_via_reduction
+from repro.core.search import CountermodelSearch, SearchLimits
+from repro.core.sparse_search import contained_without_participation
+from repro.dl.normalize import NormalizedTBox, normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import satisfies, satisfies_union
+from repro.queries.parser import parse_query
+from repro.queries.ucrpq import UCRPQ
+
+
+@dataclass
+class ContainmentOptions:
+    max_word_length: int = 4
+    max_expansions: int = 300
+    limits: SearchLimits = field(
+        default_factory=lambda: SearchLimits(max_nodes=12, max_steps=30_000)
+    )
+    reduction: ReductionConfig = field(default_factory=ReductionConfig)
+
+
+@dataclass
+class ContainmentResult:
+    contained: bool
+    complete: bool
+    method: str
+    countermodel: Optional[Graph] = None
+    seeds_tried: int = 0
+    supported_by_theory: bool = True
+    """False when the (query, schema) combination is one the paper leaves
+    open (e.g. non-simple UC2RPQs with full ALCQI)."""
+
+    def __bool__(self) -> bool:
+        return self.contained
+
+
+def _coerce_query(query: Union[str, CRPQ, UCRPQ]) -> UCRPQ:
+    if isinstance(query, str):
+        return parse_query(query)
+    if isinstance(query, CRPQ):
+        return UCRPQ.single(query)
+    return query
+
+
+def _coerce_tbox(tbox: Union[None, TBox, NormalizedTBox]) -> Optional[NormalizedTBox]:
+    if tbox is None:
+        return None
+    return tbox if isinstance(tbox, NormalizedTBox) else normalize(tbox)
+
+
+def _supported_combination(lhs: UCRPQ, rhs: UCRPQ, tbox: NormalizedTBox) -> bool:
+    """Do the queries and schema fall into combination C1, C2, or C3?"""
+    if not tbox.has_participation_constraints():
+        return True  # C3: any UC2RPQs, full ALCQI without participation
+    inverse, counting = tbox.uses_inverse_roles(), tbox.uses_counting()
+    if inverse and counting:
+        return False  # full ALCQI with participation: open
+    one_way = lhs.is_one_way() and rhs.is_one_way()
+    simple = lhs.is_simple() and rhs.is_simple()
+    if one_way:
+        return True  # C1: UCRPQs + ALCI or ALCQ
+    if simple and not inverse:
+        return True  # C2: simple UC2RPQs + ALCQ
+    return False
+
+
+def _direct_search(
+    disjunct: CRPQ,
+    rhs: UCRPQ,
+    tbox: NormalizedTBox,
+    options: ContainmentOptions,
+) -> tuple[Optional[Graph], int, bool]:
+    """Chase for a T-model satisfying the disjunct and avoiding Q.
+
+    Returns (countermodel | None, seeds tried, all searches exhausted).
+    """
+    seeds = 0
+    all_exhausted = True
+    for expansion in expansions(disjunct, options.max_word_length, options.max_expansions):
+        seeds += 1
+        search = CountermodelSearch(
+            tbox,
+            rhs,
+            expansion.graph,
+            limits=options.limits,
+            accept=lambda g: satisfies(g, disjunct),
+        )
+        outcome = search.run()
+        if outcome.found:
+            model = outcome.countermodel
+            assert tbox.satisfied_by(model)
+            assert satisfies(model, disjunct)
+            assert not satisfies_union(model, rhs)
+            return model, seeds, True
+        if not outcome.exhausted:
+            all_exhausted = False
+    return None, seeds, all_exhausted
+
+
+def is_contained(
+    lhs: Union[str, CRPQ, UCRPQ],
+    rhs: Union[str, CRPQ, UCRPQ],
+    tbox: Union[None, TBox, NormalizedTBox] = None,
+    method: str = "auto",
+    options: Optional[ContainmentOptions] = None,
+) -> ContainmentResult:
+    """Decide P ⊆_T Q (Boolean containment over finite graphs).
+
+    ``method`` is one of ``auto``, ``baseline``, ``sparse``, ``reduction``,
+    ``direct``; ``auto`` picks per the table in the module docstring.
+    """
+    if method not in ("auto", "baseline", "sparse", "reduction", "direct"):
+        raise ValueError(f"unknown method {method!r}")
+    lhs_u = _coerce_query(lhs)
+    rhs_u = _coerce_query(rhs)
+    normalized = _coerce_tbox(tbox)
+    options = options or ContainmentOptions()
+
+    if normalized is None or method == "baseline":
+        base = contained_no_schema(
+            lhs_u, rhs_u, options.max_word_length, options.max_expansions
+        )
+        return ContainmentResult(
+            base.contained, base.complete, "baseline", base.countermodel,
+            base.expansions_checked,
+        )
+
+    supported = _supported_combination(lhs_u, rhs_u, normalized)
+
+    if method == "auto":
+        if not normalized.has_participation_constraints() and not (
+            normalized.uses_inverse_roles() and normalized.uses_counting()
+        ):
+            method = "sparse"
+        else:
+            method = "direct"
+
+    if method == "sparse":
+        for disjunct in lhs_u:
+            result = contained_without_participation(
+                disjunct, rhs_u, normalized,
+                options.max_word_length, options.max_expansions, options.limits,
+            )
+            if not result.contained:
+                return ContainmentResult(
+                    False, True, "sparse", strip_internal_labels(result.countermodel),
+                    result.seeds_tried, supported_by_theory=supported,
+                )
+        return ContainmentResult(
+            True, result.complete if lhs_u.disjuncts else True, "sparse",
+            seeds_tried=result.seeds_tried, supported_by_theory=supported,
+        )
+
+    if method == "reduction":
+        for disjunct in lhs_u:
+            result = contains_via_reduction(
+                disjunct, rhs_u, normalized, config=options.reduction
+            )
+            if not result.contained:
+                return ContainmentResult(
+                    False, True, "reduction", strip_internal_labels(result.countermodel),
+                    result.seeds_tried, supported_by_theory=supported,
+                )
+        return ContainmentResult(
+            True, False, "reduction", seeds_tried=result.seeds_tried,
+            supported_by_theory=supported,
+        )
+
+    if method == "direct":
+        total_seeds = 0
+        certain = True
+        for disjunct in lhs_u:
+            model, seeds, exhausted = _direct_search(disjunct, rhs_u, normalized, options)
+            total_seeds += seeds
+            certain = certain and exhausted
+            if model is not None:
+                return ContainmentResult(
+                    False, True, "direct", strip_internal_labels(model), total_seeds,
+                    supported_by_theory=supported,
+                )
+        return ContainmentResult(
+            True, False, "direct", seeds_tried=total_seeds,
+            supported_by_theory=supported,
+        )
+
+    raise ValueError(f"unknown method {method!r}")

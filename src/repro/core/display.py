@@ -1,0 +1,33 @@
+"""Presentation helpers: stripping internal bookkeeping labels.
+
+The engines decorate graphs with internal labels — normalization names
+(``Nz_*``), permission labels (``Cp_*``), Section 6 counters (``Cnt*``) and
+role markers (``Crole_*``).  Countermodels handed back to users are models
+of the *original* schema with or without them (normalization is a
+conservative extension), so the public APIs strip them for readability.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+INTERNAL_PREFIXES = ("Nz_", "Cp_", "Cnt", "Crole_")
+
+
+def is_internal_label(name: str) -> bool:
+    return name.startswith(INTERNAL_PREFIXES)
+
+
+def strip_internal_labels(graph: Graph) -> Graph:
+    """A copy of ``graph`` without internal bookkeeping labels.
+
+    Safe for user-facing countermodels: user queries and original TBoxes
+    never mention the internal names, so satisfaction is unaffected.
+    """
+    cleaned = Graph()
+    for node in graph.node_list():
+        labels = [name for name in graph.labels_of(node) if not is_internal_label(name)]
+        cleaned.add_node(node, labels)
+    for edge in graph.edges():
+        cleaned.add_edge(*edge)
+    return cleaned

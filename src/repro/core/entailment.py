@@ -1,0 +1,129 @@
+"""Finite entailment — the G, T ⊨fin Q problem (Section 3).
+
+``finitely_entails(G, T, Q)`` asks whether every finite graph G' ⊇ G with
+G' ⊨ T satisfies Q.  The engine searches for a countermodel with the chase
+of :mod:`repro.core.search`; a found countermodel is verified and certifies
+"not entailed", while an exhausted search certifies "entailed" *within the
+explored node budget* (the ``complete`` flag records which situation holds).
+
+The type-realizability variant used throughout Sections 5–6 — "is type τ
+realized in a finite graph satisfying T, respecting Θ, and avoiding Q?" — is
+exposed as :func:`realizable_type`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.display import strip_internal_labels
+from repro.core.search import CountermodelSearch, SearchLimits, SearchOutcome
+from repro.dl.normalize import NormalizedTBox, normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph, single_node_graph
+from repro.graphs.types import Type
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import satisfies_union
+from repro.queries.ucrpq import UCRPQ
+
+
+@dataclass
+class EntailmentResult:
+    """Outcome of a finite-entailment check."""
+
+    entailed: bool
+    complete: bool
+    """True when the verdict is certain: a verified countermodel (not
+    entailed), or a certified-exhaustive search within a sufficient bound."""
+    countermodel: Optional[Graph]
+    method: str
+    steps: int = 0
+
+    def __bool__(self) -> bool:
+        return self.entailed
+
+
+def _as_normalized(tbox: Union[TBox, NormalizedTBox]) -> NormalizedTBox:
+    return tbox if isinstance(tbox, NormalizedTBox) else normalize(tbox)
+
+
+def _as_union(query: Union[CRPQ, UCRPQ]) -> UCRPQ:
+    return query if isinstance(query, UCRPQ) else UCRPQ.single(query)
+
+
+def finitely_entails(
+    graph: Graph,
+    tbox: Union[TBox, NormalizedTBox],
+    query: Union[CRPQ, UCRPQ],
+    limits: Optional[SearchLimits] = None,
+) -> EntailmentResult:
+    """Decide G, T ⊨fin Q by countermodel search.
+
+    A countermodel, when found, is re-verified (T model-checked, Q
+    re-evaluated) before being reported, so "not entailed" answers are
+    always certain.
+    """
+    normalized = _as_normalized(tbox)
+    union = _as_union(query)
+    if satisfies_union(graph, union) and not union_has_complements(union):
+        # Q is positive and already matches the seed; every extension keeps it
+        return EntailmentResult(True, True, None, method="seed-match")
+    search = CountermodelSearch(normalized, union, graph, limits=limits)
+    outcome = search.run()
+    if outcome.found:
+        model = outcome.countermodel
+        assert normalized.satisfied_by(model), "internal: unverified countermodel"
+        assert not satisfies_union(model, union), "internal: countermodel matches Q"
+        assert graph.is_subgraph_of(model), "internal: seed not preserved"
+        return EntailmentResult(
+            False, True, strip_internal_labels(model), method="chase", steps=outcome.steps
+        )
+    return EntailmentResult(
+        True, complete=False, countermodel=None,
+        method="chase-exhausted" if outcome.exhausted else "chase-budget",
+        steps=outcome.steps,
+    )
+
+
+def union_has_complements(query: UCRPQ) -> bool:
+    """Does any disjunct use complement node labels (concept atoms or tests)?"""
+    from repro.graphs.labels import NodeLabel
+
+    for disjunct in query:
+        for atom in disjunct.concept_atoms:
+            if atom.label.negated:
+                return True
+        for atom in disjunct.path_atoms:
+            if any(isinstance(lbl, NodeLabel) and lbl.negated for lbl in atom.compiled.alphabet):
+                return True
+    return False
+
+
+def realizable_type(
+    tau: Type,
+    tbox: Union[TBox, NormalizedTBox],
+    avoid: Union[CRPQ, UCRPQ],
+    allowed_types: Optional[Iterable[Type]] = None,
+    type_signature: Optional[Sequence[str]] = None,
+    limits: Optional[SearchLimits] = None,
+) -> SearchOutcome:
+    """Is τ realized in a finite graph satisfying T, respecting Θ, avoiding Q?
+
+    This is the per-type subproblem of the fixpoint procedures (Sections
+    5–6) and of Tp(T, Q̂) in the containment reduction (Section 3).  The
+    seed is a single node carrying exactly τ's positive labels, pinned so
+    the search cannot change its type.
+    """
+    normalized = _as_normalized(tbox)
+    union = _as_union(avoid)
+    seed = single_node_graph(sorted(tau.positive_names), node=("tau", 0))
+    search = CountermodelSearch(
+        normalized,
+        union,
+        seed,
+        limits=limits,
+        allowed_types=allowed_types,
+        type_signature=type_signature,
+        pinned_nodes={("tau", 0): tau.signature()},
+    )
+    return search.run()

@@ -1,0 +1,112 @@
+"""Query equivalence and minimization modulo schema.
+
+Containment's classic applications: P ≡_T Q (two-way containment) and
+schema-aware query *minimization* — dropping atoms that the schema makes
+redundant.  Example 1.1 is an instance: modulo the Fig. 1 schema, q₂'s
+``RetailCompany(z)`` test is redundant (q₁ ≡_S q₂).
+
+Minimization here is atom-dropping: repeatedly remove an atom whose removal
+keeps the query equivalent (modulo T) to the original.  With bounded
+containment checks the result is *certified-equivalent only in the
+refutation direction*; the ``complete`` flag carries the usual caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.dl.normalize import NormalizedTBox, normalize
+from repro.dl.tbox import TBox
+from repro.queries.crpq import CRPQ
+from repro.queries.parser import parse_query
+from repro.queries.ucrpq import UCRPQ
+
+
+@dataclass
+class EquivalenceResult:
+    equivalent: bool
+    complete: bool
+    forward: object
+    backward: object
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def are_equivalent(
+    lhs: Union[str, CRPQ, UCRPQ],
+    rhs: Union[str, CRPQ, UCRPQ],
+    tbox: Union[None, TBox, NormalizedTBox] = None,
+    options: Optional[ContainmentOptions] = None,
+) -> EquivalenceResult:
+    """P ≡_T Q: containment in both directions."""
+    forward = is_contained(lhs, rhs, tbox, options=options)
+    if not forward.contained:
+        return EquivalenceResult(False, True, forward, None)
+    backward = is_contained(rhs, lhs, tbox, options=options)
+    equivalent = forward.contained and backward.contained
+    complete = (
+        forward.complete and backward.complete
+        if equivalent
+        else (not backward.contained and backward.complete)
+    )
+    return EquivalenceResult(equivalent, complete, forward, backward)
+
+
+@dataclass
+class MinimizationResult:
+    minimized: CRPQ
+    dropped: list
+    complete: bool
+    """True when every drop was certified in both directions (rare with
+    bounded engines); the minimized query is equivalent *within the search
+    budgets* otherwise."""
+
+    def __bool__(self) -> bool:
+        return bool(self.dropped)
+
+
+def minimize(
+    query: Union[str, CRPQ],
+    tbox: Union[None, TBox, NormalizedTBox] = None,
+    options: Optional[ContainmentOptions] = None,
+) -> MinimizationResult:
+    """Drop schema-redundant atoms from a C2RPQ.
+
+    Greedy: atoms are tried in order; an atom is dropped when the shrunk
+    query is still equivalent (modulo T) to the current one.  Connectivity
+    is preserved (disconnecting drops are skipped), since the decision
+    procedures require connected queries.
+    """
+    if isinstance(query, str):
+        parsed = parse_query(query)
+        if len(parsed.disjuncts) != 1:
+            raise ValueError("minimize takes a single C2RPQ")
+        current = parsed.disjuncts[0]
+    else:
+        current = query
+    dropped = []
+    complete = True
+    changed = True
+    while changed:
+        changed = False
+        for atom in list(current.atoms):
+            if current.size() <= 1:
+                break
+            remaining = CRPQ.of([a for a in current.atoms if a != atom])
+            if not remaining.is_connected():
+                continue
+            # dropping an atom always weakens: current ⊆ remaining for free;
+            # equivalence needs remaining ⊆_T current
+            verdict = is_contained(
+                UCRPQ.single(remaining), UCRPQ.single(current), tbox, options=options
+            )
+            if verdict.contained:
+                dropped.append(atom)
+                complete = complete and verdict.complete
+                current = remaining
+                changed = True
+                break
+    return MinimizationResult(current, dropped, complete)

@@ -1,0 +1,344 @@
+"""Concrete and abstract frames (Section 4) and their restructurings.
+
+A *concrete frame* is a finite graph whose nodes carry disjoint pointed
+graphs (*components*) and whose edges, labelled ``(v, r)`` with v a node of
+the source component, stitch components together: the represented graph G_F
+is the union of all components plus one r-edge from v to the distinguished
+node of the target component per frame edge.  *Connectors* G_{f,v} are the
+single-centre stars these stitches induce.
+
+An *abstract frame* replaces each component by a specification
+(τ_f, T_f, Θ_f, Q_f) — a type to realize, a TBox to satisfy, types to
+respect, and a query to avoid — and edge labels by ``(τ, r)``.
+
+The module also implements the coil-based restructuring of Lemma 4.3 and the
+unravelling of a frame into a tree (Lemma 4.1 applies to tree frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Iterator, Optional
+
+from repro.core.coil import coil as build_coil
+from repro.core.coil import path_end, unravel
+from repro.graphs.graph import Graph, Node, PointedGraph
+from repro.graphs.labels import Role
+from repro.graphs.operations import connected_components
+from repro.graphs.types import Type
+
+FrameNode = Hashable
+EdgeLabel = tuple[Node, Role]
+
+
+@dataclass
+class FrameEdge:
+    source: FrameNode
+    anchor: Node
+    """The node of the source component the stitched edge hangs off."""
+    role: Role
+    target: FrameNode
+
+
+@dataclass
+class ConcreteFrame:
+    """A concrete frame; component domains must be pairwise disjoint."""
+
+    components: dict[FrameNode, PointedGraph]
+    edges: list[FrameEdge] = field(default_factory=list)
+
+    def validate(self) -> None:
+        domains: set[Node] = set()
+        for pointed in self.components.values():
+            nodes = set(pointed.graph.node_list())
+            if domains & nodes:
+                raise ValueError("component domains must be disjoint")
+            domains |= nodes
+        for edge in self.edges:
+            if edge.source == edge.target:
+                raise ValueError("frames have no self-loops")
+            if edge.anchor not in self.components[edge.source].graph:
+                raise ValueError("edge anchor must belong to the source component")
+        # different edges with labels (v, r) and (v, s) have different targets
+        seen: dict[tuple[FrameNode, Node], set[FrameNode]] = {}
+        for edge in self.edges:
+            targets = seen.setdefault((edge.source, edge.anchor), set())
+            if edge.target in targets:
+                raise ValueError("parallel frame edges from one anchor to one target")
+            targets.add(edge.target)
+
+    # ------------------------------------------------------------- #
+
+    def add_component(self, name: FrameNode, pointed: PointedGraph) -> FrameNode:
+        self.components[name] = pointed
+        return name
+
+    def add_edge(self, source: FrameNode, anchor: Node, role: Role, target: FrameNode) -> None:
+        self.edges.append(FrameEdge(source, anchor, role, target))
+
+    def component_of_node(self, node: Node) -> FrameNode:
+        for name, pointed in self.components.items():
+            if node in pointed.graph:
+                return name
+        raise KeyError(node)
+
+    # ------------------------------------------------------------- #
+    # represented graph and connectors
+
+    def represented_graph(self) -> Graph:
+        graph = Graph()
+        for pointed in self.components.values():
+            for node in pointed.graph.node_list():
+                graph.add_node(node, pointed.graph.labels_of(node))
+            for edge in pointed.graph.edges():
+                graph.add_edge(*edge)
+        for edge in self.edges:
+            target_point = self.components[edge.target].point
+            graph.add_edge(edge.anchor, edge.role, target_point)
+        return graph
+
+    def frame_edge_set(self) -> set[tuple[Node, str, Node]]:
+        """The stitched edges of the represented graph, in forward form."""
+        stitched = set()
+        for edge in self.edges:
+            target_point = self.components[edge.target].point
+            if edge.role.inverted:
+                stitched.add((target_point, edge.role.name, edge.anchor))
+            else:
+                stitched.add((edge.anchor, edge.role.name, target_point))
+        return stitched
+
+    def connector(self, frame_node: FrameNode, anchor: Node) -> PointedGraph:
+        """G_{f,v}: the anchor plus the distinguished nodes it is stitched to."""
+        component = self.components[frame_node].graph
+        star = Graph()
+        star.add_node(anchor, component.labels_of(anchor))
+        for edge in self.edges:
+            if edge.source == frame_node and edge.anchor == anchor:
+                target_pointed = self.components[edge.target]
+                target_point = target_pointed.point
+                star.add_node(target_point, target_pointed.graph.labels_of(target_point))
+                star.add_edge(anchor, edge.role, target_point)
+        return PointedGraph(star, anchor)
+
+    def connectors(self, include_trivial: bool = False) -> Iterator[tuple[FrameNode, Node, PointedGraph]]:
+        """All connectors; trivial (edgeless) ones only when requested."""
+        anchors: dict[FrameNode, set[Node]] = {f: set() for f in self.components}
+        for edge in self.edges:
+            anchors[edge.source].add(edge.anchor)
+        for frame_node, pointed in self.components.items():
+            nodes = pointed.graph.node_list() if include_trivial else sorted(anchors[frame_node], key=repr)
+            for anchor in nodes:
+                yield frame_node, anchor, self.connector(frame_node, anchor)
+
+    # ------------------------------------------------------------- #
+    # the frame viewed as a plain graph (for coiling / unravelling)
+
+    def skeleton(self) -> tuple[Graph, dict[str, tuple[Node, Role]]]:
+        """The frame as a graph; edge labels are mangled to role-name strings."""
+        graph = Graph()
+        legend: dict[str, tuple[Node, Role]] = {}
+        label_ids: dict[tuple[Node, Role], str] = {}
+        for name in self.components:
+            graph.add_node(name)
+        for edge in self.edges:
+            key = (edge.anchor, edge.role)
+            if key not in label_ids:
+                mangled = f"fe_{len(label_ids)}"
+                label_ids[key] = mangled
+                legend[mangled] = key
+            graph.add_edge(edge.source, label_ids[key], edge.target)
+        return graph, legend
+
+    def is_tree(self) -> bool:
+        """Is the frame (undirected-)acyclic and connected?"""
+        skeleton, _legend = self.skeleton()
+        if len(skeleton) == 0:
+            return True
+        if len(connected_components(skeleton)) != 1:
+            return False
+        return skeleton.edge_count() == len(skeleton) - 1
+
+
+def _copy_component(pointed: PointedGraph, tag) -> tuple[PointedGraph, dict[Node, Node]]:
+    mapping = {v: (tag, v) for v in pointed.graph.node_list()}
+    return pointed.relabel_nodes(mapping), mapping
+
+
+def _rebuild_from_skeleton(
+    frame: ConcreteFrame,
+    skeleton_graph: Graph,
+    legend: dict[str, tuple[Node, Role]],
+    base_of: Callable[[Node], FrameNode],
+) -> ConcreteFrame:
+    """Instantiate fresh component copies along a skeleton-shaped graph.
+
+    ``skeleton_graph``'s nodes must map (via ``base_of``) to original frame
+    nodes; edges carry mangled labels that the legend resolves to (anchor,
+    role) pairs.
+    """
+    result = ConcreteFrame({})
+    anchor_maps: dict[Node, dict[Node, Node]] = {}
+    for node in skeleton_graph.node_list():
+        original = frame.components[base_of(node)]
+        copy, mapping = _copy_component(original, node)
+        result.add_component(node, copy)
+        anchor_maps[node] = mapping
+    for source, mangled, target in skeleton_graph.edges():
+        anchor, role = legend[mangled]
+        result.add_edge(source, anchor_maps[source][anchor], role, target)
+    return result
+
+
+def coil_frame(frame: ConcreteFrame, n: int) -> ConcreteFrame:
+    """F_n of Lemma 4.3: the coil of the frame with fresh component copies.
+
+    Locally isomorphic to ``frame`` (Properties 1–2), and for n large enough
+    relative to query size and span, actually refutes whatever ``frame``
+    weakly refutes.
+    """
+    skeleton, legend = frame.skeleton()
+    coiled = build_coil(skeleton, n)
+    return _rebuild_from_skeleton(frame, coiled.graph, legend, lambda v: path_end(v[0]))
+
+
+def unravel_frame(frame: ConcreteFrame, n: int, root: FrameNode) -> ConcreteFrame:
+    """The depth-n tree unravelling of a frame from ``root``."""
+    skeleton, legend = frame.skeleton()
+    tree = unravel(skeleton, n, root)
+    return _rebuild_from_skeleton(frame, tree, legend, path_end)
+
+
+def restructure(frame: ConcreteFrame, query_size: int, span_bound: int) -> ConcreteFrame:
+    """Apply Lemma 4.3 with n = span_bound · query_size + 1."""
+    n = max(1, span_bound * query_size + 1)
+    return coil_frame(frame, n)
+
+
+# --------------------------------------------------------------------- #
+# spans (used in tests to validate Lemma 6.4 and the alternating bound)
+
+
+def undirected_frame_path_span(steps: Iterable[int]) -> int:
+    """Span of an undirected frame path given ±1 step directions.
+
+    The span is the maximum absolute difference between forward and backward
+    steps over all infixes — i.e. the diameter of the prefix-sum range.
+    """
+    total = 0
+    low = high = 0
+    for step in steps:
+        total += step
+        low = min(low, total)
+        high = max(high, total)
+    return high - low
+
+
+def witness_span(frame: ConcreteFrame, path: list) -> int:
+    """The span in ``frame`` of a witnessing path in its represented graph.
+
+    ``path`` is a list of steps ``(a, label, b)`` as produced by
+    :func:`repro.automata.product.witness_path`; node-label test steps and
+    steps inside a single component contribute 0, frame-edge crossings ±1
+    according to the skeleton's orientation (Section 4).
+    """
+    from repro.graphs.labels import NodeLabel as _NodeLabel
+
+    # skeleton orientation of each stitched edge, keyed by its graph-forward
+    # form: +1 when graph-forward aligns with the frame edge f → e
+    orientation: dict[tuple[Node, str, Node], int] = {}
+    for edge in frame.edges:
+        target_point = frame.components[edge.target].point
+        if edge.role.inverted:
+            orientation[(target_point, edge.role.name, edge.anchor)] = -1
+        else:
+            orientation[(edge.anchor, edge.role.name, target_point)] = 1
+
+    steps = []
+    for a, label, b in path:
+        if isinstance(label, _NodeLabel):
+            continue  # tests stay within a component
+        inverted = bool(getattr(label, "inverted", False))
+        forward_form = (b, label.name, a) if inverted else (a, label.name, b)
+        sign = orientation.get(forward_form, 0)
+        if sign:
+            steps.append(sign * (-1 if inverted else 1))
+    return undirected_frame_path_span(steps)
+
+
+# --------------------------------------------------------------------- #
+# abstract frames
+
+
+@dataclass(frozen=True)
+class AbstractComponent:
+    """(τ_f, T_f, Θ_f, Q_f) — the symbolic description of a component."""
+
+    tau: Type
+    tbox: object  # NormalizedTBox (kept loose to avoid a dl dependency cycle)
+    thetas: frozenset[Type]
+    avoid: object  # UCRPQ
+
+    def __post_init__(self) -> None:
+        if self.tau not in self.thetas and not any(
+            theta <= self.tau for theta in self.thetas
+        ):
+            raise ValueError("the distinguished type must be among (or refine) Θ_f")
+
+
+@dataclass
+class AbstractFrameEdge:
+    source: FrameNode
+    anchor_type: Type
+    role: Role
+    target: FrameNode
+
+
+@dataclass
+class AbstractFrame:
+    """A symbolic frame over the label signature ``gamma``."""
+
+    components: dict[FrameNode, AbstractComponent]
+    edges: list[AbstractFrameEdge] = field(default_factory=list)
+    gamma: frozenset[str] = frozenset()
+
+    def realizes(self, tau: Type) -> bool:
+        return any(tau <= comp.tau for comp in self.components.values())
+
+    def connector_graph(self, frame_node: FrameNode) -> dict[Type, PointedGraph]:
+        """Materialized connectors per anchor type of ``frame_node``.
+
+        Types are materialized as fresh nodes carrying exactly the positive
+        labels of the type.
+        """
+        result: dict[Type, PointedGraph] = {}
+        by_type: dict[Type, list[AbstractFrameEdge]] = {}
+        for edge in self.edges:
+            if edge.source == frame_node:
+                by_type.setdefault(edge.anchor_type, []).append(edge)
+        for anchor_type, edges in by_type.items():
+            star = Graph()
+            centre = ("anchor", frame_node)
+            star.add_node(centre, sorted(anchor_type.positive_names))
+            for index, edge in enumerate(edges):
+                leaf = ("leaf", index)
+                target_tau = self.components[edge.target].tau
+                star.add_node(leaf, sorted(target_tau.positive_names))
+                star.add_edge(centre, edge.role, leaf)
+            result[anchor_type] = PointedGraph(star, centre)
+        return result
+
+    def represent(self, witnesses: dict[FrameNode, PointedGraph]) -> ConcreteFrame:
+        """Instantiate with witnessing graphs (must realize each τ_f)."""
+        concrete = ConcreteFrame({})
+        tagged: dict[FrameNode, PointedGraph] = {}
+        for name, witness in witnesses.items():
+            copy, _mapping = _copy_component(witness, ("w", name))
+            tagged[name] = copy
+            concrete.add_component(name, copy)
+        for edge in self.edges:
+            witness = tagged[edge.source]
+            for node in witness.graph.node_list():
+                if edge.anchor_type.holds_at(witness.graph, node):
+                    concrete.add_edge(edge.source, node, edge.role, edge.target)
+        return concrete

@@ -1,0 +1,371 @@
+"""Entailment of one-way queries in ALCI — Section 5 / Appendix A.
+
+Decides whether a type τ is realized in a finite graph that satisfies an
+ALCI TBox T and *refutes* a connected UCRPQ Q (i.e. avoids the factorized
+query Q̂).  The procedure is the greatest-fixpoint type elimination of
+Appendix A.2 over *alternating frames*:
+
+* countermodels decompose into uniformly *forward* (label C→) and *backward*
+  components, alternating through directed connectors;
+* a forward component provides its nodes' forward witnesses internally
+  (TBox T→) and receives backward witnesses through connectors whose
+  distinguished node satisfies T← with leaves of backward types — and
+  symmetrically;
+* the fixpoint Ψ keeps exactly the maximal types over Γ₀ (the labels of τ,
+  T, Q̂, plus the direction label) realizable in such frames; τ is realizable
+  iff some surviving type refines it.
+
+Productivity of abstract components is decided by the chase engine of
+:mod:`repro.core.search`; the search's step budget makes each oracle call
+sound but possibly incomplete, which the result records.
+
+The type space is 2^|Γ₀| — doubly exponential in the input overall, exactly
+the complexity the paper predicts.  ``max_types`` guards against accidental
+blow-ups; pass a hand-crafted factorization (e.g. the paper's Example 3.6)
+to keep Γ₀ small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable, Optional
+
+from repro.core.entailment import realizable_type
+from repro.core.frames import ConcreteFrame, coil_frame
+from repro.core.search import SearchLimits
+from repro.dl.fragments import backward_projection, forward_projection
+from repro.dl.normalize import AtLeastCI, ClauseCI, NormalizedTBox
+from repro.dl.types import clause_consistent
+from repro.graphs.graph import Graph, PointedGraph
+from repro.graphs.labels import NodeLabel
+from repro.graphs.types import Type, maximal_types, type_of
+from repro.queries.evaluation import satisfies_union
+from repro.queries.factorization import Factorization, factorize
+from repro.queries.ucrpq import UCRPQ
+
+DIRECTION_LABEL = "Cdir"
+"""The fresh node label C→ (its complement plays the role of C←)."""
+
+
+class ProcedureInfeasible(RuntimeError):
+    """The doubly-exponential type space exceeds the configured guard."""
+
+
+@dataclass
+class OneWayResult:
+    realizable: bool
+    iterations: int
+    type_counts: list[int]
+    complete: bool
+    gamma: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.realizable
+
+
+def _direction_clause(forward: bool) -> ClauseCI:
+    label = NodeLabel(DIRECTION_LABEL, negated=not forward)
+    return ClauseCI(frozenset(), frozenset({label}))
+
+
+def _is_forward(sigma: Type) -> bool:
+    return NodeLabel(DIRECTION_LABEL) in sigma
+
+
+def _materialize_connector(
+    center: Type, witnesses: list[tuple[AtLeastCI, Type]]
+) -> Graph:
+    """A directed connector: centre of type ``center``; one leaf per
+    participation constraint, wired backward→forward."""
+    star = Graph()
+    centre_node = ("c", 0)
+    star.add_node(centre_node, sorted(center.positive_names))
+    for index, (ci, leaf_type) in enumerate(witnesses):
+        leaf = ("l", index)
+        star.add_node(leaf, sorted(leaf_type.positive_names))
+        # ci.role is inverted for a forward centre (incoming edges), forward
+        # for a backward centre (outgoing edges); add_edge resolves inverses
+        star.add_edge(centre_node, ci.role, leaf)
+    return star
+
+
+def realizable_refuting_oneway(
+    tau: Type,
+    tbox: NormalizedTBox,
+    query: UCRPQ,
+    factorization: Optional[Factorization] = None,
+    limits: Optional[SearchLimits] = None,
+    max_types: int = 4096,
+    max_connector_candidates: int = 200_000,
+) -> OneWayResult:
+    """Is τ realized in a finite graph satisfying T and refuting Q?
+
+    T must be ALCI (no counting); Q must be a connected one-way UCRPQ.
+    """
+    if tbox.uses_counting():
+        raise ValueError("the one-way procedure supports ALCI TBoxes (no counting)")
+    if not query.is_one_way():
+        raise ValueError("the one-way procedure requires a one-way UCRPQ")
+    fact = factorization if factorization is not None else factorize(query)
+    q_hat = fact.factored
+
+    gamma = sorted(
+        {DIRECTION_LABEL}
+        | {lbl.name for lbl in tau}
+        | tbox.concept_names()
+        | q_hat.node_label_names()
+    )
+    if 2 ** len(gamma) > max_types:
+        raise ProcedureInfeasible(
+            f"type space 2^{len(gamma)} exceeds max_types={max_types}; "
+            "use a smaller signature or a hand-crafted factorization"
+        )
+
+    t_fwd = forward_projection(tbox)
+    t_bwd = backward_projection(tbox)
+    component_tbox = {
+        True: t_fwd.extend(clauses=[_direction_clause(True)], name="fwd_component"),
+        False: t_bwd.extend(clauses=[_direction_clause(False)], name="bwd_component"),
+    }
+    connector_tbox = {True: t_bwd, False: t_fwd}
+
+    # start from all clause-consistent maximal types (clause-inconsistent
+    # ones are unrealizable in any T-model, a sound pre-elimination)
+    psi: set[Type] = {
+        sigma for sigma in maximal_types(gamma) if clause_consistent(tbox, sigma)
+    }
+    complete = True
+    type_counts: list[int] = [len(psi)]
+    productivity_cache: dict[tuple[Type, frozenset[Type]], bool] = {}
+    iterations = 0
+
+    def productive(sigma: Type, same_side: frozenset[Type]) -> bool:
+        nonlocal complete
+        key = (sigma, same_side)
+        if key not in productivity_cache:
+            outcome = realizable_type(
+                sigma,
+                component_tbox[_is_forward(sigma)],
+                q_hat,
+                allowed_types=same_side,
+                type_signature=gamma,
+                limits=limits,
+            )
+            if not outcome.found and not outcome.exhausted:
+                complete = False
+            productivity_cache[key] = outcome.found
+        return productivity_cache[key]
+
+    def connector_exists(sigma: Type, opposite: frozenset[Type]) -> bool:
+        """A directed connector refuting Q with centre σ satisfying the
+        opposite-side TBox, leaves typed from ``opposite``."""
+        side_tbox = connector_tbox[_is_forward(sigma)]
+        applicable = [ci for ci in side_tbox.at_leasts if ci.subject in sigma]
+        # candidate leaf types per constraint (must carry the filler)
+        options: list[list[Type]] = []
+        for ci in applicable:
+            candidates = [
+                theta
+                for theta in sorted(opposite, key=str)
+                if (ci.filler in theta)
+                or (ci.filler.negated and ci.filler.name not in theta.signature())
+            ]
+            # with counting disallowed (ALCI), one witness per constraint
+            # suffices, but it must exist
+            if not candidates:
+                return False
+            options.append(candidates)
+        total = 1
+        for candidates in options:
+            total *= len(candidates)
+            if total > max_connector_candidates:
+                raise ProcedureInfeasible("connector candidate space too large")
+        for pick in product(*options) if options else [()]:
+            star = _materialize_connector(sigma, list(zip(applicable, pick)))
+            centre = ("c", 0)
+            if not all(ci.holds_at(star, centre) for ci in side_tbox.all_cis()):
+                continue
+            if satisfies_union(star, q_hat):
+                continue
+            return True
+        return False
+
+    while True:
+        iterations += 1
+        forward_types = frozenset(s for s in psi if _is_forward(s))
+        backward_types = frozenset(s for s in psi if not _is_forward(s))
+        survivors: set[Type] = set()
+        for sigma in sorted(psi, key=str):
+            same = forward_types if _is_forward(sigma) else backward_types
+            opposite = backward_types if _is_forward(sigma) else forward_types
+            if productive(sigma, same) and connector_exists(sigma, opposite):
+                survivors.add(sigma)
+        type_counts.append(len(survivors))
+        if survivors == psi:
+            break
+        psi = survivors
+        productivity_cache.clear()  # conditions are relative to Ψ
+        if not psi:
+            break
+
+    realizable = any(tau <= sigma for sigma in psi)
+    return OneWayResult(realizable, iterations, type_counts, complete, gamma)
+
+
+def synthesize_countermodel_oneway(
+    tau: Type,
+    tbox: NormalizedTBox,
+    query: UCRPQ,
+    factorization: Optional[Factorization] = None,
+    limits: Optional[SearchLimits] = None,
+    max_types: int = 4096,
+    coil_recall: Optional[int] = None,
+) -> Optional[Graph]:
+    """Build a *verified* finite graph realizing τ, satisfying T, refuting Q
+    — the constructive right-to-left direction of Lemma 5.3.
+
+    Runs the fixpoint, materializes witnessing components for the surviving
+    types, wires them into an alternating concrete frame following each
+    type's connector, and — when the raw frame still matches Q̂ — applies the
+    Lemma 4.3 coil restructuring.  The result is re-verified (T model check,
+    Q and Q̂ evaluation, τ realization) before being returned; ``None`` means
+    τ is not realizable (or synthesis exceeded its budgets).
+    """
+    if tbox.uses_counting():
+        raise ValueError("the one-way procedure supports ALCI TBoxes (no counting)")
+    fact = factorization if factorization is not None else factorize(query)
+    q_hat = fact.factored
+    gamma = sorted(
+        {DIRECTION_LABEL}
+        | {lbl.name for lbl in tau}
+        | tbox.concept_names()
+        | q_hat.node_label_names()
+    )
+
+    t_fwd = forward_projection(tbox)
+    t_bwd = backward_projection(tbox)
+    component_tbox = {
+        True: t_fwd.extend(clauses=[_direction_clause(True)], name="fwd_component"),
+        False: t_bwd.extend(clauses=[_direction_clause(False)], name="bwd_component"),
+    }
+    connector_tbox = {True: t_bwd, False: t_fwd}
+
+    # fixpoint (re-run to obtain the surviving type set)
+    result = realizable_refuting_oneway(
+        tau, tbox, query, factorization=fact, limits=limits, max_types=max_types
+    )
+    if not result.realizable:
+        return None
+
+    # recompute Ψ and keep witnesses + connector choices per type
+    psi: set[Type] = set()
+    witnesses: dict[Type, Graph] = {}
+    for sigma in maximal_types(gamma):
+        if not clause_consistent(tbox, sigma):
+            continue
+        outcome = realizable_type(
+            sigma,
+            component_tbox[_is_forward(sigma)],
+            q_hat,
+            type_signature=gamma,
+            limits=limits,
+        )
+        if outcome.found:
+            psi.add(sigma)
+            witnesses[sigma] = outcome.countermodel
+    def connector_witness(sigma: Type, pool: set[Type]) -> Optional[list[tuple[AtLeastCI, Type]]]:
+        """One leaf-type choice per applicable opposite-side constraint."""
+        side_tbox = connector_tbox[_is_forward(sigma)]
+        opposite = [s for s in sorted(pool, key=str) if _is_forward(s) != _is_forward(sigma)]
+        applicable = [ci for ci in side_tbox.at_leasts if ci.subject in sigma]
+        choices: list[list[Type]] = []
+        for ci in applicable:
+            candidates = [theta for theta in opposite if ci.filler in theta]
+            if not candidates:
+                return None
+            choices.append(candidates)
+        for pick in product(*choices) if choices else [()]:
+            star = _materialize_connector(sigma, list(zip(applicable, pick)))
+            centre = ("c", 0)
+            if not all(ci.holds_at(star, centre) for ci in side_tbox.all_cis()):
+                continue
+            if satisfies_union(star, q_hat):
+                continue
+            return list(zip(applicable, pick))
+        return None
+
+    # iterate elimination consistently with the fixpoint: a type survives
+    # only with a witnessing component (respecting Ψ) AND a connector
+    connectors: dict[Type, list] = {}
+    while True:
+        stable = True
+        connectors = {}
+        for sigma in sorted(psi, key=str):
+            same = frozenset(s for s in psi if _is_forward(s) == _is_forward(sigma))
+            outcome = realizable_type(
+                sigma,
+                component_tbox[_is_forward(sigma)],
+                q_hat,
+                allowed_types=same,
+                type_signature=gamma,
+                limits=limits,
+            )
+            chosen = connector_witness(sigma, psi) if outcome.found else None
+            if outcome.found and chosen is not None:
+                witnesses[sigma] = outcome.countermodel
+                connectors[sigma] = chosen
+            else:
+                psi.discard(sigma)
+                stable = False
+                break
+        if stable:
+            break
+    start = next((sigma for sigma in sorted(psi, key=str) if tau <= sigma), None)
+    if start is None:
+        return None
+
+    # assemble the alternating concrete frame: one component copy per
+    # (type, incident role) so that the "(v,r) and (v,s) have different
+    # targets" frame condition holds by construction
+    role_tags = sorted(
+        {str(ci.role) for chosen in connectors.values() for ci, _theta in chosen}
+    )
+    tags = ["root"] + role_tags
+    frame = ConcreteFrame({})
+    for index, sigma in enumerate(sorted(psi, key=str)):
+        witness = witnesses[sigma]
+        for tag in tags:
+            copy = witness.relabel_nodes(lambda v, i=index, t=tag: ("cmp", i, t, v))
+            frame.add_component(
+                (sigma, tag), PointedGraph(copy, ("cmp", index, tag, ("tau", 0)))
+            )
+    for sigma in sorted(psi, key=str):
+        for tag in tags:
+            component = frame.components[(sigma, tag)].graph
+            for node in component.node_list():
+                node_type = type_of(component, node, gamma)
+                if node_type not in connectors:
+                    return None  # witness realized a type outside Ψ (budget artefact)
+                seen: set[tuple] = set()
+                for ci, theta in connectors[node_type]:
+                    key = (str(ci.role), theta)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    frame.add_edge((sigma, tag), node, ci.role, (theta, str(ci.role)))
+    frame.validate()
+
+    recall = coil_recall if coil_recall is not None else max(
+        2, max((d.size() for d in q_hat.disjuncts), default=1) + 2
+    )
+    for candidate_frame in (frame, coil_frame(frame, recall)):
+        graph = candidate_frame.represented_graph()
+        if not tbox.satisfied_by(graph):
+            continue
+        if satisfies_union(graph, q_hat) or satisfies_union(graph, query):
+            continue
+        if not any(tau.holds_at(graph, v) for v in graph.node_list()):
+            continue
+        return graph
+    return None

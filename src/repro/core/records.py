@@ -1,0 +1,137 @@
+"""Decision records — a reproducible audit trail for static analysis runs.
+
+Wraps the decision APIs so that every verdict carries its full provenance:
+inputs (queries, schema), configuration, method, timing, and artifacts
+(countermodels as JSON).  Records serialize to JSON for storage alongside
+query workloads, and a :class:`DecisionLog` accumulates a session's records
+with summary statistics — the shape a downstream system integrating the
+checker into CI would want.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.containment import ContainmentOptions, ContainmentResult, is_contained
+from repro.dl.normalize import NormalizedTBox
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph
+from repro.io import dump_graph, graph_to_dict, tbox_to_dict
+from repro.queries.crpq import CRPQ
+from repro.queries.ucrpq import UCRPQ
+
+
+@dataclass
+class DecisionRecord:
+    """One containment decision with provenance."""
+
+    lhs: str
+    rhs: str
+    schema_name: Optional[str]
+    method: str
+    contained: bool
+    complete: bool
+    supported_by_theory: bool
+    seconds: float
+    seeds_tried: int = 0
+    countermodel: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "lhs": self.lhs,
+            "rhs": self.rhs,
+            "schema": self.schema_name,
+            "method": self.method,
+            "contained": self.contained,
+            "complete": self.complete,
+            "supported_by_theory": self.supported_by_theory,
+            "seconds": round(self.seconds, 6),
+            "seeds_tried": self.seeds_tried,
+            "countermodel": self.countermodel,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @property
+    def verdict(self) -> str:
+        certainty = "" if self.complete else " (within budgets)"
+        return ("CONTAINED" if self.contained else "NOT CONTAINED") + certainty
+
+
+def _render_query(query: Union[str, CRPQ, UCRPQ]) -> str:
+    if isinstance(query, str):
+        return query
+    if isinstance(query, CRPQ):
+        return str(query)
+    return str(query)
+
+
+def decide(
+    lhs: Union[str, CRPQ, UCRPQ],
+    rhs: Union[str, CRPQ, UCRPQ],
+    tbox: Union[None, TBox, NormalizedTBox] = None,
+    method: str = "auto",
+    options: Optional[ContainmentOptions] = None,
+) -> DecisionRecord:
+    """`is_contained` with a full audit record."""
+    start = time.perf_counter()
+    result: ContainmentResult = is_contained(lhs, rhs, tbox, method=method, options=options)
+    elapsed = time.perf_counter() - start
+    schema_name = None
+    if isinstance(tbox, TBox):
+        schema_name = tbox.name or "<unnamed>"
+    elif isinstance(tbox, NormalizedTBox):
+        schema_name = tbox.name or "<unnamed>"
+    return DecisionRecord(
+        lhs=_render_query(lhs),
+        rhs=_render_query(rhs),
+        schema_name=schema_name,
+        method=result.method,
+        contained=result.contained,
+        complete=result.complete,
+        supported_by_theory=result.supported_by_theory,
+        seconds=elapsed,
+        seeds_tried=result.seeds_tried,
+        countermodel=(
+            graph_to_dict(result.countermodel) if result.countermodel is not None else None
+        ),
+    )
+
+
+@dataclass
+class DecisionLog:
+    """A session's decisions with summary statistics."""
+
+    records: list[DecisionRecord] = field(default_factory=list)
+
+    def decide(self, lhs, rhs, tbox=None, **kwargs) -> DecisionRecord:
+        record = decide(lhs, rhs, tbox, **kwargs)
+        self.records.append(record)
+        return record
+
+    def summary(self) -> dict:
+        total = len(self.records)
+        return {
+            "decisions": total,
+            "contained": sum(r.contained for r in self.records),
+            "refuted": sum(not r.contained for r in self.records),
+            "certified": sum(r.complete for r in self.records),
+            "outside_theory": sum(not r.supported_by_theory for r in self.records),
+            "total_seconds": round(sum(r.seconds for r in self.records), 6),
+            "methods": sorted({r.method for r in self.records}),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"summary": self.summary(), "records": [r.to_dict() for r in self.records]},
+            indent=2,
+            sort_keys=True,
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())

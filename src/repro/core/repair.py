@@ -1,0 +1,80 @@
+"""Completing a graph into a schema model — the chase as a repair tool.
+
+``complete_to_model(G, T)`` extends a graph into a finite model of the TBox
+(adding labels, edges, and witness nodes as needed), or reports that no
+finite completion exists within the budgets.  This is the data-engineering
+face of the machinery: "make this instance conform to the schema" is the
+same chase that containment uses to hunt countermodels, with nothing to
+avoid.
+
+``repair_report`` first explains what is wrong (per-node CI violations),
+then completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.display import strip_internal_labels
+from repro.core.search import CountermodelSearch, SearchLimits
+from repro.dl.normalize import NormalizedTBox, normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph
+from repro.queries.ucrpq import UCRPQ
+
+_NOTHING = UCRPQ(())
+"""The empty union — never satisfied, so the chase only repairs the TBox."""
+
+
+@dataclass
+class RepairResult:
+    completed: Optional[Graph]
+    """A finite model of the TBox extending the input, or ``None``."""
+    exhausted: bool
+    added_nodes: int = 0
+    added_edges: int = 0
+    added_labels: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.completed is not None
+
+    def __bool__(self) -> bool:
+        return self.succeeded
+
+
+def complete_to_model(
+    graph: Graph,
+    tbox: Union[TBox, NormalizedTBox],
+    limits: Optional[SearchLimits] = None,
+    keep_internal_labels: bool = False,
+) -> RepairResult:
+    """Extend ``graph`` to a finite T-model (labels/edges/nodes may be added,
+    never removed).  Returns the completion statistics."""
+    normalized = tbox if isinstance(tbox, NormalizedTBox) else normalize(tbox)
+    search = CountermodelSearch(normalized, _NOTHING, graph, limits=limits)
+    outcome = search.run()
+    if not outcome.found:
+        return RepairResult(None, outcome.exhausted)
+    model = outcome.countermodel
+    assert normalized.satisfied_by(model)
+    added_nodes = len(model) - len(graph)
+    added_edges = model.edge_count() - graph.edge_count()
+    label_count = lambda g: sum(len(g.labels_of(v)) for v in g.node_list())
+    cleaned = model if keep_internal_labels else strip_internal_labels(model)
+    added_labels = label_count(cleaned) - label_count(graph)
+    return RepairResult(cleaned, True, added_nodes, added_edges, added_labels)
+
+
+def repair_report(graph: Graph, tbox: Union[TBox, NormalizedTBox]) -> list[str]:
+    """Human-readable per-node violations of the (original) TBox."""
+    original = tbox.original if isinstance(tbox, NormalizedTBox) else tbox
+    if original is None:
+        original = TBox.empty()
+    lines: list[str] = []
+    for ci in original:
+        bad = ci.violations(graph)
+        for node in sorted(bad, key=repr):
+            lines.append(f"{node!r} violates: {ci}")
+    return lines

@@ -1,0 +1,338 @@
+"""Countermodel search: a disjunctive chase with reuse and query avoidance.
+
+This engine powers the practical side of every decision procedure in the
+library.  Given a normalized TBox T, a query Q to avoid, and a protected
+seed graph G, it searches for a finite graph G' ⊇ G with G' ⊨ T and
+G' ⊭ Q — a witness that Q is **not** finitely entailed by (G, T).
+
+The search maintains a growing graph whose labels are decided-positive
+(absent labels read as complements, matching graph semantics) and repairs
+violations:
+
+* clausal CI with all-false head → branch over adding a positive head label;
+* A ⊑ ∀r.B with an r-successor missing B → forced: add B to the successor;
+* A ⊑ ∃≥n r.B short of witnesses → branch: reuse an existing B-node, add B
+  to an existing r-successor, or create a fresh node (node reuse is what
+  folds infinite chases into finite models, in the spirit of the coil);
+* A ⊑ ∃≤n r.B exceeded → dead end (edges are never removed);
+* a match of Q → branch over the match's complement atoms ¬C(x): granting C
+  at the matched node destroys the match (for factorized queries Q̂ this is
+  exactly permission granting); with no complement atoms, dead end.
+
+The search is complete up to its node budget for label placements reachable
+through repairs; `SearchOutcome.exhausted` reports whether the space was
+fully explored (certifying "no countermodel within the budget") or a step
+budget cut it short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.dl.normalize import AtLeastCI, AtMostCI, ClauseCI, NormalizedTBox, UniversalCI
+from repro.graphs.graph import Graph, Node
+from repro.graphs.labels import NodeLabel, Role
+from repro.graphs.types import Type, type_of
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import find_union_match
+from repro.queries.ucrpq import UCRPQ
+
+
+@dataclass
+class SearchLimits:
+    """Budgets for the countermodel search."""
+
+    max_nodes: int = 10
+    max_steps: int = 50_000
+    max_fresh_types: int = 64
+    """Cap on distinct type choices considered per fresh node."""
+
+
+@dataclass
+class SearchOutcome:
+    """Result of a countermodel search."""
+
+    countermodel: Optional[Graph]
+    exhausted: bool
+    steps: int
+
+    @property
+    def found(self) -> bool:
+        return self.countermodel is not None
+
+
+class _Budget(Exception):
+    """Internal: step budget exhausted."""
+
+
+@dataclass
+class _Violation:
+    kind: str
+    node: Node
+    ci: object = None
+    match: dict = field(default_factory=dict)
+    disjunct: object = None
+
+
+class CountermodelSearch:
+    """One search instance; call :meth:`run`."""
+
+    def __init__(
+        self,
+        tbox: NormalizedTBox,
+        avoid: UCRPQ,
+        seed: Graph,
+        limits: Optional[SearchLimits] = None,
+        allowed_types: Optional[Iterable[Type]] = None,
+        type_signature: Optional[Sequence[str]] = None,
+        allowed_roles: Optional[Iterable[str]] = None,
+        pinned_nodes: Optional[object] = None,
+        accept: Optional[callable] = None,
+    ) -> None:
+        self.accept = accept
+        self.tbox = tbox
+        self.avoid = avoid
+        self.seed = seed
+        self.limits = limits or SearchLimits()
+        # pinned_nodes: either a dict node -> frozen label names, or an
+        # iterable of nodes (then the full type signature is frozen)
+        if pinned_nodes is None:
+            self.pinned: dict[Node, Optional[frozenset[str]]] = {}
+        elif isinstance(pinned_nodes, dict):
+            self.pinned = {node: frozenset(names) for node, names in pinned_nodes.items()}
+        else:
+            self.pinned = {node: None for node in pinned_nodes}
+        self.allowed_types = list(allowed_types) if allowed_types is not None else None
+        self.type_signature = (
+            sorted(type_signature)
+            if type_signature is not None
+            else sorted(
+                tbox.concept_names()
+                | avoid.node_label_names()
+                | seed.node_label_names()
+            )
+        )
+        roles = (
+            set(allowed_roles)
+            if allowed_roles is not None
+            else tbox.role_names() | avoid.role_names() | seed.role_names()
+        )
+        self.roles = sorted(roles)
+        self.steps = 0
+        self._fresh_counter = 0
+
+    # ------------------------------------------------------------- #
+
+    def run(self) -> SearchOutcome:
+        graph = self.seed.copy()
+        try:
+            found = self._solve(graph, depth=0)
+        except _Budget:
+            return SearchOutcome(None, exhausted=False, steps=self.steps)
+        if found:
+            return SearchOutcome(graph, exhausted=True, steps=self.steps)
+        return SearchOutcome(None, exhausted=True, steps=self.steps)
+
+    # ------------------------------------------------------------- #
+    # violations
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.limits.max_steps:
+            raise _Budget()
+
+    def _find_violation(self, graph: Graph) -> Optional[_Violation]:
+        # 1. query matches (most constraining; handles permission granting)
+        hit = find_union_match(graph, self.avoid)
+        if hit is not None:
+            disjunct, match = hit
+            return _Violation("query", None, match=match, disjunct=disjunct)
+        # 2. clausal CIs
+        for node in graph.node_list():
+            for clause in self.tbox.clauses:
+                if not clause.holds_at(graph, node):
+                    return _Violation("clause", node, ci=clause)
+        # 3. universals (forced repairs)
+        for node in graph.node_list():
+            for ci in self.tbox.universals:
+                if not ci.holds_at(graph, node):
+                    return _Violation("universal", node, ci=ci)
+        # 4. at-most (dead ends)
+        for node in graph.node_list():
+            for ci in self.tbox.at_mosts:
+                if not ci.holds_at(graph, node):
+                    return _Violation("atmost", node, ci=ci)
+        # 5. allowed-type completeness (prune handled separately; here we
+        #    only check finality below)
+        # 6. at-least (generative)
+        for node in graph.node_list():
+            for ci in self.tbox.at_leasts:
+                if not ci.holds_at(graph, node):
+                    return _Violation("atleast", node, ci=ci)
+        return None
+
+    def _types_ok_partial(self, graph: Graph, node: Node) -> bool:
+        """Monotone prune: can this node's labels still grow into an allowed type?"""
+        if self.allowed_types is None:
+            return True
+        positives = {
+            name for name in self.type_signature if graph.has_label(node, name)
+        }
+        return any(positives <= theta.positive_names for theta in self.allowed_types)
+
+    def _types_ok_final(self, graph: Graph) -> bool:
+        if self.allowed_types is None:
+            return True
+        for node in graph.node_list():
+            node_type = type_of(graph, node, self.type_signature)
+            if not any(theta <= node_type for theta in self.allowed_types):
+                return False
+        return True
+
+    # ------------------------------------------------------------- #
+    # repairs
+
+    def _solve(self, graph: Graph, depth: int) -> bool:
+        self._tick()
+        violation = self._find_violation(graph)
+        if violation is None:
+            if not self._types_ok_final(graph):
+                return False
+            return self.accept is None or bool(self.accept(graph))
+        handler = getattr(self, f"_repair_{violation.kind}")
+        return handler(graph, violation, depth)
+
+    def _with_label(self, graph: Graph, node: Node, name: str, depth: int) -> bool:
+        if graph.has_label(node, name):
+            return False
+        if node in self.pinned:
+            frozen = self.pinned[node]
+            if frozen is None:
+                frozen = frozenset(self.type_signature)
+            if name in frozen:
+                return False  # the node's type over these names is frozen
+        graph.add_label(node, name)
+        ok = self._types_ok_partial(graph, node) and self._solve(graph, depth + 1)
+        if not ok:
+            graph.remove_label(node, name)
+        return ok
+
+    def _repair_query(self, graph: Graph, violation: _Violation, depth: int) -> bool:
+        disjunct: CRPQ = violation.disjunct
+        match = violation.match
+        # destroy the match by granting a label some complement atom forbids
+        for atom in sorted(disjunct.concept_atoms, key=str):
+            if atom.label.negated:
+                node = match[atom.variable]
+                if self._with_label(graph, node, atom.label.name, depth):
+                    return True
+        return False
+
+    def _repair_clause(self, graph: Graph, violation: _Violation, depth: int) -> bool:
+        clause: ClauseCI = violation.ci
+        for literal in sorted(clause.head, key=str):
+            if not literal.negated:
+                if self._with_label(graph, violation.node, literal.name, depth):
+                    return True
+        return False
+
+    def _repair_universal(self, graph: Graph, violation: _Violation, depth: int) -> bool:
+        ci: UniversalCI = violation.ci
+        # forced: every offending successor must gain the filler label (or,
+        # if the filler is negative, the branch is dead)
+        offenders = [
+            w
+            for w in graph.successors(violation.node, ci.role)
+            if not graph.has_label(w, ci.filler)
+        ]
+        if not offenders:
+            return self._solve(graph, depth + 1)
+        if ci.filler.negated:
+            return False  # the successor HAS the complement label; unfixable
+        return self._with_label(graph, sorted(offenders, key=repr)[0], ci.filler.name, depth)
+
+    def _repair_atmost(self, graph: Graph, violation: _Violation, depth: int) -> bool:
+        return False  # edges are never removed; over-count is terminal
+
+    def _fresh_node_types(self, filler: NodeLabel) -> Iterator[frozenset[str]]:
+        """Label sets to try for a fresh witness node, smallest first."""
+        base: set[str] = set()
+        if not filler.negated:
+            base.add(filler.name)
+        if self.allowed_types is None:
+            yield frozenset(base)
+            return
+        # try each allowed type's positive part that is consistent with the
+        # filler requirement, smallest first
+        seen: set[frozenset[str]] = set()
+        candidates = sorted(
+            self.allowed_types, key=lambda t: (len(t.positive_names), str(t))
+        )
+        emitted = 0
+        for theta in candidates:
+            positives = frozenset(theta.positive_names | base)
+            if filler.negated and filler.name in positives:
+                continue
+            if positives in seen:
+                continue
+            seen.add(positives)
+            yield positives
+            emitted += 1
+            if emitted >= self.limits.max_fresh_types:
+                return
+
+    def _repair_atleast(self, graph: Graph, violation: _Violation, depth: int) -> bool:
+        ci: AtLeastCI = violation.ci
+        node = violation.node
+        # (a) reuse: add an edge to an existing node carrying the filler
+        for target in sorted(graph.node_list(), key=repr):
+            if not graph.has_label(target, ci.filler):
+                continue
+            if target in graph.successors(node, ci.role):
+                continue
+            if self._with_edge(graph, node, ci.role, target, depth):
+                return True
+        # (b) promote: add the filler label to an existing r-successor
+        if not ci.filler.negated:
+            for target in sorted(graph.successors(node, ci.role), key=repr):
+                if not graph.has_label(target, ci.filler):
+                    if self._with_label(graph, target, ci.filler.name, depth):
+                        return True
+        # (c) generate: a fresh witness node
+        if len(graph) < self.limits.max_nodes:
+            for labels in self._fresh_node_types(ci.filler):
+                fresh = ("w", self._fresh_counter)
+                self._fresh_counter += 1
+                graph.add_node(fresh, sorted(labels))
+                if ci.role.inverted:
+                    graph.add_edge(fresh, ci.role.base, node)
+                else:
+                    graph.add_edge(node, ci.role, fresh)
+                if self._types_ok_partial(graph, fresh) and self._solve(graph, depth + 1):
+                    return True
+                graph.remove_node(fresh)
+                self._fresh_counter -= 1
+        return False
+
+    def _with_edge(self, graph: Graph, source: Node, role: Role, target: Node, depth: int) -> bool:
+        graph.add_edge(source, role, target)
+        ok = self._solve(graph, depth + 1)
+        if not ok:
+            graph.remove_edge(source, role, target)
+        return ok
+
+
+def search_countermodel(
+    tbox: NormalizedTBox,
+    avoid: UCRPQ,
+    seed: Graph,
+    limits: Optional[SearchLimits] = None,
+    allowed_types: Optional[Iterable[Type]] = None,
+    type_signature: Optional[Sequence[str]] = None,
+) -> SearchOutcome:
+    """Convenience wrapper around :class:`CountermodelSearch`."""
+    return CountermodelSearch(
+        tbox, avoid, seed, limits=limits, allowed_types=allowed_types,
+        type_signature=type_signature,
+    ).run()

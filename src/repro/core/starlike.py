@@ -1,0 +1,81 @@
+"""Star-like graphs and the countermodel assembly of Lemma 3.5 / Fig. 2.
+
+A star-like graph consists of a *central part* H⁰ and pairwise-disjoint
+*peripheral parts* H₁..H_k; each H_i shares exactly one node with H⁰, with
+identical labels on the shared node in both parts.
+
+Lemma 3.5 builds countermodels of this shape: the central part is a sparse
+graph satisfying the left-hand query p, and each peripheral part is a copy
+of a schema model providing the participation witnesses its shared node
+misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graphs.graph import Graph, Node
+
+
+@dataclass(frozen=True)
+class Attachment:
+    """One peripheral part: ``graph`` glued at ``shared`` (its node) onto the
+    central node ``at``."""
+
+    graph: Graph
+    shared: Node
+    at: Node
+
+
+@dataclass
+class StarLikeGraph:
+    """A star-like graph, kept in decomposed form."""
+
+    central: Graph
+    attachments: list[Attachment]
+
+    def __post_init__(self) -> None:
+        for attachment in self.attachments:
+            if attachment.at not in self.central:
+                raise ValueError(f"central node {attachment.at!r} missing")
+            if attachment.shared not in attachment.graph:
+                raise ValueError(f"shared node {attachment.shared!r} missing")
+            central_labels = self.central.labels_of(attachment.at)
+            peripheral_labels = attachment.graph.labels_of(attachment.shared)
+            if central_labels != peripheral_labels:
+                raise ValueError(
+                    "shared node must carry identical labels in both parts: "
+                    f"{sorted(central_labels)} vs {sorted(peripheral_labels)}"
+                )
+
+    def parts(self) -> list[Graph]:
+        """The central part followed by the peripheral parts."""
+        return [self.central] + [attachment.graph for attachment in self.attachments]
+
+    def assemble(self) -> Graph:
+        """The glued graph H.  Central nodes become ``("c", v)``; peripheral
+        nodes ``("p", i, u)`` except the shared one, which is identified with
+        its central image."""
+        glued = Graph()
+        for node in self.central.node_list():
+            glued.add_node(("c", node), self.central.labels_of(node))
+        for edge in self.central.edges():
+            source, r_name, target = edge
+            glued.add_edge(("c", source), r_name, ("c", target))
+        for index, attachment in enumerate(self.attachments):
+            def embed(node: Node, index: int = index, attachment: Attachment = attachment) -> Node:
+                if node == attachment.shared:
+                    return ("c", attachment.at)
+                return ("p", index, node)
+
+            for node in attachment.graph.node_list():
+                glued.add_node(embed(node), attachment.graph.labels_of(node))
+            for source, r_name, target in attachment.graph.edges():
+                glued.add_edge(embed(source), r_name, embed(target))
+        return glued
+
+
+def star_of(central: Graph, attachments: Iterable[tuple[Graph, Node, Node]]) -> StarLikeGraph:
+    """Convenience constructor: ``(graph, shared, at)`` triples."""
+    return StarLikeGraph(central, [Attachment(g, shared, at) for g, shared, at in attachments])

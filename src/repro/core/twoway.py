@@ -1,0 +1,506 @@
+"""Entailment of simple two-way queries in ALCQ — Section 6 / Appendix B.
+
+Decides whether a type τ is realized in a finite graph that satisfies an
+ALCQ TBox T, respects a set Θ of types, and refutes a simple connected
+UC2RPQ Q modulo Σ₀-reachability (Q̂ with its Σ₀-reachability atoms dropped).
+The original problem is recovered with Θ = {∅} and Σ₀ = Σ_T ∪ {fresh}.
+
+The pipeline alternates two reductions until no roles remain:
+
+* **P1 — entailment modulo Σ₀-reachability** (Lemma 6.3 / B.3): countermodels
+  decompose into trees of strongly-connected components; within an SCC all
+  Σ_T-reachability atoms hold trivially, so components only need to refute
+  Q modulo Σ_T-reachability.  A least fixpoint grows the set Ψ of types
+  realizable at component roots, using the ALCQ counter factorization
+  (Γ_T, T_p, T_c): components satisfy T_p, connectors discharge the number
+  restrictions their centre's counters leave open.
+
+* **P2 — entailment modulo Σ_T-reachability** (Lemma 6.5 / B.6): components
+  become *role-alternating* — each is an "r-node" component whose counted
+  r-successors all live in connectors (counters C_{0,r,D} everywhere), and
+  connectors are role-directed r-stars with (r-next)-typed leaves.  A
+  greatest fixpoint eliminates types; productivity recurses into P1 with
+  the role r dropped from the TBox — one role fewer, so the recursion
+  terminates after 2·|Σ_T| alternations (Appendix B.7).
+
+The no-roles base case (B.1) enumerates single-node graphs directly.
+
+Everything is doubly exponential by design; ``TwoWayConfig`` carries the
+budgets that keep accidental blow-ups from hanging the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations_with_replacement, product
+from typing import Iterable, Optional, Sequence
+
+from repro.core.entailment import realizable_type
+from repro.core.search import SearchLimits
+from repro.dl.fragments import ALCQFactorization, alcq_factorization
+from repro.dl.normalize import AtLeastCI, NormalizedTBox
+from repro.dl.types import clause_consistent
+from repro.graphs.graph import Graph, single_node_graph
+from repro.graphs.labels import NodeLabel, Role
+from repro.graphs.types import Type
+from repro.queries.atoms import PathAtom
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import satisfies_union
+from repro.queries.factorization import Factorization, factorize
+from repro.queries.ucrpq import UCRPQ
+
+
+class ProcedureInfeasible(RuntimeError):
+    """A type space or connector space exceeded the configured guard."""
+
+
+@dataclass
+class TwoWayConfig:
+    limits: SearchLimits = field(default_factory=lambda: SearchLimits(max_nodes=5, max_steps=8000))
+    max_types: int = 4096
+    max_connector_candidates: int = 50_000
+    max_leaves_per_constraint: Optional[int] = None
+    """Defaults to N (the TBox's cardinality cap) when unset."""
+    memo: dict = field(default_factory=dict)
+    """Cross-call result cache (P1/P2/base-case/connector memoization)."""
+
+
+@dataclass
+class TwoWayResult:
+    realizable: bool
+    complete: bool
+    recursion_depth: int
+
+    def __bool__(self) -> bool:
+        return self.realizable
+
+
+# --------------------------------------------------------------------- #
+# Σ₀-reachability atoms
+
+
+def _star_roles(atom: PathAtom) -> Optional[set[Role]]:
+    """For a simple star atom (single-state automaton), its role set."""
+    auto = atom.compiled.automaton
+    if len(auto.states) != 1 or atom.compiled.pair.start != atom.compiled.pair.end:
+        return None
+    labels = {lbl for _s, lbl, _t in auto.transitions}
+    if not all(isinstance(lbl, Role) for lbl in labels):
+        return None
+    return set(labels)  # type: ignore[return-value]
+
+
+def is_reachability_atom(atom: PathAtom, sigma0: Iterable[str]) -> bool:
+    """Is the atom a Σ₀-reachability atom: (r₁+…+r_k)* with {rᵢ} ⊇ Σ₀ or ⊇ Σ₀⁻?"""
+    roles = _star_roles(atom)
+    if roles is None:
+        return False
+    wanted = set(sigma0)
+    forward = {r.name for r in roles if not r.inverted}
+    backward = {r.name for r in roles if r.inverted}
+    return wanted <= forward or wanted <= backward
+
+
+def drop_reachability(query: UCRPQ, sigma0: Iterable[str]) -> UCRPQ:
+    """Q mod Σ₀: every Σ₀-reachability atom removed from every disjunct."""
+    sigma = set(sigma0)
+    out = []
+    for disjunct in query:
+        kept = tuple(
+            atom
+            for atom in disjunct.atoms
+            if not (isinstance(atom, PathAtom) and is_reachability_atom(atom, sigma))
+        )
+        out.append(CRPQ(kept, disjunct.isolated_variables | disjunct.variables))
+    return UCRPQ.of(out)
+
+
+# --------------------------------------------------------------------- #
+# type enumeration over counter groups
+
+
+def _enumerate_types(
+    free_names: Sequence[str],
+    counter_groups: Sequence[Sequence[NodeLabel]],
+    max_types: int,
+):
+    """Maximal types over free names + one positive label per counter group.
+
+    The exactly-one clauses of T_p make all other counter combinations
+    inconsistent, so enumerating group choices directly avoids the 2^|Γ_T|
+    blow-up the filter would otherwise wade through.
+    """
+    count = 1
+    for group in counter_groups:
+        count *= len(group)
+    total = (2 ** len(free_names)) * count
+    if total > max_types:
+        raise ProcedureInfeasible(
+            f"type space of size {total} exceeds max_types={max_types}"
+        )
+    free_sorted = sorted(free_names)
+    for signs in product((False, True), repeat=len(free_sorted)):
+        free_literals = [NodeLabel(nm, neg) for nm, neg in zip(free_sorted, signs)]
+        for picks in product(*counter_groups) if counter_groups else [()]:
+            literals = list(free_literals)
+            for group, pick in zip(counter_groups, picks):
+                for label in group:
+                    literals.append(label if label == pick else label.complement())
+            yield Type(literals)
+
+
+def _signature_names(
+    tau: Type, tbox: NormalizedTBox, thetas: Iterable[Type], query: UCRPQ
+) -> set[str]:
+    names = {lbl.name for lbl in tau} | tbox.concept_names() | query.node_label_names()
+    for theta in thetas:
+        names |= {lbl.name for lbl in theta}
+    return names
+
+
+# --------------------------------------------------------------------- #
+# connectors
+
+
+def _build_star(center: Type, leaves: Sequence[tuple[Role, Type]]) -> Graph:
+    star = Graph()
+    centre = ("c", 0)
+    star.add_node(centre, sorted(center.positive_names))
+    for index, (role, leaf_type) in enumerate(leaves):
+        leaf = ("l", index)
+        star.add_node(leaf, sorted(leaf_type.positive_names))
+        star.add_edge(centre, role, leaf)
+    return star
+
+
+def _connector_exists(
+    center: Type,
+    pool: Iterable[Type],
+    connectors_tbox: NormalizedTBox,
+    refute: UCRPQ,
+    roles: Sequence[Role],
+    max_leaves: int,
+    max_candidates: int,
+    memo: Optional[dict] = None,
+    refute_tag: str = "",
+) -> bool:
+    """Search for a connector: centre + leaves wired by ``roles``, centre
+    satisfying T_c, the star refuting the query.
+
+    Per Appendix A.2/B.3 it suffices to consider at most ``max_leaves``
+    leaves per (role, filler) pair of T_c's participation constraints; leaf
+    types must carry the filler.  T_c's fresh normalization names are placed
+    on the candidate star via :meth:`NormalizedTBox.complete` before the
+    centre's CIs are checked, so the check evaluates the original T_c.
+    """
+    memo_key = None
+    if memo is not None:
+        memo_key = (
+            "conn", center, frozenset(pool), connectors_tbox.content_key(),
+            tuple(str(r) for r in roles), refute_tag,
+        )
+        if memo_key in memo:
+            return memo[memo_key]
+
+    allowed = set(roles)
+    pairs: list[tuple[Role, NodeLabel]] = []
+    for ci in connectors_tbox.at_leasts:
+        pair = (ci.role, ci.filler)
+        if ci.role in allowed and pair not in pairs:
+            pairs.append(pair)
+
+    options: list[list[tuple]] = []
+    for role, filler in pairs:
+        candidates = [
+            theta
+            for theta in sorted(pool, key=str)
+            if (filler in theta)
+            or (filler.negated and filler.name not in theta.signature())
+        ]
+        bundles: list[tuple] = [()]
+        for k in range(1, max_leaves + 1):
+            for combo in combinations_with_replacement(candidates, k):
+                bundles.append(tuple((role, theta) for theta in combo))
+        options.append(bundles)
+
+    total = 1
+    for bundles in options:
+        total *= len(bundles)
+        if total > max_candidates:
+            raise ProcedureInfeasible("connector candidate space too large")
+
+    centre_node = ("c", 0)
+    found = False
+    for pick in product(*options) if options else [()]:
+        leaves: list[tuple[Role, Type]] = [leaf for bundle in pick for leaf in bundle]
+        star = _build_star(center, leaves)
+        completed = connectors_tbox.complete(star)
+        if not all(ci.holds_at(completed, centre_node) for ci in connectors_tbox.all_cis()):
+            continue
+        if satisfies_union(star, refute):
+            continue
+        found = True
+        break
+    if memo is not None:
+        memo[memo_key] = found
+    return found
+
+
+# --------------------------------------------------------------------- #
+# the pipeline
+
+
+def _base_case_no_roles(
+    tau: Type,
+    tbox: NormalizedTBox,
+    thetas: frozenset[Type],
+    avoid: UCRPQ,
+    config: TwoWayConfig,
+) -> bool:
+    """Appendix B.1: single-isolated-node countermodels."""
+    key = ("base", tau, tbox.content_key(), thetas)
+    if key in config.memo:
+        return config.memo[key]
+    config.memo[key] = _base_case_no_roles_uncached(tau, tbox, thetas, avoid, config)
+    return config.memo[key]
+
+
+def _base_case_no_roles_uncached(
+    tau: Type,
+    tbox: NormalizedTBox,
+    thetas: frozenset[Type],
+    avoid: UCRPQ,
+    config: TwoWayConfig,
+) -> bool:
+    names = sorted(_signature_names(tau, tbox, thetas, avoid))
+    if 2 ** len(names) > config.max_types:
+        raise ProcedureInfeasible("base-case type space too large")
+    for sigma in _enumerate_types(names, [], config.max_types):
+        if not tau <= sigma:
+            continue
+        if not any(theta <= sigma for theta in thetas):
+            continue
+        if not clause_consistent(tbox, sigma):
+            continue
+        node_graph = single_node_graph(sorted(sigma.positive_names))
+        if satisfies_union(node_graph, avoid):
+            continue
+        # role CIs: at-leasts are unsatisfiable on an isolated node
+        if any(ci.subject in sigma for ci in tbox.at_leasts):
+            continue
+        return True
+    return False
+
+
+def _entailment_mod_reachability(
+    tau: Type,
+    tbox: NormalizedTBox,
+    thetas: frozenset[Type],
+    q_hat: UCRPQ,
+    sigma0: frozenset[str],
+    config: TwoWayConfig,
+    depth: int,
+) -> bool:
+    """P1: is τ realized in a finite graph satisfying T, respecting Θ, and
+    refuting Q modulo Σ₀-reachability?  (Lemma 6.3 / B.3.)"""
+    key = ("P1", tau, tbox.content_key(), thetas, sigma0)
+    if key in config.memo:
+        return config.memo[key]
+    result = _entailment_mod_reachability_uncached(
+        tau, tbox, thetas, q_hat, sigma0, config, depth
+    )
+    config.memo[key] = result
+    return result
+
+
+def _entailment_mod_reachability_uncached(
+    tau: Type,
+    tbox: NormalizedTBox,
+    thetas: frozenset[Type],
+    q_hat: UCRPQ,
+    sigma0: frozenset[str],
+    config: TwoWayConfig,
+    depth: int,
+) -> bool:
+    sigma_t = frozenset(tbox.role_names())
+    assert sigma_t <= sigma0, "Σ₀ must contain the TBox's roles"
+    if not sigma_t:
+        return _base_case_no_roles(tau, tbox, thetas, drop_reachability(q_hat, sigma0), config)
+
+    factor = alcq_factorization(tbox, tag=f"g{depth}")
+    q_mod_sigma0 = drop_reachability(q_hat, sigma0)
+    counter_groups = [labels for labels in factor.counters.values()]
+    counter_names = {lbl.name for group in counter_groups for lbl in group}
+    free_names = sorted(
+        _signature_names(tau, tbox, thetas, q_hat) - counter_names
+    )
+    roles = sorted(Role(name) for name in sigma_t)
+    max_leaves = config.max_leaves_per_constraint or factor.cap
+
+    def candidate_types():
+        for sigma in _enumerate_types(free_names, counter_groups, config.max_types):
+            if not any(theta <= sigma for theta in thetas):
+                continue
+            if not clause_consistent(factor.components_tbox, sigma):
+                continue
+            yield sigma
+
+    candidates = list(candidate_types())
+    psi: frozenset[Type] = frozenset()
+    while True:
+        psi_prime = frozenset(
+            sigma
+            for sigma in candidates
+            if _connector_exists(
+                sigma, psi, factor.connectors_tbox, q_mod_sigma0, roles,
+                max_leaves, config.max_connector_candidates,
+                memo=config.memo, refute_tag=f"P1:{sorted(sigma0)}",
+            )
+        )
+        psi_next = frozenset(
+            sigma
+            for sigma in psi_prime
+            if _entailment_mod_sigma_t(
+                sigma, factor.components_tbox, psi_prime, q_hat, config, depth + 1
+            )
+        )
+        if psi_next == psi:
+            break
+        psi = psi_next
+    return any(tau <= sigma for sigma in psi)
+
+
+def _entailment_mod_sigma_t(
+    tau: Type,
+    tbox: NormalizedTBox,
+    thetas: frozenset[Type],
+    q_hat: UCRPQ,
+    config: TwoWayConfig,
+    depth: int,
+) -> bool:
+    """P2: entailment modulo Σ_T-reachability via role-alternating frames
+    (Lemma 6.5 / B.6)."""
+    key = ("P2", tau, tbox.content_key(), thetas)
+    if key in config.memo:
+        return config.memo[key]
+    result = _entailment_mod_sigma_t_uncached(tau, tbox, thetas, q_hat, config, depth)
+    config.memo[key] = result
+    return result
+
+
+def _entailment_mod_sigma_t_uncached(
+    tau: Type,
+    tbox: NormalizedTBox,
+    thetas: frozenset[Type],
+    q_hat: UCRPQ,
+    config: TwoWayConfig,
+    depth: int,
+) -> bool:
+    sigma_t = sorted(tbox.role_names())
+    if not sigma_t:
+        return _base_case_no_roles(
+            tau, tbox, thetas, drop_reachability(q_hat, frozenset()), config
+        )
+    factor = alcq_factorization(tbox, tag=f"g{depth}")
+    q_mod_sigma_t = drop_reachability(q_hat, sigma_t)
+    role_labels = {r: NodeLabel(f"Crole_{r}") for r in sigma_t}
+    counter_groups = list(factor.counters.values())
+    counter_names = {lbl.name for group in counter_groups for lbl in group}
+    free_names = sorted(
+        (_signature_names(tau, tbox, thetas, q_hat) - counter_names)
+        | {lbl.name for lbl in role_labels.values()}
+    )
+    max_leaves = config.max_leaves_per_constraint or factor.cap
+    next_role = {r: sigma_t[(i + 1) % len(sigma_t)] for i, r in enumerate(sigma_t)}
+
+    def role_of(sigma: Type) -> Optional[str]:
+        """The unique r with C_r ∈ σ (role-alternating types)."""
+        chosen = [r for r in sigma_t if role_labels[r] in sigma]
+        return chosen[0] if len(chosen) == 1 else None
+
+    def admissible(sigma: Type) -> bool:
+        r = role_of(sigma)
+        if r is None:
+            return False
+        # all zero-counters for role r present
+        for (ci_role, filler), labels in factor.counters.items():
+            if ci_role.name == r and labels[0] not in sigma:
+                return False
+        if not any(theta <= sigma for theta in thetas):
+            return False
+        return clause_consistent(factor.components_tbox, sigma)
+
+    candidates = [
+        sigma
+        for sigma in _enumerate_types(free_names, counter_groups, config.max_types)
+        if admissible(sigma)
+    ]
+    psi: frozenset[Type] = frozenset(candidates)
+    while True:
+        by_role: dict[str, frozenset[Type]] = {
+            r: frozenset(s for s in psi if role_of(s) == r) for r in sigma_t
+        }
+        survivors: set[Type] = set()
+        for sigma in sorted(psi, key=str):
+            r = role_of(sigma)
+            assert r is not None
+            # productivity: recurse with role r dropped from the TBox
+            reduced = factor.components_tbox.restrict_roles(
+                set(sigma_t) - {r}
+            )
+            productive = _entailment_mod_reachability(
+                sigma,
+                reduced,
+                by_role[r],
+                q_hat,
+                frozenset(sigma_t),
+                config,
+                depth + 1,
+            )
+            if not productive:
+                continue
+            # role-directed connector: r-edges to (next-role)-typed leaves
+            ok = _connector_exists(
+                sigma,
+                by_role[next_role[r]],
+                factor.connectors_tbox,
+                q_mod_sigma_t,
+                [Role(r)],
+                max_leaves,
+                config.max_connector_candidates,
+                memo=config.memo, refute_tag="P2",
+            )
+            if ok:
+                survivors.add(sigma)
+        if frozenset(survivors) == psi:
+            break
+        psi = frozenset(survivors)
+        if not psi:
+            break
+    return any(tau <= sigma for sigma in psi)
+
+
+def realizable_refuting_twoway(
+    tau: Type,
+    tbox: NormalizedTBox,
+    query: UCRPQ,
+    factorization: Optional[Factorization] = None,
+    config: Optional[TwoWayConfig] = None,
+) -> TwoWayResult:
+    """Is τ realized in a finite graph satisfying T (ALCQ) and refuting the
+    simple connected UC2RPQ Q?  Entry point of the Section 6 pipeline."""
+    if tbox.uses_inverse_roles():
+        raise ValueError("the two-way procedure supports ALCQ TBoxes (no inverses)")
+    if not query.is_simple():
+        raise ValueError("the two-way procedure requires a simple UC2RPQ")
+    config = config or TwoWayConfig()
+    fact = factorization if factorization is not None else factorize(query)
+    q_hat = fact.factored
+    fresh_role = "zz_fresh"
+    while fresh_role in tbox.role_names() | query.role_names():
+        fresh_role += "_"
+    sigma0 = frozenset(tbox.role_names()) | {fresh_role}
+    realizable = _entailment_mod_reachability(
+        tau, tbox, frozenset({Type()}), q_hat, sigma0, config, depth=0
+    )
+    return TwoWayResult(realizable, complete=True, recursion_depth=2 * len(tbox.role_names()))

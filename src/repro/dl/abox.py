@@ -1,0 +1,147 @@
+"""ABoxes — the knowledge-representation view of data.
+
+The paper notes that "the traditional formulation [of finite entailment]
+uses a finite set of ground facts, called the ABox, instead of G".  This
+module provides that vocabulary for KR-minded users: concept assertions
+``A(a)`` and role assertions ``r(a, b)``, interconvertible with graphs, plus
+the knowledge-base bundle (TBox, ABox) with the standard reasoning verbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.dl.normalize import NormalizedTBox
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph, Node
+from repro.graphs.labels import NodeLabel, Role, node_label, role
+
+
+@dataclass(frozen=True)
+class ConceptAssertion:
+    """A(a) — individual ``a`` belongs to concept name ``A``."""
+
+    concept: NodeLabel
+    individual: Node
+
+    def __str__(self) -> str:
+        return f"{self.concept}({self.individual})"
+
+
+@dataclass(frozen=True)
+class RoleAssertion:
+    """r(a, b) — individuals ``a`` and ``b`` are related by role ``r``."""
+
+    role: Role
+    subject: Node
+    object: Node
+
+    def __str__(self) -> str:
+        return f"{self.role}({self.subject},{self.object})"
+
+
+Assertion = Union[ConceptAssertion, RoleAssertion]
+
+
+@dataclass
+class ABox:
+    """A finite set of ground facts."""
+
+    assertions: list[Assertion] = field(default_factory=list)
+
+    def assert_concept(self, concept: Union[str, NodeLabel], individual: Node) -> "ABox":
+        parsed = node_label(concept)
+        if parsed.negated:
+            raise ValueError("ABoxes contain positive assertions only")
+        self.assertions.append(ConceptAssertion(parsed, individual))
+        return self
+
+    def assert_role(self, r: Union[str, Role], subject: Node, obj: Node) -> "ABox":
+        parsed = role(r)
+        if parsed.inverted:
+            subject, obj = obj, subject
+            parsed = parsed.base
+        self.assertions.append(RoleAssertion(parsed, subject, obj))
+        return self
+
+    @property
+    def individuals(self) -> set[Node]:
+        names: set[Node] = set()
+        for assertion in self.assertions:
+            if isinstance(assertion, ConceptAssertion):
+                names.add(assertion.individual)
+            else:
+                names.add(assertion.subject)
+                names.add(assertion.object)
+        return names
+
+    def to_graph(self) -> Graph:
+        """The graph whose facts are exactly this ABox."""
+        graph = Graph()
+        for assertion in self.assertions:
+            if isinstance(assertion, ConceptAssertion):
+                graph.add_node(assertion.individual, [assertion.concept.name])
+            else:
+                graph.add_edge(assertion.subject, assertion.role, assertion.object)
+        return graph
+
+    @staticmethod
+    def from_graph(graph: Graph) -> "ABox":
+        abox = ABox()
+        for node in graph.node_list():
+            for label in sorted(graph.labels_of(node)):
+                abox.assert_concept(label, node)
+            if not graph.labels_of(node) and not any(True for _ in graph.incident_edges(node)):
+                # an isolated unlabeled node has no ground fact; ABoxes
+                # cannot represent it — record nothing (documented lossiness)
+                pass
+        for a, r_name, b in sorted(graph.edges(), key=repr):
+            abox.assert_role(r_name, a, b)
+        return abox
+
+    def __len__(self) -> int:
+        return len(self.assertions)
+
+    def __str__(self) -> str:
+        return "{ " + ", ".join(str(a) for a in self.assertions) + " }"
+
+
+@dataclass
+class KnowledgeBase:
+    """K = (T, A) with the standard reasoning verbs, finite-model semantics."""
+
+    tbox: TBox
+    abox: ABox
+
+    def is_consistent(self, limits=None) -> bool:
+        """Does K have a finite model?  (chase-based; sound refutations)."""
+        from repro.core.repair import complete_to_model
+
+        return complete_to_model(self.abox.to_graph(), self.tbox, limits=limits).succeeded
+
+    def entails_query(self, query, limits=None):
+        """K ⊨fin Q — certain answers over finite models."""
+        from repro.core.entailment import finitely_entails
+
+        return finitely_entails(self.abox.to_graph(), self.tbox, query, limits=limits)
+
+    def entails_assertion(self, assertion: ConceptAssertion, limits=None) -> bool:
+        """K ⊨fin A(a) — instance checking via query entailment.
+
+        Individuals are identified by a fresh marker label so the query pins
+        the right node (graphs have no constants in queries).
+        """
+        from repro.core.entailment import finitely_entails
+        from repro.queries.crpq import CRPQ
+        from repro.queries.atoms import ConceptAtom
+
+        marker = "Ind_marker"
+        graph = self.abox.to_graph()
+        if assertion.individual not in graph:
+            graph.add_node(assertion.individual)
+        graph.add_label(assertion.individual, marker)
+        query = CRPQ.of(
+            [ConceptAtom.make(marker, "x"), ConceptAtom(assertion.concept, "x")]
+        )
+        return finitely_entails(graph, self.tbox, query, limits=limits).entailed

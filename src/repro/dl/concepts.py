@@ -1,0 +1,448 @@
+"""ALCQI concepts (Section 2).
+
+The core grammar is  C ::= ⊥ | A | C ⊓ C | ¬C | ∃≥n r.C  with A a (possibly
+complemented) concept name and r a (possibly inverted) role.  The redundant
+operators ⊤, ⊔, ∃r.C, ∀r.C, ∃≤n r.C are kept as first-class AST nodes for
+readability; their semantics matches the paper's syntactic-sugar reading.
+
+Text syntax (:func:`parse_concept`)::
+
+    bottom | top | Customer | !Customer
+    C & D | C "|" D | ~C
+    exists owns . CredCard          (∃ owns.CredCard)
+    forall earns . RwrdProg         (∀ earns.RwrdProg)
+    >=2 owns . CredCard             (∃≥2 owns.CredCard)
+    <=3 earns . RwrdProg            (∃≤3 earns.RwrdProg)
+    exists earns- . PremCC          (inverse role)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.labels import NodeLabel, Role, node_label, role
+
+
+class Concept:
+    """Base class for concept ASTs."""
+
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        """C^G — the set of nodes satisfying the concept."""
+        raise NotImplementedError
+
+    def holds_at(self, graph: Graph, node: Node) -> bool:
+        return node in self.extension(graph)
+
+    def concept_names(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def role_names(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def uses_inverse_roles(self) -> bool:
+        return False
+
+    def uses_counting(self) -> bool:
+        """Number restrictions beyond plain ∃r.C (≥n with n ≥ 2, or any ≤n)."""
+        return False
+
+    # combinators ------------------------------------------------------ #
+
+    def __and__(self, other: "Concept") -> "Concept":
+        return And((self, other))
+
+    def __or__(self, other: "Concept") -> "Concept":
+        return Or((self, other))
+
+    def __invert__(self) -> "Concept":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Bottom(Concept):
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        return frozenset()
+
+    def concept_names(self) -> Iterator[str]:
+        return iter(())
+
+    def role_names(self) -> Iterator[str]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return "bottom"
+
+
+@dataclass(frozen=True)
+class Top(Concept):
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        return frozenset(graph.node_list())
+
+    def concept_names(self) -> Iterator[str]:
+        return iter(())
+
+    def role_names(self) -> Iterator[str]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return "top"
+
+
+@dataclass(frozen=True)
+class Atomic(Concept):
+    """A concept name A, or a complemented name Ā (an element of Γ±)."""
+
+    label: NodeLabel
+
+    @staticmethod
+    def of(value: Union[str, NodeLabel]) -> "Atomic":
+        return Atomic(node_label(value))
+
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        return frozenset(v for v in graph.node_list() if graph.has_label(v, self.label))
+
+    def concept_names(self) -> Iterator[str]:
+        yield self.label.name
+
+    def role_names(self) -> Iterator[str]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return str(self.label)
+
+
+@dataclass(frozen=True)
+class Not(Concept):
+    inner: Concept
+
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        return frozenset(graph.node_list()) - self.inner.extension(graph)
+
+    def concept_names(self) -> Iterator[str]:
+        return self.inner.concept_names()
+
+    def role_names(self) -> Iterator[str]:
+        return self.inner.role_names()
+
+    def uses_inverse_roles(self) -> bool:
+        return self.inner.uses_inverse_roles()
+
+    def uses_counting(self) -> bool:
+        return self.inner.uses_counting()
+
+    def __str__(self) -> str:
+        return f"~({self.inner})"
+
+
+@dataclass(frozen=True)
+class And(Concept):
+    parts: tuple[Concept, ...]
+
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        result = frozenset(graph.node_list())
+        for part in self.parts:
+            result &= part.extension(graph)
+        return result
+
+    def concept_names(self) -> Iterator[str]:
+        for part in self.parts:
+            yield from part.concept_names()
+
+    def role_names(self) -> Iterator[str]:
+        for part in self.parts:
+            yield from part.role_names()
+
+    def uses_inverse_roles(self) -> bool:
+        return any(part.uses_inverse_roles() for part in self.parts)
+
+    def uses_counting(self) -> bool:
+        return any(part.uses_counting() for part in self.parts)
+
+    def __str__(self) -> str:
+        return " & ".join(f"({part})" for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Concept):
+    parts: tuple[Concept, ...]
+
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        result: frozenset[Node] = frozenset()
+        for part in self.parts:
+            result |= part.extension(graph)
+        return result
+
+    def concept_names(self) -> Iterator[str]:
+        for part in self.parts:
+            yield from part.concept_names()
+
+    def role_names(self) -> Iterator[str]:
+        for part in self.parts:
+            yield from part.role_names()
+
+    def uses_inverse_roles(self) -> bool:
+        return any(part.uses_inverse_roles() for part in self.parts)
+
+    def uses_counting(self) -> bool:
+        return any(part.uses_counting() for part in self.parts)
+
+    def __str__(self) -> str:
+        return " | ".join(f"({part})" for part in self.parts)
+
+
+def _count_successors(graph: Graph, node: Node, r: Role, targets: frozenset[Node]) -> int:
+    return sum(1 for v in graph.successors(node, r) if v in targets)
+
+
+@dataclass(frozen=True)
+class AtLeast(Concept):
+    """∃≥n r.C — at least n r-successors in C (∃r.C when n = 1)."""
+
+    n: int
+    role: Role
+    filler: Concept
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("cardinality must be non-negative")
+
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        targets = self.filler.extension(graph)
+        return frozenset(
+            v
+            for v in graph.node_list()
+            if _count_successors(graph, v, self.role, targets) >= self.n
+        )
+
+    def concept_names(self) -> Iterator[str]:
+        return self.filler.concept_names()
+
+    def role_names(self) -> Iterator[str]:
+        yield self.role.name
+        yield from self.filler.role_names()
+
+    def uses_inverse_roles(self) -> bool:
+        return self.role.inverted or self.filler.uses_inverse_roles()
+
+    def uses_counting(self) -> bool:
+        return self.n >= 2 or self.filler.uses_counting()
+
+    def __str__(self) -> str:
+        if self.n == 1:
+            return f"exists {self.role}.({self.filler})"
+        return f">={self.n} {self.role}.({self.filler})"
+
+
+@dataclass(frozen=True)
+class AtMost(Concept):
+    """∃≤n r.C — at most n r-successors in C."""
+
+    n: int
+    role: Role
+    filler: Concept
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("cardinality must be non-negative")
+
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        targets = self.filler.extension(graph)
+        return frozenset(
+            v
+            for v in graph.node_list()
+            if _count_successors(graph, v, self.role, targets) <= self.n
+        )
+
+    def concept_names(self) -> Iterator[str]:
+        return self.filler.concept_names()
+
+    def role_names(self) -> Iterator[str]:
+        yield self.role.name
+        yield from self.filler.role_names()
+
+    def uses_inverse_roles(self) -> bool:
+        return self.role.inverted or self.filler.uses_inverse_roles()
+
+    def uses_counting(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"<={self.n} {self.role}.({self.filler})"
+
+
+@dataclass(frozen=True)
+class ForAll(Concept):
+    """∀r.C — every r-successor is in C (sugar for ¬∃r.¬C)."""
+
+    role: Role
+    filler: Concept
+
+    def extension(self, graph: Graph) -> frozenset[Node]:
+        targets = self.filler.extension(graph)
+        return frozenset(
+            v
+            for v in graph.node_list()
+            if all(w in targets for w in graph.successors(v, self.role))
+        )
+
+    def concept_names(self) -> Iterator[str]:
+        return self.filler.concept_names()
+
+    def role_names(self) -> Iterator[str]:
+        yield self.role.name
+        yield from self.filler.role_names()
+
+    def uses_inverse_roles(self) -> bool:
+        return self.role.inverted or self.filler.uses_inverse_roles()
+
+    def uses_counting(self) -> bool:
+        return self.filler.uses_counting()
+
+    def __str__(self) -> str:
+        return f"forall {self.role}.({self.filler})"
+
+
+def exists(r: Union[str, Role], filler: Concept) -> AtLeast:
+    """∃r.C."""
+    return AtLeast(1, role(r), filler)
+
+
+def forall(r: Union[str, Role], filler: Concept) -> ForAll:
+    """∀r.C."""
+    return ForAll(role(r), filler)
+
+
+def at_least(n: int, r: Union[str, Role], filler: Concept) -> AtLeast:
+    return AtLeast(n, role(r), filler)
+
+
+def at_most(n: int, r: Union[str, Role], filler: Concept) -> AtMost:
+    return AtMost(n, role(r), filler)
+
+
+def atomic(value: Union[str, NodeLabel]) -> Atomic:
+    return Atomic.of(value)
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+# --------------------------------------------------------------------- #
+# parser
+
+
+class ConceptSyntaxError(ValueError):
+    """Raised on malformed concept text."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()&|~.":
+            tokens.append(ch)
+            i += 1
+        elif text.startswith(">=", i) or text.startswith("<=", i):
+            j = i + 2
+            while j < len(text) and text[j].isdigit():
+                j += 1
+            if j == i + 2:
+                raise ConceptSyntaxError(f"missing number after {text[i:i+2]} in {text!r}")
+            tokens.append(text[i:j])
+            i = j
+        elif ch == "!" or ch.isalpha() or ch == "_":
+            j = i + 1 if ch == "!" else i
+            while j < len(text) and (text[j].isalnum() or text[j] in "_'"):
+                j += 1
+            if j < len(text) and text[j] == "-":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+        else:
+            raise ConceptSyntaxError(f"unexpected character {ch!r} in {text!r}")
+    return tokens
+
+
+def parse_concept(text: str) -> Concept:
+    """Parse the text syntax described in the module docstring."""
+    tokens = _tokenize(text)
+    position = 0
+
+    def peek() -> str | None:
+        return tokens[position] if position < len(tokens) else None
+
+    def take(expected: str | None = None) -> str:
+        nonlocal position
+        if position >= len(tokens):
+            raise ConceptSyntaxError(f"unexpected end of input in {text!r}")
+        token = tokens[position]
+        if expected is not None and token != expected:
+            raise ConceptSyntaxError(f"expected {expected!r}, found {token!r} in {text!r}")
+        position += 1
+        return token
+
+    def parse_or() -> Concept:
+        parts = [parse_and()]
+        while peek() == "|":
+            take("|")
+            parts.append(parse_and())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def parse_and() -> Concept:
+        parts = [parse_unary()]
+        while peek() == "&":
+            take("&")
+            parts.append(parse_unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_unary() -> Concept:
+        token = peek()
+        if token == "~":
+            take("~")
+            return Not(parse_unary())
+        if token == "(":
+            take("(")
+            inner = parse_or()
+            take(")")
+            return inner
+        if token in ("exists", "forall"):
+            take()
+            role_token = take()
+            take(".")
+            filler = parse_unary()
+            r = role(role_token)
+            return exists(r, filler) if token == "exists" else forall(r, filler)
+        if token is not None and (token.startswith(">=") or token.startswith("<=")):
+            take()
+            n = int(token[2:])
+            role_token = take()
+            take(".")
+            filler = parse_unary()
+            r = role(role_token)
+            return AtLeast(n, r, filler) if token.startswith(">=") else AtMost(n, r, filler)
+        if token == "bottom":
+            take()
+            return BOTTOM
+        if token == "top":
+            take()
+            return TOP
+        if token is None or token in ")&|.~":
+            raise ConceptSyntaxError(f"unexpected token {token!r} in {text!r}")
+        take()
+        return Atomic.of(token)
+
+    result = parse_or()
+    if position != len(tokens):
+        raise ConceptSyntaxError(f"trailing tokens {tokens[position:]} in {text!r}")
+    return result
+
+
+def concept(value: Union[str, Concept]) -> Concept:
+    """Coerce text or AST to a :class:`Concept`."""
+    return value if isinstance(value, Concept) else parse_concept(value)

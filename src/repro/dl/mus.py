@@ -1,0 +1,80 @@
+"""Minimal unsatisfiable subsets (MUS) of schemas — blame assignment.
+
+When a concept is incoherent or a KB inconsistent, the debugging question
+is *which constraints clash*.  Deletion-based MUS extraction answers it:
+repeatedly drop CIs that are not needed for the clash, ending at a minimal
+core.  Works over any monotone clash oracle; two are provided —
+satisfiability of a concept (via type elimination, FMP fragments) and KB
+inconsistency (via the chase).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+from repro.dl.reasoning import is_satisfiable
+from repro.dl.tbox import CI, TBox
+
+
+def minimal_core(
+    cis: Sequence[CI], clashes: Callable[[TBox], bool]
+) -> Optional[list[CI]]:
+    """Deletion-based MUS: a minimal sublist whose TBox still clashes.
+
+    ``clashes(tbox)`` must be monotone (a superset of a clashing set
+    clashes).  Returns ``None`` when even the full set does not clash.
+    """
+    if not clashes(TBox.of(cis)):
+        return None
+    core = list(cis)
+    index = 0
+    while index < len(core):
+        candidate = core[:index] + core[index + 1 :]
+        if clashes(TBox.of(candidate)):
+            core = candidate  # the dropped CI was not needed
+        else:
+            index += 1  # the CI is essential; keep it and move on
+    return core
+
+
+def incoherence_core(name: str, tbox: TBox) -> Optional[list[CI]]:
+    """A minimal set of CIs making the concept name unsatisfiable.
+
+    ``None`` when the name is satisfiable w.r.t. the full TBox.
+    """
+
+    def clashes(sub: TBox) -> bool:
+        return not is_satisfiable(name, sub)
+
+    return minimal_core(list(tbox.cis), clashes)
+
+
+def inconsistency_core(
+    graph, tbox: TBox, limits=None
+) -> Optional[list[CI]]:
+    """A minimal set of CIs with which the graph has no finite completion.
+
+    Uses the chase (bounded); a returned core is genuine (each member is
+    essential within the budgets), ``None`` means the full TBox admits a
+    completion.
+    """
+    from repro.core.repair import complete_to_model
+
+    def clashes(sub: TBox) -> bool:
+        result = complete_to_model(graph, sub, limits=limits)
+        return not result.succeeded and result.exhausted
+
+    return minimal_core(list(tbox.cis), clashes)
+
+
+def explain_incoherence(tbox: TBox) -> dict[str, Optional[list[str]]]:
+    """Per incoherent concept name, a rendered minimal core."""
+    from repro.dl.reasoning import is_coherent
+
+    report: dict[str, Optional[list[str]]] = {}
+    for name, ok in is_coherent(tbox).items():
+        if ok:
+            continue
+        core = incoherence_core(name, tbox)
+        report[name] = [str(ci) for ci in core] if core is not None else None
+    return report

@@ -1,0 +1,215 @@
+"""A PG-Schema-flavoured front end compiling to ALCQI TBoxes.
+
+Section 1 motivates ALCQI as capturing PG-Types (the core of PG-Schema) and
+a practically relevant subset of PG-Keys over single-edge-labelled graphs:
+node/edge typing, participation, cardinality, and unary key constraints.
+This module provides that vocabulary; every declaration compiles to CIs.
+
+The running example of Fig. 1 (customers, credit cards, rewards programs,
+partner retail companies) ships as :func:`figure1_schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from repro.dl.concepts import (
+    And,
+    AtLeast,
+    AtMost,
+    Atomic,
+    Bottom,
+    Concept,
+    ForAll,
+    Or,
+    Top,
+    atomic,
+    concept,
+)
+from repro.dl.tbox import CI, TBox
+from repro.graphs.labels import Role, role
+
+
+@dataclass
+class PGSchema:
+    """A mutable schema builder; call :meth:`to_tbox` when done."""
+
+    name: str = "schema"
+    _cis: list[CI] = field(default_factory=list)
+    _node_labels: set[str] = field(default_factory=set)
+    _roles: set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------- #
+    # vocabulary
+
+    def node_type(self, label: str) -> "PGSchema":
+        """Declare a node label (PG-Type)."""
+        self._node_labels.add(label)
+        return self
+
+    def edge_type(
+        self,
+        r: Union[str, Role],
+        sources: Union[str, Sequence[str]],
+        targets: Union[str, Sequence[str]],
+    ) -> "PGSchema":
+        """Declare an edge type: r-edges run from ``sources`` to ``targets``.
+
+        Compiles without inverse roles: targets via  S ⊑ ∀r.T  per source
+        label, plus a closed-source rule  (¬S₁ ⊓ … ⊓ ¬S_k) ⊑ ∀r.⊥.
+        """
+        r = role(r)
+        self._roles.add(r.name)
+        source_list = [sources] if isinstance(sources, str) else list(sources)
+        target_list = [targets] if isinstance(targets, str) else list(targets)
+        self._node_labels.update(source_list)
+        self._node_labels.update(target_list)
+        target_concept: Concept = (
+            atomic(target_list[0])
+            if len(target_list) == 1
+            else Or(tuple(atomic(t) for t in target_list))
+        )
+        for source in source_list:
+            self._cis.append(CI(atomic(source), ForAll(r, target_concept)))
+        non_source: Concept = (
+            And(tuple(Atomic.of(f"!{s}") for s in source_list))
+            if len(source_list) > 1
+            else Atomic.of(f"!{source_list[0]}")
+        )
+        self._cis.append(CI(non_source, ForAll(r, Bottom())))
+        return self
+
+    # ------------------------------------------------------------- #
+    # constraints (PG-Keys subset)
+
+    def subtype(self, sub: str, sup: str) -> "PGSchema":
+        """Generalization: every ``sub`` node is a ``sup`` node."""
+        self._node_labels.update((sub, sup))
+        self._cis.append(CI(atomic(sub), atomic(sup)))
+        return self
+
+    def disjoint(self, *labels: str) -> "PGSchema":
+        """Pairwise disjoint node labels."""
+        self._node_labels.update(labels)
+        for i, a in enumerate(labels):
+            for b in labels[i + 1 :]:
+                self._cis.append(CI(And((atomic(a), atomic(b))), Bottom()))
+        return self
+
+    def covering(self, sup: str, subs: Sequence[str]) -> "PGSchema":
+        """Every ``sup`` node belongs to one of the ``subs``."""
+        self._node_labels.add(sup)
+        self._node_labels.update(subs)
+        self._cis.append(CI(atomic(sup), Or(tuple(atomic(s) for s in subs))))
+        return self
+
+    def participation(
+        self, label: str, r: Union[str, Role], filler: str, at_least: int = 1
+    ) -> "PGSchema":
+        """Mandatory participation:  label ⊑ ∃≥n r.filler."""
+        r = role(r)
+        self._roles.add(r.name)
+        self._node_labels.update((label, filler))
+        self._cis.append(CI(atomic(label), AtLeast(at_least, r, atomic(filler))))
+        return self
+
+    def cardinality(
+        self, label: str, r: Union[str, Role], filler: str, at_most: int
+    ) -> "PGSchema":
+        """Cardinality bound:  label ⊑ ∃≤n r.filler."""
+        r = role(r)
+        self._roles.add(r.name)
+        self._node_labels.update((label, filler))
+        self._cis.append(CI(atomic(label), AtMost(at_most, r, atomic(filler))))
+        return self
+
+    def unary_key(self, label: str, r: Union[str, Role]) -> "PGSchema":
+        """Unary key: distinct ``label`` nodes have distinct r-values —
+        every node has at most one incoming r-edge from a ``label`` node
+        (⊤ ⊑ ∃≤1 r⁻.label; requires inverses and counting, i.e. ALCQI)."""
+        r = role(r)
+        self._roles.add(r.name)
+        self._node_labels.add(label)
+        self._cis.append(CI(Top(), AtMost(1, r.inverse(), atomic(label))))
+        return self
+
+    def constraint(self, lhs: Union[str, Concept], rhs: Union[str, Concept]) -> "PGSchema":
+        """An arbitrary extra CI (escape hatch)."""
+        self._cis.append(CI(concept(lhs), concept(rhs)))
+        return self
+
+    # ------------------------------------------------------------- #
+
+    def to_tbox(self) -> TBox:
+        return TBox(tuple(self._cis), name=self.name)
+
+    @property
+    def node_labels(self) -> frozenset[str]:
+        return frozenset(self._node_labels)
+
+    @property
+    def roles(self) -> frozenset[str]:
+        return frozenset(self._roles)
+
+
+def figure1_schema() -> TBox:
+    """The conceptual model of Fig. 1 / Example 1.1 as an ALCQ TBox.
+
+    Customers own at least one credit card; premier cards are credit cards
+    that earn rewards; rewards programs partner with retail companies;
+    companies own subsidiary companies; premier cards participate in at most
+    3 rewards programs.  The schema avoids inverse roles (as discussed in
+    Section 2), so it stays within ALCQ.
+    """
+    schema = PGSchema(name="rewards")
+    schema.node_type("Customer")
+    schema.node_type("CredCard")
+    schema.node_type("PremCC")
+    schema.node_type("RwrdProg")
+    schema.node_type("Company")
+    schema.node_type("RetailCompany")
+
+    # edge typing: `owns` runs Customer→CredCard and Company→Company,
+    # `earns` runs CredCard→RwrdProg, `partner` runs RwrdProg→RetailCompany
+    schema.constraint("Customer", "forall owns.CredCard")
+    schema.constraint("Company", "forall owns.Company")
+    schema.constraint("!Customer & !Company", "forall owns.bottom")
+    schema.edge_type("earns", "CredCard", "RwrdProg")
+    schema.edge_type("partner", "RwrdProg", "RetailCompany")
+
+    # generalizations and disjointness
+    schema.subtype("PremCC", "CredCard")
+    schema.subtype("RetailCompany", "Company")
+    schema.disjoint("Customer", "CredCard")
+    schema.disjoint("Customer", "Company")
+    schema.disjoint("Customer", "RwrdProg")
+    schema.disjoint("RwrdProg", "Company")
+    schema.disjoint("RwrdProg", "CredCard")
+    schema.disjoint("CredCard", "Company")
+
+    # participation and cardinality (PG-Keys style)
+    schema.participation("Customer", "owns", "CredCard")
+    schema.participation("PremCC", "earns", "RwrdProg")
+    schema.cardinality("PremCC", "earns", "RwrdProg", at_most=3)
+
+    return schema.to_tbox()
+
+
+def figure1_instance():
+    """A small graph satisfying :func:`figure1_schema` (for examples/tests)."""
+    from repro.graphs.graph import Graph
+
+    graph = Graph()
+    graph.add_node("ada", ["Customer"])
+    graph.add_node("card1", ["CredCard", "PremCC"])
+    graph.add_node("card2", ["CredCard"])
+    graph.add_node("miles", ["RwrdProg"])
+    graph.add_node("acme", ["Company", "RetailCompany"])
+    graph.add_node("acme_sub", ["Company", "RetailCompany"])
+    graph.add_edge("ada", "owns", "card1")
+    graph.add_edge("ada", "owns", "card2")
+    graph.add_edge("card1", "earns", "miles")
+    graph.add_edge("miles", "partner", "acme")
+    graph.add_edge("acme", "owns", "acme_sub")
+    return graph

@@ -1,0 +1,224 @@
+"""Concept satisfiability via type elimination — the classical procedure.
+
+This is the textbook ExpTime decision procedure for ALC-family concept
+satisfiability w.r.t. a TBox [30, 34 in the paper's references]: enumerate
+maximal types over the signature, then repeatedly eliminate types whose
+existential obligations cannot be discharged by surviving types; a concept
+is satisfiable iff some surviving type contains it.
+
+Scope and finite models:
+
+* **ALC, ALCI, ALCQ enjoy the finite model property**, so satisfiability
+  here coincides with *finite* satisfiability — making this procedure a
+  useful independent oracle for the chase engine on schema-consistency
+  questions (is a label usable at all? is the whole schema coherent?).
+* **ALCQI does not** (the paper's Section 1 stresses exactly this gap);
+  :func:`is_satisfiable` therefore refuses mixed inverse+counting input —
+  finite satisfiability there needs the paper's machinery, not this one.
+
+The matching witness structure can be extracted: :func:`build_model`
+produces a small graph realizing a surviving type, with witnesses chosen
+among surviving types and cycles closed by node reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from repro.dl.concepts import Concept, concept
+from repro.dl.normalize import AtLeastCI, AtMostCI, NormalizedTBox, UniversalCI, normalize
+from repro.dl.tbox import TBox
+from repro.dl.types import clause_consistent
+from repro.graphs.graph import Graph
+from repro.graphs.labels import NodeLabel, Role
+from repro.graphs.types import Type, maximal_types
+
+
+class UnsupportedFragment(ValueError):
+    """Raised for ALCQI input (no finite model property)."""
+
+
+def _successor_compatible(
+    tbox: NormalizedTBox, source: Type, role: Role, target: Type
+) -> bool:
+    """May a ``role``-edge run from a source-typed node to a target-typed
+    node, given the universal CIs (checked in both directions)?"""
+    for ci in tbox.universals:
+        if ci.role == role and ci.subject in source and ci.filler not in target:
+            return False
+        if ci.role == role.inverse() and ci.subject in target and ci.filler not in source:
+            return False
+    return True
+
+
+def _obligations(tbox: NormalizedTBox, sigma: Type) -> list[AtLeastCI]:
+    return [ci for ci in tbox.at_leasts if ci.subject in sigma]
+
+
+def _discharged(
+    tbox: NormalizedTBox, sigma: Type, ci: AtLeastCI, pool: Iterable[Type]
+) -> bool:
+    """Can σ's obligation ``ci`` be met by successors typed from ``pool``?
+
+    For counting TBoxes (ALCQ) the n witnesses may be copies of one
+    surviving type — distinct nodes of equal type — so a single compatible
+    candidate suffices, *unless* an at-most CI on the same (role, filler)
+    caps the count below n, in which case no type set can help.
+    """
+    for cap in tbox.at_mosts:
+        if (
+            cap.subject in sigma
+            and cap.role == ci.role
+            and cap.filler == ci.filler
+            and cap.n < ci.n
+        ):
+            return False
+    return any(
+        ci.filler in theta and _successor_compatible(tbox, sigma, ci.role, theta)
+        for theta in pool
+    )
+
+
+@dataclass
+class SatisfiabilityResult:
+    satisfiable: bool
+    surviving_types: frozenset[Type]
+    signature: tuple[str, ...]
+    iterations: int
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def type_elimination(
+    tbox: Union[TBox, NormalizedTBox],
+    extra_names: Iterable[str] = (),
+) -> SatisfiabilityResult:
+    """Run the elimination; returns the surviving maximal types.
+
+    A type survives iff it is clause-consistent and all its at-least
+    obligations are dischargeable within the surviving set.
+    """
+    normalized = tbox if isinstance(tbox, NormalizedTBox) else normalize(tbox)
+    if normalized.uses_inverse_roles() and normalized.uses_counting():
+        raise UnsupportedFragment(
+            "type elimination decides satisfiability only for fragments with "
+            "the finite model property (ALC/ALCI/ALCQ); ALCQI mixes inverses "
+            "and counting"
+        )
+    names = sorted(set(normalized.concept_names()) | set(extra_names))
+    pool = {
+        sigma for sigma in maximal_types(names) if clause_consistent(normalized, sigma)
+    }
+    iterations = 0
+    while True:
+        iterations += 1
+        survivors = {
+            sigma
+            for sigma in pool
+            if all(_discharged(normalized, sigma, ci, pool) for ci in _obligations(normalized, sigma))
+        }
+        if survivors == pool:
+            break
+        pool = survivors
+        if not pool:
+            break
+    return SatisfiabilityResult(bool(pool), frozenset(pool), tuple(names), iterations)
+
+
+def is_satisfiable(
+    target: Union[str, Concept],
+    tbox: Union[TBox, NormalizedTBox, None] = None,
+) -> bool:
+    """Is the concept satisfiable w.r.t. the TBox (finite = unrestricted
+    here, by the finite model property of the supported fragments)?
+
+    The concept is internalized as a fresh-name CI and the elimination run
+    over the extended signature.
+    """
+    from repro.dl.tbox import CI
+
+    target_concept = concept(target)
+    base = tbox if tbox is not None else TBox.empty()
+    if isinstance(base, NormalizedTBox):
+        base = base.original if base.original is not None else TBox.empty()
+    marker = "Sat_target"
+    extended = TBox.of(
+        list(base.cis) + [CI(concept(marker), target_concept)], name="sat"
+    )
+    result = type_elimination(extended)
+    return any(NodeLabel(marker) in sigma for sigma in result.surviving_types)
+
+
+def is_coherent(tbox: Union[TBox, NormalizedTBox]) -> dict[str, bool]:
+    """Schema coherence: which concept names are satisfiable w.r.t. T?
+
+    An unsatisfiable name is almost always a modelling bug (e.g. disjointness
+    clashing with a generalization) — the classic use of DL reasoning in
+    conceptual modelling (Section 1's motivation).
+    """
+    normalized = tbox if isinstance(tbox, NormalizedTBox) else normalize(tbox)
+    result = type_elimination(normalized)
+    report = {}
+    for name in sorted(normalized.concept_names() - normalized.fresh_names):
+        report[name] = any(
+            NodeLabel(name) in sigma for sigma in result.surviving_types
+        )
+    return report
+
+
+def build_model(
+    tau: Type,
+    tbox: Union[TBox, NormalizedTBox],
+    max_nodes: int = 64,
+) -> Optional[Graph]:
+    """A finite model realizing τ, built from the surviving types.
+
+    Witness nodes are reused per type (one node per surviving type plus
+    copies where at-least counts require distinct successors), which closes
+    all cycles — the finite-model-property construction in miniature.
+    """
+    normalized = tbox if isinstance(tbox, NormalizedTBox) else normalize(tbox)
+    result = type_elimination(normalized, extra_names=[lbl.name for lbl in tau])
+    start = next((s for s in sorted(result.surviving_types, key=str) if tau <= s), None)
+    if start is None:
+        return None
+
+    graph = Graph()
+    node_of: dict[tuple[Type, int], object] = {}
+
+    def materialize(sigma: Type, copy: int = 0):
+        key = (sigma, copy)
+        if key not in node_of:
+            node = ("n", len(node_of))
+            node_of[key] = node
+            graph.add_node(node, sorted(sigma.positive_names))
+        return node_of[key]
+
+    worklist = [(start, 0)]
+    seen = {(start, 0)}
+    while worklist:
+        sigma, copy = worklist.pop()
+        node = materialize(sigma, copy)
+        for ci in _obligations(normalized, sigma):
+            candidates = [
+                theta
+                for theta in sorted(result.surviving_types, key=str)
+                if ci.filler in theta
+                and _successor_compatible(normalized, sigma, ci.role, theta)
+            ]
+            if not candidates:
+                return None  # pragma: no cover - elimination guarantees one
+            theta = candidates[0]
+            for index in range(ci.n):
+                if len(node_of) >= max_nodes:
+                    return None
+                witness_key = (theta, index)
+                witness = materialize(theta, index)
+                graph.add_edge(node, ci.role, witness)
+                if witness_key not in seen:
+                    seen.add(witness_key)
+                    worklist.append(witness_key)
+    # final verification against the normalized TBox
+    return graph if normalized.satisfied_by(graph) else None

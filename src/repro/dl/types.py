@@ -1,0 +1,42 @@
+"""TBox-aware node types.
+
+The fixpoint procedures of Sections 5–6 range over maximal types over a
+label set Γ₀ that are *locally consistent*: they satisfy every clausal CI of
+the (normalized) TBox.  Role CIs are not local and are handled by the frame
+machinery instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dl.normalize import NormalizedTBox
+from repro.graphs.types import Type, maximal_types
+
+
+def clause_consistent(tbox: NormalizedTBox, node_type: Type) -> bool:
+    """Does the (maximal) type satisfy every clausal CI of the TBox?
+
+    Literals over names outside the type's signature are treated as absent
+    labels, matching graph semantics where an unlisted label does not hold.
+    """
+    signature = node_type.signature()
+
+    def literal_holds(literal) -> bool:
+        if literal.name in signature:
+            return literal in node_type
+        return literal.negated  # unmentioned labels are absent
+
+    for clause in tbox.clauses:
+        if all(literal_holds(lit) for lit in clause.body) and not any(
+            literal_holds(lit) for lit in clause.head
+        ):
+            return False
+    return True
+
+
+def consistent_types(tbox: NormalizedTBox, names: Iterable[str]) -> Iterator[Type]:
+    """Enumerate maximal types over ``names`` that satisfy the clausal CIs."""
+    for node_type in maximal_types(names):
+        if clause_consistent(tbox, node_type):
+            yield node_type

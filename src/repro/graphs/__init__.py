@@ -1,0 +1,78 @@
+"""Graph database substrate: labeled directed graphs per Section 2."""
+
+from repro.graphs.dot import frame_to_dot, to_dot
+from repro.graphs.metrics import GraphStats, stats, undirected_diameter
+from repro.graphs.graph import (
+    Graph,
+    PointedGraph,
+    disjoint_union,
+    from_triples,
+    single_node_graph,
+)
+from repro.graphs.homomorphism import (
+    canonical_key,
+    find_homomorphism,
+    find_local_embedding,
+    homomorphisms,
+    is_homomorphism,
+    is_isomorphic,
+    is_local_embedding,
+    isomorphisms,
+    maps_into,
+)
+from repro.graphs.labels import Label, NodeLabel, Role, node_label, role, roles_with_inverses
+from repro.graphs.operations import (
+    condensation,
+    connected_components,
+    is_connected,
+    one_step_unravelling,
+    reachable_from,
+    scc_of,
+    strongly_connected_components,
+)
+from repro.graphs.sparse import SparseDecomposition, decompose_sparse, is_sparse, sparsity
+from repro.graphs.types import Type, maximal_types, realized_types, respects, type_of
+
+__all__ = [
+    "Graph",
+    "PointedGraph",
+    "Label",
+    "NodeLabel",
+    "Role",
+    "SparseDecomposition",
+    "Type",
+    "canonical_key",
+    "condensation",
+    "connected_components",
+    "decompose_sparse",
+    "disjoint_union",
+    "frame_to_dot",
+    "GraphStats",
+    "stats",
+    "undirected_diameter",
+    "to_dot",
+    "find_homomorphism",
+    "find_local_embedding",
+    "from_triples",
+    "homomorphisms",
+    "is_connected",
+    "is_homomorphism",
+    "is_isomorphic",
+    "is_local_embedding",
+    "is_sparse",
+    "isomorphisms",
+    "maps_into",
+    "maximal_types",
+    "node_label",
+    "one_step_unravelling",
+    "reachable_from",
+    "realized_types",
+    "respects",
+    "role",
+    "roles_with_inverses",
+    "scc_of",
+    "single_node_graph",
+    "sparsity",
+    "strongly_connected_components",
+    "type_of",
+]

@@ -1,0 +1,67 @@
+"""Graphviz DOT export for graphs, star-like graphs, and frames.
+
+Purely presentational — handy for inspecting countermodels and frame
+structures (``dot -Tpng out.dot``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.graph import Graph, Node
+
+
+def _quote(value) -> str:
+    text = str(value).replace('"', '\\"')
+    return f'"{text}"'
+
+
+def _node_id(node: Node) -> str:
+    return _quote(repr(node))
+
+
+def to_dot(
+    graph: Graph,
+    name: str = "G",
+    highlight: Optional[set] = None,
+    rankdir: str = "LR",
+) -> str:
+    """Render a graph as DOT; node labels list the attached label set."""
+    highlight = highlight or set()
+    lines = [f"digraph {name} {{", f"  rankdir={rankdir};", "  node [shape=box];"]
+    for node in graph.node_list():
+        labels = ",".join(sorted(graph.labels_of(node)))
+        display = f"{node}\\n{{{labels}}}" if labels else str(node)
+        attributes = [f"label={_quote(display)}"]
+        if node in highlight:
+            attributes.append("style=filled")
+            attributes.append("fillcolor=lightgoldenrod")
+        lines.append(f"  {_node_id(node)} [{', '.join(attributes)}];")
+    for a, role, b in sorted(graph.edges(), key=repr):
+        lines.append(f"  {_node_id(a)} -> {_node_id(b)} [label={_quote(role)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def frame_to_dot(frame, name: str = "F") -> str:
+    """Render a concrete frame: components as clusters, stitches as edges."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box];", "  compound=true;"]
+    for index, (frame_node, pointed) in enumerate(frame.components.items()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(str(frame_node))};")
+        for node in pointed.graph.node_list():
+            labels = ",".join(sorted(pointed.graph.labels_of(node)))
+            display = f"{node}\\n{{{labels}}}" if labels else str(node)
+            shape = "doubleoctagon" if node == pointed.point else "box"
+            lines.append(f"    {_node_id(node)} [label={_quote(display)}, shape={shape}];")
+        for a, role, b in sorted(pointed.graph.edges(), key=repr):
+            lines.append(f"    {_node_id(a)} -> {_node_id(b)} [label={_quote(role)}];")
+        lines.append("  }")
+    for edge in frame.edges:
+        target_point = frame.components[edge.target].point
+        lines.append(
+            f"  {_node_id(edge.anchor)} -> {_node_id(target_point)} "
+            f"[label={_quote(str(edge.role))}, style=dashed, color=blue];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Deterministic pseudo-random graph generators for tests and benchmarks.
+
+All generators take an explicit ``seed`` so every experiment in
+EXPERIMENTS.md is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.graphs.graph import Graph
+
+
+def random_graph(
+    n_nodes: int,
+    n_edges: int,
+    node_labels: Sequence[str],
+    roles: Sequence[str],
+    seed: int = 0,
+    label_probability: float = 0.5,
+) -> Graph:
+    """A random multigraph with the given size and label alphabets."""
+    rng = random.Random(seed)
+    graph = Graph()
+    for node in range(n_nodes):
+        labels = [lbl for lbl in node_labels if rng.random() < label_probability]
+        graph.add_node(node, labels)
+    attempts = 0
+    added = 0
+    while added < n_edges and attempts < 50 * n_edges + 100:
+        attempts += 1
+        u = rng.randrange(n_nodes)
+        v = rng.randrange(n_nodes)
+        r = rng.choice(list(roles))
+        if not graph.has_edge(u, r, v):
+            graph.add_edge(u, r, v)
+            added += 1
+    return graph
+
+
+def random_connected_graph(
+    n_nodes: int,
+    extra_edges: int,
+    node_labels: Sequence[str],
+    roles: Sequence[str],
+    seed: int = 0,
+    label_probability: float = 0.5,
+) -> Graph:
+    """A random connected graph: random spanning tree + ``extra_edges`` more."""
+    rng = random.Random(seed)
+    graph = Graph()
+    for node in range(n_nodes):
+        labels = [lbl for lbl in node_labels if rng.random() < label_probability]
+        graph.add_node(node, labels)
+    order = list(range(n_nodes))
+    rng.shuffle(order)
+    for i in range(1, n_nodes):
+        parent = order[rng.randrange(i)]
+        child = order[i]
+        r = rng.choice(list(roles))
+        if rng.random() < 0.5:
+            graph.add_edge(parent, r, child)
+        else:
+            graph.add_edge(child, r, parent)
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50 * extra_edges + 100:
+        attempts += 1
+        u, v = rng.randrange(n_nodes), rng.randrange(n_nodes)
+        r = rng.choice(list(roles))
+        if not graph.has_edge(u, r, v):
+            graph.add_edge(u, r, v)
+            added += 1
+    return graph
+
+
+def path_graph(length: int, role: str = "r", node_labels: Sequence[str] = ()) -> Graph:
+    """A directed path 0 → 1 → ... → length with uniform labels."""
+    graph = Graph()
+    for node in range(length + 1):
+        graph.add_node(node, node_labels)
+    for node in range(length):
+        graph.add_edge(node, role, node + 1)
+    return graph
+
+
+def cycle_graph(length: int, role: str = "r", node_labels: Sequence[str] = ()) -> Graph:
+    """A directed cycle of the given length (≥ 1)."""
+    if length < 1:
+        raise ValueError("cycle length must be at least 1")
+    graph = Graph()
+    for node in range(length):
+        graph.add_node(node, node_labels)
+    for node in range(length):
+        graph.add_edge(node, role, (node + 1) % length)
+    return graph
+
+
+def star_graph(rays: int, role: str = "r", center_labels: Sequence[str] = (), leaf_labels: Sequence[str] = ()) -> Graph:
+    """A star: center 0 with ``rays`` out-edges to fresh leaves."""
+    graph = Graph()
+    graph.add_node(0, center_labels)
+    for leaf in range(1, rays + 1):
+        graph.add_node(leaf, leaf_labels)
+        graph.add_edge(0, role, leaf)
+    return graph
+
+
+def grid_graph(width: int, height: int, right_role: str = "r", down_role: str = "s") -> Graph:
+    """A width × height grid with right- and down-edges."""
+    graph = Graph()
+    for x in range(width):
+        for y in range(height):
+            graph.add_node((x, y))
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                graph.add_edge((x, y), right_role, (x + 1, y))
+            if y + 1 < height:
+                graph.add_edge((x, y), down_role, (x, y + 1))
+    return graph

@@ -1,0 +1,339 @@
+"""Finite labeled directed graphs — the data model of Section 2.
+
+A graph has nodes carrying *sets* of node labels from Γ and edges carrying a
+*single* edge label from Σ; parallel edges are allowed as long as their
+labels differ.  Graphs are presented as relational structures: ``A ∈ Γ`` is a
+unary relation, ``r ∈ Σ`` a binary relation.
+
+The class supports the derived notation used throughout the paper:
+
+* complement node labels: ``G.has_label(v, "!A")`` holds iff ``v`` lacks ``A``;
+* inverse roles: ``G.successors(v, "r-")`` are the r-predecessors of ``v``.
+
+Nodes are arbitrary hashable values (ints and strings in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Optional, Union
+
+from repro.graphs.labels import NodeLabel, Role, node_label, role
+
+Node = Hashable
+Edge = tuple[Node, str, Node]
+"""A directed edge ``(source, role_name, target)`` with a base role name."""
+
+
+class Graph:
+    """A finite graph database instance.
+
+    >>> g = Graph()
+    >>> g.add_node(1, ["Customer"])
+    1
+    >>> g.add_node(2, ["CredCard", "PremCC"])
+    2
+    >>> g.add_edge(1, "owns", 2)
+    >>> g.has_label(1, "Customer"), g.has_label(1, "!CredCard")
+    (True, True)
+    >>> sorted(g.successors(2, "owns-"))
+    [1]
+    """
+
+    def __init__(self) -> None:
+        self._labels: dict[Node, set[str]] = {}
+        self._out: dict[Node, dict[str, set[Node]]] = {}
+        self._in: dict[Node, dict[str, set[Node]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add_node(self, node: Node, labels: Iterable[Union[str, NodeLabel]] = ()) -> Node:
+        """Add ``node`` (idempotent) and attach the given positive labels."""
+        if node not in self._labels:
+            self._labels[node] = set()
+            self._out[node] = {}
+            self._in[node] = {}
+        for raw in labels:
+            label = node_label(raw)
+            if label.negated:
+                raise ValueError(f"cannot attach complement label {label}; remove {label.name} instead")
+            self._labels[node].add(label.name)
+        return node
+
+    def add_label(self, node: Node, label: Union[str, NodeLabel]) -> None:
+        """Attach one positive label to an existing node."""
+        self._require(node)
+        parsed = node_label(label)
+        if parsed.negated:
+            raise ValueError(f"cannot attach complement label {parsed}")
+        self._labels[node].add(parsed.name)
+
+    def remove_label(self, node: Node, label: Union[str, NodeLabel]) -> None:
+        """Detach a positive label from a node (no-op if absent)."""
+        self._require(node)
+        self._labels[node].discard(node_label(label).name)
+
+    def add_edge(self, source: Node, edge_role: Union[str, Role], target: Node) -> None:
+        """Add an edge; ``r-`` adds the reversed ``r``-edge.
+
+        Both endpoints are created if missing.
+        """
+        r = role(edge_role)
+        if r.inverted:
+            source, target = target, source
+            r = r.base
+        self.add_node(source)
+        self.add_node(target)
+        self._out[source].setdefault(r.name, set()).add(target)
+        self._in[target].setdefault(r.name, set()).add(source)
+
+    def remove_edge(self, source: Node, edge_role: Union[str, Role], target: Node) -> None:
+        """Remove an edge if present."""
+        r = role(edge_role)
+        if r.inverted:
+            source, target = target, source
+            r = r.base
+        self._out.get(source, {}).get(r.name, set()).discard(target)
+        self._in.get(target, {}).get(r.name, set()).discard(source)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove a node and all incident edges."""
+        self._require(node)
+        for r_name, targets in list(self._out[node].items()):
+            for target in list(targets):
+                self.remove_edge(node, r_name, target)
+        for r_name, sources in list(self._in[node].items()):
+            for source in list(sources):
+                self.remove_edge(source, r_name, node)
+        del self._labels[node]
+        del self._out[node]
+        del self._in[node]
+
+    # ------------------------------------------------------------------ #
+    # inspection
+
+    def _require(self, node: Node) -> None:
+        if node not in self._labels:
+            raise KeyError(f"node {node!r} not in graph")
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    @property
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._labels)
+
+    def node_list(self) -> list[Node]:
+        """Nodes in insertion order."""
+        return list(self._labels)
+
+    def labels_of(self, node: Node) -> frozenset[str]:
+        """The positive labels of ``node``."""
+        self._require(node)
+        return frozenset(self._labels[node])
+
+    def has_label(self, node: Node, label: Union[str, NodeLabel]) -> bool:
+        """Membership in A^G or Ā^G."""
+        self._require(node)
+        parsed = node_label(label)
+        present = parsed.name in self._labels[node]
+        return present != parsed.negated
+
+    def successors(self, node: Node, edge_role: Union[str, Role]) -> frozenset[Node]:
+        """The set ``{v : (node, v) ∈ r^G}``, with ``r-`` meaning predecessors."""
+        self._require(node)
+        r = role(edge_role)
+        table = self._in if r.inverted else self._out
+        return frozenset(table[node].get(r.name, ()))
+
+    def predecessors(self, node: Node, edge_role: Union[str, Role]) -> frozenset[Node]:
+        """Successors of the inverse role."""
+        return self.successors(node, role(edge_role).inverse())
+
+    def has_edge(self, source: Node, edge_role: Union[str, Role], target: Node) -> bool:
+        return source in self and target in self.successors(source, edge_role)
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges as ``(source, role_name, target)`` with forward roles."""
+        for source, by_role in self._out.items():
+            for r_name, targets in by_role.items():
+                for target in targets:
+                    yield (source, r_name, target)
+
+    def edge_count(self) -> int:
+        return sum(len(ts) for by_role in self._out.values() for ts in by_role.values())
+
+    def incident_edges(self, node: Node) -> Iterator[Edge]:
+        """Edges touching ``node`` (each reported once, in forward direction)."""
+        self._require(node)
+        for r_name, targets in self._out[node].items():
+            for target in targets:
+                yield (node, r_name, target)
+        for r_name, sources in self._in[node].items():
+            for source in sources:
+                if source != node:  # self-loops already reported above
+                    yield (source, r_name, node)
+
+    def degree(self, node: Node) -> int:
+        """Number of incident edges (self-loops counted once)."""
+        return sum(1 for _ in self.incident_edges(node))
+
+    def node_label_names(self) -> set[str]:
+        """All label names attached to some node."""
+        names: set[str] = set()
+        for labels in self._labels.values():
+            names |= labels
+        return names
+
+    def role_names(self) -> set[str]:
+        """All edge label names used by some edge."""
+        names: set[str] = set()
+        for by_role in self._out.values():
+            for r_name, targets in by_role.items():
+                if targets:
+                    names.add(r_name)
+        return names
+
+    def neighbours(self, node: Node) -> set[Node]:
+        """Nodes adjacent to ``node``, ignoring direction and labels."""
+        self._require(node)
+        adjacent: set[Node] = set()
+        for targets in self._out[node].values():
+            adjacent |= targets
+        for sources in self._in[node].values():
+            adjacent |= sources
+        adjacent.discard(node)
+        return adjacent
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+
+    def copy(self) -> "Graph":
+        clone = Graph()
+        for node, labels in self._labels.items():
+            clone.add_node(node, labels)
+        for source, r_name, target in self.edges():
+            clone.add_edge(source, r_name, target)
+        return clone
+
+    def relabel_nodes(self, mapping: Union[Mapping[Node, Node], Callable[[Node], Node]]) -> "Graph":
+        """A copy with nodes renamed by ``mapping`` (must be injective)."""
+        rename = mapping if callable(mapping) else mapping.__getitem__
+        clone = Graph()
+        images: set[Node] = set()
+        for node, labels in self._labels.items():
+            image = rename(node)
+            if image in images:
+                raise ValueError("relabel_nodes mapping is not injective")
+            images.add(image)
+            clone.add_node(image, labels)
+        for source, r_name, target in self.edges():
+            clone.add_edge(rename(source), r_name, rename(target))
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        sub = Graph()
+        for node in self._labels:
+            if node in keep:
+                sub.add_node(node, self._labels[node])
+        for source, r_name, target in self.edges():
+            if source in keep and target in keep:
+                sub.add_edge(source, r_name, target)
+        return sub
+
+    def is_subgraph_of(self, other: "Graph") -> bool:
+        """Containment of nodes, labels, and edges (Section 2, ``G ⊆ G'``)."""
+        for node in self._labels:
+            if node not in other:
+                return False
+            if not self._labels[node] <= set(other._labels[node]):
+                return False
+        return all(other.has_edge(*edge) for edge in self.edges())
+
+    def undirected_copy_edges(self) -> Iterator[tuple[Node, Node]]:
+        """Edges as unordered adjacency pairs (both orientations)."""
+        for source, _r, target in self.edges():
+            yield (source, target)
+            yield (target, source)
+
+    # ------------------------------------------------------------------ #
+    # dunder sugar
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and set(self.edges()) == set(other.edges())
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph is unhashable; use canonical_key() from operations")
+
+    def __repr__(self) -> str:
+        return f"Graph(nodes={len(self)}, edges={self.edge_count()})"
+
+    def describe(self) -> str:
+        """A stable multi-line rendering, useful in tests and examples."""
+        lines = []
+        for node in sorted(self._labels, key=repr):
+            labels = ",".join(sorted(self._labels[node]))
+            lines.append(f"{node!r}: {{{labels}}}")
+        for source, r_name, target in sorted(self.edges(), key=repr):
+            lines.append(f"{source!r} -{r_name}-> {target!r}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PointedGraph:
+    """A graph with a distinguished node (Section 4)."""
+
+    graph: Graph
+    point: Node
+
+    def __post_init__(self) -> None:
+        if self.point not in self.graph:
+            raise ValueError(f"distinguished node {self.point!r} not in graph")
+
+    def relabel_nodes(self, mapping: Union[Mapping[Node, Node], Callable[[Node], Node]]) -> "PointedGraph":
+        rename = mapping if callable(mapping) else mapping.__getitem__
+        return PointedGraph(self.graph.relabel_nodes(mapping), rename(self.point))
+
+
+def disjoint_union(graphs: Iterable[Graph], tag: bool = True) -> Graph:
+    """Disjoint union; with ``tag`` nodes become ``(index, node)`` pairs."""
+    union = Graph()
+    for index, graph in enumerate(graphs):
+        renamed = graph.relabel_nodes(lambda v, i=index: (i, v)) if tag else graph
+        for node in renamed.node_list():
+            union.add_node(node, renamed.labels_of(node))
+        for edge in renamed.edges():
+            union.add_edge(*edge)
+    return union
+
+
+def single_node_graph(labels: Iterable[Union[str, NodeLabel]] = (), node: Node = 0) -> Graph:
+    """The graph G_τ consisting of one isolated node with the given labels."""
+    graph = Graph()
+    graph.add_node(node, labels)
+    return graph
+
+
+def from_triples(
+    edges: Iterable[tuple[Node, str, Node]],
+    labels: Optional[Mapping[Node, Iterable[str]]] = None,
+) -> Graph:
+    """Build a graph from edge triples and an optional node-label mapping."""
+    graph = Graph()
+    for source, r_name, target in edges:
+        graph.add_edge(source, r_name, target)
+    if labels:
+        for node, node_labels in labels.items():
+            graph.add_node(node, node_labels)
+    return graph

@@ -1,0 +1,222 @@
+"""Homomorphisms, local embeddings, and isomorphism tests.
+
+The paper's homomorphisms are stricter than the classical ones: they preserve
+node labels *in both directions* (``u ∈ A^G ⟺ h(u) ∈ A^G'``), so that the
+absence of a label — a complement literal Ā — is also preserved.  Edges are
+preserved in the usual one-directional sense.
+
+A *local embedding* (Section 3, after Theorem 3.1) is a homomorphism that is
+injective on each r-successor set, for every r ∈ Σ± — the witness that a
+sparse graph "locally looks like" the original countermodel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.labels import Role
+
+
+def _label_compatible(source: Graph, u: Node, target: Graph, v: Node) -> bool:
+    """Paper-style label preservation: identical positive label sets."""
+    return source.labels_of(u) == target.labels_of(v)
+
+
+def _candidates(source: Graph, target: Graph) -> Optional[dict[Node, list[Node]]]:
+    """Per-node candidate images filtered by labels and degree profile."""
+    table: dict[Node, list[Node]] = {}
+    for u in source.node_list():
+        options = [v for v in target.node_list() if _label_compatible(source, u, target, v)]
+        if not options:
+            return None
+        table[u] = options
+    return table
+
+
+def _edge_consistent(source: Graph, target: Graph, assignment: dict[Node, Node], u: Node) -> bool:
+    """Check all edges incident to ``u`` whose other endpoint is assigned."""
+    image = assignment[u]
+    for a, r_name, b in source.incident_edges(u):
+        ia = assignment.get(a)
+        ib = assignment.get(b)
+        if ia is not None and ib is not None and not target.has_edge(ia, r_name, ib):
+            return False
+    return True
+
+
+def homomorphisms(source: Graph, target: Graph) -> Iterator[dict[Node, Node]]:
+    """Enumerate all homomorphisms ``source → target`` (paper semantics)."""
+    table = _candidates(source, target)
+    if table is None:
+        return
+    order = sorted(source.node_list(), key=lambda u: len(table[u]))
+    assignment: dict[Node, Node] = {}
+
+    def search(index: int) -> Iterator[dict[Node, Node]]:
+        if index == len(order):
+            yield dict(assignment)
+            return
+        u = order[index]
+        for v in table[u]:
+            assignment[u] = v
+            if _edge_consistent(source, target, assignment, u):
+                yield from search(index + 1)
+            del assignment[u]
+
+    yield from search(0)
+
+
+def find_homomorphism(source: Graph, target: Graph) -> Optional[dict[Node, Node]]:
+    """The first homomorphism found, or ``None``."""
+    return next(homomorphisms(source, target), None)
+
+
+def is_homomorphism(source: Graph, target: Graph, mapping: dict[Node, Node]) -> bool:
+    """Verify that ``mapping`` is a homomorphism (paper semantics)."""
+    for u in source.node_list():
+        if u not in mapping or mapping[u] not in target:
+            return False
+        if not _label_compatible(source, u, target, mapping[u]):
+            return False
+    return all(
+        target.has_edge(mapping[a], r_name, mapping[b]) for a, r_name, b in source.edges()
+    )
+
+
+def is_local_embedding(source: Graph, target: Graph, mapping: dict[Node, Node]) -> bool:
+    """Is ``mapping`` a local embedding (injective on r-successor sets)?"""
+    if not is_homomorphism(source, target, mapping):
+        return False
+    for u in source.node_list():
+        for r_name in source.role_names() | target.role_names():
+            for r in (Role(r_name), Role(r_name, True)):
+                successors = source.successors(u, r)
+                images = {mapping[v] for v in successors}
+                if len(images) != len(successors):
+                    return False
+    return True
+
+
+def find_local_embedding(source: Graph, target: Graph) -> Optional[dict[Node, Node]]:
+    """Search for a local embedding ``source → target``."""
+    for mapping in homomorphisms(source, target):
+        if is_local_embedding(source, target, mapping):
+            return mapping
+    return None
+
+
+def isomorphisms(left: Graph, right: Graph) -> Iterator[dict[Node, Node]]:
+    """Enumerate isomorphisms (bijective, edge- and label-exact)."""
+    if len(left) != len(right) or left.edge_count() != right.edge_count():
+        return
+    table = _candidates(left, right)
+    if table is None:
+        return
+    order = sorted(left.node_list(), key=lambda u: len(table[u]))
+    assignment: dict[Node, Node] = {}
+    used: set[Node] = set()
+
+    # With equal node and edge counts, a bijective node map that preserves
+    # all edges forward is automatically edge-exact: distinct left edges map
+    # to distinct right edges, and the counts force surjectivity on edges.
+    def edges_exact(u: Node) -> bool:
+        for a, r_name, b in left.incident_edges(u):
+            ia, ib = assignment.get(a), assignment.get(b)
+            if ia is not None and ib is not None and not right.has_edge(ia, r_name, ib):
+                return False
+        return True
+
+    def search(index: int) -> Iterator[dict[Node, Node]]:
+        if index == len(order):
+            yield dict(assignment)
+            return
+        u = order[index]
+        for v in table[u]:
+            if v in used:
+                continue
+            assignment[u] = v
+            used.add(v)
+            if edges_exact(u):
+                yield from search(index + 1)
+            used.discard(v)
+            del assignment[u]
+
+    yield from search(0)
+
+
+def is_isomorphic(left: Graph, right: Graph) -> bool:
+    return next(isomorphisms(left, right), None) is not None
+
+
+def canonical_key(graph: Graph) -> tuple:
+    """A canonical, hashable key: equal keys ⟺ isomorphic graphs.
+
+    Uses iterated colour refinement followed by a branch-and-pick-minimum
+    search over ambiguous orderings.  Intended for the *small* graphs handled
+    by the bounded countermodel engines; cost grows quickly with symmetry.
+    """
+    nodes = graph.node_list()
+    if not nodes:
+        return ()
+    roles = sorted(graph.role_names())
+
+    def refine(colors: dict[Node, int]) -> dict[Node, int]:
+        while True:
+            signatures = {}
+            for v in nodes:
+                out_profile = tuple(
+                    tuple(sorted(colors[w] for w in graph.successors(v, r)))
+                    for r in roles
+                )
+                in_profile = tuple(
+                    tuple(sorted(colors[w] for w in graph.predecessors(v, r)))
+                    for r in roles
+                )
+                signatures[v] = (colors[v], out_profile, in_profile)
+            ranked = {sig: i for i, sig in enumerate(sorted(set(signatures.values()), key=repr))}
+            refined = {v: ranked[signatures[v]] for v in nodes}
+            if refined == colors:
+                return colors
+            colors = refined
+
+    initial = {}
+    label_rank = {ls: i for i, ls in enumerate(sorted({graph.labels_of(v) for v in nodes}, key=sorted))}
+    for v in nodes:
+        initial[v] = label_rank[graph.labels_of(v)]
+    colors = refine(initial)
+
+    def encode(order: list[Node]) -> tuple:
+        index = {v: i for i, v in enumerate(order)}
+        label_part = tuple(tuple(sorted(graph.labels_of(v))) for v in order)
+        edge_part = tuple(sorted((index[a], r, index[b]) for a, r, b in graph.edges()))
+        return (label_part, edge_part)
+
+    best: Optional[tuple] = None
+
+    def branch(colors: dict[Node, int]) -> None:
+        nonlocal best
+        classes: dict[int, list[Node]] = {}
+        for v, c in colors.items():
+            classes.setdefault(c, []).append(v)
+        ambiguous = [vs for vs in classes.values() if len(vs) > 1]
+        if not ambiguous:
+            order = sorted(nodes, key=lambda v: colors[v])
+            key = encode(order)
+            if best is None or key < best:
+                best = key
+            return
+        cell = min(ambiguous, key=len)
+        for pick in cell:
+            fixed = dict(colors)
+            fixed[pick] = max(colors.values()) + 1
+            branch(refine(fixed))
+
+    branch(colors)
+    assert best is not None
+    return best
+
+
+def maps_into(source: Graph, target: Graph) -> bool:
+    """Convenience: does a homomorphism ``source → target`` exist?"""
+    return find_homomorphism(source, target) is not None

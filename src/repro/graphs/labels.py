@@ -1,0 +1,129 @@
+"""Node labels and edge labels (roles) with complements and inverses.
+
+The paper (Section 2) fixes a set Γ of node labels and a set Σ of edge
+labels.  Complement node labels Ā ("the node does *not* carry A") and inverse
+roles r⁻ ("traverse an r-edge backwards") are first-class citizens:
+
+* Γ± = Γ ∪ {Ā : A ∈ Γ}  — :class:`NodeLabel` with ``negated`` flag;
+* Σ± = Σ ∪ {r⁻ : r ∈ Σ} — :class:`Role` with ``inverted`` flag.
+
+Both are small frozen values, freely usable as dict keys and set members.
+The concrete text syntax is ``A`` / ``!A`` for node labels and ``r`` / ``r-``
+for roles.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_']*$")
+
+
+def _check_name(name: str) -> None:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid label name: {name!r}")
+
+
+@dataclass(frozen=True, order=True)
+class NodeLabel:
+    """An element of Γ± — a node label ``A`` or its complement ``Ā``.
+
+    A node carries ``Ā`` exactly when it does not carry ``A``; the paper
+    writes the complement as a bar, the text syntax here uses ``!A``.
+    """
+
+    name: str
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+
+    @property
+    def positive(self) -> "NodeLabel":
+        """The underlying positive label ``A``."""
+        return self if not self.negated else NodeLabel(self.name)
+
+    def complement(self) -> "NodeLabel":
+        """``A`` ↦ ``Ā`` and ``Ā`` ↦ ``A``."""
+        return NodeLabel(self.name, not self.negated)
+
+    def __str__(self) -> str:
+        return ("!" if self.negated else "") + self.name
+
+    def __repr__(self) -> str:
+        return f"NodeLabel({str(self)!r})"
+
+    @staticmethod
+    def parse(text: str) -> "NodeLabel":
+        """Parse ``"A"`` or ``"!A"``."""
+        text = text.strip()
+        if text.startswith("!"):
+            return NodeLabel(text[1:], negated=True)
+        return NodeLabel(text)
+
+
+@dataclass(frozen=True, order=True)
+class Role:
+    """An element of Σ± — an edge label ``r`` or its inverse ``r⁻``.
+
+    The text syntax for the inverse is a trailing dash: ``r-``.
+    """
+
+    name: str
+    inverted: bool = False
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+
+    @property
+    def base(self) -> "Role":
+        """The underlying forward role ``r``."""
+        return self if not self.inverted else Role(self.name)
+
+    def inverse(self) -> "Role":
+        """``r`` ↦ ``r⁻`` and ``r⁻`` ↦ ``r``."""
+        return Role(self.name, not self.inverted)
+
+    def __str__(self) -> str:
+        return self.name + ("-" if self.inverted else "")
+
+    def __repr__(self) -> str:
+        return f"Role({str(self)!r})"
+
+    @staticmethod
+    def parse(text: str) -> "Role":
+        """Parse ``"r"`` or ``"r-"``."""
+        text = text.strip()
+        if text.endswith("-"):
+            return Role(text[:-1], inverted=True)
+        return Role(text)
+
+
+Label = Union[NodeLabel, Role]
+"""An element of Γ± ∪ Σ± — the alphabet of regular expressions in queries."""
+
+
+def node_label(value: Union[str, NodeLabel]) -> NodeLabel:
+    """Coerce a string (``"A"`` / ``"!A"``) or :class:`NodeLabel` to a label."""
+    if isinstance(value, NodeLabel):
+        return value
+    return NodeLabel.parse(value)
+
+
+def role(value: Union[str, Role]) -> Role:
+    """Coerce a string (``"r"`` / ``"r-"``) or :class:`Role` to a role."""
+    if isinstance(value, Role):
+        return value
+    return Role.parse(value)
+
+
+def roles_with_inverses(names: Iterable[Union[str, Role]]) -> set[Role]:
+    """The closure Σ₀± of the given roles under inversion."""
+    closure: set[Role] = set()
+    for value in names:
+        r = role(value)
+        closure.add(r)
+        closure.add(r.inverse())
+    return closure

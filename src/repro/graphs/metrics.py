@@ -1,0 +1,96 @@
+"""Graph statistics: sizes, degrees, distances, label histograms.
+
+Used by the workload generators' reporting and handy when inspecting
+countermodels ("how big and how branchy did the chase get?").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graphs.graph import Graph, Node
+
+
+@dataclass
+class GraphStats:
+    nodes: int
+    edges: int
+    label_histogram: dict[str, int]
+    role_histogram: dict[str, int]
+    max_out_degree: int
+    max_in_degree: int
+    sparsity: int
+    """m − n (the Lee–Streinu excess; ≤ c means c-sparse)."""
+    undirected_diameter: Optional[int]
+    """Longest shortest undirected path; ``None`` when disconnected/empty."""
+
+    def __str__(self) -> str:
+        labels = ", ".join(f"{k}:{v}" for k, v in sorted(self.label_histogram.items()))
+        roles = ", ".join(f"{k}:{v}" for k, v in sorted(self.role_histogram.items()))
+        return (
+            f"nodes={self.nodes} edges={self.edges} sparsity={self.sparsity} "
+            f"out≤{self.max_out_degree} in≤{self.max_in_degree} "
+            f"diameter={self.undirected_diameter} labels[{labels}] roles[{roles}]"
+        )
+
+
+def _bfs_eccentricity(graph: Graph, start: Node) -> tuple[int, int]:
+    """(eccentricity, number of reached nodes) over undirected adjacency."""
+    distance = {start: 0}
+    frontier = [start]
+    farthest = 0
+    while frontier:
+        next_frontier: list[Node] = []
+        for node in frontier:
+            for neighbour in graph.neighbours(node):
+                if neighbour not in distance:
+                    distance[neighbour] = distance[node] + 1
+                    farthest = max(farthest, distance[neighbour])
+                    next_frontier.append(neighbour)
+        frontier = next_frontier
+    return farthest, len(distance)
+
+
+def undirected_diameter(graph: Graph) -> Optional[int]:
+    """The diameter of the underlying undirected graph (None if empty or
+    disconnected)."""
+    nodes = graph.node_list()
+    if not nodes:
+        return None
+    diameter = 0
+    for node in nodes:
+        eccentricity, reached = _bfs_eccentricity(graph, node)
+        if reached != len(nodes):
+            return None
+        diameter = max(diameter, eccentricity)
+    return diameter
+
+
+def stats(graph: Graph) -> GraphStats:
+    """Collect all statistics in one pass (plus BFS rounds for the diameter)."""
+    label_histogram: Counter = Counter()
+    for node in graph.node_list():
+        label_histogram.update(graph.labels_of(node))
+    role_histogram: Counter = Counter()
+    max_out = max_in = 0
+    for node in graph.node_list():
+        out_degree = in_degree = 0
+        for r_name in graph.role_names():
+            out_degree += len(graph.successors(node, r_name))
+            in_degree += len(graph.predecessors(node, r_name))
+        max_out = max(max_out, out_degree)
+        max_in = max(max_in, in_degree)
+    for _a, r_name, _b in graph.edges():
+        role_histogram[r_name] += 1
+    return GraphStats(
+        nodes=len(graph),
+        edges=graph.edge_count(),
+        label_histogram=dict(label_histogram),
+        role_histogram=dict(role_histogram),
+        max_out_degree=max_out,
+        max_in_degree=max_in,
+        sparsity=graph.edge_count() - len(graph),
+        undirected_diameter=undirected_diameter(graph),
+    )

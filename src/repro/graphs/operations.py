@@ -1,0 +1,191 @@
+"""Structural graph operations: components, SCCs, reachability, unravellings.
+
+These support the countermodel constructions of Sections 3–6: strongly
+connected components (Lemma 6.3 decomposes countermodels into SCCs), one-step
+unravellings (connector shapes in frame constructions), and undirected
+connectivity (queries and frames are required to be connected).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.graphs.graph import Graph, Node
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """Undirected connected components (edge direction and labels ignored)."""
+    remaining = set(graph.node_list())
+    components: list[set[Node]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in graph.neighbours(node):
+                if neighbour not in component:
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Is the graph (undirected-)connected?  Empty graphs count as connected."""
+    return len(connected_components(graph)) <= 1
+
+
+def strongly_connected_components(graph: Graph) -> list[set[Node]]:
+    """Tarjan's SCCs, in reverse topological order of the condensation."""
+    index_counter = 0
+    stack: list[Node] = []
+    lowlink: dict[Node, int] = {}
+    index: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    components: list[set[Node]] = []
+
+    def successors(node: Node) -> set[Node]:
+        result: set[Node] = set()
+        for r_name in graph.role_names():
+            result |= graph.successors(node, r_name)
+        return result
+
+    def visit(root: Node) -> None:
+        nonlocal index_counter
+        # iterative Tarjan to avoid recursion limits on long chains
+        work: list[tuple[Node, Iterator[Node]]] = []
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(sorted(successors(root), key=repr))))
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(successors(succ), key=repr))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    for node in graph.node_list():
+        if node not in index:
+            visit(node)
+    return components
+
+
+def scc_of(graph: Graph, node: Node) -> set[Node]:
+    """The strongly connected component containing ``node``."""
+    for component in strongly_connected_components(graph):
+        if node in component:
+            return component
+    raise KeyError(node)
+
+
+def condensation(graph: Graph) -> tuple[Graph, dict[Node, int]]:
+    """The DAG of SCCs; returns (dag, node → component index).
+
+    Edges of the condensation carry the original role names.
+    """
+    components = strongly_connected_components(graph)
+    member_of: dict[Node, int] = {}
+    for i, component in enumerate(components):
+        for node in component:
+            member_of[node] = i
+    dag = Graph()
+    for i in range(len(components)):
+        dag.add_node(i)
+    for source, r_name, target in graph.edges():
+        if member_of[source] != member_of[target]:
+            dag.add_edge(member_of[source], r_name, member_of[target])
+    return dag, member_of
+
+
+def reachable_from(graph: Graph, start: Node, max_steps: Optional[int] = None) -> set[Node]:
+    """Nodes reachable from ``start`` by directed paths (bounded if given)."""
+    seen = {start}
+    frontier = [start]
+    steps = 0
+    while frontier and (max_steps is None or steps < max_steps):
+        next_frontier: list[Node] = []
+        for node in frontier:
+            for r_name in graph.role_names():
+                for succ in graph.successors(node, r_name):
+                    if succ not in seen:
+                        seen.add(succ)
+                        next_frontier.append(succ)
+        frontier = next_frontier
+        steps += 1
+    return seen
+
+
+def one_step_unravelling(graph: Graph, center: Node, direction: str = "out") -> Graph:
+    """The star formed by ``center`` and fresh copies of its neighbours.
+
+    ``direction`` is ``"out"`` (successors), ``"in"`` (predecessors), or
+    ``"both"``.  Each incident edge gets its own fresh endpoint copy, so the
+    result is the one-step unravelling used for frame connectors: a single
+    node per edge, no edges among the non-distinguished nodes.
+    """
+    star = Graph()
+    star.add_node(("c", center), graph.labels_of(center))
+    counter = 0
+    for r_name in sorted(graph.role_names()):
+        if direction in ("out", "both"):
+            for succ in sorted(graph.successors(center, r_name), key=repr):
+                fresh = ("s", counter)
+                counter += 1
+                star.add_node(fresh, graph.labels_of(succ))
+                star.add_edge(("c", center), r_name, fresh)
+        if direction in ("in", "both"):
+            for pred in sorted(graph.predecessors(center, r_name), key=repr):
+                fresh = ("p", counter)
+                counter += 1
+                star.add_node(fresh, graph.labels_of(pred))
+                star.add_edge(fresh, r_name, ("c", center))
+    return star
+
+
+def undirected_spanning_tree(graph: Graph, root: Node) -> tuple[set[tuple[Node, str, Node]], set[tuple[Node, str, Node]]]:
+    """Split edges into a BFS spanning forest (from ``root``'s component) and
+    the remaining *extra* edges.
+
+    Used by the sparse-countermodel machinery: a c-sparse connected graph is a
+    tree plus at most c+1 extra edges (Section 3).
+    """
+    tree: set[tuple[Node, str, Node]] = set()
+    visited = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop(0)
+        for a, r_name, b in sorted(graph.incident_edges(node), key=repr):
+            other = b if a == node else a
+            if other not in visited:
+                visited.add(other)
+                tree.add((a, r_name, b))
+                frontier.append(other)
+    extra = {edge for edge in graph.edges() if edge not in tree}
+    return tree, extra

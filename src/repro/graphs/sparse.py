@@ -1,0 +1,59 @@
+"""Sparse graphs in the sense of Lee–Streinu, as used in Theorem 3.1/3.2.
+
+A finite connected graph with n nodes and m edges is *c-sparse* (c ≥ -1) if
+m ≤ n + c.  Every |p|-sparse connected graph is a tree up to removing at most
+|p| + 1 edges; the containment procedure for schemas without participation
+constraints (Theorem 3.2) searches over exactly these shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Edge, Graph, Node
+from repro.graphs.operations import connected_components, undirected_spanning_tree
+
+
+def is_sparse(graph: Graph, c: int) -> bool:
+    """m ≤ n + c for a connected graph (each component checked when not)."""
+    if len(graph) == 0:
+        return True
+    return graph.edge_count() <= len(graph) + c
+
+
+def sparsity(graph: Graph) -> int:
+    """The least c such that the graph is c-sparse (m - n)."""
+    return graph.edge_count() - len(graph)
+
+
+@dataclass(frozen=True)
+class SparseDecomposition:
+    """A connected sparse graph split into a spanning tree and extra edges.
+
+    ``tree_edges`` form an (undirected) spanning tree rooted at ``root``;
+    ``extra_edges`` are the at most c+1 removed edges whose endpoints the
+    automata construction of Theorem 3.2 marks with unique markers.
+    """
+
+    root: Node
+    tree_edges: frozenset[Edge]
+    extra_edges: frozenset[Edge]
+
+    @property
+    def excess(self) -> int:
+        return len(self.extra_edges)
+
+
+def decompose_sparse(graph: Graph, root: Node | None = None) -> SparseDecomposition:
+    """Decompose a connected graph into spanning tree + extra edges.
+
+    Raises ``ValueError`` on disconnected graphs — sparsity is a per-component
+    notion in the paper (queries are connected).
+    """
+    if len(connected_components(graph)) > 1:
+        raise ValueError("sparse decomposition requires a connected graph")
+    if len(graph) == 0:
+        raise ValueError("empty graph")
+    chosen_root = root if root is not None else graph.node_list()[0]
+    tree, extra = undirected_spanning_tree(graph, chosen_root)
+    return SparseDecomposition(chosen_root, frozenset(tree), frozenset(extra))

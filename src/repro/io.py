@@ -1,0 +1,131 @@
+"""JSON (de)serialization for graphs, queries, and TBoxes.
+
+A stable interchange format so that instances, schemas, and decision inputs
+can be stored, versioned, and shared:
+
+* graphs:  ``{"nodes": {"id": ["Label", ...]}, "edges": [["a","r","b"], ...]}``
+  (node ids are strings; tuple ids round-trip through a tagged encoding);
+* queries: the text syntax (`parse_query` / `str` are inverse enough);
+* TBoxes:  ``{"name": ..., "cis": [["lhs", "rhs"], ...]}`` in concept text
+  syntax.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from repro.dl.tbox import CI, TBox
+from repro.graphs.graph import Graph, Node
+from repro.queries.parser import parse_query
+from repro.queries.ucrpq import UCRPQ
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# node ids: JSON keys must be strings; tuples are common internally
+
+
+_TUPLE_SENTINEL = "@json:"
+
+
+def _encode_node(node: Node) -> str:
+    if isinstance(node, str) and not node.startswith(_TUPLE_SENTINEL):
+        return node
+    return _TUPLE_SENTINEL + json.dumps(_tuplify(node))
+
+
+def _tuplify(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return {"__tuple__": [_tuplify(v) for v in value]}
+    return value
+
+
+def _untuplify(value: Any) -> Any:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_untuplify(v) for v in value["__tuple__"])
+    return value
+
+
+def _decode_node(text: str) -> Node:
+    if text.startswith(_TUPLE_SENTINEL):
+        return _untuplify(json.loads(text[len(_TUPLE_SENTINEL):]))
+    return text
+
+
+# --------------------------------------------------------------------- #
+# graphs
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    return {
+        "format": FORMAT_VERSION,
+        "nodes": {
+            _encode_node(node): sorted(graph.labels_of(node))
+            for node in graph.node_list()
+        },
+        "edges": [
+            [_encode_node(a), r, _encode_node(b)] for a, r, b in sorted(graph.edges(), key=repr)
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> Graph:
+    graph = Graph()
+    for key, labels in data.get("nodes", {}).items():
+        graph.add_node(_decode_node(key), labels)
+    for a, r, b in data.get("edges", []):
+        graph.add_edge(_decode_node(a), r, _decode_node(b))
+    return graph
+
+
+def dump_graph(graph: Graph) -> str:
+    return json.dumps(graph_to_dict(graph), indent=2, sort_keys=True)
+
+
+def load_graph(text: str) -> Graph:
+    return graph_from_dict(json.loads(text))
+
+
+# --------------------------------------------------------------------- #
+# TBoxes
+
+
+def tbox_to_dict(tbox: TBox) -> dict:
+    return {
+        "format": FORMAT_VERSION,
+        "name": tbox.name,
+        "cis": [[str(ci.lhs), str(ci.rhs)] for ci in tbox],
+    }
+
+
+def tbox_from_dict(data: dict) -> TBox:
+    return TBox.of(
+        [(lhs, rhs) for lhs, rhs in data.get("cis", [])], name=data.get("name", "")
+    )
+
+
+def dump_tbox(tbox: TBox) -> str:
+    return json.dumps(tbox_to_dict(tbox), indent=2, sort_keys=True)
+
+
+def load_tbox(text: str) -> TBox:
+    return tbox_from_dict(json.loads(text))
+
+
+# --------------------------------------------------------------------- #
+# queries (via the text syntax)
+
+
+def dump_query(query: Union[UCRPQ, str]) -> str:
+    text = query if isinstance(query, str) else "; ".join(
+        ", ".join(str(atom) for atom in disjunct.atoms) for disjunct in query
+    )
+    # validate round-trip before emitting
+    parse_query(text)
+    return json.dumps({"format": FORMAT_VERSION, "query": text})
+
+
+def load_query(text: str) -> UCRPQ:
+    return parse_query(json.loads(text)["query"])

@@ -1,0 +1,78 @@
+"""(U)C2RPQs: atoms, queries, parsing, evaluation, and factorization."""
+
+from repro.queries.algebra import (
+    conjoin as conjoin_queries,
+    fresh_variable,
+    standardize_apart,
+    substitute,
+    unite,
+)
+from repro.queries.atoms import Atom, ConceptAtom, PathAtom, Variable
+from repro.queries.crpq import CRPQ, crpq
+from repro.queries.evaluation import (
+    find_match,
+    find_union_match,
+    matches,
+    pointed_satisfies,
+    satisfies,
+    satisfies_union,
+)
+from repro.queries.factorization import (
+    Factorization,
+    FactorizationError,
+    PointedQuery,
+    factorize,
+)
+from repro.queries.cq import (
+    NotStarFree,
+    canonical_graph,
+    contained_cq,
+    is_star_free,
+    query_of_graph,
+)
+from repro.queries.parser import QuerySyntaxError, parse_crpq, parse_query
+from repro.queries.results import Explanation, ResultSet, Row, answers, explain
+from repro.queries.testfree import TestElimination, eliminate_tests, enrich_graph
+from repro.queries.ucrpq import UCRPQ, union_of
+
+__all__ = [
+    "Atom",
+    "CRPQ",
+    "ConceptAtom",
+    "Factorization",
+    "FactorizationError",
+    "PathAtom",
+    "PointedQuery",
+    "QuerySyntaxError",
+    "UCRPQ",
+    "Variable",
+    "NotStarFree",
+    "canonical_graph",
+    "Explanation",
+    "ResultSet",
+    "Row",
+    "answers",
+    "conjoin_queries",
+    "fresh_variable",
+    "standardize_apart",
+    "substitute",
+    "unite",
+    "contained_cq",
+    "eliminate_tests",
+    "enrich_graph",
+    "explain",
+    "TestElimination",
+    "crpq",
+    "is_star_free",
+    "query_of_graph",
+    "factorize",
+    "find_match",
+    "find_union_match",
+    "matches",
+    "parse_crpq",
+    "parse_query",
+    "pointed_satisfies",
+    "satisfies",
+    "satisfies_union",
+    "union_of",
+]

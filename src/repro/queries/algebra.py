@@ -1,0 +1,87 @@
+"""Query algebra: hygienic combinators over (U)C2RPQs.
+
+Conjunction and union of unions, variable standardization (apart), and
+substitution application — the bookkeeping that callers otherwise hand-roll
+and get subtly wrong (variable capture across disjuncts is the classic
+bug).  Semantic laws (commutativity/associativity of ∧ and ∨ under Boolean
+evaluation, capture-freedom) are property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.queries.crpq import CRPQ
+from repro.queries.ucrpq import UCRPQ
+
+
+def _as_union(query: Union[CRPQ, UCRPQ]) -> UCRPQ:
+    return query if isinstance(query, UCRPQ) else UCRPQ.single(query)
+
+
+def standardize_apart(left: CRPQ, right: CRPQ) -> tuple[CRPQ, CRPQ]:
+    """Rename ``right``'s variables away from ``left``'s (capture avoidance)."""
+    collisions = left.variables & right.variables
+    if not collisions:
+        return left, right
+    taken = {str(v) for v in left.variables | right.variables}
+    renaming = {}
+    for variable in sorted(collisions, key=repr):
+        index = 0
+        while f"{variable}_{index}" in taken:
+            index += 1
+        fresh = f"{variable}_{index}"
+        taken.add(fresh)
+        renaming[variable] = fresh
+    return left, right.rename(renaming)
+
+
+def conjoin(
+    left: Union[CRPQ, UCRPQ],
+    right: Union[CRPQ, UCRPQ],
+    share_variables: bool = False,
+) -> UCRPQ:
+    """(P ∧ Q) as a UC2RPQ: the cross product of disjunct pairs.
+
+    By default disjunct pairs are standardized apart (Boolean conjunction of
+    independent patterns); pass ``share_variables=True`` to join on common
+    variable names instead.
+    """
+    left_u, right_u = _as_union(left), _as_union(right)
+    disjuncts = []
+    for p in left_u:
+        for q in right_u:
+            a, b = (p, q) if share_variables else standardize_apart(p, q)
+            disjuncts.append(a.conjoin(b))
+    return UCRPQ.of(disjuncts)
+
+
+def unite(*queries: Union[CRPQ, UCRPQ]) -> UCRPQ:
+    """(P ∨ Q ∨ …) as a UC2RPQ."""
+    disjuncts = []
+    for query in queries:
+        disjuncts.extend(_as_union(query).disjuncts)
+    return UCRPQ.of(disjuncts)
+
+
+def substitute(query: Union[CRPQ, UCRPQ], mapping: dict) -> UCRPQ:
+    """Apply a variable substitution to every disjunct."""
+    union = _as_union(query)
+    return UCRPQ.of([d.rename(mapping) for d in union])
+
+
+def variables_of(query: Union[CRPQ, UCRPQ]) -> frozenset:
+    union = _as_union(query)
+    result: set = set()
+    for disjunct in union:
+        result |= set(disjunct.variables)
+    return frozenset(result)
+
+
+def fresh_variable(query: Union[CRPQ, UCRPQ], base: str = "v") -> str:
+    """A variable name unused anywhere in the query."""
+    taken = {str(v) for v in variables_of(query)}
+    index = 0
+    while f"{base}{index}" in taken:
+        index += 1
+    return f"{base}{index}"

@@ -1,0 +1,74 @@
+"""Atoms of C2RPQs: concept atoms ``A(x)`` and path atoms ``φ(x, y)``.
+
+Path atoms carry a compiled regular expression (semiautomaton + designated
+state pair), matching the paper's 𝒜_{s,s'}(x, y) representation; the original
+regex is kept for printing when available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from repro.automata.regex import Regex
+from repro.automata.semiautomaton import CompiledRegex, compile_regex
+from repro.graphs.labels import NodeLabel, node_label
+
+Variable = Hashable
+
+
+@dataclass(frozen=True)
+class ConceptAtom:
+    """``A(x)`` or ``Ā(x)`` — the variable must carry (or lack) the label."""
+
+    label: NodeLabel
+    variable: Variable
+
+    @staticmethod
+    def make(label: Union[str, NodeLabel], variable: Variable) -> "ConceptAtom":
+        return ConceptAtom(node_label(label), variable)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.variable,)
+
+    def rename(self, mapping: dict[Variable, Variable]) -> "ConceptAtom":
+        return ConceptAtom(self.label, mapping.get(self.variable, self.variable))
+
+    def __str__(self) -> str:
+        return f"{self.label}({self.variable})"
+
+
+@dataclass(frozen=True)
+class PathAtom:
+    """``φ(x, y)`` — a 2RPQ between two variables.
+
+    ``compiled`` is shared-automaton friendly: several atoms may reference
+    the same underlying semiautomaton with different state pairs.
+    """
+
+    compiled: CompiledRegex
+    source: Variable
+    target: Variable
+
+    @staticmethod
+    def make(expr: Union[str, Regex, CompiledRegex], source: Variable, target: Variable) -> "PathAtom":
+        compiled = expr if isinstance(expr, CompiledRegex) else compile_regex(expr)
+        return PathAtom(compiled, source, target)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.source, self.target)
+
+    def rename(self, mapping: dict[Variable, Variable]) -> "PathAtom":
+        return PathAtom(
+            self.compiled,
+            mapping.get(self.source, self.source),
+            mapping.get(self.target, self.target),
+        )
+
+    def __str__(self) -> str:
+        return f"({self.compiled})({self.source},{self.target})"
+
+
+Atom = Union[ConceptAtom, PathAtom]

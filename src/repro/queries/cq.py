@@ -1,0 +1,114 @@
+"""Classical conjunctive-query containment (the star-free special case).
+
+For queries whose path atoms all have *finite* languages, containment
+reduces to the classical CQ/UCQ picture: P ⊆ Q iff every canonical
+expansion of P admits a homomorphism from some expansion-shaped canonical
+database of Q — equivalently (and how we implement it), every expansion of
+P satisfies Q.  Unlike :mod:`repro.core.baseline`, which bounds word
+lengths, this module *certifies* its answers by checking finiteness first.
+
+The module also exposes the canonical-database view used in the paper's
+remark that "finite entailment can be seen as a special case of containment
+modulo schema, via the well-known correspondence between conjunctive
+queries and graphs": :func:`canonical_graph` freezes a CQ-shaped query into
+a graph, and :func:`query_of_graph` reads a Boolean CQ back off a graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.graph import Graph, Node
+from repro.queries.atoms import ConceptAtom, PathAtom
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import satisfies_union
+from repro.queries.ucrpq import UCRPQ
+
+
+class NotStarFree(ValueError):
+    """Raised when a query's regular expressions have infinite languages."""
+
+
+def is_star_free(query: UCRPQ) -> bool:
+    """Do all path atoms have finite languages?"""
+    from repro.core.baseline import language_is_finite  # lazy: avoids a cycle
+
+    return all(
+        language_is_finite(atom.compiled)
+        for disjunct in query
+        for atom in disjunct.path_atoms
+    )
+
+
+def _max_word_length(query: UCRPQ) -> int:
+    """An upper bound on word lengths of finite-language atoms: no accepted
+    word repeats a state, so |states| suffices."""
+    return max(
+        (
+            len(atom.compiled.automaton.states)
+            for disjunct in query
+            for atom in disjunct.path_atoms
+        ),
+        default=1,
+    )
+
+
+def contained_cq(lhs: UCRPQ, rhs: UCRPQ) -> bool:
+    """Certified containment for star-free UC2RPQs (classical UCQ case).
+
+    Raises :class:`NotStarFree` when an lhs language is infinite (use
+    :func:`repro.core.containment.is_contained` there).
+    """
+    from repro.core.baseline import expansions  # lazy: avoids a cycle
+
+    if not is_star_free(lhs):
+        raise NotStarFree("lhs has infinite regular languages; use is_contained")
+    bound = _max_word_length(lhs)
+    for disjunct in lhs:
+        for expansion in expansions(disjunct, bound, max_expansions=1_000_000):
+            if not satisfies_union(expansion.graph, rhs):
+                return False
+    return True
+
+
+def canonical_graph(query: CRPQ) -> Optional[Graph]:
+    """The canonical database of a CQ-shaped query (single-edge atoms only).
+
+    Returns ``None`` when some path atom is not a plain single edge — the
+    canonical database is only canonical for conjunctive queries proper.
+    Complement concept atoms contribute nothing (canonical databases encode
+    positive information only).
+    """
+    from repro.queries.factorization import _single_edge_atom
+
+    graph = Graph()
+    for variable in query.variables:
+        graph.add_node(("v", variable))
+    for atom in query.atoms:
+        if isinstance(atom, ConceptAtom):
+            if not atom.label.negated:
+                graph.add_label(("v", atom.variable), atom.label.name)
+        elif isinstance(atom, PathAtom):
+            if not _single_edge_atom(atom):
+                return None
+            roles = {lbl for _s, lbl, _t in atom.compiled.automaton.transitions}
+            if len(roles) != 1:
+                return None  # a union of edges is not CQ-shaped
+            (role,) = roles
+            graph.add_edge(("v", atom.source), role, ("v", atom.target))
+    return graph
+
+
+def query_of_graph(graph: Graph) -> CRPQ:
+    """The Boolean CQ whose canonical database is ``graph``.
+
+    This is the paper's correspondence direction used to see finite
+    entailment as containment: G ⊑ ... becomes query_of_graph(G) ⊆_T Q.
+    """
+    atoms = []
+    for node in graph.node_list():
+        for label in sorted(graph.labels_of(node)):
+            atoms.append(ConceptAtom.make(label, ("q", node)))
+    for a, r, b in sorted(graph.edges(), key=repr):
+        atoms.append(PathAtom.make(r, ("q", a), ("q", b)))
+    return CRPQ.of(atoms, isolated=[("q", v) for v in graph.node_list()])

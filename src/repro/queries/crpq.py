@@ -1,0 +1,159 @@
+"""Conjunctive two-way regular path queries (C2RPQs), Section 2.
+
+A C2RPQ is a conjunction of concept atoms ``A(x)`` and path atoms ``φ(y,z)``.
+The Boolean semantics asks for a *match*: a variable assignment such that
+every concept atom holds and every path atom is witnessed by a path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.queries.atoms import Atom, ConceptAtom, PathAtom, Variable
+
+
+@dataclass(frozen=True)
+class CRPQ:
+    """A C2RPQ as an (ordered, deduplicated) tuple of atoms.
+
+    ``isolated_variables`` lets a query mention variables with no atoms
+    (rare, but needed for factor bookkeeping).
+    """
+
+    atoms: tuple[Atom, ...]
+    isolated_variables: frozenset[Variable] = field(default_factory=frozenset)
+
+    @staticmethod
+    def of(atoms: Iterable[Atom], isolated: Iterable[Variable] = ()) -> "CRPQ":
+        seen: list[Atom] = []
+        for atom in atoms:
+            if atom not in seen:
+                seen.append(atom)
+        return CRPQ(tuple(seen), frozenset(isolated))
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        result: set[Variable] = set(self.isolated_variables)
+        for atom in self.atoms:
+            result.update(atom.variables)
+        return frozenset(result)
+
+    @property
+    def concept_atoms(self) -> tuple[ConceptAtom, ...]:
+        return tuple(a for a in self.atoms if isinstance(a, ConceptAtom))
+
+    @property
+    def path_atoms(self) -> tuple[PathAtom, ...]:
+        return tuple(a for a in self.atoms if isinstance(a, PathAtom))
+
+    def size(self) -> int:
+        """|q| — the number of atoms (the measure in sparsity bounds)."""
+        return len(self.atoms)
+
+    def rename(self, mapping: dict[Variable, Variable]) -> "CRPQ":
+        return CRPQ.of(
+            (atom.rename(mapping) for atom in self.atoms),
+            (mapping.get(v, v) for v in self.isolated_variables),
+        )
+
+    def conjoin(self, other: "CRPQ") -> "CRPQ":
+        return CRPQ.of(self.atoms + other.atoms, self.isolated_variables | other.isolated_variables)
+
+    def with_atoms(self, extra: Iterable[Atom]) -> "CRPQ":
+        return CRPQ.of(self.atoms + tuple(extra), self.isolated_variables)
+
+    # ---------------------------------------------------------------- #
+    # structure
+
+    def variable_adjacency(self) -> dict[Variable, set[Variable]]:
+        """The co-occurrence graph of variables (for connectivity)."""
+        adjacency: dict[Variable, set[Variable]] = {v: set() for v in self.variables}
+        for atom in self.atoms:
+            vs = atom.variables
+            for v in vs:
+                for w in vs:
+                    if v != w:
+                        adjacency[v].add(w)
+        return adjacency
+
+    def is_connected(self) -> bool:
+        """Connectivity of the variable co-occurrence graph."""
+        variables = self.variables
+        if len(variables) <= 1:
+            return True
+        adjacency = self.variable_adjacency()
+        seed = next(iter(variables))
+        seen = {seed}
+        frontier = [seed]
+        while frontier:
+            v = frontier.pop()
+            for w in adjacency[v]:
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return seen == set(variables)
+
+    def connected_components(self) -> list["CRPQ"]:
+        """Split into maximal connected sub-queries."""
+        variables = self.variables
+        if not variables:
+            return [self]
+        adjacency = self.variable_adjacency()
+        remaining = set(variables)
+        parts: list[CRPQ] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                v = frontier.pop()
+                for w in adjacency[v]:
+                    if w not in component:
+                        component.add(w)
+                        frontier.append(w)
+            remaining -= component
+            atoms = tuple(a for a in self.atoms if set(a.variables) <= component)
+            isolated = frozenset(v for v in self.isolated_variables if v in component)
+            parts.append(CRPQ(atoms, isolated))
+        return parts
+
+    # ---------------------------------------------------------------- #
+    # classification (Section 2)
+
+    def is_one_way(self) -> bool:
+        """A CRPQ proper: no inverse roles in any regular expression."""
+        from repro.graphs.labels import Role
+
+        for atom in self.path_atoms:
+            for label in atom.compiled.alphabet:
+                if isinstance(label, Role) and label.inverted:
+                    return False
+        return True
+
+    def is_test_free(self) -> bool:
+        """No node-label symbols inside regular expressions."""
+        from repro.graphs.labels import NodeLabel
+
+        return not any(
+            isinstance(label, NodeLabel)
+            for atom in self.path_atoms
+            for label in atom.compiled.alphabet
+        )
+
+    def is_simple(self) -> bool:
+        """Only atoms of shape ``r`` or ``(r1+...+rn)*`` (Section 2)."""
+        for atom in self.path_atoms:
+            source = atom.compiled.source
+            if source is None or not source.is_simple():
+                return False
+        return True
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.atoms]
+        parts.extend(f"var({v})" for v in sorted(self.isolated_variables, key=repr))
+        return " & ".join(parts) if parts else "<true>"
+
+
+def crpq(*atoms: Atom) -> CRPQ:
+    return CRPQ.of(atoms)

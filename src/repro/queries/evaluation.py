@@ -1,0 +1,135 @@
+"""Evaluating (U)C2RPQs over finite graphs.
+
+Each path atom is evaluated to a binary relation via the graph × automaton
+product (BFS reachability), then the conjunctive skeleton is solved by a
+backtracking join ordered to bind connected variables early.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.automata.product import rpq_relation
+from repro.graphs.graph import Graph, Node
+from repro.queries.atoms import PathAtom, Variable
+from repro.queries.crpq import CRPQ
+from repro.queries.ucrpq import UCRPQ
+
+Match = dict[Variable, Node]
+
+
+def _atom_relations(graph: Graph, query: CRPQ) -> dict[PathAtom, set[tuple[Node, Node]]]:
+    relations: dict[PathAtom, set[tuple[Node, Node]]] = {}
+    cache: dict[tuple[int, int, int], set[tuple[Node, Node]]] = {}
+    for atom in query.path_atoms:
+        key = (id(atom.compiled.automaton), atom.compiled.pair.start, atom.compiled.pair.end)
+        if key not in cache:
+            cache[key] = rpq_relation(graph, atom.compiled)
+        relations[atom] = cache[key]
+    return relations
+
+
+def find_match(graph: Graph, query: CRPQ) -> Optional[Match]:
+    """A match of ``query`` in ``graph``, or ``None``."""
+    return next(matches(graph, query), None)
+
+
+def matches(
+    graph: Graph, query: CRPQ, fixed: Optional[Match] = None
+) -> Iterator[Match]:
+    """Enumerate all matches of ``query`` in ``graph``.
+
+    ``fixed`` pins selected variables to given nodes (pointed-query
+    satisfaction, Lemma 3.7).
+    """
+    nodes = graph.node_list()
+    if not nodes and query.variables:
+        return
+    relations = _atom_relations(graph, query)
+
+    # candidate domains from concept atoms
+    domains: dict[Variable, set[Node]] = {v: set(nodes) for v in query.variables}
+    for variable, node in (fixed or {}).items():
+        if variable in domains:
+            domains[variable] &= {node}
+    for atom in query.concept_atoms:
+        domains[atom.variable] &= {v for v in nodes if graph.has_label(v, atom.label)}
+
+    # forward/backward pruning from path-atom relations
+    for atom in query.path_atoms:
+        relation = relations[atom]
+        domains[atom.source] &= {a for a, _b in relation}
+        domains[atom.target] &= {b for _a, b in relation}
+    if any(not domain for domain in domains.values()):
+        return
+
+    # order variables: most constrained (smallest domain), then connectivity
+    adjacency = query.variable_adjacency()
+    order: list[Variable] = []
+    placed: set[Variable] = set()
+    candidates = sorted(query.variables, key=lambda v: (len(domains[v]), repr(v)))
+    for seed in candidates:
+        if seed in placed:
+            continue
+        stack = [seed]
+        while stack:
+            v = stack.pop()
+            if v in placed:
+                continue
+            placed.add(v)
+            order.append(v)
+            stack.extend(sorted(adjacency[v] - placed, key=lambda w: (len(domains[w]), repr(w))))
+
+    atom_checks: dict[Variable, list[PathAtom]] = {v: [] for v in order}
+    position = {v: i for i, v in enumerate(order)}
+    for atom in query.path_atoms:
+        later = max(atom.source, atom.target, key=lambda v: position[v])
+        atom_checks[later].append(atom)
+
+    assignment: Match = {}
+
+    def extend(index: int) -> Iterator[Match]:
+        if index == len(order):
+            yield dict(assignment)
+            return
+        variable = order[index]
+        for node in sorted(domains[variable], key=repr):
+            assignment[variable] = node
+            consistent = all(
+                (assignment[atom.source], assignment[atom.target]) in relations[atom]
+                for atom in atom_checks[variable]
+            )
+            if consistent:
+                yield from extend(index + 1)
+            del assignment[variable]
+
+    yield from extend(0)
+
+
+def satisfies(graph: Graph, query: CRPQ) -> bool:
+    """G ⊨ q — Boolean satisfaction."""
+    return find_match(graph, query) is not None
+
+
+def satisfies_union(graph: Graph, query: UCRPQ) -> bool:
+    """G ⊨ Q for a UC2RPQ: some disjunct matches."""
+    return any(satisfies(graph, q) for q in query)
+
+
+def find_union_match(graph: Graph, query: UCRPQ) -> Optional[tuple[CRPQ, Match]]:
+    """The first matching disjunct with its match, or ``None``."""
+    for q in query:
+        match = find_match(graph, q)
+        if match is not None:
+            return (q, match)
+    return None
+
+
+def pointed_satisfies(graph: Graph, query: CRPQ, variable: Variable, node: Node) -> bool:
+    """Does ``query`` have a match sending ``variable`` to ``node``?
+
+    The pointed-query satisfaction used by factors (Lemma 3.7).
+    """
+    if variable not in query.variables:
+        return satisfies(graph, query)
+    return next(matches(graph, query, fixed={variable: node}), None) is not None

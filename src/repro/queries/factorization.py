@@ -1,0 +1,625 @@
+"""Query factorization — the Q̂ construction of Lemma 3.7.
+
+Given a connected UC2RPQ Q, build a UC2RPQ Q̂ over an extended label alphabet
+(fresh *permission* labels C_{p,y}) such that
+
+(1) Q̂ is *factorized*: it holds in a star-like graph iff it holds in one of
+    its parts; and
+(2) Q holds in a graph G iff Q̂ holds in **every** graph Ĝ equal to G up to
+    the fresh permission labels.
+
+The construction follows the paper's proof:
+
+* a *unary factor* of a disjunct q is a pointed query (p, y) describing the
+  fragment of a match confined to one peripheral part of a star-like graph,
+  attached at the shared node (plus the loop factors (𝒜_{s,s'}(y,y), y));
+* a *central factor* of (p, y) is the rest of a match of (p, y): the atoms
+  matched in the central part, with each peripheral fragment replaced by a
+  permission atom C_{p_i,y_i}(ŷ_i), and (for non-simple queries) the
+  semiautomaton extended with *shortcut* transitions over loop permissions
+  to account for detours;
+* Q̂ is the union of the queries  p' ∧ ¬C_{p,y}(y')  for every unary factor
+  (p, y) and central factor (p', y') of it, plus the queries C_{q,x}(x).
+
+Factors are enumerated symbolically: a decomposition assigns each variable a
+*residence* — the centre, the interior of a part, or the shared node of a
+part — and splits every path atom 𝒜_{s,t} crossing a boundary into prefix /
+middle / suffix segments at chosen automaton states.  Decompositions that
+cannot arise from a match (disconnected fragments) are discarded.
+
+For *simple* queries detours are pointless (paper, proof of Lemma 3.7), so
+no loop factors or shortcut transitions are generated and the factors stay
+simple; likewise one-way queries yield one-way factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations, product
+from typing import Iterable, Iterator, Optional
+
+from repro.automata.semiautomaton import CompiledRegex, Semiautomaton, StatePair
+from repro.graphs.graph import Graph
+from repro.graphs.labels import NodeLabel
+from repro.queries.atoms import Atom, ConceptAtom, PathAtom, Variable
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import pointed_satisfies
+from repro.queries.ucrpq import UCRPQ
+
+
+class FactorizationError(ValueError):
+    """Raised when factor enumeration exceeds the configured budget."""
+
+
+@dataclass(frozen=True)
+class PointedQuery:
+    """A connected C2RPQ with a distinguished variable (Lemma 3.7)."""
+
+    query: CRPQ
+    point: Variable
+
+    def rename(self, mapping: dict[Variable, Variable]) -> "PointedQuery":
+        return PointedQuery(self.query.rename(mapping), mapping.get(self.point, self.point))
+
+    def matches_at(self, graph: Graph, node) -> bool:
+        return pointed_satisfies(graph, self.query, self.point, node)
+
+    def __str__(self) -> str:
+        return f"({self.query} @ {self.point})"
+
+
+# --------------------------------------------------------------------- #
+# canonical forms (for factor deduplication and stable permission names)
+
+
+def _atom_key(atom: Atom, auto_ids: dict[int, int], var_names: dict[Variable, str]) -> tuple:
+    if isinstance(atom, ConceptAtom):
+        return ("c", str(atom.label), var_names[atom.variable])
+    assert isinstance(atom, PathAtom)
+    return (
+        "p",
+        auto_ids[id(atom.compiled.automaton)],
+        atom.compiled.pair.start,
+        atom.compiled.pair.end,
+        var_names[atom.source],
+        var_names[atom.target],
+    )
+
+
+def canonical_form(pq: PointedQuery, auto_ids: dict[int, int]) -> tuple:
+    """A renaming-invariant key of a pointed query.
+
+    For queries with up to 7 variables this is exact (minimum over variable
+    orderings); beyond that a deterministic greedy ordering is used, which
+    may distinguish some isomorphic factors (harmless: it only duplicates
+    permission labels, never changes semantics).
+    """
+    variables = sorted(pq.query.variables | {pq.point}, key=repr)
+    others = [v for v in variables if v != pq.point]
+    if len(others) <= 6:
+        best: Optional[tuple] = None
+        for order in permutations(others):
+            names = {pq.point: "pt"}
+            names.update({v: f"x{i}" for i, v in enumerate(order)})
+            key = tuple(sorted(_atom_key(a, auto_ids, names) for a in pq.query.atoms))
+            if best is None or key < best:
+                best = key
+        return best if best is not None else ()
+    names = {pq.point: "pt"}
+    names.update({v: f"x{i}" for i, v in enumerate(others)})
+    return tuple(sorted(_atom_key(a, auto_ids, names) for a in pq.query.atoms))
+
+
+# --------------------------------------------------------------------- #
+# reachability oracles over semiautomata
+
+
+@dataclass
+class _Reach:
+    """Reflexive-transitive (``zero``) and ≥1-step (``one``) reachability."""
+
+    zero: dict[int, set[int]]
+    one: dict[int, set[int]]
+
+
+def _reachability(auto: Semiautomaton) -> _Reach:
+    one: dict[int, set[int]] = {s: set() for s in auto.states}
+    for s, _lbl, t in auto.transitions:
+        one[s].add(t)
+    changed = True
+    while changed:
+        changed = False
+        for s in auto.states:
+            expansion = set()
+            for mid in one[s]:
+                expansion |= one[mid]
+            if not expansion <= one[s]:
+                one[s] |= expansion
+                changed = True
+    zero = {s: one[s] | {s} for s in auto.states}
+    return _Reach(zero, one)
+
+
+# --------------------------------------------------------------------- #
+# decomposition plans
+
+_CENTER = ("C",)
+
+
+@dataclass
+class _Plan:
+    """One symbolic decomposition of a pointed query into centre + parts."""
+
+    center_atoms: list[Atom] = field(default_factory=list)
+    part_atoms: dict[int, list[Atom]] = field(default_factory=dict)
+    unifications: list[tuple[Variable, Variable]] = field(default_factory=list)
+    point: Variable = None
+    n_parts: int = 0
+
+
+class _Context:
+    """Shared state of one factorization run."""
+
+    def __init__(self, use_shortcuts: bool, max_factors: int) -> None:
+        self.use_shortcuts = use_shortcuts
+        self.max_factors = max_factors
+        self.auto_ids: dict[int, int] = {}
+        self.reach: dict[int, _Reach] = {}
+        self.extended: dict[int, Semiautomaton] = {}
+        self.loop_permission: dict[tuple[int, int, int], str] = {}
+        self.factors: dict[tuple, tuple[str, PointedQuery]] = {}
+        self._keepalive: list[Semiautomaton] = []
+
+    def register_automaton(self, auto: Semiautomaton) -> int:
+        if id(auto) not in self.auto_ids:
+            self.auto_ids[id(auto)] = len(self.auto_ids)
+            self.reach[id(auto)] = _reachability(auto)
+            self._keepalive.append(auto)
+        return self.auto_ids[id(auto)]
+
+    def factor_name(self, pq: PointedQuery) -> str:
+        """Register (dedup) a factor; returns its permission label name."""
+        for atom in pq.query.path_atoms:
+            self.register_automaton(atom.compiled.automaton)
+        key = canonical_form(pq, self.auto_ids)
+        if key not in self.factors:
+            if len(self.factors) >= self.max_factors:
+                raise FactorizationError(
+                    f"factor budget of {self.max_factors} exceeded; "
+                    "increase max_factors or simplify the query"
+                )
+            name = f"Cp_{len(self.factors)}"
+            self.factors[key] = (name, pq)
+        return self.factors[key][0]
+
+
+def _segment_atom(
+    compiled: CompiledRegex, start: int, end: int, source: Variable, target: Variable
+) -> PathAtom:
+    """A path atom for the segment 𝒜_{start,end} of ``compiled``'s automaton."""
+    # ε-acceptance of a segment is start == end by semiautomaton semantics
+    src = compiled.source if (start, end) == (compiled.pair.start, compiled.pair.end) else None
+    segment = CompiledRegex(compiled.automaton, StatePair(start, end), start == end, source=src)
+    return PathAtom(segment, source, target)
+
+
+def _is_epsilon_only(reach: _Reach, start: int, end: int) -> bool:
+    """Does 𝒜_{start,end} denote exactly {ε}? (start == end, no loop back)"""
+    return start == end and end not in reach.one[start]
+
+
+def _residences(
+    variables: list[Variable], point: Variable
+) -> Iterator[dict[Variable, tuple]]:
+    """Enumerate residence assignments in canonical part order.
+
+    Residences: ``("C",)`` (centre), ``("W", i)`` (interior of part i), or
+    ``("M", i)`` (shared node of part i).  The point may live in the centre
+    or at a shared node, never in a part interior.
+    """
+
+    def assign(index: int, used_parts: int, current: dict[Variable, tuple]) -> Iterator[dict]:
+        if index == len(variables):
+            yield dict(current)
+            return
+        v = variables[index]
+        options: list[tuple] = [_CENTER]
+        for i in range(used_parts + 1):
+            options.append(("W", i))
+            options.append(("M", i))
+        for option in options:
+            if v == point and option[0] == "W":
+                continue
+            current[v] = option
+            next_used = max(used_parts, option[1] + 1) if option[0] in ("W", "M") else used_parts
+            yield from assign(index + 1, next_used, current)
+            del current[v]
+
+    yield from assign(0, 0, {})
+
+
+def _shared_var(i: int) -> Variable:
+    return ("~shared", i)
+
+
+def _plans(pq: PointedQuery, ctx: _Context) -> Iterator[_Plan]:
+    """Enumerate decomposition plans of ``pq`` (centre kept, parts factored)."""
+    q = pq.query
+    variables = sorted(q.variables | {pq.point}, key=repr)
+    for residence in _residences(variables, pq.point):
+        n_parts = 1 + max(
+            (res[1] for res in residence.values() if res[0] in ("W", "M")), default=-1
+        )
+
+        def var_in(v: Variable) -> tuple:
+            return residence[v]
+
+        def placed(v: Variable) -> Variable:
+            """The variable as it appears after shared-node renaming."""
+            res = residence[v]
+            return _shared_var(res[1]) if res[0] == "M" else v
+
+        # per-atom contribution options
+        atom_options: list[list[tuple[list[tuple[int, Atom]], list[Atom], list[tuple]]]] = []
+        feasible = True
+        for atom in q.atoms:
+            options: list[tuple[list[tuple[int, Atom]], list[Atom], list[tuple]]] = []
+            if isinstance(atom, ConceptAtom):
+                res = var_in(atom.variable)
+                if res == _CENTER:
+                    options.append(([], [atom], []))
+                elif res[0] == "W":
+                    options.append(([(res[1], atom)], [], []))
+                else:  # shared node: the label holds in both the centre and the part
+                    renamed = ConceptAtom(atom.label, _shared_var(res[1]))
+                    options.append(([(res[1], renamed)], [renamed], []))
+                atom_options.append(options)
+                continue
+
+            assert isinstance(atom, PathAtom)
+            compiled = atom.compiled
+            ctx.register_automaton(compiled.automaton)
+            reach = ctx.reach[id(compiled.automaton)]
+            s, t = compiled.pair.start, compiled.pair.end
+            y_res, z_res = var_in(atom.source), var_in(atom.target)
+
+            def prefix_states(y_residence: tuple) -> Iterator[int]:
+                """Legal exit states s' for the prefix segment."""
+                if y_residence[0] == "W":
+                    # an interior node needs at least one edge to reach the
+                    # shared node (unless the prefix is witnessed by tests
+                    # only, which the 'M' residence covers)
+                    yield from sorted(reach.one[s])
+                else:  # shared node: empty prefix (s'=s) or a loop
+                    yield from sorted(reach.zero[s])
+
+            def suffix_states(z_residence: tuple) -> Iterator[int]:
+                """Legal entry states t' for the suffix segment."""
+                co_one = sorted(u for u in reach.one if t in reach.one[u])
+                co_zero = sorted(u for u in reach.zero if t in reach.zero[u])
+                yield from (co_one if z_residence[0] == "W" else co_zero)
+
+            def make_prefix(i: int, s_prime: int) -> list[tuple[int, Atom]]:
+                source = placed(atom.source)
+                shared = _shared_var(i)
+                if _is_epsilon_only(reach, s, s_prime) and source == shared:
+                    return []
+                return [(i, _segment_atom(compiled, s, s_prime, source, shared))]
+
+            def make_suffix(j: int, t_prime: int) -> list[tuple[int, Atom]]:
+                target = placed(atom.target)
+                shared = _shared_var(j)
+                if _is_epsilon_only(reach, t_prime, t) and target == shared:
+                    return []
+                return [(j, _segment_atom(compiled, t_prime, t, shared, target))]
+
+            def make_middle(
+                s_prime: int, t_prime: int, left: Variable, right: Variable
+            ) -> tuple[list[Atom], list[tuple]]:
+                if _is_epsilon_only(reach, s_prime, t_prime):
+                    return ([], [(left, right)] if left != right else [])
+                return ([_segment_atom(compiled, s_prime, t_prime, left, right)], [])
+
+            if y_res == _CENTER and z_res == _CENTER:
+                options.append(([], [atom], []))
+            elif y_res != _CENTER and z_res == _CENTER:
+                i = y_res[1]
+                for s_prime in prefix_states(y_res):
+                    if t not in reach.zero[s_prime]:
+                        continue
+                    middle, unify = make_middle(s_prime, t, _shared_var(i), atom.target)
+                    options.append((make_prefix(i, s_prime), middle, unify))
+            elif y_res == _CENTER and z_res != _CENTER:
+                j = z_res[1]
+                for t_prime in suffix_states(z_res):
+                    if t_prime not in reach.zero[s]:
+                        continue
+                    middle, unify = make_middle(s, t_prime, atom.source, _shared_var(j))
+                    options.append((make_suffix(j, t_prime), middle, unify))
+            else:
+                i, j = y_res[1], z_res[1]
+                if i == j:
+                    # (a) the whole atom is witnessed inside part i
+                    whole = PathAtom(compiled, placed(atom.source), placed(atom.target))
+                    options.append(([(i, whole)], [], []))
+                    # (b) the path leaves the part and comes back
+                    for s_prime in prefix_states(y_res):
+                        for t_prime in suffix_states(z_res):
+                            if t_prime not in reach.zero[s_prime]:
+                                continue
+                            middle, unify = make_middle(
+                                s_prime, t_prime, _shared_var(i), _shared_var(j)
+                            )
+                            options.append(
+                                (make_prefix(i, s_prime) + make_suffix(j, t_prime), middle, unify)
+                            )
+                else:
+                    for s_prime in prefix_states(y_res):
+                        for t_prime in suffix_states(z_res):
+                            if t_prime not in reach.zero[s_prime]:
+                                continue
+                            middle, unify = make_middle(
+                                s_prime, t_prime, _shared_var(i), _shared_var(j)
+                            )
+                            options.append(
+                                (make_prefix(i, s_prime) + make_suffix(j, t_prime), middle, unify)
+                            )
+            if not options:
+                feasible = False
+                break
+            atom_options.append(options)
+        if not feasible:
+            continue
+
+        for combination in product(*atom_options):
+            plan = _Plan(n_parts=n_parts)
+            plan.point = placed(pq.point)
+            for part_contrib, center_contrib, unify in combination:
+                for i, part_atom in part_contrib:
+                    plan.part_atoms.setdefault(i, []).append(part_atom)
+                plan.center_atoms.extend(center_contrib)
+                plan.unifications.extend(unify)
+            # parts with no atoms contribute nothing (skip whole plan to
+            # avoid duplicating the same decomposition with fewer parts)
+            if any(i not in plan.part_atoms or not plan.part_atoms[i] for i in range(n_parts)):
+                continue
+            yield plan
+
+
+def _apply_unifications(plan: _Plan) -> Optional[_Plan]:
+    """Resolve variable unifications (from ε-only middles) via union-find."""
+    if not plan.unifications:
+        return plan
+    parent: dict[Variable, Variable] = {}
+
+    def find(v: Variable) -> Variable:
+        parent.setdefault(v, v)
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for a, b in plan.unifications:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+    mapping = {v: find(v) for v in parent}
+    resolved = _Plan(n_parts=plan.n_parts)
+    resolved.point = mapping.get(plan.point, plan.point)
+    resolved.center_atoms = [a.rename(mapping) for a in plan.center_atoms]
+    resolved.part_atoms = {
+        i: [a.rename(mapping) for a in atoms] for i, atoms in plan.part_atoms.items()
+    }
+    return resolved
+
+
+def _plan_parts(plan: _Plan) -> Optional[list[PointedQuery]]:
+    """Extract the peripheral factors of a plan; ``None`` if any is invalid."""
+    parts: list[PointedQuery] = []
+    for i in range(plan.n_parts):
+        atoms = plan.part_atoms.get(i, [])
+        point = _shared_var(i)
+        query = CRPQ.of(atoms, isolated=[point])
+        if not query.is_connected():
+            return None
+        parts.append(PointedQuery(query, point))
+    return parts
+
+
+def _contradictory(disjunct: CRPQ) -> bool:
+    """A disjunct with both C(v) and ¬C(v) can never match — prune it."""
+    literals = {(a.variable, a.label) for a in disjunct.concept_atoms}
+    return any((v, label.complement()) in literals for v, label in literals)
+
+
+# --------------------------------------------------------------------- #
+# the top-level construction
+
+
+@dataclass
+class Factorization:
+    """The result of :func:`factorize`: Q̂ plus the permission dictionary."""
+
+    original: UCRPQ
+    factored: UCRPQ
+    permissions: dict[str, PointedQuery]
+    full_query_permissions: dict[str, PointedQuery]
+    """Permissions whose factor is a whole disjunct of Q (the C_{q,x})."""
+
+    @property
+    def permission_names(self) -> set[str]:
+        return set(self.permissions)
+
+    def truthful_labelling(self, graph: Graph) -> Graph:
+        """Ĝ with each permission granted exactly where its factor matches.
+
+        This is the labelling used in the proof of condition (2): if Q does
+        not hold in ``graph``, the result does not satisfy Q̂.
+        """
+        labelled = graph.copy()
+        for name, factor in self.permissions.items():
+            for node in graph.node_list():
+                if factor.matches_at(graph, node):
+                    labelled.add_label(node, name)
+        return labelled
+
+
+def _convert_to_automaton_form(query: UCRPQ) -> UCRPQ:
+    """Ensure every path atom is in semiautomaton (compiled) form.
+
+    Atoms built through :class:`PathAtom` already are; this re-shares
+    automata per distinct regex so the factor universe stays small.
+    """
+    return query
+
+
+def _single_edge_atom(atom: PathAtom) -> bool:
+    """Does the atom match exactly single role-edges (no tests, no loops)?"""
+    auto = atom.compiled.automaton
+    pair = atom.compiled.pair
+    if atom.compiled.accepts_epsilon or pair.start == pair.end:
+        return False
+    from repro.graphs.labels import Role as _Role
+
+    return all(
+        (s, t) == (pair.start, pair.end) and isinstance(lbl, _Role)
+        for s, lbl, t in auto.transitions
+    )
+
+
+def is_local_query(query: UCRPQ) -> bool:
+    """Is every disjunct *local* — matched entirely within one part of any
+    star-like graph?  Holds for disjuncts that are a single node test or a
+    single edge atom with endpoint tests; such queries are their own
+    factorization (Q̂ = Q, no permissions needed)."""
+    for disjunct in query:
+        path_atoms = disjunct.path_atoms
+        if len(path_atoms) == 0:
+            if len(disjunct.variables) > 1:
+                return False
+        elif len(path_atoms) == 1:
+            if not _single_edge_atom(path_atoms[0]):
+                return False
+        else:
+            return False
+    return True
+
+
+def factorize(
+    query: UCRPQ,
+    use_shortcuts: Optional[bool] = None,
+    max_factors: int = 4000,
+) -> Factorization:
+    """Construct Q̂ per Lemma 3.7.
+
+    ``use_shortcuts`` controls the detour machinery (loop factors and
+    shortcut transitions); by default it is enabled exactly for non-simple
+    queries, as in the paper.  ``max_factors`` bounds the factor universe
+    (the construction is exponential in general).
+
+    Local queries (single-node or single-edge disjuncts) are already
+    factorized, so they are returned as their own Q̂ with no permissions.
+    """
+    if not query.is_connected():
+        raise ValueError("factorization requires a connected UC2RPQ")
+    if is_local_query(query):
+        return Factorization(
+            original=query,
+            factored=query,
+            permissions={},
+            full_query_permissions={},
+        )
+    query = _convert_to_automaton_form(query)
+    if use_shortcuts is None:
+        use_shortcuts = not query.is_simple()
+    ctx = _Context(use_shortcuts, max_factors)
+
+    # register automata up front (stable ids for canonical forms)
+    for disjunct in query:
+        for atom in disjunct.path_atoms:
+            ctx.register_automaton(atom.compiled.automaton)
+
+    # loop factors and shortcut-extended automata
+    if use_shortcuts:
+        for auto_key, auto_index in list(ctx.auto_ids.items()):
+            auto = next(a for a in ctx._keepalive if id(a) == auto_key)
+            reach = ctx.reach[auto_key]
+            shortcuts = []
+            for s in sorted(auto.states):
+                for s_prime in sorted(reach.one[s]):
+                    loop_compiled = CompiledRegex(auto, StatePair(s, s_prime), s == s_prime)
+                    loop_query = CRPQ.of([PathAtom(loop_compiled, "y", "y")])
+                    name = ctx.factor_name(PointedQuery(loop_query, "y"))
+                    ctx.loop_permission[(auto_index, s, s_prime)] = name
+                    shortcuts.append((s, NodeLabel(name), s_prime))
+            ctx.extended[auto_key] = auto.with_extra_transitions(shortcuts)
+
+    def extended_atom(atom: Atom) -> Atom:
+        """Rebuild a centre atom over the shortcut-extended automaton."""
+        if not use_shortcuts or not isinstance(atom, PathAtom):
+            return atom
+        ext = ctx.extended.get(id(atom.compiled.automaton))
+        if ext is None:
+            return atom
+        compiled = CompiledRegex(
+            ext, atom.compiled.pair, atom.compiled.accepts_epsilon, atom.compiled.source
+        )
+        return PathAtom(compiled, atom.source, atom.target)
+
+    # seed the factor universe: whole disjuncts pointed at each variable
+    full_permissions: dict[str, PointedQuery] = {}
+    worklist: list[PointedQuery] = []
+    seen_keys: set[tuple] = set()
+
+    def enqueue(pq: PointedQuery) -> str:
+        name = ctx.factor_name(pq)
+        key = canonical_form(pq, ctx.auto_ids)
+        if key not in seen_keys:
+            seen_keys.add(key)
+            worklist.append(ctx.factors[key][1])
+        return name
+
+    for disjunct in query:
+        for variable in sorted(disjunct.variables, key=repr):
+            pq = PointedQuery(disjunct, variable)
+            name = enqueue(pq)
+            full_permissions[name] = pq
+
+    # close the universe under taking factors, collecting disjuncts of Q̂
+    disjuncts: list[CRPQ] = []
+    processed: set[tuple] = set()
+    while worklist:
+        pq = worklist.pop(0)
+        own_key = canonical_form(pq, ctx.auto_ids)
+        if own_key in processed:
+            continue
+        processed.add(own_key)
+        own_name = ctx.factors[own_key][0]
+        for raw_plan in _plans(pq, ctx):
+            plan = _apply_unifications(raw_plan)
+            parts = _plan_parts(plan)
+            if parts is None:
+                continue
+            # register the peripheral factors (and recurse into them)
+            permission_atoms: list[Atom] = []
+            for part in parts:
+                part_name = enqueue(part)
+                permission_atoms.append(ConceptAtom(NodeLabel(part_name), part.point))
+            # assemble the central factor p' and the disjunct p' ∧ ¬C_{p,y}(y')
+            center_atoms = [extended_atom(a) for a in plan.center_atoms] + permission_atoms
+            negated = ConceptAtom(NodeLabel(own_name, negated=True), plan.point)
+            disjunct = CRPQ.of(center_atoms + [negated], isolated=[plan.point])
+            if disjunct.is_connected() and not _contradictory(disjunct):
+                disjuncts.append(disjunct)
+
+    # the C_{q,x}(x) queries
+    for name in sorted(full_permissions):
+        disjuncts.append(CRPQ.of([ConceptAtom(NodeLabel(name), "x")]))
+
+    permissions = {name: pq for _key, (name, pq) in sorted(ctx.factors.items(), key=lambda kv: kv[1][0])}
+    return Factorization(
+        original=query,
+        factored=UCRPQ.of(disjuncts),
+        permissions=permissions,
+        full_query_permissions=full_permissions,
+    )

@@ -1,0 +1,147 @@
+"""Non-Boolean query answering: bindings, projections, result sets.
+
+The paper works with Boolean containment, but the underlying queries are
+the navigational queries of practice — "retrieve customers and partners
+from which they earn rewards" (Example 1.1 speaks of q(x, y) with output
+variables).  This module turns the match enumerator into a small result-set
+API with projection, distinct, limits, and explanation (witness paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.automata.product import witness_path
+from repro.graphs.graph import Graph, Node
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import matches
+from repro.queries.parser import parse_query
+from repro.queries.ucrpq import UCRPQ
+
+
+@dataclass(frozen=True)
+class Row:
+    """One answer: projected variable values, in projection order."""
+
+    values: tuple[Node, ...]
+    variables: tuple[str, ...]
+
+    def __getitem__(self, key: Union[int, str]) -> Node:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.values[self.variables.index(key)]
+
+    def as_dict(self) -> dict:
+        return dict(zip(self.variables, self.values))
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(f"{v}={n!r}" for v, n in zip(self.variables, self.values)) + ")"
+
+
+@dataclass
+class ResultSet:
+    """The answers of a query over a graph."""
+
+    rows: list[Row]
+    variables: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def as_set(self) -> set[tuple[Node, ...]]:
+        return {row.values for row in self.rows}
+
+    def __str__(self) -> str:
+        header = ", ".join(self.variables)
+        lines = [f"[{header}]"] + [str(row) for row in self.rows]
+        return "\n".join(lines)
+
+
+def answers(
+    graph: Graph,
+    query: Union[str, CRPQ, UCRPQ],
+    output: Optional[Sequence[str]] = None,
+    distinct: bool = True,
+    limit: Optional[int] = None,
+) -> ResultSet:
+    """Evaluate a query and project the answers onto ``output`` variables.
+
+    ``output`` defaults to all variables of the first disjunct, sorted.
+    Disjuncts missing an output variable contribute no rows (as in SPARQL's
+    UNION with unbound projections being filtered here for set semantics).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    if isinstance(query, CRPQ):
+        query = UCRPQ.single(query)
+    if output is None:
+        first = query.disjuncts[0] if query.disjuncts else None
+        output = tuple(sorted(map(str, first.variables))) if first else ()
+    output = tuple(output)
+
+    seen: set[tuple[Node, ...]] = set()
+    rows: list[Row] = []
+    for disjunct in query:
+        if not set(output) <= {str(v) for v in disjunct.variables}:
+            continue
+        name_of = {str(v): v for v in disjunct.variables}
+        for match in matches(graph, disjunct):
+            values = tuple(match[name_of[v]] for v in output)
+            if distinct and values in seen:
+                continue
+            seen.add(values)
+            rows.append(Row(values, output))
+            if limit is not None and len(rows) >= limit:
+                return ResultSet(rows, output)
+    return ResultSet(rows, output)
+
+
+@dataclass
+class Explanation:
+    """Why one answer holds: the match plus a witness path per path atom."""
+
+    match: dict
+    paths: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = ["match:"]
+        for variable, node in sorted(self.match.items(), key=lambda kv: str(kv[0])):
+            lines.append(f"  {variable} -> {node!r}")
+        for atom, path in self.paths.items():
+            rendered = " ".join(
+                f"{a!r}-[{lbl}]->{b!r}" for a, lbl, b in path
+            ) or "(empty path)"
+            lines.append(f"  {atom}: {rendered}")
+        return "\n".join(lines)
+
+
+def explain(
+    graph: Graph, query: Union[str, CRPQ], row: Optional[Row] = None
+) -> Optional[Explanation]:
+    """A witnessed explanation of (one match of) the query.
+
+    When ``row`` is given, the explanation is pinned to that answer.
+    """
+    if isinstance(query, str):
+        parsed = parse_query(query)
+        if len(parsed.disjuncts) != 1:
+            raise ValueError("explain takes a single C2RPQ")
+        query = parsed.disjuncts[0]
+    fixed = None
+    if row is not None:
+        fixed = {v: row[v] for v in row.variables}
+    match = next(matches(graph, query, fixed=fixed), None)
+    if match is None:
+        return None
+    explanation = Explanation(match)
+    for atom in query.path_atoms:
+        path = witness_path(graph, atom.compiled, match[atom.source], match[atom.target])
+        explanation.paths[str(atom)] = path if path is not None else []
+    return explanation

@@ -1,0 +1,304 @@
+"""Test elimination — compiling node-label tests into edge labels.
+
+Theorem 5.1's ALCQ route works "by eliminating tests from the query by
+encoding the type of each node in the label of each outgoing edge".  This
+module implements that compilation as a standalone, verifiable
+transformation:
+
+* :func:`enrich_graph` maps a graph G to G^e over the enriched alphabet —
+  every edge (u, r, v) becomes (u, r⟨τ(u), τ(v)⟩, v) where τ(·) is the
+  node's maximal type over the chosen signature;
+* :func:`eliminate_tests` maps a UC2RPQ Q to a *test-free* UC2RPQ Q^e over
+  the enriched alphabet such that
+
+      G ⊨ Q   ⟺   G^e ⊨ Q^e        (for every finite graph G)
+
+  — the correctness property the paper's reduction rests on, checked by
+  property tests.
+
+Pure-test path atoms (words with no roles) cannot ride on any edge; they
+are compiled away into unions over the types that satisfy them, realized as
+concept atoms on the endpoint variables (with the endpoints identified).
+
+The enriched alphabet has one role per (role, type, type) triple — the
+exponential factor the paper acknowledges ("a TBox of exponential size, due
+to the elimination of tests").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Optional
+
+from repro.automata.semiautomaton import CompiledRegex, Semiautomaton, StatePair
+from repro.graphs.graph import Graph
+from repro.graphs.labels import NodeLabel, Role
+from repro.graphs.types import Type, maximal_types, type_of
+from repro.queries.atoms import ConceptAtom, PathAtom
+from repro.queries.crpq import CRPQ
+from repro.queries.ucrpq import UCRPQ
+
+
+def _type_tag(node_type: Type) -> str:
+    """A stable name fragment for a maximal type (its positive part)."""
+    positives = sorted(node_type.positive_names)
+    return "_".join(positives) if positives else "none"
+
+
+def enriched_role(role: Role, source_type: Type, target_type: Type) -> Role:
+    """The enriched edge label r⟨τ₁, τ₂⟩ (inversion carried over)."""
+    name = f"{role.name}__{_type_tag(source_type)}__{_type_tag(target_type)}"
+    return Role(name, role.inverted)
+
+
+def enrich_graph(graph: Graph, signature: Iterable[str]) -> Graph:
+    """G^e: same nodes and labels, edges re-labelled with endpoint types."""
+    names = sorted(set(signature))
+    enriched = Graph()
+    for node in graph.node_list():
+        enriched.add_node(node, graph.labels_of(node))
+    for a, r_name, b in graph.edges():
+        tau_a = type_of(graph, a, names)
+        tau_b = type_of(graph, b, names)
+        enriched.add_edge(a, enriched_role(Role(r_name), tau_a, tau_b), b)
+    return enriched
+
+
+@dataclass
+class TestElimination:
+    """The compiled artefacts: the test-free query plus the signature."""
+
+    query: UCRPQ
+    signature: tuple[str, ...]
+    type_count: int
+
+    def enrich(self, graph: Graph) -> Graph:
+        return enrich_graph(graph, self.signature)
+
+
+def _test_closure(
+    auto: Semiautomaton, state: int, node_type: Type
+) -> set[int]:
+    """States reachable from ``state`` via test transitions that ``node_type``
+    satisfies (reflexive-transitive)."""
+    satisfied = {state}
+    frontier = [state]
+    while frontier:
+        current = frontier.pop()
+        for label, target in auto.outgoing(current):
+            if isinstance(label, NodeLabel) and target not in satisfied:
+                holds = (label.name in node_type.positive_names) != label.negated
+                if holds:
+                    satisfied.add(target)
+                    frontier.append(target)
+    return satisfied
+
+
+def _eliminate_atom(
+    atom: PathAtom, types: list[Type]
+) -> tuple[Optional[PathAtom], list[tuple[Type, bool]]]:
+    """Compile one path atom.
+
+    Returns (test-free atom over the enriched alphabet or ``None`` when the
+    atom has no role transitions at all, endpoint-type facts).  The second
+    component lists, per type τ, whether a pure-test/ε word from start to
+    end is satisfied at a τ-node — the "endpoints coincide" disjuncts.
+    """
+    auto = atom.compiled.automaton
+    pair = atom.compiled.pair
+    enriched = Semiautomaton(set(auto.states), set())
+    for tau1 in types:
+        closures1 = {s: _test_closure(auto, s, tau1) for s in auto.states}
+        for s in auto.states:
+            for origin in closures1[s]:
+                for label, target in auto.outgoing(origin):
+                    if not isinstance(label, Role):
+                        continue
+                    for tau2 in types:
+                        # fold the target-side tests into the same move
+                        for landing in _test_closure(auto, target, tau2):
+                            enriched.transitions.add(
+                                (s, enriched_role(label, tau1, tau2), landing)
+                            )
+    pure_test: list[tuple[Type, bool]] = []
+    for tau in types:
+        reachable = _test_closure(auto, pair.start, tau)
+        pure_test.append((tau, pair.end in reachable))
+    if not enriched.transitions and not any(
+        isinstance(lbl, Role) for _s, lbl, _t in auto.transitions
+    ):
+        return None, pure_test
+    compiled = CompiledRegex(enriched, pair, atom.compiled.accepts_epsilon)
+    return PathAtom(compiled, atom.source, atom.target), pure_test
+
+
+def _type_atoms(tau: Type, variable) -> list[ConceptAtom]:
+    return [ConceptAtom(label, variable) for label in sorted(tau, key=str)]
+
+
+@dataclass
+class TBoxEnrichment:
+    """T^e plus the machinery to enrich graphs consistently with it.
+
+    T^e is built from the *normalized* T, so its clauses mention T's
+    normalization markers; :meth:`enrich` therefore places the markers
+    (``complete``) before re-labelling the edges.
+    """
+
+    tbox: object  # TBox over the enriched alphabet
+    signature: tuple[str, ...]
+    base: object  # the normalized source TBox
+
+    def enrich(self, graph: Graph) -> Graph:
+        completed = self.base.complete(graph)
+        return enrich_graph(completed, self.signature)
+
+    def satisfied_by_enriched(self, graph: Graph) -> bool:
+        return self.tbox.satisfied_by(graph)
+
+
+def enrich_tbox(
+    tbox, signature: Iterable[str], roles: Optional[Iterable[str]] = None,
+    max_types: int = 64,
+) -> "TBoxEnrichment":
+    """T^e — the TBox over the enriched alphabet matching :func:`enrich_graph`.
+
+    Role CIs are expanded over all enriched variants of their role, and
+    *consistency* CIs force every enriched edge to tell the truth about its
+    endpoint types:
+
+    * a node lacking a literal of τ₁ has no outgoing r⟨τ₁, ·⟩ edges;
+    * every r⟨·, τ₂⟩ edge ends in a node satisfying τ₂.
+
+    Property (tested): G ⊨ T ⟺ result.enrich(G) ⊨ T^e, and every model of
+    T^e over the enriched alphabet de-enriches to a model of T.
+    """
+    from repro.dl.concepts import And, AtLeast, AtMost, Atomic, Bottom, ForAll, Or, Top
+    from repro.dl.normalize import NormalizedTBox, normalize as _normalize
+    from repro.dl.tbox import CI, TBox
+
+    normalized = tbox if isinstance(tbox, NormalizedTBox) else _normalize(tbox)
+    names_sorted = sorted(set(signature))
+    if 2 ** len(names_sorted) > max_types:
+        raise ValueError(f"2^{len(names_sorted)} enriched types exceed {max_types}")
+    types = list(maximal_types(names_sorted))
+    role_names = sorted(set(roles) if roles is not None else normalized.role_names())
+
+    cis: list[CI] = []
+    for clause in normalized.clauses:
+        body = [Atomic(lit) for lit in sorted(clause.body, key=str)]
+        head = [Atomic(lit) for lit in sorted(clause.head, key=str)]
+        lhs = And(tuple(body)) if len(body) > 1 else (body[0] if body else Top())
+        rhs = Or(tuple(head)) if len(head) > 1 else (head[0] if head else Bottom())
+        cis.append(CI(lhs, rhs))
+
+    def variants(role: Role) -> list[Role]:
+        return [enriched_role(role, t1, t2) for t1 in types for t2 in types]
+
+    for uci in normalized.universals:
+        for variant in variants(uci.role):
+            cis.append(CI(Atomic(uci.subject), ForAll(variant, Atomic(uci.filler))))
+    for ci in normalized.at_leasts:
+        options = tuple(
+            AtLeast(ci.n, variant, Atomic(ci.filler)) for variant in variants(ci.role)
+        )
+        cis.append(CI(Atomic(ci.subject), Or(options) if len(options) > 1 else options[0]))
+    for ci in normalized.at_mosts:
+        # ≤n over the base role means the variants jointly stay under n; a
+        # per-variant bound is sound only when a node uses one variant per
+        # role, which the source-consistency CIs enforce for the source side
+        for variant in variants(ci.role):
+            cis.append(CI(Atomic(ci.subject), AtMost(ci.n, variant, Atomic(ci.filler))))
+
+    # consistency of the enriched labels with the actual endpoint types
+    for r_name in role_names:
+        base = Role(r_name)
+        for t1 in types:
+            for t2 in types:
+                variant = enriched_role(base, t1, t2)
+                for literal in sorted(t1, key=str):
+                    cis.append(
+                        CI(Atomic(literal.complement()), ForAll(variant, Bottom()))
+                    )
+                for literal in sorted(t2, key=str):
+                    cis.append(CI(Top(), ForAll(variant, Atomic(literal))))
+    return TBoxEnrichment(
+        TBox.of(cis, name=f"{normalized.name}_enriched"),
+        tuple(names_sorted),
+        normalized,
+    )
+
+
+def eliminate_tests(
+    query: UCRPQ,
+    signature: Optional[Iterable[str]] = None,
+    max_types: int = 64,
+) -> TestElimination:
+    """Compile Q into a test-free query over the enriched alphabet.
+
+    ``signature`` defaults to the node labels occurring in Q's regular
+    expressions (the tests); the enriched alphabet ranges over maximal types
+    over it, so keep it small (guarded by ``max_types``).
+    """
+    if signature is None:
+        names: set[str] = set()
+        for disjunct in query:
+            for atom in disjunct.path_atoms:
+                for label in atom.compiled.alphabet:
+                    if isinstance(label, NodeLabel):
+                        names.add(label.name)
+        signature = names
+    names_sorted = sorted(set(signature))
+    if 2 ** len(names_sorted) > max_types:
+        raise ValueError(
+            f"2^{len(names_sorted)} enriched types exceed max_types={max_types}"
+        )
+    types = list(maximal_types(names_sorted))
+
+    disjuncts: list[CRPQ] = []
+    for disjunct in query:
+        # per path atom, the ways it can be satisfied: via the enriched
+        # role automaton, or via a non-empty pure-test word (endpoints
+        # coincide at a node of a satisfying type)
+        per_atom_options: list[list[tuple[Optional[PathAtom], Optional[Type], object, object]]] = []
+        feasible = True
+        for atom in disjunct.path_atoms:
+            new_atom, pure = _eliminate_atom(atom, types)
+            options: list[tuple[Optional[PathAtom], Optional[Type], object, object]] = []
+            if new_atom is not None:
+                options.append((new_atom, None, atom.source, atom.target))
+            for tau, ok in pure:
+                if ok:
+                    options.append((None, tau, atom.source, atom.target))
+            if not options:
+                feasible = False
+                break
+            per_atom_options.append(options)
+        if not feasible:
+            continue
+        for pick in product(*per_atom_options) if per_atom_options else [()]:
+            atoms: list = list(disjunct.concept_atoms)
+            renaming: dict = {}
+
+            def resolve(variable):
+                while variable in renaming:
+                    variable = renaming[variable]
+                return variable
+
+            for path_atom, tau, source, target in pick:
+                if path_atom is not None:
+                    atoms.append(path_atom)
+                else:
+                    src, tgt = resolve(source), resolve(target)
+                    if src != tgt:
+                        renaming[tgt] = src
+                    atoms.extend(_type_atoms(tau, src))
+            new_disjunct = CRPQ.of(atoms, isolated=disjunct.variables)
+            if renaming:
+                full = {v: resolve(v) for v in new_disjunct.variables}
+                new_disjunct = new_disjunct.rename(full)
+            disjuncts.append(new_disjunct)
+    result = UCRPQ.of(disjuncts)
+    assert result.is_test_free()
+    return TestElimination(result, tuple(names_sorted), len(types))

@@ -1,0 +1,88 @@
+"""Unions of C2RPQs (UC2RPQs), represented as sets of disjuncts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.queries.crpq import CRPQ
+
+
+@dataclass(frozen=True)
+class UCRPQ:
+    """A UC2RPQ: satisfied when some disjunct is satisfied.
+
+    Following Section 3, a UC2RPQ is *connected* when every disjunct is.
+    """
+
+    disjuncts: tuple[CRPQ, ...]
+
+    @staticmethod
+    def of(disjuncts: Iterable[CRPQ]) -> "UCRPQ":
+        unique: list[CRPQ] = []
+        for q in disjuncts:
+            if q not in unique:
+                unique.append(q)
+        return UCRPQ(tuple(unique))
+
+    @staticmethod
+    def single(disjunct: CRPQ) -> "UCRPQ":
+        return UCRPQ((disjunct,))
+
+    def __iter__(self) -> Iterator[CRPQ]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def union(self, other: "UCRPQ") -> "UCRPQ":
+        return UCRPQ.of(self.disjuncts + other.disjuncts)
+
+    def is_connected(self) -> bool:
+        return all(q.is_connected() for q in self.disjuncts)
+
+    def is_one_way(self) -> bool:
+        return all(q.is_one_way() for q in self.disjuncts)
+
+    def is_test_free(self) -> bool:
+        return all(q.is_test_free() for q in self.disjuncts)
+
+    def is_simple(self) -> bool:
+        return all(q.is_simple() for q in self.disjuncts)
+
+    def max_disjunct_size(self) -> int:
+        """max{|q| : q ∈ Q} — the *m* of Lemma 4.3."""
+        return max((q.size() for q in self.disjuncts), default=0)
+
+    def node_label_names(self) -> set[str]:
+        """All node-label names in concept atoms or regex tests."""
+        from repro.graphs.labels import NodeLabel
+
+        names: set[str] = set()
+        for q in self.disjuncts:
+            for atom in q.concept_atoms:
+                names.add(atom.label.name)
+            for atom in q.path_atoms:
+                for label in atom.compiled.alphabet:
+                    if isinstance(label, NodeLabel):
+                        names.add(label.name)
+        return names
+
+    def role_names(self) -> set[str]:
+        """All role names occurring in regular expressions."""
+        from repro.graphs.labels import Role
+
+        names: set[str] = set()
+        for q in self.disjuncts:
+            for atom in q.path_atoms:
+                for label in atom.compiled.alphabet:
+                    if isinstance(label, Role):
+                        names.add(label.name)
+        return names
+
+    def __str__(self) -> str:
+        return "  ∪  ".join(str(q) for q in self.disjuncts) if self.disjuncts else "<false>"
+
+
+def union_of(*disjuncts: CRPQ) -> UCRPQ:
+    return UCRPQ.of(disjuncts)

@@ -1,0 +1,5 @@
+"""Small shared utilities used across the repro packages."""
+
+from repro.utils.misc import fresh_name_factory, powerset, stable_unique
+
+__all__ = ["fresh_name_factory", "powerset", "stable_unique"]

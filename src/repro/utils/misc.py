@@ -1,0 +1,45 @@
+"""Generic helpers: name generation, set utilities, iteration helpers."""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Callable, Hashable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+def fresh_name_factory(prefix: str, taken: Iterable[str] = ()) -> Callable[[], str]:
+    """Return a callable producing names ``prefix0, prefix1, ...`` that avoid
+    every name in ``taken``.
+
+    The returned factory is stateful: each call yields a new unused name.
+    """
+    used = set(taken)
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        while True:
+            candidate = f"{prefix}{counter}"
+            counter += 1
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+
+    return fresh
+
+
+def powerset(items: Sequence[T]) -> Iterator[tuple[T, ...]]:
+    """Yield all subsets of ``items`` as tuples, smallest first."""
+    return chain.from_iterable(combinations(items, k) for k in range(len(items) + 1))
+
+
+def stable_unique(items: Iterable[T]) -> list[T]:
+    """Deduplicate ``items`` preserving first-occurrence order."""
+    seen: set[T] = set()
+    result: list[T] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result

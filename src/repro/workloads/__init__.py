@@ -1,0 +1,21 @@
+"""Benchmark workload generators (schemas, queries, query-log mixes)."""
+
+from repro.workloads.er_schemas import ERProfile, random_er_schema, random_er_tbox
+from repro.workloads.generators import (
+    QueryLogProfile,
+    chain_schema,
+    log_like_queries,
+    random_simple_query,
+    star_schema,
+)
+
+__all__ = [
+    "ERProfile",
+    "QueryLogProfile",
+    "random_er_schema",
+    "random_er_tbox",
+    "chain_schema",
+    "log_like_queries",
+    "random_simple_query",
+    "star_schema",
+]

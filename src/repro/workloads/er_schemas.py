@@ -1,0 +1,75 @@
+"""Random ER-style schema generation (conceptual-model workloads).
+
+The paper positions ALCQI as capturing ER models and UML class diagrams;
+this generator produces random but *coherent* conceptual models in that
+style: entity hierarchies with disjoint siblings, typed relationships, and
+participation/cardinality constraints — the raw material for schema-size
+scaling experiments (E15).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dl.pg_schema import PGSchema
+from repro.dl.tbox import TBox
+
+
+@dataclass
+class ERProfile:
+    """Shape parameters for a random conceptual model."""
+
+    entities: int = 4
+    subtypes_per_entity: int = 1
+    relationships: int = 3
+    participation_probability: float = 0.5
+    cardinality_probability: float = 0.3
+    max_cardinality: int = 3
+    disjoint_siblings: bool = True
+
+
+def random_er_schema(profile: Optional[ERProfile] = None, seed: int = 0) -> PGSchema:
+    """A random ER-flavoured PG-Schema, deterministic per seed.
+
+    Entities E0..E_{n-1}, each with optional subtypes E_i_S_j (disjoint when
+    configured); relationships R_k typed between random entities, with
+    participation/cardinality sprinkled per the profile.  The construction
+    never mixes inverses and counting, so the result stays within ALCQ —
+    the fragment the paper decides.
+    """
+    profile = profile or ERProfile()
+    rng = random.Random(seed)
+    schema = PGSchema(name=f"er_{seed}")
+
+    entities = [f"E{i}" for i in range(profile.entities)]
+    for entity in entities:
+        schema.node_type(entity)
+    # hierarchies
+    for i, entity in enumerate(entities):
+        subtypes = [f"{entity}S{j}" for j in range(profile.subtypes_per_entity)]
+        for subtype in subtypes:
+            schema.subtype(subtype, entity)
+        if profile.disjoint_siblings and len(subtypes) > 1:
+            schema.disjoint(*subtypes)
+    # top-level entities pairwise disjoint
+    if profile.disjoint_siblings and len(entities) > 1:
+        schema.disjoint(*entities)
+    # relationships
+    for k in range(profile.relationships):
+        role = f"rel{k}"
+        source = rng.choice(entities)
+        target = rng.choice(entities)
+        schema.edge_type(role, source, target)
+        if rng.random() < profile.participation_probability:
+            schema.participation(source, role, target)
+        if rng.random() < profile.cardinality_probability:
+            schema.cardinality(
+                source, role, target, at_most=rng.randint(1, profile.max_cardinality)
+            )
+    return schema
+
+
+def random_er_tbox(profile: Optional[ERProfile] = None, seed: int = 0) -> TBox:
+    return random_er_schema(profile, seed).to_tbox()

@@ -1,0 +1,105 @@
+"""Seeded workload generators for the benchmark suite.
+
+The query-log studies the paper cites ([9, 10]: Bonifati et al.'s analyses
+of real SPARQL logs) found that the vast majority of property paths are
+*simple* — single edges or transitive closures of unions — which is exactly
+the class the Section 6 results target.  :func:`log_like_queries` generates
+a mix with that skew.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.dl.tbox import TBox
+from repro.queries.crpq import CRPQ
+from repro.queries.parser import parse_crpq
+from repro.queries.ucrpq import UCRPQ
+
+
+def chain_schema(depth: int, role: str = "r", participation: bool = True) -> TBox:
+    """L0 ⊑ ∃r.L1, L1 ⊑ ∃r.L2, … — a participation chain of given depth
+    (or the ∀-typed variant when ``participation`` is off)."""
+    quantifier = "exists" if participation else "forall"
+    cis = [(f"L{i}", f"{quantifier} {role}.L{i+1}") for i in range(depth)]
+    return TBox.of(cis, name=f"chain{depth}")
+
+
+def star_schema(fan_out: int, role_prefix: str = "r") -> TBox:
+    """Hub ⊑ ∃r_i.Spoke_i for i < fan_out — an ER-style star."""
+    cis = [(f"Hub", f"exists {role_prefix}{i}.Spoke{i}") for i in range(fan_out)]
+    return TBox.of(cis, name=f"star{fan_out}")
+
+
+@dataclass
+class QueryLogProfile:
+    """The shape mix of a synthetic query log.
+
+    Defaults follow the headline finding of the query-log studies: most
+    path queries are single edges or plain transitive closures.
+    """
+
+    single_edge: float = 0.55
+    transitive: float = 0.30
+    concatenation: float = 0.10
+    two_way: float = 0.05
+
+
+def random_simple_query(
+    rng: random.Random, labels: Sequence[str], roles: Sequence[str], n_atoms: int = 2
+) -> CRPQ:
+    """A random connected *simple* C2RPQ."""
+    variables = [f"v{i}" for i in range(n_atoms + 1)]
+    parts = [f"{rng.choice(labels)}({variables[0]})"]
+    for i in range(n_atoms):
+        role = rng.choice(roles)
+        shape = rng.random()
+        if shape < 0.5:
+            atom = f"{role}({variables[i]},{variables[i+1]})"
+        elif shape < 0.75:
+            atom = f"({role})*({variables[i]},{variables[i+1]})"
+        else:
+            atom = f"({role}|{role}-)*({variables[i]},{variables[i+1]})"
+        parts.append(atom)
+    return parse_crpq(", ".join(parts))
+
+
+def log_like_queries(
+    count: int,
+    labels: Sequence[str],
+    roles: Sequence[str],
+    profile: QueryLogProfile | None = None,
+    seed: int = 0,
+) -> Iterator[tuple[str, UCRPQ]]:
+    """Yield (shape, query) pairs mimicking a real query log's mix."""
+    profile = profile or QueryLogProfile()
+    rng = random.Random(seed)
+    shapes = [
+        ("single_edge", profile.single_edge),
+        ("transitive", profile.transitive),
+        ("concatenation", profile.concatenation),
+        ("two_way", profile.two_way),
+    ]
+    for _ in range(count):
+        pick = rng.random()
+        total = 0.0
+        shape = shapes[-1][0]
+        for name, weight in shapes:
+            total += weight
+            if pick < total:
+                shape = name
+                break
+        label = rng.choice(labels)
+        target = rng.choice(labels)
+        r1, r2 = rng.choice(roles), rng.choice(roles)
+        if shape == "single_edge":
+            text = f"{label}(x), {r1}(x,y)"
+        elif shape == "transitive":
+            text = f"{label}(x), ({r1})*(x,y), {target}(y)"
+        elif shape == "concatenation":
+            text = f"{label}(x), ({r1}.{r2})(x,y)"
+        else:  # two_way
+            text = f"{label}(x), ({r1}|{r2}-)*(x,y)"
+        yield shape, UCRPQ.single(parse_crpq(text))

@@ -1,0 +1,73 @@
+"""DFA minimization: sizes, canonical keys, language equality."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.minimize import languages_equal, minimal_dfa
+from repro.automata.nfa import NFA
+from repro.graphs.labels import Role
+
+R, S = Role("r"), Role("s")
+
+EQUIVALENT_PAIRS = [
+    ("r.r*", "r+"),
+    ("(r|s)*", "(r*.s*)*"),
+    ("r?", "(r|<eps>)"),
+    ("(r.s)*.r", "r.(s.r)*"),
+]
+
+INEQUIVALENT_PAIRS = [
+    ("r*", "r+"),
+    ("r.s", "s.r"),
+    ("(r|s)", "(r|s)+"),
+]
+
+
+class TestMinimization:
+    def test_minimal_sizes(self):
+        # L(r) over {r}: 3 states (start, accept, sink)
+        assert minimal_dfa("r").n_states == 3
+        # L(r*) over {r}: a single accepting state
+        assert minimal_dfa("r*").n_states == 1
+        # L(r+): start + accept
+        assert minimal_dfa("r+").n_states == 2
+
+    def test_minimized_accepts_same(self):
+        for text in ("r.s*", "(r|s)+", "(r.s)*"):
+            nfa = NFA.from_regex(text)
+            dfa = minimal_dfa(text)
+            for word in ([], [R], [S], [R, S], [S, R], [R, S, R], [R, R]):
+                assert dfa.accepts(word) == nfa.accepts(word), (text, word)
+
+    def test_equivalent_pairs(self):
+        for left, right in EQUIVALENT_PAIRS:
+            assert languages_equal(left, right), (left, right)
+
+    def test_inequivalent_pairs(self):
+        for left, right in INEQUIVALENT_PAIRS:
+            assert not languages_equal(left, right), (left, right)
+
+    def test_canonical_keys_match_for_syntactic_variants(self):
+        sigma = [R, S]
+        a = minimal_dfa("r.r*", sigma).canonical_key()
+        b = minimal_dfa("r+", sigma).canonical_key()
+        assert a == b
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(["r", "r*", "r+", "r.s", "(r|s)", "(r|s)*", "(r.s)*", "r?"]),
+        st.sampled_from(["r", "r*", "r+", "r.s", "(r|s)", "(r|s)*", "(r.s)*", "r?"]),
+        st.lists(st.sampled_from([R, S]), max_size=5),
+    )
+    def test_equality_consistent_with_membership(self, left, right, word):
+        if languages_equal(left, right):
+            assert NFA.from_regex(left).accepts(word) == NFA.from_regex(right).accepts(word)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(["r", "r*", "r+", "r.s", "(r|s)*", "(r.s)*"]),
+        st.sampled_from(["r", "r*", "r+", "r.s", "(r|s)*", "(r.s)*"]),
+    )
+    def test_equality_agrees_with_double_inclusion(self, left, right):
+        a, b = NFA.from_regex(left), NFA.from_regex(right)
+        assert languages_equal(left, right) == (a.includes(b) and b.includes(a))

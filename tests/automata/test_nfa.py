@@ -1,0 +1,80 @@
+"""NFA operations: membership, emptiness, product, determinization, inclusion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nfa import NFA
+from repro.automata.regex import matches_word, parse_regex
+from repro.graphs.labels import Role
+
+R, S = Role("r"), Role("s")
+
+
+class TestMembership:
+    def test_accepts(self):
+        a = NFA.from_regex("r.s*")
+        assert a.accepts([R])
+        assert a.accepts([R, S, S])
+        assert not a.accepts([S])
+        assert not a.accepts([])
+
+    def test_epsilon(self):
+        assert NFA.from_regex("r*").accepts([])
+        assert not NFA.from_regex("r+").accepts([])
+
+
+class TestEmptiness:
+    def test_nonempty(self):
+        assert not NFA.from_regex("r").is_empty()
+        assert not NFA.from_regex("r*").is_empty()
+
+    def test_empty_intersection(self):
+        assert NFA.from_regex("r").intersect(NFA.from_regex("s")).is_empty()
+
+    def test_nonempty_intersection(self):
+        product = NFA.from_regex("r.s*").intersect(NFA.from_regex("r*.s"))
+        assert not product.is_empty()
+        assert product.accepts([R, S])
+        assert not product.accepts([R])
+
+
+class TestDeterminization:
+    def test_dfa_agrees(self):
+        nfa = NFA.from_regex("(r|s)*.r")
+        dfa = nfa.determinize()
+        for word in ([R], [S, R], [R, S], [], [S, S, R]):
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_dfa_total(self):
+        dfa = NFA.from_regex("r").determinize([R, S])
+        assert not dfa.accepts([S])
+
+
+class TestInclusion:
+    def test_subset_language(self):
+        small = NFA.from_regex("r.r")
+        big = NFA.from_regex("r*")
+        assert big.includes(small)
+        assert not small.includes(big)
+
+    def test_equivalent(self):
+        a = NFA.from_regex("r.r*")
+        b = NFA.from_regex("r+")
+        assert a.equivalent(b)
+
+    def test_incomparable(self):
+        a = NFA.from_regex("r")
+        b = NFA.from_regex("s")
+        assert not a.includes(b)
+        assert not b.includes(a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(["r", "r*", "r.s", "(r|s)*", "r+", "s.r*", "(r.s)*"]),
+        st.sampled_from(["r", "r*", "r.s", "(r|s)*", "r+", "s.r*", "(r.s)*"]),
+        st.lists(st.sampled_from([R, S]), max_size=5),
+    )
+    def test_inclusion_sound_on_samples(self, lhs, rhs, word):
+        a, b = NFA.from_regex(lhs), NFA.from_regex(rhs)
+        if b.includes(a) and a.accepts(word):
+            assert b.accepts(word)

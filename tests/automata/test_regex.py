@@ -1,0 +1,135 @@
+"""Regular expression AST, parser, classification, direct matching."""
+
+import pytest
+
+from repro.automata.regex import (
+    Concat,
+    Epsilon,
+    Plus,
+    RegexSyntaxError,
+    Star,
+    Sym,
+    Union,
+    concat,
+    matches_word,
+    parse_regex,
+    star,
+    sym,
+    union,
+)
+from repro.graphs.labels import NodeLabel, Role
+
+
+def word(*symbols):
+    out = []
+    for s in symbols:
+        if s.startswith("{"):
+            out.append(NodeLabel.parse(s[1:-1]))
+        else:
+            out.append(Role.parse(s))
+    return out
+
+
+class TestParser:
+    def test_symbols(self):
+        assert parse_regex("owns") == Sym(Role("owns"))
+        assert parse_regex("owns-") == Sym(Role("owns", True))
+        assert parse_regex("{A}") == Sym(NodeLabel("A"))
+        assert parse_regex("{!A}") == Sym(NodeLabel("A", True))
+
+    def test_concat_and_star(self):
+        r = parse_regex("owns.earns.owns*")
+        assert isinstance(r, Concat)
+        assert isinstance(r.parts[-1], Star)
+
+    def test_union_precedence(self):
+        r = parse_regex("r | s.t")
+        assert isinstance(r, Union)
+        assert isinstance(r.parts[1], Concat)
+
+    def test_juxtaposition_concatenates(self):
+        assert parse_regex("r s") == parse_regex("r.s")
+
+    def test_parens(self):
+        r = parse_regex("(r|s)*")
+        assert isinstance(r, Star) and isinstance(r.inner, Union)
+
+    def test_epsilon(self):
+        assert parse_regex("<eps>") == Epsilon()
+
+    def test_postfix_operators(self):
+        assert isinstance(parse_regex("r+"), Plus)
+        assert str(parse_regex("r?")) == "r?"
+
+    def test_errors(self):
+        for bad in ("", "(r", "r)", "{unclosed", "|r", "r..s"):
+            with pytest.raises(RegexSyntaxError):
+                parse_regex(bad)
+
+    def test_roundtrip_through_str(self):
+        for text in ("owns.earns.{Partner}.owns*", "(r | s)*", "r+.s?", "{!A}.r"):
+            assert parse_regex(str(parse_regex(text))) == parse_regex(text)
+
+
+class TestClassification:
+    def test_simple(self):
+        assert parse_regex("r").is_simple()
+        assert parse_regex("(r|s)*").is_simple()
+        assert parse_regex("(r|s-)*").is_simple()
+        assert not parse_regex("r.s").is_simple()
+        assert not parse_regex("r+").is_simple()
+        assert not parse_regex("({A})*").is_simple()
+
+    def test_one_way(self):
+        assert parse_regex("r.s*").is_one_way()
+        assert not parse_regex("r.s-").is_one_way()
+
+    def test_test_free(self):
+        assert parse_regex("r.s").is_test_free()
+        assert not parse_regex("r.{A}.s").is_test_free()
+
+
+class TestMatching:
+    def test_concat(self):
+        r = parse_regex("r.s")
+        assert matches_word(r, word("r", "s"))
+        assert not matches_word(r, word("s", "r"))
+        assert not matches_word(r, word("r"))
+
+    def test_star(self):
+        r = parse_regex("r*")
+        assert matches_word(r, [])
+        assert matches_word(r, word("r", "r", "r"))
+        assert not matches_word(r, word("s"))
+
+    def test_plus(self):
+        r = parse_regex("r+")
+        assert not matches_word(r, [])
+        assert matches_word(r, word("r"))
+
+    def test_optional(self):
+        r = parse_regex("r?")
+        assert matches_word(r, [])
+        assert matches_word(r, word("r"))
+        assert not matches_word(r, word("r", "r"))
+
+    def test_tests_in_words(self):
+        r = parse_regex("owns.{Partner}.owns")
+        assert matches_word(r, word("owns", "{Partner}", "owns"))
+        assert not matches_word(r, word("owns", "owns"))
+
+    def test_union(self):
+        r = parse_regex("r | s.s")
+        assert matches_word(r, word("r"))
+        assert matches_word(r, word("s", "s"))
+        assert not matches_word(r, word("s"))
+
+
+class TestCombinators:
+    def test_builders(self):
+        expr = concat("r", star(union("s", "t")))
+        assert matches_word(expr, word("r", "s", "t", "s"))
+
+    def test_sym_braces(self):
+        assert sym("{A}").label == NodeLabel("A")
+        assert sym("r-").label == Role("r", True)

@@ -1,0 +1,116 @@
+"""Semiautomata: Thompson compilation, runs, reversal, fast paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.regex import (
+    Concat,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union,
+    matches_word,
+    parse_regex,
+)
+from repro.automata.semiautomaton import Semiautomaton, compile_regex, thompson
+from repro.graphs.labels import NodeLabel, Role
+
+
+class TestSemiautomaton:
+    def test_add_and_query(self):
+        auto = Semiautomaton()
+        s, t = auto.add_state(), auto.add_state()
+        auto.add_transition(s, Role("r"), t)
+        assert auto.successors(s, Role("r")) == {t}
+        assert auto.alphabet == {Role("r")}
+
+    def test_transition_requires_states(self):
+        auto = Semiautomaton()
+        with pytest.raises(KeyError):
+            auto.add_transition(0, Role("r"), 1)
+
+    def test_run_exists(self):
+        c = compile_regex("r.s")
+        assert c.automaton.run_exists([Role("r"), Role("s")], c.pair.start, c.pair.end)
+        assert not c.automaton.run_exists([Role("r")], c.pair.start, c.pair.end)
+
+    def test_reversed_inverts_roles_not_tests(self):
+        c = compile_regex("r.{A}")
+        rev = c.automaton.reversed()
+        assert Role("r", True) in rev.alphabet
+        assert NodeLabel("A") in rev.alphabet
+
+    def test_reversed_accepts_reversed_words(self):
+        c = compile_regex("r.s")
+        rev = c.automaton.reversed()
+        assert rev.run_exists([Role("s", True), Role("r", True)], c.pair.end, c.pair.start)
+
+    def test_disjoint_union(self):
+        a = compile_regex("r").automaton
+        b = compile_regex("s").automaton
+        union, mapping = a.disjoint_union(b)
+        assert len(union.states) == len(a.states) + len(b.states)
+        assert set(mapping.values()) <= union.states
+
+    def test_restricted_to(self):
+        c = compile_regex("(r|s)")
+        restricted = c.automaton.restricted_to([Role("r")])
+        assert restricted.alphabet == {Role("r")}
+
+
+class TestCompilation:
+    def test_fast_path_sizes(self):
+        assert len(compile_regex("r").automaton.states) == 2
+        assert len(compile_regex("(r|s)*").automaton.states) == 1
+        assert len(compile_regex("r+").automaton.states) == 2
+        assert len(compile_regex("a.b.c").automaton.states) == 4
+
+    def test_epsilon_tracking(self):
+        assert compile_regex("r*").accepts_epsilon
+        assert compile_regex("r?").accepts_epsilon
+        assert not compile_regex("r").accepts_epsilon
+        assert not compile_regex("r+").accepts_epsilon
+
+    def test_thompson_generic(self):
+        auto, pair = thompson(parse_regex("(r.s)|(s.r)"))
+        assert auto.run_exists([Role("r"), Role("s")], pair.start, pair.end)
+        assert auto.run_exists([Role("s"), Role("r")], pair.start, pair.end)
+        assert not auto.run_exists([Role("r"), Role("r")], pair.start, pair.end)
+
+
+# strategy: small random regexes over roles r, s and test {A}
+def regexes(depth: int = 3) -> st.SearchStrategy[Regex]:
+    leaves = st.sampled_from(
+        [Sym(Role("r")), Sym(Role("s")), Sym(Role("r", True)), Sym(NodeLabel("A"))]
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: Concat(p)),
+            st.tuples(children, children).map(lambda p: Union(p)),
+            children.map(Star),
+            children.map(Plus),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def words(max_len: int = 5):
+    symbols = st.sampled_from([Role("r"), Role("s"), Role("r", True), NodeLabel("A")])
+    return st.lists(symbols, max_size=max_len)
+
+
+class TestCompiledSemanticsProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(regexes(), words())
+    def test_compiled_agrees_with_direct_matching(self, expr, word):
+        compiled = compile_regex(expr)
+        assert compiled.matches(word) == matches_word(expr, word)
+
+    @settings(max_examples=100, deadline=None)
+    @given(regexes())
+    def test_epsilon_agrees(self, expr):
+        compiled = compile_regex(expr)
+        assert compiled.accepts_epsilon == matches_word(expr, [])

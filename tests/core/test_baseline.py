@@ -1,0 +1,101 @@
+"""Schema-free containment: expansions and the bounded test."""
+
+from repro.automata.semiautomaton import compile_regex
+from repro.core.baseline import (
+    contained_no_schema,
+    expansions,
+    language_is_finite,
+    words_of,
+)
+from repro.graphs.labels import Role
+from repro.queries.evaluation import satisfies
+from repro.queries.parser import parse_crpq, parse_query
+from repro.queries.presets import example_11_q1, example_11_q2
+
+
+class TestWords:
+    def test_finite_language(self):
+        words = list(words_of(compile_regex("r.s"), 5))
+        assert words == [(Role("r"), Role("s"))]
+
+    def test_star_enumeration(self):
+        words = list(words_of(compile_regex("r*"), 3))
+        assert len(words) == 4  # ε, r, rr, rrr
+        assert () in words
+
+    def test_language_finiteness(self):
+        assert language_is_finite(compile_regex("r.s|t"))
+        assert not language_is_finite(compile_regex("r*"))
+        assert not language_is_finite(compile_regex("r.s+"))
+        # the star is unreachable on any accepting path? not here:
+        assert not language_is_finite(compile_regex("(r|s)*"))
+
+
+class TestExpansions:
+    def test_expansion_satisfies_query(self):
+        q = parse_crpq("A(x), (r.s)(x,y), B(y)")
+        for expansion in expansions(q, 4):
+            assert satisfies(expansion.graph, q)
+
+    def test_expansion_counts(self):
+        q = parse_crpq("r*(x,y)")
+        # words ε, r, rr, rrr — the ε-expansion merges x and y
+        found = list(expansions(q, 3))
+        assert len(found) == 4
+        merged = [e for e in found if len(e.graph) == 1]
+        assert len(merged) == 1 and merged[0].graph.edge_count() == 0
+
+    def test_epsilon_same_variable(self):
+        q = parse_crpq("r*(x,x)")
+        found = list(expansions(q, 2))
+        assert found  # the ε-word works when source == target
+
+    def test_tests_inside_words(self):
+        q = parse_crpq("(r.{Mid}.s)(x,y)")
+        graphs = [e.graph for e in expansions(q, 4)]
+        assert len(graphs) == 1
+        assert any(graphs[0].has_label(v, "Mid") for v in graphs[0].node_list())
+
+
+class TestContainment:
+    def test_reflexive(self):
+        q = parse_query("A(x), r(x,y)")
+        assert contained_no_schema(q, q).contained
+
+    def test_structural_containment(self):
+        lhs = parse_query("A(x), r(x,y), B(y)")
+        rhs = parse_query("r(x,y)")
+        result = contained_no_schema(lhs, rhs)
+        assert result.contained and result.complete
+
+    def test_not_contained_with_countermodel(self):
+        lhs = parse_query("r(x,y)")
+        rhs = parse_query("A(x), r(x,y)")
+        result = contained_no_schema(lhs, rhs)
+        assert not result.contained
+        assert result.countermodel is not None
+        assert satisfies(result.countermodel, lhs.disjuncts[0])
+
+    def test_star_containments(self):
+        assert contained_no_schema(parse_query("r(x,y)"), parse_query("r*(x,y)")).contained
+        assert not contained_no_schema(parse_query("r*(x,y)"), parse_query("r(x,y)")).contained
+        assert contained_no_schema(parse_query("r+(x,y)"), parse_query("r*(x,y)")).contained
+
+    def test_union_lhs(self):
+        lhs = parse_query("r(x,y); s(x,y)")
+        assert not contained_no_schema(lhs, parse_query("r(x,y)")).contained
+        assert contained_no_schema(lhs, parse_query("(r|s)(x,y)")).contained
+
+    def test_example_11_no_schema(self):
+        """Example 1.1: q2 ⊆ q1 but q1 ⊄ q2 without the schema."""
+        q1, q2 = example_11_q1(), example_11_q2()
+        assert contained_no_schema(q2, q1).contained
+        refuted = contained_no_schema(q1, q2)
+        assert not refuted.contained
+        assert refuted.countermodel is not None
+
+    def test_incomplete_flag_for_infinite_languages(self):
+        lhs = parse_query("r*(x,y)")
+        rhs = parse_query("r*(x,y)")
+        result = contained_no_schema(lhs, rhs)
+        assert result.contained and not result.complete

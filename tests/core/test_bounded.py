@@ -1,0 +1,47 @@
+"""The exhaustive bounded-model oracle."""
+
+from repro.core.bounded import exhaustive_countermodel, extensions_of
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph, single_node_graph
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_query
+
+
+class TestExtensions:
+    def test_counts(self):
+        seed = single_node_graph([], node=0)
+        # 1 node, 1 label slot, 1 edge slot (self-loop): 4 extensions
+        found = list(extensions_of(seed, 0, ["A"], ["r"]))
+        assert len(found) == 4
+
+    def test_seed_preserved(self):
+        seed = single_node_graph(["A"], node=0)
+        for g in extensions_of(seed, 1, ["A", "B"], ["r"]):
+            assert seed.is_subgraph_of(g)
+
+    def test_fresh_nodes_added(self):
+        seed = single_node_graph([], node=0)
+        sizes = {len(g) for g in extensions_of(seed, 1, [], [])}
+        assert sizes == {2}
+
+
+class TestOracle:
+    def test_finds_simple_countermodel(self):
+        tbox = normalize(TBox.of([("A", "B | C")]))
+        seed = single_node_graph(["A"], node=0)
+        model = exhaustive_countermodel(tbox, parse_query("B(x)"), seed, 0)
+        assert model is not None
+        assert tbox.satisfied_by(model)
+        assert not satisfies_union(model, parse_query("B(x)"))
+
+    def test_certifies_entailment(self):
+        tbox = normalize(TBox.of([("A", "exists r.top")]))
+        seed = single_node_graph(["A"], node=0)
+        assert exhaustive_countermodel(tbox, parse_query("r(x,y)"), seed, 1) is None
+
+    def test_needs_extra_node(self):
+        tbox = normalize(TBox.of([("A", "exists r.B"), ("A", "!B"), ("B", "!A")]))
+        seed = single_node_graph(["A"], node=0)
+        assert exhaustive_countermodel(tbox, parse_query("Zz(x)"), seed, 0) is None
+        assert exhaustive_countermodel(tbox, parse_query("Zz(x)"), seed, 1) is not None

@@ -1,0 +1,148 @@
+"""Section 4: the coil and its three key properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coil import (
+    coil,
+    extend_path,
+    path_end,
+    path_length,
+    path_start,
+    paths_from,
+    paths_up_to,
+    suffix,
+    unravel,
+)
+from repro.graphs.generators import cycle_graph, path_graph, random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.homomorphism import find_homomorphism, is_homomorphism
+from repro.graphs.operations import connected_components, reachable_from
+
+
+class TestPaths:
+    def test_zero_length_paths(self):
+        g = path_graph(2)
+        zero = [p for p in paths_up_to(g, 0)]
+        assert len(zero) == 3
+        assert all(path_length(p) == 0 for p in zero)
+
+    def test_counts_on_path(self):
+        g = path_graph(3)  # 4 nodes, 3 edges
+        all_paths = list(paths_up_to(g, 2))
+        # lengths 0: 4, length 1: 3, length 2: 2
+        assert len(all_paths) == 9
+
+    def test_paths_not_necessarily_simple(self):
+        g = cycle_graph(2)
+        long_paths = [p for p in paths_up_to(g, 4) if path_length(p) == 4]
+        assert long_paths  # wraps around the 2-cycle revisiting nodes
+
+    def test_paths_from(self):
+        g = path_graph(3)
+        from_zero = list(paths_from(g, 2, 0))
+        assert all(path_start(p) == 0 for p in from_zero)
+        assert len(from_zero) == 3
+
+    def test_suffix(self):
+        p = (0,)
+        p = extend_path(p, "r", 1)
+        p = extend_path(p, "r", 2)
+        p = extend_path(p, "r", 3)
+        assert suffix(p, 2) == (1, ("r", 2), ("r", 3))
+        assert suffix(p, 5) == p
+        assert suffix(p, 0) == (3,)
+        assert path_end(suffix(p, 2)) == 3
+
+
+class TestUnravel:
+    def test_tree_shape(self):
+        g = cycle_graph(3, "r", ["A"])
+        tree = unravel(g, 4, 0)
+        # a deterministic cycle unravels into a path of length 4
+        assert len(tree) == 5
+        assert tree.edge_count() == 4
+
+    def test_labels_inherited(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1, ["B"])
+        g.add_edge(0, "r", 1)
+        tree = unravel(g, 1, 0)
+        leaf = [v for v in tree.node_list() if v != (0,)][0]
+        assert tree.labels_of(leaf) == {"B"}
+
+    def test_branching(self):
+        g = Graph()
+        g.add_edge(0, "r", 1)
+        g.add_edge(0, "s", 2)
+        tree = unravel(g, 1, 0)
+        assert len(tree) == 3
+
+
+COIL_GRAPHS = [
+    cycle_graph(3, "r", ["A"]),
+    cycle_graph(1, "r"),
+    path_graph(3, "r", ["B"]),
+    random_connected_graph(4, 2, ["A"], ["r", "s"], seed=2),
+    random_connected_graph(5, 1, ["A", "B"], ["r"], seed=7),
+]
+
+
+class TestCoilProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(range(len(COIL_GRAPHS))), st.integers(1, 3))
+    def test_property1_surjective_homomorphism(self, index, n):
+        """h_G : Coil(G,n) → G is a surjective homomorphism."""
+        g = COIL_GRAPHS[index]
+        c = coil(g, n)
+        mapping = {v: c.h(v) for v in c.graph.node_list()}
+        assert is_homomorphism(c.graph, g, mapping)
+        assert set(mapping.values()) == set(g.node_list())
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(range(len(COIL_GRAPHS))), st.integers(2, 3))
+    def test_property2_local_tree_neighbourhoods(self, index, n):
+        """the ≤(n−1)-out-neighbourhood of a coil node is a tree."""
+        g = COIL_GRAPHS[index]
+        c = coil(g, n)
+        for node in list(c.graph.node_list())[:6]:
+            ball = c.graph.subgraph(reachable_from(c.graph, node, max_steps=n - 1))
+            # a tree: connected with |E| = |V| - 1
+            assert len(connected_components(ball)) == 1
+            assert ball.edge_count() == len(ball) - 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sampled_from(range(len(COIL_GRAPHS))))
+    def test_property3_few_levels_map_to_unravel(self, index):
+        """a connected subgraph visiting k ≤ n levels maps into an unravelling."""
+        g = COIL_GRAPHS[index]
+        n = 3
+        c = coil(g, n)
+        # take the subgraph on levels {1, 2} — visits 2 ≤ n levels
+        nodes = [v for v in c.graph.node_list() if c.node_level(v) in (1, 2)]
+        sub = c.graph.subgraph(nodes)
+        for component in connected_components(sub):
+            piece = sub.subgraph(component)
+            mapped = any(
+                find_homomorphism(piece, unravel(g, 1, v)) is not None
+                for v in g.node_list()
+            )
+            assert mapped
+
+    def test_levels(self):
+        c = coil(cycle_graph(3), 2)
+        levels = {c.node_level(v) for v in c.graph.node_list()}
+        assert levels == {0, 1, 2}
+
+    def test_coil_size(self):
+        g = cycle_graph(3)
+        c = coil(g, 2)
+        # paths of length ≤2 in a 3-cycle: 3+3+3 = 9; × 3 levels
+        assert len(c.graph) == 27
+
+    def test_invalid_n(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            coil(cycle_graph(2), 0)

@@ -1,0 +1,77 @@
+"""Property tests for the frame-level coil (Lemma 4.3's mechanism).
+
+The coiled frame must (a) be a valid frame, (b) be *locally isomorphic* to
+the original — every component/connector isomorphism class preserved — and
+(c) represent a graph that maps homomorphically onto the original's.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frames import ConcreteFrame, coil_frame
+from repro.graphs.graph import Graph, PointedGraph, single_node_graph
+from repro.graphs.homomorphism import canonical_key, maps_into
+from repro.graphs.labels import Role
+
+
+def random_frame(seed: int, n_components: int) -> ConcreteFrame:
+    import random
+
+    rng = random.Random(seed)
+    frame = ConcreteFrame({})
+    for i in range(n_components):
+        g = Graph()
+        g.add_node(("g", i, 0), [rng.choice(["A", "B"])])
+        if rng.random() < 0.5:
+            g.add_node(("g", i, 1), [rng.choice(["A", "B"])])
+            g.add_edge(("g", i, 0), rng.choice(["r", "s"]), ("g", i, 1))
+        frame.add_component(i, PointedGraph(g, ("g", i, 0)))
+    # wire a random connected-ish skeleton without self-loops
+    for i in range(n_components):
+        j = rng.randrange(n_components)
+        if i == j:
+            j = (j + 1) % n_components
+        if i == j:
+            continue
+        anchor = ("g", i, 0)
+        role = Role(rng.choice(["r", "s"]), rng.random() < 0.3)
+        if not any(
+            e.source == i and e.anchor == anchor and e.target == j for e in frame.edges
+        ):
+            frame.add_edge(i, anchor, role, j)
+    frame.validate()
+    return frame
+
+
+def component_classes(frame: ConcreteFrame) -> set:
+    return {canonical_key(p.graph) for p in frame.components.values()}
+
+
+def connector_classes(frame: ConcreteFrame) -> set:
+    return {
+        canonical_key(connector.graph)
+        for _f, _a, connector in frame.connectors(include_trivial=False)
+    }
+
+
+class TestCoilFrameProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 500), st.integers(2, 4), st.integers(2, 3))
+    def test_local_isomorphism(self, seed, n_components, recall):
+        frame = random_frame(seed, n_components)
+        coiled = coil_frame(frame, recall)
+        coiled.validate()
+        # component classes are preserved exactly
+        assert component_classes(coiled) == component_classes(frame)
+        # connector classes of the coil are among the original's (an anchor
+        # with no outgoing skeleton edges in some copy yields no connector)
+        assert connector_classes(coiled) <= connector_classes(frame)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500), st.integers(2, 3))
+    def test_represented_graph_maps_onto_original(self, seed, n_components):
+        frame = random_frame(seed, n_components)
+        coiled = coil_frame(frame, 2)
+        original = frame.represented_graph()
+        rebuilt = coiled.represented_graph()
+        assert maps_into(rebuilt, original)

@@ -1,0 +1,99 @@
+"""The public is_contained API: dispatch, verdicts, verified countermodels."""
+
+import pytest
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox, satisfies_tbox
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_query
+
+
+class TestDispatch:
+    def test_no_schema_uses_baseline(self):
+        result = is_contained("r(x,y)", "r*(x,y)")
+        assert result.contained and result.method == "baseline"
+
+    def test_no_participation_uses_sparse(self):
+        tbox = TBox.of([("A", "forall r.B")])
+        result = is_contained("A(x), r(x,y)", "B(y)", tbox)
+        assert result.method == "sparse"
+        assert result.contained
+
+    def test_participation_uses_direct(self):
+        tbox = TBox.of([("A", "exists r.B")])
+        result = is_contained("A(x)", "r(x,y), B(y)", tbox)
+        assert result.method == "direct"
+        assert result.contained
+
+    def test_explicit_method_override(self):
+        tbox = TBox.of([("A", "exists r.B")])
+        result = is_contained("A(x)", "C(x)", tbox, method="reduction")
+        assert result.method == "reduction"
+        assert not result.contained
+
+    def test_schema_forces_witness_label(self):
+        # A ⊑ ∃r.B puts a B node in every model containing an A node,
+        # so even the "unrelated" Boolean query B(x) is entailed
+        tbox = TBox.of([("A", "exists r.B")])
+        assert is_contained("A(x)", "B(x)", tbox).contained
+        assert is_contained("A(x)", "B(x)", tbox, method="reduction").contained
+
+    def test_string_queries_accepted(self):
+        assert is_contained("A(x), B(x)", "A(x)").contained
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            is_contained("A(x)", "B(x)", method="zz")
+
+
+class TestVerdicts:
+    def test_countermodel_verified(self):
+        tbox = TBox.of([("A", "exists r.B")])
+        result = is_contained("A(x)", "C(x)", tbox)
+        assert not result.contained
+        model = result.countermodel
+        assert satisfies_tbox(model, tbox)
+        assert satisfies_union(model, parse_query("A(x)"))
+        assert not satisfies_union(model, parse_query("C(x)"))
+
+    def test_schema_flips_answer(self):
+        """The headline phenomenon: containment holds only modulo the schema."""
+        lhs = "A(x), r(x,y)"
+        rhs = "r(x,y), B(y)"
+        assert not is_contained(lhs, rhs).contained
+        assert is_contained(lhs, rhs, TBox.of([("A", "forall r.B")])).contained
+
+    def test_union_lhs_all_disjuncts(self):
+        tbox = TBox.of([("A", "B")])
+        assert is_contained("A(x); B(x)", "B(x)", tbox).contained
+        assert not is_contained("A(x); C(x)", "B(x)", tbox).contained
+
+    def test_unsatisfiable_lhs_contained_in_anything(self):
+        tbox = TBox.of([("A & B", "bottom")])
+        result = is_contained("A(x), B(x)", "Zz(w)", tbox)
+        assert result.contained
+
+    def test_open_combination_flagged(self):
+        # full ALCQI with participation: the paper leaves it open
+        tbox = TBox.of([("A", ">=2 r.B"), ("B", "exists s-.A")])
+        result = is_contained("A(x)", "C(x)", tbox)
+        assert not result.supported_by_theory
+        # the direct engine still produces a sound verdict
+        assert not result.contained
+
+    def test_supported_combinations_flagged(self):
+        alcq = TBox.of([("A", ">=2 r.B")])
+        result = is_contained("A(x), r(x,y)", "B(x)", alcq)  # simple queries
+        assert result.supported_by_theory
+
+    def test_two_way_queries(self):
+        tbox = TBox.of([("B", "exists r-.A")])
+        # every B has an incoming r from an A: B(x) ⊆ r-(x,y),A(y)
+        result = is_contained("B(x)", "r-(x,y), A(y)", tbox)
+        assert result.contained
+
+    def test_not_contained_two_way(self):
+        tbox = TBox.of([("B", "exists r-.A")])
+        result = is_contained("B(x)", "r(x,y), A(y)", tbox)
+        assert not result.contained

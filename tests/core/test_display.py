@@ -1,0 +1,53 @@
+"""Internal-label stripping for user-facing countermodels."""
+
+from repro.core.display import is_internal_label, strip_internal_labels
+from repro.graphs.graph import Graph
+
+
+class TestDisplay:
+    def test_prefix_classification(self):
+        assert is_internal_label("Nz_3")
+        assert is_internal_label("Cp_12")
+        assert is_internal_label("Cnt_0_r_pB")
+        assert is_internal_label("Cntg1_0_r_pB")
+        assert is_internal_label("Crole_r")
+        assert not is_internal_label("Customer")
+        assert not is_internal_label("NzLike")  # needs the underscore
+
+    def test_strip(self):
+        g = Graph()
+        g.add_node(0, ["A", "Nz_0", "Cp_1"])
+        g.add_node(1, ["Cnt_0_r_pB"])
+        g.add_edge(0, "r", 1)
+        cleaned = strip_internal_labels(g)
+        assert cleaned.labels_of(0) == {"A"}
+        assert cleaned.labels_of(1) == frozenset()
+        assert cleaned.has_edge(0, "r", 1)
+        # original untouched
+        assert g.has_label(0, "Nz_0")
+
+    def test_containment_countermodels_are_clean(self):
+        from repro.core.containment import is_contained
+        from repro.dl.tbox import TBox
+
+        result = is_contained("A(x)", "C(x)", TBox.of([("A", "exists r.B")]))
+        assert not result.contained
+        for node in result.countermodel.node_list():
+            assert not any(
+                is_internal_label(name) for name in result.countermodel.labels_of(node)
+            )
+
+    def test_entailment_countermodels_are_clean(self):
+        from repro.core.entailment import finitely_entails
+        from repro.dl.tbox import TBox
+        from repro.graphs.graph import single_node_graph
+        from repro.queries.parser import parse_query
+
+        result = finitely_entails(
+            single_node_graph(["A"]), TBox.of([("A", "exists r.A")]), parse_query("B(x)")
+        )
+        assert not result.entailed
+        for node in result.countermodel.node_list():
+            assert not any(
+                is_internal_label(name) for name in result.countermodel.labels_of(node)
+            )

@@ -1,0 +1,97 @@
+"""Finite entailment API."""
+
+from repro.core.entailment import finitely_entails, realizable_type, union_has_complements
+from repro.core.search import SearchLimits
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph, single_node_graph
+from repro.graphs.types import Type
+from repro.queries.parser import parse_query
+
+
+class TestFinitelyEntails:
+    def test_not_entailed_with_verified_countermodel(self):
+        result = finitely_entails(
+            single_node_graph(["A"]), TBox.of([("A", "exists r.A")]), parse_query("B(x)")
+        )
+        assert not result.entailed
+        assert result.complete
+        assert result.countermodel is not None
+
+    def test_entailed(self):
+        result = finitely_entails(
+            single_node_graph(["A"]), TBox.of([("A", "exists r.B")]), parse_query("B(x)")
+        )
+        assert result.entailed
+
+    def test_seed_match_shortcut(self):
+        g = single_node_graph(["A"])
+        result = finitely_entails(g, TBox.empty(), parse_query("A(x)"))
+        assert result.entailed and result.complete and result.method == "seed-match"
+
+    def test_seed_match_not_shortcut_for_complements(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1)
+        # ¬A matches the seed, but an extension can grant A everywhere
+        result = finitely_entails(g, TBox.empty(), parse_query("!A(x)"))
+        assert not result.entailed
+
+    def test_finite_vs_unrestricted_divergence(self):
+        """The classic finite-model effect: r-functional cycles.
+
+        T forces every A-node to an r-successor in A with ≤1 r-predecessor
+        each; over finite graphs the chase must close a cycle, which is
+        still fine here, so Q = r(x,x)-free models exist only via cycles
+        longer than 1: avoiding r(x,x) is possible finitely.
+        """
+        tbox = TBox.of([("A", "exists r.A"), ("A", "forall r.A")])
+        result = finitely_entails(single_node_graph(["A"]), tbox, parse_query("r(x,x)"))
+        # a 2-cycle of A-nodes avoids self-loops
+        assert not result.entailed
+
+    def test_accepts_normalized_tbox_and_crpq(self):
+        from repro.queries.parser import parse_crpq
+
+        tbox = normalize(TBox.of([("A", "B")]))
+        result = finitely_entails(single_node_graph(["A"]), tbox, parse_crpq("B(x)"))
+        assert result.entailed
+
+    def test_union_has_complements(self):
+        assert union_has_complements(parse_query("!A(x)"))
+        assert union_has_complements(parse_query("({!A}.r)(x,y)"))
+        assert not union_has_complements(parse_query("A(x), r(x,y)"))
+
+
+class TestRealizableType:
+    def test_simple_realization(self):
+        outcome = realizable_type(
+            Type.of("A", "!B"), normalize(TBox.empty()), parse_query("C(x)")
+        )
+        assert outcome.found
+        model = outcome.countermodel
+        assert model.has_label(("tau", 0), "A")
+        assert not model.has_label(("tau", 0), "B")
+
+    def test_unrealizable_by_clause(self):
+        tbox = normalize(TBox.of([("A", "B")]))
+        outcome = realizable_type(
+            Type.of("A", "!B"), tbox, parse_query("Zz(x)"), type_signature=["A", "B"]
+        )
+        assert not outcome.found and outcome.exhausted
+
+    def test_unrealizable_by_query(self):
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        outcome = realizable_type(
+            Type.of("A"), tbox, parse_query("r(x,y), B(y)")
+        )
+        assert not outcome.found and outcome.exhausted
+
+    def test_respects_allowed_types(self):
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        allowed = [Type.of("A", "!B"), Type.of("!A", "B")]
+        outcome = realizable_type(
+            Type.of("A", "!B"), tbox, parse_query("Zz(x)"),
+            allowed_types=allowed, type_signature=["A", "B"],
+        )
+        assert outcome.found

@@ -1,0 +1,66 @@
+"""Query equivalence and schema-aware minimization."""
+
+import pytest
+
+from repro.core.equivalence import are_equivalent, minimize
+from repro.dl.pg_schema import figure1_schema
+from repro.dl.tbox import TBox
+from repro.queries.parser import parse_crpq
+from repro.queries.presets import example_11_q1, example_11_q2
+
+
+class TestEquivalence:
+    def test_syntactic_variants(self):
+        assert are_equivalent("A(x), r(x,y)", "r(x,y), A(x)").equivalent
+
+    def test_inequivalent_certain(self):
+        result = are_equivalent("r(x,y)", "A(x), r(x,y)")
+        assert not result.equivalent
+        assert result.complete  # refutation direction is certain
+
+    def test_example_11_modulo_schema(self):
+        """q₁ ≡_S q₂ — the paper's two containments combined."""
+        schema = figure1_schema()
+        assert not are_equivalent(example_11_q1(), example_11_q2()).equivalent
+        assert are_equivalent(example_11_q1(), example_11_q2(), schema).equivalent
+
+    def test_schema_makes_label_redundant(self):
+        tbox = TBox.of([("A", "forall r.B")])
+        assert are_equivalent("A(x), r(x,y)", "A(x), r(x,y), B(y)", tbox).equivalent
+        assert not are_equivalent("A(x), r(x,y)", "A(x), r(x,y), B(y)").equivalent
+
+
+class TestMinimization:
+    def test_redundant_label_dropped(self):
+        tbox = TBox.of([("A", "forall r.B")])
+        result = minimize("A(x), r(x,y), B(y)", tbox)
+        assert len(result.dropped) == 1
+        assert "B" in str(result.dropped[0])
+        assert result.minimized.size() == 2
+
+    def test_nothing_redundant_without_schema(self):
+        result = minimize("A(x), r(x,y), B(y)")
+        assert not result.dropped
+
+    def test_classical_cq_minimization(self):
+        # r(x,y) ∧ r(x,z): the second atom folds into the first (Boolean)
+        result = minimize("r(x,y), r(x,z)")
+        assert len(result.dropped) == 1
+        assert result.minimized.size() == 1
+
+    def test_connectivity_preserved(self):
+        tbox = TBox.of([("A", "forall r.A")])
+        result = minimize("A(x), r(x,y), r(y,z)", tbox)
+        assert result.minimized.is_connected()
+
+    def test_union_rejected(self):
+        with pytest.raises(ValueError):
+            minimize("A(x); B(x)")
+
+    def test_subsumed_generalization(self):
+        tbox = TBox.of([("PremCC", "CredCard")])
+        result = minimize("PremCC(x), CredCard(x), earns(x,y)", tbox)
+        assert any("CredCard" in str(a) for a in result.dropped)
+        assert not any(
+            "CredCard" in str(a) for a in result.minimized.concept_atoms
+        )

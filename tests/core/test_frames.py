@@ -1,0 +1,194 @@
+"""Concrete frames, represented graphs, connectors, and the Lemma 4.3
+restructuring."""
+
+import pytest
+
+from repro.core.frames import (
+    AbstractComponent,
+    AbstractFrame,
+    AbstractFrameEdge,
+    ConcreteFrame,
+    coil_frame,
+    undirected_frame_path_span,
+    unravel_frame,
+)
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.graph import Graph, PointedGraph, single_node_graph
+from repro.graphs.labels import Role
+from repro.graphs.types import Type
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_query
+
+
+def two_component_frame():
+    """f0 --(a0, r)--> f1 with single-edge components."""
+    g0 = Graph()
+    g0.add_node(("g0", 0), ["A"])
+    g0.add_node(("g0", 1), ["B"])
+    g0.add_edge(("g0", 0), "r", ("g0", 1))
+    g1 = Graph()
+    g1.add_node(("g1", 0), ["C"])
+    frame = ConcreteFrame({})
+    frame.add_component("f0", PointedGraph(g0, ("g0", 0)))
+    frame.add_component("f1", PointedGraph(g1, ("g1", 0)))
+    frame.add_edge("f0", ("g0", 1), Role("r"), "f1")
+    frame.validate()
+    return frame
+
+
+class TestConcreteFrame:
+    def test_represented_graph(self):
+        frame = two_component_frame()
+        g = frame.represented_graph()
+        assert len(g) == 3
+        assert g.has_edge(("g0", 1), "r", ("g1", 0))
+        assert frame.frame_edge_set() == {(("g0", 1), "r", ("g1", 0))}
+
+    def test_inverse_frame_edge(self):
+        frame = two_component_frame()
+        frame.add_edge("f0", ("g0", 0), Role("s", True), "f1")
+        g = frame.represented_graph()
+        # an s⁻-labelled frame edge is an s-edge INTO the anchor
+        assert g.has_edge(("g1", 0), "s", ("g0", 0))
+
+    def test_connector(self):
+        frame = two_component_frame()
+        connector = frame.connector("f0", ("g0", 1))
+        assert len(connector.graph) == 2
+        assert connector.point == ("g0", 1)
+        assert connector.graph.has_edge(("g0", 1), "r", ("g1", 0))
+
+    def test_connectors_iteration(self):
+        frame = two_component_frame()
+        anchored = list(frame.connectors())
+        assert len(anchored) == 1
+        with_trivial = list(frame.connectors(include_trivial=True))
+        assert len(with_trivial) == 3
+
+    def test_validation_rejects_self_loop(self):
+        g = single_node_graph(["A"], node=("g", 0))
+        frame = ConcreteFrame({"f": PointedGraph(g, ("g", 0))})
+        frame.add_edge("f", ("g", 0), Role("r"), "f")
+        with pytest.raises(ValueError):
+            frame.validate()
+
+    def test_validation_rejects_shared_domains(self):
+        g = single_node_graph(["A"], node=0)
+        frame = ConcreteFrame({"f": PointedGraph(g, 0), "e": PointedGraph(g, 0)})
+        with pytest.raises(ValueError):
+            frame.validate()
+
+    def test_is_tree(self):
+        assert two_component_frame().is_tree()
+
+    def test_skeleton_roundtrip(self):
+        frame = two_component_frame()
+        skeleton, legend = frame.skeleton()
+        assert len(skeleton) == 2
+        assert len(legend) == 1
+        assert list(legend.values())[0] == (("g0", 1), Role("r"))
+
+
+class TestRestructuring:
+    def cyclic_frame(self):
+        """A frame whose skeleton is a 2-cycle."""
+        g0 = single_node_graph(["A"], node=("g0", 0))
+        g1 = single_node_graph(["B"], node=("g1", 0))
+        frame = ConcreteFrame({})
+        frame.add_component("f0", PointedGraph(g0, ("g0", 0)))
+        frame.add_component("f1", PointedGraph(g1, ("g1", 0)))
+        frame.add_edge("f0", ("g0", 0), Role("r"), "f1")
+        frame.add_edge("f1", ("g1", 0), Role("r"), "f0")
+        return frame
+
+    def test_coil_frame_valid_and_larger(self):
+        frame = self.cyclic_frame()
+        coiled = coil_frame(frame, 3)
+        coiled.validate()
+        assert len(coiled.components) > len(frame.components)
+
+    def test_coil_frame_locally_isomorphic(self):
+        """components/connectors of F_n are copies of those of F."""
+        frame = self.cyclic_frame()
+        coiled = coil_frame(frame, 2)
+        original_labels = {
+            frozenset(p.graph.labels_of(v) for v in p.graph.node_list())
+            for p in frame.components.values()
+        }
+        coiled_labels = {
+            frozenset(p.graph.labels_of(v) for v in p.graph.node_list())
+            for p in coiled.components.values()
+        }
+        assert coiled_labels == original_labels
+
+    def test_coil_breaks_short_cycles(self):
+        # the 2-cycle skeleton represents r-cycles; Coil with n=3 makes the
+        # girth larger than 2 so the query r.r(x,x) is no longer matched
+        frame = self.cyclic_frame()
+        query = parse_query("(r.r)(x,x)")
+        assert satisfies_union(frame.represented_graph(), query)
+        coiled = coil_frame(frame, 3)
+        assert not satisfies_union(coiled.represented_graph(), query)
+
+    def test_unravel_frame_is_tree(self):
+        frame = self.cyclic_frame()
+        tree = unravel_frame(frame, 3, "f0")
+        tree.validate()
+        assert tree.is_tree()
+
+
+class TestSpans:
+    def test_span_computation(self):
+        assert undirected_frame_path_span([1, 1, -1]) == 2
+        assert undirected_frame_path_span([1, -1, 1, -1]) == 1
+        assert undirected_frame_path_span([]) == 0
+        assert undirected_frame_path_span([-1, -1]) == 2
+
+
+class TestAbstractFrame:
+    def test_component_requires_tau_in_thetas(self):
+        tau = Type.of("A")
+        AbstractComponent(tau, None, frozenset({tau}), None)
+        with pytest.raises(ValueError):
+            AbstractComponent(tau, None, frozenset({Type.of("B")}), None)
+
+    def test_realizes(self):
+        comp = AbstractComponent(Type.of("A", "!B"), None, frozenset({Type.of("A", "!B")}), None)
+        frame = AbstractFrame({"f": comp})
+        assert frame.realizes(Type.of("A"))
+        assert not frame.realizes(Type.of("B"))
+
+    def test_connector_graph_materializes_types(self):
+        a, b = Type.of("A"), Type.of("B")
+        frame = AbstractFrame(
+            {
+                "f": AbstractComponent(a, None, frozenset({a}), None),
+                "e": AbstractComponent(b, None, frozenset({b}), None),
+            },
+            edges=[AbstractFrameEdge("f", a, Role("r"), "e")],
+        )
+        connectors = frame.connector_graph("f")
+        assert a in connectors
+        star = connectors[a]
+        assert star.graph.has_label(star.point, "A")
+        leaves = [v for v in star.graph.node_list() if v != star.point]
+        assert len(leaves) == 1 and star.graph.has_label(leaves[0], "B")
+
+    def test_represent(self):
+        a, b = Type.of("A"), Type.of("B")
+        frame = AbstractFrame(
+            {
+                "f": AbstractComponent(a, None, frozenset({a}), None),
+                "e": AbstractComponent(b, None, frozenset({b}), None),
+            },
+            edges=[AbstractFrameEdge("f", a, Role("r"), "e")],
+        )
+        witnesses = {
+            "f": PointedGraph(single_node_graph(["A"], node=0), 0),
+            "e": PointedGraph(single_node_graph(["B"], node=0), 0),
+        }
+        concrete = frame.represent(witnesses)
+        concrete.validate()
+        represented = concrete.represented_graph()
+        assert len(represented) == 2
+        assert any(r == "r" for _a, r, _b in represented.edges())

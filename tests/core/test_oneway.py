@@ -1,0 +1,135 @@
+"""Section 5: the one-way fixpoint procedure over alternating frames."""
+
+import pytest
+
+from repro.core.oneway import ProcedureInfeasible, realizable_refuting_oneway
+from repro.core.search import SearchLimits
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.types import Type
+from repro.queries.parser import parse_query
+from repro.queries.presets import example_36_factorization, example_36_query
+
+LIMITS = SearchLimits(max_nodes=4, max_steps=5000)
+
+
+def decide(tau, cis, query=None, fact=None):
+    tbox = normalize(TBox.of(cis))
+    q = query if query is not None else example_36_query()
+    f = fact if fact is not None else example_36_factorization()
+    return realizable_refuting_oneway(tau, tbox, q, factorization=f, limits=LIMITS)
+
+
+class TestExample36:
+    def test_empty_tbox_realizable(self):
+        assert decide(Type.of("A"), []).realizable
+
+    def test_forced_edge_unrealizable(self):
+        # A ⊑ ∃r.B makes every A-node match Q = A·r⁺·B
+        assert not decide(Type.of("A"), [("A", "exists r.B")]).realizable
+
+    def test_target_type_still_realizable(self):
+        assert decide(Type.of("B"), [("A", "exists r.B")]).realizable
+
+    def test_two_step_chain_unrealizable(self):
+        cis = [("A", "exists r.M"), ("M", "exists r.B")]
+        assert not decide(Type.of("A"), cis).realizable
+
+    def test_open_chain_realizable(self):
+        assert decide(Type.of("A"), [("A", "exists r.M")]).realizable
+
+    def test_inverse_participation(self):
+        # ALCI: every B has an incoming r-edge from an A
+        cis = [("B", "exists r-.A")]
+        assert not decide(Type.of("B"), cis).realizable
+        assert decide(Type.of("A"), cis).realizable
+
+    def test_alternating_obligations(self):
+        # forward and backward participation interleaved
+        cis = [("A", "exists r.M"), ("M", "exists r-.A")]
+        result = decide(Type.of("A"), cis)
+        assert result.realizable  # M's backward witness is the A itself (or a copy)
+
+    def test_universal_blocks(self):
+        # every r-successor of an A is B, and A needs an r-successor:
+        # then A·r⁺·B matches unavoidably
+        cis = [("A", "exists r.top"), ("A", "forall r.B")]
+        assert not decide(Type.of("A"), cis).realizable
+
+
+class TestGuards:
+    def test_counting_rejected(self):
+        tbox = normalize(TBox.of([("A", ">=2 r.B")]))
+        with pytest.raises(ValueError):
+            realizable_refuting_oneway(
+                Type.of("A"), tbox, example_36_query(),
+                factorization=example_36_factorization(), limits=LIMITS,
+            )
+
+    def test_two_way_query_rejected(self):
+        tbox = normalize(TBox.empty())
+        with pytest.raises(ValueError):
+            realizable_refuting_oneway(
+                Type.of("A"), tbox, parse_query("r-(x,y)"), limits=LIMITS
+            )
+
+    def test_type_space_guard(self):
+        tbox = normalize(TBox.empty())
+        with pytest.raises(ProcedureInfeasible):
+            realizable_refuting_oneway(
+                Type.of("A"), tbox, example_36_query(),
+                factorization=example_36_factorization(),
+                limits=LIMITS, max_types=4,
+            )
+
+
+class TestDiagnostics:
+    def test_iteration_history(self):
+        result = decide(Type.of("A"), [("A", "exists r.B")])
+        assert result.iterations >= 1
+        assert len(result.type_counts) == result.iterations + 1
+        # greatest fixpoint: counts never increase
+        assert all(a >= b for a, b in zip(result.type_counts, result.type_counts[1:]))
+
+    def test_gamma_reported(self):
+        result = decide(Type.of("A"), [])
+        assert "Cdir" in result.gamma and "A" in result.gamma
+
+
+class TestSynthesis:
+    def test_synthesized_countermodel_verified(self):
+        from repro.core.oneway import synthesize_countermodel_oneway
+        from repro.queries.evaluation import satisfies_union
+
+        tbox = normalize(TBox.of([("B", "exists r-.A")]))
+        fact = example_36_factorization()
+        model = synthesize_countermodel_oneway(
+            Type.of("A"), tbox, example_36_query(), factorization=fact, limits=LIMITS
+        )
+        assert model is not None
+        assert tbox.satisfied_by(model)
+        assert not satisfies_union(model, example_36_query())
+        assert any(Type.of("A").holds_at(model, v) for v in model.node_list())
+
+    def test_synthesis_none_when_unrealizable(self):
+        from repro.core.oneway import synthesize_countermodel_oneway
+
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        model = synthesize_countermodel_oneway(
+            Type.of("A"), tbox, example_36_query(),
+            factorization=example_36_factorization(), limits=LIMITS,
+        )
+        assert model is None
+
+    def test_synthesis_alternating_obligations(self):
+        from repro.core.oneway import synthesize_countermodel_oneway
+        from repro.queries.evaluation import satisfies_union
+
+        tbox = normalize(TBox.of([("A", "exists r.M"), ("M", "exists r-.A")]))
+        model = synthesize_countermodel_oneway(
+            Type.of("A"), tbox, example_36_query(),
+            factorization=example_36_factorization(), limits=LIMITS,
+        )
+        assert model is not None
+        assert tbox.satisfied_by(model)
+        assert not satisfies_union(model, example_36_query())

@@ -1,0 +1,45 @@
+"""Decision records and logs."""
+
+import json
+
+from repro.core.records import DecisionLog, decide
+from repro.dl.tbox import TBox
+
+
+class TestDecide:
+    def test_record_fields(self):
+        record = decide("A(x), r(x,y)", "r(x,y)", TBox.of([("A", "B")], name="t"))
+        assert record.contained
+        assert record.schema_name == "t"
+        assert record.seconds >= 0
+        assert "CONTAINED" in record.verdict
+
+    def test_countermodel_serialized(self):
+        record = decide("r(x,y)", "A(x)")
+        assert not record.contained
+        assert record.countermodel is not None
+        data = json.loads(record.to_json())
+        assert data["countermodel"]["edges"]
+
+    def test_no_schema(self):
+        record = decide("A(x)", "A(x)")
+        assert record.schema_name is None
+        assert record.method == "baseline"
+
+
+class TestLog:
+    def test_accumulates_and_summarizes(self, tmp_path):
+        log = DecisionLog()
+        log.decide("A(x), B(x)", "A(x)")
+        log.decide("A(x)", "B(x)")
+        log.decide("A(x)", "B(x)", TBox.of([("A", "B")], name="s"))
+        summary = log.summary()
+        assert summary["decisions"] == 3
+        assert summary["contained"] == 2
+        assert summary["refuted"] == 1
+        assert "baseline" in summary["methods"]
+        path = tmp_path / "log.json"
+        log.save(str(path))
+        reloaded = json.loads(path.read_text())
+        assert len(reloaded["records"]) == 3
+        assert reloaded["summary"]["decisions"] == 3

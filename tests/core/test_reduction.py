@@ -1,0 +1,72 @@
+"""The Section 3 reduction: star-like countermodels via Tp(T, Q̂) oracles."""
+
+import pytest
+
+from repro.core.reduction import ReductionConfig, contains_via_reduction
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.queries.evaluation import satisfies, satisfies_union
+from repro.queries.parser import parse_crpq, parse_query
+from repro.queries.presets import example_36_factorization
+
+
+class TestReduction:
+    def test_not_contained_builds_verified_star(self):
+        # T: A ⊑ ∃r.A — participation constraint; lhs A(x); rhs B(x)
+        tbox = normalize(TBox.of([("A", "exists r.A")]))
+        lhs = parse_crpq("A(x)")
+        rhs = parse_query("B(x)")
+        result = contains_via_reduction(lhs, rhs, tbox)
+        assert not result.contained
+        assert result.complete
+        model = result.countermodel
+        assert tbox.satisfied_by(model)
+        assert satisfies(model, lhs)
+        assert not satisfies_union(model, rhs)
+        assert result.star is not None
+
+    def test_contained_when_schema_forces(self):
+        # A ⊑ ∃r.B plus ∀-typing: any A-match forces an r-edge to a B node
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        lhs = parse_crpq("A(x)")
+        rhs = parse_query("r(x,y), B(y)")
+        result = contains_via_reduction(lhs, rhs, tbox)
+        assert result.contained
+
+    def test_peripheral_witnesses_attached(self):
+        # the violating node's witnesses live in the peripheral part
+        tbox = normalize(TBox.of([("A", "exists r.B"), ("B", "exists r.B")]))
+        lhs = parse_crpq("A(x)")
+        rhs = parse_query("C(x)")
+        result = contains_via_reduction(lhs, rhs, tbox)
+        assert not result.contained
+        assert result.entailment_calls >= 1
+        # the assembled graph contains the B-witness chain
+        assert any(
+            result.countermodel.has_label(v, "B")
+            for v in result.countermodel.node_list()
+        )
+
+    def test_factorized_query_interaction(self):
+        # rhs is the Example 3.6 query; its Q̂ needs permission labels in Tp
+        tbox = normalize(TBox.of([("A", "exists r.M")]))
+        lhs = parse_crpq("A(x)")
+        fact = example_36_factorization()
+        result = contains_via_reduction(lhs, fact.original, tbox, factorization=fact)
+        # A's witness M need not be B, so Q = A.r+.B is avoidable
+        assert not result.contained
+        assert not satisfies_union(result.countermodel, fact.original)
+
+    def test_rejects_full_alcqi(self):
+        tbox = normalize(TBox.of([("A", ">=2 r.B"), ("B", "exists s-.A")]))
+        with pytest.raises(ValueError):
+            contains_via_reduction(parse_crpq("A(x)"), parse_query("B(x)"), tbox)
+
+    def test_contained_example_36(self):
+        # T forces A → r-edge → B directly, so Q = A.r+.B is entailed
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        fact = example_36_factorization()
+        result = contains_via_reduction(
+            parse_crpq("A(x)"), fact.original, tbox, factorization=fact
+        )
+        assert result.contained

@@ -1,0 +1,87 @@
+"""The repair (chase completion) and probe-certification utilities."""
+
+from repro.core.certify import probe_containment
+from repro.core.repair import complete_to_model, repair_report
+from repro.core.search import SearchLimits
+from repro.dl.pg_schema import figure1_schema
+from repro.dl.tbox import TBox, satisfies_tbox
+from repro.graphs.graph import Graph, single_node_graph
+
+
+class TestRepair:
+    def test_completion_adds_witnesses(self):
+        tbox = TBox.of([("Customer", "exists owns.CredCard")])
+        g = single_node_graph(["Customer"], node="c")
+        result = complete_to_model(g, tbox)
+        assert result.succeeded
+        assert satisfies_tbox(result.completed, tbox)
+        assert result.added_nodes >= 1
+        assert result.added_edges >= 1
+
+    def test_already_model_unchanged(self):
+        tbox = TBox.of([("A", "B")])
+        g = single_node_graph(["A", "B"])
+        result = complete_to_model(g, tbox)
+        assert result.succeeded
+        assert result.added_nodes == 0 and result.added_edges == 0
+
+    def test_unrepairable(self):
+        tbox = TBox.of([("A", "bottom")])
+        g = single_node_graph(["A"])
+        result = complete_to_model(g, tbox)
+        assert not result.succeeded
+        assert result.exhausted
+
+    def test_figure1_partial_instance(self):
+        g = Graph()
+        g.add_node("carol", ["Customer"])
+        g.add_node("plat", ["CredCard", "PremCC"])
+        g.add_edge("carol", "owns", "plat")
+        result = complete_to_model(g, figure1_schema())
+        assert result.succeeded
+        assert satisfies_tbox(result.completed, figure1_schema())
+        # the premier card needed a rewards program witness
+        assert any(
+            result.completed.has_label(v, "RwrdProg")
+            for v in result.completed.node_list()
+        )
+
+    def test_report_lists_violations(self):
+        tbox = TBox.of([("Customer", "exists owns.CredCard")])
+        g = single_node_graph(["Customer"], node="c")
+        report = repair_report(g, tbox)
+        assert len(report) == 1
+        assert "'c'" in report[0] and "owns" in report[0]
+
+    def test_internal_labels_stripped(self):
+        tbox = TBox.of([("A", "exists r.(B & C)")])
+        g = single_node_graph(["A"])
+        result = complete_to_model(g, tbox)
+        assert result.succeeded
+        for node in result.completed.node_list():
+            assert not any(
+                name.startswith("Nz_") for name in result.completed.labels_of(node)
+            )
+
+
+class TestProbes:
+    def test_confirms_real_containment(self):
+        tbox = TBox.of([("A", "forall r.B")])
+        report = probe_containment("A(x), r(x,y)", "B(y)", tbox, probes=10)
+        assert not report.refuted
+        assert report.confirmed == report.probes > 0
+
+    def test_refutes_with_verified_probe(self):
+        tbox = TBox.of([("A", "exists r.B")])
+        report = probe_containment("A(x)", "C(x)", tbox, probes=20)
+        assert report.refuted
+        model = report.refutation
+        assert satisfies_tbox(model, tbox)
+
+    def test_empty_lhs_expansions(self):
+        tbox = TBox.of([("A", "B")])
+        # an unsatisfiable single atom regex yields no expansions
+        from repro.queries.parser import parse_query
+
+        report = probe_containment(parse_query("A(x)"), "B(x)", tbox, probes=5)
+        assert not report.refuted  # A ⊑ B: every probe confirms

@@ -1,0 +1,220 @@
+"""The chase-based countermodel engine, cross-validated against the
+exhaustive bounded-model oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounded import exhaustive_countermodel
+from repro.core.search import CountermodelSearch, SearchLimits, search_countermodel
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph, single_node_graph
+from repro.graphs.types import Type
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_query
+
+
+def run(tbox_cis, seed_labels, avoid_text, **kwargs):
+    tbox = normalize(TBox.of(tbox_cis))
+    seed = single_node_graph(seed_labels, node="s0")
+    avoid = parse_query(avoid_text)
+    outcome = search_countermodel(tbox, avoid, seed, **kwargs)
+    if outcome.found:
+        assert tbox.satisfied_by(outcome.countermodel)
+        assert not satisfies_union(outcome.countermodel, avoid)
+        assert seed.is_subgraph_of(outcome.countermodel)
+    return outcome
+
+
+class TestBasicRepairs:
+    def test_infinite_chase_folds_into_cycle(self):
+        outcome = run([("A", "exists r.A")], ["A"], "B(x)")
+        assert outcome.found
+        assert outcome.countermodel.edge_count() >= 1
+
+    def test_forced_entailment(self):
+        # every model of A ⊑ ∃r.⊤ from an A-seed has an r-edge
+        outcome = run([("A", "exists r.top")], ["A"], "r(x,y)")
+        assert not outcome.found and outcome.exhausted
+
+    def test_disjunction_explored(self):
+        outcome = run([("A", "B | C")], ["A"], "B(x)")
+        assert outcome.found
+        assert outcome.countermodel.has_label("s0", "C")
+
+    def test_universal_propagation(self):
+        outcome = run(
+            [("A", "exists r.top"), ("A", "forall r.B")], ["A"], "C(x)"
+        )
+        assert outcome.found
+        model = outcome.countermodel
+        successors = model.successors("s0", "r")
+        assert all(model.has_label(w, "B") for w in successors)
+
+    def test_universal_clash(self):
+        # A must have an r-successor in B and all r-successors must avoid B
+        outcome = run(
+            [("A", "exists r.B"), ("A", "forall r.!B")], ["A"], "Zz(x)"
+        )
+        assert not outcome.found and outcome.exhausted
+
+    def test_atmost_backtracks(self):
+        outcome = run(
+            [("A", ">=2 r.B"), ("A", "<=1 r.B")], ["A"], "Zz(x)"
+        )
+        assert not outcome.found and outcome.exhausted
+
+    def test_counting_witnesses_distinct(self):
+        outcome = run([("A", ">=2 r.B")], ["A"], "Zz(x)")
+        assert outcome.found
+        model = outcome.countermodel
+        b_successors = [
+            w for w in model.successors("s0", "r") if model.has_label(w, "B")
+        ]
+        assert len(b_successors) >= 2
+
+    def test_query_repair_grants_labels(self):
+        # avoiding !A(x) forces every node to carry A
+        outcome = run([("A", "exists r.top")], ["A"], "!A(x)")
+        assert outcome.found
+        model = outcome.countermodel
+        assert all(model.has_label(v, "A") for v in model.node_list())
+
+    def test_inverse_role_witness(self):
+        outcome = run([("B", "exists r-.A")], ["B"], "Zz(x)")
+        assert outcome.found
+        model = outcome.countermodel
+        assert any(model.has_label(v, "A") for v in model.predecessors("s0", "r"))
+
+
+class TestConstraints:
+    def test_node_budget_respected(self):
+        limits = SearchLimits(max_nodes=2, max_steps=2000)
+        tbox = normalize(TBox.of([("A", "exists r.B"), ("B", "exists r.C"), ("C", "exists r.D")]))
+        seed = single_node_graph(["A"], node=0)
+        outcome = CountermodelSearch(tbox, parse_query("Zz(x)"), seed, limits=limits).run()
+        if outcome.found:
+            assert len(outcome.countermodel) <= 2
+
+    def test_allowed_types(self):
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        seed = single_node_graph(["A"], node=0)
+        allowed = [Type.of("A", "!B"), Type.of("!A", "B")]
+        outcome = CountermodelSearch(
+            tbox, parse_query("Zz(x)"), seed,
+            allowed_types=allowed, type_signature=["A", "B"],
+        ).run()
+        assert outcome.found
+        for v in outcome.countermodel.node_list():
+            a = outcome.countermodel.has_label(v, "A")
+            b = outcome.countermodel.has_label(v, "B")
+            assert a != b  # exactly one of the two allowed types
+
+    def test_pinned_node_type_frozen(self):
+        tbox = normalize(TBox.of([("A", "B")]))  # would need to add B
+        seed = single_node_graph(["A"], node=0)
+        outcome = CountermodelSearch(
+            tbox, parse_query("Zz(x)"), seed,
+            type_signature=["A", "B"], pinned_nodes=[0],
+        ).run()
+        assert not outcome.found  # cannot add B to the pinned seed
+
+    def test_accept_callback_filters(self):
+        tbox = normalize(TBox.of([("A", "B | C")]))
+        seed = single_node_graph(["A"], node=0)
+        outcome = CountermodelSearch(
+            tbox, parse_query("Zz(x)"), seed,
+            accept=lambda g: g.has_label(0, "C"),
+        ).run()
+        assert outcome.found
+        assert outcome.countermodel.has_label(0, "C")
+
+    def test_step_budget_reported(self):
+        limits = SearchLimits(max_nodes=4, max_steps=3)
+        tbox = normalize(TBox.of([("A", "exists r.A"), ("A", "B | C | D")]))
+        seed = single_node_graph(["A"], node=0)
+        outcome = CountermodelSearch(tbox, parse_query("B(x); C(x); D(x)"), seed, limits=limits).run()
+        assert not outcome.found and not outcome.exhausted
+
+
+SCENARIOS = [
+    ([("A", "exists r.B")], "B(x)"),
+    ([("A", "exists r.B"), ("B", "exists r.A")], "r(x,x)"),
+    ([("A", "B | C")], "C(x)"),
+    ([("A", "forall r.B"), ("A", "exists r.top")], "B(x)"),
+    ([("A", "exists r.A")], "(r.r)(x,y)"),
+    ([("A", "exists r.B"), ("B", "C | D")], "C(x), D(x)"),
+]
+
+
+class TestCrossValidation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(range(len(SCENARIOS))), st.sampled_from(["A", "B"]))
+    def test_agrees_with_exhaustive(self, index, seed_label):
+        """chase verdict == exhaustive enumeration verdict (tiny instances)."""
+        cis, avoid_text = SCENARIOS[index]
+        tbox = normalize(TBox.of(cis))
+        seed = single_node_graph([seed_label], node=0)
+        avoid = parse_query(avoid_text)
+        chase = CountermodelSearch(
+            tbox, avoid, seed, limits=SearchLimits(max_nodes=3, max_steps=30_000)
+        ).run()
+        brute = exhaustive_countermodel(tbox, avoid, seed, max_extra_nodes=1)
+        if brute is not None:
+            # the space the chase explores includes the exhaustive space
+            assert chase.found, (index, seed_label)
+        if not chase.found and chase.exhausted:
+            assert brute is None, (index, seed_label)
+
+
+class TestEdgeCases:
+    def test_seed_with_edges_preserved(self):
+        from repro.graphs.generators import path_graph
+
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        seed = path_graph(2, "r")
+        seed.add_label(0, "A")
+        outcome = CountermodelSearch(tbox, parse_query("Zz(x)"), seed).run()
+        assert outcome.found
+        assert seed.is_subgraph_of(outcome.countermodel)
+
+    def test_promote_branch_used(self):
+        # the existing r-successor can be promoted to B instead of adding a node
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        seed = Graph()
+        seed.add_node(0, ["A"])
+        seed.add_node(1)
+        seed.add_edge(0, "r", 1)
+        outcome = CountermodelSearch(
+            tbox, parse_query("Zz(x)"), seed,
+            limits=SearchLimits(max_nodes=2),  # no room for a fresh witness
+        ).run()
+        assert outcome.found
+        assert outcome.countermodel.has_label(1, "B")
+
+    def test_multiple_disjuncts_all_avoided(self):
+        tbox = normalize(TBox.of([("A", "B | C | D")]))
+        seed = single_node_graph(["A"], node=0)
+        outcome = CountermodelSearch(tbox, parse_query("B(x); C(x)"), seed).run()
+        assert outcome.found
+        assert outcome.countermodel.has_label(0, "D")
+
+    def test_unwinnable_disjunction(self):
+        tbox = normalize(TBox.of([("A", "B | C")]))
+        seed = single_node_graph(["A"], node=0)
+        outcome = CountermodelSearch(tbox, parse_query("B(x); C(x)"), seed).run()
+        assert not outcome.found and outcome.exhausted
+
+    def test_atleast_count_two_distinct_existing(self):
+        # reuse two existing B-nodes rather than inventing new ones
+        tbox = normalize(TBox.of([("A", ">=2 r.B")]))
+        seed = Graph()
+        seed.add_node("a", ["A"])
+        seed.add_node("b1", ["B"])
+        seed.add_node("b2", ["B"])
+        outcome = CountermodelSearch(
+            tbox, parse_query("Zz(x)"), seed, limits=SearchLimits(max_nodes=3)
+        ).run()
+        assert outcome.found
+        model = outcome.countermodel
+        assert len([w for w in model.successors("a", "r") if model.has_label(w, "B")]) >= 2

@@ -1,0 +1,85 @@
+"""Spans of witnessing paths in frames — Lemma 6.4 and the alternating bound.
+
+* In an *alternating* frame (Section 5), components have only incoming or
+  only outgoing frame edges, so an RPQ witnessing path crosses at most one
+  frame edge: span ≤ 1.
+* In a *role-alternating* frame (Section 6), a simple 2RPQ that is not a
+  Σ_T-reachability atom has span ≤ |Σ_T| (Lemma 6.4).
+"""
+
+from repro.automata.product import witness_path
+from repro.automata.semiautomaton import compile_regex
+from repro.core.frames import ConcreteFrame, witness_span
+from repro.graphs.graph import Graph, PointedGraph, single_node_graph
+from repro.graphs.labels import Role
+
+
+def _chain_frame(length: int, role_names: list[str]) -> ConcreteFrame:
+    """f0 → f1 → … with single-node components and cycling roles."""
+    frame = ConcreteFrame({})
+    for i in range(length + 1):
+        g = single_node_graph(["N"], node=("g", i))
+        frame.add_component(i, PointedGraph(g, ("g", i)))
+    for i in range(length):
+        frame.add_edge(i, ("g", i), Role(role_names[i % len(role_names)]), i + 1)
+    frame.validate()
+    return frame
+
+
+class TestWitnessSpan:
+    def test_straight_chain_span_equals_length(self):
+        frame = _chain_frame(3, ["r"])
+        g = frame.represented_graph()
+        compiled = compile_regex("r.r.r")
+        path = witness_path(g, compiled, ("g", 0), ("g", 3))
+        assert path is not None
+        assert witness_span(frame, path) == 3
+
+    def test_back_and_forth_span_one(self):
+        frame = _chain_frame(1, ["r"])
+        g = frame.represented_graph()
+        compiled = compile_regex("r.r-.r")
+        path = witness_path(g, compiled, ("g", 0), ("g", 1))
+        assert path is not None
+        assert witness_span(frame, path) == 1
+
+    def test_component_internal_steps_free(self):
+        # a component with an internal edge: internal traversal costs 0
+        inner = Graph()
+        inner.add_node(("g", 0), ["N"])
+        inner.add_node(("g", 1), ["N"])
+        inner.add_edge(("g", 0), "s", ("g", 1))
+        frame = ConcreteFrame({})
+        frame.add_component(0, PointedGraph(inner, ("g", 0)))
+        frame.add_component(1, PointedGraph(single_node_graph(["N"], node=("h", 0)), ("h", 0)))
+        frame.add_edge(0, ("g", 1), Role("r"), 1)
+        g = frame.represented_graph()
+        path = witness_path(g, compile_regex("s.r"), ("g", 0), ("h", 0))
+        assert witness_span(frame, path) == 1  # only the frame edge counts
+
+
+class TestLemma64:
+    def test_role_alternating_span_bound(self):
+        """In a frame whose connectors cycle roles r → s → r → …, a simple
+        2RPQ over a proper subset of Σ_T± has span ≤ |Σ_T| = 2."""
+        sigma_t = ["r", "s"]
+        frame = _chain_frame(6, sigma_t)
+        g = frame.represented_graph()
+        # (r | s-)* is NOT a reachability atom for Σ_T = {r, s}
+        compiled = compile_regex("(r|s-)*")
+        bound = len(sigma_t)
+        for source in g.node_list():
+            for target in g.node_list():
+                path = witness_path(g, compiled, source, target)
+                if path:
+                    assert witness_span(frame, path) <= bound, (source, target)
+
+    def test_reachability_atom_can_exceed_bound(self):
+        sigma_t = ["r", "s"]
+        frame = _chain_frame(6, sigma_t)
+        g = frame.represented_graph()
+        # (r | s)* IS a Σ_T-reachability atom; it sweeps the whole chain
+        compiled = compile_regex("(r|s)*")
+        path = witness_path(g, compiled, ("g", 0), ("g", 6))
+        assert path is not None
+        assert witness_span(frame, path) > len(sigma_t)

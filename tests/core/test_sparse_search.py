@@ -1,0 +1,90 @@
+"""Theorem 3.1 (sparsification) and Theorem 3.2 (no-participation search)."""
+
+import pytest
+
+from repro.core.sparse_search import contained_without_participation, sparsify
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.homomorphism import maps_into
+from repro.graphs.sparse import is_sparse
+from repro.queries.evaluation import satisfies
+from repro.queries.parser import parse_crpq, parse_query
+
+
+class TestSparsify:
+    def test_sparse_and_satisfying(self):
+        for seed in range(10):
+            g = random_connected_graph(6, 4, ["A", "B"], ["r"], seed=seed)
+            q = parse_crpq("r*(x,y), r(y,z)")
+            if not satisfies(g, q):
+                continue
+            shadow = sparsify(g, q)
+            assert shadow is not None
+            assert satisfies(shadow, q)
+            assert is_sparse(shadow, q.size())
+
+    def test_maps_homomorphically(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1, ["A"])
+        g.add_edge(0, "r", 1)
+        g.add_edge(1, "r", 0)
+        q = parse_crpq("(r.r.r)(x,y)")
+        shadow = sparsify(g, q)
+        assert shadow is not None
+        assert maps_into(shadow, g)
+
+    def test_no_match_returns_none(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        assert sparsify(g, parse_crpq("r(x,y)")) is None
+
+
+class TestNoParticipationContainment:
+    def test_universal_makes_containment(self):
+        # T: every r-target of an A node is B  ⟹  A(x),r(x,y) ⊆ B(y)-version
+        tbox = normalize(TBox.of([("A", "forall r.B")]))
+        lhs = parse_crpq("A(x), r(x,y)")
+        rhs = parse_query("r(x,y), B(y)")
+        result = contained_without_participation(lhs, rhs, tbox)
+        assert result.contained
+
+    def test_without_schema_not_contained(self):
+        tbox = normalize(TBox.empty())
+        lhs = parse_crpq("A(x), r(x,y)")
+        rhs = parse_query("r(x,y), B(y)")
+        result = contained_without_participation(lhs, rhs, tbox)
+        assert not result.contained
+        assert result.countermodel is not None
+        assert satisfies(result.countermodel, lhs)
+
+    def test_disjointness_schema(self):
+        # A and B disjoint: A(x) ∧ B(x) is unsatisfiable, so contained in anything
+        tbox = normalize(TBox.of([("A & B", "bottom")]))
+        lhs = parse_crpq("A(x), B(x)")
+        rhs = parse_query("Zz(w)")
+        result = contained_without_participation(lhs, rhs, tbox)
+        assert result.contained
+
+    def test_counting_without_participation(self):
+        # ≤-constraints are allowed (no at-least); ALCQI without participation
+        tbox = normalize(TBox.of([("A", "<=1 r.B")]))
+        lhs = parse_crpq("A(x), r(x,y), B(y)")
+        rhs = parse_query("B(y)")
+        result = contained_without_participation(lhs, rhs, tbox)
+        assert result.contained
+
+    def test_rejects_participation(self):
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        with pytest.raises(ValueError):
+            contained_without_participation(parse_crpq("A(x)"), parse_query("B(x)"), tbox)
+
+    def test_countermodel_stays_sparse(self):
+        tbox = normalize(TBox.of([("A", "forall r.B")]))
+        lhs = parse_crpq("A(x), r*(x,y)")
+        rhs = parse_query("C(z)")
+        result = contained_without_participation(lhs, rhs, tbox)
+        assert not result.contained
+        assert is_sparse(result.countermodel, lhs.size() + 1)

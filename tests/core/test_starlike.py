@@ -1,0 +1,66 @@
+"""Star-like graphs (Fig. 2)."""
+
+import pytest
+
+from repro.core.starlike import Attachment, StarLikeGraph, star_of
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph, single_node_graph
+from repro.queries.evaluation import satisfies
+from repro.queries.parser import parse_crpq
+
+
+def simple_star():
+    central = path_graph(1, "r", ["M"])
+    peripheral = Graph()
+    peripheral.add_node("shared", ["M"])
+    peripheral.add_node("leaf", ["P"])
+    peripheral.add_edge("shared", "s", "leaf")
+    return star_of(central, [(peripheral, "shared", 1)])
+
+
+class TestStarLike:
+    def test_assembly_identifies_shared_node(self):
+        star = simple_star()
+        glued = star.assemble()
+        assert len(glued) == 3  # 2 central + 1 fresh peripheral
+        assert glued.has_edge(("c", 0), "r", ("c", 1))
+        assert glued.has_edge(("c", 1), "s", ("p", 0, "leaf"))
+
+    def test_labels_must_agree(self):
+        central = single_node_graph(["A"], node=0)
+        peripheral = single_node_graph(["B"], node="x")
+        with pytest.raises(ValueError):
+            StarLikeGraph(central, [Attachment(peripheral, "x", 0)])
+
+    def test_missing_nodes_rejected(self):
+        central = single_node_graph(["A"], node=0)
+        peripheral = single_node_graph(["A"], node="x")
+        with pytest.raises(ValueError):
+            StarLikeGraph(central, [Attachment(peripheral, "x", 99)])
+        with pytest.raises(ValueError):
+            StarLikeGraph(central, [Attachment(peripheral, "zz", 0)])
+
+    def test_parts(self):
+        star = simple_star()
+        parts = star.parts()
+        assert len(parts) == 2
+        assert parts[0] is star.central
+
+    def test_query_across_parts(self):
+        star = simple_star()
+        glued = star.assemble()
+        # a path crossing from the central part into the peripheral part
+        assert satisfies(glued, parse_crpq("(r.s)(x,y), P(y)"))
+        # but not within any single part
+        assert not any(satisfies(p, parse_crpq("(r.s)(x,y)")) for p in star.parts())
+
+    def test_multiple_attachments_same_node(self):
+        central = single_node_graph(["A"], node=0)
+        p1 = single_node_graph(["A"], node="x")
+        p2 = Graph()
+        p2.add_node("y", ["A"])
+        p2.add_node("z", ["B"])
+        p2.add_edge("y", "r", "z")
+        star = star_of(central, [(p1, "x", 0), (p2, "y", 0)])
+        glued = star.assemble()
+        assert len(glued) == 2  # central node + p2's fresh leaf

@@ -1,0 +1,65 @@
+"""ABoxes and knowledge bases."""
+
+from repro.dl.abox import ABox, ConceptAssertion, KnowledgeBase
+from repro.dl.pg_schema import figure1_instance
+from repro.dl.tbox import TBox
+from repro.graphs.labels import NodeLabel
+from repro.queries.parser import parse_query
+
+
+class TestABox:
+    def test_build_and_convert(self):
+        abox = ABox()
+        abox.assert_concept("Customer", "ada")
+        abox.assert_role("owns", "ada", "card1")
+        graph = abox.to_graph()
+        assert graph.has_label("ada", "Customer")
+        assert graph.has_edge("ada", "owns", "card1")
+        assert abox.individuals == {"ada", "card1"}
+
+    def test_inverse_role_assertion_normalized(self):
+        abox = ABox().assert_role("owns-", "card", "ada")
+        graph = abox.to_graph()
+        assert graph.has_edge("ada", "owns", "card")
+
+    def test_negative_assertion_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ABox().assert_concept("!A", "x")
+
+    def test_roundtrip_from_graph(self):
+        graph = figure1_instance()
+        abox = ABox.from_graph(graph)
+        assert abox.to_graph() == graph
+
+
+class TestKnowledgeBase:
+    def test_consistency(self):
+        tbox = TBox.of([("Customer", "exists owns.CredCard")])
+        kb = KnowledgeBase(tbox, ABox().assert_concept("Customer", "ada"))
+        assert kb.is_consistent()
+
+    def test_inconsistency(self):
+        tbox = TBox.of([("A & B", "bottom")])
+        abox = ABox().assert_concept("A", "x").assert_concept("B", "x")
+        kb = KnowledgeBase(tbox, abox)
+        assert not kb.is_consistent()
+
+    def test_query_entailment(self):
+        tbox = TBox.of([("Customer", "exists owns.CredCard")])
+        kb = KnowledgeBase(tbox, ABox().assert_concept("Customer", "ada"))
+        assert kb.entails_query(parse_query("owns(x,y), CredCard(y)")).entailed
+        assert not kb.entails_query(parse_query("PremCC(y)")).entailed
+
+    def test_instance_checking(self):
+        tbox = TBox.of([("PremCC", "CredCard")])
+        abox = ABox().assert_concept("PremCC", "gold")
+        kb = KnowledgeBase(tbox, abox)
+        assert kb.entails_assertion(ConceptAssertion(NodeLabel("CredCard"), "gold"))
+        assert not kb.entails_assertion(ConceptAssertion(NodeLabel("RwrdProg"), "gold"))
+
+    def test_instance_checking_fresh_individual(self):
+        tbox = TBox.of([("top", "A")])  # everything is A
+        kb = KnowledgeBase(tbox, ABox().assert_concept("B", "known"))
+        assert kb.entails_assertion(ConceptAssertion(NodeLabel("A"), "brand_new"))

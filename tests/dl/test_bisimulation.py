@@ -1,0 +1,132 @@
+"""Bisimulations and the invariance theorems of the DL family."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl.bisimulation import are_bisimilar, bisimulation_classes, quotient
+from repro.dl.concepts import parse_concept
+from repro.graphs.generators import cycle_graph, path_graph, random_graph
+from repro.graphs.graph import Graph
+
+
+class TestBasics:
+    def test_unravelling_bisimilar_to_cycle(self):
+        """A cycle and its infinite unravelling are bisimilar; finitely, a
+        long path is NOT bisimilar to a cycle (the path's end has no
+        successor) — but two cycles of different lengths are."""
+        c2, c3 = cycle_graph(2, "r", ["A"]), cycle_graph(3, "r", ["A"])
+        assert are_bisimilar(c2, 0, c3, 0, include_inverse=False)
+
+    def test_label_mismatch(self):
+        a = Graph()
+        a.add_node(0, ["A"])
+        b = Graph()
+        b.add_node(0, ["B"])
+        assert not are_bisimilar(a, 0, b, 0)
+
+    def test_successor_shape_mismatch(self):
+        p1, p2 = path_graph(1, "r"), path_graph(2, "r")
+        # starts differ: one step vs two steps ahead
+        assert not are_bisimilar(p1, 0, p2, 0, include_inverse=False)
+        # but their immediate ends (no outgoing r) with no incoming... differ
+        assert are_bisimilar(p1, 1, p2, 2, include_inverse=False)
+
+    def test_inverse_sensitivity(self):
+        # without inverse: the middle of a path looks like its start's child
+        p = path_graph(2, "r")
+        lone = path_graph(1, "r")
+        assert are_bisimilar(p, 1, lone, 0, include_inverse=False)
+        # with inverse, node 1 has an r-predecessor, node 0 of lone has not
+        assert not are_bisimilar(p, 1, lone, 0, include_inverse=True)
+
+    def test_graded_distinguishes_counts(self):
+        one = Graph()
+        one.add_edge(0, "r", 1)
+        two = Graph()
+        two.add_edge(0, "r", 1)
+        two.add_edge(0, "r", 2)
+        assert are_bisimilar(one, 0, two, 0, include_inverse=False, graded=False)
+        assert not are_bisimilar(one, 0, two, 0, include_inverse=False, graded=True)
+
+
+class TestQuotient:
+    def test_quotient_smaller_and_bisimilar(self):
+        g = cycle_graph(6, "r", ["A"])
+        q = quotient(g)
+        assert len(q) == 1  # all nodes alike
+        assert are_bisimilar(g, 0, q, next(iter(q.node_list())))
+
+    def test_quotient_preserves_distinctions(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1, ["B"])
+        g.add_edge(0, "r", 1)
+        q = quotient(g)
+        assert len(q) == 2
+
+
+ALC_CONCEPTS = [
+    "A",
+    "A & ~B",
+    "exists r.A",
+    "forall r.(A | B)",
+    "exists r.(exists r.B)",
+    "forall r.bottom",
+]
+ALCI_CONCEPTS = ALC_CONCEPTS + ["exists r-.A", "forall r-.~B"]
+ALCQI_CONCEPTS = ALCI_CONCEPTS + [">=2 r.A", "<=1 r.B", ">=2 r-.top"]
+
+
+class TestInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 3000), st.integers(0, 3000))
+    def test_alci_invariance(self, seed_l, seed_r):
+        """Bisimilar nodes satisfy the same ALCI concepts."""
+        left = random_graph(4, 6, ["A", "B"], ["r"], seed=seed_l)
+        right = random_graph(4, 6, ["A", "B"], ["r"], seed=seed_r)
+        classes = bisimulation_classes(left, right, labels=["A", "B"])
+        for text in ALCI_CONCEPTS:
+            concept = parse_concept(text)
+            left_ext = concept.extension(left)
+            right_ext = concept.extension(right)
+            for ln in left.node_list():
+                for rn in right.node_list():
+                    if classes[("L", ln)] == classes[("R", rn)]:
+                        assert (ln in left_ext) == (rn in right_ext), (text, ln, rn)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 3000), st.integers(0, 3000))
+    def test_alcqi_needs_graded(self, seed_l, seed_r):
+        """Graded-bisimilar nodes satisfy the same ALCQI concepts."""
+        left = random_graph(3, 5, ["A", "B"], ["r"], seed=seed_l)
+        right = random_graph(3, 5, ["A", "B"], ["r"], seed=seed_r)
+        classes = bisimulation_classes(left, right, labels=["A", "B"], graded=True)
+        for text in ALCQI_CONCEPTS:
+            concept = parse_concept(text)
+            left_ext = concept.extension(left)
+            right_ext = concept.extension(right)
+            for ln in left.node_list():
+                for rn in right.node_list():
+                    if classes[("L", ln)] == classes[("R", rn)]:
+                        assert (ln in left_ext) == (rn in right_ext), (text, ln, rn)
+
+    def test_counting_breaks_plain_bisimulation(self):
+        """The witness for why Lemma 3.5's ALCI trick ('the logic does not
+        count') fails for ALCQI: ≥2 r.A distinguishes plainly-bisimilar
+        nodes."""
+        one = Graph()
+        one.add_node(0)
+        one.add_node(1, ["A"])
+        one.add_edge(0, "r", 1)
+        two = Graph()
+        two.add_node(0)
+        two.add_node(1, ["A"])
+        two.add_node(2, ["A"])
+        two.add_edge(0, "r", 1)
+        two.add_edge(0, "r", 2)
+        assert are_bisimilar(one, 0, two, 0, include_inverse=False)
+        concept = parse_concept(">=2 r.A")
+        assert 0 not in concept.extension(one)
+        assert 0 in concept.extension(two)

@@ -1,0 +1,114 @@
+"""ALCQI concepts: parsing, semantics, classification."""
+
+import pytest
+
+from repro.dl.concepts import (
+    BOTTOM,
+    TOP,
+    AtLeast,
+    AtMost,
+    Atomic,
+    ConceptSyntaxError,
+    ForAll,
+    Not,
+    at_least,
+    at_most,
+    atomic,
+    exists,
+    forall,
+    parse_concept,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def g():
+    graph = Graph()
+    graph.add_node("c", ["Customer"])
+    graph.add_node("k1", ["CredCard"])
+    graph.add_node("k2", ["CredCard", "PremCC"])
+    graph.add_edge("c", "owns", "k1")
+    graph.add_edge("c", "owns", "k2")
+    return graph
+
+
+class TestSemantics:
+    def test_atomic(self, g):
+        assert atomic("CredCard").extension(g) == {"k1", "k2"}
+        assert atomic("!CredCard").extension(g) == {"c"}
+
+    def test_boolean(self, g):
+        c = atomic("CredCard") & ~atomic("PremCC")
+        assert c.extension(g) == {"k1"}
+        d = atomic("Customer") | atomic("PremCC")
+        assert d.extension(g) == {"c", "k2"}
+
+    def test_top_bottom(self, g):
+        assert TOP.extension(g) == set(g.node_list())
+        assert BOTTOM.extension(g) == set()
+
+    def test_exists(self, g):
+        assert exists("owns", atomic("PremCC")).extension(g) == {"c"}
+        assert exists("owns", atomic("Customer")).extension(g) == set()
+
+    def test_exists_inverse(self, g):
+        assert exists("owns-", atomic("Customer")).extension(g) == {"k1", "k2"}
+
+    def test_forall(self, g):
+        # nodes with no owns-successors satisfy ∀ vacuously
+        assert forall("owns", atomic("CredCard")).extension(g) == {"c", "k1", "k2"}
+        assert forall("owns", atomic("PremCC")).extension(g) == {"k1", "k2"}
+
+    def test_counting(self, g):
+        assert at_least(2, "owns", atomic("CredCard")).extension(g) == {"c"}
+        assert at_least(3, "owns", atomic("CredCard")).extension(g) == set()
+        assert at_most(1, "owns", atomic("CredCard")).extension(g) == {"k1", "k2"}
+
+    def test_at_least_zero_is_top(self, g):
+        assert at_least(0, "owns", BOTTOM).extension(g) == set(g.node_list())
+
+
+class TestClassification:
+    def test_uses_inverse(self):
+        assert parse_concept("exists owns-.Customer").uses_inverse_roles()
+        assert not parse_concept("exists owns.Customer").uses_inverse_roles()
+
+    def test_uses_counting(self):
+        assert parse_concept(">=2 owns.CredCard").uses_counting()
+        assert parse_concept("<=3 owns.CredCard").uses_counting()
+        assert not parse_concept("exists owns.CredCard").uses_counting()
+
+    def test_nested_propagation(self):
+        c = parse_concept("A & (exists r.(>=2 s.B))")
+        assert c.uses_counting() and not c.uses_inverse_roles()
+
+
+class TestParser:
+    def test_precedence(self):
+        c = parse_concept("A & B | C")
+        # & binds tighter than |
+        assert "|" in str(c) and isinstance(c.extension(Graph()), frozenset)
+
+    def test_quantifiers(self):
+        assert isinstance(parse_concept("exists r.A"), AtLeast)
+        assert isinstance(parse_concept("forall r.A"), ForAll)
+        assert isinstance(parse_concept(">=2 r.A"), AtLeast)
+        assert isinstance(parse_concept("<=3 r.A"), AtMost)
+
+    def test_negation_and_complement(self):
+        assert isinstance(parse_concept("~A"), Not)
+        inner = parse_concept("!A")
+        assert isinstance(inner, Atomic) and inner.label.negated
+
+    def test_nested(self):
+        c = parse_concept("exists owns.(CredCard & ~PremCC)")
+        assert "CredCard" in set(c.concept_names())
+
+    def test_errors(self):
+        for bad in ("", "A &", "exists r", ">= r.A", "(A"):
+            with pytest.raises(ConceptSyntaxError):
+                parse_concept(bad)
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            AtLeast(-1, __import__("repro.graphs.labels", fromlist=["Role"]).Role("r"), TOP)

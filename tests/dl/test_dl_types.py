@@ -1,0 +1,38 @@
+"""Clause-consistent types."""
+
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.dl.types import clause_consistent, consistent_types
+from repro.graphs.types import Type
+
+
+class TestClauseConsistency:
+    def test_disjointness(self):
+        t = normalize(TBox.of([("A & B", "bottom")]))
+        assert clause_consistent(t, Type.of("A", "!B"))
+        assert not clause_consistent(t, Type.of("A", "B"))
+
+    def test_subsumption(self):
+        t = normalize(TBox.of([("A", "B")]))
+        assert not clause_consistent(t, Type.of("A", "!B"))
+        assert clause_consistent(t, Type.of("A", "B"))
+        assert clause_consistent(t, Type.of("!A", "!B"))
+
+    def test_covering(self):
+        t = normalize(TBox.of([("top", "A | B")]))
+        assert not clause_consistent(t, Type.of("!A", "!B"))
+        assert clause_consistent(t, Type.of("A", "!B"))
+
+    def test_unmentioned_labels_read_as_absent(self):
+        t = normalize(TBox.of([("A", "B")]))
+        # type over {A} only: the clause body holds, B unmentioned => absent
+        assert not clause_consistent(t, Type.of("A"))
+
+    def test_consistent_types_enumeration(self):
+        t = normalize(TBox.of([("A", "B"), ("A & C", "bottom")]))
+        types = set(consistent_types(t, ["A", "B", "C"]))
+        assert Type.of("A", "B", "!C") in types
+        assert Type.of("A", "!B", "C") not in types
+        assert Type.of("A", "B", "C") not in types
+        # 8 total minus the inconsistent ones
+        assert all(clause_consistent(t, sigma) for sigma in types)

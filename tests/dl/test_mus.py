@@ -1,0 +1,69 @@
+"""Minimal unsatisfiable cores."""
+
+from repro.dl.mus import explain_incoherence, incoherence_core, inconsistency_core, minimal_core
+from repro.dl.reasoning import is_satisfiable
+from repro.dl.tbox import CI, TBox
+from repro.graphs.graph import single_node_graph
+
+
+class TestIncoherenceCore:
+    def test_minimal_core_found(self):
+        tbox = TBox.of([
+            ("Manager", "Employee"),          # essential
+            ("Employee", "Person"),           # essential
+            ("Manager & Person", "bottom"),   # essential
+            ("Person", "exists knows.Person"),# irrelevant to the clash
+            ("Team", "exists has.Manager"),   # irrelevant
+        ])
+        core = incoherence_core("Manager", tbox)
+        assert core is not None
+        assert len(core) == 3
+        rendered = " | ".join(str(ci) for ci in core)
+        assert "knows" not in rendered and "has" not in rendered
+        # the core itself is unsatisfiable and every proper subset is not
+        assert not is_satisfiable("Manager", TBox.of(core))
+        for i in range(len(core)):
+            subset = TBox.of(core[:i] + core[i + 1 :])
+            assert is_satisfiable("Manager", subset)
+
+    def test_satisfiable_returns_none(self):
+        tbox = TBox.of([("A", "B")])
+        assert incoherence_core("A", tbox) is None
+
+    def test_explain_report(self):
+        tbox = TBox.of([
+            ("X", "Y"), ("X & Y", "bottom"), ("Z", "exists r.Z"),
+        ])
+        report = explain_incoherence(tbox)
+        assert set(report) == {"X"}
+        assert len(report["X"]) == 2
+
+
+class TestInconsistencyCore:
+    def test_kb_core(self):
+        graph = single_node_graph(["A", "B"], node=0)
+        tbox = TBox.of([
+            ("A & B", "bottom"),
+            ("A", "exists r.C"),   # repairable, not part of the clash
+        ])
+        core = inconsistency_core(graph, tbox)
+        assert core is not None
+        assert len(core) == 1
+        assert "bottom" in str(core[0])
+
+    def test_consistent_returns_none(self):
+        graph = single_node_graph(["A"], node=0)
+        tbox = TBox.of([("A", "exists r.B")])
+        assert inconsistency_core(graph, tbox) is None
+
+
+class TestGenericMUS:
+    def test_custom_oracle(self):
+        cis = [CI.of("A", "B"), CI.of("B", "C"), CI.of("D", "E")]
+
+        def clashes(tbox: TBox) -> bool:
+            text = str(tbox)
+            return "A" in text and "C" in text  # needs both chain links
+
+        core = minimal_core(cis, clashes)
+        assert core is not None and len(core) == 2

@@ -1,0 +1,118 @@
+"""PG-Schema front end and the Fig. 1 rewards schema."""
+
+import pytest
+
+from repro.dl.normalize import normalize
+from repro.dl.pg_schema import PGSchema, figure1_instance, figure1_schema
+from repro.dl.tbox import satisfies_tbox
+from repro.graphs.graph import Graph
+
+
+class TestPGSchema:
+    def test_edge_type_targets(self):
+        schema = PGSchema().edge_type("owns", "Customer", "CredCard")
+        t = schema.to_tbox()
+        g = Graph()
+        g.add_node(0, ["Customer"])
+        g.add_node(1, ["CredCard"])
+        g.add_edge(0, "owns", 1)
+        assert satisfies_tbox(g, t)
+        g.add_node(2)  # an untyped target
+        g.add_edge(0, "owns", 2)
+        assert not satisfies_tbox(g, t)
+
+    def test_edge_type_closed_sources(self):
+        t = PGSchema().edge_type("owns", "Customer", "CredCard").to_tbox()
+        g = Graph()
+        g.add_node(0, ["CredCard"])  # not a Customer
+        g.add_node(1, ["CredCard"])
+        g.add_edge(0, "owns", 1)
+        assert not satisfies_tbox(g, t)
+
+    def test_participation(self):
+        t = PGSchema().participation("Customer", "owns", "CredCard").to_tbox()
+        g = Graph()
+        g.add_node(0, ["Customer"])
+        assert not satisfies_tbox(g, t)
+        g.add_node(1, ["CredCard"])
+        g.add_edge(0, "owns", 1)
+        assert satisfies_tbox(g, t)
+
+    def test_cardinality(self):
+        t = PGSchema().cardinality("A", "r", "B", at_most=1).to_tbox()
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1, ["B"])
+        g.add_node(2, ["B"])
+        g.add_edge(0, "r", 1)
+        assert satisfies_tbox(g, t)
+        g.add_edge(0, "r", 2)
+        assert not satisfies_tbox(g, t)
+
+    def test_unary_key(self):
+        t = PGSchema().unary_key("Person", "ssn").to_tbox()
+        g = Graph()
+        g.add_node("p1", ["Person"])
+        g.add_node("p2", ["Person"])
+        g.add_node("v")
+        g.add_edge("p1", "ssn", "v")
+        assert satisfies_tbox(g, t)
+        g.add_edge("p2", "ssn", "v")  # two Persons share the key value
+        assert not satisfies_tbox(g, t)
+
+    def test_unary_key_needs_alcqi(self):
+        t = normalize(PGSchema().unary_key("Person", "ssn").to_tbox())
+        assert t.fragment() == "ALCQI"
+
+    def test_disjoint_and_subtype(self):
+        t = PGSchema().disjoint("A", "B").subtype("C", "A").to_tbox()
+        g = Graph()
+        g.add_node(0, ["A", "B"])
+        assert not satisfies_tbox(g, t)
+        g2 = Graph()
+        g2.add_node(0, ["C"])
+        assert not satisfies_tbox(g2, t)  # C without A
+        g2.add_label(0, "A")
+        assert satisfies_tbox(g2, t)
+
+    def test_covering(self):
+        t = PGSchema().covering("Card", ["Debit", "Credit"]).to_tbox()
+        g = Graph()
+        g.add_node(0, ["Card"])
+        assert not satisfies_tbox(g, t)
+        g.add_label(0, "Debit")
+        assert satisfies_tbox(g, t)
+
+    def test_vocabulary_tracking(self):
+        schema = PGSchema().edge_type("r", "A", "B").participation("A", "r", "B")
+        assert schema.node_labels == {"A", "B"}
+        assert schema.roles == {"r"}
+
+
+class TestFigure1:
+    def test_instance_satisfies_schema(self):
+        assert satisfies_tbox(figure1_instance(), figure1_schema())
+
+    def test_schema_is_alcq(self):
+        assert normalize(figure1_schema()).fragment() == "ALCQ"
+
+    def test_premier_card_constraints(self):
+        g = figure1_instance()
+        t = figure1_schema()
+        # a premier card with 4 rewards programs violates the ≤3 bound
+        for i in range(3):
+            g.add_node(f"prog{i}", ["RwrdProg"])
+            g.add_edge("card1", "earns", f"prog{i}")
+        assert not satisfies_tbox(g, t)
+
+    def test_customer_must_own_card(self):
+        g = figure1_instance()
+        g.remove_edge("ada", "owns", "card1")
+        g.remove_edge("ada", "owns", "card2")
+        assert not satisfies_tbox(g, figure1_schema())
+
+    def test_partner_edges_end_in_retail(self):
+        g = figure1_instance()
+        g.add_node("notretail", ["Company"])
+        g.add_edge("miles", "partner", "notretail")
+        assert not satisfies_tbox(g, figure1_schema())

@@ -1,0 +1,122 @@
+"""Type-elimination satisfiability, cross-validated against the chase."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entailment import realizable_type
+from repro.core.search import SearchLimits
+from repro.dl.normalize import normalize
+from repro.dl.reasoning import (
+    UnsupportedFragment,
+    build_model,
+    is_coherent,
+    is_satisfiable,
+    type_elimination,
+)
+from repro.dl.tbox import TBox
+from repro.graphs.types import Type
+from repro.queries.parser import parse_query
+
+
+class TestSatisfiability:
+    def test_trivial(self):
+        assert is_satisfiable("A")
+        assert not is_satisfiable("A & ~A")
+        assert not is_satisfiable("bottom")
+
+    def test_with_tbox(self):
+        tbox = TBox.of([("A", "B"), ("A & B", "bottom")])
+        assert not is_satisfiable("A", tbox)
+        assert is_satisfiable("B", tbox)
+
+    def test_existential_chain(self):
+        tbox = TBox.of([("A", "exists r.B"), ("B", "exists r.A")])
+        assert is_satisfiable("A", tbox)  # a 2-cycle model exists
+
+    def test_universal_clash(self):
+        tbox = TBox.of([("A", "exists r.B"), ("A", "forall r.~B")])
+        assert not is_satisfiable("A", tbox)
+
+    def test_counting_clash(self):
+        tbox = TBox.of([("A", ">=2 r.B"), ("A", "<=1 r.B")])
+        assert not is_satisfiable("A", tbox)
+
+    def test_counting_ok(self):
+        tbox = TBox.of([("A", ">=3 r.B"), ("A", "<=3 r.B")])
+        assert is_satisfiable("A", tbox)
+
+    def test_inverse_roles(self):
+        tbox = TBox.of([("A", "exists r-.B"), ("B", "forall r.A")])
+        assert is_satisfiable("A", tbox)
+
+    def test_alcqi_rejected(self):
+        tbox = TBox.of([("A", ">=2 r.B"), ("B", "exists s-.A")])
+        with pytest.raises(UnsupportedFragment):
+            is_satisfiable("A", tbox)
+
+
+class TestCoherence:
+    def test_detects_incoherent_name(self):
+        tbox = TBox.of([
+            ("Manager", "Employee"),
+            ("Employee", "Person"),
+            ("Manager & Person", "bottom"),  # modelling bug
+        ])
+        report = is_coherent(tbox)
+        assert report["Manager"] is False
+        assert report["Employee"] is True
+        assert report["Person"] is True
+
+    def test_all_coherent(self):
+        from repro.dl.pg_schema import figure1_schema
+
+        report = is_coherent(figure1_schema())
+        assert all(report.values())
+
+
+class TestBuildModel:
+    def test_model_realizes_type(self):
+        tbox = normalize(TBox.of([("A", "exists r.B"), ("B", "exists r.A")]))
+        model = build_model(Type.of("A"), tbox)
+        assert model is not None
+        assert any(Type.of("A").holds_at(model, v) for v in model.node_list())
+        assert tbox.satisfied_by(model)
+
+    def test_counting_model_has_distinct_witnesses(self):
+        tbox = normalize(TBox.of([("A", ">=3 r.B")]))
+        model = build_model(Type.of("A"), tbox)
+        assert model is not None
+        a_nodes = [v for v in model.node_list() if model.has_label(v, "A")]
+        assert any(len(model.successors(v, "r")) >= 3 for v in a_nodes)
+
+    def test_unsatisfiable_returns_none(self):
+        tbox = normalize(TBox.of([("A", "bottom")]))
+        assert build_model(Type.of("A"), tbox) is None
+
+
+SCENARIOS = [
+    [("A", "exists r.B")],
+    [("A", "exists r.B"), ("A", "forall r.!B")],
+    [("A", "B | C"), ("B", "bottom")],
+    [("A", "exists r.A"), ("A", "forall r.A")],
+    [("A", ">=2 r.B"), ("A", "<=1 r.B")],
+    [("A", "exists r.B"), ("B", "exists r.C"), ("C", "!A & !B")],
+]
+
+
+class TestAgainstChase:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(range(len(SCENARIOS))), st.sampled_from(["A", "B", "C"]))
+    def test_elimination_agrees_with_chase(self, index, label):
+        """satisfiability of a name == chase realizability of {name}."""
+        tbox = normalize(TBox.of(SCENARIOS[index]))
+        eliminated = is_satisfiable(label, tbox)
+        chase = realizable_type(
+            Type.of(label), tbox, parse_query("Zz_never(q)"),
+            limits=SearchLimits(max_nodes=6, max_steps=20_000),
+        )
+        if chase.exhausted:
+            assert eliminated == chase.found, (index, label)
+        elif chase.found:
+            assert eliminated

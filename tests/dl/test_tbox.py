@@ -1,0 +1,58 @@
+"""CIs and TBoxes: model checking, violations, signatures."""
+
+from repro.dl.tbox import CI, TBox, satisfies_tbox, tbox_violations
+from repro.graphs.graph import Graph, single_node_graph
+
+
+class TestCI:
+    def test_holds(self):
+        g = Graph()
+        g.add_node(0, ["A", "B"])
+        assert CI.of("A", "B").holds_in(g)
+        assert not CI.of("B", "!A").holds_in(g)
+
+    def test_violations(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1, ["A", "B"])
+        assert CI.of("A", "B").violations(g) == {0}
+
+    def test_signature(self):
+        ci = CI.of("A & B", "exists r.C")
+        assert ci.concept_names() == {"A", "B", "C"}
+        assert ci.role_names() == {"r"}
+
+
+class TestTBox:
+    def test_empty_tbox_always_satisfied(self):
+        assert satisfies_tbox(single_node_graph(["A"]), TBox.empty())
+
+    def test_of_accepts_pairs_and_cis(self):
+        t = TBox.of([("A", "B"), CI.of("B", "C")], name="mix")
+        assert len(t) == 2 and t.name == "mix"
+
+    def test_satisfied_by(self):
+        t = TBox.of([("A", "exists r.B")])
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1, ["B"])
+        assert not t.satisfied_by(g)
+        g.add_edge(0, "r", 1)
+        assert t.satisfied_by(g)
+
+    def test_violation_report(self):
+        t = TBox.of([("A", "B"), ("A", "C")])
+        g = single_node_graph(["A", "B"])
+        report = tbox_violations(g, t)
+        assert len(report) == 1
+        ci, nodes = report[0]
+        assert "C" in str(ci) and nodes == {0}
+
+    def test_extend(self):
+        t = TBox.of([("A", "B")]).extend([CI.of("B", "C")])
+        assert len(t) == 2
+
+    def test_signatures(self):
+        t = TBox.of([("A", "exists r.B"), ("C", "forall s-.D")])
+        assert t.concept_names() == {"A", "B", "C", "D"}
+        assert t.role_names() == {"r", "s"}

@@ -1,0 +1,44 @@
+"""DOT export."""
+
+from repro.core.frames import ConcreteFrame
+from repro.dl.pg_schema import figure1_instance
+from repro.graphs.dot import frame_to_dot, to_dot
+from repro.graphs.graph import PointedGraph, single_node_graph
+from repro.graphs.labels import Role
+
+
+class TestToDot:
+    def test_contains_nodes_edges_labels(self):
+        dot = to_dot(figure1_instance())
+        assert dot.startswith("digraph G {") and dot.endswith("}")
+        assert "'ada'" in dot and "owns" in dot and "Customer" in dot
+
+    def test_highlight(self):
+        g = figure1_instance()
+        dot = to_dot(g, highlight={"ada"})
+        assert "lightgoldenrod" in dot
+
+    def test_quote_escaping(self):
+        g = single_node_graph(["A"], node='we"ird')
+        dot = to_dot(g)
+        assert '\\"' in dot
+
+    def test_empty_graph(self):
+        from repro.graphs.graph import Graph
+
+        dot = to_dot(Graph())
+        assert "digraph" in dot
+
+
+class TestFrameToDot:
+    def test_clusters_and_stitches(self):
+        frame = ConcreteFrame({})
+        a = single_node_graph(["A"], node=("a", 0))
+        b = single_node_graph(["B"], node=("b", 0))
+        frame.add_component("fa", PointedGraph(a, ("a", 0)))
+        frame.add_component("fb", PointedGraph(b, ("b", 0)))
+        frame.add_edge("fa", ("a", 0), Role("r"), "fb")
+        dot = frame_to_dot(frame)
+        assert "subgraph cluster_0" in dot and "subgraph cluster_1" in dot
+        assert "doubleoctagon" in dot  # distinguished nodes marked
+        assert "style=dashed" in dot  # stitched edge

@@ -1,0 +1,49 @@
+"""Deterministic graph generators."""
+
+from repro.graphs.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_graph,
+    star_graph,
+)
+from repro.graphs.operations import is_connected
+
+
+class TestGenerators:
+    def test_random_graph_deterministic(self):
+        a = random_graph(8, 10, ["A", "B"], ["r"], seed=42)
+        b = random_graph(8, 10, ["A", "B"], ["r"], seed=42)
+        assert a == b
+
+    def test_random_graph_seed_sensitivity(self):
+        a = random_graph(8, 10, ["A", "B"], ["r"], seed=1)
+        b = random_graph(8, 10, ["A", "B"], ["r"], seed=2)
+        assert a != b
+
+    def test_random_connected_is_connected(self):
+        for seed in range(10):
+            g = random_connected_graph(12, 4, ["A"], ["r", "s"], seed=seed)
+            assert is_connected(g)
+            assert len(g) == 12
+
+    def test_path_graph_shape(self):
+        g = path_graph(4, "r", ["A"])
+        assert len(g) == 5 and g.edge_count() == 4
+        assert all(g.has_label(v, "A") for v in g.node_list())
+
+    def test_cycle_graph_shape(self):
+        g = cycle_graph(5)
+        assert len(g) == 5 and g.edge_count() == 5
+
+    def test_star_graph_shape(self):
+        g = star_graph(4, "r", ["C"], ["L"])
+        assert len(g) == 5
+        assert len(g.successors(0, "r")) == 4
+
+    def test_grid_graph_shape(self):
+        g = grid_graph(3, 2)
+        assert len(g) == 6
+        assert g.has_edge((0, 0), "r", (1, 0))
+        assert g.has_edge((0, 0), "s", (0, 1))

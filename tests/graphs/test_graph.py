@@ -1,0 +1,151 @@
+"""The Graph data model: labels, edges, inverse access, derived graphs."""
+
+import pytest
+
+from repro.graphs.graph import Graph, PointedGraph, disjoint_union, from_triples, single_node_graph
+
+
+@pytest.fixture
+def rewards_graph():
+    g = Graph()
+    g.add_node("c", ["Customer"])
+    g.add_node("k", ["CredCard", "PremCC"])
+    g.add_node("p", ["RwrdProg"])
+    g.add_edge("c", "owns", "k")
+    g.add_edge("k", "earns", "p")
+    return g
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self, rewards_graph):
+        rewards_graph.add_node("c", ["VIP"])
+        assert rewards_graph.labels_of("c") == {"Customer", "VIP"}
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, "r", 2)
+        assert 1 in g and 2 in g
+
+    def test_inverted_role_add(self):
+        g = Graph()
+        g.add_edge(1, "r-", 2)  # means an r-edge from 2 to 1
+        assert g.has_edge(2, "r", 1)
+        assert g.has_edge(1, "r-", 2)
+
+    def test_complement_label_add_rejected(self, rewards_graph):
+        with pytest.raises(ValueError):
+            rewards_graph.add_label("c", "!Customer")
+
+    def test_remove_node_cleans_edges(self, rewards_graph):
+        rewards_graph.remove_node("k")
+        assert "k" not in rewards_graph
+        assert rewards_graph.successors("c", "owns") == frozenset()
+
+    def test_remove_edge(self, rewards_graph):
+        rewards_graph.remove_edge("c", "owns", "k")
+        assert not rewards_graph.has_edge("c", "owns", "k")
+
+    def test_parallel_edges_different_labels(self):
+        g = Graph()
+        g.add_edge(1, "r", 2)
+        g.add_edge(1, "s", 2)
+        assert g.edge_count() == 2
+
+
+class TestInspection:
+    def test_has_label_complement(self, rewards_graph):
+        assert rewards_graph.has_label("c", "Customer")
+        assert rewards_graph.has_label("c", "!CredCard")
+        assert not rewards_graph.has_label("c", "!Customer")
+
+    def test_successors_inverse(self, rewards_graph):
+        assert rewards_graph.successors("k", "owns-") == frozenset({"c"})
+        assert rewards_graph.predecessors("k", "owns") == frozenset({"c"})
+
+    def test_edges_iteration(self, rewards_graph):
+        assert set(rewards_graph.edges()) == {("c", "owns", "k"), ("k", "earns", "p")}
+
+    def test_degree_counts_both_directions(self, rewards_graph):
+        assert rewards_graph.degree("k") == 2
+        assert rewards_graph.degree("c") == 1
+
+    def test_self_loop_degree_counted_once(self):
+        g = Graph()
+        g.add_edge(1, "r", 1)
+        assert g.degree(1) == 1
+
+    def test_neighbours(self, rewards_graph):
+        assert rewards_graph.neighbours("k") == {"c", "p"}
+
+    def test_label_and_role_names(self, rewards_graph):
+        assert rewards_graph.node_label_names() == {"Customer", "CredCard", "PremCC", "RwrdProg"}
+        assert rewards_graph.role_names() == {"owns", "earns"}
+
+    def test_missing_node_raises(self, rewards_graph):
+        with pytest.raises(KeyError):
+            rewards_graph.labels_of("zz")
+
+
+class TestDerivedGraphs:
+    def test_copy_independent(self, rewards_graph):
+        clone = rewards_graph.copy()
+        clone.add_label("c", "VIP")
+        assert not rewards_graph.has_label("c", "VIP")
+        assert clone == clone.copy()
+
+    def test_equality(self, rewards_graph):
+        assert rewards_graph == rewards_graph.copy()
+        other = rewards_graph.copy()
+        other.add_edge("p", "partner", "p")
+        assert rewards_graph != other
+
+    def test_relabel_nodes(self, rewards_graph):
+        renamed = rewards_graph.relabel_nodes(lambda v: ("x", v))
+        assert ("x", "c") in renamed
+        assert renamed.has_edge(("x", "c"), "owns", ("x", "k"))
+
+    def test_relabel_requires_injective(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            g.relabel_nodes(lambda v: "same")
+
+    def test_subgraph_induced(self, rewards_graph):
+        sub = rewards_graph.subgraph(["c", "k"])
+        assert len(sub) == 2
+        assert sub.has_edge("c", "owns", "k")
+        assert sub.edge_count() == 1
+
+    def test_is_subgraph_of(self, rewards_graph):
+        sub = rewards_graph.subgraph(["c", "k"])
+        assert sub.is_subgraph_of(rewards_graph)
+        assert not rewards_graph.is_subgraph_of(sub)
+
+    def test_subgraph_label_containment(self):
+        small = single_node_graph(["A"])
+        big = single_node_graph(["A", "B"])
+        assert small.is_subgraph_of(big)
+        assert not big.is_subgraph_of(small)
+
+    def test_disjoint_union(self, rewards_graph):
+        union = disjoint_union([rewards_graph, rewards_graph])
+        assert len(union) == 2 * len(rewards_graph)
+        assert union.edge_count() == 2 * rewards_graph.edge_count()
+
+    def test_from_triples(self):
+        g = from_triples([(1, "r", 2), (2, "s", 3)], labels={1: ["A"]})
+        assert g.has_edge(1, "r", 2) and g.has_label(1, "A")
+
+
+class TestPointedGraph:
+    def test_point_must_exist(self):
+        g = single_node_graph(["A"], node=7)
+        assert PointedGraph(g, 7).point == 7
+        with pytest.raises(ValueError):
+            PointedGraph(g, 8)
+
+    def test_relabel(self):
+        g = single_node_graph(["A"], node=7)
+        pg = PointedGraph(g, 7).relabel_nodes({7: 9})
+        assert pg.point == 9 and 9 in pg.graph

@@ -1,0 +1,123 @@
+"""Homomorphisms (paper semantics), local embeddings, isomorphism, canonical keys."""
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, path_graph, random_connected_graph
+from repro.graphs.graph import Graph, single_node_graph
+from repro.graphs.homomorphism import (
+    canonical_key,
+    find_homomorphism,
+    find_local_embedding,
+    homomorphisms,
+    is_homomorphism,
+    is_isomorphic,
+    is_local_embedding,
+    maps_into,
+)
+
+
+class TestHomomorphism:
+    def test_labels_preserved_both_ways(self):
+        # the paper's homomorphisms preserve the *absence* of labels too
+        source = single_node_graph(["A"])
+        target = single_node_graph(["A", "B"])
+        assert find_homomorphism(source, target) is None
+
+    def test_exact_label_match_required(self):
+        source = single_node_graph(["A"])
+        target = single_node_graph(["A"], node="t")
+        assert find_homomorphism(source, target) == {0: "t"}
+
+    def test_edges_preserved(self):
+        path = path_graph(2, "r")
+        cycle = cycle_graph(1, "r")  # single self-loop
+        h = find_homomorphism(path, cycle)
+        assert h is not None
+        assert is_homomorphism(path, cycle, h)
+
+    def test_no_hom_into_edgeless(self):
+        path = path_graph(1, "r")
+        point = single_node_graph([])
+        assert find_homomorphism(path, point) is None
+
+    def test_cycle_into_shorter_cycle_divisor(self):
+        assert maps_into(cycle_graph(4, "r"), cycle_graph(2, "r"))
+        assert not maps_into(cycle_graph(3, "r"), cycle_graph(2, "r"))
+
+    def test_enumeration_counts(self):
+        # 2-cycle into itself: exactly the two rotations
+        c2 = cycle_graph(2, "r")
+        assert len(list(homomorphisms(c2, c2))) == 2
+
+    def test_is_homomorphism_rejects_partial(self):
+        path = path_graph(1, "r")
+        assert not is_homomorphism(path, path, {0: 0})
+
+
+class TestLocalEmbedding:
+    def test_identity_is_local_embedding(self):
+        g = random_connected_graph(5, 2, ["A"], ["r"], seed=3)
+        identity = {v: v for v in g.node_list()}
+        assert is_local_embedding(g, g, identity)
+
+    def test_merging_successors_rejected(self):
+        # two r-successors of the root collapse onto one target node
+        star = Graph()
+        star.add_node(0)
+        star.add_node(1)
+        star.add_node(2)
+        star.add_edge(0, "r", 1)
+        star.add_edge(0, "r", 2)
+        single = path_graph(1, "r")
+        mapping = {0: 0, 1: 1, 2: 1}
+        assert is_homomorphism(star, single, mapping)
+        assert not is_local_embedding(star, single, mapping)
+        assert find_local_embedding(star, single) is None
+
+    def test_inverse_direction_checked(self):
+        # two r-predecessors collapsing is also forbidden (r⁻ successors)
+        join = Graph()
+        join.add_edge(1, "r", 0)
+        join.add_edge(2, "r", 0)
+        single = path_graph(1, "r")
+        assert find_local_embedding(join, single) is None
+
+
+class TestIsomorphism:
+    def test_relabeled_graphs_isomorphic(self):
+        g = random_connected_graph(6, 3, ["A", "B"], ["r", "s"], seed=9)
+        h = g.relabel_nodes(lambda v: ("renamed", v))
+        assert is_isomorphic(g, h)
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not is_isomorphic(path_graph(2), path_graph(3))
+
+    def test_label_difference_breaks_isomorphism(self):
+        assert not is_isomorphic(single_node_graph(["A"]), single_node_graph(["B"]))
+
+    def test_direction_matters(self):
+        forward = path_graph(1, "r")
+        backward = Graph()
+        backward.add_edge(1, "r", 0)
+        # as abstract graphs these ARE isomorphic (relabelling nodes)
+        assert is_isomorphic(forward, backward)
+
+
+class TestCanonicalKey:
+    def test_isomorphic_graphs_same_key(self):
+        g = random_connected_graph(6, 3, ["A", "B"], ["r", "s"], seed=11)
+        h = g.relabel_nodes(lambda v: ("x", v))
+        assert canonical_key(g) == canonical_key(h)
+
+    def test_non_isomorphic_different_key(self):
+        assert canonical_key(cycle_graph(3)) != canonical_key(cycle_graph(4))
+        assert canonical_key(single_node_graph(["A"])) != canonical_key(single_node_graph(["B"]))
+
+    def test_symmetric_graph(self):
+        # highly symmetric graphs exercise the branch-and-minimize path
+        c = cycle_graph(5, "r", ["A"])
+        rotated = c.relabel_nodes(lambda v: (v + 2) % 5)
+        assert canonical_key(c) == canonical_key(rotated)
+
+    def test_empty_graph(self):
+        assert canonical_key(Graph()) == ()

@@ -1,0 +1,73 @@
+"""Node labels and roles: parsing, complements, inverses."""
+
+import pytest
+
+from repro.graphs.labels import NodeLabel, Role, node_label, role, roles_with_inverses
+
+
+class TestNodeLabel:
+    def test_parse_positive(self):
+        label = NodeLabel.parse("Customer")
+        assert label.name == "Customer"
+        assert not label.negated
+
+    def test_parse_complement(self):
+        label = NodeLabel.parse("!Customer")
+        assert label.name == "Customer"
+        assert label.negated
+
+    def test_complement_involution(self):
+        label = NodeLabel("A")
+        assert label.complement().complement() == label
+
+    def test_complement_flips(self):
+        assert NodeLabel("A").complement() == NodeLabel("A", True)
+
+    def test_positive_projection(self):
+        assert NodeLabel("A", True).positive == NodeLabel("A")
+
+    def test_str_roundtrip(self):
+        for text in ("A", "!A", "Long_Name2"):
+            assert str(NodeLabel.parse(text)) == text
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            NodeLabel("not a name!")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            NodeLabel("")
+
+    def test_ordering_and_hash(self):
+        labels = {NodeLabel("A"), NodeLabel("A"), NodeLabel("A", True)}
+        assert len(labels) == 2
+        assert sorted(labels) == [NodeLabel("A"), NodeLabel("A", True)]
+
+
+class TestRole:
+    def test_parse_forward(self):
+        r = Role.parse("owns")
+        assert r.name == "owns" and not r.inverted
+
+    def test_parse_inverse(self):
+        r = Role.parse("owns-")
+        assert r.name == "owns" and r.inverted
+
+    def test_inverse_involution(self):
+        assert Role("r").inverse().inverse() == Role("r")
+
+    def test_base(self):
+        assert Role("r", True).base == Role("r")
+
+    def test_str_roundtrip(self):
+        for text in ("r", "r-", "owns"):
+            assert str(Role.parse(text)) == text
+
+    def test_coercions(self):
+        assert role("r-") == Role("r", True)
+        assert role(Role("r")) == Role("r")
+        assert node_label("!A") == NodeLabel("A", True)
+
+    def test_roles_with_inverses(self):
+        closure = roles_with_inverses(["r", "s-"])
+        assert closure == {Role("r"), Role("r", True), Role("s"), Role("s", True)}

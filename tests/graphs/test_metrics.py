@@ -1,0 +1,49 @@
+"""Graph statistics."""
+
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import stats, undirected_diameter
+
+
+class TestDiameter:
+    def test_path(self):
+        assert undirected_diameter(path_graph(4)) == 4
+
+    def test_cycle(self):
+        assert undirected_diameter(cycle_graph(6)) == 3
+
+    def test_disconnected(self):
+        g = Graph()
+        g.add_node(0)
+        g.add_node(1)
+        assert undirected_diameter(g) is None
+
+    def test_empty(self):
+        assert undirected_diameter(Graph()) is None
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node(0)
+        assert undirected_diameter(g) == 0
+
+
+class TestStats:
+    def test_star(self):
+        g = star_graph(4, "r", ["C"], ["L"])
+        s = stats(g)
+        assert s.nodes == 5 and s.edges == 4
+        assert s.max_out_degree == 4 and s.max_in_degree == 1
+        assert s.label_histogram == {"C": 1, "L": 4}
+        assert s.role_histogram == {"r": 4}
+        assert s.sparsity == -1
+        assert s.undirected_diameter == 2
+
+    def test_sparsity_matches_module(self):
+        from repro.graphs.sparse import sparsity
+
+        g = cycle_graph(5)
+        assert stats(g).sparsity == sparsity(g)
+
+    def test_str_rendering(self):
+        text = str(stats(star_graph(2, "r", ["C"])))
+        assert "nodes=3" in text and "roles[r:2]" in text

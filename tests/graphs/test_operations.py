@@ -1,0 +1,110 @@
+"""Structural operations: components, SCCs, reachability, unravellings."""
+
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph, disjoint_union
+from repro.graphs.operations import (
+    condensation,
+    connected_components,
+    is_connected,
+    one_step_unravelling,
+    reachable_from,
+    scc_of,
+    strongly_connected_components,
+    undirected_spanning_tree,
+)
+
+
+class TestConnectivity:
+    def test_single_component(self):
+        assert len(connected_components(path_graph(3))) == 1
+        assert is_connected(path_graph(3))
+
+    def test_two_components(self):
+        g = disjoint_union([path_graph(2), cycle_graph(3)])
+        assert len(connected_components(g)) == 2
+        assert not is_connected(g)
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph())
+
+    def test_direction_ignored(self):
+        g = Graph()
+        g.add_edge(0, "r", 1)
+        g.add_edge(2, "r", 1)  # 2 only reaches 1 forward; undirected connected
+        assert is_connected(g)
+
+
+class TestSCC:
+    def test_path_has_singleton_sccs(self):
+        sccs = strongly_connected_components(path_graph(3))
+        assert all(len(c) == 1 for c in sccs)
+        assert len(sccs) == 4
+
+    def test_cycle_single_scc(self):
+        sccs = strongly_connected_components(cycle_graph(4))
+        assert len(sccs) == 1 and len(sccs[0]) == 4
+
+    def test_mixed(self):
+        g = cycle_graph(3)
+        g.add_edge(2, "r", "tail")
+        sccs = strongly_connected_components(g)
+        assert {frozenset(c) for c in sccs} == {frozenset({0, 1, 2}), frozenset({"tail"})}
+
+    def test_scc_of(self):
+        g = cycle_graph(3)
+        g.add_edge(2, "r", "tail")
+        assert scc_of(g, 1) == {0, 1, 2}
+        assert scc_of(g, "tail") == {"tail"}
+
+    def test_condensation_is_dag(self):
+        g = cycle_graph(3)
+        g.add_edge(2, "r", "tail")
+        dag, member = condensation(g)
+        assert len(dag) == 2
+        assert member[0] == member[1] == member[2]
+        assert all(len(c) == 1 for c in strongly_connected_components(dag))
+
+    def test_long_chain_no_recursion_error(self):
+        assert len(strongly_connected_components(path_graph(3000))) == 3001
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = path_graph(4)
+        assert reachable_from(g, 0) == {0, 1, 2, 3, 4}
+        assert reachable_from(g, 2) == {2, 3, 4}
+
+    def test_bounded_steps(self):
+        g = path_graph(4)
+        assert reachable_from(g, 0, max_steps=2) == {0, 1, 2}
+
+
+class TestUnravelling:
+    def test_one_step_out(self):
+        g = star_graph(3, "r", center_labels=["C"], leaf_labels=["L"])
+        star = one_step_unravelling(g, 0, "out")
+        assert len(star) == 4
+        assert star.labels_of(("c", 0)) == {"C"}
+
+    def test_one_step_in(self):
+        g = Graph()
+        g.add_edge(1, "r", 0)
+        g.add_edge(2, "r", 0)
+        star = one_step_unravelling(g, 0, "in")
+        assert len(star) == 3
+        assert all(star.has_edge(p, "r", ("c", 0)) for p in star.node_list() if p != ("c", 0))
+
+    def test_duplicates_get_fresh_copies(self):
+        g = Graph()
+        g.add_edge(0, "r", 1)
+        g.add_edge(0, "s", 1)  # same successor via two roles
+        star = one_step_unravelling(g, 0, "out")
+        assert len(star) == 3  # centre + one fresh copy per edge
+
+
+class TestSpanningTree:
+    def test_tree_covers_component(self):
+        g = cycle_graph(4)
+        tree, extra = undirected_spanning_tree(g, 0)
+        assert len(tree) == 3 and len(extra) == 1
+        assert tree | extra == set(g.edges())

@@ -1,0 +1,56 @@
+"""c-sparsity (Lee–Streinu) and sparse decompositions."""
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, path_graph, random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sparse import decompose_sparse, is_sparse, sparsity
+
+
+class TestSparsity:
+    def test_tree_is_minus1_sparse(self):
+        assert sparsity(path_graph(5)) == -1
+        assert is_sparse(path_graph(5), -1)
+
+    def test_cycle_is_0_sparse(self):
+        assert sparsity(cycle_graph(4)) == 0
+        assert is_sparse(cycle_graph(4), 0)
+        assert not is_sparse(cycle_graph(4), -1)
+
+    def test_monotone_in_c(self):
+        g = cycle_graph(3)
+        assert is_sparse(g, 5)
+
+    def test_empty_graph(self):
+        assert is_sparse(Graph(), -1)
+
+
+class TestDecomposition:
+    def test_tree_plus_extra(self):
+        g = random_connected_graph(8, 3, ["A"], ["r"], seed=4)
+        decomposition = decompose_sparse(g)
+        assert len(decomposition.tree_edges) == len(g) - 1
+        assert decomposition.excess == g.edge_count() - (len(g) - 1)
+        assert decomposition.tree_edges | decomposition.extra_edges == set(g.edges())
+
+    def test_excess_bounds_sparsity(self):
+        # a connected c-sparse graph is a tree plus at most c+1 edges
+        for seed in range(5):
+            g = random_connected_graph(6, 2, ["A"], ["r"], seed=seed)
+            c = sparsity(g)
+            assert decompose_sparse(g).excess <= c + 1
+
+    def test_disconnected_rejected(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            decompose_sparse(g)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_sparse(Graph())
+
+    def test_custom_root(self):
+        g = cycle_graph(3)
+        assert decompose_sparse(g, root=2).root == 2

@@ -1,0 +1,69 @@
+"""Node types: maximal types, realization, respect."""
+
+import pytest
+
+from repro.graphs.graph import Graph, single_node_graph
+from repro.graphs.types import Type, maximal_types, realized_types, respects, type_of
+
+
+class TestType:
+    def test_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            Type.of("A", "!A")
+
+    def test_positive_negative_names(self):
+        t = Type.of("A", "!B")
+        assert t.positive_names == {"A"}
+        assert t.negative_names == {"B"}
+        assert t.signature() == {"A", "B"}
+
+    def test_maximality(self):
+        assert Type.of("A", "!B").is_maximal_over(["A", "B"])
+        assert not Type.of("A").is_maximal_over(["A", "B"])
+
+    def test_restrict(self):
+        t = Type.of("A", "!B", "C")
+        assert t.restrict(["A", "B"]) == Type.of("A", "!B")
+
+    def test_extend(self):
+        assert Type.of("A").extend(["!B"]) == Type.of("A", "!B")
+        with pytest.raises(ValueError):
+            Type.of("A").extend(["!A"])
+
+    def test_contains_type(self):
+        assert Type.of("A", "!B").contains_type(Type.of("A"))
+        assert not Type.of("A").contains_type(Type.of("A", "!B"))
+
+    def test_holds_at(self):
+        g = single_node_graph(["A"], node=0)
+        assert Type.of("A", "!B").holds_at(g, 0)
+        assert not Type.of("A", "B").holds_at(g, 0)
+
+
+class TestTypeComputation:
+    def test_type_of(self):
+        g = single_node_graph(["A", "C"], node=0)
+        assert type_of(g, 0, ["A", "B"]) == Type.of("A", "!B")
+
+    def test_maximal_types_count(self):
+        assert len(list(maximal_types(["A", "B", "C"]))) == 8
+
+    def test_maximal_types_are_maximal(self):
+        for t in maximal_types(["A", "B"]):
+            assert t.is_maximal_over(["A", "B"])
+
+    def test_realized_types(self):
+        g = Graph()
+        g.add_node(1, ["A"])
+        g.add_node(2, ["A"])
+        g.add_node(3, ["B"])
+        realized = realized_types(g, ["A", "B"])
+        assert realized == {Type.of("A", "!B"), Type.of("!A", "B")}
+
+    def test_respects(self):
+        g = Graph()
+        g.add_node(1, ["A"])
+        g.add_node(2, ["B"])
+        assert respects(g, [Type.of("A"), Type.of("B")])
+        assert not respects(g, [Type.of("A", "B")])
+        assert respects(g, [Type()])  # the empty type allows everything

@@ -1,0 +1,78 @@
+"""Cross-validation: the Sections 5–6 fixpoint procedures against the
+chase-based countermodel engine on a grid of small instances.
+
+For every (TBox, type) pair, "τ realizable in a finite T-model refuting Q"
+must agree between:
+
+* the type-elimination procedure (one-way: alternating frames; two-way:
+  role-alternating frames + recursion), and
+* a direct chase search from a pinned τ-seed avoiding Q̂.
+"""
+
+import pytest
+
+from repro.core.entailment import realizable_type
+from repro.core.oneway import realizable_refuting_oneway
+from repro.core.search import SearchLimits
+from repro.core.twoway import TwoWayConfig, realizable_refuting_twoway
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.types import Type
+from repro.queries.parser import parse_query
+from repro.queries.presets import example_36_factorization, example_36_query
+
+LIMITS = SearchLimits(max_nodes=5, max_steps=20_000)
+
+ONEWAY_TBOXES = [
+    [],
+    [("A", "exists r.B")],
+    [("A", "exists r.M")],
+    [("A", "exists r.M"), ("M", "exists r.B")],
+    [("B", "exists r-.A")],
+    [("A", "exists r.top"), ("A", "forall r.B")],
+    [("A", "forall r.B")],
+    [("A", "exists r.A")],
+    [("M", "A | B"), ("A", "exists r.M")],
+]
+
+
+class TestOneWayAgainstChase:
+    @pytest.mark.parametrize("index", range(len(ONEWAY_TBOXES)))
+    @pytest.mark.parametrize("label", ["A", "B", "M"])
+    def test_agreement(self, index, label):
+        tbox = normalize(TBox.of(ONEWAY_TBOXES[index]))
+        fact = example_36_factorization()
+        tau = Type.of(label)
+        fixpoint = realizable_refuting_oneway(
+            tau, tbox, example_36_query(), factorization=fact, limits=LIMITS
+        )
+        chase = realizable_type(tau, tbox, fact.factored, limits=LIMITS)
+        if chase.found:
+            assert fixpoint.realizable, (index, label)
+        if fixpoint.realizable and fixpoint.complete and chase.exhausted:
+            assert chase.found, (index, label)
+
+
+TWOWAY_CASES = [
+    ([("A", "exists r.B")], "A(x), r(x,y), B(y)", "A", False),
+    ([("A", "exists r.B")], "A(x), r(x,y), B(y)", "B", True),
+    ([("A", "exists r.B")], "A(x), r(x,y), C(y)", "A", True),
+    ([], "A(x), r(x,y), B(y)", "A", True),
+    ([("A", "bottom")], "r(x,y)", "A", False),
+]
+
+
+class TestTwoWayAgainstChase:
+    @pytest.mark.parametrize("cis,query_text,label,expected", TWOWAY_CASES)
+    def test_agreement(self, cis, query_text, label, expected):
+        tbox = normalize(TBox.of(cis))
+        query = parse_query(query_text)
+        tau = Type.of(label)
+        config = TwoWayConfig(max_types=500_000, max_connector_candidates=500_000)
+        fixpoint = realizable_refuting_twoway(tau, tbox, query, config=config)
+        assert fixpoint.realizable == expected
+        chase = realizable_type(tau, tbox, query, limits=LIMITS)
+        if chase.found:
+            assert fixpoint.realizable
+        if chase.exhausted and not chase.found:
+            assert not fixpoint.realizable

@@ -1,0 +1,73 @@
+"""Example 1.1 / Fig. 1 end to end — the paper's running example.
+
+* q₂ ⊆ q₁ without any schema;
+* q₁ ⊄ q₂ without a schema (with a concrete countermodel);
+* modulo the Fig. 1 rewards schema S, q₁ ⊆_S q₂ as well.
+"""
+
+import pytest
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.dl.normalize import normalize
+from repro.dl.pg_schema import figure1_instance, figure1_schema
+from repro.dl.tbox import satisfies_tbox
+from repro.queries.evaluation import satisfies_union
+from repro.queries.presets import example_11_q1, example_11_q2
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return figure1_schema()
+
+
+@pytest.fixture(scope="module")
+def q1():
+    return example_11_q1()
+
+
+@pytest.fixture(scope="module")
+def q2():
+    return example_11_q2()
+
+
+class TestWithoutSchema:
+    def test_q2_contained_in_q1(self, q1, q2):
+        assert is_contained(q2, q1).contained
+
+    def test_q1_not_contained_in_q2(self, q1, q2):
+        result = is_contained(q1, q2)
+        assert not result.contained
+        assert result.complete
+        model = result.countermodel
+        assert satisfies_union(model, q1)
+        assert not satisfies_union(model, q2)
+
+
+class TestWithSchema:
+    def test_q1_contained_in_q2_modulo_schema(self, schema, q1, q2):
+        result = is_contained(q1, q2, schema)
+        assert result.contained
+
+    def test_q2_contained_in_q1_modulo_schema(self, schema, q1, q2):
+        assert is_contained(q2, q1, schema).contained
+
+    def test_schema_countermodel_gone(self, schema, q1, q2):
+        """The schema-free countermodel violates the schema."""
+        free = is_contained(q1, q2).countermodel
+        assert not satisfies_tbox(free, schema)
+
+    def test_schema_fragment_is_supported(self, schema, q1, q2):
+        assert normalize(schema).fragment() == "ALCQ"
+        assert q1.is_one_way() and q2.is_one_way()  # combination C1
+        result = is_contained(q1, q2, schema)
+        assert result.supported_by_theory
+
+
+class TestInstanceQueries:
+    def test_both_queries_match_instance(self, q1, q2):
+        g = figure1_instance()
+        assert satisfies_union(g, q1)
+        assert satisfies_union(g, q2)
+
+    def test_instance_satisfies_schema(self, schema):
+        assert satisfies_tbox(figure1_instance(), schema)

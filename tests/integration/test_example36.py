@@ -1,0 +1,62 @@
+"""Example 3.6 end to end: the factorized query over the Fig. 2 star shape,
+and finite entailment of the reachability query."""
+
+from repro.core.entailment import finitely_entails
+from repro.core.starlike import star_of
+from repro.dl.tbox import TBox
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph, single_node_graph
+from repro.queries.evaluation import satisfies_union
+from repro.queries.presets import example_36_factorization, example_36_query
+
+
+def figure2_star():
+    """A Fig. 2-like star: an r-path through the central part, with the A
+    node in one peripheral part and the B node in another."""
+    central = path_graph(2, "r")  # nodes 0,1,2
+    left = Graph()
+    left.add_node("a", ["A"])
+    left.add_node("a_shared")
+    left.add_edge("a", "r", "a_shared")
+    right = Graph()
+    right.add_node("b_shared")
+    right.add_node("b", ["B"])
+    right.add_edge("b_shared", "r", "b")
+    return star_of(central, [(left, "a_shared", 0), (right, "b_shared", 2)])
+
+
+class TestFigure2:
+    def test_query_holds_across_parts_only(self):
+        star = figure2_star()
+        query = example_36_query()
+        assert satisfies_union(star.assemble(), query)
+        assert not any(satisfies_union(p, query) for p in star.parts())
+
+    def test_factorized_query_detects_it_in_a_part(self):
+        """Condition (1) in action: on the truthfully labelled star, some
+        disjunct of Q̂ fires within a single part."""
+        star = figure2_star()
+        fact = example_36_factorization()
+        labelled = fact.truthful_labelling(star.assemble())
+        assert satisfies_union(labelled, fact.factored)
+
+
+class TestEntailmentOfExample36:
+    def test_not_entailed_without_constraints(self):
+        result = finitely_entails(
+            single_node_graph(["A"]), TBox.empty(), example_36_query()
+        )
+        assert not result.entailed
+
+    def test_entailed_with_forcing_chain(self):
+        tbox = TBox.of([("A", "exists r.B")])
+        result = finitely_entails(single_node_graph(["A"]), tbox, example_36_query())
+        assert result.entailed
+
+    def test_not_entailed_with_escape(self):
+        # the witness can loop in M forever without reaching B
+        tbox = TBox.of([("A", "exists r.M"), ("M", "exists r.M")])
+        result = finitely_entails(single_node_graph(["A"]), tbox, example_36_query())
+        assert not result.entailed
+        model = result.countermodel
+        assert not satisfies_union(model, example_36_query())

@@ -1,0 +1,110 @@
+"""Cross-cutting paper invariants, property-tested.
+
+* homomorphisms (paper semantics) preserve query satisfaction — the remark
+  after the match definition in Section 2;
+* sparsification (Theorem 3.1) yields sparse, satisfying, mapping shadows;
+* the coil restructuring preserves local structure while killing short
+  cyclic matches (Lemma 4.3's mechanism);
+* clause consistency of a maximal type coincides with model checking the
+  single-node graph it induces.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coil import coil
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.dl.types import clause_consistent
+from repro.graphs.generators import random_connected_graph, random_graph
+from repro.graphs.graph import Graph, single_node_graph
+from repro.graphs.homomorphism import find_homomorphism, is_homomorphism
+from repro.graphs.sparse import is_sparse
+from repro.graphs.types import Type, maximal_types
+from repro.queries.evaluation import satisfies
+from repro.queries.parser import parse_crpq
+
+QUERIES = [
+    "A(x), r(x,y)",
+    "!A(x), r(x,y), B(y)",
+    "(r.s)(x,y)",
+    "r*(x,y), B(y)",
+    "r-(x,y), A(y)",
+    "A(x), ({!B}.r)(x,y)",
+]
+
+
+class TestHomomorphismPreservation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(0, 3000),
+        st.integers(0, 3000),
+        st.sampled_from(QUERIES),
+    )
+    def test_satisfaction_preserved(self, seed_g, seed_h, query_text):
+        """G ⊨ q and G → G' (paper homomorphism) implies G' ⊨ q — even for
+        queries with complement labels, because the paper's homomorphisms
+        preserve label absence."""
+        g = random_graph(3, 4, ["A", "B"], ["r", "s"], seed=seed_g)
+        h = random_graph(4, 7, ["A", "B"], ["r", "s"], seed=seed_h)
+        mapping = find_homomorphism(g, h)
+        if mapping is None:
+            return
+        query = parse_crpq(query_text)
+        if satisfies(g, query):
+            assert satisfies(h, query), (seed_g, seed_h, query_text)
+
+
+class TestSparsification:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2000), st.sampled_from(["r*(x,y), r(y,z)", "r(x,y), r(y,z), r*(z,w)"]))
+    def test_theorem31_shape(self, seed, query_text):
+        from repro.core.sparse_search import sparsify
+        from repro.graphs.homomorphism import maps_into
+
+        g = random_connected_graph(6, 5, ["A"], ["r"], seed=seed)
+        query = parse_crpq(query_text)
+        if not satisfies(g, query):
+            return
+        shadow = sparsify(g, query)
+        assert shadow is not None
+        assert satisfies(shadow, query)
+        assert is_sparse(shadow, query.size())
+        assert maps_into(shadow, g)
+
+
+class TestCoilInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500), st.integers(2, 3))
+    def test_coil_preserves_satisfaction_downward(self, seed, n):
+        """Coil(G,n) maps onto G, so queries true in the coil are true in G."""
+        g = random_connected_graph(4, 2, ["A", "B"], ["r"], seed=seed)
+        c = coil(g, n)
+        mapping = {v: c.h(v) for v in c.graph.node_list()}
+        assert is_homomorphism(c.graph, g, mapping)
+        for query_text in ("A(x), r(x,y)", "(r.r)(x,y)"):
+            query = parse_crpq(query_text)
+            if satisfies(c.graph, query):
+                assert satisfies(g, query)
+
+
+class TestTypeSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_clause_consistency_is_single_node_model_checking(self, seed):
+        rng = random.Random(seed)
+        cis = []
+        labels = ["A", "B", "C"]
+        for _ in range(rng.randint(1, 3)):
+            lhs = rng.choice(labels)
+            rhs = rng.choice([f"{rng.choice(labels)}", f"!{rng.choice(labels)}", "bottom"])
+            cis.append((lhs, rhs))
+        tbox = normalize(TBox.of(cis))
+        for node_type in maximal_types(labels):
+            node_graph = single_node_graph(sorted(node_type.positive_names))
+            model_check = all(
+                clause.holds_at(node_graph, 0) for clause in tbox.clauses
+            )
+            assert clause_consistent(tbox, node_type) == model_check, str(node_type)

@@ -1,0 +1,68 @@
+"""A CI-pipeline-shaped integration scenario: records + probes + repair.
+
+Models how a downstream system would wire the library into a schema-change
+review: decide the query-compatibility matrix, stress-test the bounded
+verdicts with probes, and repair a sample instance against the new schema.
+"""
+
+import json
+
+from repro.core.certify import probe_containment
+from repro.core.records import DecisionLog
+from repro.core.repair import complete_to_model
+from repro.dl.pg_schema import figure1_schema
+from repro.dl.tbox import TBox, satisfies_tbox
+from repro.graphs.graph import Graph
+from repro.queries.presets import example_11_q1, example_11_q2
+
+
+class TestReviewPipeline:
+    def test_end_to_end(self, tmp_path):
+        schema = figure1_schema()
+        q1, q2 = example_11_q1(), example_11_q2()
+        log = DecisionLog()
+
+        # 1. the compatibility matrix
+        log.decide(q2, q1)
+        log.decide(q1, q2)
+        log.decide(q1, q2, schema)
+        log.decide(q2, q1, schema)
+        summary = log.summary()
+        assert summary["decisions"] == 4
+        assert summary["contained"] == 3 and summary["refuted"] == 1
+
+        # 2. probe the bounded with-schema verdict
+        report = probe_containment(q1, q2, schema, probes=8, seed=1)
+        assert not report.refuted
+        assert report.confirmed > 0
+
+        # 3. repair a sample instance against the schema
+        sample = Graph()
+        sample.add_node("cust", ["Customer"])
+        sample.add_node("gold", ["CredCard", "PremCC"])
+        sample.add_edge("cust", "owns", "gold")
+        repair = complete_to_model(sample, schema)
+        assert repair.succeeded
+        assert satisfies_tbox(repair.completed, schema)
+
+        # 4. the artifacts serialize for the review record
+        path = tmp_path / "review.json"
+        log.save(str(path))
+        data = json.loads(path.read_text())
+        refutations = [r for r in data["records"] if not r["contained"]]
+        assert len(refutations) == 1
+        assert refutations[0]["countermodel"] is not None
+
+    def test_schema_migration_breaks_containment(self):
+        """Dropping the partner typing reopens the q1 ⊆ q2 gap."""
+        from repro.dl.pg_schema import PGSchema
+        from repro.core.containment import is_contained
+
+        weakened = PGSchema(name="weakened")
+        weakened.constraint("Customer", "forall owns.CredCard")
+        weakened.participation("Customer", "owns", "CredCard")
+        # note: NO partner edge-typing — the RetailCompany guarantee is gone
+        q1, q2 = example_11_q1(), example_11_q2()
+        result = is_contained(q1, q2, weakened.to_tbox())
+        assert not result.contained
+        assert result.countermodel is not None

@@ -1,0 +1,89 @@
+"""Query algebra laws under Boolean evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import random_graph
+from repro.queries.algebra import (
+    conjoin,
+    fresh_variable,
+    standardize_apart,
+    substitute,
+    unite,
+    variables_of,
+)
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_crpq, parse_query
+
+QUERIES = ["A(x), r(x,y)", "B(x)", "r(x,y), s(y,z)", "(r|s)*(x,y), A(y)"]
+
+
+def graphs():
+    return st.integers(0, 2000).map(
+        lambda seed: random_graph(4, 6, ["A", "B"], ["r", "s"], seed=seed, label_probability=0.4)
+    )
+
+
+class TestStandardizeApart:
+    def test_no_capture(self):
+        left = parse_crpq("A(x), r(x,y)")
+        right = parse_crpq("B(x), s(x,z)")
+        a, b = standardize_apart(left, right)
+        assert not (a.variables & b.variables)
+
+    def test_disjoint_untouched(self):
+        left = parse_crpq("A(x)")
+        right = parse_crpq("B(w)")
+        a, b = standardize_apart(left, right)
+        assert a == left and b == right
+
+
+class TestSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), st.sampled_from(QUERIES), st.sampled_from(QUERIES))
+    def test_conjunction_is_boolean_and(self, graph, left_text, right_text):
+        left, right = parse_query(left_text), parse_query(right_text)
+        both = conjoin(left, right)
+        assert satisfies_union(graph, both) == (
+            satisfies_union(graph, left) and satisfies_union(graph, right)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(), st.sampled_from(QUERIES), st.sampled_from(QUERIES))
+    def test_union_is_boolean_or(self, graph, left_text, right_text):
+        left, right = parse_query(left_text), parse_query(right_text)
+        either = unite(left, right)
+        assert satisfies_union(graph, either) == (
+            satisfies_union(graph, left) or satisfies_union(graph, right)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs(), st.sampled_from(QUERIES), st.sampled_from(QUERIES))
+    def test_conjunction_commutes(self, graph, left_text, right_text):
+        left, right = parse_query(left_text), parse_query(right_text)
+        assert satisfies_union(graph, conjoin(left, right)) == satisfies_union(
+            graph, conjoin(right, left)
+        )
+
+    def test_shared_variables_join(self):
+        # sharing x: the same node must be both A and B
+        from repro.graphs.graph import Graph
+
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1, ["B"])
+        shared = conjoin(parse_query("A(x)"), parse_query("B(x)"), share_variables=True)
+        independent = conjoin(parse_query("A(x)"), parse_query("B(x)"))
+        assert not satisfies_union(g, shared)
+        assert satisfies_union(g, independent)
+
+
+class TestHelpers:
+    def test_substitute(self):
+        q = substitute(parse_query("A(x), r(x,y)"), {"x": "z"})
+        assert "z" in {str(v) for v in variables_of(q)}
+        assert "x" not in {str(v) for v in variables_of(q)}
+
+    def test_fresh_variable(self):
+        q = parse_query("A(v0), r(v0,v1)")
+        assert fresh_variable(q) == "v2"

@@ -1,0 +1,114 @@
+"""Classical CQ containment and the query ↔ graph correspondence."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.queries.cq import (
+    NotStarFree,
+    canonical_graph,
+    contained_cq,
+    is_star_free,
+    query_of_graph,
+)
+from repro.queries.evaluation import satisfies
+from repro.queries.parser import parse_crpq, parse_query
+
+
+class TestStarFree:
+    def test_classification(self):
+        assert is_star_free(parse_query("A(x), (r.s)(x,y)"))
+        assert not is_star_free(parse_query("r*(x,y)"))
+
+    def test_guard(self):
+        with pytest.raises(NotStarFree):
+            contained_cq(parse_query("r*(x,y)"), parse_query("r(x,y)"))
+
+
+class TestContainment:
+    def test_classical_examples(self):
+        # a triangle query is contained in an edge query
+        assert contained_cq(parse_query("r(x,y), r(y,z), r(z,x)"), parse_query("r(x,y)"))
+        # but not conversely
+        assert not contained_cq(parse_query("r(x,y)"), parse_query("r(x,y), r(y,z), r(z,x)"))
+
+    def test_label_strengthening(self):
+        assert contained_cq(parse_query("A(x), B(x), r(x,y)"), parse_query("A(x), r(x,y)"))
+        assert not contained_cq(parse_query("A(x), r(x,y)"), parse_query("A(x), B(x), r(x,y)"))
+
+    def test_path_shortening(self):
+        long = parse_query("(r.r.r)(x,y)")
+        short = parse_query("(r.r)(x,y)")
+        assert contained_cq(long, short)  # Boolean: a 3-path contains a 2-path
+        assert not contained_cq(short, long)
+
+    def test_union_rhs(self):
+        assert contained_cq(parse_query("r(x,y)"), parse_query("s(x,y); r(x,y)"))
+
+    def test_self_containment(self):
+        q = parse_query("A(x), (r.s)(x,y), B(y)")
+        assert contained_cq(q, q)
+
+    def test_agrees_with_bounded_baseline(self):
+        from repro.core.baseline import contained_no_schema
+
+        cases = [
+            ("r(x,y), s(y,z)", "r(x,y)"),
+            ("r(x,y)", "s(x,y)"),
+            ("A(x), r(x,y)", "r(x,y), A(x)"),
+            ("(r.r)(x,y)", "r(x,y), r(y,z)"),
+        ]
+        for lhs_text, rhs_text in cases:
+            lhs, rhs = parse_query(lhs_text), parse_query(rhs_text)
+            assert contained_cq(lhs, rhs) == contained_no_schema(lhs, rhs).contained
+
+
+class TestCorrespondence:
+    def test_canonical_graph_roundtrip(self):
+        q = parse_crpq("A(x), r(x,y), B(y)")
+        g = canonical_graph(q)
+        assert g is not None
+        assert satisfies(g, q)
+        back = query_of_graph(g)
+        g2 = canonical_graph(back)
+        assert satisfies(g2, back) and satisfies(g, back)
+
+    def test_non_cq_rejected(self):
+        assert canonical_graph(parse_crpq("r*(x,y)")) is None
+        assert canonical_graph(parse_crpq("(r|s)(x,y)")) is None
+
+    def test_complement_atoms_ignored(self):
+        g = canonical_graph(parse_crpq("A(x), !B(x)"))
+        assert g is not None
+        assert g.has_label(("v", "x"), "A")
+        assert not g.has_label(("v", "x"), "B")
+
+    def test_query_of_graph_matches_source(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1, ["B"])
+        g.add_edge(0, "r", 1)
+        q = query_of_graph(g)
+        assert satisfies(g, q)
+        # a graph missing the edge does not satisfy it
+        g2 = Graph()
+        g2.add_node(0, ["A"])
+        g2.add_node(1, ["B"])
+        assert not satisfies(g2, q)
+
+    def test_entailment_as_containment(self):
+        """The paper's remark: G, T ⊨fin Q iff query_of_graph(G) ⊆_T Q."""
+        from repro.core.containment import is_contained
+        from repro.core.entailment import finitely_entails
+        from repro.dl.tbox import TBox
+
+        g = Graph()
+        g.add_node(0, ["A"])
+        tbox = TBox.of([("A", "exists r.B")])
+        rhs = parse_query("r(x,y), B(y)")
+        ent = finitely_entails(g, tbox, rhs)
+        cont = is_contained(
+            __import__("repro.queries.ucrpq", fromlist=["UCRPQ"]).UCRPQ.single(query_of_graph(g)),
+            rhs,
+            tbox,
+        )
+        assert ent.entailed == cont.contained

@@ -1,0 +1,92 @@
+"""C2RPQ and UC2RPQ structure: variables, connectivity, classification."""
+
+from repro.queries.atoms import ConceptAtom, PathAtom
+from repro.queries.crpq import CRPQ
+from repro.queries.parser import parse_crpq, parse_query
+from repro.queries.ucrpq import UCRPQ
+
+
+class TestStructure:
+    def test_variables(self):
+        q = parse_crpq("A(x), r(x,y), B(y)")
+        assert q.variables == {"x", "y"}
+
+    def test_size_counts_atoms(self):
+        assert parse_crpq("A(x), r(x,y), B(y)").size() == 3
+
+    def test_deduplication(self):
+        q = CRPQ.of([ConceptAtom.make("A", "x"), ConceptAtom.make("A", "x")])
+        assert q.size() == 1
+
+    def test_rename(self):
+        q = parse_crpq("A(x), r(x,y)")
+        renamed = q.rename({"x": "z"})
+        assert renamed.variables == {"z", "y"}
+        assert any(isinstance(a, ConceptAtom) and a.variable == "z" for a in renamed.atoms)
+
+    def test_conjoin(self):
+        q = parse_crpq("A(x)").conjoin(parse_crpq("B(y)"))
+        assert q.variables == {"x", "y"}
+
+    def test_isolated_variables(self):
+        q = CRPQ.of([ConceptAtom.make("A", "x")], isolated=["z"])
+        assert "z" in q.variables
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert parse_crpq("A(x), r(x,y), s(y,z)").is_connected()
+
+    def test_disconnected(self):
+        assert not parse_crpq("A(x), B(y)").is_connected()
+
+    def test_single_variable_connected(self):
+        assert parse_crpq("A(x)").is_connected()
+
+    def test_components(self):
+        q = parse_crpq("A(x), r(x,y), B(z)")
+        parts = q.connected_components()
+        assert len(parts) == 2
+        sizes = sorted(len(p.variables) for p in parts)
+        assert sizes == [1, 2]
+
+
+class TestClassification:
+    def test_one_way(self):
+        assert parse_crpq("r(x,y)").is_one_way()
+        assert not parse_crpq("r-(x,y)").is_one_way()
+        assert not parse_crpq("(r.s-)(x,y)").is_one_way()
+
+    def test_simple(self):
+        assert parse_crpq("r(x,y), (r|s)*(y,z)").is_simple()
+        assert not parse_crpq("(r.s)(x,y)").is_simple()
+        assert parse_crpq("(r|s-)*(x,y)").is_simple()
+
+    def test_test_free(self):
+        assert parse_crpq("(r.s)(x,y)").is_test_free()
+        assert not parse_crpq("(r.{A}.s)(x,y)").is_test_free()
+
+    def test_union_classification(self):
+        q = parse_query("r(x,y); (r.s)(x,y)")
+        assert not q.is_simple()
+        assert q.is_one_way()
+        assert q.is_connected()
+
+
+class TestUnion:
+    def test_union_dedup(self):
+        a = parse_crpq("A(x)")
+        assert len(UCRPQ.of([a, a])) == 1
+
+    def test_max_disjunct_size(self):
+        q = parse_query("A(x); A(x), r(x,y), B(y)")
+        assert q.max_disjunct_size() == 3
+
+    def test_label_and_role_names(self):
+        q = parse_query("A(x), (r.{B}.s)(x,y)")
+        assert q.node_label_names() == {"A", "B"}
+        assert q.role_names() == {"r", "s"}
+
+    def test_union_operation(self):
+        q = parse_query("A(x)").union(parse_query("B(x)"))
+        assert len(q) == 2

@@ -1,0 +1,121 @@
+"""Query evaluation over finite graphs, with a brute-force cross-check."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import cycle_graph, path_graph, random_graph
+from repro.graphs.graph import Graph
+from repro.queries.evaluation import (
+    find_match,
+    find_union_match,
+    matches,
+    pointed_satisfies,
+    satisfies,
+    satisfies_union,
+)
+from repro.queries.parser import parse_crpq, parse_query
+
+
+def brute_force_satisfies(graph, query):
+    """Try every variable assignment; check atoms by definition."""
+    from repro.automata.product import rpq_holds
+
+    nodes = graph.node_list()
+    variables = sorted(query.variables, key=repr)
+    if not variables:
+        return True
+    for assignment in product(nodes, repeat=len(variables)):
+        binding = dict(zip(variables, assignment))
+        ok = all(
+            graph.has_label(binding[a.variable], a.label) for a in query.concept_atoms
+        ) and all(
+            rpq_holds(graph, a.compiled, binding[a.source], binding[a.target])
+            for a in query.path_atoms
+        )
+        if ok:
+            return True
+    return False
+
+
+class TestBasics:
+    def test_simple_match(self):
+        g = path_graph(2, "r", ["A"])
+        assert satisfies(g, parse_crpq("A(x), r(x,y)"))
+        assert not satisfies(g, parse_crpq("B(x)"))
+
+    def test_match_assignment_valid(self):
+        g = path_graph(2, "r", ["A"])
+        match = find_match(g, parse_crpq("r(x,y), r(y,z)"))
+        assert match == {"x": 0, "y": 1, "z": 2}
+
+    def test_complement_atoms(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1)
+        assert satisfies(g, parse_crpq("!A(x)"))
+        match = find_match(g, parse_crpq("!A(x)"))
+        assert match == {"x": 1}
+
+    def test_same_variable_twice(self):
+        g = cycle_graph(1, "r")  # a single self-loop
+        assert satisfies(g, parse_crpq("r(x,x)"))
+        g2 = path_graph(1, "r")
+        assert not satisfies(g2, parse_crpq("r(x,x)"))
+
+    def test_empty_graph(self):
+        assert not satisfies(Graph(), parse_crpq("A(x)"))
+
+    def test_match_enumeration(self):
+        g = path_graph(3, "r")
+        found = list(matches(g, parse_crpq("r*(x,y)")))
+        assert len(found) == 10
+
+    def test_fixed_variables(self):
+        g = path_graph(3, "r")
+        q = parse_crpq("r*(x,y)")
+        pinned = list(matches(g, q, fixed={"x": 1}))
+        assert all(m["x"] == 1 for m in pinned)
+        assert len(pinned) == 3
+
+    def test_pointed_satisfies(self):
+        g = path_graph(2, "r", ["A"])
+        q = parse_crpq("A(x), r(x,y)")
+        assert pointed_satisfies(g, q, "y", 1)
+        assert not pointed_satisfies(g, q, "y", 0)
+
+
+class TestUnions:
+    def test_union_any_disjunct(self):
+        g = path_graph(1, "s")
+        q = parse_query("r(x,y); s(x,y)")
+        assert satisfies_union(g, q)
+        disjunct, match = find_union_match(g, q)
+        assert "s" in str(disjunct)
+
+    def test_union_no_match(self):
+        g = path_graph(1, "s")
+        assert not satisfies_union(g, parse_query("r(x,y); A(x)"))
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.sampled_from(
+            [
+                "A(x), r(x,y)",
+                "r(x,y), r(y,z)",
+                "A(x), (r|s)*(x,y), B(y)",
+                "r(x,y), s(y,x)",
+                "!A(x), r(x,x)",
+                "(r.s)(x,y), A(y)",
+                "r-(x,y), B(y)",
+            ]
+        ),
+    )
+    def test_matches_brute_force(self, seed, query_text):
+        graph = random_graph(4, 6, ["A", "B"], ["r", "s"], seed=seed)
+        query = parse_crpq(query_text)
+        assert satisfies(graph, query) == brute_force_satisfies(graph, query)

@@ -1,0 +1,190 @@
+"""Lemma 3.7 — conditions (1) and (2) of query factorization.
+
+Condition (1): Q̂ holds in a star-like graph iff it holds in some part.
+Condition (2): Q holds in G iff Q̂ holds in every permission labelling of G.
+
+Both are verified empirically for the generic construction and the
+hand-crafted presets, on random graphs and random star-like graphs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.starlike import Attachment, StarLikeGraph
+from repro.graphs.generators import random_graph
+from repro.graphs.graph import Graph
+from repro.queries.evaluation import satisfies_union
+from repro.queries.factorization import FactorizationError, factorize, is_local_query
+from repro.queries.parser import parse_query
+from repro.queries.presets import (
+    example_36_factorization,
+    example_36_factorization_paper,
+    example_36_query,
+)
+
+
+def _random_part(n, m, seed, perm_names, labels=("A", "B"), perm_probability=0.25):
+    g = random_graph(n, m, list(labels), ["r"], seed=seed, label_probability=0.3)
+    rng = random.Random(seed + 77)
+    for v in g.node_list():
+        for name in perm_names:
+            if rng.random() < perm_probability:
+                g.add_label(v, name)
+    return g
+
+
+def _random_star(seed, perm_names):
+    rng = random.Random(seed * 31 + 5)
+    central = _random_part(3, 3, seed, perm_names)
+    attachments = []
+    for i in range(rng.randint(1, 2)):
+        part = _random_part(3, 3, seed * 100 + i, perm_names)
+        at = rng.choice(central.node_list())
+        shared = rng.choice(part.node_list())
+        fixed = Graph()
+        for v in part.node_list():
+            fixed.add_node(v, central.labels_of(at) if v == shared else part.labels_of(v))
+        for e in part.edges():
+            fixed.add_edge(*e)
+        attachments.append(Attachment(fixed, shared, at))
+    return StarLikeGraph(central, attachments)
+
+
+class TestLocalQueries:
+    def test_single_edge_is_local(self):
+        assert is_local_query(parse_query("A(x), r(x,y), B(y)"))
+        assert is_local_query(parse_query("A(x)"))
+
+    def test_star_atom_not_local(self):
+        assert not is_local_query(parse_query("r*(x,y)"))
+
+    def test_two_atoms_not_local(self):
+        assert not is_local_query(parse_query("r(x,y), s(y,z)"))
+
+    def test_local_query_factorizes_to_itself(self):
+        q = parse_query("A(x), r(x,y), B(y)")
+        fact = factorize(q)
+        assert fact.factored == q
+        assert not fact.permissions
+
+
+class TestGenericConstruction:
+    def test_produces_connected_disjuncts(self):
+        fact = factorize(example_36_query())
+        assert fact.factored.is_connected()
+        assert len(fact.permissions) > 0
+
+    def test_one_way_preserved(self):
+        fact = factorize(example_36_query())
+        assert fact.factored.is_one_way()
+
+    def test_budget_guard(self):
+        q = parse_query("r+(x,y), s+(y,z), r+(z,w), s+(w,v)")
+        with pytest.raises(FactorizationError):
+            factorize(q, max_factors=5)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            factorize(parse_query("A(x), B(y)"))
+
+
+@pytest.mark.parametrize(
+    "fact_builder",
+    [
+        lambda: factorize(example_36_query()),
+        example_36_factorization,
+    ],
+    ids=["generic", "hand-minimal"],
+)
+class TestConditions:
+    def test_condition2_truthful(self, fact_builder):
+        fact = fact_builder()
+        query = fact.original
+        for seed in range(25):
+            g = random_graph(4, 5, ["A", "B"], ["r"], seed=seed, label_probability=0.35)
+            labelled = fact.truthful_labelling(g)
+            assert satisfies_union(g, query) == satisfies_union(labelled, fact.factored), seed
+
+    def test_condition2_every_labelling(self, fact_builder):
+        fact = fact_builder()
+        query = fact.original
+        rng = random.Random(4)
+        names = sorted(fact.permissions)
+        for seed in range(25):
+            g = random_graph(4, 5, ["A", "B"], ["r"], seed=seed, label_probability=0.35)
+            if not satisfies_union(g, query):
+                continue
+            for _trial in range(4):
+                h = g.copy()
+                for v in h.node_list():
+                    for name in names:
+                        if rng.random() < 0.5:
+                            h.add_label(v, name)
+                assert satisfies_union(h, fact.factored), seed
+
+    def test_condition1_star_like(self, fact_builder):
+        fact = fact_builder()
+        names = sorted(fact.permissions)
+        for seed in range(30):
+            star = _random_star(seed, names)
+            whole = satisfies_union(star.assemble(), fact.factored)
+            in_parts = any(satisfies_union(p, fact.factored) for p in star.parts())
+            assert whole == in_parts, seed
+
+
+class TestPaperPresetCorner:
+    def test_paper_version_exact_without_ab_nodes(self):
+        fact = example_36_factorization_paper()
+        query = fact.original
+        checked = 0
+        for seed in range(60):
+            g = random_graph(4, 5, ["A", "B"], ["r"], seed=seed, label_probability=0.35)
+            if any(g.has_label(v, "A") and g.has_label(v, "B") for v in g.node_list()):
+                continue  # the documented ε-corner
+            checked += 1
+            labelled = fact.truthful_labelling(g)
+            assert satisfies_union(g, query) == satisfies_union(labelled, fact.factored)
+        assert checked > 10
+
+    def test_paper_version_corner_fires(self):
+        # an isolated A∧B node: Q needs an edge, but the hand Q̂ fires
+        fact = example_36_factorization_paper()
+        g = Graph()
+        g.add_node(0, ["A", "B"])
+        assert not satisfies_union(g, fact.original)
+        assert satisfies_union(fact.truthful_labelling(g), fact.factored)
+
+
+class TestMultiRolePreset:
+    def test_conditions_hold(self):
+        import random
+
+        from repro.queries.presets import multi_reachability_factorization
+
+        for star in (False, True):
+            fact = multi_reachability_factorization(["r", "s"], star=star)
+            rng = random.Random(3)
+            names = sorted(fact.permissions)
+            for seed in range(20):
+                g = random_graph(4, 6, ["A", "B"], ["r", "s"], seed=seed, label_probability=0.35)
+                labelled = fact.truthful_labelling(g)
+                assert satisfies_union(g, fact.original) == satisfies_union(
+                    labelled, fact.factored
+                ), (star, seed)
+                if satisfies_union(g, fact.original):
+                    h = g.copy()
+                    for v in h.node_list():
+                        for name in names:
+                            if rng.random() < 0.5:
+                                h.add_label(v, name)
+                    assert satisfies_union(h, fact.factored), (star, seed)
+
+    def test_star_variant_is_simple(self):
+        from repro.queries.presets import multi_reachability_factorization
+
+        fact = multi_reachability_factorization(["r", "s"], star=True)
+        assert fact.original.is_simple()
+        assert fact.factored.is_simple() or all(
+            d.is_simple() for d in fact.factored.disjuncts
+        )

@@ -1,0 +1,68 @@
+"""Query text syntax."""
+
+import pytest
+
+from repro.queries.atoms import ConceptAtom, PathAtom
+from repro.queries.parser import QuerySyntaxError, parse_crpq, parse_query
+
+
+class TestAtoms:
+    def test_concept_atom(self):
+        q = parse_crpq("Customer(x)")
+        atom = q.atoms[0]
+        assert isinstance(atom, ConceptAtom)
+        assert atom.label.name == "Customer" and atom.variable == "x"
+
+    def test_complement_concept_atom(self):
+        atom = parse_crpq("!A(x)").atoms[0]
+        assert atom.label.negated
+
+    def test_bare_role_atom(self):
+        atom = parse_crpq("owns(x,y)").atoms[0]
+        assert isinstance(atom, PathAtom)
+        assert atom.source == "x" and atom.target == "y"
+
+    def test_inverse_role_atom(self):
+        atom = parse_crpq("owns-(x,y)").atoms[0]
+        assert isinstance(atom, PathAtom)
+
+    def test_complex_regex_atom(self):
+        atom = parse_crpq("(owns.earns.{Partner}.owns*)(x,y)").atoms[0]
+        assert isinstance(atom, PathAtom)
+        assert str(atom.compiled) == "owns.earns.{Partner}.owns*"
+
+    def test_postfix_star_atom(self):
+        atom = parse_crpq("owns*(z,y)").atoms[0]
+        assert isinstance(atom, PathAtom)
+        assert atom.compiled.accepts_epsilon
+
+
+class TestQueries:
+    def test_multiple_atoms(self):
+        q = parse_crpq("A(x), r(x,y), B(y)")
+        assert q.size() == 3
+
+    def test_union(self):
+        q = parse_query("A(x); B(x); r(x,y)")
+        assert len(q) == 3
+
+    def test_commas_inside_regex_args(self):
+        q = parse_crpq("(owns.earns)(x,y), RetailCompany(y)")
+        assert q.size() == 2
+
+    def test_whitespace_tolerance(self):
+        assert parse_crpq(" A(x) ,  r( x , y ) ") == parse_crpq("A(x), r(x,y)")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "A", "A(x", "A(x,y,z)", "(x)", "A()"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_crpq(bad)
+
+    def test_bad_regex_reported(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_crpq("(r..s)(x,y)")

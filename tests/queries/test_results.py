@@ -1,0 +1,84 @@
+"""Result-set answering: projection, distinct, limits, explanations."""
+
+import pytest
+
+from repro.dl.pg_schema import figure1_instance
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph
+from repro.queries.results import answers, explain
+
+
+class TestAnswers:
+    def test_projection(self):
+        g = figure1_instance()
+        result = answers(g, "Customer(x), (owns.earns)(x,y)", output=["x", "y"])
+        assert result.as_set() == {("ada", "miles")}
+        assert result.variables == ("x", "y")
+
+    def test_default_output_all_variables(self):
+        g = path_graph(1, "r")
+        result = answers(g, "r(x,y)")
+        assert result.variables == ("x", "y")
+        assert result.as_set() == {(0, 1)}
+
+    def test_distinct(self):
+        g = Graph()
+        g.add_node("a", ["A"])
+        g.add_node("b1")
+        g.add_node("b2")
+        g.add_edge("a", "r", "b1")
+        g.add_edge("a", "r", "b2")
+        projected = answers(g, "A(x), r(x,y)", output=["x"])
+        assert len(projected) == 1  # two matches collapse under projection
+        full = answers(g, "A(x), r(x,y)", output=["x", "y"])
+        assert len(full) == 2
+
+    def test_limit(self):
+        g = path_graph(5, "r")
+        result = answers(g, "r*(x,y)", limit=3)
+        assert len(result) == 3
+
+    def test_union_contributes_rows(self):
+        g = path_graph(1, "r")
+        g.add_edge(1, "s", 0)
+        result = answers(g, "r(x,y); s(x,y)", output=["x", "y"])
+        assert result.as_set() == {(0, 1), (1, 0)}
+
+    def test_row_access(self):
+        g = path_graph(1, "r")
+        row = next(iter(answers(g, "r(x,y)")))
+        assert row["x"] == 0 and row[1] == 1
+        assert row.as_dict() == {"x": 0, "y": 1}
+
+    def test_example_11_answer_pairs(self):
+        g = figure1_instance()
+        q1 = "(owns.earns.partner.owns*)(x,y)"
+        result = answers(g, q1, output=["x", "y"])
+        assert ("ada", "acme") in result.as_set()
+        assert ("ada", "acme_sub") in result.as_set()
+
+
+class TestExplain:
+    def test_explanation_contains_witness_path(self):
+        g = figure1_instance()
+        explanation = explain(g, "Customer(x), (owns.earns)(x,y)")
+        assert explanation is not None
+        assert explanation.match["x"] == "ada"
+        rendered = str(explanation)
+        assert "owns" in rendered and "earns" in rendered
+
+    def test_pinned_row(self):
+        g = figure1_instance()
+        result = answers(g, "(owns.earns.partner.owns*)(x,y)", output=["x", "y"])
+        target = next(row for row in result if row["y"] == "acme_sub")
+        explanation = explain(g, "(owns.earns.partner.owns*)(x,y)", row=target)
+        assert explanation.match["y"] == "acme_sub"
+
+    def test_no_match_returns_none(self):
+        g = path_graph(1, "r")
+        assert explain(g, "Zz(x)") is None
+
+    def test_union_rejected(self):
+        g = path_graph(1, "r")
+        with pytest.raises(ValueError):
+            explain(g, "A(x); B(x)")

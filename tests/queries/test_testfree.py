@@ -1,0 +1,133 @@
+"""Test elimination (the Theorem 5.1 ALCQ route): G ⊨ Q ⟺ G^e ⊨ Q^e."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import random_graph
+from repro.graphs.graph import Graph
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_query
+from repro.queries.testfree import eliminate_tests, enrich_graph
+
+QUERIES = [
+    "({A}.r)(x,y)",
+    "(r.{A}.s)(x,y)",
+    "(r.{!A})(x,y)",
+    "({A}.r)*(x,y), B(y)",
+    "({A} | r)(x,y)",
+    "({A})(x,y)",
+    "(r.{A}.r | s)(x,y), C(x)",
+    "({A}.{B}.r)(x,y)",
+]
+
+
+class TestBasics:
+    def test_output_is_test_free(self):
+        for text in QUERIES:
+            result = eliminate_tests(parse_query(text))
+            assert result.query.is_test_free()
+
+    def test_signature_inferred(self):
+        result = eliminate_tests(parse_query("(r.{A}.s.{!B})(x,y)"))
+        assert result.signature == ("A", "B")
+        assert result.type_count == 4
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            eliminate_tests(parse_query("({A}.r)(x,y)"), signature=[f"L{i}" for i in range(10)])
+
+    def test_enrichment_preserves_nodes(self):
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1)
+        g.add_edge(0, "r", 1)
+        enriched = enrich_graph(g, ["A"])
+        assert set(enriched.node_list()) == {0, 1}
+        roles = enriched.role_names()
+        assert roles == {"r__A__none"}
+
+    def test_pure_test_atom_forces_type(self):
+        result = eliminate_tests(parse_query("({A})(x,y)"))
+        # the only way to satisfy it: x = y at an A-node
+        g = Graph()
+        g.add_node(0, ["A"])
+        assert satisfies_union(result.enrich(g), result.query)
+        g2 = Graph()
+        g2.add_node(0, ["B"])
+        assert not satisfies_union(result.enrich(g2), result.query)
+
+
+class TestEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 5000), st.sampled_from(QUERIES))
+    def test_satisfaction_preserved(self, seed, text):
+        """G ⊨ Q ⟺ enrich(G) ⊨ eliminate(Q) on random graphs."""
+        query = parse_query(text)
+        result = eliminate_tests(query)
+        graph = random_graph(4, 7, ["A", "B", "C"], ["r", "s"], seed=seed, label_probability=0.4)
+        original = satisfies_union(graph, query)
+        transformed = satisfies_union(result.enrich(graph), result.query)
+        assert original == transformed, (seed, text)
+
+    def test_union_alternative(self):
+        # ({A} | r)(x,y): either an r-edge, or x=y at an A-node
+        query = parse_query("({A} | r)(x,y)")
+        result = eliminate_tests(query)
+        edge_only = Graph()
+        edge_only.add_node(0)
+        edge_only.add_node(1)
+        edge_only.add_edge(0, "r", 1)
+        assert satisfies_union(result.enrich(edge_only), result.query)
+        test_only = Graph()
+        test_only.add_node(0, ["A"])
+        assert satisfies_union(result.enrich(test_only), result.query)
+        neither = Graph()
+        neither.add_node(0, ["B"])
+        assert not satisfies_union(result.enrich(neither), result.query)
+
+
+class TestTBoxEnrichment:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(0, 4000),
+        st.sampled_from([
+            [("A", "exists r.B")],
+            [("A", "forall r.B")],
+            [("A", "exists r.B"), ("B", "forall r.!A")],
+            [("A", "<=1 r.B")],
+            [("A", "B | C")],
+        ]),
+    )
+    def test_model_correspondence(self, seed, cis):
+        """G ⊨ T ⟺ enrich_graph(G) ⊨ T^e on random graphs."""
+        from repro.dl.tbox import TBox
+        from repro.queries.testfree import enrich_tbox
+
+        tbox = TBox.of(cis)
+        signature = ["A"]
+        enrichment = enrich_tbox(tbox, signature, roles=["r"])
+        graph = random_graph(4, 6, ["A", "B", "C"], ["r"], seed=seed, label_probability=0.4)
+        enriched_graph = enrichment.enrich(graph)
+        assert tbox.satisfied_by(graph) == enrichment.satisfied_by_enriched(enriched_graph), seed
+
+    def test_inconsistent_enriched_edges_detected(self):
+        """An enriched edge lying about its source type violates T^e."""
+        from repro.dl.tbox import TBox
+        from repro.queries.testfree import enrich_tbox, enriched_role
+        from repro.graphs.types import Type
+
+        tbox = TBox.of([("A", "exists r.B")])
+        enrichment = enrich_tbox(tbox, ["A"], roles=["r"])
+        g = Graph()
+        g.add_node(0, ["A", "B"])
+        g.add_node(1, ["B"])
+        # claim the source is NOT of type {A} although it is... the lie is
+        # the inverse: source lacks A but the edge claims type {A}
+        g2 = Graph()
+        g2.add_node(0, ["B"])  # no A
+        g2.add_node(1, ["B"])
+        lie = enriched_role(__import__("repro.graphs.labels", fromlist=["Role"]).Role("r"),
+                            Type.of("A"), Type.of("!A"))
+        g2.add_edge(0, lie, 1)
+        assert not enrichment.satisfied_by_enriched(enrichment.base.complete(g2))

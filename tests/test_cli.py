@@ -1,0 +1,74 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import load_graph, load_schema, main
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "schema.tbox"
+    path.write_text(
+        "# typing\nCustomer <= forall owns.CredCard\nCustomer <= exists owns.CredCard\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.edges"
+    path.write_text("alice: Customer\ngold: CredCard\nalice -owns-> gold\n")
+    return str(path)
+
+
+class TestLoaders:
+    def test_load_schema(self, schema_file):
+        tbox = load_schema(schema_file)
+        assert len(tbox) == 2
+
+    def test_load_schema_error(self, tmp_path):
+        bad = tmp_path / "bad.tbox"
+        bad.write_text("no arrow here\n")
+        with pytest.raises(SystemExit):
+            load_schema(str(bad))
+
+    def test_load_graph(self, graph_file):
+        g = load_graph(graph_file)
+        assert g.has_label("alice", "Customer")
+        assert g.has_edge("alice", "owns", "gold")
+
+    def test_load_graph_bare_node(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("lonely\n")
+        assert "lonely" in load_graph(str(path))
+
+
+class TestCommands:
+    def test_contain_positive(self, schema_file, capsys):
+        rc = main([
+            "contain", "Customer(x), owns(x,y)", "owns(x,y), CredCard(y)",
+            "--schema", schema_file,
+        ])
+        assert rc == 0
+        assert "CONTAINED" in capsys.readouterr().out
+
+    def test_contain_negative_with_countermodel(self, capsys):
+        rc = main(["contain", "owns(x,y)", "CredCard(y)"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "NOT CONTAINED" in out and "countermodel" in out
+
+    def test_entail(self, schema_file, graph_file, capsys):
+        rc = main(["entail", graph_file, schema_file, "CredCard(y)"])
+        assert rc == 0
+        assert "ENTAILED" in capsys.readouterr().out
+
+    def test_eval(self, graph_file, capsys):
+        rc = main(["eval", graph_file, "Customer(x), owns(x,y)"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out and "alice" in out
+
+    def test_eval_no_match(self, graph_file, capsys):
+        rc = main(["eval", graph_file, "Zz(x)"])
+        assert rc == 1

@@ -1,0 +1,85 @@
+"""JSON round-trips for graphs, TBoxes, and queries."""
+
+import pytest
+
+from repro.dl.pg_schema import figure1_instance, figure1_schema
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.io import (
+    dump_graph,
+    dump_query,
+    dump_tbox,
+    load_graph,
+    load_query,
+    load_tbox,
+)
+from repro.queries.parser import parse_query
+
+
+class TestGraphIO:
+    def test_roundtrip_simple(self):
+        g = figure1_instance()
+        assert load_graph(dump_graph(g)) == g
+
+    def test_roundtrip_random(self):
+        for seed in range(5):
+            g = random_connected_graph(6, 3, ["A", "B"], ["r", "s"], seed=seed)
+            assert load_graph(dump_graph(g)) == g
+
+    def test_tuple_node_ids(self):
+        g = Graph()
+        g.add_node(("w", 0), ["A"])
+        g.add_node(("cmp", 1, ("tau", 0)))
+        g.add_edge(("w", 0), "r", ("cmp", 1, ("tau", 0)))
+        restored = load_graph(dump_graph(g))
+        assert restored == g
+        assert ("cmp", 1, ("tau", 0)) in restored
+
+    def test_empty_graph(self):
+        assert load_graph(dump_graph(Graph())) == Graph()
+
+
+class TestTBoxIO:
+    def test_roundtrip_semantics(self):
+        tbox = figure1_schema()
+        restored = load_tbox(dump_tbox(tbox))
+        assert restored.name == tbox.name
+        assert len(restored) == len(tbox)
+        # semantic equivalence on the reference instance and a mutant
+        g = figure1_instance()
+        assert restored.satisfied_by(g) == tbox.satisfied_by(g)
+        g.remove_edge("ada", "owns", "card1")
+        g.remove_edge("ada", "owns", "card2")
+        assert restored.satisfied_by(g) == tbox.satisfied_by(g)
+
+    def test_counting_and_inverse_roundtrip(self):
+        from repro.dl.tbox import TBox
+
+        tbox = TBox.of([("A", ">=2 r.B"), ("B", "forall s-.A")], name="t")
+        restored = load_tbox(dump_tbox(tbox))
+        assert len(restored) == 2
+        assert "2" in str(restored.cis[0]) and "s-" in str(restored.cis[1])
+
+
+class TestQueryIO:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A(x), r(x,y)",
+            "(owns.earns.{Partner}.owns*)(x,y)",
+            "A(x); B(x), (r|s-)*(x,y)",
+            "!A(x), r+(x,y)",
+        ],
+    )
+    def test_roundtrip_semantics(self, text):
+        from repro.graphs.generators import random_graph
+        from repro.queries.evaluation import satisfies_union
+
+        original = parse_query(text)
+        restored = load_query(dump_query(original))
+        for seed in range(6):
+            g = random_graph(4, 6, ["A", "B", "Partner"], ["r", "s", "owns", "earns"], seed=seed)
+            assert satisfies_union(g, original) == satisfies_union(g, restored), seed
+
+    def test_dump_accepts_text(self):
+        assert load_query(dump_query("A(x)")) == parse_query("A(x)")

@@ -1,0 +1,25 @@
+"""Shared utilities."""
+
+from repro.utils import fresh_name_factory, powerset, stable_unique
+
+
+class TestFreshNames:
+    def test_avoids_taken(self):
+        fresh = fresh_name_factory("X", taken=["X0", "X2"])
+        assert fresh() == "X1"
+        assert fresh() == "X3"
+
+    def test_never_repeats(self):
+        fresh = fresh_name_factory("Y")
+        names = {fresh() for _ in range(50)}
+        assert len(names) == 50
+
+
+class TestSetHelpers:
+    def test_powerset(self):
+        subsets = list(powerset([1, 2]))
+        assert subsets == [(), (1,), (2,), (1, 2)]
+
+    def test_stable_unique(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+        assert stable_unique([]) == []

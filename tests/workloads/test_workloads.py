@@ -1,0 +1,96 @@
+"""Workload generators: determinism, shapes, profile mix."""
+
+import random
+
+from repro.dl.normalize import normalize
+from repro.workloads import (
+    QueryLogProfile,
+    chain_schema,
+    log_like_queries,
+    random_simple_query,
+    star_schema,
+)
+
+
+class TestSchemas:
+    def test_chain_schema(self):
+        t = normalize(chain_schema(3))
+        assert len(t.at_leasts) == 3
+        assert t.fragment() == "ALC"
+
+    def test_chain_schema_universal_variant(self):
+        t = normalize(chain_schema(2, participation=False))
+        assert not t.has_participation_constraints()
+        assert len(t.universals) == 2
+
+    def test_star_schema(self):
+        t = normalize(star_schema(4))
+        assert len(t.role_names()) == 4
+
+
+class TestQueries:
+    def test_random_simple_is_simple(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            q = random_simple_query(rng, ["A", "B"], ["r", "s"], n_atoms=3)
+            assert q.is_simple()
+            assert q.is_connected()
+
+    def test_log_mix_determinism(self):
+        a = [(s, str(q)) for s, q in log_like_queries(30, ["A"], ["r"], seed=3)]
+        b = [(s, str(q)) for s, q in log_like_queries(30, ["A"], ["r"], seed=3)]
+        assert a == b
+
+    def test_log_mix_profile(self):
+        counts: dict[str, int] = {}
+        for shape, _q in log_like_queries(400, ["A", "B"], ["r", "s"], seed=1):
+            counts[shape] = counts.get(shape, 0) + 1
+        assert counts["single_edge"] > counts["concatenation"]
+        assert counts["single_edge"] + counts["transitive"] > 0.7 * 400
+
+    def test_shapes_classify_correctly(self):
+        for shape, query in log_like_queries(60, ["A"], ["r", "s"], seed=9):
+            if shape in ("single_edge", "transitive", "two_way"):
+                assert query.is_simple(), (shape, str(query))
+            if shape == "concatenation":
+                assert not query.is_simple()
+            if shape != "two_way":
+                assert query.is_one_way()
+
+    def test_custom_profile(self):
+        profile = QueryLogProfile(single_edge=1.0, transitive=0, concatenation=0, two_way=0)
+        shapes = {s for s, _ in log_like_queries(20, ["A"], ["r"], profile, seed=0)}
+        assert shapes == {"single_edge"}
+
+
+class TestERSchemas:
+    def test_deterministic(self):
+        from repro.workloads import ERProfile, random_er_tbox
+
+        a = random_er_tbox(ERProfile(entities=3), seed=7)
+        b = random_er_tbox(ERProfile(entities=3), seed=7)
+        assert [str(ci) for ci in a] == [str(ci) for ci in b]
+
+    def test_stays_in_alcq(self):
+        from repro.dl.normalize import normalize
+        from repro.workloads import ERProfile, random_er_tbox
+
+        for seed in range(6):
+            t = normalize(random_er_tbox(ERProfile(entities=4, relationships=4), seed=seed))
+            assert not t.uses_inverse_roles()
+            assert t.fragment() in ("ALC", "ALCQ")
+
+    def test_coherent(self):
+        from repro.dl.reasoning import is_coherent
+        from repro.workloads import ERProfile, random_er_tbox
+
+        report = is_coherent(random_er_tbox(ERProfile(entities=3, relationships=2), seed=1))
+        assert all(report.values())
+
+    def test_subtypes_and_disjointness_present(self):
+        from repro.workloads import ERProfile, random_er_schema
+
+        schema = random_er_schema(ERProfile(entities=3, subtypes_per_entity=2), seed=0)
+        tbox = schema.to_tbox()
+        text = str(tbox)
+        assert "E0S0" in text and "bottom" in text
