@@ -1,0 +1,137 @@
+"""E16 — bitset kernel vs frozenset types, serial vs parallel Tp fan-out.
+
+Two micro-comparisons behind the PR-1 performance work:
+
+* **kernel ops**: enumerating + clause-checking all maximal types over a
+  growing Γ₀, frozenset reference vs compiled bitmask kernel;
+* **Tp fan-out**: the per-type entailment calls of the Section 3 reduction,
+  serial vs a 2-worker process pool (verdict equality asserted — on a
+  single-core box the pool only demonstrates correctness, not speed).
+
+A JSON summary lands next to the text tables in ``benchmarks/results/``.
+"""
+
+import json
+import time
+
+from conftest import RESULTS_DIR, print_table
+
+from repro.core.reduction import ReductionConfig, contains_via_reduction
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.dl.types import clause_consistent_reference
+from repro.graphs.types import maximal_types
+from repro.kernel.bitset import CompiledClauses, TypeKernel
+from repro.queries.parser import parse_query
+
+
+def _chain_tbox(width: int):
+    """A_i ⊑ A_{i+1} chains: every second name forced, clauses everywhere."""
+    cis = [(f"A{i}", f"A{i+1}") for i in range(width - 1)]
+    return normalize(TBox.of(cis, name=f"chain{width}"))
+
+
+def _time(thunk) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = thunk()
+    return time.perf_counter() - start, value
+
+
+def test_kernel_vs_frozenset(benchmark):
+    def measure():
+        rows = []
+        summary = []
+        for width in (8, 12, 16):
+            tbox = _chain_tbox(width)
+            names = sorted(tbox.concept_names())
+
+            def via_reference():
+                return sum(
+                    1
+                    for sigma in maximal_types(names)
+                    if clause_consistent_reference(tbox, sigma)
+                )
+
+            def via_kernel():
+                compiled = CompiledClauses(TypeKernel(names), tbox.clauses)
+                return sum(1 for _ in compiled.consistent_bits())
+
+            ref_time, ref_count = _time(via_reference)
+            ker_time, ker_count = _time(via_kernel)
+            assert ref_count == ker_count
+            speedup = ref_time / ker_time if ker_time else float("inf")
+            rows.append(
+                [width, 2 ** width, ref_count,
+                 f"{ref_time * 1e3:.1f}ms", f"{ker_time * 1e3:.1f}ms",
+                 f"{speedup:.1f}x"]
+            )
+            summary.append(
+                {
+                    "gamma": width,
+                    "types": 2 ** width,
+                    "consistent": ref_count,
+                    "frozenset_s": ref_time,
+                    "bitset_s": ker_time,
+                    "speedup": speedup,
+                }
+            )
+        return rows, summary
+
+    (rows, summary) = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "E16a — consistent-type enumeration: frozenset vs bitset kernel",
+        ["|Γ₀|", "2^|Γ₀|", "consistent", "frozenset", "bitset", "speedup"],
+        rows,
+    )
+    _write_json("kernel_ops", summary)
+    # the kernel must win clearly at the largest size
+    assert summary[-1]["speedup"] > 2
+
+
+def test_tp_serial_vs_parallel(benchmark):
+    tbox = normalize(TBox.of([("A", "exists r.B"), ("B", "exists r.C")]))
+    lhs = next(iter(parse_query("A(x)")))
+    rhs = parse_query("D(x)")
+
+    def measure():
+        serial_time, serial = _time(
+            lambda: contains_via_reduction(
+                lhs, rhs, tbox, config=ReductionConfig(use_tp_memo=False)
+            )
+        )
+        parallel_time, parallel = _time(
+            lambda: contains_via_reduction(
+                lhs, rhs, tbox,
+                config=ReductionConfig(workers=2, use_tp_memo=False),
+            )
+        )
+        assert parallel.contained == serial.contained
+        assert parallel.complete == serial.complete
+        return serial_time, parallel_time, serial.contained
+
+    serial_time, parallel_time, contained = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print_table(
+        "E16b — Tp fan-out: serial vs 2-worker process pool",
+        ["mode", "time", "verdict"],
+        [
+            ["serial", f"{serial_time * 1e3:.1f}ms", str(contained)],
+            ["workers=2", f"{parallel_time * 1e3:.1f}ms", str(contained)],
+        ],
+    )
+    _write_json(
+        "tp_fanout",
+        {"serial_s": serial_time, "workers2_s": parallel_time,
+         "verdicts_equal": True},
+    )
+
+
+def _write_json(section: str, payload) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "bench_kernel.json"
+    data = {}
+    if path.exists():
+        data = json.loads(path.read_text())
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2) + "\n")

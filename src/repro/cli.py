@@ -34,6 +34,10 @@ from repro.queries.evaluation import find_union_match
 from repro.queries.parser import parse_query
 
 
+def _parse_workers(value: str):
+    return value if value == "auto" else int(value)
+
+
 def load_schema(path: str) -> TBox:
     cis = []
     for line_no, raw in enumerate(Path(path).read_text().splitlines(), 1):
@@ -71,8 +75,20 @@ def load_graph(path: str) -> Graph:
 
 
 def cmd_contain(args: argparse.Namespace) -> int:
-    tbox = load_schema(args.schema) if args.schema else None
-    result = is_contained(args.lhs, args.rhs, tbox, method=args.method)
+    if args.preset:
+        from repro.dl.pg_schema import figure1_schema
+        from repro.queries.presets import example_11_q1, example_11_q2
+
+        if args.lhs or args.rhs or args.schema:
+            raise SystemExit("--preset replaces the lhs/rhs/--schema arguments")
+        lhs, rhs = example_11_q1(), example_11_q2()
+        tbox = figure1_schema()
+    else:
+        if not args.lhs or not args.rhs:
+            raise SystemExit("contain requires lhs and rhs queries (or --preset)")
+        lhs, rhs = args.lhs, args.rhs
+        tbox = load_schema(args.schema) if args.schema else None
+    result = is_contained(lhs, rhs, tbox, method=args.method, workers=args.workers)
     verdict = "CONTAINED" if result.contained else "NOT CONTAINED"
     certainty = "certain" if result.complete else "within search budgets"
     print(f"{verdict}  (method: {result.method}, {certainty})")
@@ -118,12 +134,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     contain = sub.add_parser("contain", help="decide P ⊆_T Q")
-    contain.add_argument("lhs", help="left query P")
-    contain.add_argument("rhs", help="right query Q")
+    contain.add_argument("lhs", nargs="?", default=None, help="left query P")
+    contain.add_argument("rhs", nargs="?", default=None, help="right query Q")
     contain.add_argument("--schema", help="TBox file", default=None)
     contain.add_argument(
         "--method", default="auto",
         choices=["auto", "baseline", "sparse", "reduction", "direct"],
+    )
+    contain.add_argument(
+        "--workers", default=1, type=_parse_workers, metavar="N",
+        help="process count for the candidate fan-out (int or 'auto'); "
+        "verdicts are identical for any value",
+    )
+    contain.add_argument(
+        "--preset", default=None, choices=["example11"],
+        help="run a built-in instance (Example 1.1: q1 vs q2 under the "
+        "Figure 1 schema) instead of giving queries",
     )
     contain.set_defaults(func=cmd_contain)
 

@@ -20,17 +20,19 @@ budgets; ``complete`` reports whether the verdict is certain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 from repro.core.baseline import contained_no_schema, expansions
 from repro.core.display import strip_internal_labels
-from repro.core.reduction import ReductionConfig, contains_via_reduction
-from repro.core.search import CountermodelSearch, SearchLimits
+from repro.core.reduction import ReductionConfig, contains_via_reduction, query_key
+from repro.core.search import CountermodelSearch, SearchLimits, SearchOutcome
 from repro.core.sparse_search import contained_without_participation
 from repro.dl.normalize import NormalizedTBox, normalize
 from repro.dl.tbox import TBox
 from repro.graphs.graph import Graph
+from repro.kernel.memo import BoundedMemo
+from repro.kernel.parallel import parallel_map, resolve_workers
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import satisfies, satisfies_union
 from repro.queries.parser import parse_query
@@ -45,6 +47,39 @@ class ContainmentOptions:
         default_factory=lambda: SearchLimits(max_nodes=12, max_steps=30_000)
     )
     reduction: ReductionConfig = field(default_factory=ReductionConfig)
+    workers: Union[int, str, None] = 1
+    """Process count for per-candidate fan-out (1 = serial, "auto" = CPUs).
+    Any value yields the same verdicts, countermodels, and counters as a
+    serial run — parallel reductions are serial-equivalent by construction."""
+    use_cache: bool = True
+    """Memoize whole decisions across calls, keyed by the canonical query
+    keys, the schema's :meth:`NormalizedTBox.content_key`, and every option
+    that can influence the outcome."""
+
+
+_DECISION_MEMO = BoundedMemo(max_entries=2048)
+"""Cross-call containment-decision cache (see ContainmentOptions.use_cache)."""
+
+
+def _options_key(options: ContainmentOptions, workers: int) -> tuple:
+    limits = options.limits
+    red = options.reduction
+    return (
+        options.max_word_length,
+        options.max_expansions,
+        (limits.max_nodes, limits.max_steps, limits.max_fresh_types),
+        (
+            red.max_word_length,
+            red.max_expansions,
+            (red.central_limits.max_nodes, red.central_limits.max_steps,
+             red.central_limits.max_fresh_types),
+            (red.peripheral_limits.max_nodes, red.peripheral_limits.max_steps,
+             red.peripheral_limits.max_fresh_types),
+            red.tp_precompute_cap,
+            red.use_tp_memo,
+        ),
+        workers,
+    )
 
 
 @dataclass
@@ -92,28 +127,55 @@ def _supported_combination(lhs: UCRPQ, rhs: UCRPQ, tbox: NormalizedTBox) -> bool
     return False
 
 
+def _direct_task(payload) -> SearchOutcome:
+    """Picklable per-expansion direct search for the process pool."""
+    tbox, rhs, seed_graph, limits, disjunct = payload
+    search = CountermodelSearch(
+        tbox,
+        rhs,
+        seed_graph,
+        limits=limits,
+        accept=lambda g: satisfies(g, disjunct),
+    )
+    return search.run()
+
+
 def _direct_search(
     disjunct: CRPQ,
     rhs: UCRPQ,
     tbox: NormalizedTBox,
     options: ContainmentOptions,
+    workers: int = 1,
 ) -> tuple[Optional[Graph], int, bool]:
     """Chase for a T-model satisfying the disjunct and avoiding Q.
 
     Returns (countermodel | None, seeds tried, all searches exhausted).
+    With ``workers`` > 1 the per-expansion searches run on a process pool;
+    the reported winner is the first in expansion order, so the result is
+    identical to the serial run.
     """
+    if workers > 1:
+        candidates = list(
+            expansions(disjunct, options.max_word_length, options.max_expansions)
+        )
+        payloads = [
+            (tbox, rhs, e.graph, options.limits, disjunct) for e in candidates
+        ]
+        outcomes = parallel_map(_direct_task, payloads, workers=workers)
+        for index, outcome in enumerate(outcomes):
+            if outcome.found:
+                model = outcome.countermodel
+                assert tbox.satisfied_by(model)
+                assert satisfies(model, disjunct)
+                assert not satisfies_union(model, rhs)
+                return model, index + 1, True
+        return None, len(outcomes), all(o.exhausted for o in outcomes)
+
     seeds = 0
     all_exhausted = True
     for expansion in expansions(disjunct, options.max_word_length, options.max_expansions):
         seeds += 1
-        search = CountermodelSearch(
-            tbox,
-            rhs,
-            expansion.graph,
-            limits=options.limits,
-            accept=lambda g: satisfies(g, disjunct),
-        )
-        outcome = search.run()
+        outcome = _direct_task((tbox, rhs, expansion.graph, options.limits, disjunct))
         if outcome.found:
             model = outcome.countermodel
             assert tbox.satisfied_by(model)
@@ -131,11 +193,17 @@ def is_contained(
     tbox: Union[None, TBox, NormalizedTBox] = None,
     method: str = "auto",
     options: Optional[ContainmentOptions] = None,
+    workers: Union[int, str, None] = None,
 ) -> ContainmentResult:
     """Decide P ⊆_T Q (Boolean containment over finite graphs).
 
     ``method`` is one of ``auto``, ``baseline``, ``sparse``, ``reduction``,
     ``direct``; ``auto`` picks per the table in the module docstring.
+
+    ``workers`` overrides ``options.workers`` when given; any worker count
+    yields bit-identical results (parallel fan-outs reduce in serial order).
+    Decisions are memoized across calls (``options.use_cache``) keyed by the
+    canonical query forms, the schema's content key, and all budgets.
     """
     if method not in ("auto", "baseline", "sparse", "reduction", "direct"):
         raise ValueError(f"unknown method {method!r}")
@@ -143,7 +211,39 @@ def is_contained(
     rhs_u = _coerce_query(rhs)
     normalized = _coerce_tbox(tbox)
     options = options or ContainmentOptions()
+    pool = resolve_workers(workers if workers is not None else options.workers)
 
+    cache_key = None
+    if options.use_cache:
+        cache_key = (
+            method,
+            query_key(lhs_u),
+            query_key(rhs_u),
+            normalized.content_key() if normalized is not None else None,
+            _options_key(options, pool),
+        )
+        hit = _DECISION_MEMO.get(cache_key)
+        if hit is not None:
+            model = hit.countermodel.copy() if hit.countermodel is not None else None
+            return replace(hit, countermodel=model)
+
+    result = _decide(lhs_u, rhs_u, normalized, method, options, pool)
+    if cache_key is not None:
+        # store a private copy so later caller mutations of the returned
+        # countermodel cannot poison the cache
+        model = result.countermodel.copy() if result.countermodel is not None else None
+        _DECISION_MEMO.put(cache_key, replace(result, countermodel=model))
+    return result
+
+
+def _decide(
+    lhs_u: UCRPQ,
+    rhs_u: UCRPQ,
+    normalized: Optional[NormalizedTBox],
+    method: str,
+    options: ContainmentOptions,
+    pool: int,
+) -> ContainmentResult:
     if normalized is None or method == "baseline":
         base = contained_no_schema(
             lhs_u, rhs_u, options.max_word_length, options.max_expansions
@@ -156,6 +256,15 @@ def is_contained(
     supported = _supported_combination(lhs_u, rhs_u, normalized)
 
     if method == "auto":
+        # sound syntactic screen: a disjunct textually present on the right
+        # is contained in the union outright; if every left disjunct is,
+        # P ⊆ Q holds on all graphs, schema or not
+        lhs_keys = query_key(lhs_u)
+        rhs_keys = set(query_key(rhs_u))
+        if lhs_keys and all(key in rhs_keys for key in lhs_keys):
+            return ContainmentResult(
+                True, True, "syntactic", supported_by_theory=supported
+            )
         if not normalized.has_participation_constraints() and not (
             normalized.uses_inverse_roles() and normalized.uses_counting()
         ):
@@ -168,6 +277,7 @@ def is_contained(
             result = contained_without_participation(
                 disjunct, rhs_u, normalized,
                 options.max_word_length, options.max_expansions, options.limits,
+                workers=pool,
             )
             if not result.contained:
                 return ContainmentResult(
@@ -180,9 +290,12 @@ def is_contained(
         )
 
     if method == "reduction":
+        config = options.reduction
+        if pool != resolve_workers(config.workers):
+            config = replace(config, workers=pool)
         for disjunct in lhs_u:
             result = contains_via_reduction(
-                disjunct, rhs_u, normalized, config=options.reduction
+                disjunct, rhs_u, normalized, config=config
             )
             if not result.contained:
                 return ContainmentResult(
@@ -198,7 +311,9 @@ def is_contained(
         total_seeds = 0
         certain = True
         for disjunct in lhs_u:
-            model, seeds, exhausted = _direct_search(disjunct, rhs_u, normalized, options)
+            model, seeds, exhausted = _direct_search(
+                disjunct, rhs_u, normalized, options, workers=pool
+            )
             total_seeds += seeds
             certain = certain and exhausted
             if model is not None:

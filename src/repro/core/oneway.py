@@ -23,6 +23,14 @@ The type space is 2^|Γ₀| — doubly exponential in the input overall, exactly
 the complexity the paper predicts.  ``max_types`` guards against accidental
 blow-ups; pass a hand-crafted factorization (e.g. the paper's Example 3.6)
 to keep Γ₀ small.
+
+The elimination itself runs as a dependency-tracking worklist on the bitset
+kernel (:mod:`repro.kernel.bitset`): each survivor records the types its
+productivity witness realizes and the leaf types of its connector, and is
+re-examined only when one of those supporting types dies.  Because the
+recorded witness graph remains a genuine witness as long as its support
+survives, skipped re-checks are semantically exact — the fixpoint is the
+same greatest fixpoint the round-based restart-the-world loop computed.
 """
 
 from __future__ import annotations
@@ -36,10 +44,10 @@ from repro.core.frames import ConcreteFrame, coil_frame
 from repro.core.search import SearchLimits
 from repro.dl.fragments import backward_projection, forward_projection
 from repro.dl.normalize import AtLeastCI, ClauseCI, NormalizedTBox
-from repro.dl.types import clause_consistent
 from repro.graphs.graph import Graph, PointedGraph
 from repro.graphs.labels import NodeLabel
-from repro.graphs.types import Type, maximal_types, type_of
+from repro.graphs.types import Type, realized_types, type_of
+from repro.kernel.bitset import compiled_clauses_for, inert_partition
 from repro.queries.evaluation import satisfies_union
 from repro.queries.factorization import Factorization, factorize
 from repro.queries.ucrpq import UCRPQ
@@ -59,6 +67,9 @@ class OneWayResult:
     type_counts: list[int]
     complete: bool
     gamma: list[str] = field(default_factory=list)
+    round_stats: list[dict] = field(default_factory=list)
+    """Per-wave counters: types checked, productivity runs, cache hits,
+    witnesses (component models + connector stars) materialized, eliminated."""
 
     def __bool__(self) -> bool:
         return self.realizable
@@ -88,6 +99,13 @@ def _materialize_connector(
         # for a backward centre (outgoing edges); add_edge resolves inverses
         star.add_edge(centre_node, ci.role, leaf)
     return star
+
+
+def _consistent_gamma_types(tbox: NormalizedTBox, gamma: Iterable[str]) -> set[Type]:
+    """All clause-consistent maximal types over Γ₀, via the bitset kernel."""
+    compiled = compiled_clauses_for(tbox, gamma)
+    decode = compiled.kernel.decode
+    return {decode(bits) for bits in compiled.consistent_bits()}
 
 
 def realizable_refuting_oneway(
@@ -122,55 +140,154 @@ def realizable_refuting_oneway(
             "use a smaller signature or a hand-crafted factorization"
         )
 
-    t_fwd = forward_projection(tbox)
-    t_bwd = backward_projection(tbox)
+    # signature separation: names whose coupling component touches neither
+    # τ, the query, the direction label, nor any role CI are *inert* — the
+    # type space factors as (core types) × (inert assignments), eliminations
+    # remove whole slabs, and witnesses lift by decorating nodes with any
+    # consistent inert assignment.  Run the fixpoint over the core only and
+    # multiply the counts back.
+    seeds = (
+        {DIRECTION_LABEL} | {lbl.name for lbl in tau} | q_hat.node_label_names()
+    )
+    core_names, inert_names, inert_scale = inert_partition(tbox, gamma, seeds)
+    work_gamma = gamma
+    work_tbox = tbox
+    if inert_names:
+        work_gamma = list(core_names)
+        inert_set = set(inert_names)
+        # inert-only clauses constrain the dropped factor; compiling them
+        # over the core signature would mis-fold (their literals read as
+        # absent labels), so strip them from the working TBox
+        work_tbox = NormalizedTBox(
+            clauses=[
+                cl
+                for cl in tbox.clauses
+                if not all(l.name in inert_set for l in cl.body | cl.head)
+            ],
+            universals=list(tbox.universals),
+            at_leasts=list(tbox.at_leasts),
+            at_mosts=list(tbox.at_mosts),
+            original=tbox.original,
+            fresh_names=set(tbox.fresh_names),
+            name=f"{tbox.name}_core",
+        )
+    if inert_scale == 0:
+        # no consistent inert assignment: no consistent types at all
+        return OneWayResult(False, 1, [0, 0], True, gamma, [])
+
+    t_fwd = forward_projection(work_tbox)
+    t_bwd = backward_projection(work_tbox)
     component_tbox = {
         True: t_fwd.extend(clauses=[_direction_clause(True)], name="fwd_component"),
         False: t_bwd.extend(clauses=[_direction_clause(False)], name="bwd_component"),
     }
     connector_tbox = {True: t_bwd, False: t_fwd}
+    # the projections copy T's clause list verbatim, and Γ₀ covers every
+    # clause name — so clause CIs hold at any clause-consistent centre by
+    # construction and only the role CIs need re-checking on candidate stars
+    centre_role_cis = {
+        side: list(ct.universals) + list(ct.at_leasts) + list(ct.at_mosts)
+        for side, ct in connector_tbox.items()
+    }
 
     # start from all clause-consistent maximal types (clause-inconsistent
     # ones are unrealizable in any T-model, a sound pre-elimination)
-    psi: set[Type] = {
-        sigma for sigma in maximal_types(gamma) if clause_consistent(tbox, sigma)
+    psi = _consistent_gamma_types(work_tbox, work_gamma)
+    if not psi:
+        return OneWayResult(False, 1, [0, 0], True, gamma, [])
+    # precomputed total order: str-keying inside the loops would re-render
+    # every type on every comparison
+    str_key = {sigma: str(sigma) for sigma in psi}
+    side_sets = {
+        True: {s for s in psi if _is_forward(s)},
+        False: {s for s in psi if not _is_forward(s)},
     }
+    side_version = {True: 0, False: 0}
+
     complete = True
     type_counts: list[int] = [len(psi)]
-    productivity_cache: dict[tuple[Type, frozenset[Type]], bool] = {}
+    round_stats: list[dict] = []
     iterations = 0
 
-    def productive(sigma: Type, same_side: frozenset[Type]) -> bool:
+    # productivity memo (retained across waves — a survivor re-checked with
+    # an unchanged same-side set must not re-run the chase) plus witness
+    # supports: the types each survivor's witnesses actually rely on
+    productivity_cache: dict[tuple[Type, frozenset[Type]], tuple[bool, Optional[frozenset[Type]]]] = {}
+    prod_support: dict[Type, frozenset[Type]] = {}
+    conn_support: dict[Type, frozenset[Type]] = {}
+    dependents: dict[Type, set[Type]] = {}
+
+    # per-(side version, filler) candidate lists, str-ordered once
+    candidate_cache: dict[tuple, list[Type]] = {}
+
+    def candidates_for(opposite_forward: bool, filler: NodeLabel) -> list[Type]:
+        key = (opposite_forward, side_version[opposite_forward], filler)
+        cached = candidate_cache.get(key)
+        if cached is None:
+            pool = sorted(side_sets[opposite_forward], key=str_key.__getitem__)
+            cached = [
+                theta
+                for theta in pool
+                if (filler in theta)
+                or (filler.negated and filler.name not in theta.signature())
+            ]
+            candidate_cache[key] = cached
+        return cached
+
+    def productive(sigma: Type, stats: dict) -> bool:
         nonlocal complete
-        key = (sigma, same_side)
-        if key not in productivity_cache:
+        forward = _is_forward(sigma)
+        same = side_sets[forward]
+        support = prod_support.get(sigma)
+        if support is not None and support <= same:
+            # the recorded witness component only realizes surviving types,
+            # so it is still a witness — no re-run needed
+            stats["cache_hits"] += 1
+            return True
+        same_frozen = frozenset(same)
+        key = (sigma, same_frozen)
+        cached = productivity_cache.get(key)
+        if cached is not None:
+            stats["cache_hits"] += 1
+            found, support = cached
+        else:
+            stats["productivity_runs"] += 1
             outcome = realizable_type(
                 sigma,
-                component_tbox[_is_forward(sigma)],
+                component_tbox[forward],
                 q_hat,
-                allowed_types=same_side,
-                type_signature=gamma,
+                allowed_types=same_frozen,
+                type_signature=work_gamma,
                 limits=limits,
             )
             if not outcome.found and not outcome.exhausted:
                 complete = False
-            productivity_cache[key] = outcome.found
-        return productivity_cache[key]
+            support = None
+            if outcome.found:
+                stats["witnesses_materialized"] += 1
+                support = frozenset(realized_types(outcome.countermodel, work_gamma))
+            found = outcome.found
+            productivity_cache[key] = (found, support)
+        if found and support is not None:
+            prod_support[sigma] = support
+            for theta in support:
+                dependents.setdefault(theta, set()).add(sigma)
+        return found
 
-    def connector_exists(sigma: Type, opposite: frozenset[Type]) -> bool:
+    def connector_exists(sigma: Type, stats: dict) -> bool:
         """A directed connector refuting Q with centre σ satisfying the
-        opposite-side TBox, leaves typed from ``opposite``."""
-        side_tbox = connector_tbox[_is_forward(sigma)]
+        opposite-side TBox, leaves typed from the opposite side of Ψ."""
+        forward = _is_forward(sigma)
+        support = conn_support.get(sigma)
+        if support is not None and support <= side_sets[not forward]:
+            stats["cache_hits"] += 1
+            return True
+        side_tbox = connector_tbox[forward]
         applicable = [ci for ci in side_tbox.at_leasts if ci.subject in sigma]
         # candidate leaf types per constraint (must carry the filler)
         options: list[list[Type]] = []
         for ci in applicable:
-            candidates = [
-                theta
-                for theta in sorted(opposite, key=str)
-                if (ci.filler in theta)
-                or (ci.filler.negated and ci.filler.name not in theta.signature())
-            ]
+            candidates = candidates_for(not forward, ci.filler)
             # with counting disallowed (ALCI), one witness per constraint
             # suffices, but it must exist
             if not candidates:
@@ -181,36 +298,58 @@ def realizable_refuting_oneway(
             total *= len(candidates)
             if total > max_connector_candidates:
                 raise ProcedureInfeasible("connector candidate space too large")
+        centre = ("c", 0)
         for pick in product(*options) if options else [()]:
             star = _materialize_connector(sigma, list(zip(applicable, pick)))
-            centre = ("c", 0)
-            if not all(ci.holds_at(star, centre) for ci in side_tbox.all_cis()):
+            stats["witnesses_materialized"] += 1
+            if not all(ci.holds_at(star, centre) for ci in centre_role_cis[forward]):
                 continue
             if satisfies_union(star, q_hat):
                 continue
+            leaves = frozenset(pick)
+            conn_support[sigma] = leaves
+            for theta in leaves:
+                dependents.setdefault(theta, set()).add(sigma)
             return True
         return False
 
-    while True:
+    pending = sorted(psi, key=str_key.__getitem__)
+    while pending:
         iterations += 1
-        forward_types = frozenset(s for s in psi if _is_forward(s))
-        backward_types = frozenset(s for s in psi if not _is_forward(s))
-        survivors: set[Type] = set()
-        for sigma in sorted(psi, key=str):
-            same = forward_types if _is_forward(sigma) else backward_types
-            opposite = backward_types if _is_forward(sigma) else forward_types
-            if productive(sigma, same) and connector_exists(sigma, opposite):
-                survivors.add(sigma)
-        type_counts.append(len(survivors))
-        if survivors == psi:
-            break
-        psi = survivors
-        productivity_cache.clear()  # conditions are relative to Ψ
+        stats = {
+            "checked": 0,
+            "productivity_runs": 0,
+            "cache_hits": 0,
+            "witnesses_materialized": 0,
+            "eliminated": 0,
+        }
+        eliminated_now: list[Type] = []
+        for sigma in pending:
+            if sigma not in psi:
+                continue
+            stats["checked"] += 1
+            if productive(sigma, stats) and connector_exists(sigma, stats):
+                continue
+            psi.discard(sigma)
+            side_sets[_is_forward(sigma)].discard(sigma)
+            side_version[_is_forward(sigma)] += 1
+            eliminated_now.append(sigma)
+        stats["eliminated"] = len(eliminated_now)
+        type_counts.append(len(psi))
+        round_stats.append(stats)
         if not psi:
             break
+        affected: set[Type] = set()
+        for theta in eliminated_now:
+            affected |= dependents.pop(theta, set())
+        pending = sorted(
+            (s for s in affected if s in psi), key=str_key.__getitem__
+        )
 
     realizable = any(tau <= sigma for sigma in psi)
-    return OneWayResult(realizable, iterations, type_counts, complete, gamma)
+    if inert_scale != 1:
+        type_counts = [count * inert_scale for count in type_counts]
+    return OneWayResult(realizable, iterations, type_counts, complete, gamma, round_stats)
 
 
 def synthesize_countermodel_oneway(
@@ -259,11 +398,12 @@ def synthesize_countermodel_oneway(
         return None
 
     # recompute Ψ and keep witnesses + connector choices per type
+    all_types = _consistent_gamma_types(tbox, gamma)
+    str_key = {sigma: str(sigma) for sigma in all_types}
+    by_key = str_key.__getitem__
     psi: set[Type] = set()
     witnesses: dict[Type, Graph] = {}
-    for sigma in maximal_types(gamma):
-        if not clause_consistent(tbox, sigma):
-            continue
+    for sigma in sorted(all_types, key=by_key):
         outcome = realizable_type(
             sigma,
             component_tbox[_is_forward(sigma)],
@@ -277,7 +417,7 @@ def synthesize_countermodel_oneway(
     def connector_witness(sigma: Type, pool: set[Type]) -> Optional[list[tuple[AtLeastCI, Type]]]:
         """One leaf-type choice per applicable opposite-side constraint."""
         side_tbox = connector_tbox[_is_forward(sigma)]
-        opposite = [s for s in sorted(pool, key=str) if _is_forward(s) != _is_forward(sigma)]
+        opposite = [s for s in sorted(pool, key=by_key) if _is_forward(s) != _is_forward(sigma)]
         applicable = [ci for ci in side_tbox.at_leasts if ci.subject in sigma]
         choices: list[list[Type]] = []
         for ci in applicable:
@@ -301,7 +441,7 @@ def synthesize_countermodel_oneway(
     while True:
         stable = True
         connectors = {}
-        for sigma in sorted(psi, key=str):
+        for sigma in sorted(psi, key=by_key):
             same = frozenset(s for s in psi if _is_forward(s) == _is_forward(sigma))
             outcome = realizable_type(
                 sigma,
@@ -321,7 +461,7 @@ def synthesize_countermodel_oneway(
                 break
         if stable:
             break
-    start = next((sigma for sigma in sorted(psi, key=str) if tau <= sigma), None)
+    start = next((sigma for sigma in sorted(psi, key=by_key) if tau <= sigma), None)
     if start is None:
         return None
 
@@ -333,14 +473,14 @@ def synthesize_countermodel_oneway(
     )
     tags = ["root"] + role_tags
     frame = ConcreteFrame({})
-    for index, sigma in enumerate(sorted(psi, key=str)):
+    for index, sigma in enumerate(sorted(psi, key=by_key)):
         witness = witnesses[sigma]
         for tag in tags:
             copy = witness.relabel_nodes(lambda v, i=index, t=tag: ("cmp", i, t, v))
             frame.add_component(
                 (sigma, tag), PointedGraph(copy, ("cmp", index, tag, ("tau", 0)))
             )
-    for sigma in sorted(psi, key=str):
+    for sigma in sorted(psi, key=by_key):
         for tag in tags:
             component = frame.components[(sigma, tag)].graph
             for node in component.node_list():

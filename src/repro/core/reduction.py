@@ -24,8 +24,11 @@ from repro.core.entailment import realizable_type
 from repro.core.search import CountermodelSearch, SearchLimits, SearchOutcome
 from repro.core.starlike import Attachment, StarLikeGraph
 from repro.dl.normalize import NormalizedTBox
+from repro.dl.types import consistent_types
 from repro.graphs.graph import Graph, Node
 from repro.graphs.types import Type, type_of
+from repro.kernel.memo import BoundedMemo
+from repro.kernel.parallel import parallel_map, resolve_workers
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import satisfies, satisfies_union
 from repro.queries.factorization import Factorization, factorize
@@ -42,6 +45,30 @@ class ReductionConfig:
     peripheral_limits: SearchLimits = field(
         default_factory=lambda: SearchLimits(max_nodes=8, max_steps=20_000)
     )
+    workers: int = 1
+    """Process count for the Tp fan-out; 1 (default) runs fully serial."""
+    tp_precompute_cap: int = 256
+    """With ``workers`` > 1, precompute Tp for all clause-consistent types
+    when there are at most this many; beyond the cap Tp stays lazy/serial."""
+    use_tp_memo: bool = True
+    """Share Tp verdicts across decisions with structurally equal inputs."""
+
+
+def query_key(query: UCRPQ) -> tuple:
+    """A canonical, hashable key for a UCRPQ (atoms + isolated variables)."""
+    return tuple(
+        (
+            tuple(str(atom) for atom in disjunct.atoms),
+            tuple(sorted(str(v) for v in disjunct.isolated_variables)),
+        )
+        for disjunct in query
+    )
+
+
+_TP_MEMO = BoundedMemo(max_entries=4096)
+"""Cross-decision Tp cache: workloads re-deciding structurally equal
+(T, Q̂) pairs (keyed via :meth:`NormalizedTBox.content_key`) reuse per-type
+entailment verdicts and their witnessing models."""
 
 
 @dataclass
@@ -58,24 +85,69 @@ class ReductionResult:
 
 
 class _TpOracle:
-    """Lazily decides τ ∈ Tp(T, Q̂), caching witnessing models."""
+    """Lazily decides τ ∈ Tp(T, Q̂), caching witnessing models.
 
-    def __init__(self, tbox: NormalizedTBox, q_hat: UCRPQ, limits: SearchLimits) -> None:
+    Verdicts are additionally shared through the module-level
+    :data:`_TP_MEMO`, so a workload deciding many containments against the
+    same schema pays for each (τ, T, Q̂) entailment once.  ``calls`` counts
+    oracle queries per unique τ (memo hits included); ``computed`` counts
+    actual chase runs.
+    """
+
+    def __init__(
+        self,
+        tbox: NormalizedTBox,
+        q_hat: UCRPQ,
+        limits: SearchLimits,
+        use_memo: bool = True,
+    ) -> None:
         self.tbox = tbox
         self.q_hat = q_hat
         self.limits = limits
         self.cache: dict[Type, SearchOutcome] = {}
         self.calls = 0
+        self.computed = 0
         self.uncertain = False
+        self._memo_prefix = (
+            (tbox.content_key(), query_key(q_hat),
+             limits.max_nodes, limits.max_steps, limits.max_fresh_types)
+            if use_memo
+            else None
+        )
+
+    def _outcome(self, tau: Type) -> SearchOutcome:
+        memo_key = None
+        if self._memo_prefix is not None:
+            memo_key = (*self._memo_prefix, tau)
+            cached = _TP_MEMO.get(memo_key)
+            if cached is not None:
+                return cached
+        self.computed += 1
+        outcome = realizable_type(tau, self.tbox, self.q_hat, limits=self.limits)
+        if memo_key is not None:
+            _TP_MEMO.put(memo_key, outcome)
+        return outcome
+
+    def seed(self, tau: Type, outcome: SearchOutcome) -> None:
+        """Install a precomputed outcome (the parallel fan-out path)."""
+        self.cache[tau] = outcome
+        if self._memo_prefix is not None:
+            _TP_MEMO.put((*self._memo_prefix, tau), outcome)
 
     def witness(self, tau: Type) -> Optional[Graph]:
         if tau not in self.cache:
             self.calls += 1
-            outcome = realizable_type(tau, self.tbox, self.q_hat, limits=self.limits)
+            outcome = self._outcome(tau)
             if not outcome.found and not outcome.exhausted:
                 self.uncertain = True
             self.cache[tau] = outcome
         return self.cache[tau].countermodel
+
+
+def _tp_task(payload) -> SearchOutcome:
+    """Picklable per-type Tp entailment call for the process pool."""
+    tau, tbox, q_hat, limits = payload
+    return realizable_type(tau, tbox, q_hat, limits=limits)
 
 
 def contains_via_reduction(
@@ -98,7 +170,28 @@ def contains_via_reduction(
     t_zero = tbox.without_participation()
     alcq_mode = tbox.uses_counting()
     signature = sorted(tbox.concept_names() | q_hat.node_label_names())
-    oracle = _TpOracle(tbox, q_hat, config.peripheral_limits)
+    oracle = _TpOracle(
+        tbox, q_hat, config.peripheral_limits, use_memo=config.use_tp_memo
+    )
+
+    workers = resolve_workers(config.workers)
+    if workers > 1:
+        # fan the per-type Tp entailments out over a process pool up front;
+        # results are installed into the oracle so the decision itself stays
+        # deterministic and identical to a serial run
+        candidates = [
+            tau
+            for tau in consistent_types(tbox, signature)
+            if any(ci.subject in tau for ci in tbox.at_leasts)
+        ]
+        if 0 < len(candidates) <= config.tp_precompute_cap:
+            payloads = [
+                (tau, tbox, q_hat, config.peripheral_limits) for tau in candidates
+            ]
+            outcomes = parallel_map(_tp_task, payloads, workers=workers)
+            for tau, outcome in zip(candidates, outcomes):
+                if outcome is not None:
+                    oracle.seed(tau, outcome)
 
     def violating_nodes(graph: Graph) -> list[Node]:
         nodes = []

@@ -21,10 +21,11 @@ from typing import Optional
 
 from repro.automata.product import witness_path
 from repro.core.baseline import expansions
-from repro.core.search import CountermodelSearch, SearchLimits
+from repro.core.search import CountermodelSearch, SearchLimits, SearchOutcome
 from repro.dl.normalize import NormalizedTBox
 from repro.graphs.graph import Graph, Node
 from repro.graphs.labels import NodeLabel
+from repro.kernel.parallel import first_success, resolve_workers
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import matches, satisfies_union
 from repro.queries.ucrpq import UCRPQ
@@ -89,6 +90,20 @@ class SparseSearchResult:
         return self.contained
 
 
+def _sparse_task(payload) -> SearchOutcome:
+    """Picklable per-candidate search for the process pool (the accept
+    closure is rebuilt worker-side)."""
+    tbox, rhs, seed_graph, limits = payload
+    search = CountermodelSearch(
+        tbox,
+        rhs,
+        seed_graph,
+        limits=limits,
+        accept=lambda g: not satisfies_union(g, rhs),
+    )
+    return search.run()
+
+
 def contained_without_participation(
     lhs: CRPQ,
     rhs: UCRPQ,
@@ -96,6 +111,7 @@ def contained_without_participation(
     max_word_length: int = 4,
     max_expansions: int = 500,
     limits: Optional[SearchLimits] = None,
+    workers: int = 1,
 ) -> SparseSearchResult:
     """Theorem 3.2: containment p ⊆_T Q for T without participation
     constraints, by search over |p|-sparse countermodel candidates.
@@ -103,21 +119,39 @@ def contained_without_participation(
     Each canonical expansion of p is a sparse candidate; since T has no
     at-least CIs, the chase never adds nodes or edges and merely resolves
     label obligations, so candidates stay sparse.
+
+    With ``workers`` > 1 the per-candidate searches fan out over a process
+    pool; the winning candidate is the first in expansion order (not first
+    to finish), so the verdict, countermodel, and ``seeds_tried`` are
+    identical to a serial run.
     """
     if tbox.has_participation_constraints():
         raise ValueError("use the general procedure: the TBox has participation constraints")
-    seeds = 0
     limits = limits or SearchLimits(max_nodes=64, max_steps=20_000)
+    pool_workers = resolve_workers(workers)
+
+    if pool_workers > 1:
+        candidates = list(expansions(lhs, max_word_length, max_expansions))
+        payloads = [(tbox, rhs, e.graph, limits) for e in candidates]
+        outcome, seeds = first_success(
+            _sparse_task, payloads, workers=pool_workers,
+            success=lambda o: o is not None and o.found,
+        )
+        if outcome is not None:
+            model = outcome.countermodel
+            assert tbox.satisfied_by(model)
+            assert not satisfies_union(model, rhs)
+            return SparseSearchResult(False, True, model, seeds)
+        complete = (
+            len(candidates) < max_expansions
+            and max_word_length >= _expansion_bound_hint(lhs)
+        )
+        return SparseSearchResult(True, complete, None, seeds)
+
+    seeds = 0
     for expansion in expansions(lhs, max_word_length, max_expansions):
         seeds += 1
-        search = CountermodelSearch(
-            tbox,
-            rhs,
-            expansion.graph,
-            limits=limits,
-            accept=lambda g: not satisfies_union(g, rhs),
-        )
-        outcome = search.run()
+        outcome = _sparse_task((tbox, rhs, expansion.graph, limits))
         if outcome.found:
             model = outcome.countermodel
             # re-verify the three defining conditions

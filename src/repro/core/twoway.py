@@ -63,6 +63,10 @@ class TwoWayConfig:
     """Defaults to N (the TBox's cardinality cap) when unset."""
     memo: dict = field(default_factory=dict)
     """Cross-call result cache (P1/P2/base-case/connector memoization)."""
+    counters: dict = field(default_factory=lambda: {
+        "types_checked": 0, "cache_hits": 0, "witnesses_materialized": 0,
+    })
+    """Work counters accumulated across the pipeline, surfaced on the result."""
 
 
 @dataclass
@@ -70,6 +74,8 @@ class TwoWayResult:
     realizable: bool
     complete: bool
     recursion_depth: int
+    stats: dict = field(default_factory=dict)
+    """Pipeline-wide counters: types checked, memo hits, stars materialized."""
 
     def __bool__(self) -> bool:
         return self.realizable
@@ -183,6 +189,8 @@ def _connector_exists(
     max_candidates: int,
     memo: Optional[dict] = None,
     refute_tag: str = "",
+    order: Optional[dict] = None,
+    counters: Optional[dict] = None,
 ) -> bool:
     """Search for a connector: centre + leaves wired by ``roles``, centre
     satisfying T_c, the star refuting the query.
@@ -192,6 +200,9 @@ def _connector_exists(
     types must carry the filler.  T_c's fresh normalization names are placed
     on the candidate star via :meth:`NormalizedTBox.complete` before the
     centre's CIs are checked, so the check evaluates the original T_c.
+
+    ``order`` is an optional precomputed ``{type: str(type)}`` map so the
+    candidate ordering does not re-render every type on every call.
     """
     memo_key = None
     if memo is not None:
@@ -200,6 +211,8 @@ def _connector_exists(
             tuple(str(r) for r in roles), refute_tag,
         )
         if memo_key in memo:
+            if counters is not None:
+                counters["cache_hits"] += 1
             return memo[memo_key]
 
     allowed = set(roles)
@@ -209,11 +222,12 @@ def _connector_exists(
         if ci.role in allowed and pair not in pairs:
             pairs.append(pair)
 
+    sort_key = order.__getitem__ if order is not None else str
     options: list[list[tuple]] = []
     for role, filler in pairs:
         candidates = [
             theta
-            for theta in sorted(pool, key=str)
+            for theta in sorted(pool, key=sort_key)
             if (filler in theta)
             or (filler.negated and filler.name not in theta.signature())
         ]
@@ -234,6 +248,8 @@ def _connector_exists(
     for pick in product(*options) if options else [()]:
         leaves: list[tuple[Role, Type]] = [leaf for bundle in pick for leaf in bundle]
         star = _build_star(center, leaves)
+        if counters is not None:
+            counters["witnesses_materialized"] += 1
         completed = connectors_tbox.complete(star)
         if not all(ci.holds_at(completed, centre_node) for ci in connectors_tbox.all_cis()):
             continue
@@ -260,6 +276,7 @@ def _base_case_no_roles(
     """Appendix B.1: single-isolated-node countermodels."""
     key = ("base", tau, tbox.content_key(), thetas)
     if key in config.memo:
+        config.counters["cache_hits"] += 1
         return config.memo[key]
     config.memo[key] = _base_case_no_roles_uncached(tau, tbox, thetas, avoid, config)
     return config.memo[key]
@@ -305,6 +322,7 @@ def _entailment_mod_reachability(
     refuting Q modulo Σ₀-reachability?  (Lemma 6.3 / B.3.)"""
     key = ("P1", tau, tbox.content_key(), thetas, sigma0)
     if key in config.memo:
+        config.counters["cache_hits"] += 1
         return config.memo[key]
     result = _entailment_mod_reachability_uncached(
         tau, tbox, thetas, q_hat, sigma0, config, depth
@@ -346,21 +364,32 @@ def _entailment_mod_reachability_uncached(
             yield sigma
 
     candidates = list(candidate_types())
+    str_key = {sigma: str(sigma) for sigma in candidates}
     psi: frozenset[Type] = frozenset()
+    def fresh_connector(sigma: Type) -> bool:
+        config.counters["types_checked"] += 1
+        return _connector_exists(
+            sigma, psi, factor.connectors_tbox, q_mod_sigma0, roles,
+            max_leaves, config.max_connector_candidates,
+            memo=config.memo, refute_tag=f"P1:{sorted(sigma0)}",
+            order=str_key, counters=config.counters,
+        )
+
+    # least fixpoint over a growing Ψ with exact oracles: both checks are
+    # monotone in their pool argument, so a type that entered Ψ stays in —
+    # only the not-yet-established candidates need re-examination each round
     while True:
+        established = psi
         psi_prime = frozenset(
             sigma
             for sigma in candidates
-            if _connector_exists(
-                sigma, psi, factor.connectors_tbox, q_mod_sigma0, roles,
-                max_leaves, config.max_connector_candidates,
-                memo=config.memo, refute_tag=f"P1:{sorted(sigma0)}",
-            )
+            if sigma in established or fresh_connector(sigma)
         )
         psi_next = frozenset(
             sigma
             for sigma in psi_prime
-            if _entailment_mod_sigma_t(
+            if sigma in established
+            or _entailment_mod_sigma_t(
                 sigma, factor.components_tbox, psi_prime, q_hat, config, depth + 1
             )
         )
@@ -382,6 +411,7 @@ def _entailment_mod_sigma_t(
     (Lemma 6.5 / B.6)."""
     key = ("P2", tau, tbox.content_key(), thetas)
     if key in config.memo:
+        config.counters["cache_hits"] += 1
         return config.memo[key]
     result = _entailment_mod_sigma_t_uncached(tau, tbox, thetas, q_hat, config, depth)
     config.memo[key] = result
@@ -435,22 +465,33 @@ def _entailment_mod_sigma_t_uncached(
         for sigma in _enumerate_types(free_names, counter_groups, config.max_types)
         if admissible(sigma)
     ]
+    str_key = {sigma: str(sigma) for sigma in candidates}
+    reduced_tbox = {
+        r: factor.components_tbox.restrict_roles(set(sigma_t) - {r}) for r in sigma_t
+    }
     psi: frozenset[Type] = frozenset(candidates)
+    # greatest fixpoint over a shrinking Ψ: a survivor's verdict depends only
+    # on the pools of its own role (productivity) and the next role
+    # (connector), so it is re-examined only when one of those pools shrank
+    prev_by_role: dict[str, frozenset[Type]] = {}
     while True:
         by_role: dict[str, frozenset[Type]] = {
             r: frozenset(s for s in psi if role_of(s) == r) for r in sigma_t
         }
+        changed = {r for r in sigma_t if by_role.get(r) != prev_by_role.get(r)}
         survivors: set[Type] = set()
-        for sigma in sorted(psi, key=str):
+        for sigma in sorted(psi, key=str_key.__getitem__):
             r = role_of(sigma)
             assert r is not None
+            if prev_by_role and r not in changed and next_role[r] not in changed:
+                survivors.add(sigma)
+                config.counters["cache_hits"] += 1
+                continue
+            config.counters["types_checked"] += 1
             # productivity: recurse with role r dropped from the TBox
-            reduced = factor.components_tbox.restrict_roles(
-                set(sigma_t) - {r}
-            )
             productive = _entailment_mod_reachability(
                 sigma,
-                reduced,
+                reduced_tbox[r],
                 by_role[r],
                 q_hat,
                 frozenset(sigma_t),
@@ -469,11 +510,13 @@ def _entailment_mod_sigma_t_uncached(
                 max_leaves,
                 config.max_connector_candidates,
                 memo=config.memo, refute_tag="P2",
+                order=str_key, counters=config.counters,
             )
             if ok:
                 survivors.add(sigma)
         if frozenset(survivors) == psi:
             break
+        prev_by_role = by_role
         psi = frozenset(survivors)
         if not psi:
             break
@@ -503,4 +546,9 @@ def realizable_refuting_twoway(
     realizable = _entailment_mod_reachability(
         tau, tbox, frozenset({Type()}), q_hat, sigma0, config, depth=0
     )
-    return TwoWayResult(realizable, complete=True, recursion_depth=2 * len(tbox.role_names()))
+    return TwoWayResult(
+        realizable,
+        complete=True,
+        recursion_depth=2 * len(tbox.role_names()),
+        stats=dict(config.counters),
+    )

@@ -29,10 +29,10 @@ from typing import Iterable, Optional, Union
 from repro.dl.concepts import Concept, concept
 from repro.dl.normalize import AtLeastCI, AtMostCI, NormalizedTBox, UniversalCI, normalize
 from repro.dl.tbox import TBox
-from repro.dl.types import clause_consistent
 from repro.graphs.graph import Graph
 from repro.graphs.labels import NodeLabel, Role
-from repro.graphs.types import Type, maximal_types
+from repro.graphs.types import Type
+from repro.kernel.bitset import CompiledClauses, TypeKernel
 
 
 class UnsupportedFragment(ValueError):
@@ -98,7 +98,10 @@ def type_elimination(
     """Run the elimination; returns the surviving maximal types.
 
     A type survives iff it is clause-consistent and all its at-least
-    obligations are dischargeable within the surviving set.
+    obligations are dischargeable within the surviving set.  Types live as
+    bitset integers (:mod:`repro.kernel.bitset`); elimination is a
+    dependency-tracking worklist — when a witness dies, only the types that
+    relied on it are re-checked, in waves that mirror the naive rounds.
     """
     normalized = tbox if isinstance(tbox, NormalizedTBox) else normalize(tbox)
     if normalized.uses_inverse_roles() and normalized.uses_counting():
@@ -108,23 +111,111 @@ def type_elimination(
             "and counting"
         )
     names = sorted(set(normalized.concept_names()) | set(extra_names))
-    pool = {
-        sigma for sigma in maximal_types(names) if clause_consistent(normalized, sigma)
-    }
-    iterations = 0
-    while True:
+    kernel = TypeKernel(names)
+    compiled = CompiledClauses(kernel, normalized.clauses)
+    pool_list = list(compiled.consistent_bits())
+    pool = set(pool_list)
+
+    # compile the role CIs once: per at-least, the subject test plus the
+    # sigma-independent parts of the witness requirement
+    literal_mask = kernel.literal_masks
+    obligations = []
+    for ci in normalized.at_leasts:
+        subj_set, subj_clear = literal_mask([ci.subject])
+        filler_set, filler_clear = literal_mask([ci.filler])
+        # an at-most on the same (role, filler) with a lower cap kills every
+        # type subject to both (no witness pool can help)
+        doomed = [
+            literal_mask([cap.subject])
+            for cap in normalized.at_mosts
+            if cap.role == ci.role and cap.filler == ci.filler and cap.n < ci.n
+        ]
+        forward = [
+            (literal_mask([u.subject]), literal_mask([u.filler]))
+            for u in normalized.universals
+            if u.role == ci.role
+        ]
+        backward = [
+            (literal_mask([u.filler]), literal_mask([u.subject]))
+            for u in normalized.universals
+            if u.role == ci.role.inverse()
+        ]
+        obligations.append(
+            (subj_set, subj_clear, filler_set, filler_clear, doomed, forward, backward)
+        )
+
+    def witness_requirement(sigma: int, obligation) -> Optional[tuple[int, int]]:
+        """(must_set, must_clear) masks a witness θ must satisfy, or ``None``
+        when the obligation is undischargeable regardless of the pool."""
+        _ss, _sc, filler_set, filler_clear, doomed, forward, backward = obligation
+        for cap_set, cap_clear in doomed:
+            if sigma & cap_set == cap_set and not sigma & cap_clear:
+                return None
+        must_set, must_clear = filler_set, filler_clear
+        for (us, uc), (fs, fc) in forward:
+            if sigma & us == us and not sigma & uc:  # σ carries the subject
+                must_set |= fs
+                must_clear |= fc
+        for (fs, fc), (us, uc) in backward:
+            if not (sigma & fs == fs and not sigma & fc):  # σ lacks the filler
+                # θ carrying the subject would force the filler on σ
+                must_set |= uc
+                must_clear |= us
+        if must_set & must_clear:
+            return None
+        return must_set, must_clear
+
+    # initial pass: find one witness per obligation, recording who relies on
+    # whom so eliminations only revisit actual dependents
+    dependents: dict[int, set[int]] = {}
+    eliminated: list[int] = []
+    witness_cache: dict[tuple[int, int], int] = {}
+
+    def find_witness(must_set: int, must_clear: int) -> Optional[int]:
+        # many types share a requirement mask (it varies only with the
+        # universals' subject tests), so cache the scan per mask pair
+        theta = witness_cache.get((must_set, must_clear))
+        if theta is not None and theta in pool:
+            return theta
+        for theta in pool_list:
+            if theta & must_set == must_set and not theta & must_clear:
+                witness_cache[(must_set, must_clear)] = theta
+                return theta
+        return None
+
+    def check(sigma: int) -> bool:
+        for obligation in obligations:
+            subj_set, subj_clear = obligation[0], obligation[1]
+            if not (sigma & subj_set == subj_set and not sigma & subj_clear):
+                continue  # obligation does not apply
+            requirement = witness_requirement(sigma, obligation)
+            if requirement is None:
+                return False
+            theta = find_witness(*requirement)
+            if theta is None:
+                return False
+            dependents.setdefault(theta, set()).add(sigma)
+        return True
+
+    for sigma in pool_list:
+        if not check(sigma):
+            eliminated.append(sigma)
+
+    iterations = 1
+    while eliminated:
         iterations += 1
-        survivors = {
-            sigma
-            for sigma in pool
-            if all(_discharged(normalized, sigma, ci, pool) for ci in _obligations(normalized, sigma))
-        }
-        if survivors == pool:
-            break
-        pool = survivors
-        if not pool:
-            break
-    return SatisfiabilityResult(bool(pool), frozenset(pool), tuple(names), iterations)
+        pool.difference_update(eliminated)
+        pool_list = [bits for bits in pool_list if bits in pool]
+        wave: set[int] = set()
+        for theta in eliminated:
+            wave |= dependents.pop(theta, set())
+        eliminated = [
+            sigma for sigma in sorted(wave) if sigma in pool and not check(sigma)
+        ]
+
+    decode = kernel.decode
+    surviving = frozenset(decode(bits) for bits in pool)
+    return SatisfiabilityResult(bool(pool), surviving, tuple(names), iterations)
 
 
 def is_satisfiable(

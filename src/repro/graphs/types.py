@@ -36,6 +36,12 @@ class Type(frozenset):
     def of(*labels: Union[str, NodeLabel]) -> "Type":
         return Type(labels)
 
+    @classmethod
+    def _trusted(cls, literals: Iterable[NodeLabel]) -> "Type":
+        """Construct without validation — for callers (the bitset kernel's
+        ``decode``) that guarantee consistent :class:`NodeLabel` literals."""
+        return super().__new__(cls, literals)
+
     @property
     def positive_names(self) -> frozenset[str]:
         return frozenset(lbl.name for lbl in self if not lbl.negated)

@@ -1,0 +1,38 @@
+"""Performance kernel: bitset type algebra, parallel fan-out, decision memo.
+
+The fixpoint procedures of Sections 5–6 and the classical type elimination
+all range over maximal types — 2^|Γ₀| of them.  This package provides the
+machinery that makes those loops fast without changing any verdict:
+
+* :mod:`repro.kernel.bitset` — types as Python ints (O(1) hash/subset),
+  clausal CIs compiled to bitmasks;
+* :mod:`repro.kernel.parallel` — a process-pool fan-out with a picklable
+  task encoding and a deterministic, serial-equivalent reduction;
+* :mod:`repro.kernel.memo` — bounded cross-decision caches keyed by
+  :meth:`NormalizedTBox.content_key`.
+
+Everything is optional from the callers' point of view: the frozenset
+``Type`` API stays the source of truth, with bidirectional converters.
+"""
+
+from repro.kernel.bitset import (
+    CompiledClauses,
+    TypeKernel,
+    compiled_clauses_for,
+    enumerate_consistent_bits,
+    inert_partition,
+)
+from repro.kernel.memo import BoundedMemo
+from repro.kernel.parallel import first_success, parallel_map, resolve_workers
+
+__all__ = [
+    "BoundedMemo",
+    "CompiledClauses",
+    "TypeKernel",
+    "compiled_clauses_for",
+    "enumerate_consistent_bits",
+    "first_success",
+    "inert_partition",
+    "parallel_map",
+    "resolve_workers",
+]

@@ -1,0 +1,49 @@
+"""Bounded cross-decision memoization.
+
+Workload benchmarks (E9, E15) and real query logs re-decide containment for
+repeated (query, schema) pairs; the Section 6 pipeline re-derives the same
+subproblems across recursion branches.  A :class:`BoundedMemo` is a plain
+dict with FIFO eviction — deterministic, no clocks — sized so steady-state
+memory stays bounded while repeated schemas keyed by
+:meth:`NormalizedTBox.content_key` hit cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+
+class BoundedMemo:
+    """A dict with FIFO eviction once ``max_entries`` is reached."""
+
+    __slots__ = ("max_entries", "_data", "hits", "misses")
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._data: dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key not in self._data and len(self._data) >= self.max_entries:
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,108 @@
+"""Process-pool fan-out with deterministic, serial-equivalent reduction.
+
+The per-type / per-seed subproblems of the decision procedures are
+independent: each ``realizable_type`` call and each expansion search takes
+picklable inputs (normalized TBoxes, queries, graphs are all plain
+dataclasses) and returns a picklable outcome.  ``parallel_map`` fans such
+tasks out over a ``concurrent.futures`` process pool; results always come
+back **in task order**, so any reduction a caller performs (first success
+wins, set union, …) is bit-identical to the serial run.
+
+``workers <= 1`` short-circuits to a plain loop — the default everywhere,
+keeping single-threaded determinism and zero pool overhead unless a caller
+explicitly opts in (``workers=`` on :func:`repro.core.containment.is_contained`
+or ``--workers`` on the CLI).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Union[int, str, None]) -> int:
+    """Normalize a worker count: ``None``/0/1 → serial, ``"auto"`` → CPUs."""
+    if workers in (None, 0, 1):
+        return 1
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    count = int(workers)
+    if count < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return max(1, count)
+
+
+def parallel_map(
+    task: Callable[[T], R],
+    items: Sequence[T],
+    workers: Union[int, str, None] = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """``[task(x) for x in items]``, optionally across a process pool.
+
+    ``task`` must be a module-level function and ``items`` picklable when
+    ``workers > 1``.  Output order always matches input order.
+    """
+    count = resolve_workers(workers)
+    if count <= 1 or len(items) <= 1:
+        return [task(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
+        return list(pool.map(task, items, chunksize=chunksize))
+
+
+def first_success(
+    task: Callable[[T], R],
+    items: Iterable[T],
+    workers: Union[int, str, None] = None,
+    success: Optional[Callable[[R], bool]] = None,
+    wave_factor: int = 4,
+) -> tuple[Optional[R], int]:
+    """The first (in item order) successful result, and its 1-based index.
+
+    Serial-equivalent early exit: items are dispatched in waves of
+    ``workers * wave_factor``; within a wave all results are computed, then
+    scanned in order — so the winning item is exactly the one the serial
+    loop would have found, and ``(None, n_items)`` is returned when none
+    succeeds.  The index reported for a win is the count of items the
+    *serial* run would have tried, keeping result objects bit-identical.
+    """
+    succeeded = success if success is not None else bool
+    count = resolve_workers(workers)
+    if count <= 1:
+        tried = 0
+        for item in items:
+            tried += 1
+            result = task(item)
+            if succeeded(result):
+                return result, tried
+        return None, tried
+
+    tried = 0
+    wave: list[T] = []
+    wave_size = count * wave_factor
+
+    def scan(results: list[R], base: int) -> Optional[tuple[R, int]]:
+        for offset, result in enumerate(results):
+            if succeeded(result):
+                return result, base + offset + 1
+        return None
+
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        for item in items:
+            wave.append(item)
+            if len(wave) >= wave_size:
+                hit = scan(list(pool.map(task, wave)), tried)
+                if hit is not None:
+                    return hit
+                tried += len(wave)
+                wave = []
+        if wave:
+            hit = scan(list(pool.map(task, wave)), tried)
+            if hit is not None:
+                return hit
+            tried += len(wave)
+    return None, tried

@@ -1,0 +1,101 @@
+"""Parallel fan-out smoke: workers > 1 must reproduce serial results.
+
+The CI-smoke requirement: ``python -m repro contain --preset example11
+--workers 2`` returns the same verdict as the serial run, plus
+library-level equality checks for every engine that accepts ``workers``.
+"""
+
+from repro.cli import main
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.core.reduction import ReductionConfig, contains_via_reduction
+from repro.core.sparse_search import contained_without_participation
+from repro.dl.normalize import normalize
+from repro.dl.pg_schema import figure1_schema
+from repro.dl.tbox import TBox
+from repro.kernel.parallel import first_success, parallel_map, resolve_workers
+from repro.queries.parser import parse_query
+from repro.queries.presets import example_11_q1, example_11_q2
+
+
+class TestCliPreset:
+    def test_example11_workers_match_serial(self, capsys):
+        serial_code = main(["contain", "--preset", "example11"])
+        serial_out = capsys.readouterr().out
+        parallel_code = main(["contain", "--preset", "example11", "--workers", "2"])
+        parallel_out = capsys.readouterr().out
+        assert parallel_code == serial_code
+        assert parallel_out == serial_out
+
+    def test_preset_conflicts_with_queries(self):
+        try:
+            main(["contain", "A(x)", "--preset", "example11"])
+        except SystemExit as exc:
+            assert "preset" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected SystemExit")
+
+
+class TestLibraryWorkers:
+    def test_is_contained_verdicts_identical(self):
+        lhs, rhs, tbox = example_11_q1(), example_11_q2(), figure1_schema()
+        options = ContainmentOptions(use_cache=False)
+        serial = is_contained(lhs, rhs, tbox, options=options)
+        parallel = is_contained(lhs, rhs, tbox, options=options, workers=2)
+        assert parallel.contained == serial.contained
+        assert parallel.complete == serial.complete
+        assert parallel.method == serial.method
+        assert parallel.seeds_tried == serial.seeds_tried
+
+    def test_sparse_workers_identical(self):
+        tbox = normalize(TBox.of([("A", "forall r.B")]))
+        lhs = next(iter(parse_query("A(x), r(x,y)")))
+        rhs = parse_query("C(y)")
+        serial = contained_without_participation(lhs, rhs, tbox)
+        parallel = contained_without_participation(lhs, rhs, tbox, workers=2)
+        assert parallel.contained == serial.contained
+        assert parallel.seeds_tried == serial.seeds_tried
+        if serial.countermodel is not None:
+            assert parallel.countermodel is not None
+
+    def test_reduction_workers_identical(self):
+        tbox = normalize(TBox.of([("A", "exists r.B")]))
+        lhs = next(iter(parse_query("A(x)")))
+        rhs = parse_query("C(x)")
+        serial = contains_via_reduction(lhs, rhs, tbox)
+        parallel = contains_via_reduction(
+            lhs, rhs, tbox, config=ReductionConfig(workers=2)
+        )
+        assert parallel.contained == serial.contained
+        assert parallel.complete == serial.complete
+
+
+class TestPrimitives:
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers("auto") >= 1
+
+    def test_parallel_map_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=2) == [i * i for i in items]
+        assert parallel_map(_square, items, workers=1) == [i * i for i in items]
+
+    def test_first_success_serial_equivalent_winner(self):
+        items = list(range(30))
+        for workers in (1, 3):
+            result, tried = first_success(
+                _square, items, workers=workers, success=lambda r: r >= 49
+            )
+            assert result == 49
+            assert tried == 8  # the serial loop tries 0..7
+        result, tried = first_success(
+            _square, items, workers=2, success=lambda r: r > 10_000
+        )
+        assert result is None
+        assert tried == len(items)
+
+
+def _square(x: int) -> int:
+    return x * x
