@@ -1,0 +1,195 @@
+"""E17 — incremental chase A/B: compiled matchers + dirty-region re-eval.
+
+Runs the same decisions with the incremental chase layer forced on and
+off and checks the verdicts (and countermodels) are bit-identical, then
+reports the speedup.  Covered: the E1 slow row (q1 ⊆_S q2 under the
+Fig. 1 schema, decided by the direct chase) and the E7 entailment sweep.
+
+Also runnable standalone as a CI smoke::
+
+    python benchmarks/bench_search_incremental.py --quick
+
+which executes the E7 A/B sweep (sub-second) and exits non-zero on any
+verdict divergence; without ``--quick`` the E1 rows run too.
+"""
+
+import argparse
+import sys
+import time
+
+from conftest import print_table
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.core.entailment import finitely_entails
+from repro.core.search import CountermodelSearch, SearchLimits
+from repro.dl.normalize import normalize
+from repro.dl.pg_schema import figure1_schema
+from repro.dl.tbox import TBox
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import single_node_graph
+from repro.queries.parser import parse_query
+from repro.queries.presets import example_11_q1, example_11_q2
+
+# the E7 scenario suite (kept in sync with bench_entailment_oneway.py)
+E7_CASES = [
+    ("loop escape", [("A", "exists r.A")], "A", "B(x)", False),
+    ("forced edge", [("A", "exists r.top")], "A", "r(x,y)", True),
+    ("disjunctive", [("A", "B | C")], "A", "B(x), C(x)", False),
+    ("chain", [("A", "exists r.B"), ("B", "exists r.C")], "A", "(r.r)(x,y), C(y)", True),
+    ("universal", [("A", "exists r.top"), ("A", "forall r.B")], "A", "B(x)", True),
+]
+
+
+def _fingerprint(verdict, countermodel):
+    return (verdict, None if countermodel is None else countermodel.describe())
+
+
+def run_e7_rows():
+    """A/B rows for the E7 chase sweep; each row carries its divergence flag."""
+    rows = []
+    for name, cis, seed_label, query, expected in E7_CASES:
+        tbox = normalize(TBox.of(cis))
+        q = parse_query(query)
+        prints, times = {}, {}
+        for incremental in (True, False):
+            seed = single_node_graph([seed_label], node=0)
+            start = time.perf_counter()
+            result = finitely_entails(
+                seed, tbox, q, limits=SearchLimits(incremental=incremental)
+            )
+            times[incremental] = time.perf_counter() - start
+            prints[incremental] = _fingerprint(result.entailed, result.countermodel)
+        identical = prints[True] == prints[False]
+        speedup = times[False] / max(times[True], 1e-9)
+        rows.append(
+            [
+                f"E7 {name}",
+                prints[True][0],
+                prints[False][0],
+                "✓" if identical else "✗",
+                f"{times[True]*1000:.1f}ms",
+                f"{times[False]*1000:.1f}ms",
+                f"{speedup:.1f}x",
+            ]
+        )
+    return rows
+
+
+def run_e7_sweep_rows(sizes=(32, 64, 128)):
+    """Scaled chase sweep: disjunctive labelling over an n-node r-path.
+
+    Every node is A, the TBox forces A ⊑ B ⊔ C, and the avoided query asks
+    for a reachable node that is both B and C — so the chase performs one
+    clause repair per node and re-checks a star query over the whole graph
+    after each, which is exactly the workload the incremental layer targets.
+    """
+    tbox = normalize(TBox.of([("A", "B | C")]))
+    query = parse_query("r*(x,y), B(y), C(y)")
+    rows = []
+    for n in sizes:
+        prints, times = {}, {}
+        for incremental in (True, False):
+            seed = path_graph(n, "r")
+            for node in seed.node_list():
+                seed.add_label(node, "A")
+            limits = SearchLimits(max_nodes=n + 4, incremental=incremental)
+            start = time.perf_counter()
+            outcome = CountermodelSearch(tbox, query, seed, limits=limits).run()
+            times[incremental] = time.perf_counter() - start
+            prints[incremental] = _fingerprint(outcome.found, outcome.countermodel)
+        identical = prints[True] == prints[False]
+        speedup = times[False] / max(times[True], 1e-9)
+        rows.append(
+            [
+                f"E7 sweep n={n}",
+                prints[True][0],
+                prints[False][0],
+                "✓" if identical else "✗",
+                f"{times[True]*1000:.1f}ms",
+                f"{times[False]*1000:.1f}ms",
+                f"{speedup:.1f}x",
+            ]
+        )
+    return rows
+
+
+def run_e1_rows():
+    """A/B rows for the E1 decisions, including the slow q1 ⊆_S q2 row."""
+    schema = figure1_schema()
+    q1, q2 = example_11_q1(), example_11_q2()
+    cases = [
+        ("E1 q1 ⊆ q2 (no schema)", q1, q2, None),
+        ("E1 q1 ⊆_S q2 (slow row)", q1, q2, schema),
+    ]
+    rows = []
+    for name, lhs, rhs, tbox, in cases:
+        prints, times = {}, {}
+        for incremental in (True, False):
+            start = time.perf_counter()
+            result = is_contained(
+                lhs, rhs, tbox,
+                options=ContainmentOptions(incremental=incremental, use_cache=False),
+            )
+            times[incremental] = time.perf_counter() - start
+            prints[incremental] = _fingerprint(result.contained, result.countermodel)
+        identical = prints[True] == prints[False]
+        speedup = times[False] / max(times[True], 1e-9)
+        rows.append(
+            [
+                name,
+                prints[True][0],
+                prints[False][0],
+                "✓" if identical else "✗",
+                f"{times[True]*1000:.1f}ms",
+                f"{times[False]*1000:.1f}ms",
+                f"{speedup:.1f}x",
+            ]
+        )
+    return rows
+
+
+HEADERS = ["case", "on verdict", "off verdict", "identical", "on", "off", "speedup"]
+TITLE = "E17 — incremental chase A/B (verdicts bit-identical, speedup)"
+
+
+def test_incremental_ab_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_e7_rows() + run_e7_sweep_rows() + run_e1_rows(),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(TITLE, HEADERS, rows)
+    assert all(row[3] == "✓" for row in rows)
+    # the headline claims: the E7 sweep's largest point clears 10× on/off,
+    # and the slow E1 row improves with the layer on
+    sweep_top = next(row for row in rows if row[0] == "E7 sweep n=128")
+    assert float(sweep_top[6].rstrip("x")) >= 10.0
+    slow = next(row for row in rows if "slow row" in row[0])
+    assert float(slow[6].rstrip("x")) > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="E7 sweep only (sub-second CI smoke); exits 1 on divergence",
+    )
+    args = parser.parse_args(argv)
+    rows = run_e7_rows()
+    rows += run_e7_sweep_rows(sizes=(32,) if args.quick else (32, 64, 128))
+    if args.quick:
+        # smoke run: print only, never overwrite the persisted full table
+        for row in rows:
+            print("  ".join(str(cell) for cell in row))
+    else:
+        rows += run_e1_rows()
+        print_table(TITLE, HEADERS, rows)
+    diverged = [row[0] for row in rows if row[3] != "✓"]
+    if diverged:
+        print(f"VERDICT DIVERGENCE in: {', '.join(diverged)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,7 +88,14 @@ def cmd_contain(args: argparse.Namespace) -> int:
             raise SystemExit("contain requires lhs and rhs queries (or --preset)")
         lhs, rhs = args.lhs, args.rhs
         tbox = load_schema(args.schema) if args.schema else None
-    result = is_contained(lhs, rhs, tbox, method=args.method, workers=args.workers)
+    options = None
+    if args.incremental is not None:
+        from repro.core.containment import ContainmentOptions
+
+        options = ContainmentOptions(incremental=(args.incremental == "on"))
+    result = is_contained(
+        lhs, rhs, tbox, method=args.method, options=options, workers=args.workers
+    )
     verdict = "CONTAINED" if result.contained else "NOT CONTAINED"
     certainty = "certain" if result.complete else "within search budgets"
     print(f"{verdict}  (method: {result.method}, {certainty})")
@@ -145,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", default=1, type=_parse_workers, metavar="N",
         help="process count for the candidate fan-out (int or 'auto'); "
         "verdicts are identical for any value",
+    )
+    contain.add_argument(
+        "--incremental", default=None, choices=["on", "off"],
+        help="force the incremental chase layer on or off (A/B switch; "
+        "verdicts are bit-identical either way)",
     )
     contain.add_argument(
         "--preset", default=None, choices=["example11"],

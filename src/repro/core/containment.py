@@ -55,30 +55,56 @@ class ContainmentOptions:
     """Memoize whole decisions across calls, keyed by the canonical query
     keys, the schema's :meth:`NormalizedTBox.content_key`, and every option
     that can influence the outcome."""
+    incremental: Optional[bool] = None
+    """Force the chase's incremental layer on (``True``) or off (``False``)
+    across every nested search budget; ``None`` keeps the per-limit
+    defaults.  Verdicts and countermodels are identical either way — the
+    flag exists for A/B benchmarking (``--incremental on|off``)."""
 
 
 _DECISION_MEMO = BoundedMemo(max_entries=2048)
 """Cross-call containment-decision cache (see ContainmentOptions.use_cache)."""
 
 
+def _limits_key(limits: SearchLimits) -> tuple:
+    return (
+        limits.max_nodes, limits.max_steps, limits.max_fresh_types,
+        limits.incremental,
+    )
+
+
 def _options_key(options: ContainmentOptions, workers: int) -> tuple:
-    limits = options.limits
     red = options.reduction
     return (
         options.max_word_length,
         options.max_expansions,
-        (limits.max_nodes, limits.max_steps, limits.max_fresh_types),
+        _limits_key(options.limits),
         (
             red.max_word_length,
             red.max_expansions,
-            (red.central_limits.max_nodes, red.central_limits.max_steps,
-             red.central_limits.max_fresh_types),
-            (red.peripheral_limits.max_nodes, red.peripheral_limits.max_steps,
-             red.peripheral_limits.max_fresh_types),
+            _limits_key(red.central_limits),
+            _limits_key(red.peripheral_limits),
             red.tp_precompute_cap,
             red.use_tp_memo,
         ),
         workers,
+    )
+
+
+def _force_incremental(options: ContainmentOptions) -> ContainmentOptions:
+    """Pin ``limits.incremental`` across every nested budget."""
+    flag = options.incremental
+    if flag is None:
+        return options
+    red = options.reduction
+    return replace(
+        options,
+        limits=replace(options.limits, incremental=flag),
+        reduction=replace(
+            red,
+            central_limits=replace(red.central_limits, incremental=flag),
+            peripheral_limits=replace(red.peripheral_limits, incremental=flag),
+        ),
     )
 
 
@@ -210,7 +236,7 @@ def is_contained(
     lhs_u = _coerce_query(lhs)
     rhs_u = _coerce_query(rhs)
     normalized = _coerce_tbox(tbox)
-    options = options or ContainmentOptions()
+    options = _force_incremental(options or ContainmentOptions())
     pool = resolve_workers(workers if workers is not None else options.workers)
 
     cache_key = None

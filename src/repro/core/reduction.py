@@ -110,7 +110,8 @@ class _TpOracle:
         self.uncertain = False
         self._memo_prefix = (
             (tbox.content_key(), query_key(q_hat),
-             limits.max_nodes, limits.max_steps, limits.max_fresh_types)
+             limits.max_nodes, limits.max_steps, limits.max_fresh_types,
+             limits.incremental)
             if use_memo
             else None
         )

@@ -36,6 +36,7 @@ from repro.graphs.labels import NodeLabel, Role
 from repro.graphs.types import Type, type_of
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import find_union_match
+from repro.queries.incremental import IncrementalUnionEvaluator
 from repro.queries.ucrpq import UCRPQ
 
 
@@ -47,6 +48,11 @@ class SearchLimits:
     max_steps: int = 50_000
     max_fresh_types: int = 64
     """Cap on distinct type choices considered per fresh node."""
+    incremental: bool = True
+    """Use the incremental evaluation layer (compiled matchers, delta
+    re-evaluation, transposition table).  Verdicts and countermodels are
+    bit-identical either way; ``False`` forces the straight-line engine
+    (the A/B baseline)."""
 
 
 @dataclass
@@ -56,6 +62,10 @@ class SearchOutcome:
     countermodel: Optional[Graph]
     exhausted: bool
     steps: int
+    tt_hits: int = 0
+    """Chase states pruned because an isomorphic state already failed."""
+    tt_misses: int = 0
+    """Chase states entered with no transposition-table hit."""
 
     @property
     def found(self) -> bool:
@@ -73,6 +83,208 @@ class _Violation:
     ci: object = None
     match: dict = field(default_factory=dict)
     disjunct: object = None
+
+
+_UNKNOWN = -2
+_CLEAN = -1
+
+
+class _VFrame:
+    """Undo log of one violation-cache checkpoint (first-touch saves)."""
+
+    __slots__ = ("saved", "poisoned")
+
+    def __init__(self) -> None:
+        self.saved: dict[Node, Optional[list[int]]] = {}
+        self.poisoned = False
+
+
+class _ViolationCache:
+    """Incremental CI-violation scanning over the chase graph.
+
+    Caches, per node and per CI category, the index of the first violated
+    CI (or "clean"), and invalidates only the *dirty closure* of each graph
+    delta: ``holds_at`` reads a node's labels and its successors' labels,
+    so a label addition at ``w`` can only change verdicts at ``w`` and its
+    neighbours, and an edge addition only at its two endpoints.
+
+    :meth:`first_violation` replays the exact full-scan order (category,
+    then node insertion order, then CI order), so the repair chosen at
+    every chase state is bit-identical with the cache on or off.
+    """
+
+    def __init__(self, tbox: NormalizedTBox, graph: Graph) -> None:
+        graph.enable_change_tracking()
+        self.graph = graph
+        self._categories = (
+            ("clause", tbox.clauses, [self._compile_clause(c) for c in tbox.clauses]),
+            ("universal", tbox.universals,
+             [self._compile_successor_ci(c, "universal") for c in tbox.universals]),
+            ("atmost", tbox.at_mosts,
+             [self._compile_successor_ci(c, "atmost") for c in tbox.at_mosts]),
+            ("atleast", tbox.at_leasts,
+             [self._compile_successor_ci(c, "atleast") for c in tbox.at_leasts]),
+        )
+        self._entries: dict[Node, list[int]] = {}
+        self._frames: list[_VFrame] = []
+        self._cursor = len(graph.journal or ())
+    def _drop_all(self) -> None:
+        self._entries.clear()
+
+    @staticmethod
+    def _compile_clause(clause: ClauseCI):
+        """An exact negation of ``ClauseCI.holds_at`` over raw label sets."""
+        body = tuple((lit.name, lit.negated) for lit in clause.body)
+        head = tuple((lit.name, lit.negated) for lit in clause.head)
+
+        def violated(graph: Graph, node: Node, labels) -> bool:
+            for name, negated in body:
+                if (name in labels) == negated:
+                    return False
+            for name, negated in head:
+                if (name in labels) != negated:
+                    return False
+            return True
+
+        return violated
+
+    @staticmethod
+    def _compile_successor_ci(ci, kind: str):
+        """Exact negations of the successor-reading ``holds_at`` checks."""
+        s_name, s_negated = ci.subject.name, ci.subject.negated
+        r_name, r_inverted = ci.role.name, ci.role.inverted
+        f_name, f_negated = ci.filler.name, ci.filler.negated
+        bound = getattr(ci, "n", None)
+
+        def violated(graph: Graph, node: Node, labels) -> bool:
+            if (s_name in labels) == s_negated:
+                return False
+            successors = graph.successors_by_name(node, r_name, r_inverted)
+            labels_of = graph._labels
+            if kind == "universal":
+                return any(
+                    (f_name in labels_of[w]) == f_negated for w in successors
+                )
+            count = sum(
+                1 for w in successors if (f_name in labels_of[w]) != f_negated
+            )
+            return count > bound if kind == "atmost" else count < bound
+
+        return violated
+
+    _ALL = (0, 1, 2, 3)
+    _NEIGHBORLY = (1, 2, 3)
+    """Categories whose ``holds_at`` reads successor labels (universal,
+    atmost, atleast); clauses (0) read only the node's own labels."""
+
+    def _invalidate(self, node: Node, categories: tuple[int, ...]) -> None:
+        frame = self._frames[-1] if self._frames else None
+        entry = self._entries.get(node)
+        if frame is not None and node not in frame.saved:
+            frame.saved[node] = None if entry is None else list(entry)
+        if entry is not None:
+            for category in categories:
+                entry[category] = _UNKNOWN
+
+    def _sync(self) -> None:
+        journal = self.graph.journal
+        assert journal is not None
+        if self._cursor == len(journal):
+            return
+        entries = journal[self._cursor :]
+        self._cursor = len(journal)
+        for entry in entries:
+            if entry[0] in ("-label", "-edge", "-node"):
+                # unmanaged non-monotone change: drop everything
+                self._drop_all()
+                for frame in self._frames:
+                    frame.poisoned = True
+                return
+        graph = self.graph
+        for entry in entries:
+            kind = entry[0]
+            if kind == "+label":
+                node = entry[1]
+                self._invalidate(node, self._ALL)
+                for neighbor in graph.neighbors(node):
+                    self._invalidate(neighbor, self._NEIGHBORLY)
+            elif kind == "+edge":
+                # clause verdicts don't read edges; only the endpoints'
+                # successor-reading categories can flip
+                self._invalidate(entry[1], self._NEIGHBORLY)
+                self._invalidate(entry[3], self._NEIGHBORLY)
+            elif kind == "+node":
+                self._invalidate(entry[1], self._ALL)
+
+    def checkpoint(self) -> int:
+        self._sync()
+        token = len(self._frames)
+        self._frames.append(_VFrame())
+        return token
+
+    def rollback(self, token: int) -> None:
+        frames = self._frames[token:]
+        del self._frames[token:]
+        if any(frame.poisoned for frame in frames):
+            self._drop_all()
+        else:
+            entries = self._entries
+            for frame in reversed(frames):
+                for node, saved in frame.saved.items():
+                    if saved is None:
+                        entries.pop(node, None)
+                    else:
+                        entries[node] = saved
+        self._cursor = len(self.graph.journal or ())
+
+    def commit(self, token: int) -> None:
+        """Dissolve frames, keeping the mutations.
+
+        First-touch saves merge into the enclosing frame (earliest snapshot
+        wins), so an outer rollback after a nested commit stays exact."""
+        frames = self._frames[token:]
+        del self._frames[token:]
+        parent = self._frames[-1] if self._frames else None
+        if parent is None:
+            return
+        for frame in frames:
+            if frame.poisoned:
+                parent.poisoned = True
+            for node, saved in frame.saved.items():
+                parent.saved.setdefault(node, saved)
+
+    def first_violation(self) -> Optional[_Violation]:
+        """The first violation in (category, node insertion, CI) order.
+
+        Replays the exact full-scan order over the cached slots; only
+        slots the dirty closure invalidated since the last call re-run
+        their compiled checks, so the common case is a slot-read sweep.
+        The result is bit-identical with the full scan.
+        """
+        self._sync()
+        graph = self.graph
+        entries = self._entries
+        labels_of = graph._labels
+        for cat_index, (kind, cis, checks) in enumerate(self._categories):
+            if not cis:
+                continue
+            for node in labels_of:
+                entry = entries.get(node)
+                if entry is None:
+                    entry = [_UNKNOWN] * len(self._categories)
+                    entries[node] = entry
+                index = entry[cat_index]
+                if index == _UNKNOWN:
+                    index = _CLEAN
+                    labels = labels_of[node]
+                    for i, check in enumerate(checks):
+                        if check(graph, node, labels):
+                            index = i
+                            break
+                    entry[cat_index] = index
+                if index != _CLEAN:
+                    return _Violation(kind, node, ci=cis[index])
+        return None
 
 
 class CountermodelSearch:
@@ -121,18 +333,117 @@ class CountermodelSearch:
         self.roles = sorted(roles)
         self.steps = 0
         self._fresh_counter = 0
+        self.tt_hits = 0
+        self.tt_misses = 0
+        self._evaluator: Optional[IncrementalUnionEvaluator] = None
+        self._vcache: Optional[_ViolationCache] = None
+        self._tt: Optional[set[tuple]] = None
+        self._key_labels: dict[Node, frozenset] = {}
+        self._key_edges: dict[tuple, frozenset] = {}
+        self._key_edges_tuple: Optional[tuple] = None
+        self._key_cursor = 0
 
     # ------------------------------------------------------------- #
 
     def run(self) -> SearchOutcome:
         graph = self.seed.copy()
+        if self.limits.incremental:
+            self._evaluator = IncrementalUnionEvaluator(graph, self.avoid)
+            self._vcache = _ViolationCache(self.tbox, graph)
+            self._tt = set()
+            self._key_labels = {
+                node: frozenset(names) for node, names in graph._labels.items()
+            }
+            self._key_edges = {
+                (node, r_name): frozenset(targets)
+                for node, by_role in graph._out.items()
+                for r_name, targets in by_role.items()
+                if targets
+            }
+            self._key_edges_tuple = None
+            self._key_cursor = len(graph.journal)
         try:
             found = self._solve(graph, depth=0)
         except _Budget:
-            return SearchOutcome(None, exhausted=False, steps=self.steps)
-        if found:
-            return SearchOutcome(graph, exhausted=True, steps=self.steps)
-        return SearchOutcome(None, exhausted=True, steps=self.steps)
+            return SearchOutcome(
+                None, exhausted=False, steps=self.steps,
+                tt_hits=self.tt_hits, tt_misses=self.tt_misses,
+            )
+        return SearchOutcome(
+            graph if found else None, exhausted=True, steps=self.steps,
+            tt_hits=self.tt_hits, tt_misses=self.tt_misses,
+        )
+
+    # ------------------------------------------------------------- #
+    # incremental bookkeeping (no-ops when limits.incremental is off)
+
+    def _checkpoint(self) -> Optional[tuple[int, int]]:
+        if self._evaluator is None:
+            return None
+        return (self._evaluator.checkpoint(), self._vcache.checkpoint())
+
+    def _rollback(self, token: Optional[tuple[int, int]]) -> None:
+        if token is not None:
+            self._evaluator.rollback(token[0])
+            self._vcache.rollback(token[1])
+
+    def _commit(self, token: Optional[tuple[int, int]]) -> None:
+        if token is not None:
+            self._evaluator.commit(token[0])
+            self._vcache.commit(token[1])
+
+    def _state_key(self, graph: Graph) -> tuple:
+        """Exact, cheap key of the chase state.
+
+        Equal keys imply *equal* graphs — same nodes in the same insertion
+        order, same labels, same edge set — so an equal-key state provably
+        repeats an already-explored subtree (pins, budgets, and fresh-node
+        naming are functions of the instance plus the graph content).  The
+        chase's branching blowup is dominated by permuted repair orders
+        converging on the very same graph, which this key collapses; full
+        isomorphism canonicalization (:func:`canonical_key`) would catch
+        slightly more but costs more per step than it prunes.
+
+        The two parts are maintained incrementally from the change journal
+        (one frozenset rebuild per touched node / edge group instead of an
+        O(graph) rebuild per step).  Each replayed entry recomputes its key
+        from the *final* graph, so replay is idempotent and handles the
+        managed rollback entries like any other mutation.  ``_key_labels``
+        mirrors ``graph._labels``'s exact insert/delete sequence, so both
+        dicts always iterate in the same order.
+        """
+        journal = graph.journal
+        key_labels = self._key_labels
+        key_edges = self._key_edges
+        if self._key_cursor != len(journal):
+            labels_of = graph._labels
+            out = graph._out
+            for entry in journal[self._key_cursor :]:
+                kind = entry[0]
+                if kind == "+label" or kind == "-label":
+                    node = entry[1]
+                    names = labels_of.get(node)
+                    if names is not None:
+                        key_labels[node] = frozenset(names)
+                elif kind == "+edge" or kind == "-edge":
+                    group = (entry[1], entry[2])
+                    targets = out.get(entry[1], {}).get(entry[2])
+                    if targets:
+                        key_edges[group] = frozenset(targets)
+                    else:
+                        key_edges.pop(group, None)
+                    self._key_edges_tuple = None
+                elif kind == "+node":
+                    node = entry[1]
+                    if node in labels_of:
+                        key_labels[node] = frozenset(labels_of[node])
+                else:  # -node (labels drop silently; edges got -edge entries)
+                    key_labels.pop(entry[1], None)
+            self._key_cursor = len(journal)
+        edges_tuple = self._key_edges_tuple
+        if edges_tuple is None:
+            edges_tuple = self._key_edges_tuple = tuple(key_edges.items())
+        return (tuple(key_labels.items()), edges_tuple)
 
     # ------------------------------------------------------------- #
     # violations
@@ -144,10 +455,15 @@ class CountermodelSearch:
 
     def _find_violation(self, graph: Graph) -> Optional[_Violation]:
         # 1. query matches (most constraining; handles permission granting)
-        hit = find_union_match(graph, self.avoid)
+        if self._evaluator is not None:
+            hit = self._evaluator.find_union_match()
+        else:
+            hit = find_union_match(graph, self.avoid)
         if hit is not None:
             disjunct, match = hit
             return _Violation("query", None, match=match, disjunct=disjunct)
+        if self._vcache is not None:
+            return self._vcache.first_violation()
         # 2. clausal CIs
         for node in graph.node_list():
             for clause in self.tbox.clauses:
@@ -193,15 +509,41 @@ class CountermodelSearch:
     # ------------------------------------------------------------- #
     # repairs
 
+    _TT_MISS_CUTOFF = 512
+    """Stop keying states once this many lookups have all missed: a search
+    whose repair tree never revisits a state (e.g. monotone label chases
+    with distinct head choices) would otherwise pay the per-step key build
+    for nothing.  Disabling the table is always sound — it only ever
+    *skips* re-exploration — so verdicts are unaffected."""
+
     def _solve(self, graph: Graph, depth: int) -> bool:
         self._tick()
+        key = None
+        if self._tt is not None:
+            if self.tt_hits == 0 and self.tt_misses >= self._TT_MISS_CUTOFF:
+                self._tt = None
+            else:
+                key = self._state_key(graph)
+                if key in self._tt:
+                    # an equal state was already fully explored and failed
+                    self.tt_hits += 1
+                    return False
+                self.tt_misses += 1
         violation = self._find_violation(graph)
         if violation is None:
             if not self._types_ok_final(graph):
-                return False
-            return self.accept is None or bool(self.accept(graph))
-        handler = getattr(self, f"_repair_{violation.kind}")
-        return handler(graph, violation, depth)
+                result = False
+            else:
+                result = self.accept is None or bool(self.accept(graph))
+        else:
+            handler = getattr(self, f"_repair_{violation.kind}")
+            result = handler(graph, violation, depth)
+        if self._tt is not None and not result:
+            # only complete failures are recorded: a budget exhaustion
+            # raises _Budget past this point, so partial explorations
+            # never poison the table
+            self._tt.add(key)
+        return result
 
     def _with_label(self, graph: Graph, node: Node, name: str, depth: int) -> bool:
         if graph.has_label(node, name):
@@ -212,10 +554,14 @@ class CountermodelSearch:
                 frozen = frozenset(self.type_signature)
             if name in frozen:
                 return False  # the node's type over these names is frozen
+        token = self._checkpoint()
         graph.add_label(node, name)
         ok = self._types_ok_partial(graph, node) and self._solve(graph, depth + 1)
         if not ok:
             graph.remove_label(node, name)
+            self._rollback(token)
+        else:
+            self._commit(token)
         return ok
 
     def _repair_query(self, graph: Graph, violation: _Violation, depth: int) -> bool:
@@ -304,22 +650,29 @@ class CountermodelSearch:
             for labels in self._fresh_node_types(ci.filler):
                 fresh = ("w", self._fresh_counter)
                 self._fresh_counter += 1
+                token = self._checkpoint()
                 graph.add_node(fresh, sorted(labels))
                 if ci.role.inverted:
                     graph.add_edge(fresh, ci.role.base, node)
                 else:
                     graph.add_edge(node, ci.role, fresh)
                 if self._types_ok_partial(graph, fresh) and self._solve(graph, depth + 1):
+                    self._commit(token)
                     return True
                 graph.remove_node(fresh)
+                self._rollback(token)
                 self._fresh_counter -= 1
         return False
 
     def _with_edge(self, graph: Graph, source: Node, role: Role, target: Node, depth: int) -> bool:
+        token = self._checkpoint()
         graph.add_edge(source, role, target)
         ok = self._solve(graph, depth + 1)
         if not ok:
             graph.remove_edge(source, role, target)
+            self._rollback(token)
+        else:
+            self._commit(token)
         return ok
 
 

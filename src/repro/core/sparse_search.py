@@ -124,6 +124,13 @@ def contained_without_participation(
     pool; the winning candidate is the first in expansion order (not first
     to finish), so the verdict, countermodel, and ``seeds_tried`` are
     identical to a serial run.
+
+    ``limits.incremental`` governs the chase's incremental layer inside
+    every per-candidate :class:`CountermodelSearch` (containment's
+    ``--incremental on|off`` A/B flag is pinned into these limits).  The
+    compiled matchers for ``rhs`` are built once and shared across the
+    whole candidate sweep through the ``compile_query`` memo, so the
+    fan-out pays query compilation once, not per seed.
     """
     if tbox.has_participation_constraints():
         raise ValueError("use the general procedure: the TBox has participation constraints")

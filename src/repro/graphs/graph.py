@@ -11,6 +11,17 @@ The class supports the derived notation used throughout the paper:
 * inverse roles: ``G.successors(v, "r-")`` are the r-predecessors of ``v``.
 
 Nodes are arbitrary hashable values (ints and strings in practice).
+
+For incremental consumers (the chase engine, the incremental query
+evaluator) every graph maintains
+
+* a monotone **version counter**, bumped on every effective mutation;
+* a **label index** ``nodes_with_label(name)`` kept in sync with mutations;
+* an opt-in **change journal** (:meth:`enable_change_tracking`): an
+  append-only log of effective mutations.  Addition entries carry the
+  touched node/edge (the *dirty region*); removal entries mark
+  non-monotone events, on which incremental consumers fall back to full
+  re-evaluation.
 """
 
 from __future__ import annotations
@@ -23,6 +34,8 @@ from repro.graphs.labels import NodeLabel, Role, node_label, role
 Node = Hashable
 Edge = tuple[Node, str, Node]
 """A directed edge ``(source, role_name, target)`` with a base role name."""
+
+_EMPTY_SET: frozenset = frozenset()
 
 
 class Graph:
@@ -44,6 +57,39 @@ class Graph:
         self._labels: dict[Node, set[str]] = {}
         self._out: dict[Node, dict[str, set[Node]]] = {}
         self._in: dict[Node, dict[str, set[Node]]] = {}
+        self._label_index: dict[str, set[Node]] = {}
+        self._version: int = 0
+        self._journal: Optional[list[tuple]] = None
+
+    # ------------------------------------------------------------------ #
+    # change tracking
+
+    @property
+    def version(self) -> int:
+        """Monotone counter, bumped on every effective mutation."""
+        return self._version
+
+    def enable_change_tracking(self) -> None:
+        """Start journaling mutations (idempotent).
+
+        Journal entries are tuples: ``("+node", v)``, ``("+label", v, name)``,
+        ``("+edge", src, role_name, tgt)`` for additions (edges normalized to
+        the forward direction) and ``("-label", ...)``, ``("-edge", ...)``,
+        ``("-node", v)`` for removals.  Only *effective* mutations are
+        journaled — idempotent re-adds and no-op removals leave no trace.
+        """
+        if self._journal is None:
+            self._journal = []
+
+    @property
+    def journal(self) -> Optional[list[tuple]]:
+        """The change journal (``None`` unless tracking is enabled)."""
+        return self._journal
+
+    def _record(self, entry: tuple) -> None:
+        self._version += 1
+        if self._journal is not None:
+            self._journal.append(entry)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -54,11 +100,15 @@ class Graph:
             self._labels[node] = set()
             self._out[node] = {}
             self._in[node] = {}
+            self._record(("+node", node))
         for raw in labels:
             label = node_label(raw)
             if label.negated:
                 raise ValueError(f"cannot attach complement label {label}; remove {label.name} instead")
-            self._labels[node].add(label.name)
+            if label.name not in self._labels[node]:
+                self._labels[node].add(label.name)
+                self._label_index.setdefault(label.name, set()).add(node)
+                self._record(("+label", node, label.name))
         return node
 
     def add_label(self, node: Node, label: Union[str, NodeLabel]) -> None:
@@ -67,12 +117,19 @@ class Graph:
         parsed = node_label(label)
         if parsed.negated:
             raise ValueError(f"cannot attach complement label {parsed}")
-        self._labels[node].add(parsed.name)
+        if parsed.name not in self._labels[node]:
+            self._labels[node].add(parsed.name)
+            self._label_index.setdefault(parsed.name, set()).add(node)
+            self._record(("+label", node, parsed.name))
 
     def remove_label(self, node: Node, label: Union[str, NodeLabel]) -> None:
         """Detach a positive label from a node (no-op if absent)."""
         self._require(node)
-        self._labels[node].discard(node_label(label).name)
+        name = node_label(label).name
+        if name in self._labels[node]:
+            self._labels[node].discard(name)
+            self._label_index.get(name, set()).discard(node)
+            self._record(("-label", node, name))
 
     def add_edge(self, source: Node, edge_role: Union[str, Role], target: Node) -> None:
         """Add an edge; ``r-`` adds the reversed ``r``-edge.
@@ -85,8 +142,11 @@ class Graph:
             r = r.base
         self.add_node(source)
         self.add_node(target)
-        self._out[source].setdefault(r.name, set()).add(target)
-        self._in[target].setdefault(r.name, set()).add(source)
+        targets = self._out[source].setdefault(r.name, set())
+        if target not in targets:
+            targets.add(target)
+            self._in[target].setdefault(r.name, set()).add(source)
+            self._record(("+edge", source, r.name, target))
 
     def remove_edge(self, source: Node, edge_role: Union[str, Role], target: Node) -> None:
         """Remove an edge if present."""
@@ -94,8 +154,11 @@ class Graph:
         if r.inverted:
             source, target = target, source
             r = r.base
-        self._out.get(source, {}).get(r.name, set()).discard(target)
-        self._in.get(target, {}).get(r.name, set()).discard(source)
+        targets = self._out.get(source, {}).get(r.name, set())
+        if target in targets:
+            targets.discard(target)
+            self._in.get(target, {}).get(r.name, set()).discard(source)
+            self._record(("-edge", source, r.name, target))
 
     def remove_node(self, node: Node) -> None:
         """Remove a node and all incident edges."""
@@ -106,9 +169,12 @@ class Graph:
         for r_name, sources in list(self._in[node].items()):
             for source in list(sources):
                 self.remove_edge(source, r_name, node)
+        for name in self._labels[node]:
+            self._label_index.get(name, set()).discard(node)
         del self._labels[node]
         del self._out[node]
         del self._in[node]
+        self._record(("-node", node))
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -143,6 +209,10 @@ class Graph:
         present = parsed.name in self._labels[node]
         return present != parsed.negated
 
+    def nodes_with_label(self, name: str) -> frozenset[Node]:
+        """All nodes carrying the positive label ``name`` (index lookup)."""
+        return frozenset(self._label_index.get(name, ()))
+
     def successors(self, node: Node, edge_role: Union[str, Role]) -> frozenset[Node]:
         """The set ``{v : (node, v) ∈ r^G}``, with ``r-`` meaning predecessors."""
         self._require(node)
@@ -150,9 +220,28 @@ class Graph:
         table = self._in if r.inverted else self._out
         return frozenset(table[node].get(r.name, ()))
 
+    def successors_by_name(self, node: Node, role_name: str, inverted: bool):
+        """Raw successor set for a base role name (no parsing, no copy).
+
+        The fast-path accessor used by compiled query matchers; the returned
+        set must not be mutated by the caller.
+        """
+        table = self._in if inverted else self._out
+        return table[node].get(role_name, _EMPTY_SET)
+
     def predecessors(self, node: Node, edge_role: Union[str, Role]) -> frozenset[Node]:
         """Successors of the inverse role."""
         return self.successors(node, role(edge_role).inverse())
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """All nodes adjacent to ``node`` via any role, in either direction."""
+        self._require(node)
+        result: set[Node] = set()
+        for targets in self._out[node].values():
+            result |= targets
+        for sources in self._in[node].values():
+            result |= sources
+        return result
 
     def has_edge(self, source: Node, edge_role: Union[str, Role], target: Node) -> bool:
         return source in self and target in self.successors(source, edge_role)

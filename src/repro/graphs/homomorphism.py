@@ -23,11 +23,49 @@ def _label_compatible(source: Graph, u: Node, target: Graph, v: Node) -> bool:
     return source.labels_of(u) == target.labels_of(v)
 
 
+def _neighbor_profile(
+    graph: Graph, node: Node, roles: list[str]
+) -> list[set[frozenset[str]]]:
+    """Per (role, direction): the set of label sets of the node's neighbours."""
+    profile: list[set[frozenset[str]]] = []
+    for r_name in roles:
+        for inverted in (False, True):
+            profile.append(
+                {
+                    graph.labels_of(w)
+                    for w in graph.successors_by_name(node, r_name, inverted)
+                }
+            )
+    return profile
+
+
 def _candidates(source: Graph, target: Graph) -> Optional[dict[Node, list[Node]]]:
-    """Per-node candidate images filtered by labels and degree profile."""
+    """Per-node candidate images filtered by labels and degree profile.
+
+    ``h(u) = v`` forces every r-successor (r-predecessor) of ``u`` onto an
+    r-successor (r-predecessor) of ``v`` carrying the *same* label set, so
+    per (role, direction) the label sets seen around ``u`` must be a subset
+    of those seen around ``v``.  Degrees themselves are not preserved
+    (homomorphisms may merge neighbours), so the profile compares label-set
+    families, not counts.
+    """
+    roles = sorted(source.role_names())
+    target_nodes = target.node_list()
+    target_profiles = {
+        v: _neighbor_profile(target, v, roles) for v in target_nodes
+    }
     table: dict[Node, list[Node]] = {}
     for u in source.node_list():
-        options = [v for v in target.node_list() if _label_compatible(source, u, target, v)]
+        u_profile = _neighbor_profile(source, u, roles)
+        options = [
+            v
+            for v in target_nodes
+            if _label_compatible(source, u, target, v)
+            and all(
+                needed <= offered
+                for needed, offered in zip(u_profile, target_profiles[v])
+            )
+        ]
         if not options:
             return None
         table[u] = options
@@ -45,12 +83,36 @@ def _edge_consistent(source: Graph, target: Graph, assignment: dict[Node, Node],
     return True
 
 
+def _search_order(source: Graph, table: dict[Node, list[Node]]) -> list[Node]:
+    """Fail-first variable order: fewest candidates, preferring nodes already
+    adjacent to a placed node so edge checks prune each extension immediately."""
+    nodes = source.node_list()
+    position = {u: i for i, u in enumerate(nodes)}
+    neighbors = {u: source.neighbors(u) for u in nodes}
+    order: list[Node] = []
+    placed: set[Node] = set()
+    pool = set(nodes)
+    while pool:
+        pick = min(
+            pool,
+            key=lambda u: (
+                0 if (not placed or neighbors[u] & placed) else 1,
+                len(table[u]),
+                position[u],
+            ),
+        )
+        order.append(pick)
+        placed.add(pick)
+        pool.discard(pick)
+    return order
+
+
 def homomorphisms(source: Graph, target: Graph) -> Iterator[dict[Node, Node]]:
     """Enumerate all homomorphisms ``source → target`` (paper semantics)."""
     table = _candidates(source, target)
     if table is None:
         return
-    order = sorted(source.node_list(), key=lambda u: len(table[u]))
+    order = _search_order(source, table)
     assignment: dict[Node, Node] = {}
 
     def search(index: int) -> Iterator[dict[Node, Node]]:
@@ -113,7 +175,7 @@ def isomorphisms(left: Graph, right: Graph) -> Iterator[dict[Node, Node]]:
     table = _candidates(left, right)
     if table is None:
         return
-    order = sorted(left.node_list(), key=lambda u: len(table[u]))
+    order = _search_order(left, table)
     assignment: dict[Node, Node] = {}
     used: set[Node] = set()
 

@@ -105,18 +105,32 @@ Label = Union[NodeLabel, Role]
 """An element of Γ± ∪ Σ± — the alphabet of regular expressions in queries."""
 
 
+_NODE_LABEL_CACHE: dict[str, NodeLabel] = {}
+_ROLE_CACHE: dict[str, Role] = {}
+
+
 def node_label(value: Union[str, NodeLabel]) -> NodeLabel:
-    """Coerce a string (``"A"`` / ``"!A"``) or :class:`NodeLabel` to a label."""
+    """Coerce a string (``"A"`` / ``"!A"``) or :class:`NodeLabel` to a label.
+
+    String coercions are memoized: both values are immutable, the alphabet
+    of any run is tiny, and the chase coerces on every mutation.
+    """
     if isinstance(value, NodeLabel):
         return value
-    return NodeLabel.parse(value)
+    cached = _NODE_LABEL_CACHE.get(value)
+    if cached is None:
+        cached = _NODE_LABEL_CACHE[value] = NodeLabel.parse(value)
+    return cached
 
 
 def role(value: Union[str, Role]) -> Role:
     """Coerce a string (``"r"`` / ``"r-"``) or :class:`Role` to a role."""
     if isinstance(value, Role):
         return value
-    return Role.parse(value)
+    cached = _ROLE_CACHE.get(value)
+    if cached is None:
+        cached = _ROLE_CACHE[value] = Role.parse(value)
+    return cached
 
 
 def roles_with_inverses(names: Iterable[Union[str, Role]]) -> set[Role]:

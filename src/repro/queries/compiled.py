@@ -1,0 +1,334 @@
+"""Compiled query matchers — the per-decision compilation step of the
+incremental chase engine.
+
+Evaluating a (U)C2RPQ thousands of times during a chase pays, on every
+single call, for work that depends only on the *query*: scanning a
+semiautomaton's whole transition set to find the outgoing transitions of a
+state, re-parsing role strings, and re-discovering which atoms share an
+automaton.  This module hoists all of that into a one-time compilation:
+
+* :class:`CompiledAutomaton` — per-state, label-indexed transition tables
+  for one semiautomaton (the ε-free normal form produced by
+  :func:`repro.automata.semiautomaton.compile_regex`; ε-closures are folded
+  in at regex-compilation time, and ε-acceptance of the designated pair is
+  carried on each atom);
+* :class:`CompiledAtom` — one 2RPQ atom 𝒜_{s,s'} bound to its table, keyed
+  so that atoms sharing (automaton, state pair, ε-acceptance) share one
+  evaluation;
+* :class:`CompiledDisjunct` / :class:`CompiledQuery` — a C2RPQ / UC2RPQ
+  with its atoms compiled and its *relevance signature* precomputed: which
+  label names and role names can possibly affect each disjunct's matches.
+  The relevance signature is what lets the incremental evaluator skip
+  disjuncts untouched by a graph delta.
+
+Compilation results are cached in :class:`repro.kernel.memo.BoundedMemo`
+instances keyed by query identity; cached values keep their query alive, so
+an ``id``-key can never be observed stale.  A decision that evaluates the
+same UC2RPQ at every chase step compiles it exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.automata.semiautomaton import Semiautomaton, State
+from repro.graphs.graph import Graph, Node
+from repro.graphs.labels import NodeLabel, Role
+from repro.kernel.memo import BoundedMemo
+from repro.queries.atoms import Atom, ConceptAtom, PathAtom
+from repro.queries.crpq import CRPQ
+from repro.queries.ucrpq import UCRPQ
+
+Config = tuple[Node, State]
+AtomKey = tuple[int, State, State, bool]
+"""(id of automaton, start, end, ε-acceptance) — the sharing key of an atom.
+
+ε-acceptance is part of the key because it is tracked outside the
+semiautomaton (see :class:`CompiledRegex`), so two atoms over the same
+automaton and pair may still denote different relations.
+"""
+
+
+class CompiledAutomaton:
+    """Label-indexed transition tables of one semiautomaton."""
+
+    __slots__ = (
+        "automaton",
+        "role_table",
+        "test_table",
+        "tests_by_name",
+        "roles_by_name",
+        "test_names",
+        "negated_test_names",
+        "role_names",
+    )
+
+    def __init__(self, automaton: Semiautomaton) -> None:
+        self.automaton = automaton  # keepalive: id(automaton) stays valid
+        role_table: dict[State, dict[tuple[str, bool], list[State]]] = {}
+        test_table: dict[State, list[tuple[str, bool, State]]] = {}
+        tests_by_name: dict[str, list[tuple[State, bool, State]]] = {}
+        roles_by_name: dict[str, list[tuple[State, bool, State]]] = {}
+        negated: set[str] = set()
+        for source, label, target in automaton.transitions:
+            if isinstance(label, Role):
+                key = (label.name, label.inverted)
+                role_table.setdefault(source, {}).setdefault(key, []).append(target)
+                roles_by_name.setdefault(label.name, []).append(
+                    (source, label.inverted, target)
+                )
+            else:
+                assert isinstance(label, NodeLabel)
+                test_table.setdefault(source, []).append(
+                    (label.name, label.negated, target)
+                )
+                tests_by_name.setdefault(label.name, []).append(
+                    (source, label.negated, target)
+                )
+                if label.negated:
+                    negated.add(label.name)
+        self.role_table = {
+            state: {key: tuple(targets) for key, targets in table.items()}
+            for state, table in role_table.items()
+        }
+        self.test_table = {state: tuple(tests) for state, tests in test_table.items()}
+        self.tests_by_name = {
+            name: tuple(tests) for name, tests in tests_by_name.items()
+        }
+        self.roles_by_name = {
+            name: tuple(steps) for name, steps in roles_by_name.items()
+        }
+        self.test_names = frozenset(tests_by_name)
+        self.negated_test_names = frozenset(negated)
+        self.role_names = frozenset(roles_by_name)
+
+
+class CompiledAtom:
+    """One 2RPQ atom bound to its compiled automaton tables."""
+
+    __slots__ = ("key", "auto", "start", "end", "accepts_epsilon")
+
+    def __init__(self, atom: PathAtom, auto: CompiledAutomaton) -> None:
+        compiled = atom.compiled
+        self.auto = auto
+        self.start = compiled.pair.start
+        self.end = compiled.pair.end
+        self.accepts_epsilon = compiled.accepts_epsilon
+        self.key: AtomKey = (
+            id(auto.automaton), self.start, self.end, self.accepts_epsilon
+        )
+
+
+class CompiledDisjunct:
+    """A C2RPQ with compiled atoms and its relevance signature."""
+
+    __slots__ = (
+        "crpq",
+        "path_atoms",
+        "atom_of",
+        "concept_label_names",
+        "relevant_label_names",
+        "relevant_role_names",
+    )
+
+    def __init__(self, crpq: CRPQ, atoms: list[tuple[PathAtom, CompiledAtom]]) -> None:
+        self.crpq = crpq
+        self.path_atoms = atoms
+        self.atom_of = {atom: catom for atom, catom in atoms}
+        concept_names = frozenset(a.label.name for a in crpq.concept_atoms)
+        labels = set(concept_names)
+        roles: set[str] = set()
+        for _atom, catom in atoms:
+            labels |= catom.auto.test_names
+            roles |= catom.auto.role_names
+        self.concept_label_names = concept_names
+        self.relevant_label_names = frozenset(labels)
+        self.relevant_role_names = frozenset(roles)
+
+
+class CompiledQuery:
+    """A UC2RPQ compiled disjunct-by-disjunct, with shared atom states."""
+
+    __slots__ = ("query", "disjuncts", "atom_index", "atom_disjuncts")
+
+    def __init__(self, query: UCRPQ, disjuncts: list[CompiledDisjunct]) -> None:
+        self.query = query
+        self.disjuncts = disjuncts
+        self.atom_index: dict[AtomKey, CompiledAtom] = {}
+        self.atom_disjuncts: dict[AtomKey, list[int]] = {}
+        for index, disjunct in enumerate(disjuncts):
+            for _atom, catom in disjunct.path_atoms:
+                self.atom_index.setdefault(catom.key, catom)
+                owners = self.atom_disjuncts.setdefault(catom.key, [])
+                if index not in owners:
+                    owners.append(index)
+
+
+_AUTOMATON_MEMO = BoundedMemo(max_entries=4096)
+_DISJUNCT_MEMO = BoundedMemo(max_entries=4096)
+_QUERY_MEMO = BoundedMemo(max_entries=2048)
+
+
+def compile_automaton(automaton: Semiautomaton) -> CompiledAutomaton:
+    """Table-compile one semiautomaton (cached by identity)."""
+    cached = _AUTOMATON_MEMO.get(id(automaton))
+    if cached is not None and cached.automaton is automaton:
+        return cached
+    compiled = CompiledAutomaton(automaton)
+    _AUTOMATON_MEMO.put(id(automaton), compiled)
+    return compiled
+
+
+def compile_disjunct(crpq: CRPQ) -> CompiledDisjunct:
+    """Compile one C2RPQ (cached by identity; the cache keeps it alive)."""
+    cached = _DISJUNCT_MEMO.get(id(crpq))
+    if cached is not None and cached.crpq is crpq:
+        return cached
+    atoms = [
+        (atom, CompiledAtom(atom, compile_automaton(atom.compiled.automaton)))
+        for atom in crpq.path_atoms
+    ]
+    compiled = CompiledDisjunct(crpq, atoms)
+    _DISJUNCT_MEMO.put(id(crpq), compiled)
+    return compiled
+
+
+def compile_query(query: UCRPQ) -> CompiledQuery:
+    """Compile a UC2RPQ (cached by identity; the cache keeps it alive)."""
+    cached = _QUERY_MEMO.get(id(query))
+    if cached is not None and cached.query is query:
+        return cached
+    compiled = CompiledQuery(query, [compile_disjunct(q) for q in query])
+    _QUERY_MEMO.put(id(query), compiled)
+    return compiled
+
+
+def compile_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the compilation caches (for benchmarks)."""
+    return {
+        "automaton_hits": _AUTOMATON_MEMO.hits,
+        "automaton_misses": _AUTOMATON_MEMO.misses,
+        "disjunct_hits": _DISJUNCT_MEMO.hits,
+        "disjunct_misses": _DISJUNCT_MEMO.misses,
+        "query_hits": _QUERY_MEMO.hits,
+        "query_misses": _QUERY_MEMO.misses,
+    }
+
+
+# --------------------------------------------------------------------- #
+# evaluation over compiled tables
+
+
+def extend_reach(
+    graph: Graph,
+    cauto: CompiledAutomaton,
+    seeds: Iterable[Config],
+    seen: set[Config],
+) -> list[Config]:
+    """Grow ``seen`` (in place) with everything reachable from ``seeds``.
+
+    Seeds already in ``seen`` are skipped; the return value lists exactly
+    the configurations added.  This one worklist serves both full
+    evaluation (seeded with ``(source, start)``) and delta extension
+    (seeded with the configurations enabled by a graph delta).
+    """
+    role_table = cauto.role_table
+    test_table = cauto.test_table
+    labels_of = graph._labels
+    added: list[Config] = []
+    stack: list[Config] = []
+    for seed in seeds:
+        if seed not in seen:
+            seen.add(seed)
+            added.append(seed)
+            stack.append(seed)
+    while stack:
+        node, state = stack.pop()
+        by_role = role_table.get(state)
+        if by_role:
+            for (role_name, inverted), targets in by_role.items():
+                for successor in graph.successors_by_name(node, role_name, inverted):
+                    for target_state in targets:
+                        config = (successor, target_state)
+                        if config not in seen:
+                            seen.add(config)
+                            added.append(config)
+                            stack.append(config)
+        tests = test_table.get(state)
+        if tests:
+            labels = labels_of[node]
+            for name, negated, target_state in tests:
+                if (name in labels) != negated:
+                    config = (node, target_state)
+                    if config not in seen:
+                        seen.add(config)
+                        added.append(config)
+                        stack.append(config)
+    return added
+
+
+def atom_reach(graph: Graph, catom: CompiledAtom) -> dict[Node, set[Config]]:
+    """Per-source reachable configuration sets of one compiled atom."""
+    reach: dict[Node, set[Config]] = {}
+    for source in graph.node_list():
+        seen: set[Config] = set()
+        extend_reach(graph, catom.auto, [(source, catom.start)], seen)
+        reach[source] = seen
+    return reach
+
+
+def atom_relation(graph: Graph, catom: CompiledAtom) -> set[tuple[Node, Node]]:
+    """The binary relation of one compiled atom (cf. ``rpq_relation``)."""
+    relation: set[tuple[Node, Node]] = set()
+    if catom.accepts_epsilon:
+        relation.update((v, v) for v in graph.node_list())
+    end = catom.end
+    for source, seen in atom_reach(graph, catom).items():
+        relation.update((source, node) for node, state in seen if state == end)
+    return relation
+
+
+# --------------------------------------------------------------------- #
+# structural keys (exact, collision-free query fingerprints)
+
+_FINGERPRINT_MEMO = BoundedMemo(max_entries=4096)
+
+
+def automaton_fingerprint(automaton: Semiautomaton) -> tuple:
+    """A structural, hashable fingerprint of a semiautomaton."""
+    cached = _FINGERPRINT_MEMO.get(id(automaton))
+    if cached is not None and cached[0] is automaton:
+        return cached[1]
+    fingerprint = (frozenset(automaton.states), frozenset(automaton.transitions))
+    _FINGERPRINT_MEMO.put(id(automaton), (automaton, fingerprint))
+    return fingerprint
+
+
+def _structural_atom_key(atom: Atom) -> tuple:
+    if isinstance(atom, ConceptAtom):
+        return ("c", atom.label, atom.variable)
+    assert isinstance(atom, PathAtom)
+    compiled = atom.compiled
+    return (
+        "p",
+        automaton_fingerprint(compiled.automaton),
+        compiled.pair.start,
+        compiled.pair.end,
+        compiled.accepts_epsilon,
+        atom.source,
+        atom.target,
+    )
+
+
+def structural_disjunct_key(crpq: CRPQ) -> tuple:
+    """An exact structural key of a C2RPQ (unlike the string-based
+    ``query_key``, distinct automata never collide)."""
+    return (
+        tuple(_structural_atom_key(atom) for atom in crpq.atoms),
+        frozenset(crpq.isolated_variables),
+    )
+
+
+def structural_query_key(query: UCRPQ) -> tuple:
+    """An exact structural key of a UC2RPQ."""
+    return tuple(structural_disjunct_key(q) for q in query)

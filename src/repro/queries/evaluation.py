@@ -1,65 +1,92 @@
 """Evaluating (U)C2RPQs over finite graphs.
 
 Each path atom is evaluated to a binary relation via the graph × automaton
-product (BFS reachability), then the conjunctive skeleton is solved by a
-backtracking join ordered to bind connected variables early.
+product (BFS reachability over the label-indexed tables of
+:mod:`repro.queries.compiled`), then the conjunctive skeleton is solved by
+a backtracking join ordered to bind connected variables early.
+
+The join lives in :func:`join_matches` so that the incremental evaluator
+(:mod:`repro.queries.incremental`) can reuse it verbatim over
+delta-maintained relations — identical join code is what makes the
+incremental and full evaluation paths bit-identical.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.automata.product import rpq_relation
 from repro.graphs.graph import Graph, Node
+from repro.graphs.labels import node_label
 from repro.queries.atoms import PathAtom, Variable
+from repro.queries.compiled import atom_relation, compile_disjunct
 from repro.queries.crpq import CRPQ
 from repro.queries.ucrpq import UCRPQ
 
 Match = dict[Variable, Node]
+Relations = dict[PathAtom, set[tuple[Node, Node]]]
 
 
-def _atom_relations(graph: Graph, query: CRPQ) -> dict[PathAtom, set[tuple[Node, Node]]]:
-    relations: dict[PathAtom, set[tuple[Node, Node]]] = {}
-    cache: dict[tuple[int, int, int], set[tuple[Node, Node]]] = {}
-    for atom in query.path_atoms:
-        key = (id(atom.compiled.automaton), atom.compiled.pair.start, atom.compiled.pair.end)
-        if key not in cache:
-            cache[key] = rpq_relation(graph, atom.compiled)
-        relations[atom] = cache[key]
+def _atom_relations(graph: Graph, query: CRPQ) -> Relations:
+    """Per-atom binary relations, shared between atoms with equal keys.
+
+    The sharing key includes ε-acceptance (carried outside the automaton),
+    so two atoms over the same automaton and state pair that differ only in
+    ε-acceptance never alias each other's relation.
+    """
+    compiled = compile_disjunct(query)
+    relations: Relations = {}
+    cache: dict[tuple, set[tuple[Node, Node]]] = {}
+    for atom, catom in compiled.path_atoms:
+        if catom.key not in cache:
+            cache[catom.key] = atom_relation(graph, catom)
+        relations[atom] = cache[catom.key]
     return relations
 
 
-def find_match(graph: Graph, query: CRPQ) -> Optional[Match]:
-    """A match of ``query`` in ``graph``, or ``None``."""
-    return next(matches(graph, query), None)
-
-
-def matches(
-    graph: Graph, query: CRPQ, fixed: Optional[Match] = None
+def join_matches(
+    graph: Graph,
+    query: CRPQ,
+    relations: Relations,
+    fixed: Optional[Match] = None,
+    columns: Optional[dict[PathAtom, tuple[set[Node], set[Node]]]] = None,
 ) -> Iterator[Match]:
-    """Enumerate all matches of ``query`` in ``graph``.
+    """Backtracking join of ``query`` given its path-atom ``relations``.
 
-    ``fixed`` pins selected variables to given nodes (pointed-query
-    satisfaction, Lemma 3.7).
+    The enumeration is a pure function of (graph node set, query, relations,
+    fixed) *as sets* — candidate ordering is re-sorted internally — so both
+    the full and the incremental evaluation paths call this same generator
+    and yield identical matches.  ``columns`` optionally supplies the
+    precomputed (source, target) projections of each relation; when given
+    they must equal the projections as sets (the incremental evaluator
+    maintains them so the join need not rescan quadratic relations).
     """
     nodes = graph.node_list()
     if not nodes and query.variables:
         return
-    relations = _atom_relations(graph, query)
 
-    # candidate domains from concept atoms
+    # candidate domains from concept atoms (via the graph's label index)
     domains: dict[Variable, set[Node]] = {v: set(nodes) for v in query.variables}
     for variable, node in (fixed or {}).items():
         if variable in domains:
             domains[variable] &= {node}
     for atom in query.concept_atoms:
-        domains[atom.variable] &= {v for v in nodes if graph.has_label(v, atom.label)}
+        parsed = node_label(atom.label)
+        labelled = graph.nodes_with_label(parsed.name)
+        if parsed.negated:
+            domains[atom.variable] -= labelled
+        else:
+            domains[atom.variable] &= labelled
 
     # forward/backward pruning from path-atom relations
     for atom in query.path_atoms:
-        relation = relations[atom]
-        domains[atom.source] &= {a for a, _b in relation}
-        domains[atom.target] &= {b for _a, b in relation}
+        if columns is not None and atom in columns:
+            sources, targets = columns[atom]
+        else:
+            relation = relations[atom]
+            sources = {a for a, _b in relation}
+            targets = {b for _a, b in relation}
+        domains[atom.source] &= sources
+        domains[atom.target] &= targets
     if any(not domain for domain in domains.values()):
         return
 
@@ -104,6 +131,24 @@ def matches(
             del assignment[variable]
 
     yield from extend(0)
+
+
+def find_match(graph: Graph, query: CRPQ) -> Optional[Match]:
+    """A match of ``query`` in ``graph``, or ``None``."""
+    return next(matches(graph, query), None)
+
+
+def matches(
+    graph: Graph, query: CRPQ, fixed: Optional[Match] = None
+) -> Iterator[Match]:
+    """Enumerate all matches of ``query`` in ``graph``.
+
+    ``fixed`` pins selected variables to given nodes (pointed-query
+    satisfaction, Lemma 3.7).
+    """
+    if not graph.node_list() and query.variables:
+        return
+    yield from join_matches(graph, query, _atom_relations(graph, query), fixed)
 
 
 def satisfies(graph: Graph, query: CRPQ) -> bool:

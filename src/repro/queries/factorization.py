@@ -41,7 +41,9 @@ from typing import Iterable, Iterator, Optional
 from repro.automata.semiautomaton import CompiledRegex, Semiautomaton, StatePair
 from repro.graphs.graph import Graph
 from repro.graphs.labels import NodeLabel
+from repro.kernel.memo import BoundedMemo
 from repro.queries.atoms import Atom, ConceptAtom, PathAtom, Variable
+from repro.queries.compiled import structural_query_key
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import pointed_satisfies
 from repro.queries.ucrpq import UCRPQ
@@ -505,12 +507,34 @@ def is_local_query(query: UCRPQ) -> bool:
     return True
 
 
+_FACTORIZATION_MEMO = BoundedMemo(max_entries=512)
+"""Cross-decision Q̂ cache keyed by exact query structure.
+
+Workloads decide many containments against the same right-hand query; the
+Q̂ construction is exponential in general, so each structurally distinct
+(query, use_shortcuts, max_factors) triple is built once and shared.  The
+cached :class:`Factorization` is treated as immutable by all callers."""
+
+_BUILD_COUNT = 0
+"""How many times the full Q̂ construction actually ran (misses)."""
+
+
+def factorization_cache_stats() -> dict[str, int]:
+    """Counters for the Q̂ memo: constructions run vs. cache hits."""
+    return {
+        "builds": _BUILD_COUNT,
+        "hits": _FACTORIZATION_MEMO.hits,
+        "misses": _FACTORIZATION_MEMO.misses,
+        "entries": len(_FACTORIZATION_MEMO),
+    }
+
+
 def factorize(
     query: UCRPQ,
     use_shortcuts: Optional[bool] = None,
     max_factors: int = 4000,
 ) -> Factorization:
-    """Construct Q̂ per Lemma 3.7.
+    """Construct Q̂ per Lemma 3.7 (memoized by query structure).
 
     ``use_shortcuts`` controls the detour machinery (loop factors and
     shortcut transitions); by default it is enabled exactly for non-simple
@@ -519,7 +543,28 @@ def factorize(
 
     Local queries (single-node or single-edge disjuncts) are already
     factorized, so they are returned as their own Q̂ with no permissions.
+
+    Results are shared across decisions through a bounded memo keyed by the
+    exact structural form of the query (plus both options), so two decisions
+    over the same Q pay for one construction; see
+    :func:`factorization_cache_stats`.
     """
+    global _BUILD_COUNT
+    memo_key = (structural_query_key(query), use_shortcuts, max_factors)
+    cached = _FACTORIZATION_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    _BUILD_COUNT += 1
+    result = _build_factorization(query, use_shortcuts, max_factors)
+    _FACTORIZATION_MEMO.put(memo_key, result)
+    return result
+
+
+def _build_factorization(
+    query: UCRPQ,
+    use_shortcuts: Optional[bool],
+    max_factors: int,
+) -> Factorization:
     if not query.is_connected():
         raise ValueError("factorization requires a connected UC2RPQ")
     if is_local_query(query):

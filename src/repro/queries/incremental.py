@@ -1,0 +1,461 @@
+"""Delta-driven UC2RPQ evaluation for the chase.
+
+The chase mutates one graph by small steps (add a label, add an edge, add a
+fresh witness node) and asks "does the avoided query match now?" after each.
+:class:`IncrementalUnionEvaluator` answers that question by *maintaining*
+per-atom reachability instead of recomputing it:
+
+* per atom 𝒜_{s,s'}, the per-source configuration sets of the graph ×
+  automaton product and the induced binary relation are kept materialised;
+* a graph delta (read off the :class:`~repro.graphs.graph.Graph` change
+  journal) seeds the product BFS only with the configurations the new
+  edge/label/node enables, and the closure is *extended*, never rebuilt;
+* per disjunct, the last join result is cached and reused while no delta
+  touches the disjunct's relevance signature (its label and role names).
+
+Additions are monotone for the product closure with one exception: adding a
+label ``A`` *disables* negated tests ``¬A``, so atoms whose automaton
+mentions ``¬A`` are recomputed from scratch (per-atom, not per-query).
+Removals are non-monotone wholesale; an unmanaged removal in the journal
+triggers a full rebuild.  The chase never takes that path for its own
+backtracking: it brackets every mutate/undo pair between
+:meth:`checkpoint` and :meth:`rollback`, and rollback restores the
+evaluator by discarding the frame's recorded deltas in O(|delta|).
+
+Bit-identical with the full evaluator by construction: the maintained
+relations equal the from-scratch relations as sets, and the join is the
+same :func:`repro.queries.evaluation.join_matches` generator, so the first
+match found (and hence every chase decision) is the same object either
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.graph import Graph, Node
+from repro.queries.compiled import (
+    AtomKey,
+    CompiledAtom,
+    Config,
+    atom_reach,
+    compile_query,
+    extend_reach,
+)
+from repro.queries.crpq import CRPQ
+from repro.queries.evaluation import Match, join_matches
+from repro.queries.ucrpq import UCRPQ
+
+_UNSET = object()
+
+
+class _AtomState:
+    """Materialised product reachability of one atom.
+
+    ``src_count``/``tgt_count`` are the column projections of ``relation``
+    as multiplicity maps (node → number of supporting pairs), so the join
+    can receive the projections without rescanning a quadratic relation and
+    rollback can retract pairs without recomputing them.
+    """
+
+    __slots__ = ("reach", "relation", "src_count", "tgt_count")
+
+    def __init__(
+        self,
+        reach: dict[Node, set[Config]],
+        relation: set[tuple[Node, Node]],
+    ) -> None:
+        self.reach = reach
+        self.relation = relation
+        self.src_count, self.tgt_count = _column_counts(relation)
+
+
+def _column_counts(
+    relation: set[tuple[Node, Node]],
+) -> tuple[dict[Node, int], dict[Node, int]]:
+    src_count: dict[Node, int] = {}
+    tgt_count: dict[Node, int] = {}
+    for a, b in relation:
+        src_count[a] = src_count.get(a, 0) + 1
+        tgt_count[b] = tgt_count.get(b, 0) + 1
+    return src_count, tgt_count
+
+
+def _retract_pair(state: "_AtomState", pair: tuple[Node, Node]) -> None:
+    """Remove one recorded pair and its column support."""
+    state.relation.discard(pair)
+    a, b = pair
+    count = state.src_count.get(a, 0) - 1
+    if count > 0:
+        state.src_count[a] = count
+    else:
+        state.src_count.pop(a, None)
+    count = state.tgt_count.get(b, 0) - 1
+    if count > 0:
+        state.tgt_count[b] = count
+    else:
+        state.tgt_count.pop(b, None)
+
+
+class _Frame:
+    """Undo log of one checkpoint: everything added after it.
+
+    ``replaced`` holds the frame-start (reach, relation) of atoms that were
+    recomputed wholesale inside the frame (negated-test events); for those
+    keys rollback restores the snapshot and no deltas are recorded.
+    """
+
+    __slots__ = (
+        "reach_deltas",
+        "rel_deltas",
+        "new_sources",
+        "replaced",
+        "saved_disjuncts",
+        "poisoned",
+    )
+
+    def __init__(self) -> None:
+        self.reach_deltas: dict[AtomKey, list[tuple[Node, Config]]] = {}
+        self.rel_deltas: dict[AtomKey, list[tuple[Node, Node]]] = {}
+        self.new_sources: dict[AtomKey, list[Node]] = {}
+        self.replaced: dict[AtomKey, tuple[dict, set, dict, dict]] = {}
+        self.saved_disjuncts: dict[int, tuple[bool, object]] = {}
+        self.poisoned = False
+
+
+class IncrementalUnionEvaluator:
+    """Maintains ``find_union_match(graph, query)`` under graph deltas."""
+
+    def __init__(self, graph: Graph, query: UCRPQ) -> None:
+        graph.enable_change_tracking()
+        self.graph = graph
+        self.query = query
+        self.compiled = compile_query(query)
+        self._frames: list[_Frame] = []
+        # instrumentation (surfaced by benchmarks / SearchOutcome)
+        self.full_rebuilds = 0
+        self.join_runs = 0
+        self.join_skips = 0
+        self._rebuild()
+
+    # ------------------------------------------------------------- state
+
+    def _rebuild(self) -> None:
+        """Recompute every atom state from scratch on the current graph."""
+        graph = self.graph
+        nodes = graph.node_list()
+        self._atom_states: dict[AtomKey, _AtomState] = {}
+        for key, catom in self.compiled.atom_index.items():
+            reach = atom_reach(graph, catom)
+            relation: set[tuple[Node, Node]] = set()
+            if catom.accepts_epsilon:
+                relation.update((v, v) for v in nodes)
+            end = catom.end
+            for source, seen in reach.items():
+                relation.update((source, n) for n, st in seen if st == end)
+            self._atom_states[key] = _AtomState(reach, relation)
+        count = len(self.compiled.disjuncts)
+        self._dirty = [True] * count
+        self._cache: list[object] = [_UNSET] * count
+        self._cursor = len(self.graph.journal or ())
+        for frame in self._frames:
+            frame.poisoned = True
+
+    # ------------------------------------------------------ frame helpers
+
+    def _top(self) -> Optional[_Frame]:
+        return self._frames[-1] if self._frames else None
+
+    def _touch_disjunct(self, index: int) -> None:
+        frame = self._top()
+        if frame is not None and index not in frame.saved_disjuncts:
+            frame.saved_disjuncts[index] = (self._dirty[index], self._cache[index])
+
+    def _mark_dirty(self, index: int) -> None:
+        self._touch_disjunct(index)
+        self._dirty[index] = True
+
+    def _add_pairs(
+        self, key: AtomKey, state: _AtomState, pairs: list[tuple[Node, Node]]
+    ) -> None:
+        frame = self._top()
+        record = None
+        if frame is not None and key not in frame.replaced:
+            record = frame.rel_deltas.setdefault(key, [])
+        relation = state.relation
+        src_count = state.src_count
+        tgt_count = state.tgt_count
+        for pair in pairs:
+            if pair not in relation:
+                relation.add(pair)
+                a, b = pair
+                src_count[a] = src_count.get(a, 0) + 1
+                tgt_count[b] = tgt_count.get(b, 0) + 1
+                if record is not None:
+                    record.append(pair)
+
+    def _extend(
+        self,
+        key: AtomKey,
+        catom: CompiledAtom,
+        state: _AtomState,
+        source: Node,
+        seeds: list[Config],
+    ) -> None:
+        added = extend_reach(self.graph, catom.auto, seeds, state.reach[source])
+        if not added:
+            return
+        frame = self._top()
+        if frame is not None and key not in frame.replaced:
+            frame.reach_deltas.setdefault(key, []).extend(
+                (source, config) for config in added
+            )
+        end = catom.end
+        self._add_pairs(key, state, [(source, n) for n, st in added if st == end])
+
+    def _replace_atom(self, key: AtomKey, catom: CompiledAtom) -> None:
+        """Non-monotone per-atom event: recompute from scratch.
+
+        If a frame is open, the atom is first *restored* to its frame-start
+        state (undoing the frame's deltas so far), and that state is moved
+        into ``frame.replaced`` — rollback then restores the original
+        objects, which outer frames' deltas still reference.
+        """
+        state = self._atom_states[key]
+        frame = self._top()
+        if frame is not None and key not in frame.replaced:
+            for source, config in reversed(frame.reach_deltas.pop(key, ())):
+                state.reach[source].discard(config)
+            for pair in reversed(frame.rel_deltas.pop(key, ())):
+                _retract_pair(state, pair)
+            for source in frame.new_sources.pop(key, ()):
+                state.reach.pop(source, None)
+            frame.replaced[key] = (
+                state.reach, state.relation, state.src_count, state.tgt_count
+            )
+        graph = self.graph
+        reach = atom_reach(graph, catom)
+        relation: set[tuple[Node, Node]] = set()
+        if catom.accepts_epsilon:
+            relation.update((v, v) for v in graph.node_list())
+        end = catom.end
+        for source, seen in reach.items():
+            relation.update((source, n) for n, st in seen if st == end)
+        state.reach = reach
+        state.relation = relation
+        state.src_count, state.tgt_count = _column_counts(relation)
+
+    # ----------------------------------------------------------- syncing
+
+    def _sync(self) -> None:
+        """Fold journal entries since the last sync into the atom states.
+
+        Every extension runs against the *final* graph, which is sound:
+        old configurations are closed under old transitions, each new
+        transition instance from an old configuration is seeded by its
+        entry, and :func:`extend_reach` closes new configurations under
+        the final graph — so the result is exactly the final-graph
+        fixpoint.
+        """
+        journal = self.graph.journal
+        assert journal is not None
+        if self._cursor == len(journal):
+            return
+        entries = journal[self._cursor :]
+        self._cursor = len(journal)
+        for entry in entries:
+            if entry[0] in ("-label", "-edge", "-node"):
+                # unmanaged non-monotone change: rebuild everything
+                self.full_rebuilds += 1
+                self._rebuild()
+                return
+        disjuncts = self.compiled.disjuncts
+        atom_index = self.compiled.atom_index
+        states = self._atom_states
+        for entry in entries:
+            kind = entry[0]
+            if kind == "+node":
+                node = entry[1]
+                for index in range(len(disjuncts)):
+                    self._mark_dirty(index)
+                for key, catom in atom_index.items():
+                    state = states[key]
+                    if node not in state.reach:
+                        state.reach[node] = set()
+                        frame = self._top()
+                        if frame is not None and key not in frame.replaced:
+                            frame.new_sources.setdefault(key, []).append(node)
+                    if catom.accepts_epsilon:
+                        self._add_pairs(key, state, [(node, node)])
+                    self._extend(key, catom, state, node, [(node, catom.start)])
+            elif kind == "+label":
+                _, node, name = entry
+                for index, disjunct in enumerate(disjuncts):
+                    if name in disjunct.relevant_label_names:
+                        self._mark_dirty(index)
+                for key, catom in atom_index.items():
+                    auto = catom.auto
+                    if name in auto.negated_test_names:
+                        self._replace_atom(key, catom)
+                    elif name in auto.test_names:
+                        steps = auto.tests_by_name[name]
+                        state = states[key]
+                        for source, seen in state.reach.items():
+                            seeds = [
+                                (node, target)
+                                for from_state, negated, target in steps
+                                if not negated and (node, from_state) in seen
+                            ]
+                            if seeds:
+                                self._extend(key, catom, state, source, seeds)
+            elif kind == "+edge":
+                _, u, role_name, v = entry
+                for index, disjunct in enumerate(disjuncts):
+                    if role_name in disjunct.relevant_role_names:
+                        self._mark_dirty(index)
+                for key, catom in atom_index.items():
+                    auto = catom.auto
+                    steps = auto.roles_by_name.get(role_name)
+                    if not steps:
+                        continue
+                    state = states[key]
+                    for source, seen in state.reach.items():
+                        seeds = []
+                        for from_state, inverted, target in steps:
+                            if not inverted and (u, from_state) in seen:
+                                seeds.append((v, target))
+                            if inverted and (v, from_state) in seen:
+                                seeds.append((u, target))
+                        if seeds:
+                            self._extend(key, catom, state, source, seeds)
+
+    # ------------------------------------------------------------ public
+
+    def checkpoint(self) -> int:
+        """Open an undo frame; returns a token for :meth:`rollback`.
+
+        Syncs first: entries that predate the checkpoint belong to the
+        surrounding state, not to the frame about to be rolled back.
+        """
+        self._sync()
+        token = len(self._frames)
+        self._frames.append(_Frame())
+        return token
+
+    def rollback(self, token: int) -> None:
+        """Restore the evaluator to its state at ``checkpoint() -> token``.
+
+        The caller must already have restored the *graph* to that state
+        (the chase undoes its own mutations).  Journal entries produced by
+        the mutate/undo pair are skipped by advancing the cursor.
+        """
+        frames = self._frames[token:]
+        del self._frames[token:]
+        if any(frame.poisoned for frame in frames):
+            # a full rebuild happened inside the frame; deltas are void
+            self._rebuild()
+            return
+        states = self._atom_states
+        for frame in reversed(frames):
+            for key, (reach, relation, src_count, tgt_count) in frame.replaced.items():
+                state = states[key]
+                state.reach = reach
+                state.relation = relation
+                state.src_count = src_count
+                state.tgt_count = tgt_count
+            for key, pairs in frame.rel_deltas.items():
+                state = states[key]
+                for pair in reversed(pairs):
+                    _retract_pair(state, pair)
+            for key, deltas in frame.reach_deltas.items():
+                reach = states[key].reach
+                for source, config in reversed(deltas):
+                    seen = reach.get(source)
+                    if seen is not None:
+                        seen.discard(config)
+            for key, sources in frame.new_sources.items():
+                reach = states[key].reach
+                for source in sources:
+                    reach.pop(source, None)
+            for index, (dirty, cache) in frame.saved_disjuncts.items():
+                self._dirty[index] = dirty
+                self._cache[index] = cache
+        self._cursor = len(self.graph.journal or ())
+
+    def commit(self, token: int) -> None:
+        """Dissolve the frames opened since ``token``, keeping their changes.
+
+        With an enclosing frame still open, the dissolved frames' undo
+        records are merged into it (first-touch saves keep the earliest
+        snapshot; delta lists concatenate in order), so a later rollback of
+        the enclosing frame still restores its checkpoint state exactly.
+        With no enclosing frame the records are dropped.
+
+        A frame never holds both a ``replaced`` snapshot and deltas for the
+        same atom, and deltas recorded *after* an enclosing snapshot exists
+        are dropped here: the snapshot restores those atoms wholesale.
+        """
+        frames = self._frames[token:]
+        del self._frames[token:]
+        parent = self._top()
+        if parent is None:
+            return
+        for frame in frames:
+            if frame.poisoned:
+                parent.poisoned = True
+            replaced = parent.replaced
+            for key, snapshot in frame.replaced.items():
+                replaced.setdefault(key, snapshot)
+            for key, pairs in frame.rel_deltas.items():
+                if key not in replaced:
+                    parent.rel_deltas.setdefault(key, []).extend(pairs)
+            for key, deltas in frame.reach_deltas.items():
+                if key not in replaced:
+                    parent.reach_deltas.setdefault(key, []).extend(deltas)
+            for key, sources in frame.new_sources.items():
+                if key not in replaced:
+                    parent.new_sources.setdefault(key, []).extend(sources)
+            for index, saved in frame.saved_disjuncts.items():
+                parent.saved_disjuncts.setdefault(index, saved)
+
+    def find_union_match(self) -> Optional[tuple[CRPQ, Match]]:
+        """The first matching disjunct with its match, or ``None``.
+
+        Identical to :func:`repro.queries.evaluation.find_union_match` on
+        the current graph: clean disjuncts replay their cached result,
+        dirty ones re-join over the maintained relations with the shared
+        join generator.
+        """
+        self._sync()
+        graph = self.graph
+        states = self._atom_states
+        for index, disjunct in enumerate(self.compiled.disjuncts):
+            if self._dirty[index] or self._cache[index] is _UNSET:
+                relations = {}
+                columns = {}
+                for atom, catom in disjunct.path_atoms:
+                    state = states[catom.key]
+                    relations[atom] = state.relation
+                    columns[atom] = (set(state.src_count), set(state.tgt_count))
+                match = next(
+                    join_matches(graph, disjunct.crpq, relations, columns=columns),
+                    None,
+                )
+                self.join_runs += 1
+                self._touch_disjunct(index)
+                self._dirty[index] = False
+                self._cache[index] = match
+            else:
+                self.join_skips += 1
+            cached = self._cache[index]
+            if cached is not None:
+                return (disjunct.crpq, dict(cached))
+        return None
+
+    def stats(self) -> dict[str, int]:
+        """Instrumentation counters (for benchmarks and tests)."""
+        return {
+            "full_rebuilds": self.full_rebuilds,
+            "join_runs": self.join_runs,
+            "join_skips": self.join_skips,
+        }

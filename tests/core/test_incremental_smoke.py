@@ -1,0 +1,33 @@
+"""CI smoke for the incremental-chase A/B benchmark (E17).
+
+Runs ``benchmarks/bench_search_incremental.py --quick`` — the sub-second
+E7 sweep with the incremental layer forced on and off — and fails if any
+verdict diverges, so tier-1 catches an on/off split without running the
+full benchmark suite.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_search_incremental.py"
+
+
+def test_quick_ab_smoke_verdicts_agree():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--quick"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"incremental A/B smoke failed (exit {proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    assert "VERDICT DIVERGENCE" not in proc.stderr

@@ -1,0 +1,152 @@
+"""Incremental-chase equivalence: the `incremental` switch must never change
+a verdict, a countermodel, or the certainty flag — only the speed.  Also
+covers the transposition-table counters surfaced on SearchOutcome."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.core.entailment import finitely_entails
+from repro.core.search import CountermodelSearch, SearchLimits
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import single_node_graph
+from repro.queries.parser import parse_query
+
+# the E7 scenario suite: (name, CIs, seed label, query, expected entailed)
+E7_CASES = [
+    ("loop escape", [("A", "exists r.A")], "A", "B(x)", False),
+    ("forced edge", [("A", "exists r.top")], "A", "r(x,y)", True),
+    ("disjunctive", [("A", "B | C")], "A", "B(x), C(x)", False),
+    ("chain", [("A", "exists r.B"), ("B", "exists r.C")], "A", "(r.r)(x,y), C(y)", True),
+    ("universal", [("A", "exists r.top"), ("A", "forall r.B")], "A", "B(x)", True),
+]
+
+
+def _outcome_fingerprint(outcome):
+    model = outcome.countermodel
+    return (
+        outcome.found,
+        outcome.exhausted,
+        None if model is None else model.describe(),
+    )
+
+
+class TestTranspositionTableCounters:
+    def test_counters_surface_when_incremental(self):
+        tbox = normalize(TBox.of([("A", "exists r.A")]))
+        seed = single_node_graph(["A"], node=0)
+        search = CountermodelSearch(
+            tbox, parse_query("B(x)"), seed,
+            limits=SearchLimits(incremental=True),
+        )
+        outcome = search.run()
+        assert outcome.found
+        assert outcome.tt_misses > 0  # every explored state is keyed
+        assert outcome.tt_hits >= 0
+
+    def test_counters_zero_when_disabled(self):
+        tbox = normalize(TBox.of([("A", "exists r.A")]))
+        seed = single_node_graph(["A"], node=0)
+        search = CountermodelSearch(
+            tbox, parse_query("B(x)"), seed,
+            limits=SearchLimits(incremental=False),
+        )
+        outcome = search.run()
+        assert outcome.found
+        assert outcome.tt_misses == 0 and outcome.tt_hits == 0
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("name,cis,seed_label,query,expected", E7_CASES)
+    def test_chase_outcomes_identical(self, name, cis, seed_label, query, expected):
+        tbox = normalize(TBox.of(cis))
+        union = parse_query(query)
+        outcomes = {}
+        for incremental in (True, False):
+            seed = single_node_graph([seed_label], node=0)
+            search = CountermodelSearch(
+                tbox, union, seed, limits=SearchLimits(incremental=incremental)
+            )
+            outcomes[incremental] = _outcome_fingerprint(search.run())
+        assert outcomes[True] == outcomes[False]
+        assert outcomes[True][0] != expected  # countermodel iff not entailed
+
+    @pytest.mark.parametrize("name,cis,seed_label,query,expected", E7_CASES)
+    def test_entailment_verdicts_identical(self, name, cis, seed_label, query, expected):
+        tbox = TBox.of(cis)
+        results = {}
+        for incremental in (True, False):
+            seed = single_node_graph([seed_label], node=0)
+            result = finitely_entails(
+                seed, tbox, parse_query(query),
+                limits=SearchLimits(incremental=incremental),
+            )
+            model = result.countermodel
+            results[incremental] = (
+                result.entailed,
+                result.method,
+                None if model is None else model.describe(),
+            )
+            assert result.entailed == expected
+        assert results[True] == results[False]
+
+
+CONTAINMENT_CASES = [
+    # (lhs, rhs, tbox CIs or None, method)
+    ("r(x,y)", "r*(x,y)", None, "auto"),
+    ("A(x), r(x,y)", "B(y)", [("A", "forall r.B")], "auto"),
+    ("A(x)", "r(x,y), B(y)", [("A", "exists r.B")], "auto"),
+    ("A(x)", "C(x)", [("A", "exists r.B")], "reduction"),
+    ("A(x), r(x,y)", "B(y)", [("A", "forall r.B")], "sparse"),
+    ("A(x); C(x)", "B(x)", [("A", "B")], "auto"),
+]
+
+
+class TestContainmentEquivalence:
+    @pytest.mark.parametrize("lhs,rhs,cis,method", CONTAINMENT_CASES)
+    def test_verdicts_bit_identical(self, lhs, rhs, cis, method):
+        tbox = TBox.of(cis) if cis else None
+        results = {}
+        for incremental in (True, False):
+            result = is_contained(
+                lhs, rhs, tbox, method=method,
+                options=ContainmentOptions(incremental=incremental),
+            )
+            model = result.countermodel
+            results[incremental] = (
+                result.contained,
+                result.complete,
+                result.method,
+                None if model is None else model.describe(),
+            )
+        assert results[True] == results[False]
+
+    def test_incremental_options_are_distinct_cache_keys(self):
+        # forcing the flag must not serve a verdict cached under the other
+        tbox = TBox.of([("A", "exists r.B")])
+        on = is_contained(
+            "A(x)", "r(x,y), B(y)", tbox,
+            options=ContainmentOptions(incremental=True),
+        )
+        off = is_contained(
+            "A(x)", "r(x,y), B(y)", tbox,
+            options=ContainmentOptions(incremental=False),
+        )
+        assert on.contained == off.contained
+
+
+class TestLimitsPlumbing:
+    def test_incremental_flag_reaches_nested_limits(self):
+        from repro.core.containment import _force_incremental
+
+        options = ContainmentOptions(incremental=False)
+        forced = _force_incremental(options)
+        assert forced.limits.incremental is False
+        assert forced.reduction.central_limits.incremental is False
+        assert forced.reduction.peripheral_limits.incremental is False
+
+    def test_default_limits_are_incremental(self):
+        assert SearchLimits().incremental is True
+        assert replace(SearchLimits(), incremental=False).incremental is False

@@ -1,0 +1,229 @@
+"""Corner cases of query evaluation: ε-accepting atoms, inverse roles at
+graph boundaries, and repeated variables — cross-checked against the naive
+evaluator, both one-shot and through the incremental evaluator."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import path_graph, random_graph
+from repro.graphs.graph import Graph
+from repro.queries.evaluation import find_union_match, matches, satisfies
+from repro.queries.incremental import IncrementalUnionEvaluator
+from repro.queries.parser import parse_crpq, parse_query
+
+from tests.queries.test_evaluation import brute_force_satisfies
+
+
+class TestEpsilonAcceptingAtoms:
+    def test_star_matches_identically(self):
+        g = Graph()
+        g.add_node("a", ["A"])
+        # r*(x,y) accepts ε: x = y on an edgeless graph
+        assert satisfies(g, parse_crpq("r*(x,y)"))
+        found = list(matches(g, parse_crpq("r*(x,y)")))
+        assert found == [{"x": "a", "y": "a"}]
+
+    def test_star_self_pair_with_label_guard(self):
+        g = Graph()
+        g.add_node("a", ["A"])
+        g.add_node("b")
+        assert satisfies(g, parse_crpq("A(x), r*(x,y), A(y)"))
+        assert not satisfies(g, parse_crpq("B(x), r*(x,y)"))
+
+    def test_epsilon_only_via_tests(self):
+        # {A}(x,y) traverses no edge: it holds exactly at x = y with label A
+        g = Graph()
+        g.add_node(0, ["A"])
+        g.add_node(1)
+        found = list(matches(g, parse_crpq("{A}(x,y)")))
+        assert found == [{"x": 0, "y": 0}]
+
+    def test_epsilon_atom_on_repeated_variable(self):
+        g = Graph()
+        g.add_node(0)
+        assert satisfies(g, parse_crpq("r*(x,x)"))
+        assert not satisfies(g, parse_crpq("r+(x,x)"))
+
+
+class TestInverseRoleBoundaries:
+    def test_inverse_at_source_boundary(self):
+        # node 0 of a path has no predecessor: r-(x,y) fails from it
+        g = path_graph(1, "r")  # single edge 0 -r-> 1
+        hits = list(matches(g, parse_crpq("r-(x,y)")))
+        assert hits == [{"x": 1, "y": 0}]
+
+    def test_inverse_on_isolated_node(self):
+        g = Graph()
+        g.add_node("lonely")
+        assert not satisfies(g, parse_crpq("r-(x,y)"))
+        assert satisfies(g, parse_crpq("r-*(x,y)"))  # ε still matches
+
+    def test_inverse_within_regex_at_boundary(self):
+        # follow r forward then r backwards: ends where it started
+        g = path_graph(1, "r")  # single edge 0 -r-> 1
+        found = list(matches(g, parse_crpq("(r.r-)(x,y)")))
+        assert {(m["x"], m["y"]) for m in found} == {(0, 0)}
+
+    def test_mixed_direction_round_trip(self):
+        g = Graph()
+        g.add_edge("u", "r", "w")
+        g.add_edge("v", "r", "w")
+        # u -r-> w <-r- v: reachable via r.r- but not via r.r
+        assert satisfies(g, parse_crpq("(r.r-)(x,y)"))
+        assert not satisfies(g, parse_crpq("(r.r)(x,y)"))
+
+
+class TestRepeatedVariables:
+    def test_self_loop_required(self):
+        g = path_graph(3, "r")
+        assert not satisfies(g, parse_crpq("r(x,x)"))
+        g.add_edge(1, "r", 1)
+        assert satisfies(g, parse_crpq("r(x,x)"))
+        assert [m["x"] for m in matches(g, parse_crpq("r(x,x)"))] == [1]
+
+    def test_two_atoms_same_endpoints(self):
+        g = Graph()
+        g.add_edge(0, "r", 1)
+        assert not satisfies(g, parse_crpq("r(x,y), s(x,y)"))
+        g.add_edge(0, "s", 1)
+        assert satisfies(g, parse_crpq("r(x,y), s(x,y)"))
+
+    def test_variable_shared_across_three_atoms(self):
+        g = Graph()
+        g.add_edge("hub", "r", "a")
+        g.add_edge("hub", "r", "b")
+        g.add_node("hub", ["H"])
+        q = parse_crpq("H(x), r(x,y), r(x,z)")
+        found = list(matches(g, q))
+        assert all(m["x"] == "hub" for m in found)
+        assert len(found) == 4  # y, z range independently over {a, b}
+
+
+QUERY_POOL = [
+    "r*(x,y)",
+    "r-(x,y), A(y)",
+    "r(x,x)",
+    "({A}.r)(x,y)",
+    "({!A}.r*)(x,y), B(y)",
+    "(r.r-)(x,y), A(x)",
+    "(r-|s)*(x,y)",
+    "A(x), r(x,y), s(y,x)",
+]
+
+
+class TestCornerCasesAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from(QUERY_POOL))
+    def test_satisfies_matches_oracle(self, seed, query_text):
+        graph = random_graph(4, 6, ["A", "B"], ["r", "s"], seed=seed)
+        query = parse_crpq(query_text)
+        assert satisfies(graph, query) == brute_force_satisfies(graph, query)
+
+
+def _union_oracle(graph, union):
+    for disjunct in union:
+        if brute_force_satisfies(graph, disjunct):
+            return True
+    return False
+
+
+class TestIncrementalEvaluatorRoundTrip:
+    """The incremental evaluator must agree with a from-scratch evaluation
+    after every mutation, checkpoint, and rollback."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.data())
+    def test_mutation_round_trip(self, seed, data):
+        graph = random_graph(3, 3, ["A", "B"], ["r", "s"], seed=seed)
+        union = parse_query("; ".join(QUERY_POOL))
+        evaluator = IncrementalUnionEvaluator(graph, union)
+        undo_stack = []  # (token, [undo thunks]) for open checkpoints
+        steps = data.draw(st.integers(2, 10))
+        for _ in range(steps):
+            op = data.draw(
+                st.sampled_from(
+                    ["label", "edge", "node", "checkpoint", "rollback", "commit"]
+                )
+            )
+            nodes = graph.node_list()
+            if op == "label":
+                node = data.draw(st.sampled_from(nodes))
+                name = data.draw(st.sampled_from(["A", "B"]))
+                if name not in graph.labels_of(node):
+                    graph.add_label(node, name)
+                    if undo_stack:
+                        undo_stack[-1][1].append(
+                            lambda n=node, l=name: graph.remove_label(n, l)
+                        )
+            elif op == "edge":
+                u = data.draw(st.sampled_from(nodes))
+                v = data.draw(st.sampled_from(nodes))
+                r = data.draw(st.sampled_from(["r", "s"]))
+                if not graph.has_edge(u, r, v):
+                    graph.add_edge(u, r, v)
+                    if undo_stack:
+                        undo_stack[-1][1].append(
+                            lambda a=u, rr=r, b=v: graph.remove_edge(a, rr, b)
+                        )
+            elif op == "node":
+                fresh = ("fresh", len(nodes))
+                if fresh not in graph:
+                    graph.add_node(fresh)
+                    if undo_stack:
+                        undo_stack[-1][1].append(
+                            lambda n=fresh: graph.remove_node(n)
+                        )
+            elif op == "checkpoint":
+                undo_stack.append((evaluator.checkpoint(), []))
+            elif op == "rollback" and undo_stack:
+                token, undos = undo_stack.pop()
+                for undo in reversed(undos):
+                    undo()
+                evaluator.rollback(token)
+            elif op == "commit" and undo_stack:
+                token, undos = undo_stack.pop()
+                evaluator.commit(token)
+                # committed mutations belong to the enclosing frame now
+                if undo_stack:
+                    undo_stack[-1][1].extend(undos)
+
+            hit = evaluator.find_union_match()
+            oracle = _union_oracle(graph, union)
+            assert (hit is not None) == oracle
+            fresh_hit = find_union_match(graph, union)
+            if hit is None:
+                assert fresh_hit is None
+            else:
+                # identical disjunct and binding as a from-scratch run
+                assert fresh_hit is not None
+                assert str(hit[0]) == str(fresh_hit[0])
+                assert hit[1] == fresh_hit[1]
+
+    def test_unmanaged_removal_falls_back_to_rebuild(self):
+        graph = path_graph(3, "r", ["A"])
+        union = parse_query("A(x), r(x,y)")
+        evaluator = IncrementalUnionEvaluator(graph, union)
+        assert evaluator.find_union_match() is not None
+        graph.remove_label(0, "A")
+        graph.remove_edge(1, "r", 2)
+        before = evaluator.stats()["full_rebuilds"]
+        hit = evaluator.find_union_match()
+        assert evaluator.stats()["full_rebuilds"] == before + 1
+        fresh = find_union_match(graph, union)
+        assert (hit is None) == (fresh is None)
+        if hit is not None:
+            assert hit[1] == fresh[1]
+
+    def test_negated_test_label_addition(self):
+        # adding A must *disable* matches of a ¬A test (non-monotone path)
+        graph = Graph()
+        graph.add_edge(0, "r", 1)
+        graph.add_node(1, ["B"])
+        union = parse_query("({!A}.r)(x,y), B(y)")
+        evaluator = IncrementalUnionEvaluator(graph, union)
+        assert evaluator.find_union_match() is not None
+        graph.add_label(0, "A")
+        assert evaluator.find_union_match() is None
+        assert find_union_match(graph, union) is None

@@ -188,3 +188,42 @@ class TestMultiRolePreset:
         assert fact.factored.is_simple() or all(
             d.is_simple() for d in fact.factored.disjuncts
         )
+
+
+class TestFactorizationMemo:
+    def test_repeated_factorize_shares_construction(self):
+        from repro.queries.factorization import (
+            _FACTORIZATION_MEMO,
+            factorization_cache_stats,
+            factorize,
+        )
+        from repro.queries.parser import parse_query
+
+        _FACTORIZATION_MEMO.clear()
+        before = factorization_cache_stats()["builds"]
+        first = factorize(parse_query("A(x), r+(x,y), B(y)"))
+        mid = factorization_cache_stats()["builds"]
+        second = factorize(parse_query("A(x), r+(x,y), B(y)"))
+        after = factorization_cache_stats()
+        assert first is second
+        assert mid == before + 1 and after["builds"] == mid
+        assert after["hits"] >= 1
+
+    def test_two_decisions_share_one_construction(self):
+        from repro.core.reduction import contains_via_reduction
+        from repro.dl.normalize import normalize
+        from repro.dl.tbox import TBox
+        from repro.queries.factorization import (
+            _FACTORIZATION_MEMO,
+            factorization_cache_stats,
+        )
+        from repro.queries.parser import parse_crpq, parse_query
+
+        _FACTORIZATION_MEMO.clear()
+        tbox = normalize(TBox.of([("A", "exists r.A")]))
+        rhs = parse_query("B(x)")
+        before = factorization_cache_stats()["builds"]
+        contains_via_reduction(parse_crpq("A(x)"), rhs, tbox)
+        contains_via_reduction(parse_crpq("A(x), r(x,y)"), rhs, tbox)
+        after = factorization_cache_stats()["builds"]
+        assert after == before + 1  # the shared Q is factorized once
