@@ -9,6 +9,15 @@ entail    decide G, T ⊨fin Q for a graph file
     python -m repro entail graph.edges schema.tbox "B(x)"
 eval      evaluate a query over a graph file
     python -m repro eval graph.edges "A(x), r*(x,y)"
+batch     run a JSONL request file through the containment service
+    python -m repro batch requests.jsonl -o verdicts.jsonl
+serve     long-running containment service (JSONL on stdin/stdout or a socket)
+    python -m repro serve --socket /tmp/repro.sock
+
+``batch`` and ``serve`` speak the ``repro.service`` wire format (see
+``repro/service/protocol.py``): schema sessions, request dedup, and a
+persistent decision cache make a batch sharing one schema much faster
+than sequential ``contain`` calls, with bit-identical verdicts.
 
 File formats
 ------------
@@ -23,6 +32,7 @@ Graph files: one item per line — ``node: Label1,Label2`` declares a node,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -134,6 +144,68 @@ def cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_server(args: argparse.Namespace):
+    from repro.service.server import ContainmentServer
+
+    return ContainmentServer(
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        workers=args.workers,
+    )
+
+
+def _dump_metrics(server, path: str | None) -> None:
+    if path:
+        Path(path).write_text(
+            json.dumps(server.stats(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    server = _build_server(args)
+    with open(args.requests) as in_stream:
+        if args.output:
+            with open(args.output, "w") as out_stream:
+                server.serve_pipe(in_stream, out_stream)
+        else:
+            server.serve_pipe(in_stream, sys.stdout)
+    _dump_metrics(server, args.metrics_json)
+    return 1 if server.metrics.counter("errors") else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    server = _build_server(args)
+    try:
+        if args.socket:
+            server.serve_socket(args.socket)
+        else:
+            server.serve_pipe(sys.stdin, sys.stdout)
+    finally:
+        _dump_metrics(server, args.metrics_json)
+    return 0
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent decision-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent decision cache",
+    )
+    parser.add_argument(
+        "--workers", default=None, type=_parse_workers, metavar="N",
+        help="default per-decision fan-out for requests that don't set "
+        "options.workers (int or 'auto')",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="FILE",
+        help="write the final metrics snapshot to FILE on exit",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="containment of graph queries modulo schema"
@@ -175,6 +247,27 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("graph", help="graph file")
     evaluate.add_argument("query", help="query")
     evaluate.set_defaults(func=cmd_eval)
+
+    batch = sub.add_parser(
+        "batch", help="run a JSONL request file through the containment service"
+    )
+    batch.add_argument("requests", help="JSONL request file (service wire format)")
+    batch.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write JSONL responses to FILE (default: stdout)",
+    )
+    _add_service_flags(batch)
+    batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="long-running containment service (pipe or local socket)"
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve a local Unix socket at PATH instead of stdin/stdout",
+    )
+    _add_service_flags(serve)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -66,6 +66,15 @@ _DECISION_MEMO = BoundedMemo(max_entries=2048)
 """Cross-call containment-decision cache (see ContainmentOptions.use_cache)."""
 
 
+def decision_memo_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the in-process decision memo."""
+    return {
+        "hits": _DECISION_MEMO.hits,
+        "misses": _DECISION_MEMO.misses,
+        "entries": len(_DECISION_MEMO),
+    }
+
+
 def _limits_key(limits: SearchLimits) -> tuple:
     return (
         limits.max_nodes, limits.max_steps, limits.max_fresh_types,
@@ -213,6 +222,48 @@ def _direct_search(
     return None, seeds, all_exhausted
 
 
+def decision_key(
+    lhs: Union[str, CRPQ, UCRPQ],
+    rhs: Union[str, CRPQ, UCRPQ],
+    tbox: Union[None, TBox, NormalizedTBox] = None,
+    method: str = "auto",
+    options: Optional[ContainmentOptions] = None,
+    workers: Union[int, str, None] = None,
+) -> tuple:
+    """The canonical, hashable identity of a containment decision.
+
+    Two calls with the same key are guaranteed to produce bit-identical
+    verdicts and countermodels: the key covers the canonical query forms,
+    the schema's :meth:`NormalizedTBox.content_key`, the method, and every
+    budget/option that can influence the outcome.  ``repro.service`` uses
+    it for request dedup and as the persistent-cache identity; it is also
+    the in-process decision-memo key.
+    """
+    lhs_u = _coerce_query(lhs)
+    rhs_u = _coerce_query(rhs)
+    normalized = _coerce_tbox(tbox)
+    options = _force_incremental(options or ContainmentOptions())
+    pool = resolve_workers(workers if workers is not None else options.workers)
+    return _decision_key(lhs_u, rhs_u, normalized, method, options, pool)
+
+
+def _decision_key(
+    lhs_u: UCRPQ,
+    rhs_u: UCRPQ,
+    normalized: Optional[NormalizedTBox],
+    method: str,
+    options: ContainmentOptions,
+    pool: int,
+) -> tuple:
+    return (
+        method,
+        query_key(lhs_u),
+        query_key(rhs_u),
+        normalized.content_key() if normalized is not None else None,
+        _options_key(options, pool),
+    )
+
+
 def is_contained(
     lhs: Union[str, CRPQ, UCRPQ],
     rhs: Union[str, CRPQ, UCRPQ],
@@ -241,13 +292,7 @@ def is_contained(
 
     cache_key = None
     if options.use_cache:
-        cache_key = (
-            method,
-            query_key(lhs_u),
-            query_key(rhs_u),
-            normalized.content_key() if normalized is not None else None,
-            _options_key(options, pool),
-        )
+        cache_key = _decision_key(lhs_u, rhs_u, normalized, method, options, pool)
         hit = _DECISION_MEMO.get(cache_key)
         if hit is not None:
             model = hit.countermodel.copy() if hit.countermodel is not None else None

@@ -1,24 +1,31 @@
-"""JSON (de)serialization for graphs, queries, and TBoxes.
+"""JSON (de)serialization for graphs, queries, TBoxes, and verdicts.
 
-A stable interchange format so that instances, schemas, and decision inputs
-can be stored, versioned, and shared:
+A stable interchange format so that instances, schemas, decision inputs,
+and decision *outputs* can be stored, versioned, and shared:
 
 * graphs:  ``{"nodes": {"id": ["Label", ...]}, "edges": [["a","r","b"], ...]}``
   (node ids are strings; tuple ids round-trip through a tagged encoding);
 * queries: the text syntax (`parse_query` / `str` are inverse enough);
 * TBoxes:  ``{"name": ..., "cis": [["lhs", "rhs"], ...]}`` in concept text
-  syntax.
+  syntax;
+* verdicts: the full :class:`~repro.core.containment.ContainmentResult` —
+  outcome, method, certainty, seed count, theory support, and the
+  countermodel graph — used by the ``repro.service`` wire format and the
+  persistent decision cache.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Union
+from typing import TYPE_CHECKING, Any, Union
 
 from repro.dl.tbox import CI, TBox
 from repro.graphs.graph import Graph, Node
 from repro.queries.parser import parse_query
 from repro.queries.ucrpq import UCRPQ
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (io ← containment)
+    from repro.core.containment import ContainmentResult
 
 FORMAT_VERSION = 1
 
@@ -118,14 +125,63 @@ def load_tbox(text: str) -> TBox:
 # queries (via the text syntax)
 
 
-def dump_query(query: Union[UCRPQ, str]) -> str:
+def query_to_text(query: Union[UCRPQ, str]) -> str:
+    """The canonical text form of a query (inverse of :func:`parse_query`)."""
     text = query if isinstance(query, str) else "; ".join(
         ", ".join(str(atom) for atom in disjunct.atoms) for disjunct in query
     )
-    # validate round-trip before emitting
-    parse_query(text)
-    return json.dumps({"format": FORMAT_VERSION, "query": text})
+    parse_query(text)  # validate round-trip before emitting
+    return text
+
+
+def dump_query(query: Union[UCRPQ, str]) -> str:
+    return json.dumps({"format": FORMAT_VERSION, "query": query_to_text(query)})
 
 
 def load_query(text: str) -> UCRPQ:
     return parse_query(json.loads(text)["query"])
+
+
+# --------------------------------------------------------------------- #
+# verdicts (ContainmentResult)
+
+
+def verdict_to_dict(result: "ContainmentResult") -> dict:
+    """A JSON-able record of a containment verdict.
+
+    Covers the outcome, deciding method, certainty, seed count, theory
+    support, and the countermodel graph (when the verdict is negative).
+    """
+    return {
+        "format": FORMAT_VERSION,
+        "contained": result.contained,
+        "complete": result.complete,
+        "method": result.method,
+        "seeds_tried": result.seeds_tried,
+        "supported_by_theory": result.supported_by_theory,
+        "countermodel": (
+            None if result.countermodel is None else graph_to_dict(result.countermodel)
+        ),
+    }
+
+
+def verdict_from_dict(data: dict) -> "ContainmentResult":
+    from repro.core.containment import ContainmentResult
+
+    model = data.get("countermodel")
+    return ContainmentResult(
+        contained=bool(data["contained"]),
+        complete=bool(data["complete"]),
+        method=data["method"],
+        countermodel=None if model is None else graph_from_dict(model),
+        seeds_tried=int(data.get("seeds_tried", 0)),
+        supported_by_theory=bool(data.get("supported_by_theory", True)),
+    )
+
+
+def dump_verdict(result: "ContainmentResult") -> str:
+    return json.dumps(verdict_to_dict(result), indent=2, sort_keys=True)
+
+
+def load_verdict(text: str) -> "ContainmentResult":
+    return verdict_from_dict(json.loads(text))

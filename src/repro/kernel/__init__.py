@@ -23,7 +23,13 @@ from repro.kernel.bitset import (
     inert_partition,
 )
 from repro.kernel.memo import BoundedMemo
-from repro.kernel.parallel import first_success, parallel_map, resolve_workers
+from repro.kernel.parallel import (
+    first_success,
+    parallel_map,
+    resolve_workers,
+    set_pool_reuse,
+    shutdown_shared_pool,
+)
 
 __all__ = [
     "BoundedMemo",
@@ -35,4 +41,6 @@ __all__ = [
     "inert_partition",
     "parallel_map",
     "resolve_workers",
+    "set_pool_reuse",
+    "shutdown_shared_pool",
 ]

@@ -12,16 +12,67 @@ wins, set union, …) is bit-identical to the serial run.
 keeping single-threaded determinism and zero pool overhead unless a caller
 explicitly opts in (``workers=`` on :func:`repro.core.containment.is_contained`
 or ``--workers`` on the CLI).
+
+Long-running callers (the ``repro.service`` containment server) pay pool
+spawn cost on every decision unless they opt into **pool reuse**
+(:func:`set_pool_reuse`): one shared executor is kept alive across calls
+and grown on demand, then torn down via :func:`shutdown_shared_pool` at
+server exit.  Reuse changes scheduling only, never results — the
+serial-equivalent reductions are unaffected.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+_POOL_LOCK = threading.Lock()
+_REUSE_POOLS = False
+_SHARED_POOL: Optional[ProcessPoolExecutor] = None
+_SHARED_POOL_SIZE = 0
+
+
+def set_pool_reuse(enabled: bool) -> None:
+    """Keep one process pool alive across ``parallel_map``/``first_success``
+    calls (``True``) instead of spawning a fresh pool per call (``False``,
+    the default).  Disabling also tears the shared pool down."""
+    global _REUSE_POOLS
+    _REUSE_POOLS = enabled
+    if not enabled:
+        shutdown_shared_pool()
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared executor (no-op when none is alive)."""
+    global _SHARED_POOL, _SHARED_POOL_SIZE
+    with _POOL_LOCK:
+        pool, _SHARED_POOL, _SHARED_POOL_SIZE = _SHARED_POOL, None, 0
+    if pool is not None:
+        pool.shutdown()
+
+
+def _acquire_pool(count: int) -> tuple[ProcessPoolExecutor, bool]:
+    """An executor with >= ``count`` workers and whether the caller owns it
+    (owned pools must be shut down after use; shared ones must not)."""
+    global _SHARED_POOL, _SHARED_POOL_SIZE
+    if not _REUSE_POOLS:
+        return ProcessPoolExecutor(max_workers=count), True
+    with _POOL_LOCK:
+        if _SHARED_POOL is None or _SHARED_POOL_SIZE < count:
+            stale = _SHARED_POOL
+            _SHARED_POOL = ProcessPoolExecutor(max_workers=count)
+            _SHARED_POOL_SIZE = count
+        else:
+            stale = None
+    if stale is not None:
+        stale.shutdown()
+    return _SHARED_POOL, False
 
 
 def resolve_workers(workers: Union[int, str, None]) -> int:
@@ -50,8 +101,12 @@ def parallel_map(
     count = resolve_workers(workers)
     if count <= 1 or len(items) <= 1:
         return [task(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
+    pool, owned = _acquire_pool(min(count, len(items)))
+    try:
         return list(pool.map(task, items, chunksize=chunksize))
+    finally:
+        if owned:
+            pool.shutdown()
 
 
 def first_success(
@@ -91,7 +146,8 @@ def first_success(
                 return result, base + offset + 1
         return None
 
-    with ProcessPoolExecutor(max_workers=count) as pool:
+    pool, owned = _acquire_pool(count)
+    try:
         for item in items:
             wave.append(item)
             if len(wave) >= wave_size:
@@ -105,4 +161,7 @@ def first_success(
             if hit is not None:
                 return hit
             tried += len(wave)
-    return None, tried
+        return None, tried
+    finally:
+        if owned:
+            pool.shutdown()

@@ -1,0 +1,45 @@
+"""Batched containment service: schema sessions, dedup, persistent cache.
+
+The library's decision procedures amortize beautifully — normalized TBoxes,
+bitset kernels, and memos are all keyed by stable content identities — but
+a cold ``is_contained`` call rebuilds everything and a process exit throws
+it away.  This package keeps that state alive across many decisions and
+many processes:
+
+* :mod:`repro.service.protocol` — the JSONL wire format (requests,
+  responses, option whitelisting);
+* :mod:`repro.service.sessions` — schema sessions: one normalization +
+  kernel warm-up per distinct schema;
+* :mod:`repro.service.scheduler` — request dedup, priority/FIFO ordering,
+  dispatch through :func:`repro.core.containment.is_contained`;
+* :mod:`repro.service.cache` — the persistent, fingerprint-versioned,
+  corruption-tolerant decision journal;
+* :mod:`repro.service.metrics` — per-session counters and latency
+  percentiles behind the ``stats`` request;
+* :mod:`repro.service.server` — pipe and Unix-socket transports.
+
+Batch runs are bit-identical to sequential ``is_contained`` calls — the
+scheduler only reorders and reuses, never changes, decisions (enforced by
+benchmark E18).  CLI entry points: ``repro serve`` and ``repro batch``.
+"""
+
+from repro.service.cache import DecisionCache, default_cache_dir
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import ProtocolError, Request, parse_request
+from repro.service.scheduler import DecisionScheduler
+from repro.service.server import ContainmentServer
+from repro.service.sessions import SchemaSession, SessionManager, reset_process_caches
+
+__all__ = [
+    "ContainmentServer",
+    "DecisionCache",
+    "DecisionScheduler",
+    "ProtocolError",
+    "Request",
+    "SchemaSession",
+    "ServiceMetrics",
+    "SessionManager",
+    "default_cache_dir",
+    "parse_request",
+    "reset_process_caches",
+]

@@ -1,0 +1,153 @@
+"""Persistent disk-backed decision cache.
+
+Verdicts outlive the process: every decided containment is appended to a
+JSONL journal under the cache directory (``~/.cache/repro`` by default, or
+``--cache-dir``), and loaded into an in-memory index on startup.  A warm
+restart then answers previously decided requests without re-running any
+search.
+
+Entry identity is a SHA-256 digest over the pair *(code fingerprint,
+decision key)*:
+
+* the **decision key** (:func:`repro.core.containment.decision_key`)
+  already covers the canonical queries, the schema's ``content_key``, the
+  method, and every budget — so a schema edit or budget change naturally
+  misses;
+* the **code fingerprint** folds in the cache epoch and the serialization
+  format version, so entries written by a semantically different build are
+  invisible (bump :data:`CACHE_EPOCH` when decision semantics change).
+
+The journal is append-only and tolerant: corrupt lines (torn writes,
+manual edits) and stale-fingerprint entries are skipped and counted, never
+fatal.  Duplicate keys keep the *first* entry — decisions are
+deterministic, so later duplicates are byte-identical anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.io import FORMAT_VERSION
+from repro.service.metrics import ServiceMetrics
+
+CACHE_EPOCH = 1
+"""Bump to invalidate every persisted verdict after a semantic change."""
+
+JOURNAL_NAME = "decisions.jsonl"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def code_fingerprint() -> str:
+    """Identity of the decision semantics baked into this build."""
+    basis = ("repro-decision-cache", CACHE_EPOCH, FORMAT_VERSION)
+    return hashlib.sha256(repr(basis).encode()).hexdigest()[:16]
+
+
+def decision_digest(key: tuple, code: Optional[str] = None) -> str:
+    """The journal identity of a decision key.
+
+    ``key`` is the nested primitive tuple from
+    :func:`repro.core.containment.decision_key`; its ``repr`` is
+    deterministic across processes, so the digest is stable.
+    """
+    code = code if code is not None else code_fingerprint()
+    return hashlib.sha256(repr((code, key)).encode()).hexdigest()
+
+
+class DecisionCache:
+    """Append-only JSONL journal + in-memory index of decided verdicts."""
+
+    def __init__(
+        self,
+        cache_dir: Union[None, str, Path] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.journal_path = self.cache_dir / JOURNAL_NAME
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._code = code_fingerprint()
+        self._lock = threading.Lock()
+        self._index: dict[str, dict] = {}
+        self.corrupt_entries = 0
+        self.stale_entries = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.journal_path.exists():
+            return
+        for line in self.journal_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                digest = entry["key"]
+                verdict = entry["verdict"]
+                code = entry["code"]
+                if not isinstance(digest, str) or not isinstance(verdict, dict):
+                    raise TypeError("malformed entry")
+            except Exception:
+                self.corrupt_entries += 1
+                continue
+            if code != self._code:
+                self.stale_entries += 1
+                continue
+            self._index.setdefault(digest, verdict)
+        self.metrics.count("cache_corrupt_entries", self.corrupt_entries)
+        self.metrics.count("cache_stale_entries", self.stale_entries)
+        self.metrics.count("cache_loaded_entries", len(self._index))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, key: tuple) -> Optional[dict]:
+        """The stored verdict dict for a decision key, if any."""
+        digest = decision_digest(key, self._code)
+        with self._lock:
+            verdict = self._index.get(digest)
+        if verdict is None:
+            self.metrics.count("cache_misses")
+        else:
+            self.metrics.count("cache_hits")
+        return verdict
+
+    def put(self, key: tuple, verdict: dict) -> None:
+        """Index and journal a verdict (no-op for already-stored keys)."""
+        digest = decision_digest(key, self._code)
+        line = json.dumps(
+            {"code": self._code, "key": digest, "verdict": verdict},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self._lock:
+            if digest in self._index:
+                return
+            self._index[digest] = verdict
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            with self.journal_path.open("a") as journal:
+                journal.write(line + "\n")
+        self.metrics.count("cache_writes")
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            entries = len(self._index)
+        return {
+            "entries": entries,
+            "corrupt_entries": self.corrupt_entries,
+            "stale_entries": self.stale_entries,
+            "hits": self.metrics.counter("cache_hits"),
+            "misses": self.metrics.counter("cache_misses"),
+            "writes": self.metrics.counter("cache_writes"),
+        }

@@ -1,0 +1,106 @@
+"""Per-session service counters and latency percentiles.
+
+One :class:`ServiceMetrics` instance lives for the lifetime of a server (or
+one ``repro batch`` run) and is shared by the scheduler, the session
+manager, and the persistent cache.  Everything is counter-or-list state
+guarded by one lock — cheap enough to update on every request, rich enough
+to answer the ``stats`` wire request and the ``--metrics-json`` shutdown
+dump:
+
+* request traffic: received / decided / errored, per request type;
+* amortization: persistent-cache hits, in-batch dedup collapses, schema
+  sessions created vs. reused (= kernel/memo warm reuse);
+* queue health: current and high-water queue depth;
+* latency: per-request wall-clock percentiles (p50/p90/p99/max).
+
+Percentiles use the nearest-rank method on the recorded sample list —
+deterministic and exact for the modest request counts a session sees; the
+sample list is capped to keep a very long-lived server bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Optional
+
+_MAX_LATENCY_SAMPLES = 65536
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (not necessarily sorted)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, min(len(ordered), math.ceil(fraction * len(ordered))))
+    return ordered[rank - 1]
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency samples for one service lifetime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._latencies_ms: list[float] = []
+        self._queue_depth = 0
+        self._queue_high_water = 0
+
+    # ------------------------------------------------------------- #
+    # updates
+
+    def count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def observe_latency_ms(self, elapsed_ms: float) -> None:
+        with self._lock:
+            if len(self._latencies_ms) < _MAX_LATENCY_SAMPLES:
+                self._latencies_ms.append(elapsed_ms)
+
+    def queue_changed(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = depth
+            self._queue_high_water = max(self._queue_high_water, depth)
+
+    # ------------------------------------------------------------- #
+    # reads
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A JSON-able view: counters, queue gauges, latency percentiles,
+        plus the process-wide memo counters the service relies on."""
+        from repro.core.containment import decision_memo_stats
+        from repro.queries.compiled import compile_cache_stats
+        from repro.queries.factorization import factorization_cache_stats
+
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            samples = list(self._latencies_ms)
+            queue = {
+                "depth": self._queue_depth,
+                "high_water": self._queue_high_water,
+            }
+        return {
+            "counters": counters,
+            "queue": queue,
+            "latency_ms": {
+                "count": len(samples),
+                "p50": round(percentile(samples, 0.50), 3),
+                "p90": round(percentile(samples, 0.90), 3),
+                "p99": round(percentile(samples, 0.99), 3),
+                "max": round(max(samples), 3) if samples else 0.0,
+            },
+            "memos": {
+                "decision": decision_memo_stats(),
+                "compile": compile_cache_stats(),
+                "factorization": factorization_cache_stats(),
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

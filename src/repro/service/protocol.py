@@ -1,0 +1,189 @@
+"""The JSONL wire format of the containment service.
+
+One JSON object per line, in both directions.  Requests:
+
+``decide``
+    ``{"type": "decide", "id": "r1", "lhs": "A(x)", "rhs": "B(x)",
+    "schema": {"name": ..., "cis": [["lhs","rhs"], ...]} | null,
+    "schema_ref": "s1", "method": "auto", "priority": 0,
+    "options": {"workers": 1, "incremental": null, ...}}``
+
+    Queries use the text syntax (:func:`repro.queries.parser.parse_query`);
+    the schema is either inline (the :func:`repro.io.tbox_to_dict` shape)
+    or a ``schema_ref`` naming a previously registered schema.  ``priority``
+    orders execution (smaller runs first, FIFO within a priority level);
+    response *emission* stays in submission order, so output is
+    deterministic regardless of priorities.
+
+``schema``
+    ``{"type": "schema", "ref": "s1", "tbox": {...}}`` — register a schema
+    once, reference it from many decide requests.
+
+``stats`` / ``ping`` / ``flush`` / ``shutdown``
+    Control requests.  ``flush`` forces the scheduler to drain and emit
+    buffered verdicts; ``stats`` answers immediately with the metrics
+    snapshot; ``shutdown`` drains, answers ``bye``, and stops the server.
+    End-of-input acts as an implicit ``flush`` + ``shutdown``.
+
+Responses mirror request ids: ``verdict`` (with a ``source`` of
+``computed`` / ``cache`` / ``dedup`` and the :func:`repro.io.verdict_to_dict`
+payload), ``stats``, ``ack`` (schema registration), ``pong``, ``error``,
+and ``bye``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.core.containment import ContainmentOptions
+
+WIRE_VERSION = 1
+
+REQUEST_TYPES = ("decide", "schema", "stats", "ping", "flush", "shutdown")
+
+_METHODS = ("auto", "baseline", "sparse", "reduction", "direct")
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (bad JSON, unknown type, missing fields)."""
+
+
+@dataclass
+class Request:
+    """One parsed wire request.  ``seq`` is the server-side arrival index;
+    it breaks priority ties FIFO and orders response emission."""
+
+    type: str
+    seq: int
+    id: str
+    lhs: Optional[str] = None
+    rhs: Optional[str] = None
+    schema: Optional[dict] = None
+    schema_ref: Optional[str] = None
+    method: str = "auto"
+    priority: int = 0
+    options: dict = field(default_factory=dict)
+    tbox: Optional[dict] = None
+    ref: Optional[str] = None
+
+
+_OPTION_FIELDS = (
+    "workers", "incremental", "max_word_length", "max_expansions",
+    "max_nodes", "max_steps",
+)
+
+
+def parse_request(line: str, seq: int) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` on bad input."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ProtocolError("request must be a JSON object")
+    rtype = data.get("type", "decide")
+    if rtype not in REQUEST_TYPES:
+        raise ProtocolError(f"unknown request type {rtype!r}")
+    request = Request(
+        type=rtype,
+        seq=seq,
+        id=str(data.get("id", f"req-{seq}")),
+    )
+    if rtype == "decide":
+        for side in ("lhs", "rhs"):
+            value = data.get(side)
+            if not isinstance(value, str) or not value.strip():
+                raise ProtocolError(f"decide request needs a query string {side!r}")
+        schema = data.get("schema")
+        if schema is not None and not isinstance(schema, dict):
+            raise ProtocolError("schema must be a TBox object or null")
+        method = data.get("method", "auto")
+        if method not in _METHODS:
+            raise ProtocolError(f"unknown method {method!r}")
+        options = data.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("options must be an object")
+        unknown = sorted(set(options) - set(_OPTION_FIELDS))
+        if unknown:
+            raise ProtocolError(f"unknown options: {', '.join(unknown)}")
+        priority = data.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ProtocolError("priority must be an integer")
+        request = replace(
+            request,
+            lhs=data["lhs"],
+            rhs=data["rhs"],
+            schema=schema,
+            schema_ref=data.get("schema_ref"),
+            method=method,
+            priority=priority,
+            options=options,
+        )
+        if request.schema is not None and request.schema_ref is not None:
+            raise ProtocolError("give either an inline schema or a schema_ref")
+    elif rtype == "schema":
+        ref = data.get("ref")
+        if not isinstance(ref, str) or not ref:
+            raise ProtocolError("schema registration needs a string 'ref'")
+        tbox = data.get("tbox")
+        if not isinstance(tbox, dict):
+            raise ProtocolError("schema registration needs a 'tbox' object")
+        request = replace(request, ref=ref, tbox=tbox)
+    return request
+
+
+def build_options(raw: dict) -> ContainmentOptions:
+    """Materialize a request's ``options`` object (already whitelisted)."""
+    options = ContainmentOptions()
+    if "max_word_length" in raw:
+        options = replace(options, max_word_length=int(raw["max_word_length"]))
+    if "max_expansions" in raw:
+        options = replace(options, max_expansions=int(raw["max_expansions"]))
+    if "workers" in raw and raw["workers"] is not None:
+        options = replace(options, workers=raw["workers"])
+    if "incremental" in raw:
+        flag = raw["incremental"]
+        if flag is not None:
+            flag = bool(flag)
+        options = replace(options, incremental=flag)
+    limits = options.limits
+    if "max_nodes" in raw:
+        limits = replace(limits, max_nodes=int(raw["max_nodes"]))
+    if "max_steps" in raw:
+        limits = replace(limits, max_steps=int(raw["max_steps"]))
+    if limits is not options.limits:
+        options = replace(options, limits=limits)
+    return options
+
+
+# --------------------------------------------------------------------- #
+# responses
+
+
+def encode_response(payload: dict) -> str:
+    """One response line (compact JSON, sorted keys — byte-deterministic)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def verdict_response(
+    request_id: str,
+    verdict: dict,
+    source: str,
+    elapsed_ms: float,
+) -> dict:
+    return {
+        "type": "verdict",
+        "id": request_id,
+        "verdict": verdict,
+        "source": source,
+        "elapsed_ms": round(elapsed_ms, 3),
+    }
+
+
+def error_response(request_id: Optional[str], message: str) -> dict:
+    payload: dict[str, Any] = {"type": "error", "error": message}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload

@@ -1,0 +1,181 @@
+"""Decision scheduling: dedup, priority order, cache consult, dispatch.
+
+The scheduler buffers ``decide`` requests and drains them in *(priority,
+arrival)* order — smaller priority first, FIFO within a level.  Each unique
+decision identity (:func:`repro.core.containment.decision_key`) is resolved
+exactly once per server lifetime:
+
+1. **dedup** — an identical earlier request already produced the verdict
+   (collapsed, zero work);
+2. **cache** — the persistent journal has it from a previous process
+   (deserialized, no search runs);
+3. **computed** — dispatched through :func:`repro.core.containment.is_contained`,
+   which fans its per-candidate subproblems out over the shared
+   ``kernel.parallel`` pool when the request asks for workers.
+
+Responses are *emitted* in arrival order regardless of execution order, so
+a batch's output is byte-deterministic and comparable line-by-line against
+sequential ``is_contained`` calls — the bit-identical contract the E18
+benchmark enforces.
+
+Request validation (query parse, schema resolution, option whitelisting)
+happens at submit time so malformed requests fail fast with an ``error``
+response and never occupy the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.core.containment import ContainmentOptions, decision_key, is_contained
+from repro.io import verdict_to_dict
+from repro.kernel.memo import BoundedMemo
+from repro.queries.parser import parse_query
+from repro.queries.ucrpq import UCRPQ
+from repro.service.cache import DecisionCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    ProtocolError,
+    Request,
+    build_options,
+    error_response,
+    verdict_response,
+)
+from repro.service.sessions import SchemaSession, SessionManager
+
+
+@dataclass(order=True)
+class _Item:
+    priority: int
+    seq: int
+    request: Request = field(compare=False)
+    session: Optional[SchemaSession] = field(compare=False, default=None)
+    lhs: Optional[UCRPQ] = field(compare=False, default=None)
+    rhs: Optional[UCRPQ] = field(compare=False, default=None)
+    options: Optional[ContainmentOptions] = field(compare=False, default=None)
+    key: Optional[tuple] = field(compare=False, default=None)
+
+
+class DecisionScheduler:
+    """Buffers validated decide requests; drains them deduped and ordered."""
+
+    def __init__(
+        self,
+        sessions: Optional[SessionManager] = None,
+        cache: Optional[DecisionCache] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        workers: Union[int, str, None] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.sessions = sessions if sessions is not None else SessionManager(self.metrics)
+        self.cache = cache
+        self.default_workers = workers
+        self._queue: list[_Item] = []
+        self._results = BoundedMemo(max_entries=8192)
+        """Lifetime verdict-dict memo keyed by decision key (dedup source)."""
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------- #
+    # intake
+
+    def submit(self, request: Request) -> Optional[dict]:
+        """Validate and enqueue one decide request.
+
+        Returns ``None`` on success or an ``error`` response dict; nothing
+        is enqueued on error.
+        """
+        self.metrics.count("decide_requests")
+        try:
+            item = self._validate(request)
+        except (ProtocolError, ValueError) as exc:
+            self.metrics.count("errors")
+            return error_response(request.id, str(exc))
+        heapq.heappush(self._queue, item)
+        self.metrics.queue_changed(len(self._queue))
+        return None
+
+    def _validate(self, request: Request) -> _Item:
+        if request.schema_ref is not None:
+            session = self.sessions.by_ref(request.schema_ref)
+            if session is None:
+                raise ProtocolError(f"unknown schema_ref {request.schema_ref!r}")
+        else:
+            session = self.sessions.session_for(request.schema)
+        try:
+            lhs = parse_query(request.lhs)
+            rhs = parse_query(request.rhs)
+        except Exception as exc:
+            raise ProtocolError(f"query parse error: {exc}") from exc
+        options = build_options(request.options)
+        if "workers" not in request.options and self.default_workers is not None:
+            options = replace(options, workers=self.default_workers)
+        key = decision_key(
+            lhs, rhs,
+            session.tbox if session is not None else None,
+            method=request.method,
+            options=options,
+        )
+        return _Item(
+            priority=request.priority,
+            seq=request.seq,
+            request=request,
+            session=session,
+            lhs=lhs,
+            rhs=rhs,
+            options=options,
+            key=key,
+        )
+
+    # ------------------------------------------------------------- #
+    # drain
+
+    def drain(self) -> list[dict]:
+        """Resolve every buffered request; responses in arrival order."""
+        items: list[_Item] = []
+        while self._queue:
+            items.append(heapq.heappop(self._queue))
+        self.metrics.queue_changed(0)
+        responses = [self._resolve(item) for item in items]
+        responses.sort(key=lambda pair: pair[0])
+        return [response for _, response in responses]
+
+    def _resolve(self, item: _Item) -> tuple[int, dict]:
+        start = time.perf_counter()
+        verdict, source = self._verdict_for(item)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics.observe_latency_ms(elapsed_ms)
+        self.metrics.count(f"verdicts_{source}")
+        return item.seq, verdict_response(item.request.id, verdict, source, elapsed_ms)
+
+    def _verdict_for(self, item: _Item) -> tuple[dict, str]:
+        cached = self._results.get(item.key)
+        if cached is not None:
+            self.metrics.count("dedup_collapses")
+            return cached, "dedup"
+        if self.cache is not None:
+            stored = self.cache.get(item.key)
+            if stored is not None:
+                self._results.put(item.key, stored)
+                return stored, "cache"
+        if item.session is not None:
+            if item.session.decisions > 0:
+                self.metrics.count("kernel_reuse")
+            item.session.decisions += 1
+        result = is_contained(
+            item.lhs,
+            item.rhs,
+            item.session.tbox if item.session is not None else None,
+            method=item.request.method,
+            options=item.options,
+        )
+        self.metrics.count("decisions_executed")
+        verdict = verdict_to_dict(result)
+        self._results.put(item.key, verdict)
+        if self.cache is not None:
+            self.cache.put(item.key, verdict)
+        return verdict, "computed"

@@ -1,0 +1,181 @@
+"""The containment server: JSONL over a pipe or a local Unix socket.
+
+Two transports, one request loop:
+
+* **pipe mode** (:meth:`ContainmentServer.serve_pipe`) — read requests from
+  an input stream, write responses to an output stream, until end of input.
+  ``repro serve`` with no flags and ``repro batch`` both run this loop
+  (batch feeds it a file instead of stdin).
+* **socket mode** (:meth:`ContainmentServer.serve_socket`) — bind a local
+  ``AF_UNIX`` stream socket and serve connections *sequentially*: each
+  connection speaks the same JSONL protocol, a client's half-close acts as
+  its ``flush``, and sessions / caches / metrics persist across
+  connections.  Sequential accept keeps execution order deterministic; the
+  amortization lives in the shared state, not in connection concurrency.
+
+Verdict emission is buffered: ``decide`` requests queue in the scheduler
+until a ``flush`` / ``shutdown`` / end-of-input, so the scheduler can
+dedup and priority-order a whole batch before any search runs.  Control
+requests (``stats``, ``ping``, ``schema``) answer immediately.
+
+While serving, the ``kernel.parallel`` shared pool is enabled so decisions
+that request workers reuse one warm process pool instead of spawning one
+per decision; it is torn down when the serve loop exits.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import IO, Iterable, Optional, Union
+
+from repro.kernel.parallel import set_pool_reuse
+from repro.service.cache import DecisionCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    ProtocolError,
+    encode_response,
+    error_response,
+    parse_request,
+)
+from repro.service.scheduler import DecisionScheduler
+from repro.service.sessions import SessionManager
+
+
+class ContainmentServer:
+    """One scheduler + session table + cache behind a wire transport."""
+
+    def __init__(
+        self,
+        scheduler: Optional[DecisionScheduler] = None,
+        cache_dir: Union[None, str, Path] = None,
+        use_cache: bool = True,
+        workers: Union[int, str, None] = None,
+        pool_reuse: bool = True,
+    ) -> None:
+        if scheduler is not None:
+            self.scheduler = scheduler
+        else:
+            metrics = ServiceMetrics()
+            cache = DecisionCache(cache_dir, metrics) if use_cache else None
+            self.scheduler = DecisionScheduler(
+                SessionManager(metrics), cache, metrics, workers=workers
+            )
+        self.metrics = self.scheduler.metrics
+        self.sessions = self.scheduler.sessions
+        self.pool_reuse = pool_reuse
+        self._seq = 0
+
+    # ------------------------------------------------------------- #
+    # request handling (transport-independent)
+
+    def handle_line(self, line: str) -> tuple[list[dict], bool]:
+        """Process one request line.
+
+        Returns ``(responses to emit now, stop serving?)``; decide requests
+        buffer in the scheduler and emit nothing until a flush.
+        """
+        line = line.strip()
+        if not line:
+            return [], False
+        self._seq += 1
+        self.metrics.count("requests")
+        try:
+            request = parse_request(line, self._seq)
+        except ProtocolError as exc:
+            self.metrics.count("errors")
+            return [error_response(None, str(exc))], False
+        self.metrics.count(f"requests_{request.type}")
+        if request.type == "decide":
+            error = self.scheduler.submit(request)
+            return ([error] if error is not None else []), False
+        if request.type == "schema":
+            try:
+                self.sessions.register(request.ref, request.tbox)
+            except Exception as exc:
+                self.metrics.count("errors")
+                return [error_response(request.id, f"bad schema: {exc}")], False
+            return [{"type": "ack", "id": request.id, "ref": request.ref}], False
+        if request.type == "stats":
+            return [{"type": "stats", "id": request.id, "stats": self.stats()}], False
+        if request.type == "ping":
+            return [{"type": "pong", "id": request.id}], False
+        if request.type == "flush":
+            return self.scheduler.drain(), False
+        # shutdown: drain what's buffered, say goodbye, stop
+        responses = self.scheduler.drain()
+        responses.append({"type": "bye", "id": request.id})
+        return responses, True
+
+    def stats(self) -> dict:
+        payload = self.metrics.snapshot()
+        payload["sessions"] = self.sessions.snapshot()
+        payload["pending"] = self.scheduler.pending()
+        if self.scheduler.cache is not None:
+            payload["cache"] = self.scheduler.cache.stats()
+        return payload
+
+    # ------------------------------------------------------------- #
+    # transports
+
+    def _run_stream(self, lines: Iterable[str], out_stream: IO[str]) -> bool:
+        """Drive the loop over ``lines``; returns True on explicit shutdown.
+        End of input drains the scheduler (implicit flush)."""
+
+        def emit(responses: list[dict]) -> None:
+            for response in responses:
+                out_stream.write(encode_response(response) + "\n")
+            out_stream.flush()
+
+        for line in lines:
+            responses, stop = self.handle_line(line)
+            emit(responses)
+            if stop:
+                return True
+        emit(self.scheduler.drain())
+        return False
+
+    def serve_pipe(self, in_stream: IO[str], out_stream: IO[str]) -> None:
+        """Serve one JSONL conversation from stream to stream."""
+        set_pool_reuse(self.pool_reuse)
+        try:
+            self._run_stream(in_stream, out_stream)
+        finally:
+            set_pool_reuse(False)
+
+    def serve_socket(self, path: Union[str, Path]) -> None:
+        """Serve connections on a local Unix socket until a client sends
+        ``shutdown``.  Connections are handled one at a time; state (schema
+        sessions, persistent cache, metrics) is shared across them."""
+        socket_path = Path(path)
+        if socket_path.exists():
+            socket_path.unlink()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        set_pool_reuse(self.pool_reuse)
+        try:
+            listener.bind(str(socket_path))
+            listener.listen(8)
+            stop = False
+            while not stop:
+                conn, _ = listener.accept()
+                with conn:
+                    reader = conn.makefile("r", encoding="utf-8")
+                    writer = conn.makefile("w", encoding="utf-8")
+                    try:
+                        stop = self._run_stream(reader, writer)
+                    except (BrokenPipeError, ConnectionResetError):
+                        self.metrics.count("connections_dropped")
+                    finally:
+                        self.metrics.count("connections")
+                        # the makefile wrappers hold the socket fd open past
+                        # conn.close(); close them or the client never sees EOF
+                        for stream in (writer, reader):
+                            try:
+                                stream.close()
+                            except OSError:
+                                pass
+        finally:
+            set_pool_reuse(False)
+            listener.close()
+            if socket_path.exists():
+                socket_path.unlink()

@@ -1,0 +1,34 @@
+"""CI smoke for the batched-service benchmark (E18).
+
+Runs ``benchmarks/bench_service.py --quick`` — trimmed fast-row batches
+through the containment server — and fails if any batch verdict diverges
+from the sequential baseline or a warm run re-executes a search, so
+tier-1 catches a service/sequential split without running the full
+benchmark suite.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_service.py"
+
+
+def test_quick_batch_smoke_verdicts_agree():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--quick"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"service batch smoke failed (exit {proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    assert "VERDICT DIVERGENCE" not in proc.stderr

@@ -1,0 +1,98 @@
+"""The persistent decision cache: journal round-trips, tolerance, versioning."""
+
+import json
+
+from repro.service.cache import (
+    CACHE_EPOCH,
+    DecisionCache,
+    code_fingerprint,
+    decision_digest,
+)
+
+KEY_A = ("auto", (("A(x)",), ()), (("B(x)",), ()), None, (4, 300))
+KEY_B = ("auto", (("C(x)",), ()), (("B(x)",), ()), None, (4, 300))
+VERDICT = {"contained": True, "complete": True, "method": "syntactic",
+           "seeds_tried": 0, "supported_by_theory": True, "countermodel": None,
+           "format": 1}
+
+
+class TestRoundTrip:
+    def test_get_put(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, VERDICT)
+        assert cache.get(KEY_A) == VERDICT
+        assert cache.get(KEY_B) is None
+
+    def test_survives_restart(self, tmp_path):
+        DecisionCache(tmp_path).put(KEY_A, VERDICT)
+        reloaded = DecisionCache(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.get(KEY_A) == VERDICT
+
+    def test_duplicate_puts_journal_once(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put(KEY_A, VERDICT)
+        cache.put(KEY_A, VERDICT)
+        assert len(cache.journal_path.read_text().splitlines()) == 1
+
+    def test_missing_dir_created_lazily(self, tmp_path):
+        cache = DecisionCache(tmp_path / "nested" / "cache")
+        assert not cache.journal_path.exists()
+        cache.put(KEY_A, VERDICT)
+        assert cache.journal_path.exists()
+
+
+class TestTolerance:
+    def test_corrupt_lines_skipped(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put(KEY_A, VERDICT)
+        with cache.journal_path.open("a") as journal:
+            journal.write("{torn write\n")
+            journal.write('{"key": 7, "code": "x", "verdict": []}\n')
+            journal.write("\n")
+        reloaded = DecisionCache(tmp_path)
+        assert reloaded.corrupt_entries == 2
+        assert reloaded.get(KEY_A) == VERDICT
+
+    def test_stale_fingerprint_skipped(self, tmp_path):
+        entry = {
+            "code": "deadbeefdeadbeef",
+            "key": decision_digest(KEY_A, "deadbeefdeadbeef"),
+            "verdict": VERDICT,
+        }
+        path = tmp_path / "decisions.jsonl"
+        path.write_text(json.dumps(entry) + "\n")
+        cache = DecisionCache(tmp_path)
+        assert cache.stale_entries == 1
+        assert cache.get(KEY_A) is None
+
+    def test_first_entry_wins_for_duplicate_keys(self, tmp_path):
+        code = code_fingerprint()
+        digest = decision_digest(KEY_A, code)
+        lines = [
+            json.dumps({"code": code, "key": digest, "verdict": VERDICT}),
+            json.dumps({"code": code, "key": digest, "verdict": {"contained": False}}),
+        ]
+        (tmp_path / "decisions.jsonl").write_text("\n".join(lines) + "\n")
+        assert DecisionCache(tmp_path).get(KEY_A) == VERDICT
+
+
+class TestIdentity:
+    def test_digest_depends_on_key_and_code(self):
+        assert decision_digest(KEY_A) != decision_digest(KEY_B)
+        assert decision_digest(KEY_A) != decision_digest(KEY_A, "other-code")
+
+    def test_fingerprint_covers_epoch(self):
+        assert isinstance(CACHE_EPOCH, int)
+        assert len(code_fingerprint()) == 16
+
+    def test_stats_shape(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put(KEY_A, VERDICT)
+        cache.get(KEY_A)
+        cache.get(KEY_B)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 1

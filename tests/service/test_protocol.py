@@ -1,0 +1,111 @@
+"""The service wire format: parsing, validation, option materialization."""
+
+import json
+
+import pytest
+
+from repro.core.containment import ContainmentOptions
+from repro.service.protocol import (
+    ProtocolError,
+    build_options,
+    encode_response,
+    parse_request,
+    verdict_response,
+)
+
+
+class TestParseRequest:
+    def test_decide_minimal(self):
+        request = parse_request(
+            json.dumps({"type": "decide", "lhs": "A(x)", "rhs": "B(x)"}), seq=3
+        )
+        assert request.type == "decide"
+        assert request.id == "req-3"
+        assert request.lhs == "A(x)" and request.rhs == "B(x)"
+        assert request.schema is None and request.schema_ref is None
+        assert request.method == "auto" and request.priority == 0
+
+    def test_decide_full(self):
+        request = parse_request(
+            json.dumps(
+                {
+                    "type": "decide",
+                    "id": "r9",
+                    "lhs": "A(x)",
+                    "rhs": "B(x)",
+                    "schema": {"cis": [["A", "B"]]},
+                    "method": "direct",
+                    "priority": -2,
+                    "options": {"workers": 2, "incremental": True, "max_nodes": 6},
+                }
+            ),
+            seq=1,
+        )
+        assert request.id == "r9"
+        assert request.schema == {"cis": [["A", "B"]]}
+        assert request.method == "direct" and request.priority == -2
+        assert request.options["max_nodes"] == 6
+
+    def test_implicit_decide_type(self):
+        assert parse_request('{"lhs": "A(x)", "rhs": "B(x)"}', seq=1).type == "decide"
+
+    def test_schema_registration(self):
+        request = parse_request(
+            json.dumps({"type": "schema", "ref": "s1", "tbox": {"cis": []}}), seq=1
+        )
+        assert request.type == "schema" and request.ref == "s1"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"type": "explode"}',
+            '{"type": "decide", "lhs": "A(x)"}',
+            '{"type": "decide", "lhs": "", "rhs": "B(x)"}',
+            '{"type": "decide", "lhs": "A(x)", "rhs": "B(x)", "method": "magic"}',
+            '{"type": "decide", "lhs": "A(x)", "rhs": "B(x)", "priority": "high"}',
+            '{"type": "decide", "lhs": "A(x)", "rhs": "B(x)", "options": {"bogus": 1}}',
+            '{"type": "decide", "lhs": "A(x)", "rhs": "B(x)", "schema": {"cis": []}, "schema_ref": "s"}',
+            '{"type": "schema", "ref": "", "tbox": {}}',
+            '{"type": "schema", "ref": "s1"}',
+        ],
+    )
+    def test_rejects(self, line):
+        with pytest.raises(ProtocolError):
+            parse_request(line, seq=1)
+
+
+class TestBuildOptions:
+    def test_defaults(self):
+        assert build_options({}) == ContainmentOptions()
+
+    def test_budgets_and_flags(self):
+        options = build_options(
+            {
+                "max_word_length": 3,
+                "max_expansions": 50,
+                "workers": 2,
+                "incremental": False,
+                "max_nodes": 7,
+                "max_steps": 999,
+            }
+        )
+        assert options.max_word_length == 3
+        assert options.max_expansions == 50
+        assert options.workers == 2
+        assert options.incremental is False
+        assert options.limits.max_nodes == 7
+        assert options.limits.max_steps == 999
+
+    def test_null_incremental_keeps_default(self):
+        assert build_options({"incremental": None}).incremental is None
+
+
+class TestResponses:
+    def test_encode_deterministic_single_line(self):
+        payload = verdict_response("r1", {"contained": True}, "computed", 1.23456)
+        first, second = encode_response(payload), encode_response(dict(payload))
+        assert first == second
+        assert "\n" not in first
+        assert json.loads(first)["elapsed_ms"] == 1.235

@@ -1,0 +1,120 @@
+"""The decision scheduler: dedup, priority execution, deterministic output."""
+
+import json
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.dl.tbox import TBox
+from repro.io import tbox_to_dict, verdict_to_dict
+from repro.service.cache import DecisionCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import Request, parse_request
+from repro.service.scheduler import DecisionScheduler
+
+
+def _tbox_dict():
+    return tbox_to_dict(
+        TBox.of(
+            [("Customer", "forall owns.CredCard"), ("Customer", "exists owns.CredCard")],
+            name="cards",
+        )
+    )
+
+
+def _decide(seq, id=None, lhs="owns(x,y)", rhs="CredCard(y)", **extra):
+    payload = {"type": "decide", "id": id or f"r{seq}", "lhs": lhs, "rhs": rhs}
+    payload.update(extra)
+    return parse_request(json.dumps(payload), seq=seq)
+
+
+class TestDedupAndOrdering:
+    def test_identical_requests_collapse(self):
+        metrics = ServiceMetrics()
+        scheduler = DecisionScheduler(metrics=metrics)
+        for seq in range(1, 4):
+            assert scheduler.submit(_decide(seq)) is None
+        responses = scheduler.drain()
+        assert [r["id"] for r in responses] == ["r1", "r2", "r3"]
+        assert [r["source"] for r in responses] == ["computed", "dedup", "dedup"]
+        assert metrics.counter("decisions_executed") == 1
+        assert metrics.counter("dedup_collapses") == 2
+        # collapsed responses carry the identical verdict payload
+        assert responses[0]["verdict"] == responses[1]["verdict"] == responses[2]["verdict"]
+
+    def test_priority_orders_execution_not_emission(self):
+        scheduler = DecisionScheduler()
+        scheduler.submit(_decide(1, id="late", priority=5))
+        scheduler.submit(_decide(2, id="early", priority=-5))
+        responses = scheduler.drain()
+        # emission stays in arrival order...
+        assert [r["id"] for r in responses] == ["late", "early"]
+        # ...but the high-priority request ran first and owns the computation
+        assert {r["id"]: r["source"] for r in responses} == {
+            "early": "computed", "late": "dedup",
+        }
+
+    def test_different_options_do_not_collapse(self):
+        metrics = ServiceMetrics()
+        scheduler = DecisionScheduler(metrics=metrics)
+        scheduler.submit(_decide(1))
+        scheduler.submit(_decide(2, options={"max_word_length": 3}))
+        scheduler.drain()
+        assert metrics.counter("decisions_executed") == 2
+
+
+class TestVerdictFidelity:
+    def test_bit_identical_to_sequential_calls(self):
+        scheduler = DecisionScheduler()
+        cases = [
+            ("owns(x,y)", "CredCard(y)", None),
+            ("Customer(x), owns(x,y)", "owns(x,y), CredCard(y)", _tbox_dict()),
+            ("A(x)", "A(x); B(x)", None),
+        ]
+        for seq, (lhs, rhs, schema) in enumerate(cases, 1):
+            scheduler.submit(_decide(seq, lhs=lhs, rhs=rhs, schema=schema))
+        responses = scheduler.drain()
+        for (lhs, rhs, schema), response in zip(cases, responses):
+            tbox = None
+            if schema is not None:
+                from repro.io import tbox_from_dict
+
+                tbox = tbox_from_dict(schema)
+            expected = is_contained(
+                lhs, rhs, tbox, options=ContainmentOptions(use_cache=False)
+            )
+            assert response["verdict"] == verdict_to_dict(expected)
+
+    def test_schema_session_reused_across_requests(self):
+        metrics = ServiceMetrics()
+        scheduler = DecisionScheduler(metrics=metrics)
+        scheduler.submit(_decide(1, lhs="Customer(x)", schema=_tbox_dict()))
+        scheduler.submit(_decide(2, lhs="Company(x)", schema=_tbox_dict()))
+        scheduler.drain()
+        assert metrics.counter("sessions_created") == 1
+        assert metrics.counter("kernel_reuse") == 1
+
+
+class TestCacheIntegration:
+    def test_persistent_hits_skip_execution(self, tmp_path):
+        first = DecisionScheduler(cache=DecisionCache(tmp_path))
+        first.submit(_decide(1))
+        (cold,) = first.drain()
+        metrics = ServiceMetrics()
+        warm = DecisionScheduler(cache=DecisionCache(tmp_path, metrics), metrics=metrics)
+        warm.submit(_decide(1))
+        (hit,) = warm.drain()
+        assert hit["source"] == "cache"
+        assert hit["verdict"] == cold["verdict"]
+        assert metrics.counter("decisions_executed") == 0
+
+
+class TestValidation:
+    def test_parse_error_returns_error_response(self):
+        scheduler = DecisionScheduler()
+        error = scheduler.submit(_decide(1, lhs="not a query (("))
+        assert error is not None and error["type"] == "error"
+        assert scheduler.pending() == 0
+
+    def test_unknown_schema_ref(self):
+        scheduler = DecisionScheduler()
+        error = scheduler.submit(_decide(1, schema_ref="ghost"))
+        assert error["type"] == "error" and "ghost" in error["error"]

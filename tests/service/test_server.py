@@ -1,0 +1,164 @@
+"""The wire transports: pipe conversations and the local socket mode."""
+
+import io
+import json
+import socket
+import threading
+
+from repro.dl.tbox import TBox
+from repro.io import tbox_to_dict
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.server import ContainmentServer
+
+
+def _tbox_dict():
+    return tbox_to_dict(
+        TBox.of(
+            [("Customer", "forall owns.CredCard"), ("Customer", "exists owns.CredCard")],
+            name="cards",
+        )
+    )
+
+
+def _pipe(server, requests):
+    out = io.StringIO()
+    server.serve_pipe(
+        io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n"), out
+    )
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+def _server(tmp_path=None):
+    return ContainmentServer(
+        cache_dir=tmp_path, use_cache=tmp_path is not None, pool_reuse=False
+    )
+
+
+class TestPipeMode:
+    def test_conversation(self, tmp_path):
+        responses = _pipe(_server(tmp_path), [
+            {"type": "ping", "id": "p"},
+            {"type": "schema", "ref": "s1", "tbox": _tbox_dict()},
+            {"type": "decide", "id": "a", "lhs": "Customer(x), owns(x,y)",
+             "rhs": "owns(x,y), CredCard(y)", "schema_ref": "s1"},
+            {"type": "decide", "id": "b", "lhs": "owns(x,y)", "rhs": "CredCard(y)"},
+            {"type": "stats", "id": "st"},
+            {"type": "shutdown", "id": "end"},
+        ])
+        kinds = [r["type"] for r in responses]
+        assert kinds == ["pong", "ack", "stats", "verdict", "verdict", "bye"]
+        verdicts = {r["id"]: r for r in responses if r["type"] == "verdict"}
+        assert verdicts["a"]["verdict"]["contained"] is True
+        assert verdicts["b"]["verdict"]["contained"] is False
+        assert verdicts["b"]["verdict"]["countermodel"] is not None
+
+    def test_eof_is_implicit_flush(self):
+        responses = _pipe(_server(), [
+            {"type": "decide", "id": "a", "lhs": "A(x)", "rhs": "A(x); B(x)"},
+        ])
+        assert responses[-1]["type"] == "verdict"
+        assert responses[-1]["verdict"]["contained"] is True
+
+    def test_flush_mid_stream(self):
+        responses = _pipe(_server(), [
+            {"type": "decide", "id": "a", "lhs": "A(x)", "rhs": "A(x)"},
+            {"type": "flush"},
+            {"type": "decide", "id": "b", "lhs": "B(x)", "rhs": "B(x)"},
+        ])
+        assert [r.get("id") for r in responses] == ["a", "b"]
+
+    def test_malformed_lines_answer_errors_and_continue(self):
+        server = _server()
+        out = io.StringIO()
+        server.serve_pipe(
+            io.StringIO(
+                "this is not json\n"
+                '{"type": "decide", "id": "ok", "lhs": "A(x)", "rhs": "A(x)"}\n'
+            ),
+            out,
+        )
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert responses[0]["type"] == "error"
+        assert responses[1]["type"] == "verdict" and responses[1]["id"] == "ok"
+        assert server.metrics.counter("errors") == 1
+
+    def test_stats_surface(self, tmp_path):
+        responses = _pipe(_server(tmp_path), [
+            {"type": "decide", "id": "a", "lhs": "owns(x,y)", "rhs": "CredCard(y)"},
+            {"type": "flush"},
+            {"type": "stats", "id": "st"},
+        ])
+        stats = responses[-1]["stats"]
+        assert stats["counters"]["decisions_executed"] == 1
+        assert stats["cache"]["writes"] == 1
+        assert stats["latency_ms"]["count"] == 1
+        assert stats["queue"]["high_water"] == 1
+
+
+class TestSocketMode:
+    def test_two_connections_share_state(self, tmp_path):
+        server = _server(tmp_path)
+        path = tmp_path / "repro.sock"
+        thread = threading.Thread(target=server.serve_socket, args=(path,), daemon=True)
+        thread.start()
+
+        def talk(requests):
+            for _ in range(200):
+                try:
+                    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    client.connect(str(path))
+                    break
+                except (FileNotFoundError, ConnectionRefusedError):
+                    client.close()
+                    threading.Event().wait(0.01)
+            else:
+                raise AssertionError("server socket never came up")
+            with client:
+                client.sendall(
+                    ("\n".join(json.dumps(r) for r in requests) + "\n").encode()
+                )
+                client.shutdown(socket.SHUT_WR)
+                data = b""
+                while chunk := client.recv(65536):
+                    data += chunk
+            return [json.loads(line) for line in data.decode().splitlines()]
+
+        first = talk([
+            {"type": "decide", "id": "a", "lhs": "Customer(x), owns(x,y)",
+             "rhs": "owns(x,y), CredCard(y)", "schema": _tbox_dict()},
+        ])
+        second = talk([
+            {"type": "decide", "id": "b", "lhs": "Customer(x), owns(x,y)",
+             "rhs": "owns(x,y), CredCard(y)", "schema": _tbox_dict()},
+            {"type": "shutdown", "id": "end"},
+        ])
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert first[0]["type"] == "verdict" and first[0]["source"] == "computed"
+        # the second connection collapses onto the first connection's work
+        assert second[0]["source"] == "dedup"
+        assert second[0]["verdict"] == first[0]["verdict"]
+        assert second[-1]["type"] == "bye"
+        assert not path.exists()
+
+
+class TestMetricsMath:
+    def test_percentiles_nearest_rank(self):
+        samples = [float(n) for n in range(1, 101)]
+        assert percentile(samples, 0.50) == 50.0
+        assert percentile(samples, 0.90) == 90.0
+        assert percentile(samples, 0.99) == 99.0
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_snapshot_counters(self):
+        metrics = ServiceMetrics()
+        metrics.count("requests")
+        metrics.count("requests", 2)
+        metrics.observe_latency_ms(5.0)
+        metrics.queue_changed(3)
+        metrics.queue_changed(0)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["requests"] == 3
+        assert snapshot["queue"] == {"depth": 0, "high_water": 3}
+        assert snapshot["latency_ms"]["p50"] == 5.0

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import load_graph, load_schema, main
@@ -72,3 +74,119 @@ class TestCommands:
     def test_eval_no_match(self, graph_file, capsys):
         rc = main(["eval", graph_file, "Zz(x)"])
         assert rc == 1
+
+
+class TestContainFlags:
+    LHS, RHS = "Customer(x), owns(x,y)", "owns(x,y), CredCard(y)"
+
+    def _contain(self, schema_file, capsys, *flags):
+        rc = main(["contain", self.LHS, self.RHS, "--schema", schema_file, *flags])
+        return rc, capsys.readouterr().out
+
+    def test_incremental_on_off_agree(self, schema_file, capsys):
+        rc_on, out_on = self._contain(schema_file, capsys, "--incremental", "on")
+        rc_off, out_off = self._contain(schema_file, capsys, "--incremental", "off")
+        assert rc_on == rc_off == 0
+        assert out_on == out_off
+
+    def test_incremental_rejects_bad_value(self, schema_file):
+        with pytest.raises(SystemExit):
+            main(["contain", self.LHS, self.RHS, "--schema", schema_file,
+                  "--incremental", "maybe"])
+
+    def test_workers_verdict_identical_to_serial(self, schema_file, capsys):
+        rc_serial, out_serial = self._contain(schema_file, capsys, "--workers", "1")
+        rc_pool, out_pool = self._contain(schema_file, capsys, "--workers", "2")
+        assert rc_serial == rc_pool == 0
+        assert out_serial == out_pool
+
+    def test_workers_auto_accepted(self, capsys):
+        rc = main(["contain", "owns(x,y)", "CredCard(y)", "--workers", "auto"])
+        assert rc == 1
+        assert "NOT CONTAINED" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    """`batch` and `serve` smokes on the Example 1.1 fixtures."""
+
+    @pytest.fixture
+    def example11_requests(self, tmp_path):
+        from repro.dl.pg_schema import figure1_schema
+        from repro.io import query_to_text, tbox_to_dict
+        from repro.queries.presets import example_11_q1, example_11_q2
+
+        q1, q2 = query_to_text(example_11_q1()), query_to_text(example_11_q2())
+        path = tmp_path / "requests.jsonl"
+        lines = [
+            {"type": "schema", "ref": "fig1", "tbox": tbox_to_dict(figure1_schema())},
+            # q2 ⊆_S q1 — the fast direction of Example 1.1
+            {"type": "decide", "id": "fwd", "lhs": q2, "rhs": q1, "schema_ref": "fig1"},
+            {"type": "decide", "id": "dup", "lhs": q2, "rhs": q1, "schema_ref": "fig1"},
+            # schema-less baseline with a countermodel
+            {"type": "decide", "id": "neg", "lhs": q2, "rhs": "PremCC(x)"},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        return path
+
+    def _verdicts(self, text):
+        responses = [json.loads(line) for line in text.splitlines()]
+        return {r["id"]: r for r in responses if r["type"] == "verdict"}
+
+    def test_batch_example11(self, example11_requests, tmp_path, capsys):
+        out_file = tmp_path / "verdicts.jsonl"
+        metrics_file = tmp_path / "metrics.json"
+        rc = main([
+            "batch", str(example11_requests), "-o", str(out_file),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--metrics-json", str(metrics_file),
+        ])
+        assert rc == 0
+        verdicts = self._verdicts(out_file.read_text())
+        assert verdicts["fwd"]["verdict"]["contained"] is True
+        assert verdicts["dup"]["source"] == "dedup"
+        assert verdicts["dup"]["verdict"] == verdicts["fwd"]["verdict"]
+        assert verdicts["neg"]["verdict"]["contained"] is False
+        assert verdicts["neg"]["verdict"]["countermodel"] is not None
+        metrics = json.loads(metrics_file.read_text())
+        assert metrics["counters"]["decisions_executed"] == 2
+        assert metrics["counters"]["dedup_collapses"] == 1
+
+    def test_batch_warm_cache_answers_without_search(
+        self, example11_requests, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        cold_out = tmp_path / "cold.jsonl"
+        warm_out = tmp_path / "warm.jsonl"
+        warm_metrics = tmp_path / "warm-metrics.json"
+        assert main(["batch", str(example11_requests), "-o", str(cold_out),
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert main(["batch", str(example11_requests), "-o", str(warm_out),
+                     "--cache-dir", str(cache_dir),
+                     "--metrics-json", str(warm_metrics)]) == 0
+        cold, warm = self._verdicts(cold_out.read_text()), self._verdicts(warm_out.read_text())
+        for request_id in cold:
+            assert warm[request_id]["verdict"] == cold[request_id]["verdict"]
+        metrics = json.loads(warm_metrics.read_text())
+        assert metrics["counters"].get("decisions_executed", 0) == 0
+        assert metrics["counters"].get("verdicts_cache", 0) == 2
+
+    def test_batch_stdout_and_error_exit(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "decide", "id": "x", "lhs": "((", "rhs": "A(x)"}\n')
+        rc = main(["batch", str(path), "--no-cache"])
+        assert rc == 1
+        (response,) = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert response["type"] == "error"
+
+    def test_serve_pipe_example11(self, example11_requests, tmp_path, capsys, monkeypatch):
+        import io as io_module
+        import sys
+
+        monkeypatch.setattr(
+            sys, "stdin", io_module.StringIO(example11_requests.read_text())
+        )
+        rc = main(["serve", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        verdicts = self._verdicts(capsys.readouterr().out)
+        assert verdicts["fwd"]["verdict"]["contained"] is True
+        assert verdicts["neg"]["verdict"]["contained"] is False

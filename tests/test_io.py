@@ -9,9 +9,12 @@ from repro.io import (
     dump_graph,
     dump_query,
     dump_tbox,
+    dump_verdict,
     load_graph,
     load_query,
     load_tbox,
+    load_verdict,
+    verdict_to_dict,
 )
 from repro.queries.parser import parse_query
 
@@ -83,3 +86,63 @@ class TestQueryIO:
 
     def test_dump_accepts_text(self):
         assert load_query(dump_query("A(x)")) == parse_query("A(x)")
+
+
+class TestVerdictIO:
+    def _roundtrip(self, result):
+        restored = load_verdict(dump_verdict(result))
+        assert restored.contained == result.contained
+        assert restored.complete == result.complete
+        assert restored.method == result.method
+        assert restored.seeds_tried == result.seeds_tried
+        assert restored.supported_by_theory == result.supported_by_theory
+        assert restored.countermodel == result.countermodel
+        return restored
+
+    def test_positive_verdict(self):
+        from repro.core.containment import ContainmentResult
+
+        self._roundtrip(
+            ContainmentResult(True, True, "sparse", None, seeds_tried=3)
+        )
+
+    def test_negative_verdict_carries_countermodel(self):
+        from repro.core.containment import ContainmentResult
+
+        model = figure1_instance()
+        restored = self._roundtrip(
+            ContainmentResult(False, True, "direct", model, seeds_tried=7)
+        )
+        assert restored.countermodel is not model  # a fresh graph, not an alias
+
+    def test_unsupported_combination_flag(self):
+        from repro.core.containment import ContainmentResult
+
+        restored = self._roundtrip(
+            ContainmentResult(True, False, "direct", supported_by_theory=False)
+        )
+        assert restored.supported_by_theory is False
+
+    def test_real_decision_roundtrip(self):
+        from repro.core.containment import is_contained
+
+        result = is_contained("owns(x,y)", "CredCard(y)")
+        assert result.contained is False and result.countermodel is not None
+        self._roundtrip(result)
+
+    def test_tuple_node_countermodel(self):
+        from repro.core.containment import ContainmentResult
+
+        model = Graph()
+        model.add_node(("w", 0), ["A"])
+        model.add_edge(("w", 0), "r", ("cmp", 1, ("tau", 0)))
+        self._roundtrip(ContainmentResult(False, True, "direct", model))
+
+    def test_dict_shape_is_wire_stable(self):
+        from repro.core.containment import ContainmentResult
+
+        payload = verdict_to_dict(ContainmentResult(True, True, "syntactic"))
+        assert set(payload) == {
+            "format", "contained", "complete", "method", "seeds_tried",
+            "supported_by_theory", "countermodel",
+        }
