@@ -285,6 +285,11 @@ def _try_linear(ast: Regex) -> Optional[CompiledRegex]:
     current = auto.add_state()
     start = current
     consumed_any = False
+    # labels of the self-loops already sitting on `current` (from an earlier
+    # Star/Plus item), or None when the state is loop-free.  A Star can only
+    # reuse `current` when its loop labels coincide exactly — X*Y* with
+    # X ≠ Y needs an ε-skip no chain automaton has, so those bail to Thompson
+    loops_on_current: Optional[frozenset[Label]] = None
     for item in items:
         symbols = _union_symbols(item)
         if symbols is not None:
@@ -292,14 +297,19 @@ def _try_linear(ast: Regex) -> Optional[CompiledRegex]:
             for label in symbols:
                 auto.add_transition(current, label, nxt)
             current = nxt
+            loops_on_current = None
             consumed_any = True
             continue
         if isinstance(item, Star):
             symbols = _union_symbols(item.inner)
             if symbols is None:
                 return None
+            labels = frozenset(symbols)
+            if loops_on_current is not None and loops_on_current != labels:
+                return None  # adjacent different iterations: not chain-expressible
             for label in symbols:
                 auto.add_transition(current, label, current)
+            loops_on_current = labels
             continue
         if isinstance(item, Plus):
             symbols = _union_symbols(item.inner)
@@ -310,6 +320,7 @@ def _try_linear(ast: Regex) -> Optional[CompiledRegex]:
                 auto.add_transition(current, label, nxt)
                 auto.add_transition(nxt, label, nxt)
             current = nxt
+            loops_on_current = frozenset(symbols)
             consumed_any = True
             continue
         if isinstance(item, Epsilon):

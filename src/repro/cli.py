@@ -84,7 +84,8 @@ def load_graph(path: str) -> Graph:
     return graph
 
 
-def cmd_contain(args: argparse.Namespace) -> int:
+def _decision_inputs(args: argparse.Namespace):
+    """Resolve (lhs, rhs, tbox, options) shared by ``contain``/``explain``."""
     if args.preset:
         from repro.dl.pg_schema import figure1_schema
         from repro.queries.presets import example_11_q1, example_11_q2
@@ -95,17 +96,28 @@ def cmd_contain(args: argparse.Namespace) -> int:
         tbox = figure1_schema()
     else:
         if not args.lhs or not args.rhs:
-            raise SystemExit("contain requires lhs and rhs queries (or --preset)")
+            raise SystemExit(f"{args.command} requires lhs and rhs queries (or --preset)")
         lhs, rhs = args.lhs, args.rhs
         tbox = load_schema(args.schema) if args.schema else None
     options = None
-    if args.incremental is not None:
+    if getattr(args, "incremental", None) is not None:
         from repro.core.containment import ContainmentOptions
 
         options = ContainmentOptions(incremental=(args.incremental == "on"))
+    return lhs, rhs, tbox, options
+
+
+def cmd_contain(args: argparse.Namespace) -> int:
+    lhs, rhs, tbox, options = _decision_inputs(args)
     result = is_contained(
-        lhs, rhs, tbox, method=args.method, options=options, workers=args.workers
+        lhs, rhs, tbox, method=args.method, options=options, workers=args.workers,
+        trace=bool(args.trace),
     )
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(result.trace, args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
     verdict = "CONTAINED" if result.contained else "NOT CONTAINED"
     certainty = "certain" if result.complete else "within search budgets"
     print(f"{verdict}  (method: {result.method}, {certainty})")
@@ -115,6 +127,36 @@ def cmd_contain(args: argparse.Namespace) -> int:
     if result.countermodel is not None:
         print("countermodel:")
         print("  " + result.countermodel.describe().replace("\n", "\n  "))
+    return 0 if result.contained else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    lhs, rhs, tbox, options = _decision_inputs(args)
+    if options is None:
+        from repro.core.containment import ContainmentOptions
+
+        options = ContainmentOptions()
+    if args.no_memo:
+        # a warm decision memo would collapse the whole run into one cached
+        # span; profiling usually wants the actual work visible
+        from dataclasses import replace as _replace
+
+        options = _replace(options, use_cache=False)
+    result = is_contained(
+        lhs, rhs, tbox, method=args.method, options=options, workers=args.workers,
+        trace=True,
+    )
+    print(result.explain())
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(result.trace, args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.events:
+        from repro.obs import write_jsonl_events
+
+        write_jsonl_events(result.trace, args.events)
+        print(f"event log written to {args.events}", file=sys.stderr)
     return 0 if result.contained else 1
 
 
@@ -235,7 +277,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a built-in instance (Example 1.1: q1 vs q2 under the "
         "Figure 1 schema) instead of giving queries",
     )
+    contain.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record the decision and write a Chrome trace_event JSON to "
+        "FILE (open in chrome://tracing or Perfetto); the verdict is "
+        "bit-identical with or without tracing",
+    )
     contain.set_defaults(func=cmd_contain)
+
+    explain = sub.add_parser(
+        "explain", help="profile one decision: phase times, sizes, cache hits"
+    )
+    explain.add_argument("lhs", nargs="?", default=None, help="left query P")
+    explain.add_argument("rhs", nargs="?", default=None, help="right query Q")
+    explain.add_argument("--schema", help="TBox file", default=None)
+    explain.add_argument(
+        "--method", default="auto",
+        choices=["auto", "baseline", "sparse", "reduction", "direct"],
+    )
+    explain.add_argument(
+        "--workers", default=1, type=_parse_workers, metavar="N",
+        help="process count for the candidate fan-out (int or 'auto')",
+    )
+    explain.add_argument(
+        "--incremental", default=None, choices=["on", "off"],
+        help="force the incremental chase layer on or off",
+    )
+    explain.add_argument(
+        "--preset", default=None, choices=["example11"],
+        help="profile a built-in instance (Example 1.1 under Figure 1)",
+    )
+    explain.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also write the Chrome trace_event JSON to FILE",
+    )
+    explain.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="also write a JSONL span event log to FILE",
+    )
+    explain.add_argument(
+        "--no-memo", action="store_true",
+        help="bypass the cross-call decision memo so the real phases show "
+        "(a warm memo collapses the run into one cached lookup)",
+    )
+    explain.set_defaults(func=cmd_explain)
 
     entail = sub.add_parser("entail", help="decide G, T ⊨fin Q")
     entail.add_argument("graph", help="graph file")

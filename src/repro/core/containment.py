@@ -20,6 +20,7 @@ budgets; ``complete`` reports whether the verdict is certain.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
@@ -33,6 +34,7 @@ from repro.dl.tbox import TBox
 from repro.graphs.graph import Graph
 from repro.kernel.memo import BoundedMemo
 from repro.kernel.parallel import parallel_map, resolve_workers
+from repro.obs import REGISTRY, counter_delta, span, tracing
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import satisfies, satisfies_union
 from repro.queries.parser import parse_query
@@ -62,7 +64,7 @@ class ContainmentOptions:
     flag exists for A/B benchmarking (``--incremental on|off``)."""
 
 
-_DECISION_MEMO = BoundedMemo(max_entries=2048)
+_DECISION_MEMO = BoundedMemo(max_entries=2048, name="decision")
 """Cross-call containment-decision cache (see ContainmentOptions.use_cache)."""
 
 
@@ -127,9 +129,36 @@ class ContainmentResult:
     supported_by_theory: bool = True
     """False when the (query, schema) combination is one the paper leaves
     open (e.g. non-simple UC2RPQs with full ALCQI)."""
+    trace: Optional[object] = field(default=None, compare=False, repr=False)
+    """The :class:`repro.obs.Tracer` recorded for this decision when it was
+    made with ``trace=True``; never cached, never serialized, and excluded
+    from equality — the decision's *content* is byte-identical with or
+    without it."""
+    trace_counters: Optional[dict] = field(default=None, compare=False, repr=False)
+    """Registry counter deltas observed across this decision (trace runs)."""
 
     def __bool__(self) -> bool:
         return self.contained
+
+    def explain(self) -> str:
+        """A plain-text report breaking this decision into phases with
+        times, sizes, and cache effectiveness.  Requires the decision to
+        have been made with ``is_contained(..., trace=True)`` (or via
+        ``repro explain`` on the CLI)."""
+        if self.trace is None:
+            return (
+                "no trace recorded for this decision — "
+                "call is_contained(..., trace=True) or use `repro explain`"
+            )
+        from repro.obs.explain import explain_report
+
+        verdict = "CONTAINED" if self.contained else "NOT CONTAINED"
+        header = (
+            f"decision {getattr(self.trace, 'trace_id', '')}: {verdict}"
+            f" (method={self.method}, complete={self.complete},"
+            f" seeds_tried={self.seeds_tried})"
+        )
+        return explain_report(self.trace, counters=self.trace_counters, header=header)
 
 
 def _coerce_query(query: Union[str, CRPQ, UCRPQ]) -> UCRPQ:
@@ -264,6 +293,25 @@ def _decision_key(
     )
 
 
+def decision_id(
+    lhs: Union[str, CRPQ, UCRPQ],
+    rhs: Union[str, CRPQ, UCRPQ],
+    tbox: Union[None, TBox, NormalizedTBox] = None,
+    method: str = "auto",
+    options: Optional[ContainmentOptions] = None,
+    workers: Union[int, str, None] = None,
+) -> str:
+    """A short deterministic id for a decision — a content hash of its
+    :func:`decision_key`.  Used as the trace id carried across the process
+    pool and stamped into exported traces."""
+    key = decision_key(lhs, rhs, tbox, method=method, options=options, workers=workers)
+    return _decision_id(key)
+
+
+def _decision_id(key: tuple) -> str:
+    return "d-" + hashlib.blake2s(repr(key).encode("utf-8"), digest_size=8).hexdigest()
+
+
 def is_contained(
     lhs: Union[str, CRPQ, UCRPQ],
     rhs: Union[str, CRPQ, UCRPQ],
@@ -271,6 +319,7 @@ def is_contained(
     method: str = "auto",
     options: Optional[ContainmentOptions] = None,
     workers: Union[int, str, None] = None,
+    trace: bool = False,
 ) -> ContainmentResult:
     """Decide P ⊆_T Q (Boolean containment over finite graphs).
 
@@ -281,6 +330,12 @@ def is_contained(
     yields bit-identical results (parallel fan-outs reduce in serial order).
     Decisions are memoized across calls (``options.use_cache``) keyed by the
     canonical query forms, the schema's content key, and all budgets.
+
+    ``trace=True`` records the decision under a fresh :class:`repro.obs.Tracer`
+    and returns it on ``result.trace`` (with the decision's counter deltas on
+    ``result.trace_counters``) for ``result.explain()`` and the exporters.
+    Tracing is strictly passive: the verdict, countermodel, and every counter
+    are bit-identical with it on or off.
     """
     if method not in ("auto", "baseline", "sparse", "reduction", "direct"):
         raise ValueError(f"unknown method {method!r}")
@@ -290,20 +345,61 @@ def is_contained(
     options = _force_incremental(options or ContainmentOptions())
     pool = resolve_workers(workers if workers is not None else options.workers)
 
+    if not trace:
+        return _cached_decide(lhs_u, rhs_u, normalized, method, options, pool)
+
+    key = _decision_key(lhs_u, rhs_u, normalized, method, options, pool)
+    before = REGISTRY.counters_snapshot()
+    with tracing(_decision_id(key)) as tracer:
+        result = _cached_decide(lhs_u, rhs_u, normalized, method, options, pool)
+    return replace(
+        result,
+        trace=tracer,
+        trace_counters=counter_delta(before, REGISTRY.counters_snapshot()),
+    )
+
+
+def _cached_decide(
+    lhs_u: UCRPQ,
+    rhs_u: UCRPQ,
+    normalized: Optional[NormalizedTBox],
+    method: str,
+    options: ContainmentOptions,
+    pool: int,
+) -> ContainmentResult:
     cache_key = None
     if options.use_cache:
         cache_key = _decision_key(lhs_u, rhs_u, normalized, method, options, pool)
         hit = _DECISION_MEMO.get(cache_key)
         if hit is not None:
+            with span("decision", method=hit.method, cached=True) as sp:
+                sp.set(contained=hit.contained, complete=hit.complete)
             model = hit.countermodel.copy() if hit.countermodel is not None else None
             return replace(hit, countermodel=model)
 
-    result = _decide(lhs_u, rhs_u, normalized, method, options, pool)
+    with span("decision", method=method, cached=False) as sp:
+        result = _decide(lhs_u, rhs_u, normalized, method, options, pool)
+        sp.set(
+            method=result.method,
+            contained=result.contained,
+            complete=result.complete,
+            seeds_tried=result.seeds_tried,
+        )
+    REGISTRY.inc_many(
+        {
+            "decision.calls": 1,
+            "decision.contained": 1 if result.contained else 0,
+            "decision.seeds_tried": result.seeds_tried,
+        }
+    )
     if cache_key is not None:
         # store a private copy so later caller mutations of the returned
-        # countermodel cannot poison the cache
+        # countermodel cannot poison the cache; traces are never cached
         model = result.countermodel.copy() if result.countermodel is not None else None
-        _DECISION_MEMO.put(cache_key, replace(result, countermodel=model))
+        _DECISION_MEMO.put(
+            cache_key,
+            replace(result, countermodel=model, trace=None, trace_counters=None),
+        )
     return result
 
 

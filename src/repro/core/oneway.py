@@ -48,6 +48,7 @@ from repro.graphs.graph import Graph, PointedGraph
 from repro.graphs.labels import NodeLabel
 from repro.graphs.types import Type, realized_types, type_of
 from repro.kernel.bitset import compiled_clauses_for, inert_partition
+from repro.obs import REGISTRY, span
 from repro.queries.evaluation import satisfies_union
 from repro.queries.factorization import Factorization, factorize
 from repro.queries.ucrpq import UCRPQ
@@ -121,6 +122,42 @@ def realizable_refuting_oneway(
 
     T must be ALCI (no counting); Q must be a connected one-way UCRPQ.
     """
+    with span("elimination", procedure="oneway") as sp:
+        result = _realizable_refuting_oneway(
+            tau,
+            tbox,
+            query,
+            factorization=factorization,
+            limits=limits,
+            max_types=max_types,
+            max_connector_candidates=max_connector_candidates,
+        )
+        sp.set(
+            realizable=result.realizable,
+            waves=result.iterations,
+            initial_types=result.type_counts[0] if result.type_counts else 0,
+            surviving_types=result.type_counts[-1] if result.type_counts else 0,
+            complete=result.complete,
+        )
+    # per-wave dicts stay the authoritative per-call view (round_stats);
+    # process totals accumulate on the registry
+    totals = {"oneway.calls": 1, "oneway.waves": result.iterations}
+    for stats in result.round_stats:
+        for key, value in stats.items():
+            totals[f"oneway.{key}"] = totals.get(f"oneway.{key}", 0) + value
+    REGISTRY.inc_many(totals)
+    return result
+
+
+def _realizable_refuting_oneway(
+    tau: Type,
+    tbox: NormalizedTBox,
+    query: UCRPQ,
+    factorization: Optional[Factorization] = None,
+    limits: Optional[SearchLimits] = None,
+    max_types: int = 4096,
+    max_connector_candidates: int = 200_000,
+) -> OneWayResult:
     if tbox.uses_counting():
         raise ValueError("the one-way procedure supports ALCI TBoxes (no counting)")
     if not query.is_one_way():
@@ -324,17 +361,19 @@ def realizable_refuting_oneway(
             "eliminated": 0,
         }
         eliminated_now: list[Type] = []
-        for sigma in pending:
-            if sigma not in psi:
-                continue
-            stats["checked"] += 1
-            if productive(sigma, stats) and connector_exists(sigma, stats):
-                continue
-            psi.discard(sigma)
-            side_sets[_is_forward(sigma)].discard(sigma)
-            side_version[_is_forward(sigma)] += 1
-            eliminated_now.append(sigma)
-        stats["eliminated"] = len(eliminated_now)
+        with span("wave", index=iterations, pending=len(pending)) as wave_sp:
+            for sigma in pending:
+                if sigma not in psi:
+                    continue
+                stats["checked"] += 1
+                if productive(sigma, stats) and connector_exists(sigma, stats):
+                    continue
+                psi.discard(sigma)
+                side_sets[_is_forward(sigma)].discard(sigma)
+                side_version[_is_forward(sigma)] += 1
+                eliminated_now.append(sigma)
+            stats["eliminated"] = len(eliminated_now)
+            wave_sp.set(**stats)
         type_counts.append(len(psi))
         round_stats.append(stats)
         if not psi:

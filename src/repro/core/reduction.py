@@ -29,6 +29,7 @@ from repro.graphs.graph import Graph, Node
 from repro.graphs.types import Type, type_of
 from repro.kernel.memo import BoundedMemo
 from repro.kernel.parallel import parallel_map, resolve_workers
+from repro.obs import REGISTRY, span
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import satisfies, satisfies_union
 from repro.queries.factorization import Factorization, factorize
@@ -65,7 +66,7 @@ def query_key(query: UCRPQ) -> tuple:
     )
 
 
-_TP_MEMO = BoundedMemo(max_entries=4096)
+_TP_MEMO = BoundedMemo(max_entries=4096, name="tp_oracle")
 """Cross-decision Tp cache: workloads re-deciding structurally equal
 (T, Q̂) pairs (keyed via :meth:`NormalizedTBox.content_key`) reuse per-type
 entailment verdicts and their witnessing models."""
@@ -124,7 +125,9 @@ class _TpOracle:
             if cached is not None:
                 return cached
         self.computed += 1
-        outcome = realizable_type(tau, self.tbox, self.q_hat, limits=self.limits)
+        with span("elimination", procedure="tp", type=str(tau)) as sp:
+            outcome = realizable_type(tau, self.tbox, self.q_hat, limits=self.limits)
+            sp.set(found=outcome.found, exhausted=outcome.exhausted)
         if memo_key is not None:
             _TP_MEMO.put(memo_key, outcome)
         return outcome
@@ -163,6 +166,31 @@ def contains_via_reduction(
     The TBox must be ALCI or ALCQ (Lemma 3.5's hypotheses); a "not
     contained" answer comes with a fully verified star-like countermodel.
     """
+    with span("reduction") as sp:
+        result = _contains_via_reduction(lhs, rhs, tbox, factorization, config)
+        sp.set(
+            contained=result.contained,
+            complete=result.complete,
+            seeds_tried=result.seeds_tried,
+            entailment_calls=result.entailment_calls,
+        )
+    REGISTRY.inc_many(
+        {
+            "reduction.calls": 1,
+            "reduction.seeds_tried": result.seeds_tried,
+            "reduction.entailment_calls": result.entailment_calls,
+        }
+    )
+    return result
+
+
+def _contains_via_reduction(
+    lhs: CRPQ,
+    rhs: UCRPQ,
+    tbox: NormalizedTBox,
+    factorization: Optional[Factorization] = None,
+    config: Optional[ReductionConfig] = None,
+) -> ReductionResult:
     if tbox.uses_inverse_roles() and tbox.uses_counting():
         raise ValueError("Lemma 3.5 requires an ALCI or ALCQ TBox (no mixing)")
     config = config or ReductionConfig()
@@ -217,14 +245,16 @@ def contains_via_reduction(
     seeds = 0
     for expansion in expansions(lhs, config.max_word_length, config.max_expansions):
         seeds += 1
-        search = CountermodelSearch(
-            t_zero,
-            q_hat,
-            expansion.graph,
-            limits=config.central_limits,
-            accept=acceptable,
-        )
-        outcome = search.run()
+        with span("expansion", index=seeds) as exp_sp:
+            search = CountermodelSearch(
+                t_zero,
+                q_hat,
+                expansion.graph,
+                limits=config.central_limits,
+                accept=acceptable,
+            )
+            outcome = search.run()
+            exp_sp.set(found=outcome.found)
         if not outcome.found:
             continue
         central = outcome.countermodel

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.dl.normalize import AtLeastCI, AtMostCI, ClauseCI, NormalizedTBox, UniversalCI
+from repro.obs import REGISTRY, span
 from repro.graphs.graph import Graph, Node
 from repro.graphs.labels import NodeLabel, Role
 from repro.graphs.types import Type, type_of
@@ -346,6 +347,36 @@ class CountermodelSearch:
     # ------------------------------------------------------------- #
 
     def run(self) -> SearchOutcome:
+        with span(
+            "search",
+            seed_nodes=len(self.seed),
+            incremental=self.limits.incremental,
+        ) as sp:
+            outcome = self._run()
+            sp.set(
+                found=outcome.found,
+                exhausted=outcome.exhausted,
+                steps=outcome.steps,
+                tt_hits=outcome.tt_hits,
+                tt_misses=outcome.tt_misses,
+            )
+        # the hot loop keeps plain local counters; totals flush to the
+        # registry once per run (SearchOutcome keeps the per-run view)
+        totals = {
+            "search.runs": 1,
+            "search.steps": outcome.steps,
+            "search.tt_hits": outcome.tt_hits,
+            "search.tt_misses": outcome.tt_misses,
+            "search.found": 1 if outcome.found else 0,
+            "search.exhausted": 1 if outcome.exhausted else 0,
+        }
+        if self._evaluator is not None:
+            for key, value in self._evaluator.stats().items():
+                totals[f"incremental.{key}"] = value
+        REGISTRY.inc_many(totals)
+        return outcome
+
+    def _run(self) -> SearchOutcome:
         graph = self.seed.copy()
         if self.limits.incremental:
             self._evaluator = IncrementalUnionEvaluator(graph, self.avoid)

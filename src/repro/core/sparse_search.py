@@ -26,6 +26,7 @@ from repro.dl.normalize import NormalizedTBox
 from repro.graphs.graph import Graph, Node
 from repro.graphs.labels import NodeLabel
 from repro.kernel.parallel import first_success, resolve_workers
+from repro.obs import REGISTRY, span
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import matches, satisfies_union
 from repro.queries.ucrpq import UCRPQ
@@ -137,6 +138,28 @@ def contained_without_participation(
     limits = limits or SearchLimits(max_nodes=64, max_steps=20_000)
     pool_workers = resolve_workers(workers)
 
+    with span("sparse", workers=pool_workers) as sp:
+        result = _sparse_decision(
+            lhs, rhs, tbox, max_word_length, max_expansions, limits, pool_workers
+        )
+        sp.set(
+            contained=result.contained,
+            complete=result.complete,
+            seeds_tried=result.seeds_tried,
+        )
+    REGISTRY.inc_many({"sparse.calls": 1, "sparse.seeds_tried": result.seeds_tried})
+    return result
+
+
+def _sparse_decision(
+    lhs: CRPQ,
+    rhs: UCRPQ,
+    tbox: NormalizedTBox,
+    max_word_length: int,
+    max_expansions: int,
+    limits: SearchLimits,
+    pool_workers: int,
+) -> SparseSearchResult:
     if pool_workers > 1:
         candidates = list(expansions(lhs, max_word_length, max_expansions))
         payloads = [(tbox, rhs, e.graph, limits) for e in candidates]

@@ -43,6 +43,7 @@ from repro.dl.types import clause_consistent
 from repro.graphs.graph import Graph, single_node_graph
 from repro.graphs.labels import NodeLabel, Role
 from repro.graphs.types import Type
+from repro.obs import REGISTRY, span
 from repro.queries.atoms import PathAtom
 from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import satisfies_union
@@ -543,9 +544,20 @@ def realizable_refuting_twoway(
     while fresh_role in tbox.role_names() | query.role_names():
         fresh_role += "_"
     sigma0 = frozenset(tbox.role_names()) | {fresh_role}
-    realizable = _entailment_mod_reachability(
-        tau, tbox, frozenset({Type()}), q_hat, sigma0, config, depth=0
-    )
+    # a caller-provided config may be reused across calls, so flush only
+    # this call's counter growth to the registry
+    counters_before = dict(config.counters)
+    with span("elimination", procedure="twoway") as sp:
+        realizable = _entailment_mod_reachability(
+            tau, tbox, frozenset({Type()}), q_hat, sigma0, config, depth=0
+        )
+        sp.set(realizable=realizable, **config.counters)
+    flush = {
+        f"twoway.{key}": value - counters_before.get(key, 0)
+        for key, value in config.counters.items()
+    }
+    flush["twoway.calls"] = 1
+    REGISTRY.inc_many(flush)
     return TwoWayResult(
         realizable,
         complete=True,

@@ -29,15 +29,23 @@ class BoundedMemo:
     immutable, which every memo in this codebase already does.)
     """
 
-    __slots__ = ("max_entries", "_data", "_lock", "hits", "misses", "evictions")
+    __slots__ = ("max_entries", "name", "_data", "_lock", "hits", "misses",
+                 "evictions", "__weakref__")
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(self, max_entries: int = 4096, name: str = "") -> None:
         self.max_entries = max_entries
+        self.name = name
         self._data: dict[Hashable, Any] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        if name:
+            # The registry holds only a weak reference, so naming a memo
+            # never extends its lifetime.
+            from repro.obs.registry import REGISTRY
+
+            REGISTRY.register_object_probe(f"memo.{name}", self)
 
     def get(self, key: Hashable) -> Optional[Any]:
         with self._lock:

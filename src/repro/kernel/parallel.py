@@ -19,6 +19,13 @@ spawn cost on every decision unless they opt into **pool reuse**
 and grown on demand, then torn down via :func:`shutdown_shared_pool` at
 server exit.  Reuse changes scheduling only, never results — the
 serial-equivalent reductions are unaffected.
+
+When a ``repro.obs`` collector is installed in the parent, fan-out tasks
+are wrapped so each worker records under its own tracer (carrying the
+parent's trace/decision id) and ships the span payload back with its
+result; the parent *absorbs* payloads in task order on join, so the merged
+trace is the serial-equivalent one.  Without a collector the wrapping is
+skipped entirely and the fan-out path is byte-identical to before.
 """
 
 from __future__ import annotations
@@ -28,8 +35,48 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar, Union
 
+from repro.obs import trace as _obs_trace
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _traced_call(packed: tuple) -> tuple:
+    """Worker-side wrapper: run one task under a fresh tracer and return
+    ``(result, payload)`` where the payload carries the worker's spans and
+    flushed counter deltas.  Module-level for picklability."""
+    task, item, trace_id = packed
+    from repro.obs.registry import REGISTRY
+
+    before = REGISTRY.flushed_counters()
+    with _obs_trace.tracing(trace_id) as tracer:
+        result = task(item)
+    after = REGISTRY.flushed_counters()
+    payload = tracer.payload()
+    payload["counters"] = {
+        name: after[name] - before.get(name, 0)
+        for name in after
+        if after[name] != before.get(name, 0)
+    }
+    return result, payload
+
+
+def _traced_pool_map(
+    pool: ProcessPoolExecutor,
+    task: Callable[[T], R],
+    items: Sequence[T],
+    collector: object,
+    chunksize: int = 1,
+) -> list[R]:
+    """``pool.map`` with span payloads merged into ``collector`` in task
+    order (serial-equivalent, so the grafted tree is deterministic)."""
+    trace_id = getattr(collector, "trace_id", "")
+    packed = [(task, item, trace_id) for item in items]
+    results: list[R] = []
+    for result, payload in pool.map(_traced_call, packed, chunksize=chunksize):
+        collector.absorb(payload)
+        results.append(result)
+    return results
 
 
 _POOL_LOCK = threading.Lock()
@@ -103,6 +150,9 @@ def parallel_map(
         return [task(item) for item in items]
     pool, owned = _acquire_pool(min(count, len(items)))
     try:
+        collector = _obs_trace.active_collector()
+        if collector is not None:
+            return _traced_pool_map(pool, task, items, collector, chunksize=chunksize)
         return list(pool.map(task, items, chunksize=chunksize))
     finally:
         if owned:
@@ -148,16 +198,23 @@ def first_success(
 
     pool, owned = _acquire_pool(count)
     try:
+        collector = _obs_trace.active_collector()
+
+        def run_wave(batch: list[T]) -> list[R]:
+            if collector is not None:
+                return _traced_pool_map(pool, task, batch, collector)
+            return list(pool.map(task, batch))
+
         for item in items:
             wave.append(item)
             if len(wave) >= wave_size:
-                hit = scan(list(pool.map(task, wave)), tried)
+                hit = scan(run_wave(wave), tried)
                 if hit is not None:
                     return hit
                 tried += len(wave)
                 wave = []
         if wave:
-            hit = scan(list(pool.map(task, wave)), tried)
+            hit = scan(run_wave(wave), tried)
             if hit is not None:
                 return hit
             tried += len(wave)

@@ -1,0 +1,49 @@
+"""`repro.obs` — observability for the containment decision pipeline.
+
+Hierarchical spans (:func:`span`, :class:`Tracer`, :class:`PhaseAggregator`),
+a unified counter/gauge registry (:data:`REGISTRY`), exporters (Chrome
+``trace_event`` JSON, JSONL event logs), and per-decision explain reports.
+See ``DESIGN.md`` §2.11 and ``EXPERIMENTS.md`` E19.
+"""
+
+from repro.obs.explain import explain_report
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_events,
+    write_chrome_trace,
+    write_jsonl_events,
+)
+from repro.obs.registry import REGISTRY, CounterRegistry, counter_delta
+from repro.obs.trace import (
+    NULL_SPAN,
+    PhaseAggregator,
+    Span,
+    Tracer,
+    active_collector,
+    enabled,
+    install,
+    span,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "REGISTRY",
+    "CounterRegistry",
+    "PhaseAggregator",
+    "Span",
+    "Tracer",
+    "active_collector",
+    "chrome_trace",
+    "counter_delta",
+    "enabled",
+    "explain_report",
+    "install",
+    "jsonl_events",
+    "span",
+    "tracing",
+    "uninstall",
+    "write_chrome_trace",
+    "write_jsonl_events",
+]

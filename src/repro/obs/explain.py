@@ -1,0 +1,101 @@
+"""Plain-text per-decision explain reports.
+
+Turns a recorded trace into the answer to "where did this decision spend
+its time": a phase table aggregated by span path (calls, wall, own time,
+share of the decision), notable span attributes, and the counter activity
+(cache effectiveness, worklist rounds, ...) observed during the decision.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.obs.trace import Tracer
+
+
+def _aggregate_paths(tracer: Tracer) -> dict:
+    """Aggregate spans by their name path (``decision/reduction/search``)."""
+    order: list[str] = []
+    rows: dict[str, dict] = {}
+    paths: dict[int, str] = {}
+    for node, depth in tracer.walk():
+        path = node.name if depth == 0 else f"{paths[depth - 1]}/{node.name}"
+        paths[depth] = path
+        row = rows.get(path)
+        if row is None:
+            row = {"depth": depth, "calls": 0, "wall_ms": 0.0, "own_ms": 0.0, "errors": 0}
+            rows[path] = row
+            order.append(path)
+        row["calls"] += 1
+        row["wall_ms"] += node.dur_ms
+        row["own_ms"] += node.own_ms
+        if node.status == "error":
+            row["errors"] += 1
+    return {path: rows[path] for path in order}
+
+
+def _format_attr(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def explain_report(
+    tracer: Tracer,
+    counters: Optional[Mapping[str, int]] = None,
+    header: str = "",
+) -> str:
+    """Render the trace as a plain-text report.
+
+    ``counters`` should be the counter *delta* observed across the decision
+    (see :func:`repro.obs.registry.counter_delta`) so the cache-effectiveness
+    section reflects this decision, not process history.
+    """
+    lines: list[str] = []
+    if header:
+        lines.append(header)
+        lines.append("")
+
+    rows = _aggregate_paths(tracer)
+    total_ms = sum(node.dur_ms for node in tracer.roots)
+    lines.append("phase breakdown")
+    lines.append("---------------")
+    name_width = max([len("phase")] + [2 * row["depth"] + len(path.rsplit("/", 1)[-1]) for path, row in rows.items()])
+    lines.append(
+        f"{'phase':<{name_width}}  {'calls':>5}  {'wall ms':>9}  {'own ms':>9}  {'%':>6}"
+    )
+    for path, row in rows.items():
+        label = "  " * row["depth"] + path.rsplit("/", 1)[-1]
+        share = (row["wall_ms"] / total_ms * 100.0) if total_ms > 0 else 0.0
+        suffix = f"  [{row['errors']} error(s)]" if row["errors"] else ""
+        lines.append(
+            f"{label:<{name_width}}  {row['calls']:>5}  {row['wall_ms']:>9.2f}  "
+            f"{row['own_ms']:>9.2f}  {share:>5.1f}%{suffix}"
+        )
+    if total_ms > 0:
+        lines.append(f"total wall: {total_ms:.2f} ms over {tracer.span_count()} span(s)")
+
+    notable = [
+        (node, depth)
+        for node, depth in tracer.walk()
+        if node.attrs
+    ]
+    if notable:
+        lines.append("")
+        lines.append("span attributes")
+        lines.append("---------------")
+        for node, depth in notable:
+            attrs = ", ".join(
+                f"{key}={_format_attr(node.attrs[key])}" for key in sorted(node.attrs)
+            )
+            lines.append(f"{'  ' * depth}{node.name}: {attrs}")
+
+    if counters:
+        lines.append("")
+        lines.append("counters (this decision)")
+        lines.append("------------------------")
+        key_width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"{name:<{key_width}}  {counters[name]:+d}")
+
+    return "\n".join(lines)

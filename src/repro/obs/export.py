@@ -1,0 +1,96 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a JSONL event log.
+
+Both exporters serialize *deterministic content first*: events appear in
+span sequence order, attributes are emitted with sorted keys, and all
+timing lives in the dedicated ``ts``/``dur`` (Chrome, microseconds) or
+``start_ms``/``dur_ms`` (JSONL) fields.  Diffing two traces of the same
+decision therefore shows differences only in those timing fields.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, Union
+
+from repro.obs.trace import Span, Tracer
+
+# Chrome's trace viewer (chrome://tracing, Perfetto) reads the JSON object
+# format: {"traceEvents": [...]} where each complete event is
+# {"ph": "X", "name", "cat", "pid", "tid", "ts", "dur", "args"}.
+_PID = 1
+_TID = 1
+
+
+def _chrome_event(node: Span, trace_id: str) -> dict:
+    args = {key: node.attrs[key] for key in sorted(node.attrs)}
+    if trace_id:
+        args.setdefault("trace_id", trace_id)
+    args["seq"] = node.seq
+    args["status"] = node.status
+    return {
+        "name": node.name,
+        "cat": "repro",
+        "ph": "X",
+        "pid": _PID,
+        "tid": _TID,
+        "ts": round(node.start_ms * 1000.0, 3),
+        "dur": round(node.dur_ms * 1000.0, 3),
+        "args": args,
+    }
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's forest as a Chrome ``trace_event`` JSON object.
+
+    Complete ("ph": "X") events on one pid/tid: the viewer reconstructs
+    nesting from ts/dur containment, which holds by construction because a
+    child span opens after and closes before its parent.
+    """
+    events = [_chrome_event(node, tracer.trace_id) for node, _depth in tracer.walk()]
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": tracer.trace_id},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, destination: Union[str, IO[str]]) -> None:
+    document = chrome_trace(tracer)
+    if hasattr(destination, "write"):
+        json.dump(document, destination, indent=2, sort_keys=True)
+        destination.write("\n")
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def jsonl_events(tracer: Tracer) -> Iterator[str]:
+    """One JSON line per span, in sequence order, with a depth/path context."""
+    paths: dict[int, str] = {}
+    for node, depth in tracer.walk():
+        path = node.name if depth == 0 else f"{paths[depth - 1]}/{node.name}"
+        paths[depth] = path
+        record = {
+            "event": "span",
+            "trace_id": tracer.trace_id,
+            "seq": node.seq,
+            "path": path,
+            "name": node.name,
+            "depth": depth,
+            "status": node.status,
+            "start_ms": round(node.start_ms, 3),
+            "dur_ms": round(node.dur_ms, 3),
+            "attrs": {key: node.attrs[key] for key in sorted(node.attrs)},
+        }
+        yield json.dumps(record, sort_keys=True)
+
+
+def write_jsonl_events(tracer: Tracer, destination: Union[str, IO[str]]) -> None:
+    if hasattr(destination, "write"):
+        for line in jsonl_events(tracer):
+            destination.write(line + "\n")
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            for line in jsonl_events(tracer):
+                handle.write(line + "\n")

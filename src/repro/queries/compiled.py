@@ -164,9 +164,9 @@ class CompiledQuery:
                     owners.append(index)
 
 
-_AUTOMATON_MEMO = BoundedMemo(max_entries=4096)
-_DISJUNCT_MEMO = BoundedMemo(max_entries=4096)
-_QUERY_MEMO = BoundedMemo(max_entries=2048)
+_AUTOMATON_MEMO = BoundedMemo(max_entries=4096, name="compile.automaton")
+_DISJUNCT_MEMO = BoundedMemo(max_entries=4096, name="compile.disjunct")
+_QUERY_MEMO = BoundedMemo(max_entries=2048, name="compile.query")
 
 
 def compile_automaton(automaton: Semiautomaton) -> CompiledAutomaton:
@@ -291,7 +291,7 @@ def atom_relation(graph: Graph, catom: CompiledAtom) -> set[tuple[Node, Node]]:
 # --------------------------------------------------------------------- #
 # structural keys (exact, collision-free query fingerprints)
 
-_FINGERPRINT_MEMO = BoundedMemo(max_entries=4096)
+_FINGERPRINT_MEMO = BoundedMemo(max_entries=4096, name="compile.fingerprint")
 
 
 def automaton_fingerprint(automaton: Semiautomaton) -> tuple:

@@ -507,7 +507,7 @@ def is_local_query(query: UCRPQ) -> bool:
     return True
 
 
-_FACTORIZATION_MEMO = BoundedMemo(max_entries=512)
+_FACTORIZATION_MEMO = BoundedMemo(max_entries=512, name="factorization")
 """Cross-decision Q̂ cache keyed by exact query structure.
 
 Workloads decide many containments against the same right-hand query; the

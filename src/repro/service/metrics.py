@@ -29,7 +29,16 @@ _MAX_LATENCY_SAMPLES = 65536
 
 
 def percentile(samples: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (not necessarily sorted)."""
+    """Nearest-rank percentile of ``samples`` (not necessarily sorted).
+
+    Edge cases are pinned down by direct unit tests: an empty sample list
+    yields 0.0 (a metrics placeholder, not a statistic), a single sample is
+    every percentile of itself, ``fraction=0.0`` yields the minimum (rank
+    clamps to 1), and ``fraction=1.0`` the maximum.  Fractions outside
+    [0, 1] are rejected rather than silently clamped.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
     if not samples:
         return 0.0
     ordered = sorted(samples)
@@ -73,8 +82,11 @@ class ServiceMetrics:
 
     def snapshot(self) -> dict:
         """A JSON-able view: counters, queue gauges, latency percentiles,
-        plus the process-wide memo counters the service relies on."""
+        plus the process-wide memo counters the service relies on and the
+        ``repro.obs`` registry (unified pipeline counters + per-phase
+        wall-clock aggregates)."""
         from repro.core.containment import decision_memo_stats
+        from repro.obs import REGISTRY
         from repro.queries.compiled import compile_cache_stats
         from repro.queries.factorization import factorization_cache_stats
 
@@ -100,6 +112,7 @@ class ServiceMetrics:
                 "compile": compile_cache_stats(),
                 "factorization": factorization_cache_stats(),
             },
+            "obs": REGISTRY.snapshot(),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -33,6 +33,7 @@ from typing import Optional, Union
 from repro.core.containment import ContainmentOptions, decision_key, is_contained
 from repro.io import verdict_to_dict
 from repro.kernel.memo import BoundedMemo
+from repro.obs import span
 from repro.queries.parser import parse_query
 from repro.queries.ucrpq import UCRPQ
 from repro.service.cache import DecisionCache
@@ -74,7 +75,7 @@ class DecisionScheduler:
         self.cache = cache
         self.default_workers = workers
         self._queue: list[_Item] = []
-        self._results = BoundedMemo(max_entries=8192)
+        self._results = BoundedMemo(max_entries=8192, name="service.results")
         """Lifetime verdict-dict memo keyed by decision key (dedup source)."""
 
     def pending(self) -> int:
@@ -146,7 +147,9 @@ class DecisionScheduler:
 
     def _resolve(self, item: _Item) -> tuple[int, dict]:
         start = time.perf_counter()
-        verdict, source = self._verdict_for(item)
+        with span("service.decide", priority=item.priority) as sp:
+            verdict, source = self._verdict_for(item)
+            sp.set(source=source)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.metrics.observe_latency_ms(elapsed_ms)
         self.metrics.count(f"verdicts_{source}")

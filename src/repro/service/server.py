@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import IO, Iterable, Optional, Union
 
 from repro.kernel.parallel import set_pool_reuse
+from repro.obs import PhaseAggregator, active_collector, install, uninstall
 from repro.service.cache import DecisionCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -138,10 +139,23 @@ class ContainmentServer:
     def serve_pipe(self, in_stream: IO[str], out_stream: IO[str]) -> None:
         """Serve one JSONL conversation from stream to stream."""
         set_pool_reuse(self.pool_reuse)
+        installed = self._install_aggregator()
         try:
             self._run_stream(in_stream, out_stream)
         finally:
+            if installed:
+                uninstall()
             set_pool_reuse(False)
+
+    @staticmethod
+    def _install_aggregator() -> bool:
+        """Aggregate per-phase span timings for the serve loop's lifetime
+        (bounded memory: counts + totals only, surfaced via ``stats``).
+        An already-installed collector — e.g. a benchmark's tracer — wins."""
+        if active_collector() is not None:
+            return False
+        install(PhaseAggregator())
+        return True
 
     def serve_socket(self, path: Union[str, Path]) -> None:
         """Serve connections on a local Unix socket until a client sends
@@ -152,6 +166,7 @@ class ContainmentServer:
             socket_path.unlink()
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         set_pool_reuse(self.pool_reuse)
+        installed = self._install_aggregator()
         try:
             listener.bind(str(socket_path))
             listener.listen(8)
@@ -175,6 +190,8 @@ class ContainmentServer:
                             except OSError:
                                 pass
         finally:
+            if installed:
+                uninstall()
             set_pool_reuse(False)
             listener.close()
             if socket_path.exists():

@@ -1,0 +1,131 @@
+"""End-to-end decision tracing: explain() on Example 1.1 and Fig. 1."""
+
+import pytest
+
+from repro.core.containment import ContainmentOptions, is_contained
+from repro.core.reduction import ReductionConfig
+from repro.dl.pg_schema import figure1_schema
+from repro.obs import chrome_trace, uninstall
+from repro.queries.presets import example_11_q1, example_11_q2
+
+
+@pytest.fixture(autouse=True)
+def _clean_collector():
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestExplainExample11:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        # bypass the decision memo: a warm hit (e.g. from an earlier test in
+        # the same process) would collapse the trace into one cached span
+        return is_contained(
+            example_11_q1(), example_11_q2(), figure1_schema(), trace=True,
+            options=ContainmentOptions(use_cache=False),
+        )
+
+    def test_trace_attached(self, traced):
+        assert traced.trace is not None
+        assert traced.trace.trace_id.startswith("d-")
+        assert traced.trace_counters is not None
+
+    def test_explain_reports_phases_and_verdict(self, traced):
+        report = traced.explain()
+        assert "CONTAINED" in report
+        assert "phase breakdown" in report
+        assert "decision" in report
+        assert "search" in report
+        assert "%" in report
+
+    def test_explain_reports_counters(self, traced):
+        report = traced.explain()
+        assert "counters (this decision)" in report
+        assert "search.runs" in report
+
+    def test_untraced_result_explains_its_absence(self):
+        result = is_contained("A(x)", "A(x)", figure1_schema())
+        assert result.trace is None
+        assert "no trace recorded" in result.explain()
+
+
+class TestExplainFigure1Reduction:
+    """The acceptance-criterion decision: a Fig. 1 reduction run must show
+    correctly nested reduction → elimination → search spans."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        options = ContainmentOptions(
+            use_cache=False, reduction=ReductionConfig(use_tp_memo=False)
+        )
+        return is_contained(
+            "Customer(x)", "PremCC(y)", figure1_schema(),
+            method="reduction", options=options, trace=True,
+        )
+
+    def test_verdict_has_countermodel(self, traced):
+        assert not traced.contained
+        assert traced.countermodel is not None
+
+    def test_reduction_elimination_search_nesting(self, traced):
+        # depth-first walk: each span knows its ancestors through the path
+        paths = []
+        stack = []
+        for node, depth in traced.trace.walk():
+            del stack[depth:]
+            stack.append(node.name)
+            paths.append(list(stack))
+        # some elimination span sits below reduction and contains a search
+        assert any(
+            "reduction" in path and path[-1] == "elimination" for path in paths
+        )
+        assert any(
+            "elimination" in path and path[-1] == "search" for path in paths
+        )
+
+    def test_chrome_trace_is_valid(self, traced):
+        doc = chrome_trace(traced.trace)
+        names = [event["name"] for event in doc["traceEvents"]]
+        assert "reduction" in names
+        assert "elimination" in names
+        assert "search" in names
+        assert all(event["ph"] == "X" for event in doc["traceEvents"])
+
+    def test_explain_mentions_all_phases(self, traced):
+        report = traced.explain()
+        for phase in ("decision", "reduction", "elimination", "search"):
+            assert phase in report
+
+
+class TestTracingIsPassive:
+    def test_traced_and_untraced_results_identical(self):
+        options = ContainmentOptions(use_cache=False)
+        args = ("Customer(x), owns(x,y)", "owns(x,y), CredCard(y)", figure1_schema())
+        plain = is_contained(*args, options=options)
+        traced = is_contained(*args, options=options, trace=True)
+        assert (plain.contained, plain.complete, plain.method, plain.seeds_tried) == (
+            traced.contained, traced.complete, traced.method, traced.seeds_tried,
+        )
+        assert (plain.countermodel is None) == (traced.countermodel is None)
+        if plain.countermodel is not None:
+            assert plain.countermodel.describe() == traced.countermodel.describe()
+        # dataclass equality ignores the trace fields by design
+        assert plain == traced
+
+    def test_memoized_results_never_carry_traces(self):
+        options = ContainmentOptions()  # use_cache=True
+        args = ("Customer(x)", "Customer(x)", figure1_schema())
+        first = is_contained(*args, options=options, trace=True)
+        assert first.trace is not None
+        second = is_contained(*args, options=options)
+        assert second.trace is None
+
+    def test_decision_id_is_deterministic(self):
+        from repro.core.containment import decision_id
+
+        a = decision_id("A(x)", "B(x)", figure1_schema())
+        b = decision_id("A(x)", "B(x)", figure1_schema())
+        assert a == b
+        assert a.startswith("d-")
+        assert decision_id("A(x)", "C(x)", figure1_schema()) != a

@@ -1,0 +1,110 @@
+"""Chrome trace_event schema and JSONL event-log export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CounterRegistry,
+    chrome_trace,
+    jsonl_events,
+    span,
+    tracing,
+    uninstall,
+    write_chrome_trace,
+    write_jsonl_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_collector():
+    uninstall()
+    yield
+    uninstall()
+
+
+@pytest.fixture()
+def tracer():
+    with tracing("d-abc", registry=CounterRegistry()) as tr:
+        with span("decision", method="direct"):
+            with span("search", steps=3):
+                pass
+            with span("search", steps=5):
+                pass
+    return tr
+
+
+class TestChromeTrace:
+    def test_document_shape(self, tracer):
+        doc = chrome_trace(tracer)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["trace_id"] == "d-abc"
+
+    def test_events_are_complete_events(self, tracer):
+        for event in chrome_trace(tracer)["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["dur"] >= 0.0
+            assert event["ts"] >= 0.0
+
+    def test_event_order_and_args(self, tracer):
+        events = chrome_trace(tracer)["traceEvents"]
+        assert [e["name"] for e in events] == ["decision", "search", "search"]
+        assert [e["args"]["seq"] for e in events] == [0, 1, 2]
+        assert events[0]["args"]["method"] == "direct"
+        assert events[1]["args"]["steps"] == 3
+        assert all(e["args"]["trace_id"] == "d-abc" for e in events)
+
+    def test_timestamps_in_microseconds_nest(self, tracer):
+        decision, search1, _search2 = chrome_trace(tracer)["traceEvents"]
+        # child interval contained in parent interval (Chrome reconstructs
+        # nesting from ts/dur containment)
+        assert decision["ts"] <= search1["ts"]
+        assert search1["ts"] + search1["dur"] <= decision["ts"] + decision["dur"] + 1e-6
+
+    def test_write_round_trip(self, tracer, tmp_path):
+        out = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(out))
+        loaded = json.loads(out.read_text())
+        assert [e["name"] for e in loaded["traceEvents"]] == [
+            "decision", "search", "search",
+        ]
+
+    def test_content_deterministic_across_runs(self):
+        def run():
+            with tracing("d-same", registry=CounterRegistry()) as tr:
+                with span("a", k=1):
+                    with span("b"):
+                        pass
+            events = chrome_trace(tr)["traceEvents"]
+            # strip the timing-only fields; everything else must be stable
+            return [
+                {k: v for k, v in e.items() if k not in ("ts", "dur")}
+                for e in events
+            ]
+
+        assert run() == run()
+
+
+class TestJsonlEvents:
+    def test_one_valid_json_line_per_span(self, tracer):
+        lines = list(jsonl_events(tracer))
+        assert len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["decision", "search", "search"]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+
+    def test_paths_reflect_nesting(self, tracer):
+        records = [json.loads(line) for line in jsonl_events(tracer)]
+        assert records[0]["path"] == "decision"
+        assert records[1]["path"] == "decision/search"
+        assert records[1]["depth"] == 1
+
+    def test_write_jsonl(self, tracer, tmp_path):
+        out = tmp_path / "events.jsonl"
+        write_jsonl_events(tracer, str(out))
+        lines = out.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["event"] == "span" for line in lines)

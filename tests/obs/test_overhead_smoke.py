@@ -1,0 +1,34 @@
+"""CI smoke for the observability-overhead benchmark (E19).
+
+Runs ``benchmarks/bench_obs_overhead.py --quick`` — trimmed E5/E7
+workloads — and fails if the estimated disabled-tracing overhead breaches
+the budget, a traced run diverges from its untraced twin, or the Fig. 1
+reduction decision stops producing correctly nested
+reduction → elimination → search spans.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_obs_overhead.py"
+
+
+def test_quick_obs_overhead_smoke():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--quick"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"obs overhead smoke failed (exit {proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    assert "E19 FAILURE" not in proc.stderr

@@ -1,0 +1,104 @@
+"""Counter registry: counters, probes, weakrefs, deltas, snapshots."""
+
+import gc
+
+from repro.kernel.memo import BoundedMemo
+from repro.obs import CounterRegistry, counter_delta
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        registry = CounterRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        assert registry.get("a") == 5
+        assert registry.get("missing") == 0
+
+    def test_inc_many_skips_zeros(self):
+        registry = CounterRegistry()
+        registry.inc_many({"a": 2, "b": 0, "c": 1})
+        snap = registry.snapshot()["counters"]
+        assert snap == {"a": 2, "c": 1}
+
+    def test_reset_clears_counters_keeps_probes(self):
+        registry = CounterRegistry()
+        registry.inc("a")
+        registry.register_probe("p", lambda: {"x": 9})
+        registry.reset()
+        snap = registry.snapshot()["counters"]
+        assert snap == {"p.x": 9}
+
+
+class TestProbes:
+    def test_probe_values_prefixed(self):
+        registry = CounterRegistry()
+        registry.register_probe("memo.test", lambda: {"hits": 3, "misses": 1})
+        snap = registry.snapshot()["counters"]
+        assert snap["memo.test.hits"] == 3
+        assert snap["memo.test.misses"] == 1
+
+    def test_raising_probe_contributes_nothing(self):
+        registry = CounterRegistry()
+
+        def bad():
+            raise RuntimeError("sampler broken")
+
+        registry.register_probe("bad", bad)
+        registry.inc("ok")
+        assert registry.snapshot()["counters"] == {"ok": 1}
+
+    def test_object_probe_is_weak(self):
+        registry = CounterRegistry()
+
+        class Stats:
+            def stats(self):
+                return {"value": 1}
+
+        obj = Stats()
+        registry.register_object_probe("weak", obj)
+        assert registry.snapshot()["counters"] == {"weak.value": 1}
+        del obj
+        gc.collect()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_reregistering_replaces(self):
+        registry = CounterRegistry()
+        registry.register_probe("p", lambda: {"v": 1})
+        registry.register_probe("p", lambda: {"v": 2})
+        assert registry.snapshot()["counters"] == {"p.v": 2}
+
+    def test_named_memo_registers_on_global_registry(self):
+        from repro.obs import REGISTRY
+
+        memo = BoundedMemo(max_entries=4, name="test_registry_probe")
+        memo.get("missing")
+        memo.put("k", "v")
+        memo.get("k")
+        counters = REGISTRY.snapshot()["counters"]
+        assert counters["memo.test_registry_probe.hits"] == 1
+        assert counters["memo.test_registry_probe.misses"] == 1
+        assert counters["memo.test_registry_probe.entries"] == 1
+        REGISTRY.unregister_probe("memo.test_registry_probe")
+
+    def test_flushed_counters_exclude_probes(self):
+        registry = CounterRegistry()
+        registry.inc("flushed", 2)
+        registry.register_probe("probe", lambda: {"v": 5})
+        assert registry.flushed_counters() == {"flushed": 2}
+
+
+class TestCounterDelta:
+    def test_delta_drops_zero_change(self):
+        before = {"a": 1, "b": 2}
+        after = {"a": 1, "b": 5, "c": 3}
+        assert counter_delta(before, after) == {"b": 3, "c": 3}
+
+    def test_negative_deltas_kept(self):
+        # a probe owner may be collected and re-created between snapshots
+        assert counter_delta({"m.entries": 10}, {"m.entries": 4}) == {"m.entries": -6}
+
+    def test_snapshot_sorted(self):
+        registry = CounterRegistry()
+        registry.inc("zz")
+        registry.inc("aa")
+        assert list(registry.snapshot()["counters"]) == ["aa", "zz"]

@@ -1,0 +1,59 @@
+"""Direct unit tests for service metrics: percentile edge cases + snapshot."""
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_samples_yield_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 1.0) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        for fraction in (0.0, 0.01, 0.5, 0.99, 1.0):
+            assert percentile([42.0], fraction) == 42.0
+
+    def test_fraction_zero_is_minimum(self):
+        assert percentile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+    def test_fraction_one_is_maximum(self):
+        assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
+
+    def test_nearest_rank_on_unsorted_input(self):
+        samples = [10.0, 40.0, 20.0, 30.0]
+        assert percentile(samples, 0.25) == 10.0
+        assert percentile(samples, 0.50) == 20.0
+        assert percentile(samples, 0.75) == 30.0
+        assert percentile(samples, 0.90) == 40.0
+
+    def test_does_not_mutate_input(self):
+        samples = [3.0, 1.0, 2.0]
+        percentile(samples, 0.5)
+        assert samples == [3.0, 1.0, 2.0]
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1, 2.0, -1.0])
+    def test_out_of_range_fraction_raises(self, fraction):
+        with pytest.raises(ValueError, match="fraction"):
+            percentile([1.0], fraction)
+
+
+class TestSnapshot:
+    def test_snapshot_includes_obs_section(self):
+        snap = ServiceMetrics().snapshot()
+        assert "obs" in snap
+        assert set(snap["obs"]) == {"counters", "phases"}
+
+    def test_latency_percentiles(self):
+        metrics = ServiceMetrics()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            metrics.observe_latency_ms(value)
+        latency = metrics.snapshot()["latency_ms"]
+        assert latency["count"] == 4
+        assert latency["p50"] == 2.0
+        assert latency["max"] == 4.0
+
+    def test_empty_metrics_snapshot_is_all_zeros(self):
+        latency = ServiceMetrics().snapshot()["latency_ms"]
+        assert latency == {"count": 0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}

@@ -106,6 +106,61 @@ class TestContainFlags:
         assert "NOT CONTAINED" in capsys.readouterr().out
 
 
+class TestTraceAndExplain:
+    LHS, RHS = "Customer(x), owns(x,y)", "owns(x,y), CredCard(y)"
+
+    def test_contain_trace_writes_chrome_json(self, schema_file, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        rc = main([
+            "contain", self.LHS, self.RHS, "--schema", schema_file,
+            "--trace", str(trace_file),
+        ])
+        assert rc == 0
+        doc = json.loads(trace_file.read_text())
+        names = [event["name"] for event in doc["traceEvents"]]
+        assert "decision" in names
+        assert all(event["ph"] == "X" for event in doc["traceEvents"])
+
+    def test_contain_trace_does_not_change_verdict(self, schema_file, tmp_path, capsys):
+        rc_plain = main(["contain", self.LHS, self.RHS, "--schema", schema_file])
+        out_plain = capsys.readouterr().out
+        rc_traced = main([
+            "contain", self.LHS, self.RHS, "--schema", schema_file,
+            "--trace", str(tmp_path / "trace.json"),
+        ])
+        out_traced = capsys.readouterr().out
+        assert rc_plain == rc_traced == 0
+        assert out_plain == out_traced
+
+    def test_explain_prints_report(self, schema_file, capsys):
+        rc = main([
+            "explain", self.LHS, self.RHS, "--schema", schema_file, "--no-memo",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "decision d-" in out
+        assert "CONTAINED" in out
+        assert "phase breakdown" in out
+
+    def test_explain_preset_with_outputs(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        events_file = tmp_path / "events.jsonl"
+        rc = main([
+            "explain", "--preset", "example11", "--no-memo",
+            "--trace", str(trace_file), "--events", str(events_file),
+        ])
+        assert rc == 0
+        doc = json.loads(trace_file.read_text())
+        assert doc["traceEvents"]
+        records = [json.loads(l) for l in events_file.read_text().splitlines()]
+        assert records[0]["name"] == "decision"
+
+    def test_explain_not_contained_exits_one(self, capsys):
+        rc = main(["explain", "owns(x,y)", "CredCard(y)", "--no-memo"])
+        assert rc == 1
+        assert "NOT CONTAINED" in capsys.readouterr().out
+
+
 class TestServiceCommands:
     """`batch` and `serve` smokes on the Example 1.1 fixtures."""
 
