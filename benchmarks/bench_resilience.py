@@ -1,0 +1,252 @@
+"""E20 — resilience overhead & recovery: deadlines near-free, crashes cheap.
+
+The resilience layer (PR 5) threads cooperative :class:`Deadline` polling
+through every hot loop and teaches the parallel kernel to survive worker
+crashes.  Both mechanisms must be effectively free when nothing goes
+wrong.  This experiment quantifies that, following the E19 methodology:
+
+* **armed-poll overhead** — a microbenchmark measures the per-call cost of
+  ``Deadline.poll()`` on an *armed* far-future deadline (the worst
+  non-expiring case: decrement + compare, one clock read per stride).
+  Multiplied by the chase steps the workload actually executes
+  (``search.steps`` counter) and divided by its baseline wall time, that
+  bounds the overhead a live deadline adds.  Asserted under 3% on the E5
+  largest row and the E7 n=128 sweep point.
+* **bit-identity** — running the same workload with no deadline, with
+  ``Deadline.never()``, and with a far-future armed deadline must produce
+  identical outcome fingerprints: a deadline that never fires never
+  changes an answer.
+* **recovery latency** — a pool batch whose worker is SIGKILLed mid-flight
+  (deterministic ``parallel.dispatch:kill_worker`` fault) must return the
+  exact serial results; the extra wall time over a clean run is the
+  recovery cost (respawn + resubmit), reported for the record.
+
+Also runnable standalone as a CI smoke::
+
+    python benchmarks/bench_resilience.py --quick
+
+which runs trimmed workloads (sub-second) and exits non-zero on any
+identity divergence, overhead breach, or failed recovery.
+"""
+
+import argparse
+import math
+import sys
+import time
+
+from conftest import print_table
+
+from repro.core.search import CountermodelSearch, SearchLimits
+from repro.core.oneway import realizable_refuting_oneway
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.generators import path_graph
+from repro.graphs.types import Type
+from repro.kernel.parallel import (
+    RecoveryPolicy,
+    parallel_map,
+    recovery_policy,
+    set_recovery_policy,
+)
+from repro.obs import REGISTRY
+from repro.queries.parser import parse_query
+from repro.queries.presets import example_36_factorization, example_36_query
+from repro.resilience import Deadline, clear_faults, injected_faults
+
+OVERHEAD_BUDGET_PCT = 3.0
+
+FAR_FUTURE_MS = 3_600_000  # armed but never expiring within any run
+
+
+# --------------------------------------------------------------------- #
+# workloads (shared with E5 / E7 / E19 — kept in sync with those benches)
+
+
+def _e5_workload(extra: int):
+    """E5 row: type elimination with `extra` padding labels inflating Γ₀."""
+    cis = [("A", "exists r.B")] + [(f"X{i}", f"Y{i}") for i in range(extra)]
+    tbox = normalize(TBox.of(cis, name=f"pad{extra}"))
+
+    def run(deadline=None):
+        result = realizable_refuting_oneway(
+            Type.of("A"), tbox, example_36_query(),
+            factorization=example_36_factorization(),
+            limits=SearchLimits(max_nodes=4, max_steps=4000, deadline=deadline),
+            max_types=2**18,
+        )
+        return (
+            result.realizable, result.iterations,
+            tuple(result.type_counts), tuple(result.gamma),
+        )
+
+    return f"E5 |Γ₀|={extra + 1}", run
+
+
+def _e7_workload(n: int):
+    """E7 sweep point: disjunctive labelling over an n-node r-path."""
+    tbox = normalize(TBox.of([("A", "B | C")]))
+    query = parse_query("r*(x,y), B(y), C(y)")
+
+    def run(deadline=None):
+        seed = path_graph(n, "r")
+        for node in seed.node_list():
+            seed.add_label(node, "A")
+        outcome = CountermodelSearch(
+            tbox, query, seed,
+            limits=SearchLimits(max_nodes=n + 4, deadline=deadline),
+        ).run()
+        model = outcome.countermodel
+        return (outcome.found, None if model is None else model.describe())
+
+    return f"E7 sweep n={n}", run
+
+
+# --------------------------------------------------------------------- #
+# measurements
+
+
+def armed_poll_cost_ns(calls: int = 200_000) -> float:
+    """Per-call wall cost of ``Deadline.poll()`` on an armed deadline.
+
+    Includes the loop overhead, so it *over*-estimates the marginal cost —
+    conservative for the <3% claim.
+    """
+    deadline = Deadline.after_ms(FAR_FUTURE_MS)
+    start = time.perf_counter()
+    for _ in range(calls):
+        deadline.poll()
+    return (time.perf_counter() - start) / calls * 1e9
+
+
+def _chase_steps(run) -> tuple[object, float, int]:
+    """Run a workload; return (fingerprint, wall seconds, chase steps)."""
+    before = REGISTRY.flushed_counters().get("search.steps", 0)
+    start = time.perf_counter()
+    print_of = run()
+    elapsed = time.perf_counter() - start
+    steps = REGISTRY.flushed_counters().get("search.steps", 0) - before
+    return print_of, elapsed, steps
+
+
+def measure_workload(name, run, cost_ns):
+    """One row: baseline timing + step census, deadline-variant identity."""
+    run()  # warm caches (compiled matchers, memos) out of the measurement
+    baseline_print, baseline_s, steps = _chase_steps(run)
+    never_print = run(deadline=Deadline.never())
+    armed_print = run(deadline=Deadline.after_ms(FAR_FUTURE_MS))
+
+    est_pct = steps * cost_ns / (baseline_s * 1e9) * 100.0
+    identical = baseline_print == never_print == armed_print
+    row = [
+        name,
+        f"{baseline_s * 1000:.1f}ms",
+        steps,
+        f"{est_pct:.3f}%",
+        "✓" if identical else "✗",
+    ]
+    return row, est_pct, identical
+
+
+def measure_recovery(items: int) -> tuple[list, list[str]]:
+    """Kill a pool worker mid-batch; recovered results must equal serial.
+
+    Returns the table row and any failures.  The recovery latency (extra
+    wall time over a clean 2-worker run of the same batch) is informative,
+    not asserted — it is dominated by process respawn cost.
+    """
+    failures = []
+    previous = recovery_policy()
+    set_recovery_policy(RecoveryPolicy(max_respawns=2, backoff_base_s=0.01))
+    clear_faults()
+    try:
+        serial = [math.isqrt(n) for n in range(items)]
+        start = time.perf_counter()
+        clean = parallel_map(math.isqrt, range(items), workers=2)
+        clean_s = time.perf_counter() - start
+        if clean != serial:
+            failures.append("clean parallel run diverged from serial")
+
+        before = REGISTRY.flushed_counters().get("parallel.pool_respawns", 0)
+        with injected_faults("parallel.dispatch:kill_worker:1"):
+            start = time.perf_counter()
+            recovered = parallel_map(math.isqrt, range(items), workers=2)
+            recovered_s = time.perf_counter() - start
+        respawns = (
+            REGISTRY.flushed_counters().get("parallel.pool_respawns", 0) - before
+        )
+        if recovered != serial:
+            failures.append("recovered batch diverged from serial results")
+        if respawns < 1:
+            failures.append("worker kill did not trigger a pool respawn")
+    finally:
+        set_recovery_policy(previous)
+        clear_faults()
+    row = [
+        f"kill_worker ×1, {items} tasks",
+        f"{clean_s * 1000:.1f}ms",
+        f"{recovered_s * 1000:.1f}ms",
+        f"+{(recovered_s - clean_s) * 1000:.1f}ms",
+        "✓" if not failures else "✗",
+    ]
+    return row, failures
+
+
+DEADLINE_HEADERS = ["workload", "baseline", "chase steps", "est. armed ovh", "identical"]
+RECOVERY_HEADERS = ["scenario", "clean", "recovered", "latency", "ok"]
+TITLE = "E20 — resilience overhead (armed-deadline cost, bit-identity)"
+RECOVERY_TITLE = "E20 recovery — worker crash mid-batch (kill, respawn, resubmit)"
+
+
+def run_rows(quick: bool):
+    cost_ns = armed_poll_cost_ns(calls=50_000 if quick else 200_000)
+    workloads = (
+        [_e5_workload(1), _e7_workload(32)]
+        if quick
+        else [_e5_workload(3), _e7_workload(128)]
+    )
+    rows, failures = [], []
+    for name, run in workloads:
+        row, est_pct, identical = measure_workload(name, run, cost_ns)
+        rows.append(row)
+        if est_pct >= OVERHEAD_BUDGET_PCT:
+            failures.append(f"{name}: estimated armed-deadline overhead {est_pct:.3f}%")
+        if not identical:
+            failures.append(f"{name}: a non-firing deadline changed the outcome")
+    recovery_row, recovery_failures = measure_recovery(items=8 if quick else 64)
+    return cost_ns, rows, recovery_row, failures + recovery_failures
+
+
+def test_resilience_table(benchmark):
+    cost_ns, rows, recovery_row, failures = benchmark.pedantic(
+        lambda: run_rows(quick=False), rounds=1, iterations=1
+    )
+    print(f"\narmed Deadline.poll() cost: {cost_ns:.0f}ns/call")
+    print_table(TITLE, DEADLINE_HEADERS, rows)
+    print_table(RECOVERY_TITLE, RECOVERY_HEADERS, [recovery_row])
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="trimmed workloads (sub-second CI smoke); exits 1 on any failure",
+    )
+    args = parser.parse_args(argv)
+    cost_ns, rows, recovery_row, failures = run_rows(quick=args.quick)
+    print(f"armed Deadline.poll() cost: {cost_ns:.0f}ns/call")
+    if args.quick:
+        # smoke run: print only, never overwrite the persisted full tables
+        for row in rows + [recovery_row]:
+            print("  ".join(str(cell) for cell in row))
+    else:
+        print_table(TITLE, DEADLINE_HEADERS, rows)
+        print_table(RECOVERY_TITLE, RECOVERY_HEADERS, [recovery_row])
+    if failures:
+        print("E20 FAILURE: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,10 +100,16 @@ def _decision_inputs(args: argparse.Namespace):
         lhs, rhs = args.lhs, args.rhs
         tbox = load_schema(args.schema) if args.schema else None
     options = None
-    if getattr(args, "incremental", None) is not None:
+    incremental = getattr(args, "incremental", None)
+    timeout_ms = getattr(args, "timeout_ms", None)
+    if incremental is not None or timeout_ms is not None:
         from repro.core.containment import ContainmentOptions
+        from repro.resilience import Deadline
 
-        options = ContainmentOptions(incremental=(args.incremental == "on"))
+        options = ContainmentOptions(
+            incremental=None if incremental is None else (incremental == "on"),
+            deadline=None if timeout_ms is None else Deadline.after_ms(timeout_ms),
+        )
     return lhs, rhs, tbox, options
 
 
@@ -120,6 +126,8 @@ def cmd_contain(args: argparse.Namespace) -> int:
         print(f"trace written to {args.trace}", file=sys.stderr)
     verdict = "CONTAINED" if result.contained else "NOT CONTAINED"
     certainty = "certain" if result.complete else "within search budgets"
+    if result.deadline_expired:
+        certainty = "incomplete: timeout expired"
     print(f"{verdict}  (method: {result.method}, {certainty})")
     if not result.supported_by_theory:
         print("note: this (query, schema) combination is open in the paper;")
@@ -193,6 +201,7 @@ def _build_server(args: argparse.Namespace):
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         workers=args.workers,
+        default_timeout_ms=args.timeout_ms,
     )
 
 
@@ -246,6 +255,12 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics-json", default=None, metavar="FILE",
         help="write the final metrics snapshot to FILE on exit",
     )
+    parser.add_argument(
+        "--timeout-ms", default=None, type=int, metavar="MS", dest="timeout_ms",
+        help="default wall-clock cap per decision for requests without "
+        "their own options.timeout_ms; cut decisions answer with an "
+        "incomplete verdict instead of blocking the batch",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--incremental", default=None, choices=["on", "off"],
         help="force the incremental chase layer on or off (A/B switch; "
         "verdicts are bit-identical either way)",
+    )
+    contain.add_argument(
+        "--timeout-ms", default=None, type=int, metavar="MS", dest="timeout_ms",
+        help="wall-clock cap for the decision; on expiry the verdict is "
+        "reported as incomplete instead of hanging",
     )
     contain.add_argument(
         "--preset", default=None, choices=["example11"],
@@ -302,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--incremental", default=None, choices=["on", "off"],
         help="force the incremental chase layer on or off",
+    )
+    explain.add_argument(
+        "--timeout-ms", default=None, type=int, metavar="MS", dest="timeout_ms",
+        help="wall-clock cap for the profiled decision",
     )
     explain.add_argument(
         "--preset", default=None, choices=["example11"],
@@ -358,7 +382,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SystemExit:
+        raise
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        # parse errors, unreadable files, bad schemas: a diagnostic and a
+        # distinct exit code, never a traceback
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

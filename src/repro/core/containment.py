@@ -39,6 +39,7 @@ from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import satisfies, satisfies_union
 from repro.queries.parser import parse_query
 from repro.queries.ucrpq import UCRPQ
+from repro.resilience.deadline import Deadline
 
 
 @dataclass
@@ -62,6 +63,12 @@ class ContainmentOptions:
     across every nested search budget; ``None`` keeps the per-limit
     defaults.  Verdicts and countermodels are identical either way — the
     flag exists for A/B benchmarking (``--incremental on|off``)."""
+    deadline: Optional[Deadline] = None
+    """A wall-clock budget threaded through every nested search budget
+    (like ``incremental``).  Deliberately *excluded* from decision keys and
+    caches: a decision actually cut short by its deadline reports
+    ``deadline_expired=True`` and is never stored, so caches only ever hold
+    deterministic, budget-exact results."""
 
 
 _DECISION_MEMO = BoundedMemo(max_entries=2048, name="decision")
@@ -119,6 +126,24 @@ def _force_incremental(options: ContainmentOptions) -> ContainmentOptions:
     )
 
 
+def _with_deadline(options: ContainmentOptions) -> ContainmentOptions:
+    """Pin the single ``options.deadline`` object into every nested budget
+    so all phases of the decision share one latching expiry state."""
+    deadline = options.deadline
+    if deadline is None:
+        return options
+    red = options.reduction
+    return replace(
+        options,
+        limits=replace(options.limits, deadline=deadline),
+        reduction=replace(
+            red,
+            central_limits=replace(red.central_limits, deadline=deadline),
+            peripheral_limits=replace(red.peripheral_limits, deadline=deadline),
+        ),
+    )
+
+
 @dataclass
 class ContainmentResult:
     contained: bool
@@ -129,6 +154,10 @@ class ContainmentResult:
     supported_by_theory: bool = True
     """False when the (query, schema) combination is one the paper leaves
     open (e.g. non-simple UC2RPQs with full ALCQI)."""
+    deadline_expired: bool = False
+    """True when the decision's wall-clock deadline expired before the
+    search budgets were exhausted; always implies ``complete=False``.
+    Such results are never cached (in-process memo or persistent journal)."""
     trace: Optional[object] = field(default=None, compare=False, repr=False)
     """The :class:`repro.obs.Tracer` recorded for this decision when it was
     made with ``trace=True``; never cached, never serialized, and excluded
@@ -235,9 +264,12 @@ def _direct_search(
                 return model, index + 1, True
         return None, len(outcomes), all(o.exhausted for o in outcomes)
 
+    deadline = options.limits.deadline
     seeds = 0
     all_exhausted = True
     for expansion in expansions(disjunct, options.max_word_length, options.max_expansions):
+        if deadline is not None and deadline.expired():
+            return None, seeds, False
         seeds += 1
         outcome = _direct_task((tbox, rhs, expansion.graph, options.limits, disjunct))
         if outcome.found:
@@ -342,7 +374,7 @@ def is_contained(
     lhs_u = _coerce_query(lhs)
     rhs_u = _coerce_query(rhs)
     normalized = _coerce_tbox(tbox)
-    options = _force_incremental(options or ContainmentOptions())
+    options = _with_deadline(_force_incremental(options or ContainmentOptions()))
     pool = resolve_workers(workers if workers is not None else options.workers)
 
     if not trace:
@@ -379,22 +411,35 @@ def _cached_decide(
 
     with span("decision", method=method, cached=False) as sp:
         result = _decide(lhs_u, rhs_u, normalized, method, options, pool)
+        if (
+            options.deadline is not None
+            and not result.complete
+            and options.deadline.expired()
+        ):
+            # the verdict was (or may have been) cut short by wall clock
+            # rather than by its deterministic search budgets
+            result = replace(result, deadline_expired=True)
         sp.set(
             method=result.method,
             contained=result.contained,
             complete=result.complete,
             seeds_tried=result.seeds_tried,
         )
-    REGISTRY.inc_many(
-        {
-            "decision.calls": 1,
-            "decision.contained": 1 if result.contained else 0,
-            "decision.seeds_tried": result.seeds_tried,
-        }
-    )
-    if cache_key is not None:
+        if result.deadline_expired:
+            sp.set(deadline_expired=True)
+    counters = {
+        "decision.calls": 1,
+        "decision.contained": 1 if result.contained else 0,
+        "decision.seeds_tried": result.seeds_tried,
+    }
+    if result.deadline_expired:
+        counters["decision.deadline_expired"] = 1
+    REGISTRY.inc_many(counters)
+    if cache_key is not None and not result.deadline_expired:
         # store a private copy so later caller mutations of the returned
-        # countermodel cannot poison the cache; traces are never cached
+        # countermodel cannot poison the cache; traces are never cached.
+        # deadline-cut results are nondeterministic (they depend on wall
+        # clock) and are never stored under a key shared with exact runs
         model = result.countermodel.copy() if result.countermodel is not None else None
         _DECISION_MEMO.put(
             cache_key,

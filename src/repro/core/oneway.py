@@ -162,6 +162,7 @@ def _realizable_refuting_oneway(
         raise ValueError("the one-way procedure supports ALCI TBoxes (no counting)")
     if not query.is_one_way():
         raise ValueError("the one-way procedure requires a one-way UCRPQ")
+    deadline = limits.deadline if limits is not None else None
     fact = factorization if factorization is not None else factorize(query)
     q_hat = fact.factored
 
@@ -350,6 +351,7 @@ def _realizable_refuting_oneway(
             return True
         return False
 
+    deadline_cut = False
     pending = sorted(psi, key=str_key.__getitem__)
     while pending:
         iterations += 1
@@ -363,6 +365,9 @@ def _realizable_refuting_oneway(
         eliminated_now: list[Type] = []
         with span("wave", index=iterations, pending=len(pending)) as wave_sp:
             for sigma in pending:
+                if deadline is not None and deadline.expired():
+                    deadline_cut = True
+                    break
                 if sigma not in psi:
                     continue
                 stats["checked"] += 1
@@ -376,6 +381,12 @@ def _realizable_refuting_oneway(
             wave_sp.set(**stats)
         type_counts.append(len(psi))
         round_stats.append(stats)
+        if deadline_cut:
+            # the fixpoint was cut mid-wave: psi over-approximates the true
+            # survivors, so the (possibly-realizable) answer is incomplete
+            complete = False
+            REGISTRY.inc("oneway.deadline_cut")
+            break
         if not psi:
             break
         affected: set[Type] = set()

@@ -242,8 +242,13 @@ def _contains_via_reduction(
                 return False
         return True
 
+    deadline = config.central_limits.deadline
     seeds = 0
     for expansion in expansions(lhs, config.max_word_length, config.max_expansions):
+        if deadline is not None and deadline.expired():
+            # cut: "contained so far", explicitly incomplete
+            REGISTRY.inc("reduction.deadline_cut")
+            return ReductionResult(True, False, None, None, seeds, oracle.calls)
         seeds += 1
         with span("expansion", index=seeds) as exp_sp:
             search = CountermodelSearch(

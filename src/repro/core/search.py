@@ -32,6 +32,8 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.dl.normalize import AtLeastCI, AtMostCI, ClauseCI, NormalizedTBox, UniversalCI
 from repro.obs import REGISTRY, span
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline
 from repro.graphs.graph import Graph, Node
 from repro.graphs.labels import NodeLabel, Role
 from repro.graphs.types import Type, type_of
@@ -54,6 +56,13 @@ class SearchLimits:
     re-evaluation, transposition table).  Verdicts and countermodels are
     bit-identical either way; ``False`` forces the straight-line engine
     (the A/B baseline)."""
+    deadline: Optional[Deadline] = None
+    """Cooperative wall-clock budget polled once per chase step.  ``None``
+    (the default) keeps the pre-deadline instruction stream exactly; an
+    expired deadline ends the search with a clean incomplete outcome
+    (``exhausted=False``, ``deadline_expired=True``) — never an exception.
+    Deliberately excluded from decision keys and caches: see
+    ``repro.core.containment``."""
 
 
 @dataclass
@@ -67,6 +76,9 @@ class SearchOutcome:
     """Chase states pruned because an isomorphic state already failed."""
     tt_misses: int = 0
     """Chase states entered with no transposition-table hit."""
+    deadline_expired: bool = False
+    """The wall-clock deadline cut this search short (implies
+    ``exhausted=False``)."""
 
     @property
     def found(self) -> bool:
@@ -75,6 +87,10 @@ class SearchOutcome:
 
 class _Budget(Exception):
     """Internal: step budget exhausted."""
+
+
+class _Expired(Exception):
+    """Internal: the wall-clock deadline expired mid-search."""
 
 
 @dataclass
@@ -336,6 +352,8 @@ class CountermodelSearch:
         self._fresh_counter = 0
         self.tt_hits = 0
         self.tt_misses = 0
+        self._deadline = self.limits.deadline
+        self._fault_step = faults.site_armed("search.step")
         self._evaluator: Optional[IncrementalUnionEvaluator] = None
         self._vcache: Optional[_ViolationCache] = None
         self._tt: Optional[set[tuple]] = None
@@ -360,6 +378,8 @@ class CountermodelSearch:
                 tt_hits=outcome.tt_hits,
                 tt_misses=outcome.tt_misses,
             )
+            if outcome.deadline_expired:
+                sp.set(deadline_expired=True)
         # the hot loop keeps plain local counters; totals flush to the
         # registry once per run (SearchOutcome keeps the per-run view)
         totals = {
@@ -370,6 +390,8 @@ class CountermodelSearch:
             "search.found": 1 if outcome.found else 0,
             "search.exhausted": 1 if outcome.exhausted else 0,
         }
+        if outcome.deadline_expired:
+            totals["search.deadline_expired"] = 1
         if self._evaluator is not None:
             for key, value in self._evaluator.stats().items():
                 totals[f"incremental.{key}"] = value
@@ -399,6 +421,12 @@ class CountermodelSearch:
             return SearchOutcome(
                 None, exhausted=False, steps=self.steps,
                 tt_hits=self.tt_hits, tt_misses=self.tt_misses,
+            )
+        except _Expired:
+            return SearchOutcome(
+                None, exhausted=False, steps=self.steps,
+                tt_hits=self.tt_hits, tt_misses=self.tt_misses,
+                deadline_expired=True,
             )
         return SearchOutcome(
             graph if found else None, exhausted=True, steps=self.steps,
@@ -483,6 +511,10 @@ class CountermodelSearch:
         self.steps += 1
         if self.steps > self.limits.max_steps:
             raise _Budget()
+        if self._fault_step:
+            faults.maybe_fault("search.step")
+        if self._deadline is not None and self._deadline.poll():
+            raise _Expired()
 
     def _find_violation(self, graph: Graph) -> Optional[_Violation]:
         # 1. query matches (most constraining; handles permission granting)

@@ -160,6 +160,7 @@ def _sparse_decision(
     limits: SearchLimits,
     pool_workers: int,
 ) -> SparseSearchResult:
+    deadline = limits.deadline
     if pool_workers > 1:
         candidates = list(expansions(lhs, max_word_length, max_expansions))
         payloads = [(tbox, rhs, e.graph, limits) for e in candidates]
@@ -172,14 +173,22 @@ def _sparse_decision(
             assert tbox.satisfied_by(model)
             assert not satisfies_union(model, rhs)
             return SparseSearchResult(False, True, model, seeds)
+        cut = deadline is not None and deadline.expired()
+        if cut:
+            REGISTRY.inc("sparse.deadline_cut")
         complete = (
-            len(candidates) < max_expansions
+            not cut
+            and len(candidates) < max_expansions
             and max_word_length >= _expansion_bound_hint(lhs)
         )
         return SparseSearchResult(True, complete, None, seeds)
 
     seeds = 0
+    cut = False
     for expansion in expansions(lhs, max_word_length, max_expansions):
+        if deadline is not None and deadline.expired():
+            cut = True
+            break
         seeds += 1
         outcome = _sparse_task((tbox, rhs, expansion.graph, limits))
         if outcome.found:
@@ -188,7 +197,14 @@ def _sparse_decision(
             assert tbox.satisfied_by(model)
             assert not satisfies_union(model, rhs)
             return SparseSearchResult(False, True, model, seeds)
-    complete = seeds < max_expansions and max_word_length >= _expansion_bound_hint(lhs)
+        if outcome.deadline_expired:
+            cut = True
+            break
+    if cut:
+        REGISTRY.inc("sparse.deadline_cut")
+    complete = (
+        not cut and seeds < max_expansions and max_word_length >= _expansion_bound_hint(lhs)
+    )
     return SparseSearchResult(True, complete, None, seeds)
 
 

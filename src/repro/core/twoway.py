@@ -49,10 +49,19 @@ from repro.queries.crpq import CRPQ
 from repro.queries.evaluation import satisfies_union
 from repro.queries.factorization import Factorization, factorize
 from repro.queries.ucrpq import UCRPQ
+from repro.resilience.deadline import Deadline
 
 
 class ProcedureInfeasible(RuntimeError):
     """A type space or connector space exceeded the configured guard."""
+
+
+class _DeadlineCut(Exception):
+    """Internal: the config's wall-clock deadline expired mid-pipeline.
+
+    Raised *before* any memo store, so partially-computed P1/P2/connector
+    verdicts never pollute the cross-call memo; caught at the entry point
+    and converted into an incomplete :class:`TwoWayResult`."""
 
 
 @dataclass
@@ -192,6 +201,7 @@ def _connector_exists(
     refute_tag: str = "",
     order: Optional[dict] = None,
     counters: Optional[dict] = None,
+    deadline: Optional[Deadline] = None,
 ) -> bool:
     """Search for a connector: centre + leaves wired by ``roles``, centre
     satisfying T_c, the star refuting the query.
@@ -247,6 +257,8 @@ def _connector_exists(
     centre_node = ("c", 0)
     found = False
     for pick in product(*options) if options else [()]:
+        if deadline is not None and deadline.poll():
+            raise _DeadlineCut()
         leaves: list[tuple[Role, Type]] = [leaf for bundle in pick for leaf in bundle]
         star = _build_star(center, leaves)
         if counters is not None:
@@ -366,6 +378,7 @@ def _entailment_mod_reachability_uncached(
 
     candidates = list(candidate_types())
     str_key = {sigma: str(sigma) for sigma in candidates}
+    deadline = config.limits.deadline
     psi: frozenset[Type] = frozenset()
     def fresh_connector(sigma: Type) -> bool:
         config.counters["types_checked"] += 1
@@ -373,13 +386,15 @@ def _entailment_mod_reachability_uncached(
             sigma, psi, factor.connectors_tbox, q_mod_sigma0, roles,
             max_leaves, config.max_connector_candidates,
             memo=config.memo, refute_tag=f"P1:{sorted(sigma0)}",
-            order=str_key, counters=config.counters,
+            order=str_key, counters=config.counters, deadline=deadline,
         )
 
     # least fixpoint over a growing Ψ with exact oracles: both checks are
     # monotone in their pool argument, so a type that entered Ψ stays in —
     # only the not-yet-established candidates need re-examination each round
     while True:
+        if deadline is not None and deadline.expired():
+            raise _DeadlineCut()
         established = psi
         psi_prime = frozenset(
             sigma
@@ -467,6 +482,7 @@ def _entailment_mod_sigma_t_uncached(
         if admissible(sigma)
     ]
     str_key = {sigma: str(sigma) for sigma in candidates}
+    deadline = config.limits.deadline
     reduced_tbox = {
         r: factor.components_tbox.restrict_roles(set(sigma_t) - {r}) for r in sigma_t
     }
@@ -482,6 +498,8 @@ def _entailment_mod_sigma_t_uncached(
         changed = {r for r in sigma_t if by_role.get(r) != prev_by_role.get(r)}
         survivors: set[Type] = set()
         for sigma in sorted(psi, key=str_key.__getitem__):
+            if deadline is not None and deadline.expired():
+                raise _DeadlineCut()
             r = role_of(sigma)
             assert r is not None
             if prev_by_role and r not in changed and next_role[r] not in changed:
@@ -511,7 +529,7 @@ def _entailment_mod_sigma_t_uncached(
                 max_leaves,
                 config.max_connector_candidates,
                 memo=config.memo, refute_tag="P2",
-                order=str_key, counters=config.counters,
+                order=str_key, counters=config.counters, deadline=deadline,
             )
             if ok:
                 survivors.add(sigma)
@@ -547,20 +565,29 @@ def realizable_refuting_twoway(
     # a caller-provided config may be reused across calls, so flush only
     # this call's counter growth to the registry
     counters_before = dict(config.counters)
+    cut = False
     with span("elimination", procedure="twoway") as sp:
-        realizable = _entailment_mod_reachability(
-            tau, tbox, frozenset({Type()}), q_hat, sigma0, config, depth=0
-        )
-        sp.set(realizable=realizable, **config.counters)
+        try:
+            realizable = _entailment_mod_reachability(
+                tau, tbox, frozenset({Type()}), q_hat, sigma0, config, depth=0
+            )
+        except _DeadlineCut:
+            # deadline expired mid-pipeline: surface a clean incomplete
+            # "no countermodel found (yet)" answer instead of hanging
+            cut = True
+            realizable = False
+        sp.set(realizable=realizable, deadline_cut=cut, **config.counters)
     flush = {
         f"twoway.{key}": value - counters_before.get(key, 0)
         for key, value in config.counters.items()
     }
     flush["twoway.calls"] = 1
+    if cut:
+        flush["twoway.deadline_cut"] = 1
     REGISTRY.inc_many(flush)
     return TwoWayResult(
         realizable,
-        complete=True,
+        complete=not cut,
         recursion_depth=2 * len(tbox.role_names()),
         stats=dict(config.counters),
     )

@@ -152,7 +152,7 @@ def verdict_to_dict(result: "ContainmentResult") -> dict:
     Covers the outcome, deciding method, certainty, seed count, theory
     support, and the countermodel graph (when the verdict is negative).
     """
-    return {
+    payload = {
         "format": FORMAT_VERSION,
         "contained": result.contained,
         "complete": result.complete,
@@ -163,6 +163,10 @@ def verdict_to_dict(result: "ContainmentResult") -> dict:
             None if result.countermodel is None else graph_to_dict(result.countermodel)
         ),
     }
+    # emitted sparsely so pre-deadline verdict records stay byte-identical
+    if result.deadline_expired:
+        payload["deadline_expired"] = True
+    return payload
 
 
 def verdict_from_dict(data: dict) -> "ContainmentResult":
@@ -176,6 +180,7 @@ def verdict_from_dict(data: dict) -> "ContainmentResult":
         countermodel=None if model is None else graph_from_dict(model),
         seeds_tried=int(data.get("seeds_tried", 0)),
         supported_by_theory=bool(data.get("supported_by_theory", True)),
+        deadline_expired=bool(data.get("deadline_expired", False)),
     )
 
 

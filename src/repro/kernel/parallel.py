@@ -26,19 +26,62 @@ parent's trace/decision id) and ships the span payload back with its
 result; the parent *absorbs* payloads in task order on join, so the merged
 trace is the serial-equivalent one.  Without a collector the wrapping is
 skipped entirely and the fan-out path is byte-identical to before.
+
+**Worker-crash recovery.**  A pool worker dying mid-batch (OOM-killed,
+segfaulted, SIGKILLed by the fault harness) surfaces as
+``BrokenProcessPool``.  The fan-out does not propagate it: the broken
+executor is discarded, a replacement is spawned after a capped exponential
+backoff (:class:`RecoveryPolicy`), and every not-yet-completed task is
+re-submitted.  After ``max_respawns`` consecutive pool losses the batch
+*degrades to serial* and finishes in-process.  Tasks are deterministic
+pure functions, so recomputed results are identical and the recovered
+batch is bit-for-bit the serial one — crashes cost latency, never answers.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar, Union
 
+from repro.obs import REGISTRY
 from repro.obs import trace as _obs_trace
+from repro.resilience import faults
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the fan-out reacts to a broken process pool."""
+
+    max_respawns: int = 2
+    """Pool respawns per batch before degrading to serial execution."""
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Capped exponential backoff before respawn ``attempt`` (0-based)."""
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** attempt))
+
+
+_RECOVERY_POLICY = RecoveryPolicy()
+
+
+def recovery_policy() -> RecoveryPolicy:
+    return _RECOVERY_POLICY
+
+
+def set_recovery_policy(policy: RecoveryPolicy) -> None:
+    """Install the fan-out recovery policy (chaos tests shrink the backoff)."""
+    global _RECOVERY_POLICY
+    _RECOVERY_POLICY = policy
 
 
 def _traced_call(packed: tuple) -> tuple:
@@ -59,24 +102,6 @@ def _traced_call(packed: tuple) -> tuple:
         if after[name] != before.get(name, 0)
     }
     return result, payload
-
-
-def _traced_pool_map(
-    pool: ProcessPoolExecutor,
-    task: Callable[[T], R],
-    items: Sequence[T],
-    collector: object,
-    chunksize: int = 1,
-) -> list[R]:
-    """``pool.map`` with span payloads merged into ``collector`` in task
-    order (serial-equivalent, so the grafted tree is deterministic)."""
-    trace_id = getattr(collector, "trace_id", "")
-    packed = [(task, item, trace_id) for item in items]
-    results: list[R] = []
-    for result, payload in pool.map(_traced_call, packed, chunksize=chunksize):
-        collector.absorb(payload)
-        results.append(result)
-    return results
 
 
 _POOL_LOCK = threading.Lock()
@@ -122,6 +147,138 @@ def _acquire_pool(count: int) -> tuple[ProcessPoolExecutor, bool]:
     return _SHARED_POOL, False
 
 
+def _kill_one_worker(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL one live worker of ``pool`` — the fault harness's
+    ``kill_worker`` callback, modelling an external OOM kill."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        if proc.is_alive():
+            os.kill(proc.pid, signal.SIGKILL)
+            return
+
+
+def _quiet_shutdown(pool: ProcessPoolExecutor) -> None:
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # a broken pool may refuse even shutdown
+        pass
+
+
+def _discard_shared(pool: ProcessPoolExecutor) -> None:
+    """Forget ``pool`` if it is the shared executor, then tear it down."""
+    global _SHARED_POOL, _SHARED_POOL_SIZE
+    with _POOL_LOCK:
+        if _SHARED_POOL is pool:
+            _SHARED_POOL, _SHARED_POOL_SIZE = None, 0
+    _quiet_shutdown(pool)
+
+
+class _PoolHandle:
+    """A respawnable executor handle, owned or shared (see _acquire_pool)."""
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.pool, self.owned = _acquire_pool(count)
+
+    def respawn(self) -> None:
+        """Discard the (broken) executor and acquire a fresh one."""
+        broken = self.pool
+        if self.owned:
+            _quiet_shutdown(broken)
+        else:
+            _discard_shared(broken)
+        self.pool, self.owned = _acquire_pool(self.count)
+
+    def close(self) -> None:
+        if self.owned and self.pool is not None:
+            self.pool.shutdown()
+        self.pool = None
+
+
+def _resilient_map(
+    task: Callable[[T], R],
+    items: Sequence[T],
+    handle: _PoolHandle,
+    collector: object = None,
+) -> tuple[list[R], Optional[list]]:
+    """Index-ordered pool map that survives worker crashes.
+
+    Returns ``(results, payloads)``; ``payloads`` is ``None`` untraced,
+    else an index-aligned list of span payloads (``None`` for any task that
+    finished on the serial degradation path, whose spans were recorded
+    directly in the parent).  On ``BrokenProcessPool`` the pool is
+    respawned with backoff and incomplete tasks are re-submitted; after
+    ``RecoveryPolicy.max_respawns`` losses the rest runs serially in-parent.
+    Determinism: tasks are pure, so re-computed results are identical and
+    the returned lists match the serial run regardless of crash schedule.
+    """
+    policy = _RECOVERY_POLICY
+    n = len(items)
+    results: list = [None] * n
+    payloads: Optional[list] = [None] * n if collector is not None else None
+    trace_id = getattr(collector, "trace_id", "") if collector is not None else ""
+    done = [False] * n
+    respawns = 0
+    while not all(done):
+        if handle.pool is None:  # a previous batch already degraded to serial
+            for i in range(n):
+                if not done[i]:
+                    results[i] = task(items[i])
+                    done[i] = True
+            break
+        pending = [i for i in range(n) if not done[i]]
+        try:
+            futures = {}
+            for i in pending:
+                if collector is not None:
+                    futures[i] = handle.pool.submit(
+                        _traced_call, (task, items[i], trace_id)
+                    )
+                else:
+                    futures[i] = handle.pool.submit(task, items[i])
+            # fault hook sits after submit so killed workers are live ones
+            faults.maybe_fault(
+                "parallel.dispatch", kill=lambda: _kill_one_worker(handle.pool)
+            )
+            for i in pending:
+                out = futures[i].result()
+                if collector is not None:
+                    results[i], payloads[i] = out
+                else:
+                    results[i] = out
+                done[i] = True
+        except BrokenProcessPool:
+            remaining = sum(1 for flag in done if not flag)
+            respawns += 1
+            if respawns > policy.max_respawns:
+                # pools keep dying: finish in-process (spans, if any, are
+                # recorded directly under the parent's active collector)
+                REGISTRY.inc_many(
+                    {
+                        "parallel.serial_degradations": 1,
+                        "parallel.tasks_resubmitted": remaining,
+                    }
+                )
+                if handle.owned:
+                    _quiet_shutdown(handle.pool)
+                else:
+                    _discard_shared(handle.pool)
+                handle.pool, handle.owned = None, False
+                for i in range(n):
+                    if not done[i]:
+                        results[i] = task(items[i])
+                        done[i] = True
+                break
+            REGISTRY.inc_many(
+                {
+                    "parallel.pool_respawns": 1,
+                    "parallel.tasks_resubmitted": remaining,
+                }
+            )
+            time.sleep(policy.backoff_s(respawns - 1))
+            handle.respawn()
+    return results, payloads
+
+
 def resolve_workers(workers: Union[int, str, None]) -> int:
     """Normalize a worker count: ``None``/0/1 → serial, ``"auto"`` → CPUs."""
     if workers in (None, 0, 1):
@@ -143,20 +300,25 @@ def parallel_map(
     """``[task(x) for x in items]``, optionally across a process pool.
 
     ``task`` must be a module-level function and ``items`` picklable when
-    ``workers > 1``.  Output order always matches input order.
+    ``workers > 1``.  Output order always matches input order.  Worker
+    crashes are recovered per the installed :class:`RecoveryPolicy`;
+    ``chunksize`` is accepted for API compatibility (dispatch is
+    per-future so crashed tasks can be re-submitted individually).
     """
     count = resolve_workers(workers)
     if count <= 1 or len(items) <= 1:
         return [task(item) for item in items]
-    pool, owned = _acquire_pool(min(count, len(items)))
+    collector = _obs_trace.active_collector()
+    handle = _PoolHandle(min(count, len(items)))
     try:
-        collector = _obs_trace.active_collector()
-        if collector is not None:
-            return _traced_pool_map(pool, task, items, collector, chunksize=chunksize)
-        return list(pool.map(task, items, chunksize=chunksize))
+        results, payloads = _resilient_map(task, items, handle, collector)
     finally:
-        if owned:
-            pool.shutdown()
+        handle.close()
+    if collector is not None and payloads is not None:
+        for payload in payloads:
+            if payload is not None:
+                collector.absorb(payload)
+    return results
 
 
 def first_success(
@@ -196,14 +358,17 @@ def first_success(
                 return result, base + offset + 1
         return None
 
-    pool, owned = _acquire_pool(count)
+    handle = _PoolHandle(count)
     try:
         collector = _obs_trace.active_collector()
 
         def run_wave(batch: list[T]) -> list[R]:
-            if collector is not None:
-                return _traced_pool_map(pool, task, batch, collector)
-            return list(pool.map(task, batch))
+            results, payloads = _resilient_map(task, batch, handle, collector)
+            if collector is not None and payloads is not None:
+                for payload in payloads:
+                    if payload is not None:
+                        collector.absorb(payload)
+            return results
 
         for item in items:
             wave.append(item)
@@ -220,5 +385,4 @@ def first_success(
             tried += len(wave)
         return None, tried
     finally:
-        if owned:
-            pool.shutdown()
+        handle.close()

@@ -1,0 +1,52 @@
+"""`repro.resilience` — deadlines, budgets, and deterministic fault injection.
+
+The decision procedures are 2EXPTIME in the worst case, so a system serving
+heavy traffic needs *bounded latency* and *fail-soft degradation* as
+first-class features:
+
+* :class:`Deadline` / :class:`Budget` (``deadline.py``) — wall-clock and
+  step budgets with cooperative, near-free ``poll()`` checks, threaded
+  through every hot loop of the decision pipeline.  An expired deadline
+  always yields a clean *incomplete* result, never a hang and never an
+  exception at the API boundary.
+* worker-crash recovery lives in :mod:`repro.kernel.parallel` — dead pool
+  workers are detected, the pool respawned with capped exponential
+  backoff, in-flight tasks re-submitted, and execution degrades to serial
+  after repeated failures (see :class:`RecoveryPolicy` re-exported here).
+* :mod:`repro.resilience.faults` — a deterministic fault-injection harness
+  with named sites (``raise`` / ``delay`` / ``kill_worker``) activated via
+  ``REPRO_FAULTS`` or programmatically; the chaos test suite and the E20
+  benchmark drive every failure path through it.
+
+See ``DESIGN.md`` §2.12 and ``EXPERIMENTS.md`` E20.
+"""
+
+from repro.resilience.deadline import Budget, Deadline, DeadlineExceeded
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear_faults,
+    injected_faults,
+    install_faults,
+    maybe_fault,
+    parse_faults,
+    site_armed,
+)
+
+__all__ = [
+    "Budget",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear_faults",
+    "injected_faults",
+    "install_faults",
+    "maybe_fault",
+    "parse_faults",
+    "site_armed",
+]

@@ -21,6 +21,17 @@ The journal is append-only and tolerant: corrupt lines (torn writes,
 manual edits) and stale-fingerprint entries are skipped and counted, never
 fatal.  Duplicate keys keep the *first* entry — decisions are
 deterministic, so later duplicates are byte-identical anyway.
+
+Crash consistency: a load that skipped corrupt or stale lines triggers an
+automatic **compaction** — the surviving index is rewritten to a temp file
+and atomically renamed over the journal (``os.replace``), so a journal
+damaged by a crash or an epoch bump heals itself on the next start and a
+crash *during* compaction leaves the old journal intact.  A torn tail
+(file not ending in a newline) is additionally repaired at the next
+append, which starts with a separating newline rather than extending the
+partial line.  Append failures (disk full, permissions, injected faults)
+degrade the cache to memory-only for that entry instead of failing the
+decision.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.io import FORMAT_VERSION
+from repro.resilience import FaultInjected, faults
 from repro.service.metrics import ServiceMetrics
 
 CACHE_EPOCH = 1
@@ -82,12 +94,15 @@ class DecisionCache:
         self._index: dict[str, dict] = {}
         self.corrupt_entries = 0
         self.stale_entries = 0
+        self._torn_tail = False
         self._load()
 
     def _load(self) -> None:
         if not self.journal_path.exists():
             return
-        for line in self.journal_path.read_text().splitlines():
+        text = self.journal_path.read_text()
+        self._torn_tail = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
@@ -108,6 +123,42 @@ class DecisionCache:
         self.metrics.count("cache_corrupt_entries", self.corrupt_entries)
         self.metrics.count("cache_stale_entries", self.stale_entries)
         self.metrics.count("cache_loaded_entries", len(self._index))
+        if self.corrupt_entries or self.stale_entries:
+            # heal the journal; the skip counters above stay as the record
+            # of what this load had to drop
+            try:
+                self.compact()
+            except OSError:
+                pass  # a read-only cache dir still works memory-backed
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal from the in-memory index.
+
+        Drops corrupt, stale, duplicate, and torn entries in one pass: the
+        surviving entries are written to a temp file which is fsynced and
+        renamed over the journal, so a crash mid-compaction loses nothing.
+        Returns the number of entries kept.
+        """
+        with self._lock:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.journal_path.with_name(JOURNAL_NAME + ".tmp")
+            with tmp.open("w") as out:
+                for digest, verdict in self._index.items():
+                    out.write(self._entry_line(digest, verdict) + "\n")
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(tmp, self.journal_path)
+            self._torn_tail = False
+            kept = len(self._index)
+        self.metrics.count("cache_compactions")
+        return kept
+
+    def _entry_line(self, digest: str, verdict: dict) -> str:
+        return json.dumps(
+            {"code": self._code, "key": digest, "verdict": verdict},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
 
     def __len__(self) -> int:
         return len(self._index)
@@ -124,20 +175,28 @@ class DecisionCache:
         return verdict
 
     def put(self, key: tuple, verdict: dict) -> None:
-        """Index and journal a verdict (no-op for already-stored keys)."""
+        """Index and journal a verdict (no-op for already-stored keys).
+
+        A failed journal append degrades this entry to memory-only —
+        callers never see a disk error surface from a decision."""
         digest = decision_digest(key, self._code)
-        line = json.dumps(
-            {"code": self._code, "key": digest, "verdict": verdict},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        line = self._entry_line(digest, verdict)
         with self._lock:
             if digest in self._index:
                 return
             self._index[digest] = verdict
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            with self.journal_path.open("a") as journal:
-                journal.write(line + "\n")
+            try:
+                faults.maybe_fault("cache.append")
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                with self.journal_path.open("a") as journal:
+                    if self._torn_tail:
+                        # finish the torn line before starting a fresh one
+                        journal.write("\n")
+                        self._torn_tail = False
+                    journal.write(line + "\n")
+            except (OSError, FaultInjected):
+                self.metrics.count("cache_write_failures")
+                return
         self.metrics.count("cache_writes")
 
     def stats(self) -> dict[str, int]:

@@ -13,7 +13,10 @@ One JSON object per line, in both directions.  Requests:
     or a ``schema_ref`` naming a previously registered schema.  ``priority``
     orders execution (smaller runs first, FIFO within a priority level);
     response *emission* stays in submission order, so output is
-    deterministic regardless of priorities.
+    deterministic regardless of priorities.  ``options.timeout_ms`` caps
+    the request's wall-clock execution: a decision cut short answers with
+    a normal ``verdict`` whose payload carries ``complete: false`` and
+    ``deadline_expired: true`` while the rest of the batch keeps flowing.
 
 ``schema``
     ``{"type": "schema", "ref": "s1", "tbox": {...}}`` — register a schema
@@ -71,8 +74,20 @@ class Request:
 
 _OPTION_FIELDS = (
     "workers", "incremental", "max_word_length", "max_expansions",
-    "max_nodes", "max_steps",
+    "max_nodes", "max_steps", "timeout_ms",
 )
+
+_NON_NEGATIVE_INT_FIELDS = ("max_nodes", "max_steps", "timeout_ms")
+
+
+def _validate_budgets(options: dict) -> None:
+    for name in _NON_NEGATIVE_INT_FIELDS:
+        if name not in options:
+            continue
+        value = options[name]
+        # bool is an int subclass; reject it explicitly
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise ProtocolError(f"option {name!r} must be a non-negative integer")
 
 
 def parse_request(line: str, seq: int) -> Request:
@@ -108,6 +123,7 @@ def parse_request(line: str, seq: int) -> Request:
         unknown = sorted(set(options) - set(_OPTION_FIELDS))
         if unknown:
             raise ProtocolError(f"unknown options: {', '.join(unknown)}")
+        _validate_budgets(options)
         priority = data.get("priority", 0)
         if not isinstance(priority, int):
             raise ProtocolError("priority must be an integer")
@@ -135,7 +151,12 @@ def parse_request(line: str, seq: int) -> Request:
 
 
 def build_options(raw: dict) -> ContainmentOptions:
-    """Materialize a request's ``options`` object (already whitelisted)."""
+    """Materialize a request's ``options`` object (already whitelisted).
+
+    ``timeout_ms`` is deliberately *not* materialized here: a deadline is
+    relative to when the decision starts executing, not when the request
+    was parsed, so the scheduler arms it per-execution (and excludes it
+    from the decision's cache identity)."""
     options = ContainmentOptions()
     if "max_word_length" in raw:
         options = replace(options, max_word_length=int(raw["max_word_length"]))

@@ -21,12 +21,23 @@ benchmark enforces.
 Request validation (query parse, schema resolution, option whitelisting)
 happens at submit time so malformed requests fail fast with an ``error``
 response and never occupy the queue.
+
+Resolution is fail-soft: transient infrastructure failures (a broken
+process pool, an injected fault) are retried with capped exponential
+backoff; anything else answers that one request with a structured
+``error`` response while the rest of the batch keeps flowing.  A request
+with a ``timeout_ms`` budget (own or server default) runs under a
+:class:`repro.resilience.Deadline` armed at execution time; a verdict the
+deadline actually cut short is emitted normally (``complete: false``,
+``deadline_expired: true``) but excluded from the dedup memo and the
+persistent journal, which only ever hold deterministic results.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
@@ -36,6 +47,8 @@ from repro.kernel.memo import BoundedMemo
 from repro.obs import span
 from repro.queries.parser import parse_query
 from repro.queries.ucrpq import UCRPQ
+from repro.resilience import FaultInjected, faults
+from repro.resilience.deadline import Deadline
 from repro.service.cache import DecisionCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -46,6 +59,11 @@ from repro.service.protocol import (
     verdict_response,
 )
 from repro.service.sessions import SchemaSession, SessionManager
+
+_TRANSIENT_ERRORS = (BrokenProcessPool, OSError, FaultInjected)
+"""Exception classes the scheduler treats as retryable infrastructure
+failures (a lost pool, a transient OS hiccup, an injected fault) as opposed
+to deterministic decision errors."""
 
 
 @dataclass(order=True)
@@ -58,6 +76,7 @@ class _Item:
     rhs: Optional[UCRPQ] = field(compare=False, default=None)
     options: Optional[ContainmentOptions] = field(compare=False, default=None)
     key: Optional[tuple] = field(compare=False, default=None)
+    timeout_ms: Optional[int] = field(compare=False, default=None)
 
 
 class DecisionScheduler:
@@ -69,11 +88,19 @@ class DecisionScheduler:
         cache: Optional[DecisionCache] = None,
         metrics: Optional[ServiceMetrics] = None,
         workers: Union[int, str, None] = None,
+        default_timeout_ms: Optional[int] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.sessions = sessions if sessions is not None else SessionManager(self.metrics)
         self.cache = cache
         self.default_workers = workers
+        self.default_timeout_ms = default_timeout_ms
+        """Wall-clock cap applied to requests without their own
+        ``options.timeout_ms``; ``None`` leaves them unbounded."""
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         self._queue: list[_Item] = []
         self._results = BoundedMemo(max_entries=8192, name="service.results")
         """Lifetime verdict-dict memo keyed by decision key (dedup source)."""
@@ -121,6 +148,7 @@ class DecisionScheduler:
             method=request.method,
             options=options,
         )
+        timeout_ms = request.options.get("timeout_ms", self.default_timeout_ms)
         return _Item(
             priority=request.priority,
             seq=request.seq,
@@ -130,6 +158,7 @@ class DecisionScheduler:
             rhs=rhs,
             options=options,
             key=key,
+            timeout_ms=timeout_ms,
         )
 
     # ------------------------------------------------------------- #
@@ -148,12 +177,39 @@ class DecisionScheduler:
     def _resolve(self, item: _Item) -> tuple[int, dict]:
         start = time.perf_counter()
         with span("service.decide", priority=item.priority) as sp:
-            verdict, source = self._verdict_for(item)
+            try:
+                verdict, source = self._verdict_with_retry(item)
+            except Exception as exc:
+                # one decision failing must never take the batch down: the
+                # request answers with a structured error and the drain
+                # keeps emitting the remaining verdicts
+                sp.set(source="error")
+                self.metrics.count("errors")
+                self.metrics.count("decision_failures")
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                self.metrics.observe_latency_ms(elapsed_ms)
+                return item.seq, error_response(
+                    item.request.id, f"decision failed: {exc}"
+                )
             sp.set(source=source)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.metrics.observe_latency_ms(elapsed_ms)
         self.metrics.count(f"verdicts_{source}")
         return item.seq, verdict_response(item.request.id, verdict, source, elapsed_ms)
+
+    def _verdict_with_retry(self, item: _Item) -> tuple[dict, str]:
+        """Run the decision, retrying transient infrastructure failures
+        (lost pools, injected faults) with capped exponential backoff."""
+        attempt = 0
+        while True:
+            try:
+                return self._verdict_for(item)
+            except _TRANSIENT_ERRORS:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                self.metrics.count("decision_retries")
+                time.sleep(min(1.0, self.retry_backoff_s * (2 ** (attempt - 1))))
 
     def _verdict_for(self, item: _Item) -> tuple[dict, str]:
         cached = self._results.get(item.key)
@@ -165,20 +221,30 @@ class DecisionScheduler:
             if stored is not None:
                 self._results.put(item.key, stored)
                 return stored, "cache"
+        faults.maybe_fault("scheduler.dispatch")
         if item.session is not None:
             if item.session.decisions > 0:
                 self.metrics.count("kernel_reuse")
             item.session.decisions += 1
+        options = item.options
+        if item.timeout_ms is not None:
+            # armed at execution time, never part of the decision identity
+            options = replace(options, deadline=Deadline.after_ms(item.timeout_ms))
         result = is_contained(
             item.lhs,
             item.rhs,
             item.session.tbox if item.session is not None else None,
             method=item.request.method,
-            options=item.options,
+            options=options,
         )
         self.metrics.count("decisions_executed")
         verdict = verdict_to_dict(result)
-        self._results.put(item.key, verdict)
-        if self.cache is not None:
-            self.cache.put(item.key, verdict)
+        if result.deadline_expired:
+            # wall-clock-cut verdicts are nondeterministic: answer the
+            # caller but keep them out of the dedup memo and the journal
+            self.metrics.count("timeouts")
+        else:
+            self._results.put(item.key, verdict)
+            if self.cache is not None:
+                self.cache.put(item.key, verdict)
         return verdict, "computed"

@@ -26,6 +26,7 @@ per decision; it is torn down when the serve loop exits.
 from __future__ import annotations
 
 import socket
+import stat
 from pathlib import Path
 from typing import IO, Iterable, Optional, Union
 
@@ -53,6 +54,7 @@ class ContainmentServer:
         use_cache: bool = True,
         workers: Union[int, str, None] = None,
         pool_reuse: bool = True,
+        default_timeout_ms: Optional[int] = None,
     ) -> None:
         if scheduler is not None:
             self.scheduler = scheduler
@@ -60,7 +62,8 @@ class ContainmentServer:
             metrics = ServiceMetrics()
             cache = DecisionCache(cache_dir, metrics) if use_cache else None
             self.scheduler = DecisionScheduler(
-                SessionManager(metrics), cache, metrics, workers=workers
+                SessionManager(metrics), cache, metrics, workers=workers,
+                default_timeout_ms=default_timeout_ms,
             )
         self.metrics = self.scheduler.metrics
         self.sessions = self.scheduler.sessions
@@ -86,6 +89,15 @@ class ContainmentServer:
         except ProtocolError as exc:
             self.metrics.count("errors")
             return [error_response(None, str(exc))], False
+        try:
+            return self._dispatch(request)
+        except Exception as exc:
+            # no request line, however malformed its payload, may kill the
+            # serve loop — answer with a structured error and keep going
+            self.metrics.count("errors")
+            return [error_response(request.id, f"internal error: {exc}")], False
+
+    def _dispatch(self, request) -> tuple[list[dict], bool]:
         self.metrics.count(f"requests_{request.type}")
         if request.type == "decide":
             error = self.scheduler.submit(request)
@@ -128,11 +140,17 @@ class ContainmentServer:
                 out_stream.write(encode_response(response) + "\n")
             out_stream.flush()
 
-        for line in lines:
-            responses, stop = self.handle_line(line)
-            emit(responses)
-            if stop:
-                return True
+        try:
+            for line in lines:
+                responses, stop = self.handle_line(line)
+                emit(responses)
+                if stop:
+                    return True
+        except KeyboardInterrupt:
+            # graceful shutdown: drain buffered work, emit, then stop
+            self.metrics.count("interrupted")
+            emit(self.scheduler.drain())
+            return True
         emit(self.scheduler.drain())
         return False
 
@@ -157,13 +175,29 @@ class ContainmentServer:
         install(PhaseAggregator())
         return True
 
+    def _remove_stale_socket(self, socket_path: Path) -> None:
+        """Unlink a socket file a previously crashed server left behind.
+
+        Only actual sockets are removed: binding over a regular file or a
+        directory almost certainly means a mistyped path, and silently
+        deleting user data to grab it would be far worse than failing."""
+        try:
+            mode = socket_path.lstat().st_mode
+        except FileNotFoundError:
+            return
+        if not stat.S_ISSOCK(mode):
+            raise OSError(
+                f"refusing to remove {socket_path}: exists and is not a socket"
+            )
+        socket_path.unlink()
+        self.metrics.count("stale_socket_removed")
+
     def serve_socket(self, path: Union[str, Path]) -> None:
         """Serve connections on a local Unix socket until a client sends
         ``shutdown``.  Connections are handled one at a time; state (schema
         sessions, persistent cache, metrics) is shared across them."""
         socket_path = Path(path)
-        if socket_path.exists():
-            socket_path.unlink()
+        self._remove_stale_socket(socket_path)
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         set_pool_reuse(self.pool_reuse)
         installed = self._install_aggregator()
@@ -172,7 +206,11 @@ class ContainmentServer:
             listener.listen(8)
             stop = False
             while not stop:
-                conn, _ = listener.accept()
+                try:
+                    conn, _ = listener.accept()
+                except KeyboardInterrupt:
+                    self.metrics.count("interrupted")
+                    break
                 with conn:
                     reader = conn.makefile("r", encoding="utf-8")
                     writer = conn.makefile("w", encoding="utf-8")

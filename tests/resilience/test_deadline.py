@@ -1,0 +1,96 @@
+"""Deadline/Budget semantics: expiry, latching, striding, pickling."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.resilience import Budget, Deadline, DeadlineExceeded
+
+
+class TestDeadline:
+    def test_never_deadline_never_expires(self):
+        deadline = Deadline.never()
+        assert not deadline.expired()
+        assert not deadline.poll()
+        assert deadline.remaining_ms() is None
+
+    def test_none_timeout_is_never(self):
+        assert Deadline.after_ms(None).at is None
+
+    def test_zero_timeout_expires_immediately(self):
+        deadline = Deadline.after_ms(0)
+        assert deadline.expired()
+
+    def test_generous_timeout_not_expired(self):
+        deadline = Deadline.after_ms(60_000)
+        assert not deadline.expired()
+        assert deadline.remaining_ms() > 1_000
+
+    def test_expiry_latches(self):
+        deadline = Deadline.after_ms(1)
+        time.sleep(0.005)
+        assert deadline.expired()
+        # latched even if the clock were to disagree later
+        deadline.at = time.monotonic() + 100.0
+        assert deadline.expired()
+
+    def test_poll_strides_clock_reads(self):
+        deadline = Deadline.after_ms(60_000, stride=8)
+        # the first stride-1 polls only decrement; the 8th reads the clock
+        for _ in range(100):
+            assert not deadline.poll()
+
+    def test_poll_detects_expiry_within_stride(self):
+        deadline = Deadline.after_ms(1, stride=4)
+        time.sleep(0.005)
+        assert any(deadline.poll() for _ in range(4))
+
+    def test_check_raises(self):
+        deadline = Deadline.after_ms(0, stride=1)
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after_ms(-1)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(None, stride=0)
+
+    def test_pickle_preserves_instant_and_latch(self):
+        deadline = Deadline.after_ms(60_000, stride=16)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert clone.at == deadline.at
+        assert clone.stride == deadline.stride
+        assert not clone.expired()
+        expired = Deadline.after_ms(0)
+        assert expired.expired()
+        assert pickle.loads(pickle.dumps(expired)).expired()
+
+
+class TestBudget:
+    def test_step_budget(self):
+        budget = Budget.of(max_steps=3)
+        assert not any(budget.spent() for _ in range(3))
+        assert budget.spent()
+
+    def test_deadline_budget(self):
+        budget = Budget.of(timeout_ms=0)
+        budget.deadline.stride = 1
+        budget.deadline._countdown = 1
+        assert budget.spent()
+
+    def test_unbounded_budget(self):
+        budget = Budget.of()
+        assert not any(budget.spent() for _ in range(1000))
+
+    def test_check_raises_on_spent(self):
+        budget = Budget.of(max_steps=0)
+        with pytest.raises(DeadlineExceeded):
+            budget.check()
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_steps=-1)

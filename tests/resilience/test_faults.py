@@ -1,0 +1,139 @@
+"""Fault-injection harness: spec grammar, determinism, scoping, env install."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.resilience import (
+    FaultInjected,
+    FaultRule,
+    active_plan,
+    clear_faults,
+    injected_faults,
+    install_faults,
+    maybe_fault,
+    parse_faults,
+    site_armed,
+)
+
+
+class TestParseFaults:
+    def test_minimal_spec(self):
+        plan = parse_faults("search.step:raise")
+        rule = plan.rule("search.step")
+        assert rule.action == "raise"
+        assert rule.times == 1
+        assert rule.arg == 0.0
+
+    def test_full_spec(self):
+        plan = parse_faults("scheduler.dispatch:delay:3:0.25")
+        rule = plan.rule("scheduler.dispatch")
+        assert rule.action == "delay"
+        assert rule.times == 3
+        assert rule.arg == 0.25
+
+    def test_multiple_sites(self):
+        plan = parse_faults("a:raise, b:kill_worker:2")
+        assert set(plan.rules) == {"a", "b"}
+
+    def test_unlimited_times(self):
+        rule = parse_faults("a:raise:-1").rule("a")
+        assert rule.times == -1
+        assert not rule.exhausted()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "justasite",
+            "a:explode",
+            ":raise",
+            "a:raise:three",
+            "a:delay:1:fast",
+            "a:raise:1:0:extra",
+            "a:raise,a:delay",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_faults(spec)
+
+    def test_empty_chunks_ignored(self):
+        assert parse_faults(" , a:raise ,, ").rules.keys() == {"a"}
+
+
+class TestFiring:
+    def test_no_plan_is_noop(self):
+        clear_faults()
+        maybe_fault("anywhere")  # must not raise
+
+    def test_raise_fires_exactly_times(self):
+        with injected_faults("site:raise:2") as plan:
+            for _ in range(2):
+                with pytest.raises(FaultInjected):
+                    maybe_fault("site")
+            # exhausted: further hits are counted but inert
+            maybe_fault("site")
+            maybe_fault("site")
+            assert plan.report() == {"site": {"hits": 4, "fired": 2}}
+
+    def test_other_sites_unaffected(self):
+        with injected_faults("site:raise"):
+            maybe_fault("other.site")  # must not raise
+
+    def test_kill_worker_invokes_callback(self):
+        killed = []
+        with injected_faults("site:kill_worker"):
+            maybe_fault("site", kill=lambda: killed.append(True))
+            maybe_fault("site", kill=lambda: killed.append(True))
+        assert killed == [True]
+
+    def test_kill_worker_without_callback_is_inert(self):
+        with injected_faults("site:kill_worker"):
+            maybe_fault("site")  # no callback provided: ignored
+
+    def test_exhausted_rule(self):
+        rule = FaultRule(site="s", action="raise", times=0)
+        assert rule.exhausted()
+
+
+class TestScoping:
+    def test_injected_faults_clears_on_exit(self):
+        with injected_faults("site:raise"):
+            assert site_armed("site")
+        assert active_plan() is None
+        assert not site_armed("site")
+
+    def test_injected_faults_clears_on_error(self):
+        with pytest.raises(RuntimeError):
+            with injected_faults("site:raise"):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_install_and_clear(self):
+        install_faults("site:delay:1:0.0")
+        try:
+            assert site_armed("site")
+        finally:
+            clear_faults()
+        assert active_plan() is None
+
+
+def test_env_var_installs_plan_on_import():
+    code = (
+        "from repro.resilience import active_plan\n"
+        "plan = active_plan()\n"
+        "assert plan is not None, 'env plan not installed'\n"
+        "rule = plan.rule('search.step')\n"
+        "assert rule.action == 'delay' and rule.times == 2\n"
+        "print('ok')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": "src", "REPRO_FAULTS": "search.step:delay:2:0.01", "PATH": "/usr/bin:/bin"},
+        cwd="/root/repo",
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"

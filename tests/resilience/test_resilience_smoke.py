@@ -1,0 +1,34 @@
+"""CI smoke for the resilience benchmark (E20).
+
+Runs ``benchmarks/bench_resilience.py --quick`` — trimmed E5/E7 workloads
+plus a worker-kill recovery round — and fails if an armed-but-never-firing
+deadline changes any outcome, the estimated polling overhead breaches the
+3% budget, or a killed pool worker costs anything but latency.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_resilience.py"
+
+
+def test_quick_resilience_smoke():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)  # the bench installs its own plans
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--quick"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"resilience smoke failed (exit {proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    assert "E20 FAILURE" not in proc.stderr

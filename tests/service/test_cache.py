@@ -78,6 +78,104 @@ class TestTolerance:
         assert DecisionCache(tmp_path).get(KEY_A) == VERDICT
 
 
+class TestCrashConsistency:
+    def test_truncated_tail_line_recovered(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put(KEY_A, VERDICT)
+        # crash mid-append: the last line is cut off without its newline
+        text = cache.journal_path.read_text()
+        half = json.dumps({"code": cache._code, "key": "x" * 64, "verdict": VERDICT})
+        cache.journal_path.write_text(text + half[: len(half) // 2])
+
+        reloaded = DecisionCache(tmp_path)
+        assert reloaded.corrupt_entries == 1
+        assert reloaded.get(KEY_A) == VERDICT
+        # the load auto-compacted the damage away
+        assert reloaded.metrics.counter("cache_compactions") == 1
+        healed = DecisionCache(tmp_path)
+        assert healed.corrupt_entries == 0
+        assert healed.get(KEY_A) == VERDICT
+
+    def test_torn_tail_repaired_on_next_append(self, tmp_path, monkeypatch):
+        cache = DecisionCache(tmp_path)
+        cache.put(KEY_A, VERDICT)
+        # strip the trailing newline, then prevent the load-time compaction
+        # from healing it so the append path must handle the torn tail
+        text = cache.journal_path.read_text()
+        cache.journal_path.write_text(text + '{"half": ')
+        monkeypatch.setattr(DecisionCache, "compact", lambda self: 0)
+        reopened = DecisionCache(tmp_path)
+        assert reopened._torn_tail
+
+        reopened.put(KEY_B, VERDICT)
+        # the new entry began on its own line, not glued to the torn one
+        lines = cache.journal_path.read_text().splitlines()
+        assert json.loads(lines[-1])["key"] == decision_digest(KEY_B)
+        fresh = DecisionCache(tmp_path)
+        assert fresh.get(KEY_A) == VERDICT
+        assert fresh.get(KEY_B) == VERDICT
+
+    def test_interleaved_partial_write_recovered(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put(KEY_A, VERDICT)
+        good = cache.journal_path.read_text()
+        # a partial record torn *between* two good ones (two writers, or a
+        # filesystem replaying a partial block)
+        cache.put(KEY_B, VERDICT)
+        both = cache.journal_path.read_text()
+        second = both[len(good):]
+        cache.journal_path.write_text(good + '{"code": "repro", "ke' + "\n" + second)
+
+        reloaded = DecisionCache(tmp_path)
+        assert reloaded.corrupt_entries == 1
+        assert reloaded.get(KEY_A) == VERDICT
+        assert reloaded.get(KEY_B) == VERDICT
+
+    def test_epoch_bump_compacts_stale_journal(self, tmp_path, monkeypatch):
+        DecisionCache(tmp_path).put(KEY_A, VERDICT)
+        monkeypatch.setattr("repro.service.cache.CACHE_EPOCH", CACHE_EPOCH + 1)
+
+        upgraded = DecisionCache(tmp_path)
+        assert upgraded.stale_entries == 1
+        assert upgraded.get(KEY_A) is None  # cold cache under the new epoch
+        assert upgraded.metrics.counter("cache_compactions") == 1
+        # the stale entries were physically dropped, not just skipped
+        assert cache_journal_is_clean(tmp_path)
+        upgraded.put(KEY_A, VERDICT)
+        assert DecisionCache(tmp_path).get(KEY_A) == VERDICT
+
+    def test_explicit_compact_drops_duplicates(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put(KEY_A, VERDICT)
+        line = cache.journal_path.read_text()
+        cache.journal_path.write_text(line * 3)
+        assert DecisionCache(tmp_path).compact() == 1
+        assert len((tmp_path / "decisions.jsonl").read_text().splitlines()) == 1
+
+    def test_unwritable_journal_degrades_to_memory(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        # a directory squatting on the journal path makes every append
+        # raise OSError (chmod tricks don't work under root)
+        cache.journal_path.mkdir()
+        cache.put(KEY_A, VERDICT)
+        assert cache.metrics.counter("cache_write_failures") == 1
+        assert cache.get(KEY_A) == VERDICT  # memory-only, but served
+
+
+def cache_journal_is_clean(cache_dir) -> bool:
+    """Every journal line parses and none is stale or torn."""
+    text = (cache_dir / "decisions.jsonl").read_text()
+    if text and not text.endswith("\n"):
+        return False
+    for line in text.splitlines():
+        try:
+            json.loads(line)
+        except json.JSONDecodeError:
+            return False
+    probe = DecisionCache(cache_dir)
+    return probe.corrupt_entries == 0 and probe.stale_entries == 0
+
+
 class TestIdentity:
     def test_digest_depends_on_key_and_code(self):
         assert decision_digest(KEY_A) != decision_digest(KEY_B)

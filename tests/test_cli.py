@@ -245,3 +245,65 @@ class TestServiceCommands:
         verdicts = self._verdicts(capsys.readouterr().out)
         assert verdicts["fwd"]["verdict"]["contained"] is True
         assert verdicts["neg"]["verdict"]["contained"] is False
+
+
+class TestResilienceFlags:
+    """`--timeout-ms` and the nonzero error exit codes."""
+
+    @pytest.fixture
+    def unique_schema_file(self, tmp_path):
+        # concepts no other test decides on, so the process-wide decision
+        # memo cannot answer before the deadline is consulted
+        path = tmp_path / "cli-unique.tbox"
+        path.write_text("CliA <= forall cli_r.CliB\n")
+        return str(path)
+
+    def test_contain_timeout_reports_incomplete(self, unique_schema_file, capsys):
+        rc = main([
+            "contain", "CliA(x), cli_r(x,y)", "CliB(y)",
+            "--schema", unique_schema_file, "--timeout-ms", "0",
+        ])
+        assert rc in (0, 1)
+        assert "incomplete: timeout expired" in capsys.readouterr().out
+
+    def test_contain_generous_timeout_unchanged(self, unique_schema_file, capsys):
+        rc = main([
+            "contain", "CliA(x), cli_r(x,y)", "CliB(y)",
+            "--schema", unique_schema_file, "--timeout-ms", "60000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CONTAINED" in out
+        assert "timeout" not in out
+
+    def test_parse_error_exits_two(self, capsys):
+        rc = main(["contain", "A(x", "B(x)"])
+        assert rc == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_missing_schema_file_exits_nonzero(self, capsys):
+        rc = main(["contain", "A(x)", "A(x)", "--schema", "/no/such/file.tbox"])
+        assert rc != 0
+
+    def test_bad_timeout_value_rejected(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["contain", "A(x)", "A(x)", "--timeout-ms", "soon"])
+        assert info.value.code == 2
+
+    def test_batch_timeout_flag(self, tmp_path, capsys):
+        from repro.dl.tbox import TBox
+        from repro.io import tbox_to_dict
+
+        schema = tbox_to_dict(TBox.of([("CliC", "forall cli_s.CliD")], name="cli"))
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in [
+            {"type": "schema", "ref": "s", "tbox": schema},
+            {"type": "decide", "id": "cut", "lhs": "CliC(x), cli_s(x,y)",
+             "rhs": "CliD(y)", "schema_ref": "s"},
+        ]) + "\n")
+        rc = main(["batch", str(path), "--no-cache", "--timeout-ms", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        (verdict,) = [json.loads(l) for l in out.splitlines() if "verdict" in l]
+        assert verdict["verdict"]["deadline_expired"] is True
+        assert verdict["verdict"]["complete"] is False
