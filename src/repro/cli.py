@@ -102,13 +102,15 @@ def _decision_inputs(args: argparse.Namespace):
     options = None
     incremental = getattr(args, "incremental", None)
     timeout_ms = getattr(args, "timeout_ms", None)
-    if incremental is not None or timeout_ms is not None:
+    backend = getattr(args, "backend", None)
+    if incremental is not None or timeout_ms is not None or backend is not None:
         from repro.core.containment import ContainmentOptions
         from repro.resilience import Deadline
 
         options = ContainmentOptions(
             incremental=None if incremental is None else (incremental == "on"),
             deadline=None if timeout_ms is None else Deadline.after_ms(timeout_ms),
+            backend=backend or "auto",
         )
     return lhs, rhs, tbox, options
 
@@ -202,6 +204,7 @@ def _build_server(args: argparse.Namespace):
         use_cache=not args.no_cache,
         workers=args.workers,
         default_timeout_ms=args.timeout_ms,
+        backend=args.backend,
     )
 
 
@@ -261,6 +264,11 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         "their own options.timeout_ms; cut decisions answer with an "
         "incomplete verdict instead of blocking the batch",
     )
+    parser.add_argument(
+        "--backend", default=None, choices=["auto", "bitset", "vec"],
+        help="default kernel backend for requests without their own "
+        "options.backend; verdicts are bit-identical either way",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -285,6 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     contain.add_argument(
         "--incremental", default=None, choices=["on", "off"],
         help="force the incremental chase layer on or off (A/B switch; "
+        "verdicts are bit-identical either way)",
+    )
+    contain.add_argument(
+        "--backend", default=None, choices=["auto", "bitset", "vec"],
+        help="kernel backend for type-table passes ('vec' needs numpy; "
         "verdicts are bit-identical either way)",
     )
     contain.add_argument(
@@ -322,6 +335,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--incremental", default=None, choices=["on", "off"],
         help="force the incremental chase layer on or off",
+    )
+    explain.add_argument(
+        "--backend", default=None, choices=["auto", "bitset", "vec"],
+        help="kernel backend for type-table passes ('vec' needs numpy)",
     )
     explain.add_argument(
         "--timeout-ms", default=None, type=int, metavar="MS", dest="timeout_ms",

@@ -69,6 +69,12 @@ class ContainmentOptions:
     caches: a decision actually cut short by its deadline reports
     ``deadline_expired=True`` and is never stored, so caches only ever hold
     deterministic, budget-exact results."""
+    backend: str = "auto"
+    """Kernel backend for type-table passes: ``"auto"`` (bit-matrix kernel
+    when numpy is available and the table is large), ``"bitset"``, or
+    ``"vec"``.  Deliberately *excluded* from decision keys, caches, and
+    journal identity — both backends produce bit-identical verdicts,
+    countermodels, and counters by construction (asserted by E21)."""
 
 
 _DECISION_MEMO = BoundedMemo(max_entries=2048, name="decision")
@@ -92,6 +98,8 @@ def _limits_key(limits: SearchLimits) -> tuple:
 
 
 def _options_key(options: ContainmentOptions, workers: int) -> tuple:
+    # NOTE: options.backend (and reduction.backend) are intentionally NOT
+    # part of the key — backend choice never changes a decision's content
     red = options.reduction
     return (
         options.max_word_length,
@@ -505,6 +513,8 @@ def _decide(
         config = options.reduction
         if pool != resolve_workers(config.workers):
             config = replace(config, workers=pool)
+        if options.backend != config.backend:
+            config = replace(config, backend=options.backend)
         for disjunct in lhs_u:
             result = contains_via_reduction(
                 disjunct, rhs_u, normalized, config=config

@@ -48,6 +48,8 @@ from repro.graphs.graph import Graph, PointedGraph
 from repro.graphs.labels import NodeLabel
 from repro.graphs.types import Type, realized_types, type_of
 from repro.kernel.bitset import compiled_clauses_for, inert_partition
+from repro.kernel.vec import resolve_backend
+from repro.kernel.vec_fixpoint import OnewayVecTable
 from repro.obs import REGISTRY, span
 from repro.queries.evaluation import satisfies_union
 from repro.queries.factorization import Factorization, factorize
@@ -71,6 +73,11 @@ class OneWayResult:
     round_stats: list[dict] = field(default_factory=list)
     """Per-wave counters: types checked, productivity runs, cache hits,
     witnesses (component models + connector stars) materialized, eliminated."""
+    backend: str = "bitset"
+    """Which kernel backend ran the elimination (``"bitset"`` or ``"vec"``)."""
+    survivors: frozenset = frozenset()
+    """The surviving core types (fixpoint Ψ) — identical across backends;
+    the A/B harness compares these directly."""
 
     def __bool__(self) -> bool:
         return self.realizable
@@ -117,6 +124,7 @@ def realizable_refuting_oneway(
     limits: Optional[SearchLimits] = None,
     max_types: int = 4096,
     max_connector_candidates: int = 200_000,
+    backend: str = "auto",
 ) -> OneWayResult:
     """Is τ realized in a finite graph satisfying T and refuting Q?
 
@@ -131,8 +139,10 @@ def realizable_refuting_oneway(
             limits=limits,
             max_types=max_types,
             max_connector_candidates=max_connector_candidates,
+            backend=backend,
         )
         sp.set(
+            backend=result.backend,
             realizable=result.realizable,
             waves=result.iterations,
             initial_types=result.type_counts[0] if result.type_counts else 0,
@@ -157,6 +167,7 @@ def _realizable_refuting_oneway(
     limits: Optional[SearchLimits] = None,
     max_types: int = 4096,
     max_connector_candidates: int = 200_000,
+    backend: str = "auto",
 ) -> OneWayResult:
     if tbox.uses_counting():
         raise ValueError("the one-way procedure supports ALCI TBoxes (no counting)")
@@ -209,9 +220,10 @@ def _realizable_refuting_oneway(
             fresh_names=set(tbox.fresh_names),
             name=f"{tbox.name}_core",
         )
+    chosen_backend = resolve_backend(backend, 2 ** len(work_gamma))
     if inert_scale == 0:
         # no consistent inert assignment: no consistent types at all
-        return OneWayResult(False, 1, [0, 0], True, gamma, [])
+        return OneWayResult(False, 1, [0, 0], True, gamma, [], chosen_backend)
 
     t_fwd = forward_projection(work_tbox)
     t_bwd = backward_projection(work_tbox)
@@ -229,13 +241,22 @@ def _realizable_refuting_oneway(
     }
 
     # start from all clause-consistent maximal types (clause-inconsistent
-    # ones are unrealizable in any T-model, a sound pre-elimination)
-    psi = _consistent_gamma_types(work_tbox, work_gamma)
+    # ones are unrealizable in any T-model, a sound pre-elimination).  The
+    # vec table enumerates the same compiled clauses in the same increasing
+    # integer order, so both backends seed the identical Ψ.
+    vt = None
+    if chosen_backend == "vec":
+        vt = OnewayVecTable(work_tbox, work_gamma, DIRECTION_LABEL)
+        psi = set(vt.types)
+    else:
+        psi = _consistent_gamma_types(work_tbox, work_gamma)
     if not psi:
-        return OneWayResult(False, 1, [0, 0], True, gamma, [])
+        return OneWayResult(False, 1, [0, 0], True, gamma, [], chosen_backend)
     # precomputed total order: str-keying inside the loops would re-render
     # every type on every comparison
     str_key = {sigma: str(sigma) for sigma in psi}
+    if vt is not None:
+        vt.set_order(str_key)
     side_sets = {
         True: {s for s in psi if _is_forward(s)},
         False: {s for s in psi if not _is_forward(s)},
@@ -254,6 +275,10 @@ def _realizable_refuting_oneway(
     prod_support: dict[Type, frozenset[Type]] = {}
     conn_support: dict[Type, frozenset[Type]] = {}
     dependents: dict[Type, set[Type]] = {}
+    # vec mirrors of the support sets as packed row bitsets: liveness of a
+    # whole support collapses to one word-level subset test
+    prod_support_packed: dict[Type, object] = {}
+    conn_support_packed: dict[Type, object] = {}
 
     # per-(side version, filler) candidate lists, str-ordered once
     candidate_cache: dict[tuple, list[Type]] = {}
@@ -262,22 +287,38 @@ def _realizable_refuting_oneway(
         key = (opposite_forward, side_version[opposite_forward], filler)
         cached = candidate_cache.get(key)
         if cached is None:
-            pool = sorted(side_sets[opposite_forward], key=str_key.__getitem__)
-            cached = [
-                theta
-                for theta in pool
-                if (filler in theta)
-                or (filler.negated and filler.name not in theta.signature())
-            ]
+            if vt is not None:
+                cached = vt.candidates(opposite_forward, filler)
+            else:
+                pool = sorted(side_sets[opposite_forward], key=str_key.__getitem__)
+                cached = [
+                    theta
+                    for theta in pool
+                    if (filler in theta)
+                    or (filler.negated and filler.name not in theta.signature())
+                ]
             candidate_cache[key] = cached
         return cached
+
+    def support_alive(
+        support: frozenset, packed, pool: set, side_forward: bool
+    ) -> bool:
+        """Is every supporting type still in the pool?  Component witnesses
+        only realize same-side types (the direction clause forces the side)
+        and connector leaves come from the opposite pool, so pool membership
+        reduces to aliveness — which the vec path tests on packed rows."""
+        if vt is not None:
+            return vt.all_alive(packed)
+        return support <= pool
 
     def productive(sigma: Type, stats: dict) -> bool:
         nonlocal complete
         forward = _is_forward(sigma)
         same = side_sets[forward]
         support = prod_support.get(sigma)
-        if support is not None and support <= same:
+        if support is not None and support_alive(
+            support, prod_support_packed.get(sigma), same, forward
+        ):
             # the recorded witness component only realizes surviving types,
             # so it is still a witness — no re-run needed
             stats["cache_hits"] += 1
@@ -308,6 +349,8 @@ def _realizable_refuting_oneway(
             productivity_cache[key] = (found, support)
         if found and support is not None:
             prod_support[sigma] = support
+            if vt is not None:
+                prod_support_packed[sigma] = vt.pack_types(support)
             for theta in support:
                 dependents.setdefault(theta, set()).add(sigma)
         return found
@@ -317,7 +360,9 @@ def _realizable_refuting_oneway(
         opposite-side TBox, leaves typed from the opposite side of Ψ."""
         forward = _is_forward(sigma)
         support = conn_support.get(sigma)
-        if support is not None and support <= side_sets[not forward]:
+        if support is not None and support_alive(
+            support, conn_support_packed.get(sigma), side_sets[not forward], not forward
+        ):
             stats["cache_hits"] += 1
             return True
         side_tbox = connector_tbox[forward]
@@ -346,6 +391,8 @@ def _realizable_refuting_oneway(
                 continue
             leaves = frozenset(pick)
             conn_support[sigma] = leaves
+            if vt is not None:
+                conn_support_packed[sigma] = vt.pack_types(leaves)
             for theta in leaves:
                 dependents.setdefault(theta, set()).add(sigma)
             return True
@@ -376,6 +423,8 @@ def _realizable_refuting_oneway(
                 psi.discard(sigma)
                 side_sets[_is_forward(sigma)].discard(sigma)
                 side_version[_is_forward(sigma)] += 1
+                if vt is not None:
+                    vt.eliminate(sigma)
                 eliminated_now.append(sigma)
             stats["eliminated"] = len(eliminated_now)
             wave_sp.set(**stats)
@@ -396,10 +445,22 @@ def _realizable_refuting_oneway(
             (s for s in affected if s in psi), key=str_key.__getitem__
         )
 
-    realizable = any(tau <= sigma for sigma in psi)
+    if vt is not None:
+        realizable = vt.any_alive_refining(tau)
+    else:
+        realizable = any(tau <= sigma for sigma in psi)
     if inert_scale != 1:
         type_counts = [count * inert_scale for count in type_counts]
-    return OneWayResult(realizable, iterations, type_counts, complete, gamma, round_stats)
+    return OneWayResult(
+        realizable,
+        iterations,
+        type_counts,
+        complete,
+        gamma,
+        round_stats,
+        chosen_backend,
+        frozenset(psi),
+    )
 
 
 def synthesize_countermodel_oneway(
@@ -410,6 +471,7 @@ def synthesize_countermodel_oneway(
     limits: Optional[SearchLimits] = None,
     max_types: int = 4096,
     coil_recall: Optional[int] = None,
+    backend: str = "auto",
 ) -> Optional[Graph]:
     """Build a *verified* finite graph realizing τ, satisfying T, refuting Q
     — the constructive right-to-left direction of Lemma 5.3.
@@ -442,7 +504,13 @@ def synthesize_countermodel_oneway(
 
     # fixpoint (re-run to obtain the surviving type set)
     result = realizable_refuting_oneway(
-        tau, tbox, query, factorization=fact, limits=limits, max_types=max_types
+        tau,
+        tbox,
+        query,
+        factorization=fact,
+        limits=limits,
+        max_types=max_types,
+        backend=backend,
     )
     if not result.realizable:
         return None

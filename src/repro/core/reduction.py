@@ -53,6 +53,9 @@ class ReductionConfig:
     when there are at most this many; beyond the cap Tp stays lazy/serial."""
     use_tp_memo: bool = True
     """Share Tp verdicts across decisions with structurally equal inputs."""
+    backend: str = "auto"
+    """Kernel backend for the Tp candidate enumeration (excluded from
+    decision keys — see :class:`~repro.core.containment.ContainmentOptions`)."""
 
 
 def query_key(query: UCRPQ) -> tuple:
@@ -210,7 +213,7 @@ def _contains_via_reduction(
         # deterministic and identical to a serial run
         candidates = [
             tau
-            for tau in consistent_types(tbox, signature)
+            for tau in consistent_types(tbox, signature, backend=config.backend)
             if any(ci.subject in tau for ci in tbox.at_leasts)
         ]
         if 0 < len(candidates) <= config.tp_precompute_cap:

@@ -43,6 +43,8 @@ from repro.dl.types import clause_consistent
 from repro.graphs.graph import Graph, single_node_graph
 from repro.graphs.labels import NodeLabel, Role
 from repro.graphs.types import Type
+from repro.kernel.vec import resolve_backend
+from repro.kernel.vec_fixpoint import TwowayVecEnumerator, groups_vectorizable
 from repro.obs import REGISTRY, span
 from repro.queries.atoms import PathAtom
 from repro.queries.crpq import CRPQ
@@ -77,6 +79,14 @@ class TwoWayConfig:
         "types_checked": 0, "cache_hits": 0, "witnesses_materialized": 0,
     })
     """Work counters accumulated across the pipeline, surfaced on the result."""
+    backend: str = "auto"
+    """Kernel backend for candidate enumeration (``"auto"``/``"bitset"``/
+    ``"vec"``); auto-selected per fixpoint by candidate-space size."""
+    top_psi: Optional[frozenset] = None
+    """Survivors of the outermost P1 fixpoint from the last entry-point call
+    (``None`` when that fixpoint was served from the memo)."""
+    chosen_backend: str = "bitset"
+    """The backend the outermost fixpoint actually resolved to."""
 
 
 @dataclass
@@ -86,6 +96,11 @@ class TwoWayResult:
     recursion_depth: int
     stats: dict = field(default_factory=dict)
     """Pipeline-wide counters: types checked, memo hits, stars materialized."""
+    backend: str = "bitset"
+    """Which kernel backend the outermost fixpoint ran on."""
+    survivors: Optional[frozenset] = None
+    """Outermost P1 fixpoint Ψ — identical across backends; ``None`` when
+    the verdict came from the cross-call memo without re-running."""
 
     def __bool__(self) -> bool:
         return self.realizable
@@ -135,6 +150,22 @@ def drop_reachability(query: UCRPQ, sigma0: Iterable[str]) -> UCRPQ:
 # type enumeration over counter groups
 
 
+def _type_space_size(
+    free_names: Sequence[str], counter_groups: Sequence[Sequence[NodeLabel]]
+) -> int:
+    count = 1
+    for group in counter_groups:
+        count *= len(group)
+    return (2 ** len(free_names)) * count
+
+
+def _guard_type_space(total: int, max_types: int) -> None:
+    if total > max_types:
+        raise ProcedureInfeasible(
+            f"type space of size {total} exceeds max_types={max_types}"
+        )
+
+
 def _enumerate_types(
     free_names: Sequence[str],
     counter_groups: Sequence[Sequence[NodeLabel]],
@@ -145,15 +176,12 @@ def _enumerate_types(
     The exactly-one clauses of T_p make all other counter combinations
     inconsistent, so enumerating group choices directly avoids the 2^|Γ_T|
     blow-up the filter would otherwise wade through.
+
+    :class:`repro.kernel.vec_fixpoint.TwowayVecEnumerator` materializes this
+    exact sequence as bit-matrix rows; any change to the order here must be
+    mirrored there.
     """
-    count = 1
-    for group in counter_groups:
-        count *= len(group)
-    total = (2 ** len(free_names)) * count
-    if total > max_types:
-        raise ProcedureInfeasible(
-            f"type space of size {total} exceeds max_types={max_types}"
-        )
+    _guard_type_space(_type_space_size(free_names, counter_groups), max_types)
     free_sorted = sorted(free_names)
     for signs in product((False, True), repeat=len(free_sorted)):
         free_literals = [NodeLabel(nm, neg) for nm, neg in zip(free_sorted, signs)]
@@ -368,15 +396,25 @@ def _entailment_mod_reachability_uncached(
     roles = sorted(Role(name) for name in sigma_t)
     max_leaves = config.max_leaves_per_constraint or factor.cap
 
-    def candidate_types():
-        for sigma in _enumerate_types(free_names, counter_groups, config.max_types):
-            if not any(theta <= sigma for theta in thetas):
-                continue
-            if not clause_consistent(factor.components_tbox, sigma):
-                continue
-            yield sigma
-
-    candidates = list(candidate_types())
+    total = _type_space_size(free_names, counter_groups)
+    _guard_type_space(total, config.max_types)
+    chosen = resolve_backend(config.backend, total)
+    if depth == 0:
+        config.chosen_backend = chosen
+    if chosen == "vec" and groups_vectorizable(counter_groups):
+        # one bulk sweep per filter over the whole candidate space, yielding
+        # the same types in the same enumeration order as the generator
+        enum = TwowayVecEnumerator(free_names, counter_groups)
+        mask = enum.refines_any(thetas)
+        mask &= enum.clause_mask(factor.components_tbox)
+        candidates = enum.types_where(mask)
+    else:
+        candidates = [
+            sigma
+            for sigma in _enumerate_types(free_names, counter_groups, config.max_types)
+            if any(theta <= sigma for theta in thetas)
+            and clause_consistent(factor.components_tbox, sigma)
+        ]
     str_key = {sigma: str(sigma) for sigma in candidates}
     deadline = config.limits.deadline
     psi: frozenset[Type] = frozenset()
@@ -412,6 +450,8 @@ def _entailment_mod_reachability_uncached(
         if psi_next == psi:
             break
         psi = psi_next
+    if depth == 0:
+        config.top_psi = psi
     return any(tau <= sigma for sigma in psi)
 
 
@@ -476,11 +516,31 @@ def _entailment_mod_sigma_t_uncached(
             return False
         return clause_consistent(factor.components_tbox, sigma)
 
-    candidates = [
-        sigma
-        for sigma in _enumerate_types(free_names, counter_groups, config.max_types)
-        if admissible(sigma)
-    ]
+    total = _type_space_size(free_names, counter_groups)
+    _guard_type_space(total, config.max_types)
+    chosen = resolve_backend(config.backend, total)
+    if chosen == "vec" and groups_vectorizable(counter_groups):
+        # the admissibility conjuncts as bulk masks: exactly one role label,
+        # role r's zero-counters present, Θ-refinement, clause consistency
+        enum = TwowayVecEnumerator(free_names, counter_groups)
+        role_cols = {r: enum.positive_column(role_labels[r].name) for r in sigma_t}
+        count = sum(col.astype("uint8") for col in role_cols.values())
+        mask = count == 1
+        for r in sigma_t:
+            zero_req = enum.new_mask(True)
+            for (ci_role, _filler), labels in factor.counters.items():
+                if ci_role.name == r:
+                    zero_req &= enum.positive_column(labels[0].name)
+            mask &= ~role_cols[r] | zero_req
+        mask &= enum.refines_any(thetas)
+        mask &= enum.clause_mask(factor.components_tbox)
+        candidates = enum.types_where(mask)
+    else:
+        candidates = [
+            sigma
+            for sigma in _enumerate_types(free_names, counter_groups, config.max_types)
+            if admissible(sigma)
+        ]
     str_key = {sigma: str(sigma) for sigma in candidates}
     deadline = config.limits.deadline
     reduced_tbox = {
@@ -565,6 +625,8 @@ def realizable_refuting_twoway(
     # a caller-provided config may be reused across calls, so flush only
     # this call's counter growth to the registry
     counters_before = dict(config.counters)
+    config.top_psi = None
+    config.chosen_backend = "bitset"
     cut = False
     with span("elimination", procedure="twoway") as sp:
         try:
@@ -576,7 +638,12 @@ def realizable_refuting_twoway(
             # "no countermodel found (yet)" answer instead of hanging
             cut = True
             realizable = False
-        sp.set(realizable=realizable, deadline_cut=cut, **config.counters)
+        sp.set(
+            realizable=realizable,
+            deadline_cut=cut,
+            backend=config.chosen_backend,
+            **config.counters,
+        )
     flush = {
         f"twoway.{key}": value - counters_before.get(key, 0)
         for key, value in config.counters.items()
@@ -590,4 +657,6 @@ def realizable_refuting_twoway(
         complete=not cut,
         recursion_depth=2 * len(tbox.role_names()),
         stats=dict(config.counters),
+        backend=config.chosen_backend,
+        survivors=config.top_psi,
     )

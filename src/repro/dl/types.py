@@ -49,13 +49,24 @@ def clause_consistent_reference(tbox: NormalizedTBox, node_type: Type) -> bool:
     return True
 
 
-def consistent_types(tbox: NormalizedTBox, names: Iterable[str]) -> Iterator[Type]:
+def consistent_types(
+    tbox: NormalizedTBox, names: Iterable[str], backend: str = "auto"
+) -> Iterator[Type]:
     """Enumerate maximal types over ``names`` that satisfy the clausal CIs.
 
-    Enumeration runs on the bitset kernel; ``Type`` objects are only built
-    for the survivors.
+    Enumeration runs on the bitset kernel (or, for ``backend="vec"`` /
+    large ``"auto"`` signatures with numpy available, the bit-matrix
+    kernel — same types, same increasing-integer order); ``Type`` objects
+    are only built for the survivors.
     """
+    from repro.kernel.vec import consistent_ints_vec, resolve_backend
+
     compiled = compiled_clauses_for(tbox, names)
     decode = compiled.kernel.decode
-    for bits in compiled.consistent_bits():
+    chosen = resolve_backend(backend, 1 << compiled.kernel.size)
+    if chosen == "vec":
+        bit_source: Iterable[int] = consistent_ints_vec(tbox, names)
+    else:
+        bit_source = compiled.consistent_bits()
+    for bits in bit_source:
         yield decode(bits)

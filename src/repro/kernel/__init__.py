@@ -6,6 +6,9 @@ machinery that makes those loops fast without changing any verdict:
 
 * :mod:`repro.kernel.bitset` — types as Python ints (O(1) hash/subset),
   clausal CIs compiled to bitmasks;
+* :mod:`repro.kernel.vec` / :mod:`repro.kernel.vec_fixpoint` — the whole
+  Γ₀ table as numpy uint64 bit matrices, elimination waves as bulk boolean
+  ops (optional ``repro[vec]`` extra; selected via ``backend="auto"``);
 * :mod:`repro.kernel.parallel` — a process-pool fan-out with a picklable
   task encoding and a deterministic, serial-equivalent reduction;
 * :mod:`repro.kernel.memo` — bounded cross-decision caches keyed by
@@ -23,6 +26,13 @@ from repro.kernel.bitset import (
     inert_partition,
 )
 from repro.kernel.memo import BoundedMemo
+from repro.kernel.vec import (
+    BACKENDS,
+    HAVE_NUMPY,
+    VEC_AUTO_THRESHOLD,
+    VecUnavailable,
+    resolve_backend,
+)
 from repro.kernel.parallel import (
     first_success,
     parallel_map,
@@ -32,9 +42,14 @@ from repro.kernel.parallel import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BoundedMemo",
     "CompiledClauses",
+    "HAVE_NUMPY",
     "TypeKernel",
+    "VEC_AUTO_THRESHOLD",
+    "VecUnavailable",
+    "resolve_backend",
     "compiled_clauses_for",
     "enumerate_consistent_bits",
     "first_success",

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from repro.core.containment import ContainmentOptions
+from repro.kernel.vec import BACKENDS
 
 WIRE_VERSION = 1
 
@@ -74,7 +75,7 @@ class Request:
 
 _OPTION_FIELDS = (
     "workers", "incremental", "max_word_length", "max_expansions",
-    "max_nodes", "max_steps", "timeout_ms",
+    "max_nodes", "max_steps", "timeout_ms", "backend",
 )
 
 _NON_NEGATIVE_INT_FIELDS = ("max_nodes", "max_steps", "timeout_ms")
@@ -88,6 +89,10 @@ def _validate_budgets(options: dict) -> None:
         # bool is an int subclass; reject it explicitly
         if isinstance(value, bool) or not isinstance(value, int) or value < 0:
             raise ProtocolError(f"option {name!r} must be a non-negative integer")
+    if "backend" in options and options["backend"] not in BACKENDS:
+        raise ProtocolError(
+            f"option 'backend' must be one of {', '.join(BACKENDS)}"
+        )
 
 
 def parse_request(line: str, seq: int) -> Request:
@@ -169,6 +174,8 @@ def build_options(raw: dict) -> ContainmentOptions:
         if flag is not None:
             flag = bool(flag)
         options = replace(options, incremental=flag)
+    if "backend" in raw:
+        options = replace(options, backend=str(raw["backend"]))
     limits = options.limits
     if "max_nodes" in raw:
         limits = replace(limits, max_nodes=int(raw["max_nodes"]))

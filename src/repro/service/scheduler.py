@@ -91,6 +91,7 @@ class DecisionScheduler:
         default_timeout_ms: Optional[int] = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
+        backend: Optional[str] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.sessions = sessions if sessions is not None else SessionManager(self.metrics)
@@ -99,6 +100,9 @@ class DecisionScheduler:
         self.default_timeout_ms = default_timeout_ms
         """Wall-clock cap applied to requests without their own
         ``options.timeout_ms``; ``None`` leaves them unbounded."""
+        self.default_backend = backend
+        """Kernel backend applied to requests without their own
+        ``options.backend``; never part of decision identity."""
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self._queue: list[_Item] = []
@@ -142,6 +146,8 @@ class DecisionScheduler:
         options = build_options(request.options)
         if "workers" not in request.options and self.default_workers is not None:
             options = replace(options, workers=self.default_workers)
+        if "backend" not in request.options and self.default_backend is not None:
+            options = replace(options, backend=self.default_backend)
         key = decision_key(
             lhs, rhs,
             session.tbox if session is not None else None,

@@ -55,6 +55,7 @@ class ContainmentServer:
         workers: Union[int, str, None] = None,
         pool_reuse: bool = True,
         default_timeout_ms: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if scheduler is not None:
             self.scheduler = scheduler
@@ -62,8 +63,10 @@ class ContainmentServer:
             metrics = ServiceMetrics()
             cache = DecisionCache(cache_dir, metrics) if use_cache else None
             self.scheduler = DecisionScheduler(
-                SessionManager(metrics), cache, metrics, workers=workers,
+                SessionManager(metrics, backend=backend or "auto"),
+                cache, metrics, workers=workers,
                 default_timeout_ms=default_timeout_ms,
+                backend=backend,
             )
         self.metrics = self.scheduler.metrics
         self.sessions = self.scheduler.sessions

@@ -39,12 +39,22 @@ class SchemaSession:
     decisions: int = 0
     """Decide requests dispatched under this session (reuse = decisions - 1)."""
 
-    def warm(self) -> None:
+    def warm(self, backend: str = "auto") -> None:
         """Build the shared bitset-kernel compilation for the schema's full
-        concept signature (a no-op when already cached by ``content_key``)."""
+        concept signature (a no-op when already cached by ``content_key``),
+        plus the consistent-type bit matrix when the backend resolves to
+        the vec kernel at this signature size."""
         names = self.tbox.concept_names()
-        if names:
-            compiled_clauses_for(self.tbox, names)
+        if not names:
+            return
+        compiled_clauses_for(self.tbox, names)
+        from repro.kernel.vec import VecUnavailable, resolve_backend, vec_table_for
+
+        if resolve_backend(backend, 1 << len(names)) == "vec":
+            try:
+                vec_table_for(self.tbox, names)
+            except VecUnavailable:
+                pass  # signature too wide to materialize; decisions fall back
 
     @property
     def content_key(self) -> tuple:
@@ -63,11 +73,17 @@ class SessionManager:
     requests, so a batch can upload a TBox once and reference it by name.
     """
 
-    def __init__(self, metrics: Optional[ServiceMetrics] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[ServiceMetrics] = None,
+        backend: str = "auto",
+    ) -> None:
         self._lock = threading.Lock()
         self._sessions: dict[tuple, SchemaSession] = {}
         self._refs: dict[str, SchemaSession] = {}
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.backend = backend
+        """Kernel backend hint used when warming new sessions."""
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -110,7 +126,7 @@ class SessionManager:
         if normalized is None:
             normalized = normalize(tbox)
         session = SchemaSession(key=key, tbox=normalized, name=raw_name)
-        session.warm()
+        session.warm(self.backend)
         with self._lock:
             existing = self._sessions.get(key)
             if existing is not None:
@@ -143,7 +159,7 @@ def reset_process_caches() -> None:
     cold-vs-warm honestly; servers never call it.
     """
     from repro.core import containment, reduction
-    from repro.kernel import bitset
+    from repro.kernel import bitset, vec
     from repro.queries import compiled, factorization
 
     containment._DECISION_MEMO.clear()
@@ -154,3 +170,4 @@ def reset_process_caches() -> None:
     compiled._QUERY_MEMO.clear()
     compiled._FINGERPRINT_MEMO.clear()
     bitset._COMPILED_CACHE.clear()
+    vec._TABLE_CACHE.clear()
