@@ -398,10 +398,14 @@ def _entailment_mod_reachability_uncached(
 
     total = _type_space_size(free_names, counter_groups)
     _guard_type_space(total, config.max_types)
-    chosen = resolve_backend(config.backend, total)
+    # negated counter labels rule out the vec enumerator, so downgrade the
+    # request *before* resolving — the reported backend and the
+    # kernel.backend.* counters must name the path that actually runs
+    vectorizable = groups_vectorizable(counter_groups)
+    chosen = resolve_backend(config.backend if vectorizable else "bitset", total)
     if depth == 0:
         config.chosen_backend = chosen
-    if chosen == "vec" and groups_vectorizable(counter_groups):
+    if chosen == "vec":
         # one bulk sweep per filter over the whole candidate space, yielding
         # the same types in the same enumeration order as the generator
         enum = TwowayVecEnumerator(free_names, counter_groups)
@@ -518,8 +522,10 @@ def _entailment_mod_sigma_t_uncached(
 
     total = _type_space_size(free_names, counter_groups)
     _guard_type_space(total, config.max_types)
-    chosen = resolve_backend(config.backend, total)
-    if chosen == "vec" and groups_vectorizable(counter_groups):
+    # as in P1: downgrade before resolving so counters match the real path
+    vectorizable = groups_vectorizable(counter_groups)
+    chosen = resolve_backend(config.backend if vectorizable else "bitset", total)
+    if chosen == "vec":
         # the admissibility conjuncts as bulk masks: exactly one role label,
         # role r's zero-counters present, Θ-refinement, clause consistency
         enum = TwowayVecEnumerator(free_names, counter_groups)

@@ -58,6 +58,10 @@ def consistent_types(
     large ``"auto"`` signatures with numpy available, the bit-matrix
     kernel — same types, same increasing-integer order); ``Type`` objects
     are only built for the survivors.
+
+    Not itself a generator: the backend resolves (and an infeasible
+    explicit ``backend="vec"`` raises :class:`~repro.kernel.vec.
+    VecUnavailable`) at call time, not at the first ``next()``.
     """
     from repro.kernel.vec import consistent_ints_vec, resolve_backend
 
@@ -68,5 +72,4 @@ def consistent_types(
         bit_source: Iterable[int] = consistent_ints_vec(tbox, names)
     else:
         bit_source = compiled.consistent_bits()
-    for bits in bit_source:
-        yield decode(bits)
+    return (decode(bits) for bits in bit_source)

@@ -48,6 +48,12 @@ at least this many rows (2^|Γ₀| for the elimination procedures).  Below the
 threshold the numpy round trips cost more than the Python loops they
 replace; above it the bulk filters win by widening margins."""
 
+VEC_MAX_ROWS = 1 << 62
+"""Largest candidate table the vec backend will materialize.  Candidate
+spaces beyond this stay on the streaming bitset kernel: ``"auto"`` never
+selects vec above it, and an explicit ``backend="vec"`` is rejected eagerly
+in :func:`resolve_backend` rather than failing lazily mid-enumeration."""
+
 _WORD = 64
 _ENUM_CHUNK = 1 << 16
 """Rows filtered per chunk during full-table enumeration, bounding peak
@@ -79,8 +85,10 @@ def resolve_backend(
     ``table_size`` is the number of candidate rows the procedure would put
     in the table (2^|Γ₀| for the oneway/twoway eliminations).  ``"auto"``
     picks vec when numpy is importable and the table reaches ``threshold``
-    rows; ``"vec"`` without numpy raises :class:`VecUnavailable`.  The
-    chosen backend is counted on the obs registry (``kernel.backend.*``) so
+    rows; ``"vec"`` without numpy — or over a table the enumerator cannot
+    materialize (:data:`VEC_MAX_ROWS`) — raises :class:`VecUnavailable`
+    eagerly, at resolve time rather than mid-enumeration.  The chosen
+    backend is counted on the obs registry (``kernel.backend.*``) so
     explain reports and service metrics show which kernel actually ran.
     """
     if backend not in BACKENDS:
@@ -89,19 +97,24 @@ def resolve_backend(
         )
     if backend == "vec":
         require_numpy()
+        if table_size > VEC_MAX_ROWS:
+            raise VecUnavailable(
+                f"backend='vec' cannot materialize a bit matrix over "
+                f"{table_size} candidate rows (limit 2^62); use "
+                "backend='auto' or 'bitset' (streaming enumeration)"
+            )
         chosen = "vec"
     elif backend == "bitset":
         chosen = "bitset"
     else:
         # auto never picks a table the enumerator cannot materialize
-        # (candidate spaces beyond 2^62 rows stay on the streaming kernel)
-        feasible = threshold <= table_size <= (1 << 62)
+        feasible = threshold <= table_size <= VEC_MAX_ROWS
         chosen = "vec" if HAVE_NUMPY and feasible else "bitset"
     REGISTRY.inc(f"kernel.backend.{chosen}")
     if (
         backend == "auto"
         and not HAVE_NUMPY
-        and threshold <= table_size <= (1 << 62)
+        and threshold <= table_size <= VEC_MAX_ROWS
     ):
         # auto wanted vec at this size but numpy is absent
         REGISTRY.inc("kernel.backend.auto_fallback")
@@ -310,22 +323,41 @@ class VecTypeTable:
 
 _TABLE_CACHE: dict[tuple, VecTypeTable] = {}
 _TABLE_CACHE_MAX = 64
+_TABLE_CACHE_MAX_ROWS = 1 << 18
+"""Aggregate row budget across every cached table.  A retained row costs
+the uint64 word(s) plus a Python int in ``ints`` and a ``row_of`` dict
+entry (~100 bytes all told), so bounding rows — not just entry count —
+keeps the cache tens of MB at worst instead of GBs for wide signatures."""
+_TABLE_CACHE_ENTRY_ROWS = 1 << 16
+"""Per-table cap: larger tables are returned uncached so one giant
+signature can neither evict the whole cache nor pin GBs process-wide.
+Decision-procedure tables sit far below this (``max_types`` guards them at
+~2^12 rows); only direct large-signature enumerations exceed it."""
 
 
 def vec_table_for(tbox: NormalizedTBox, names: Iterable[str]) -> VecTypeTable:
     """The consistent-type bit matrix for (TBox, signature), cached across
     calls — keyed like :func:`repro.kernel.bitset.compiled_clauses_for`, so
-    structurally equal TBoxes share one table."""
+    structurally equal TBoxes share one table.  Tables above
+    :data:`_TABLE_CACHE_ENTRY_ROWS` rows are built but not retained."""
     require_numpy()
     signature = tuple(sorted(set(names)))
     key = (tbox.content_key(), signature)
     cached = _TABLE_CACHE.get(key)
-    if cached is None:
-        if len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
-            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
-        cached = VecTypeTable.from_consistent(compiled_clauses_for(tbox, signature))
-        _TABLE_CACHE[key] = cached
-    return cached
+    if cached is not None:
+        return cached
+    table = VecTypeTable.from_consistent(compiled_clauses_for(tbox, signature))
+    rows = len(table)
+    if rows > _TABLE_CACHE_ENTRY_ROWS:
+        return table  # caller holds the only reference; dropped on release
+    total = sum(len(t) for t in _TABLE_CACHE.values())
+    while _TABLE_CACHE and (
+        len(_TABLE_CACHE) >= _TABLE_CACHE_MAX
+        or total + rows > _TABLE_CACHE_MAX_ROWS
+    ):
+        total -= len(_TABLE_CACHE.pop(next(iter(_TABLE_CACHE))))
+    _TABLE_CACHE[key] = table
+    return table
 
 
 def consistent_ints_vec(tbox: NormalizedTBox, names: Iterable[str]) -> list[int]:

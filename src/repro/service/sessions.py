@@ -28,6 +28,13 @@ from repro.io import tbox_from_dict
 from repro.kernel.bitset import compiled_clauses_for
 from repro.service.metrics import ServiceMetrics
 
+WARM_MAX_TABLE_ROWS = 4096
+"""Largest candidate table (2^|concept names|) :meth:`SchemaSession.warm`
+will prebuild.  Matches the decision procedures' default ``max_types``
+guard: a wider signature raises ``ProcedureInfeasible`` at decide time, so
+a prebuilt table would never be consulted — while materializing it costs
+up to 2^n time and memory during session registration."""
+
 
 @dataclass
 class SchemaSession:
@@ -43,18 +50,26 @@ class SchemaSession:
         """Build the shared bitset-kernel compilation for the schema's full
         concept signature (a no-op when already cached by ``content_key``),
         plus the consistent-type bit matrix when the backend resolves to
-        the vec kernel at this signature size."""
+        the vec kernel at this signature size.
+
+        The prebuild is skipped entirely above :data:`WARM_MAX_TABLE_ROWS`
+        candidate rows — the same budget the decision procedures enforce —
+        so registering a wide-signature schema stays O(normalize) instead
+        of enumerating 2^n candidates for a table no decision could use."""
         names = self.tbox.concept_names()
         if not names:
             return
         compiled_clauses_for(self.tbox, names)
+        table_size = 1 << len(names)
+        if table_size > WARM_MAX_TABLE_ROWS:
+            return
         from repro.kernel.vec import VecUnavailable, resolve_backend, vec_table_for
 
-        if resolve_backend(backend, 1 << len(names)) == "vec":
-            try:
+        try:
+            if resolve_backend(backend, table_size) == "vec":
                 vec_table_for(self.tbox, names)
-            except VecUnavailable:
-                pass  # signature too wide to materialize; decisions fall back
+        except (VecUnavailable, MemoryError):
+            pass  # the prebuild is an optimization only; decisions fall back
 
     @property
     def content_key(self) -> tuple:
