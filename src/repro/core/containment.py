@@ -72,9 +72,12 @@ class ContainmentOptions:
     backend: str = "auto"
     """Kernel backend for type-table passes: ``"auto"`` (bit-matrix kernel
     when numpy is available and the table is large), ``"bitset"``, or
-    ``"vec"``.  Deliberately *excluded* from decision keys, caches, and
-    journal identity — both backends produce bit-identical verdicts,
-    countermodels, and counters by construction (asserted by E21)."""
+    ``"vec"``.  Covers the oneway/twoway enumerations, the twoway connector
+    scan, and the batched fixpoint oracles end to end; a run that had to
+    downgrade records why under ``kernel.backend.fallback.<reason>``.
+    Deliberately *excluded* from decision keys, caches, and journal
+    identity — both backends produce bit-identical verdicts, countermodels,
+    and counters by construction (asserted by E21/E22)."""
 
 
 _DECISION_MEMO = BoundedMemo(max_entries=2048, name="decision")

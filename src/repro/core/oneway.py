@@ -515,23 +515,37 @@ def synthesize_countermodel_oneway(
     if not result.realizable:
         return None
 
-    # recompute Ψ and keep witnesses + connector choices per type
-    all_types = _consistent_gamma_types(tbox, gamma)
-    str_key = {sigma: str(sigma) for sigma in all_types}
-    by_key = str_key.__getitem__
-    psi: set[Type] = set()
+    # recompute Ψ and keep witnesses + connector choices per type.  When the
+    # fixpoint completed and exposed its survivor set over the full Γ, seed
+    # Ψ directly from it — the stable-elimination loop below re-derives every
+    # witness anyway, so the unrestricted per-type realizability scan over
+    # all of Γ₀'s consistent types is redundant work
+    gamma_set = set(gamma)
+    seeded = (
+        result.complete
+        and result.survivors is not None
+        and all(s.signature() == gamma_set for s in result.survivors)
+    )
     witnesses: dict[Type, Graph] = {}
-    for sigma in sorted(all_types, key=by_key):
-        outcome = realizable_type(
-            sigma,
-            component_tbox[_is_forward(sigma)],
-            q_hat,
-            type_signature=gamma,
-            limits=limits,
-        )
-        if outcome.found:
-            psi.add(sigma)
-            witnesses[sigma] = outcome.countermodel
+    if seeded:
+        psi: set[Type] = set(result.survivors)
+        str_key = {sigma: str(sigma) for sigma in psi}
+    else:
+        all_types = _consistent_gamma_types(tbox, gamma)
+        str_key = {sigma: str(sigma) for sigma in all_types}
+        psi = set()
+        for sigma in sorted(all_types, key=str_key.__getitem__):
+            outcome = realizable_type(
+                sigma,
+                component_tbox[_is_forward(sigma)],
+                q_hat,
+                type_signature=gamma,
+                limits=limits,
+            )
+            if outcome.found:
+                psi.add(sigma)
+                witnesses[sigma] = outcome.countermodel
+    by_key = str_key.__getitem__
     def connector_witness(sigma: Type, pool: set[Type]) -> Optional[list[tuple[AtLeastCI, Type]]]:
         """One leaf-type choice per applicable opposite-side constraint."""
         side_tbox = connector_tbox[_is_forward(sigma)]

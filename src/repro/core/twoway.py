@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations_with_replacement, product
+from math import comb
 from typing import Iterable, Optional, Sequence
 
 from repro.core.entailment import realizable_type
@@ -43,8 +44,15 @@ from repro.dl.types import clause_consistent
 from repro.graphs.graph import Graph, single_node_graph
 from repro.graphs.labels import NodeLabel, Role
 from repro.graphs.types import Type
-from repro.kernel.vec import resolve_backend
-from repro.kernel.vec_fixpoint import TwowayVecEnumerator, groups_vectorizable
+from repro.kernel.vec import HAVE_NUMPY, resolve_backend
+from repro.kernel.vec_fixpoint import (
+    VEC_SCAN_MIN_CANDIDATES,
+    ConnectorVecScanner,
+    PsiMaskAnswer,
+    TwowayVecEnumerator,
+    connector_scan_supported,
+    vec_fallback_reason,
+)
 from repro.obs import REGISTRY, span
 from repro.queries.atoms import PathAtom
 from repro.queries.crpq import CRPQ
@@ -74,7 +82,14 @@ class TwoWayConfig:
     max_leaves_per_constraint: Optional[int] = None
     """Defaults to N (the TBox's cardinality cap) when unset."""
     memo: dict = field(default_factory=dict)
-    """Cross-call result cache (P1/P2/base-case/connector memoization)."""
+    """Cross-call result cache (P1/P2/base-case/connector memoization, plus
+    the shared per-context fixpoint Ψ sets the per-type oracles answer
+    from)."""
+    answers: dict = field(default_factory=dict)
+    """Vectorized survivor indexes (:class:`PsiMaskAnswer`) keyed like the
+    fixpoint-context memos; acceleration only — the frozenset Ψ stored in
+    ``memo`` stays authoritative and the scalar fallback answers any type
+    the index cannot cover."""
     counters: dict = field(default_factory=lambda: {
         "types_checked": 0, "cache_hits": 0, "witnesses_materialized": 0,
     })
@@ -217,6 +232,19 @@ def _build_star(center: Type, leaves: Sequence[tuple[Role, Type]]) -> Graph:
     return star
 
 
+def _positive_atom_names(refute: UCRPQ) -> list[frozenset[str]]:
+    """Per disjunct: the names its positive concept atoms demand somewhere
+    on a matching star (the vec scanner's sound refutation prefilter)."""
+    return [
+        frozenset(
+            atom.label.name
+            for atom in disjunct.concept_atoms
+            if not atom.label.negated
+        )
+        for disjunct in refute
+    ]
+
+
 def _connector_exists(
     center: Type,
     pool: Iterable[Type],
@@ -230,6 +258,7 @@ def _connector_exists(
     order: Optional[dict] = None,
     counters: Optional[dict] = None,
     deadline: Optional[Deadline] = None,
+    backend: str = "bitset",
 ) -> bool:
     """Search for a connector: centre + leaves wired by ``roles``, centre
     satisfying T_c, the star refuting the query.
@@ -242,6 +271,11 @@ def _connector_exists(
 
     ``order`` is an optional precomputed ``{type: str(type)}`` map so the
     candidate ordering does not re-render every type on every call.
+
+    With ``backend="vec"`` large pick spaces run on the
+    :class:`ConnectorVecScanner` — same enumeration order, first-success
+    index, verdict, and examined-pick count as the scalar loop, with the
+    CI check and most query refutations answered by bulk column ops.
     """
     memo_key = None
     if memo is not None:
@@ -262,31 +296,61 @@ def _connector_exists(
             pairs.append(pair)
 
     sort_key = order.__getitem__ if order is not None else str
-    options: list[list[tuple]] = []
-    for role, filler in pairs:
-        candidates = [
+    per_pair: list[list[Type]] = []
+    for _role, filler in pairs:
+        per_pair.append([
             theta
             for theta in sorted(pool, key=sort_key)
             if (filler in theta)
             or (filler.negated and filler.name not in theta.signature())
-        ]
+        ])
+
+    # guard the pick space *before* materializing any bundle list (or the
+    # scanner's column matrices): one bundle list per pair holds the empty
+    # bundle plus every multiset of up to max_leaves candidates
+    total = 1
+    for candidates in per_pair:
+        n = len(candidates)
+        total *= 1 + sum(comb(n + k - 1, k) for k in range(1, max_leaves + 1))
+        if total > max_candidates:
+            raise ProcedureInfeasible("connector candidate space too large")
+
+    options: list[list[tuple]] = []
+    for (role, _filler), candidates in zip(pairs, per_pair):
         bundles: list[tuple] = [()]
         for k in range(1, max_leaves + 1):
             for combo in combinations_with_replacement(candidates, k):
                 bundles.append(tuple((role, theta) for theta in combo))
         options.append(bundles)
 
-    total = 1
-    for bundles in options:
-        total *= len(bundles)
-        if total > max_candidates:
-            raise ProcedureInfeasible("connector candidate space too large")
+    def poll() -> None:
+        if deadline is not None and deadline.poll():
+            raise _DeadlineCut()
+
+    if (
+        backend == "vec"
+        and HAVE_NUMPY
+        and total >= VEC_SCAN_MIN_CANDIDATES
+        and not any(role.inverted for role in roles)
+        and connector_scan_supported(connectors_tbox)
+    ):
+        scanner = ConnectorVecScanner(
+            center, [role for role, _filler in pairs], options, connectors_tbox
+        )
+        found = scanner.scan(
+            _positive_atom_names(refute),
+            lambda leaves: satisfies_union(_build_star(center, leaves), refute),
+            poll=poll,
+            counters=counters,
+        )
+        if memo is not None:
+            memo[memo_key] = found
+        return found
 
     centre_node = ("c", 0)
     found = False
     for pick in product(*options) if options else [()]:
-        if deadline is not None and deadline.poll():
-            raise _DeadlineCut()
+        poll()
         leaves: list[tuple[Role, Type]] = [leaf for bundle in pick for leaf in bundle]
         star = _build_star(center, leaves)
         if counters is not None:
@@ -314,28 +378,42 @@ def _base_case_no_roles(
     avoid: UCRPQ,
     config: TwoWayConfig,
 ) -> bool:
-    """Appendix B.1: single-isolated-node countermodels."""
+    """Appendix B.1: single-isolated-node countermodels.
+
+    All per-type checks except the final τ-refinement are independent of τ,
+    so the surviving single-node types are computed once per
+    ``(TBox, Θ, names)`` context and each τ in the batch answers with one
+    refinement sweep over that set."""
     key = ("base", tau, tbox.content_key(), thetas)
     if key in config.memo:
         config.counters["cache_hits"] += 1
         return config.memo[key]
-    config.memo[key] = _base_case_no_roles_uncached(tau, tbox, thetas, avoid, config)
-    return config.memo[key]
+    names = tuple(sorted(_signature_names(tau, tbox, thetas, avoid)))
+    ctx_key = ("basectx", tbox.content_key(), thetas, names)
+    passing = config.memo.get(ctx_key)
+    if passing is None:
+        passing = _base_case_types(names, tbox, thetas, avoid, config)
+        config.memo[ctx_key] = passing
+    else:
+        config.counters["cache_hits"] += 1
+    result = any(tau <= sigma for sigma in passing)
+    config.memo[key] = result
+    return result
 
 
-def _base_case_no_roles_uncached(
-    tau: Type,
+def _base_case_types(
+    names: Sequence[str],
     tbox: NormalizedTBox,
     thetas: frozenset[Type],
     avoid: UCRPQ,
     config: TwoWayConfig,
-) -> bool:
-    names = sorted(_signature_names(tau, tbox, thetas, avoid))
+) -> frozenset[Type]:
+    """Single-node types over ``names`` respecting Θ, consistent with T,
+    refuting the query, and free of at-least obligations."""
     if 2 ** len(names) > config.max_types:
         raise ProcedureInfeasible("base-case type space too large")
-    for sigma in _enumerate_types(names, [], config.max_types):
-        if not tau <= sigma:
-            continue
+    passing = []
+    for sigma in _enumerate_types(list(names), [], config.max_types):
         if not any(theta <= sigma for theta in thetas):
             continue
         if not clause_consistent(tbox, sigma):
@@ -346,8 +424,33 @@ def _base_case_no_roles_uncached(
         # role CIs: at-leasts are unsatisfiable on an isolated node
         if any(ci.subject in sigma for ci in tbox.at_leasts):
             continue
-        return True
-    return False
+        passing.append(sigma)
+    return frozenset(passing)
+
+
+def _resolve_with_reason(
+    config: TwoWayConfig,
+    free_names: Sequence[str],
+    counter_groups: Sequence[Sequence[NodeLabel]],
+    total: int,
+) -> str:
+    """Resolve the fixpoint backend, downgrading *before* the resolve when
+    the candidate space cannot be vectorized — the reported backend and the
+    ``kernel.backend.*`` counters must name the path that actually runs —
+    and recording the downgrade reason on the obs registry."""
+    reason = vec_fallback_reason(free_names, counter_groups)
+    if reason is not None and config.backend != "bitset":
+        REGISTRY.inc(f"kernel.backend.fallback.{reason}")
+    return resolve_backend(config.backend if reason is None else "bitset", total)
+
+
+def _any_refines(tau: Type, psi: Iterable[Type], answer) -> bool:
+    """Does some σ ∈ Ψ refine τ?  The batched oracles' per-type answer —
+    one vectorized sweep over the survivor index when it covers τ, the
+    scalar scan otherwise (identical verdicts either way)."""
+    if answer is not None and answer.covers(tau):
+        return answer.any_refines(tau)
+    return any(tau <= sigma for sigma in psi)
 
 
 def _entailment_mod_reachability(
@@ -360,19 +463,30 @@ def _entailment_mod_reachability(
     depth: int,
 ) -> bool:
     """P1: is τ realized in a finite graph satisfying T, respecting Θ, and
-    refuting Q modulo Σ₀-reachability?  (Lemma 6.3 / B.3.)"""
+    refuting Q modulo Σ₀-reachability?  (Lemma 6.3 / B.3.)
+
+    τ only enters through its signature names and the final refinement
+    check, so one least fixpoint per ``(TBox, Θ, Σ₀, names)`` context
+    serves every type in a batch — the per-round oracle storm of the
+    calling fixpoints collapses to membership lookups."""
     key = ("P1", tau, tbox.content_key(), thetas, sigma0)
     if key in config.memo:
         config.counters["cache_hits"] += 1
         return config.memo[key]
-    result = _entailment_mod_reachability_uncached(
-        tau, tbox, thetas, q_hat, sigma0, config, depth
-    )
+    sigma_t = frozenset(tbox.role_names())
+    assert sigma_t <= sigma0, "Σ₀ must contain the TBox's roles"
+    if not sigma_t:
+        result = _base_case_no_roles(
+            tau, tbox, thetas, drop_reachability(q_hat, sigma0), config
+        )
+    else:
+        psi, answer = _p1_fixpoint(tau, tbox, thetas, q_hat, sigma0, config, depth)
+        result = _any_refines(tau, psi, answer)
     config.memo[key] = result
     return result
 
 
-def _entailment_mod_reachability_uncached(
+def _p1_fixpoint(
     tau: Type,
     tbox: NormalizedTBox,
     thetas: frozenset[Type],
@@ -380,29 +494,33 @@ def _entailment_mod_reachability_uncached(
     sigma0: frozenset[str],
     config: TwoWayConfig,
     depth: int,
-) -> bool:
+) -> tuple[frozenset[Type], Optional[PsiMaskAnswer]]:
+    """The shared P1 least fixpoint for one ``(TBox, Θ, Σ₀, names)``
+    context: the set Ψ of types realizable at component roots."""
     sigma_t = frozenset(tbox.role_names())
-    assert sigma_t <= sigma0, "Σ₀ must contain the TBox's roles"
-    if not sigma_t:
-        return _base_case_no_roles(tau, tbox, thetas, drop_reachability(q_hat, sigma0), config)
-
     factor = alcq_factorization(tbox, tag=f"g{depth}")
-    q_mod_sigma0 = drop_reachability(q_hat, sigma0)
     counter_groups = [labels for labels in factor.counters.values()]
     counter_names = {lbl.name for group in counter_groups for lbl in group}
     free_names = sorted(
         _signature_names(tau, tbox, thetas, q_hat) - counter_names
     )
+    ctx_key = ("P1ctx", tbox.content_key(), thetas, sigma0, tuple(free_names))
+    cached = config.memo.get(ctx_key)
+    if cached is not None:
+        config.counters["cache_hits"] += 1
+        psi, chosen = cached
+        if depth == 0:
+            config.top_psi = psi
+            config.chosen_backend = chosen
+        return psi, config.answers.get(ctx_key)
+
+    q_mod_sigma0 = drop_reachability(q_hat, sigma0)
     roles = sorted(Role(name) for name in sigma_t)
     max_leaves = config.max_leaves_per_constraint or factor.cap
 
     total = _type_space_size(free_names, counter_groups)
     _guard_type_space(total, config.max_types)
-    # negated counter labels rule out the vec enumerator, so downgrade the
-    # request *before* resolving — the reported backend and the
-    # kernel.backend.* counters must name the path that actually runs
-    vectorizable = groups_vectorizable(counter_groups)
-    chosen = resolve_backend(config.backend if vectorizable else "bitset", total)
+    chosen = _resolve_with_reason(config, free_names, counter_groups, total)
     if depth == 0:
         config.chosen_backend = chosen
     if chosen == "vec":
@@ -429,6 +547,7 @@ def _entailment_mod_reachability_uncached(
             max_leaves, config.max_connector_candidates,
             memo=config.memo, refute_tag=f"P1:{sorted(sigma0)}",
             order=str_key, counters=config.counters, deadline=deadline,
+            backend=chosen,
         )
 
     # least fixpoint over a growing Ψ with exact oracles: both checks are
@@ -456,7 +575,12 @@ def _entailment_mod_reachability_uncached(
         psi = psi_next
     if depth == 0:
         config.top_psi = psi
-    return any(tau <= sigma for sigma in psi)
+    config.memo[ctx_key] = (psi, chosen)
+    answer = None
+    if chosen == "vec" and psi:
+        answer = PsiMaskAnswer(psi)
+        config.answers[ctx_key] = answer
+    return psi, answer
 
 
 def _entailment_mod_sigma_t(
@@ -468,29 +592,36 @@ def _entailment_mod_sigma_t(
     depth: int,
 ) -> bool:
     """P2: entailment modulo Σ_T-reachability via role-alternating frames
-    (Lemma 6.5 / B.6)."""
+    (Lemma 6.5 / B.6).
+
+    Batched like P1: one greatest fixpoint per ``(TBox, Θ, names)``
+    context, each τ answered by a refinement sweep over its survivors."""
     key = ("P2", tau, tbox.content_key(), thetas)
     if key in config.memo:
         config.counters["cache_hits"] += 1
         return config.memo[key]
-    result = _entailment_mod_sigma_t_uncached(tau, tbox, thetas, q_hat, config, depth)
+    if not tbox.role_names():
+        result = _base_case_no_roles(
+            tau, tbox, thetas, drop_reachability(q_hat, frozenset()), config
+        )
+    else:
+        psi, answer = _p2_fixpoint(tau, tbox, thetas, q_hat, config, depth)
+        result = _any_refines(tau, psi, answer)
     config.memo[key] = result
     return result
 
 
-def _entailment_mod_sigma_t_uncached(
+def _p2_fixpoint(
     tau: Type,
     tbox: NormalizedTBox,
     thetas: frozenset[Type],
     q_hat: UCRPQ,
     config: TwoWayConfig,
     depth: int,
-) -> bool:
+) -> tuple[frozenset[Type], Optional[PsiMaskAnswer]]:
+    """The shared P2 greatest fixpoint for one ``(TBox, Θ, names)``
+    context: the surviving role-alternating types."""
     sigma_t = sorted(tbox.role_names())
-    if not sigma_t:
-        return _base_case_no_roles(
-            tau, tbox, thetas, drop_reachability(q_hat, frozenset()), config
-        )
     factor = alcq_factorization(tbox, tag=f"g{depth}")
     q_mod_sigma_t = drop_reachability(q_hat, sigma_t)
     role_labels = {r: NodeLabel(f"Crole_{r}") for r in sigma_t}
@@ -500,6 +631,11 @@ def _entailment_mod_sigma_t_uncached(
         (_signature_names(tau, tbox, thetas, q_hat) - counter_names)
         | {lbl.name for lbl in role_labels.values()}
     )
+    ctx_key = ("P2ctx", tbox.content_key(), thetas, tuple(free_names))
+    cached = config.memo.get(ctx_key)
+    if cached is not None:
+        config.counters["cache_hits"] += 1
+        return cached, config.answers.get(ctx_key)
     max_leaves = config.max_leaves_per_constraint or factor.cap
     next_role = {r: sigma_t[(i + 1) % len(sigma_t)] for i, r in enumerate(sigma_t)}
 
@@ -522,9 +658,7 @@ def _entailment_mod_sigma_t_uncached(
 
     total = _type_space_size(free_names, counter_groups)
     _guard_type_space(total, config.max_types)
-    # as in P1: downgrade before resolving so counters match the real path
-    vectorizable = groups_vectorizable(counter_groups)
-    chosen = resolve_backend(config.backend if vectorizable else "bitset", total)
+    chosen = _resolve_with_reason(config, free_names, counter_groups, total)
     if chosen == "vec":
         # the admissibility conjuncts as bulk masks: exactly one role label,
         # role r's zero-counters present, Θ-refinement, clause consistency
@@ -596,6 +730,7 @@ def _entailment_mod_sigma_t_uncached(
                 config.max_connector_candidates,
                 memo=config.memo, refute_tag="P2",
                 order=str_key, counters=config.counters, deadline=deadline,
+                backend=chosen,
             )
             if ok:
                 survivors.add(sigma)
@@ -605,7 +740,12 @@ def _entailment_mod_sigma_t_uncached(
         psi = frozenset(survivors)
         if not psi:
             break
-    return any(tau <= sigma for sigma in psi)
+    config.memo[ctx_key] = psi
+    answer = None
+    if chosen == "vec" and psi:
+        answer = PsiMaskAnswer(psi)
+        config.answers[ctx_key] = answer
+    return psi, answer
 
 
 def realizable_refuting_twoway(

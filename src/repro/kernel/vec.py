@@ -111,13 +111,14 @@ def resolve_backend(
         feasible = threshold <= table_size <= VEC_MAX_ROWS
         chosen = "vec" if HAVE_NUMPY and feasible else "bitset"
     REGISTRY.inc(f"kernel.backend.{chosen}")
-    if (
-        backend == "auto"
-        and not HAVE_NUMPY
-        and threshold <= table_size <= VEC_MAX_ROWS
-    ):
-        # auto wanted vec at this size but numpy is absent
-        REGISTRY.inc("kernel.backend.auto_fallback")
+    if backend == "auto" and table_size >= threshold and chosen == "bitset":
+        # auto wanted vec at this size but could not take it — record why,
+        # so the silent downgrade is visible in stats/explain output
+        if table_size > VEC_MAX_ROWS:
+            REGISTRY.inc("kernel.backend.fallback.table_too_large")
+        elif not HAVE_NUMPY:
+            REGISTRY.inc("kernel.backend.auto_fallback")
+            REGISTRY.inc("kernel.backend.fallback.numpy_missing")
     return chosen
 
 

@@ -55,7 +55,12 @@ class SchemaSession:
         The prebuild is skipped entirely above :data:`WARM_MAX_TABLE_ROWS`
         candidate rows — the same budget the decision procedures enforce —
         so registering a wide-signature schema stays O(normalize) instead
-        of enumerating 2^n candidates for a table no decision could use."""
+        of enumerating 2^n candidates for a table no decision could use.
+
+        ``resolve_backend`` records any auto-downgrade it takes here under
+        ``kernel.backend.fallback.<reason>`` (``numpy_missing``,
+        ``table_too_large``), so service metrics show why a warmed session
+        will run on the bitset kernel."""
         names = self.tbox.concept_names()
         if not names:
             return

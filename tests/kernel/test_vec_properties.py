@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.core.oneway import realizable_refuting_oneway
 from repro.core.search import SearchLimits
-from repro.core.twoway import TwoWayConfig, realizable_refuting_twoway
+from repro.core.twoway import TwoWayConfig, _enumerate_types, realizable_refuting_twoway
 from repro.dl.normalize import ClauseCI, NormalizedTBox, normalize
 from repro.dl.tbox import TBox
 from repro.graphs.labels import NodeLabel
@@ -31,6 +31,7 @@ if not HAVE_NUMPY:  # pragma: no cover - exercised only in numpy-less envs
 import numpy as np
 
 from repro.kernel.vec import VecClauseMatrix, enumerate_consistent_table, unpack_row
+from repro.kernel.vec_fixpoint import TwowayVecEnumerator, vec_fallback_reason
 
 NAMES = [f"A{i}" for i in range(8)]
 
@@ -125,6 +126,41 @@ def test_oneway_fixpoint_matches_bitset(instance):
 
 
 @st.composite
+def counter_spaces(draw):
+    """Free names + counter groups with random signs on distinct names —
+    the shapes the complemented-column encoding must reproduce exactly."""
+    free = NAMES[: draw(st.integers(min_value=0, max_value=3))]
+    groups = []
+    serial = 0
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        group = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            group.append(NodeLabel(f"Cnt{serial}", draw(st.booleans())))
+            serial += 1
+        groups.append(group)
+    return free, groups
+
+
+@settings(max_examples=100, deadline=None)
+@given(counter_spaces())
+def test_enumerator_matches_scalar_with_negated_counters(space):
+    free, groups = space
+    # distinct names are always vectorizable, negated labels included
+    assert vec_fallback_reason(free, groups) is None
+    enum = TwowayVecEnumerator(free, groups)
+    via_vec = enum.types_where(enum.new_mask(True))
+    via_scalar = list(_enumerate_types(free, groups, 2**16))
+    assert via_vec == via_scalar
+
+
+def test_fallback_reason_classifies_collisions():
+    pos, neg = NodeLabel("A0"), NodeLabel("A0", True)
+    assert vec_fallback_reason(["A0"], [[neg]]) == "negated_counters"
+    assert vec_fallback_reason([], [[pos], [pos]]) == "counter_collision"
+    assert vec_fallback_reason(["A1"], [[pos, NodeLabel("A2", True)]]) is None
+
+
+@st.composite
 def alcq_tboxes(draw):
     """Small raw TBoxes mixing clause chains with an optional at-least, so
     the twoway pipeline sees both vectorizable and counter-bearing cases."""
@@ -162,3 +198,34 @@ def test_twoway_fixpoint_matches_bitset(instance):
     assert bits.complete == vec.complete
     assert bits.stats == vec.stats
     assert bits.survivors == vec.survivors
+
+
+@settings(max_examples=10, deadline=None)
+@given(alcq_tboxes())
+def test_twoway_batched_oracles_match_fresh_configs(instance):
+    """A shared config batches the P1/P2/base oracles through the per-context
+    fixpoint memos; verdicts must match per-type runs with fresh configs,
+    on both backends."""
+    names, raw = instance
+    tbox = normalize(raw)
+    query = parse_query(f"{names[0]}(x), r(x,y), {names[-1]}(y)")
+    taus = [Type.of(name) for name in names]
+
+    def run(backend, shared):
+        limits = SearchLimits(max_nodes=3, max_steps=500)
+        config = TwoWayConfig(limits=limits, max_types=2**16, backend=backend)
+        verdicts = []
+        for tau in taus:
+            if not shared:
+                config = TwoWayConfig(
+                    limits=limits, max_types=2**16, backend=backend
+                )
+            verdicts.append(
+                realizable_refuting_twoway(tau, tbox, query, config=config).realizable
+            )
+        return verdicts
+
+    batched_vec = run("vec", shared=True)
+    assert batched_vec == run("vec", shared=False)
+    assert batched_vec == run("bitset", shared=True)
+    assert batched_vec == run("bitset", shared=False)
