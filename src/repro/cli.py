@@ -227,7 +227,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if server.metrics.counter("errors") else 0
 
 
+def _parse_host_port(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.tcp or args.http:
+        return _serve_gateway(args)
     server = _build_server(args)
     try:
         if args.socket:
@@ -236,6 +245,86 @@ def cmd_serve(args: argparse.Namespace) -> int:
             server.serve_pipe(sys.stdin, sys.stdout)
     finally:
         _dump_metrics(server, args.metrics_json)
+    return 0
+
+
+def _serve_gateway(args: argparse.Namespace) -> int:
+    """The concurrent multi-tenant gateway (``--tcp`` / ``--http``)."""
+    import asyncio
+    import signal
+
+    from repro.service.gateway import GatewayConfig, GatewayServer
+    from repro.service.gateway.admission import parse_quota_spec
+
+    default_quota = None
+    tenant_quotas = {}
+    for spec in args.tenant_quota or []:
+        try:
+            tenant, quota = parse_quota_spec(spec)
+        except ValueError as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 2
+        if tenant is None:
+            default_quota = quota
+        else:
+            tenant_quotas[tenant] = quota
+    config = GatewayConfig(
+        shards=args.shards,
+        processes=not args.shard_threads,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        tenant_quotas=tenant_quotas,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        workers=args.workers,
+        default_timeout_ms=args.timeout_ms,
+        backend=args.backend,
+    )
+    if default_quota is not None:
+        config.default_quota = default_quota
+
+    async def _run() -> None:
+        gateway = GatewayServer(config)
+        await gateway.start()
+        endpoints = []
+        if args.socket:
+            await gateway.start_unix(args.socket)
+            endpoints.append(f"unix:{args.socket}")
+        if args.tcp:
+            host, port = args.tcp
+            server = await gateway.start_tcp(host, port)
+            port = server.sockets[0].getsockname()[1]
+            endpoints.append(f"tcp:{host}:{port}")
+        if args.http:
+            host, port = args.http
+            server = await gateway.start_http(host, port)
+            port = server.sockets[0].getsockname()[1]
+            endpoints.append(f"http:{host}:{port}")
+        print(
+            f"repro gateway: {config.shards} shard(s) on "
+            + ", ".join(endpoints),
+            file=sys.stderr,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await stop.wait()
+        finally:
+            if args.metrics_json:
+                Path(args.metrics_json).write_text(
+                    json.dumps(gateway.stats(), indent=2, sort_keys=True) + "\n"
+                )
+            await gateway.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -386,11 +475,51 @@ def build_parser() -> argparse.ArgumentParser:
     batch.set_defaults(func=cmd_batch)
 
     serve = sub.add_parser(
-        "serve", help="long-running containment service (pipe or local socket)"
+        "serve", help="long-running containment service (pipe, socket, or "
+        "concurrent gateway)"
     )
     serve.add_argument(
         "--socket", default=None, metavar="PATH",
-        help="serve a local Unix socket at PATH instead of stdin/stdout",
+        help="serve a local Unix socket at PATH instead of stdin/stdout "
+        "(sequential reference server; with --tcp/--http it becomes a "
+        "gateway JSONL listener instead)",
+    )
+    serve.add_argument(
+        "--tcp", default=None, type=_parse_host_port, metavar="HOST:PORT",
+        help="gateway mode: concurrent JSONL clients on HOST:PORT "
+        "(port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--http", default=None, type=_parse_host_port, metavar="HOST:PORT",
+        help="gateway mode: HTTP/JSON facade on HOST:PORT "
+        "(POST /v1/decide, POST /v1/schemas, GET /v1/stats, GET /v1/healthz)",
+    )
+    serve.add_argument(
+        "--shards", default=2, type=int, metavar="N",
+        help="gateway worker shards; requests route by schema fingerprint "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--shard-threads", action="store_true",
+        help="run shards as in-process threads instead of forked worker "
+        "processes (single-CPU machines; same code path minus fork)",
+    )
+    serve.add_argument(
+        "--tenant-quota", action="append", default=None,
+        metavar="[TENANT=]RATE[:BURST[:WEIGHT]]",
+        help="admission quota: requests/second RATE with burst BURST and "
+        "fair-dequeue WEIGHT; without TENANT= it sets the default quota "
+        "(repeatable)",
+    )
+    serve.add_argument(
+        "--max-inflight", default=2048, type=int, metavar="N",
+        help="gateway-wide cap on admitted-but-unanswered requests "
+        "(default: 2048)",
+    )
+    serve.add_argument(
+        "--max-queue", default=1024, type=int, metavar="N",
+        help="per-tenant cap on requests waiting for a shard slot "
+        "(default: 1024)",
     )
     _add_service_flags(serve)
     serve.set_defaults(func=cmd_serve)

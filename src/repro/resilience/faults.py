@@ -22,14 +22,19 @@ the same failure schedule every run.
 
 Named sites wired through the codebase:
 
-=====================  ====================================================
-site                   where
-=====================  ====================================================
-``search.step``        :meth:`CountermodelSearch._tick` (per chase step)
-``parallel.dispatch``  :func:`repro.kernel.parallel` before a pool batch
-``scheduler.dispatch`` :meth:`DecisionScheduler` before running a decision
-``cache.append``       :meth:`DecisionCache.put` before the journal write
-=====================  ====================================================
+========================  =================================================
+site                      where
+========================  =================================================
+``search.step``           :meth:`CountermodelSearch._tick` (per chase step)
+``parallel.dispatch``     :func:`repro.kernel.parallel` before a pool batch
+``scheduler.dispatch``    :meth:`DecisionScheduler` before running a decision
+``cache.append``          :meth:`DecisionCache.put` before the journal write
+``gateway.dispatch``      gateway dispatch loop, before submitting a
+                          dequeued request to its shard
+``gateway.shard.handle``  shard worker, before handling one envelope — its
+                          ``kill`` callback SIGKILLs the worker process,
+                          so ``kill_worker`` here drives the respawn path
+========================  =================================================
 
 Activation: programmatically (:func:`install_faults` /
 :func:`injected_faults`) or via the environment — ``REPRO_FAULTS`` is

@@ -1,0 +1,303 @@
+"""Admission control: per-tenant quotas, bounded queues, fair dequeue.
+
+The gateway admits a decide request through three gates, cheapest first:
+
+1. **tenant token bucket** — each tenant refills at ``rate`` tokens/second
+   up to ``burst``; an empty bucket rejects with ``tenant_quota`` and a
+   ``retry_after_ms`` estimate;
+2. **per-tenant queue bound** — at most ``max_queue`` requests of one
+   tenant may wait for a shard slot (``queue_full``);
+3. **global in-flight bound** — at most ``max_inflight`` admitted-but-
+   unanswered requests across all tenants (``inflight_limit``).
+
+Rejections are *structured* (:func:`repro.service.protocol.overloaded_response`)
+and cheap — no shard slot, no parse of the queries beyond the typed model.
+
+Admitted requests wait in per-``(shard, tenant)`` queues and are released
+by **deficit round robin**: each fair queue cycles its backlogged tenants,
+granting ``weight`` quanta per round, so a tenant offering 10× the load of
+its neighbours still only gets its weighted share of shard time while
+anyone else is waiting — the no-starvation property E23 asserts from the
+``dequeued`` counters and last-dequeue positions this module records.
+
+Everything here is event-loop-local (the gateway touches it only from its
+asyncio thread), so no locks; the shared :class:`ServiceMetrics` sink does
+its own locking.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.service.metrics import ServiceMetrics
+
+REJECT_TENANT_QUOTA = "tenant_quota"
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_INFLIGHT = "inflight_limit"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission budget: sustained ``rate`` requests/second
+    with bursts up to ``burst``, and a fair-dequeue ``weight`` (quanta per
+    DRR round)."""
+
+    rate: float = float("inf")
+    burst: int = 1024
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("quota rate must be positive (use inf for unlimited)")
+        if self.burst < 1:
+            raise ValueError("quota burst must be >= 1")
+        if self.weight < 1:
+            raise ValueError("quota weight must be >= 1")
+
+
+class TokenBucket:
+    """A standard token bucket on an injectable monotonic clock."""
+
+    def __init__(
+        self,
+        quota: TenantQuota,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.quota = quota
+        self._clock = clock
+        self._tokens = float(quota.burst)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        if self.quota.rate == float("inf"):
+            self._tokens = float(self.quota.burst)
+        else:
+            self._tokens = min(
+                float(self.quota.burst),
+                self._tokens + (now - self._last) * self.quota.rate,
+            )
+        self._last = now
+
+    def try_take(self) -> bool:
+        self._refill(self._clock())
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_ms(self) -> int:
+        """Milliseconds until one token will be available (0 if now)."""
+        self._refill(self._clock())
+        if self._tokens >= 1.0 or self.quota.rate == float("inf"):
+            return 0
+        deficit = 1.0 - self._tokens
+        return max(1, int(deficit / self.quota.rate * 1000.0))
+
+
+class FairQueue:
+    """Deficit-round-robin queue over per-tenant subqueues.
+
+    ``push`` appends to the tenant's FIFO; ``pop`` serves tenants in a
+    cycling order, granting each backlogged tenant ``weight`` consecutive
+    pops per round before moving on.  With equal weights and N backlogged
+    tenants every tenant receives exactly 1/N of the service rate
+    regardless of offered-load skew.
+
+    The queue records, per tenant, how many items were dequeued and the
+    global dequeue position of the most recent one — the raw material for
+    starvation proofs (a tenant whose last item left the queue at position
+    p was fully served after p total dequeues).
+    """
+
+    def __init__(self, weight_of: Optional[Callable[[str], int]] = None) -> None:
+        self._weight_of = weight_of or (lambda tenant: 1)
+        self._queues: dict[str, deque] = {}
+        self._ring: deque[str] = deque()
+        self._quantum_left: dict[str, int] = {}
+        self._dequeues = 0
+        self.dequeued: dict[str, int] = {}
+        self.last_position: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, tenant: str) -> int:
+        queue = self._queues.get(tenant)
+        return len(queue) if queue is not None else 0
+
+    def push(self, tenant: str, item: Any) -> None:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+        if not queue and tenant not in self._ring:
+            self._ring.append(tenant)
+            self._quantum_left[tenant] = self._weight_of(tenant)
+        elif not queue:
+            # tenant is mid-ring with an empty queue (quantum carryover)
+            self._quantum_left.setdefault(tenant, self._weight_of(tenant))
+        queue.append(item)
+
+    def pop(self) -> Optional[tuple[str, Any]]:
+        """The next ``(tenant, item)`` under DRR, or ``None`` when empty."""
+        while self._ring:
+            tenant = self._ring[0]
+            queue = self._queues.get(tenant)
+            if not queue:
+                # drained mid-round: drop from the ring until it pushes again
+                self._ring.popleft()
+                self._quantum_left.pop(tenant, None)
+                continue
+            left = self._quantum_left.get(tenant, 0)
+            if left <= 0:
+                # quantum spent: rotate to the back with a fresh allowance
+                self._ring.rotate(-1)
+                self._quantum_left[tenant] = self._weight_of(tenant)
+                continue
+            item = queue.popleft()
+            self._quantum_left[tenant] = left - 1
+            self._dequeues += 1
+            self.dequeued[tenant] = self.dequeued.get(tenant, 0) + 1
+            self.last_position[tenant] = self._dequeues
+            if not queue:
+                self._ring.popleft()
+                self._quantum_left.pop(tenant, None)
+            return tenant, item
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "depth": len(self),
+            "dequeues": self._dequeues,
+            "dequeued": dict(sorted(self.dequeued.items())),
+            "last_position": dict(sorted(self.last_position.items())),
+        }
+
+
+class AdmissionController:
+    """The three admission gates plus in-flight accounting.
+
+    One instance per gateway.  :meth:`admit` answers ``None`` (admitted)
+    or a rejection reason string; the caller is responsible for calling
+    :meth:`release` exactly once per admitted request when its response
+    has been written (or dropped).
+    """
+
+    def __init__(
+        self,
+        default_quota: Optional[TenantQuota] = None,
+        tenant_quotas: Optional[dict[str, TenantQuota]] = None,
+        max_inflight: int = 1024,
+        max_queue: int = 1024,
+        metrics: Optional[ServiceMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.default_quota = default_quota or TenantQuota()
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._queued: dict[str, int] = {}
+
+    # ------------------------------------------------------------- #
+    # configuration
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.tenant_quotas.get(tenant, self.default_quota)
+
+    def weight_of(self, tenant: str) -> int:
+        return self.quota_for(tenant).weight
+
+    def bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.quota_for(tenant), self._clock
+            )
+        return bucket
+
+    # ------------------------------------------------------------- #
+    # gates
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def queued(self, tenant: str) -> int:
+        return self._queued.get(tenant, 0)
+
+    def admit(self, tenant: str) -> Optional[str]:
+        """Try to admit one request; ``None`` on success, else the
+        rejection reason.  Admission takes a token, claims a queue slot,
+        and bumps the in-flight gauge."""
+        if self._inflight >= self.max_inflight:
+            self._reject(tenant, REJECT_INFLIGHT)
+            return REJECT_INFLIGHT
+        if self._queued.get(tenant, 0) >= self.max_queue:
+            self._reject(tenant, REJECT_QUEUE_FULL)
+            return REJECT_QUEUE_FULL
+        if not self.bucket_for(tenant).try_take():
+            self._reject(tenant, REJECT_TENANT_QUOTA)
+            return REJECT_TENANT_QUOTA
+        self._inflight += 1
+        self._queued[tenant] = self._queued.get(tenant, 0) + 1
+        self.metrics.tenant_count(tenant, "admitted")
+        self.metrics.count("gateway_admitted")
+        self.metrics.gauge_set("gateway.inflight", self._inflight)
+        self.metrics.gauge_set(f"gateway.queued.{tenant}", self._queued[tenant])
+        return None
+
+    def dequeued(self, tenant: str) -> None:
+        """A request left its wait queue for a shard (still in flight)."""
+        self._queued[tenant] = max(0, self._queued.get(tenant, 0) - 1)
+        self.metrics.tenant_count(tenant, "dequeued")
+        self.metrics.gauge_set(f"gateway.queued.{tenant}", self._queued[tenant])
+
+    def release(self, tenant: str) -> None:
+        """An admitted request finished (response written or dropped)."""
+        self._inflight = max(0, self._inflight - 1)
+        self.metrics.tenant_count(tenant, "completed")
+        self.metrics.gauge_set("gateway.inflight", self._inflight)
+
+    def retry_after_ms(self, tenant: str) -> int:
+        return self.bucket_for(tenant).retry_after_ms()
+
+    def _reject(self, tenant: str, reason: str) -> None:
+        self.metrics.tenant_count(tenant, f"rejected_{reason}")
+        self.metrics.count("gateway_rejected")
+        self.metrics.count(f"gateway_rejected_{reason}")
+
+
+def parse_quota_spec(spec: str) -> tuple[Optional[str], TenantQuota]:
+    """Parse one ``--tenant-quota`` CLI spec.
+
+    Forms: ``RATE``, ``RATE:BURST``, ``RATE:BURST:WEIGHT``, each optionally
+    prefixed ``tenant=`` to scope it to one tenant (no prefix sets the
+    default quota).  ``RATE`` is requests/second (float, ``inf`` allowed).
+    """
+    tenant: Optional[str] = None
+    body = spec
+    if "=" in spec:
+        tenant, body = spec.split("=", 1)
+        tenant = tenant.strip()
+        if not tenant:
+            raise ValueError(f"bad quota spec {spec!r}: empty tenant")
+    parts = body.split(":")
+    if not 1 <= len(parts) <= 3:
+        raise ValueError(f"bad quota spec {spec!r}: expected RATE[:BURST[:WEIGHT]]")
+    try:
+        rate = float(parts[0])
+        burst = int(parts[1]) if len(parts) > 1 else 1024
+        weight = int(parts[2]) if len(parts) > 2 else 1
+    except ValueError as exc:
+        raise ValueError(f"bad quota spec {spec!r}: {exc}") from exc
+    return tenant, TenantQuota(rate=rate, burst=burst, weight=weight)

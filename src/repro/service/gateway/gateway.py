@@ -1,0 +1,520 @@
+"""The asyncio gateway: many concurrent clients over the shard fleet.
+
+One :class:`GatewayServer` multiplexes any number of concurrent JSONL
+clients — AF_UNIX (:meth:`GatewayServer.start_unix`) and TCP
+(:meth:`GatewayServer.start_tcp`) speak the exact wire protocol of the
+sequential server; :mod:`repro.service.gateway.http` adds an HTTP/JSON
+facade on the same path — over a :class:`ShardFleet` of kernel worker
+processes sharded by schema fingerprint.
+
+Request path for a ``decide`` line::
+
+    read line → typed model validation → admission (quota / queue /
+    in-flight gates) → per-shard fair queue → DRR dispatcher →
+    shard worker (ContainmentServer) → response written back
+
+Differences from the sequential server, by design:
+
+* ``decide`` responses stream back *as they complete* — there is no
+  batch-flush buffering, so concurrent clients are never serialized
+  behind each other.  Clients match responses by ``id``.  Verdict
+  *payloads* are still bit-identical to the sequential server (same
+  scheduler/kernel stack in each shard), which E23 asserts.
+* ``flush`` waits for the connection's outstanding decisions (whose
+  verdicts have then already been written) and answers an ``ack``.
+* ``shutdown`` ends *that connection* (drain + ``bye``), not the whole
+  gateway — one tenant must not be able to stop the service for the
+  rest.  Stopping the gateway is the owner's call (:meth:`stop`, CLI
+  signal).
+* rejected requests answer a structured ``overloaded`` error immediately
+  and never occupy a shard slot.
+
+Framing robustness: lines arrive in arbitrary TCP segmentation; a
+connection that dies mid-line, overruns the line limit, or resets is
+counted under ``connections_dropped`` and never takes down the accept
+loop (the PR 5 fuzz contract, extended to the async path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.resilience import faults
+from repro.service.gateway.admission import AdmissionController, FairQueue, TenantQuota
+from repro.service.gateway.models import (
+    DecideModel,
+    ModelValidationError,
+    SchemaModel,
+)
+from repro.service.gateway.shards import ShardFleet, ShardUnavailable
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    encode_response,
+    error_response,
+    overloaded_response,
+)
+
+OUTCOME_ADMITTED = "admitted"
+OUTCOME_REJECTED = "rejected"
+OUTCOME_INVALID = "invalid"
+
+
+@dataclass
+class GatewayConfig:
+    """Tunables for one gateway instance (all bounded by default)."""
+
+    shards: int = 2
+    processes: bool = True
+    """Process workers (the real deployment shape) or in-process threads
+    (single-CPU test mode; same code path minus fork)."""
+    max_inflight: int = 2048
+    max_queue: int = 1024
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    tenant_quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    shard_pipeline: int = 4
+    """Envelopes kept in flight per shard socket: enough to hide the
+    round-trip, small enough that fairness is decided in the DRR queue,
+    not in the worker's FIFO."""
+    cache_dir: Union[None, str, Path] = None
+    use_cache: bool = False
+    workers: Union[int, str, None] = None
+    default_timeout_ms: Optional[int] = None
+    backend: Optional[str] = None
+    max_line_bytes: int = 1 << 20
+    max_respawns: int = 5
+
+
+class _Connection:
+    """Per-client state: write lock, outstanding decide tasks, stream."""
+
+    _ids = 0
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        _Connection._ids += 1
+        self.id = _Connection._ids
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.tasks: set[asyncio.Task] = set()
+        self.alive = True
+        self.dropped = False
+        self.seq = 0
+        """Per-connection request counter (stable default ids, like the
+        sequential server's per-stream :class:`StreamState`)."""
+
+
+class GatewayServer:
+    """The concurrent multi-tenant front-end over a shard fleet."""
+
+    def __init__(
+        self,
+        config: Optional[GatewayConfig] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.config = config if config is not None else GatewayConfig()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.admission = AdmissionController(
+            default_quota=self.config.default_quota,
+            tenant_quotas=self.config.tenant_quotas,
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            metrics=self.metrics,
+        )
+        self.fleet = ShardFleet(
+            self.config.shards,
+            processes=self.config.processes,
+            cache_dir=self.config.cache_dir,
+            use_cache=self.config.use_cache,
+            workers=self.config.workers,
+            default_timeout_ms=self.config.default_timeout_ms,
+            backend=self.config.backend,
+            metrics=self.metrics,
+            max_respawns=self.config.max_respawns,
+        )
+        self._queues = [
+            FairQueue(self.admission.weight_of) for _ in range(self.config.shards)
+        ]
+        self._queue_events = [asyncio.Event() for _ in range(self.config.shards)]
+        self._dispatchers: list[asyncio.Task] = []
+        self._servers: list[asyncio.base_events.Server] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._ref_keys: dict[str, str] = {}
+        self._started = False
+
+    # ------------------------------------------------------------- #
+    # lifecycle
+
+    async def start(self) -> None:
+        """Start the fleet and the per-shard dispatchers (no listeners yet
+        — add them with :meth:`start_unix` / :meth:`start_tcp` /
+        :meth:`start_http`)."""
+        await self.fleet.start()
+        self._dispatchers = [
+            asyncio.ensure_future(self._dispatch_loop(i))
+            for i in range(self.config.shards)
+        ]
+        self._started = True
+
+    async def stop(self) -> None:
+        self._started = False
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        self._servers = []
+        # connection handlers park on readline; cancel and await them so
+        # nothing is destroyed while pending
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._dispatchers = []
+        # queued-but-undispatched decisions must still resolve: their
+        # awaiting tasks would otherwise never finish
+        for queue in self._queues:
+            while True:
+                popped = queue.pop()
+                if popped is None:
+                    break
+                _tenant, (_line, future) = popped
+                if not future.done():
+                    future.set_exception(ShardUnavailable("gateway stopping"))
+        await self.fleet.stop()
+
+    async def start_unix(self, path: Union[str, Path]) -> asyncio.base_events.Server:
+        """Listen for JSONL clients on a local AF_UNIX socket."""
+        socket_path = Path(path)
+        if socket_path.exists():
+            try:
+                socket_path.unlink()
+            except FileNotFoundError:
+                pass
+        server = await asyncio.start_unix_server(
+            self._serve_jsonl, path=str(socket_path),
+            limit=self.config.max_line_bytes,
+        )
+        self._servers.append(server)
+        return server
+
+    async def start_tcp(self, host: str, port: int) -> asyncio.base_events.Server:
+        """Listen for JSONL clients on TCP ``host:port``."""
+        server = await asyncio.start_server(
+            self._serve_jsonl, host=host, port=port,
+            limit=self.config.max_line_bytes,
+        )
+        self._servers.append(server)
+        return server
+
+    async def start_http(self, host: str, port: int) -> asyncio.base_events.Server:
+        """Listen for HTTP/JSON clients on TCP ``host:port``."""
+        from repro.service.gateway.http import serve_http_connection
+
+        async def handler(reader, writer):
+            await serve_http_connection(self, reader, writer)
+
+        server = await asyncio.start_server(
+            handler, host=host, port=port, limit=self.config.max_line_bytes,
+        )
+        self._servers.append(server)
+        return server
+
+    # ------------------------------------------------------------- #
+    # JSONL transport
+
+    async def _serve_jsonl(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection; never raises into the accept loop."""
+        conn = _Connection(writer)
+        self.metrics.count("connections")
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # line longer than the limit: hostile or broken framing
+                    self.metrics.count("gateway_line_overflow")
+                    conn.dropped = True
+                    break
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    conn.dropped = True
+                    break
+                if not raw:
+                    break
+                if not raw.endswith(b"\n") and reader.at_eof():
+                    # mid-request disconnect: a torn partial line
+                    if raw.strip():
+                        conn.dropped = True
+                    break
+                stop = await self._handle_wire_line(raw, conn)
+                if stop:
+                    break
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            conn.dropped = True
+        except asyncio.CancelledError:
+            # gateway stop: close out quietly, not a client-caused drop
+            conn.alive = False
+        finally:
+            await asyncio.shield(self._finish_connection(conn))
+
+    async def _finish_connection(self, conn: _Connection) -> None:
+        # outstanding decisions still complete (and release admission);
+        # their writes fail silently once the client is gone
+        if conn.tasks:
+            await asyncio.gather(*conn.tasks, return_exceptions=True)
+        if conn.dropped:
+            self.metrics.count("connections_dropped")
+        conn.alive = False
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
+    async def _handle_wire_line(self, raw: bytes, conn: _Connection) -> bool:
+        """Process one framed line; returns True to close the connection."""
+        try:
+            line = raw.decode("utf-8").strip()
+        except UnicodeDecodeError:
+            self.metrics.count("errors")
+            await self._write(conn, [error_response(None, "bad encoding: not UTF-8")])
+            return False
+        if not line:
+            return False
+        conn.seq += 1
+        default_id = f"req-{conn.seq}"
+        self.metrics.count("requests")
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.metrics.count("errors")
+            await self._write(conn, [error_response(None, f"bad JSON: {exc}")])
+            return False
+        if not isinstance(data, dict):
+            self.metrics.count("errors")
+            await self._write(conn, [error_response(None, "request must be a JSON object")])
+            return False
+        rtype = data.get("type", "decide")
+        self.metrics.count(f"requests_{rtype}")
+        if rtype == "ping":
+            await self._write(conn, [{"type": "pong", "id": str(data.get("id", "ping"))}])
+            return False
+        if rtype == "stats":
+            await self._write(conn, [{
+                "type": "stats", "id": str(data.get("id", "stats")),
+                "stats": self.stats(),
+            }])
+            return False
+        if rtype == "flush":
+            await self._drain_connection(conn)
+            await self._write(conn, [{"type": "ack", "id": str(data.get("id", "flush"))}])
+            return False
+        if rtype == "shutdown":
+            await self._drain_connection(conn)
+            await self._write(conn, [{"type": "bye", "id": str(data.get("id", "shutdown"))}])
+            return True
+        if rtype == "schema":
+            try:
+                model = SchemaModel.from_wire(data, default_id=default_id)
+            except ModelValidationError as exc:
+                self.metrics.count("errors")
+                await self._write(conn, [error_response(data.get("id"), str(exc))])
+                return False
+            responses = await self.register_schema(model)
+            await self._write(conn, responses)
+            return False
+        if rtype == "decide":
+            try:
+                model = DecideModel.from_wire(data, default_id=default_id)
+            except ModelValidationError as exc:
+                self.metrics.count("errors")
+                self.metrics.count("gateway_invalid")
+                await self._write(conn, [error_response(data.get("id"), str(exc))])
+                return False
+            task = asyncio.ensure_future(self._decide_and_write(conn, model))
+            conn.tasks.add(task)
+            task.add_done_callback(conn.tasks.discard)
+            return False
+        self.metrics.count("errors")
+        await self._write(conn, [error_response(data.get("id"), f"unknown request type {rtype!r}")])
+        return False
+
+    async def _drain_connection(self, conn: _Connection) -> None:
+        while conn.tasks:
+            tasks = list(conn.tasks)
+            await asyncio.gather(*tasks, return_exceptions=True)
+            for task in tasks:
+                conn.tasks.discard(task)
+
+    async def _write(self, conn: _Connection, responses: list[dict]) -> None:
+        if not responses or not conn.alive:
+            return
+        payload = "".join(encode_response(r) + "\n" for r in responses).encode()
+        async with conn.write_lock:
+            if not conn.alive:
+                return
+            try:
+                conn.writer.write(payload)
+                await conn.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                conn.alive = False
+                conn.dropped = True
+
+    async def _decide_and_write(self, conn: _Connection, model: DecideModel) -> None:
+        _outcome, responses = await self.decide(model)
+        await self._write(conn, responses)
+
+    # ------------------------------------------------------------- #
+    # core request path (shared by JSONL and HTTP facades)
+
+    async def register_schema(self, model: SchemaModel) -> list[dict]:
+        """Broadcast a schema registration to every shard."""
+        self._ref_keys[model.ref] = self._schema_key(model.tbox)
+        try:
+            return await self.fleet.broadcast_schema(model.wire_line())
+        except ShardUnavailable as exc:
+            self.metrics.count("errors")
+            return [error_response(model.id, f"shard unavailable: {exc}")]
+
+    async def decide(self, model: DecideModel) -> tuple[str, list[dict]]:
+        """Admit, route, dispatch one decision; returns
+        ``(admission outcome, responses)``."""
+        start = time.perf_counter()
+        tenant = model.tenant
+        reason = self.admission.admit(tenant)
+        if reason is not None:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.metrics.observe_latency_ms(elapsed_ms, outcome=OUTCOME_REJECTED)
+            return OUTCOME_REJECTED, [overloaded_response(
+                model.id, reason, tenant=tenant,
+                retry_after_ms=self.admission.retry_after_ms(tenant) or None,
+            )]
+        shard_id = self._route(model)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queues[shard_id].push(tenant, (model.wire_line(), future))
+        self._queue_events[shard_id].set()
+        try:
+            responses = await future
+        finally:
+            self.admission.release(tenant)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.metrics.observe_latency_ms(elapsed_ms, outcome=OUTCOME_ADMITTED)
+        return OUTCOME_ADMITTED, responses
+
+    @staticmethod
+    def _schema_key(tbox: dict) -> str:
+        return hashlib.sha256(
+            json.dumps(tbox, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+
+    def _route(self, model: DecideModel) -> int:
+        """Shard index for a decision: schema fingerprint when there is a
+        schema (cache locality), query text otherwise (load spreading)."""
+        if model.schema_ref is not None:
+            key = self._ref_keys.get(model.schema_ref)
+            if key is None:
+                # unknown ref: still deterministic — the shard will answer
+                # the structured "unknown schema_ref" error
+                key = f"ref:{model.schema_ref}"
+        elif model.schema is not None:
+            key = self._schema_key(model.schema)
+        else:
+            key = f"queries:{model.lhs}\x00{model.rhs}"
+        return self.fleet.shard_id_for(key)
+
+    # ------------------------------------------------------------- #
+    # dispatch
+
+    async def _dispatch_loop(self, shard_id: int) -> None:
+        """Drain shard ``shard_id``'s fair queue into its worker, keeping
+        at most ``shard_pipeline`` envelopes in flight."""
+        queue = self._queues[shard_id]
+        event = self._queue_events[shard_id]
+        semaphore = asyncio.Semaphore(self.config.shard_pipeline)
+        while True:
+            await event.wait()
+            # clear *before* draining: a push that lands mid-drain re-sets
+            # the event, so no item can be stranded behind a lost wakeup
+            event.clear()
+            while True:
+                popped = queue.pop()
+                if popped is None:
+                    break
+                tenant, (line, future) = popped
+                self.admission.dequeued(tenant)
+                self.metrics.gauge_set(
+                    f"gateway.fair_queue.{shard_id}", len(queue)
+                )
+                await semaphore.acquire()
+                task = asyncio.ensure_future(
+                    self._run_on_shard(shard_id, tenant, line, future)
+                )
+                task.add_done_callback(lambda _t: semaphore.release())
+
+    async def _run_on_shard(
+        self,
+        shard_id: int,
+        tenant: str,
+        line: str,
+        future: asyncio.Future,
+    ) -> None:
+        try:
+            faults.maybe_fault("gateway.dispatch")
+            responses = await self.fleet.submit(shard_id, line)
+        except faults.FaultInjected as exc:
+            self.metrics.count("errors")
+            responses = [error_response(None, f"gateway fault: {exc}")]
+        except ShardUnavailable as exc:
+            self.metrics.count("errors")
+            self.metrics.count("gateway_shard_unavailable")
+            responses = [error_response(None, f"shard unavailable: {exc}")]
+        except Exception as exc:  # the dispatch loop must never die
+            self.metrics.count("errors")
+            responses = [error_response(None, f"internal gateway error: {exc}")]
+        self.metrics.tenant_count(tenant, "responses")
+        if not future.done():
+            future.set_result(responses)
+
+    # ------------------------------------------------------------- #
+    # stats
+
+    def fair_dequeue_stats(self) -> dict:
+        """Per-shard DRR queue statistics (the E23 fairness evidence)."""
+        return {
+            str(shard_id): queue.stats()
+            for shard_id, queue in enumerate(self._queues)
+        }
+
+    def stats(self) -> dict:
+        payload = self.metrics.snapshot()
+        payload["gateway"] = {
+            "shards": self.config.shards,
+            "processes": self.config.processes,
+            "inflight": self.admission.inflight,
+            "fair_queues": self.fair_dequeue_stats(),
+            "schema_refs": len(self._ref_keys),
+        }
+        return payload
+
+    async def shard_stats(self) -> list[dict]:
+        """Deep per-shard snapshots (one stats envelope per worker)."""
+        return await self.fleet.stats()

@@ -1,0 +1,207 @@
+"""Typed request models for the gateway facades.
+
+The sequential wire protocol validates requests field-by-field inside
+:func:`repro.service.protocol.parse_request`; the gateway's two facades
+(JSONL and HTTP/JSON) instead go through small *typed models* in the style
+of the robosystems API models: each model names its fields, owns its
+validation (type checks, length caps, budget bounds), and normalizes into
+the canonical wire dict the shard workers consume.  Validation failures
+raise :class:`ModelValidationError` (a :class:`ProtocolError` subclass, so
+existing error plumbing applies) with a message naming the offending
+field.
+
+The caps exist because the gateway fronts untrusted concurrent clients: a
+50 kB query string or a year-long timeout must be rejected at the edge,
+before it occupies a shard queue slot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.service.protocol import (
+    DEFAULT_TENANT,
+    ProtocolError,
+    _TENANT_RE,
+    _METHODS,
+    _OPTION_FIELDS,
+    _validate_budgets,
+)
+
+MAX_QUERY_LENGTH = 16384
+"""Longest accepted query string (either side).  Far beyond any workload
+in the repo — the paper's examples are tens of characters — but small
+enough that a hostile client cannot park megabytes in a shard queue."""
+
+MAX_SCHEMA_CIS = 4096
+"""Most concept inclusions accepted in one inline/registered schema."""
+
+MAX_TIMEOUT_MS = 24 * 60 * 60 * 1000
+"""Largest accepted per-decision timeout (24h): effectively unbounded for
+real use while keeping the value arithmetic-safe."""
+
+MAX_PRIORITY = 1 << 16
+
+
+class ModelValidationError(ProtocolError):
+    """A typed-model field failed validation."""
+
+
+def _require_str(data: dict, name: str, *, max_len: int) -> str:
+    value = data.get(name)
+    if not isinstance(value, str) or not value.strip():
+        raise ModelValidationError(f"field {name!r} must be a non-empty string")
+    if len(value) > max_len:
+        raise ModelValidationError(
+            f"field {name!r} exceeds {max_len} characters ({len(value)})"
+        )
+    return value
+
+
+def _validate_tenant(value: Any) -> str:
+    if value is None:
+        return DEFAULT_TENANT
+    if not isinstance(value, str) or not _TENANT_RE.match(value):
+        raise ModelValidationError(
+            "field 'tenant' must be 1-64 characters of [A-Za-z0-9._-]"
+        )
+    return value
+
+
+@dataclass
+class DecideModel:
+    """One validated containment-decision request."""
+
+    id: str
+    lhs: str
+    rhs: str
+    tenant: str = DEFAULT_TENANT
+    schema: Optional[dict] = None
+    schema_ref: Optional[str] = None
+    method: str = "auto"
+    priority: int = 0
+    options: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_wire(cls, data: dict, default_id: str = "http-1") -> "DecideModel":
+        if not isinstance(data, dict):
+            raise ModelValidationError("decide payload must be a JSON object")
+        lhs = _require_str(data, "lhs", max_len=MAX_QUERY_LENGTH)
+        rhs = _require_str(data, "rhs", max_len=MAX_QUERY_LENGTH)
+        tenant = _validate_tenant(data.get("tenant"))
+        schema = data.get("schema")
+        if schema is not None:
+            if not isinstance(schema, dict):
+                raise ModelValidationError("field 'schema' must be an object or null")
+            cis = schema.get("cis")
+            if isinstance(cis, list) and len(cis) > MAX_SCHEMA_CIS:
+                raise ModelValidationError(
+                    f"field 'schema' exceeds {MAX_SCHEMA_CIS} concept inclusions"
+                )
+        schema_ref = data.get("schema_ref")
+        if schema_ref is not None and not isinstance(schema_ref, str):
+            raise ModelValidationError("field 'schema_ref' must be a string")
+        if schema is not None and schema_ref is not None:
+            raise ModelValidationError(
+                "give either an inline schema or a schema_ref"
+            )
+        method = data.get("method", "auto")
+        if method not in _METHODS:
+            raise ModelValidationError(f"unknown method {method!r}")
+        priority = data.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ModelValidationError("field 'priority' must be an integer")
+        if abs(priority) > MAX_PRIORITY:
+            raise ModelValidationError(
+                f"field 'priority' must be within ±{MAX_PRIORITY}"
+            )
+        options = data.get("options") or {}
+        if not isinstance(options, dict):
+            raise ModelValidationError("field 'options' must be an object")
+        unknown = sorted(set(options) - set(_OPTION_FIELDS))
+        if unknown:
+            raise ModelValidationError(f"unknown options: {', '.join(unknown)}")
+        try:
+            _validate_budgets(options)
+        except ProtocolError as exc:
+            raise ModelValidationError(str(exc)) from exc
+        timeout_ms = options.get("timeout_ms")
+        if timeout_ms is not None and timeout_ms > MAX_TIMEOUT_MS:
+            raise ModelValidationError(
+                f"option 'timeout_ms' exceeds the {MAX_TIMEOUT_MS} ms cap"
+            )
+        return cls(
+            id=str(data.get("id", default_id)),
+            lhs=lhs,
+            rhs=rhs,
+            tenant=tenant,
+            schema=schema,
+            schema_ref=schema_ref,
+            method=method,
+            priority=priority,
+            options=dict(options),
+        )
+
+    def to_wire(self) -> dict:
+        payload: dict[str, Any] = {
+            "type": "decide",
+            "id": self.id,
+            "lhs": self.lhs,
+            "rhs": self.rhs,
+            "tenant": self.tenant,
+            "method": self.method,
+            "priority": self.priority,
+            "options": self.options,
+        }
+        if self.schema is not None:
+            payload["schema"] = self.schema
+        if self.schema_ref is not None:
+            payload["schema_ref"] = self.schema_ref
+        return payload
+
+    def wire_line(self) -> str:
+        return json.dumps(self.to_wire(), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class SchemaModel:
+    """One validated schema registration."""
+
+    id: str
+    ref: str
+    tbox: dict
+    tenant: str = DEFAULT_TENANT
+
+    @classmethod
+    def from_wire(cls, data: dict, default_id: str = "http-1") -> "SchemaModel":
+        if not isinstance(data, dict):
+            raise ModelValidationError("schema payload must be a JSON object")
+        ref = _require_str(data, "ref", max_len=256)
+        tbox = data.get("tbox")
+        if not isinstance(tbox, dict):
+            raise ModelValidationError("field 'tbox' must be an object")
+        cis = tbox.get("cis")
+        if isinstance(cis, list) and len(cis) > MAX_SCHEMA_CIS:
+            raise ModelValidationError(
+                f"field 'tbox' exceeds {MAX_SCHEMA_CIS} concept inclusions"
+            )
+        return cls(
+            id=str(data.get("id", default_id)),
+            ref=ref,
+            tbox=tbox,
+            tenant=_validate_tenant(data.get("tenant")),
+        )
+
+    def to_wire(self) -> dict:
+        return {
+            "type": "schema",
+            "id": self.id,
+            "ref": self.ref,
+            "tbox": self.tbox,
+            "tenant": self.tenant,
+        }
+
+    def wire_line(self) -> str:
+        return json.dumps(self.to_wire(), sort_keys=True, separators=(",", ":"))

@@ -8,6 +8,11 @@ One JSON object per line, in both directions.  Requests:
     "schema_ref": "s1", "method": "auto", "priority": 0,
     "options": {"workers": 1, "incremental": null, ...}}``
 
+    Any request may carry an optional ``"tenant": "t1"`` label ([A-Za-z0-9._-],
+    ≤64 chars; default ``"default"``).  The sequential server records and
+    ignores it; the concurrent gateway keys admission quotas and fair
+    dequeue on it.
+
     Queries use the text syntax (:func:`repro.queries.parser.parse_query`);
     the schema is either inline (the :func:`repro.io.tbox_to_dict` shape)
     or a ``schema_ref`` naming a previously registered schema.  ``priority``
@@ -37,6 +42,7 @@ and ``bye``.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
@@ -44,6 +50,12 @@ from repro.core.containment import ContainmentOptions
 from repro.kernel.vec import BACKENDS
 
 WIRE_VERSION = 1
+
+DEFAULT_TENANT = "default"
+"""Tenant assigned to requests that don't name one.  The sequential server
+ignores tenancy entirely; the gateway keys quotas and fair queues on it."""
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 REQUEST_TYPES = ("decide", "schema", "stats", "ping", "flush", "shutdown")
 
@@ -71,6 +83,7 @@ class Request:
     options: dict = field(default_factory=dict)
     tbox: Optional[dict] = None
     ref: Optional[str] = None
+    tenant: str = DEFAULT_TENANT
 
 
 _OPTION_FIELDS = (
@@ -106,10 +119,16 @@ def parse_request(line: str, seq: int) -> Request:
     rtype = data.get("type", "decide")
     if rtype not in REQUEST_TYPES:
         raise ProtocolError(f"unknown request type {rtype!r}")
+    tenant = data.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise ProtocolError(
+            "tenant must be 1-64 characters of [A-Za-z0-9._-]"
+        )
     request = Request(
         type=rtype,
         seq=seq,
         id=str(data.get("id", f"req-{seq}")),
+        tenant=tenant,
     )
     if rtype == "decide":
         for side in ("lhs", "rhs"):
@@ -214,4 +233,32 @@ def error_response(request_id: Optional[str], message: str) -> dict:
     payload: dict[str, Any] = {"type": "error", "error": message}
     if request_id is not None:
         payload["id"] = request_id
+    return payload
+
+
+def overloaded_response(
+    request_id: Optional[str],
+    reason: str,
+    tenant: Optional[str] = None,
+    retry_after_ms: Optional[int] = None,
+) -> dict:
+    """A structured admission rejection.
+
+    ``code`` is always ``"overloaded"`` so clients can branch without
+    string-matching the message; ``reason`` names the exhausted bound
+    (``tenant_quota`` / ``queue_full`` / ``inflight_limit``) and
+    ``retry_after_ms``, when present, is the token-bucket refill estimate.
+    """
+    payload: dict[str, Any] = {
+        "type": "error",
+        "code": "overloaded",
+        "reason": reason,
+        "error": f"overloaded: {reason}",
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    if tenant is not None:
+        payload["tenant"] = tenant
+    if retry_after_ms is not None:
+        payload["retry_after_ms"] = int(retry_after_ms)
     return payload

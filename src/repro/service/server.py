@@ -44,6 +44,23 @@ from repro.service.scheduler import DecisionScheduler
 from repro.service.sessions import SessionManager
 
 
+class StreamState:
+    """Per-connection request numbering.
+
+    One instance per stream/connection; ``seq`` feeds default request ids
+    and intra-stream emission order.  Kept deliberately tiny — the gateway
+    allocates one per shard feed and one per client connection."""
+
+    __slots__ = ("seq",)
+
+    def __init__(self) -> None:
+        self.seq = 0
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+
 class ContainmentServer:
     """One scheduler + session table + cache behind a wire transport."""
 
@@ -71,24 +88,38 @@ class ContainmentServer:
         self.metrics = self.scheduler.metrics
         self.sessions = self.scheduler.sessions
         self.pool_reuse = pool_reuse
-        self._seq = 0
+        self._default_stream = StreamState()
 
     # ------------------------------------------------------------- #
     # request handling (transport-independent)
 
-    def handle_line(self, line: str) -> tuple[list[dict], bool]:
-        """Process one request line.
+    def new_stream(self) -> "StreamState":
+        """A fresh per-connection request counter.
+
+        Each stream (pipe conversation, socket connection, gateway shard
+        feed) numbers its requests independently, so two concurrent clients
+        get stable default ids (``req-1``, ``req-2``, ...) and deterministic
+        intra-stream emission order without sharing a mutable counter."""
+        return StreamState()
+
+    def handle_line(
+        self, line: str, stream: Optional["StreamState"] = None
+    ) -> tuple[list[dict], bool]:
+        """Process one request line under ``stream``'s sequence counter
+        (a server-level default stream when none is given — the historical
+        single-client behaviour).
 
         Returns ``(responses to emit now, stop serving?)``; decide requests
         buffer in the scheduler and emit nothing until a flush.
         """
+        state = stream if stream is not None else self._default_stream
         line = line.strip()
         if not line:
             return [], False
-        self._seq += 1
+        seq = state.next_seq()
         self.metrics.count("requests")
         try:
-            request = parse_request(line, self._seq)
+            request = parse_request(line, seq)
         except ProtocolError as exc:
             self.metrics.count("errors")
             return [error_response(None, str(exc))], False
@@ -137,6 +168,7 @@ class ContainmentServer:
     def _run_stream(self, lines: Iterable[str], out_stream: IO[str]) -> bool:
         """Drive the loop over ``lines``; returns True on explicit shutdown.
         End of input drains the scheduler (implicit flush)."""
+        stream = self.new_stream()
 
         def emit(responses: list[dict]) -> None:
             for response in responses:
@@ -145,7 +177,7 @@ class ContainmentServer:
 
         try:
             for line in lines:
-                responses, stop = self.handle_line(line)
+                responses, stop = self.handle_line(line, stream)
                 emit(responses)
                 if stop:
                     return True
@@ -183,7 +215,11 @@ class ContainmentServer:
 
         Only actual sockets are removed: binding over a regular file or a
         directory almost certainly means a mistyped path, and silently
-        deleting user data to grab it would be far worse than failing."""
+        deleting user data to grab it would be far worse than failing.
+
+        The lstat → unlink window races against any other server starting
+        on the same path: whoever unlinks second sees ``FileNotFoundError``,
+        which counts as success — the stale file is gone either way."""
         try:
             mode = socket_path.lstat().st_mode
         except FileNotFoundError:
@@ -192,7 +228,10 @@ class ContainmentServer:
             raise OSError(
                 f"refusing to remove {socket_path}: exists and is not a socket"
             )
-        socket_path.unlink()
+        try:
+            socket_path.unlink()
+        except FileNotFoundError:
+            return
         self.metrics.count("stale_socket_removed")
 
     def serve_socket(self, path: Union[str, Path]) -> None:

@@ -13,6 +13,7 @@ Linux CI this repo targets.
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 
@@ -38,6 +39,17 @@ def pytest_addoption(parser):
             "per-test wall-clock cap in seconds (SIGALRM fallback)",
             default=str(TEST_TIMEOUT_S),
         )
+
+
+def pytest_collection_modifyitems(config, items):
+    # REPRO_FAST=1: a quick tier for laptops/pre-commit — multi-process
+    # gateway tests (fork + respawn churn) are the slow outliers
+    if os.environ.get("REPRO_FAST") != "1":
+        return
+    skip = pytest.mark.skip(reason="REPRO_FAST=1 skips multi-process gateway tests")
+    for item in items:
+        if "gateway_mp" in item.keywords:
+            item.add_marker(skip)
 
 
 def _alarm_usable() -> bool:

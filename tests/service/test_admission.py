@@ -1,0 +1,237 @@
+"""Admission control units: token buckets, DRR fair queue, the gates."""
+
+import pytest
+
+from repro.service.gateway.admission import (
+    REJECT_INFLIGHT,
+    REJECT_QUEUE_FULL,
+    REJECT_TENANT_QUOTA,
+    AdmissionController,
+    FairQueue,
+    TenantQuota,
+    TokenBucket,
+    parse_quota_spec,
+)
+from repro.service.metrics import ServiceMetrics
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTenantQuota:
+    def test_defaults_are_unlimited_rate(self):
+        quota = TenantQuota()
+        assert quota.rate == float("inf")
+        assert quota.burst == 1024
+        assert quota.weight == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0}, {"rate": -1.0}, {"burst": 0}, {"weight": 0},
+    ])
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(TenantQuota(rate=1.0, burst=3), clock)
+        assert [bucket.try_take() for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(TenantQuota(rate=2.0, burst=1), clock)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 2/s for half a second = 1 token
+        assert bucket.try_take()
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(TenantQuota(rate=100.0, burst=2), clock)
+        clock.advance(60.0)
+        assert [bucket.try_take() for _ in range(3)] == [True, True, False]
+
+    def test_retry_after_estimates_token_arrival(self):
+        clock = FakeClock()
+        bucket = TokenBucket(TenantQuota(rate=10.0, burst=1), clock)
+        assert bucket.retry_after_ms() == 0
+        bucket.try_take()
+        # one token at 10/s: ~100 ms away
+        assert 50 <= bucket.retry_after_ms() <= 100
+
+    def test_unlimited_rate_never_waits(self):
+        bucket = TokenBucket(TenantQuota(), FakeClock())
+        for _ in range(10_000):
+            assert bucket.try_take()
+        assert bucket.retry_after_ms() == 0
+
+
+class TestFairQueue:
+    def test_fifo_within_one_tenant(self):
+        queue = FairQueue()
+        for i in range(3):
+            queue.push("a", i)
+        assert [queue.pop()[1] for _ in range(3)] == [0, 1, 2]
+        assert queue.pop() is None
+
+    def test_round_robin_across_tenants(self):
+        queue = FairQueue()
+        for i in range(4):
+            queue.push("a", f"a{i}")
+        queue.push("b", "b0")
+        queue.push("c", "c0")
+        order = [queue.pop()[0] for _ in range(6)]
+        # b and c each get served before "a" drains its 4-deep backlog
+        assert order.index("b") < 4
+        assert order.index("c") < 4
+
+    def test_equal_weights_share_equally_under_skew(self):
+        queue = FairQueue()
+        for i in range(100):
+            queue.push("heavy", i)
+        for i in range(10):
+            queue.push("light", i)
+        served = []
+        for _ in range(20):
+            served.append(queue.pop()[0])
+        # in the first 20 dequeues light (10 queued) is fully served
+        assert served.count("light") == 10
+
+    def test_weights_scale_service_share(self):
+        weights = {"gold": 3, "bronze": 1}
+        queue = FairQueue(lambda tenant: weights[tenant])
+        for i in range(30):
+            queue.push("gold", i)
+            queue.push("bronze", i)
+        first8 = [queue.pop()[0] for _ in range(8)]
+        # 3:1 quanta → gold gets 6 of the first 8 slots
+        assert first8.count("gold") == 6
+        assert first8.count("bronze") == 2
+
+    def test_tracks_dequeue_positions(self):
+        queue = FairQueue()
+        queue.push("a", 1)
+        queue.push("b", 2)
+        while queue.pop() is not None:
+            pass
+        stats = queue.stats()
+        assert stats["dequeues"] == 2
+        assert stats["dequeued"] == {"a": 1, "b": 1}
+        assert set(stats["last_position"].values()) == {1, 2}
+
+    def test_len_and_depth(self):
+        queue = FairQueue()
+        queue.push("a", 1)
+        queue.push("a", 2)
+        queue.push("b", 3)
+        assert len(queue) == 3
+        assert queue.depth("a") == 2
+        assert queue.depth("missing") == 0
+
+    def test_tenant_returning_after_drain_is_served(self):
+        queue = FairQueue()
+        queue.push("a", 1)
+        assert queue.pop() == ("a", 1)
+        queue.push("a", 2)
+        assert queue.pop() == ("a", 2)
+
+
+class TestAdmissionController:
+    def _controller(self, **kwargs):
+        kwargs.setdefault("metrics", ServiceMetrics())
+        kwargs.setdefault("clock", FakeClock())
+        return AdmissionController(**kwargs)
+
+    def test_admits_until_inflight_cap(self):
+        ctrl = self._controller(max_inflight=2)
+        assert ctrl.admit("t") is None
+        assert ctrl.admit("t") is None
+        assert ctrl.admit("t") == REJECT_INFLIGHT
+        ctrl.release("t")
+        assert ctrl.admit("t") is None
+
+    def test_per_tenant_queue_bound(self):
+        ctrl = self._controller(max_inflight=100, max_queue=1)
+        assert ctrl.admit("a") is None
+        assert ctrl.admit("a") == REJECT_QUEUE_FULL
+        # another tenant still has its own queue budget
+        assert ctrl.admit("b") is None
+        ctrl.dequeued("a")
+        assert ctrl.admit("a") is None
+
+    def test_tenant_quota_gate(self):
+        clock = FakeClock()
+        ctrl = self._controller(
+            tenant_quotas={"limited": TenantQuota(rate=1.0, burst=1)},
+            clock=clock,
+        )
+        assert ctrl.admit("limited") is None
+        assert ctrl.admit("limited") == REJECT_TENANT_QUOTA
+        assert ctrl.retry_after_ms("limited") > 0
+        clock.advance(1.0)
+        assert ctrl.admit("limited") is None
+
+    def test_rejection_does_not_leak_inflight(self):
+        ctrl = self._controller(
+            max_inflight=10,
+            tenant_quotas={"t": TenantQuota(rate=1.0, burst=1)},
+        )
+        ctrl.admit("t")
+        ctrl.admit("t")  # quota-rejected
+        assert ctrl.inflight == 1
+
+    def test_metrics_counters(self):
+        metrics = ServiceMetrics()
+        ctrl = self._controller(metrics=metrics, max_inflight=1)
+        ctrl.admit("t")
+        ctrl.admit("t")
+        ctrl.dequeued("t")
+        ctrl.release("t")
+        assert metrics.counter("gateway_admitted") == 1
+        assert metrics.counter("gateway_rejected") == 1
+        assert metrics.counter(f"gateway_rejected_{REJECT_INFLIGHT}") == 1
+        assert metrics.tenant_counter("t", "admitted") == 1
+        assert metrics.tenant_counter("t", "completed") == 1
+        assert metrics.gauge("gateway.inflight") == 0
+        assert metrics.gauge_high_water("gateway.inflight") == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_inflight": 0}, {"max_queue": 0},
+    ])
+    def test_invalid_bounds_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            self._controller(**kwargs)
+
+
+class TestParseQuotaSpec:
+    def test_rate_only_sets_default(self):
+        tenant, quota = parse_quota_spec("50")
+        assert tenant is None
+        assert quota == TenantQuota(rate=50.0, burst=1024, weight=1)
+
+    def test_full_spec_with_tenant(self):
+        tenant, quota = parse_quota_spec("gold=100:50:4")
+        assert tenant == "gold"
+        assert quota == TenantQuota(rate=100.0, burst=50, weight=4)
+
+    def test_inf_rate(self):
+        _, quota = parse_quota_spec("inf:8")
+        assert quota.rate == float("inf")
+        assert quota.burst == 8
+
+    @pytest.mark.parametrize("spec", [
+        "", "=5", "a=b=c:x", "1:2:3:4", "gold=0", "gold=5:0",
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_quota_spec(spec)

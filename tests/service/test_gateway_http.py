@@ -1,0 +1,229 @@
+"""The HTTP/JSON facade: routes, status mapping, keep-alive, robustness."""
+
+import asyncio
+import json
+
+from repro.service.gateway import GatewayConfig, GatewayServer, TenantQuota
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def http_gateway(**overrides):
+    overrides.setdefault("shards", 2)
+    overrides.setdefault("processes", False)
+    gateway = GatewayServer(GatewayConfig(**overrides))
+    await gateway.start()
+    server = await gateway.start_http("127.0.0.1", 0)
+    return gateway, server.sockets[0].getsockname()[1]
+
+
+class HttpClient:
+    """A tiny raw HTTP/1.1 client (keep-alive aware) for the facade."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def request(self, method, path, body=None, headers=None):
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        lines = [f"{method} {path} HTTP/1.1", "Host: test"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if payload:
+            lines.append(f"Content-Length: {len(payload)}")
+        raw = ("\r\n".join(lines) + "\r\n\r\n").encode() + payload
+        self.writer.write(raw)
+        await self.writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self):
+        status_line = await asyncio.wait_for(self.reader.readline(), timeout=30)
+        assert status_line, "server closed before answering"
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = (await self.reader.readline()).strip()
+            if not line:
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = await self.reader.readexactly(int(headers["content-length"]))
+        return status, headers, json.loads(body)
+
+    def close(self):
+        self.writer.close()
+
+
+def test_decide_roundtrip_and_keep_alive():
+    async def scenario():
+        gateway, port = await http_gateway()
+        try:
+            client = await HttpClient.connect(port)
+            # two requests on one connection: keep-alive works
+            for rid in ("one", "two"):
+                status, headers, body = await client.request(
+                    "POST", "/v1/decide",
+                    {"id": rid, "lhs": "A(x)", "rhs": "A(x)"},
+                )
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                assert body["id"] == rid
+                assert body["verdict"]["contained"] is True
+            client.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())
+
+
+def test_tenant_header_and_quota_429():
+    async def scenario():
+        gateway, port = await http_gateway(
+            tenant_quotas={"metered": TenantQuota(rate=0.001, burst=1)},
+        )
+        try:
+            client = await HttpClient.connect(port)
+            status, _, _ = await client.request(
+                "POST", "/v1/decide",
+                {"lhs": "A(x)", "rhs": "A(x)"},
+                headers={"X-Repro-Tenant": "metered"},
+            )
+            assert status == 200
+            status, headers, body = await client.request(
+                "POST", "/v1/decide",
+                {"lhs": "A(x)", "rhs": "B(x)"},
+                headers={"X-Repro-Tenant": "metered"},
+            )
+            assert status == 429
+            assert body["code"] == "overloaded"
+            assert body["reason"] == "tenant_quota"
+            assert int(headers["retry-after"]) >= 1
+            client.close()
+            return gateway.metrics.tenant_counter("metered", "admitted")
+        finally:
+            await gateway.stop()
+
+    assert run(scenario()) == 1
+
+
+def test_schema_registration_then_ref():
+    async def scenario():
+        gateway, port = await http_gateway()
+        try:
+            client = await HttpClient.connect(port)
+            status, _, body = await client.request(
+                "POST", "/v1/schemas",
+                {"ref": "s1", "tbox": {"cis": [["A", "B"]]}},
+            )
+            assert status == 200
+            assert body["type"] == "ack"
+            status, _, body = await client.request(
+                "POST", "/v1/decide",
+                {"lhs": "A(x)", "rhs": "B(x)", "schema_ref": "s1"},
+            )
+            assert status == 200
+            assert body["verdict"]["contained"] is True
+            client.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())
+
+
+def test_validation_errors_are_400():
+    async def scenario():
+        gateway, port = await http_gateway()
+        try:
+            client = await HttpClient.connect(port)
+            status, _, body = await client.request(
+                "POST", "/v1/decide", {"lhs": "A(x)"}  # missing rhs
+            )
+            assert status == 400
+            assert "rhs" in body["error"]
+            client.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())
+
+
+def test_unknown_route_is_404_and_bad_method_405():
+    async def scenario():
+        gateway, port = await http_gateway()
+        try:
+            client = await HttpClient.connect(port)
+            status, _, _ = await client.request("GET", "/nope")
+            assert status == 404
+            status, _, _ = await client.request("GET", "/v1/decide")
+            assert status == 405
+            client.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())
+
+
+def test_stats_and_healthz():
+    async def scenario():
+        gateway, port = await http_gateway()
+        try:
+            client = await HttpClient.connect(port)
+            await client.request(
+                "POST", "/v1/decide", {"lhs": "A(x)", "rhs": "A(x)"}
+            )
+            status, _, health = await client.request("GET", "/v1/healthz")
+            assert status == 200
+            assert health == {"ok": True, "shards": 2}
+            status, _, stats = await client.request("GET", "/v1/stats")
+            assert status == 200
+            assert stats["gateway"]["shards"] == 2
+            status, _, deep = await client.request("GET", "/v1/stats?deep=1")
+            assert status == 200
+            assert len(deep["shard_snapshots"]) == 2
+            client.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())
+
+
+def test_malformed_http_answers_400_and_drop_is_counted():
+    async def scenario():
+        gateway, port = await http_gateway()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"NOT-AN-HTTP-REQUEST-LINE\r\n\r\n")
+            await writer.drain()
+            first = await asyncio.wait_for(reader.readline(), timeout=30)
+            assert b"400" in first
+            writer.close()
+
+            # a mid-headers disconnect is a drop, not a crash
+            _reader2, writer2 = await asyncio.open_connection("127.0.0.1", port)
+            writer2.write(b"POST /v1/decide HTTP/1.1\r\nContent-Le")
+            await writer2.drain()
+            writer2.close()
+            for _ in range(200):
+                if gateway.metrics.counter("connections_dropped"):
+                    break
+                await asyncio.sleep(0.01)
+            assert gateway.metrics.counter("connections_dropped") == 1
+
+            # facade still serves
+            client = await HttpClient.connect(port)
+            status, _, _ = await client.request("GET", "/v1/healthz")
+            assert status == 200
+            client.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())

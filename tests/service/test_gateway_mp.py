@@ -1,0 +1,171 @@
+"""Multi-process gateway: forked shard workers, crash recovery, faults.
+
+These run the real deployment shape (fork + socketpair per shard) and are
+marked ``gateway_mp`` so ``REPRO_FAST=1`` runners can skip the fork churn.
+"""
+
+import asyncio
+import json
+import os
+import signal
+
+import pytest
+
+from repro.resilience import faults
+from repro.service.gateway import GatewayConfig, GatewayServer
+
+pytestmark = pytest.mark.gateway_mp
+
+SCHEMA = {"cis": [["A", "B"]]}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def tcp_gateway(**overrides):
+    overrides.setdefault("shards", 2)
+    overrides.setdefault("processes", True)
+    gateway = GatewayServer(GatewayConfig(**overrides))
+    await gateway.start()
+    server = await gateway.start_tcp("127.0.0.1", 0)
+    return gateway, server.sockets[0].getsockname()[1]
+
+
+async def ask(reader, writer, obj):
+    writer.write((json.dumps(obj) + "\n").encode())
+    await writer.drain()
+    return json.loads(await asyncio.wait_for(reader.readline(), timeout=60))
+
+
+def test_process_shards_answer_and_isolate_state():
+    async def scenario():
+        gateway, port = await tcp_gateway()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            ack = await ask(reader, writer, {
+                "type": "schema", "ref": "s", "tbox": SCHEMA,
+            })
+            assert ack["type"] == "ack"
+            verdict = await ask(reader, writer, {
+                "type": "decide", "id": "d", "lhs": "A(x)", "rhs": "B(x)",
+                "schema_ref": "s",
+            })
+            assert verdict["verdict"]["contained"] is True
+            # workers are real processes, distinct from the parent
+            pids = {shard.worker.pid for shard in gateway.fleet.shards}
+            assert len(pids) == 2
+            assert os.getpid() not in pids
+            writer.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())
+
+
+def test_killed_worker_respawns_and_replays_schemas():
+    async def scenario():
+        gateway, port = await tcp_gateway()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await ask(reader, writer, {"type": "schema", "ref": "s", "tbox": SCHEMA})
+            before = await ask(reader, writer, {
+                "type": "decide", "id": "before", "lhs": "A(x)", "rhs": "B(x)",
+                "schema_ref": "s",
+            })
+            assert before["type"] == "verdict"
+
+            for shard in gateway.fleet.shards:
+                os.kill(shard.worker.pid, signal.SIGKILL)
+            # wait for both respawns
+            for _ in range(600):
+                if all(s.respawns == 1 and not s.dead for s in gateway.fleet.shards):
+                    break
+                await asyncio.sleep(0.01)
+            assert [s.respawns for s in gateway.fleet.shards] == [1, 1]
+
+            # schema_ref still resolves: the schema log was replayed into
+            # the fresh workers
+            after = await ask(reader, writer, {
+                "type": "decide", "id": "after", "lhs": "A(x)", "rhs": "B(x)",
+                "schema_ref": "s",
+            })
+            assert after["type"] == "verdict"
+            assert after["verdict"] == before["verdict"]
+            assert gateway.metrics.counter("gateway_shard_respawns") == 2
+            writer.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())
+
+
+def test_kill_during_inflight_request_still_answers():
+    async def scenario():
+        gateway, port = await tcp_gateway(shards=1)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await ask(reader, writer, {"type": "schema", "ref": "s", "tbox": SCHEMA})
+            pid = gateway.fleet.shards[0].worker.pid
+            writer.write((json.dumps({
+                "type": "decide", "id": "racing", "lhs": "A(x)", "rhs": "B(x)",
+                "schema_ref": "s",
+            }) + "\n").encode())
+            await writer.drain()
+            os.kill(pid, signal.SIGKILL)
+            # pending envelopes are resubmitted after the respawn, so the
+            # client still gets its answer (decisions are deterministic)
+            response = json.loads(await asyncio.wait_for(
+                reader.readline(), timeout=60))
+            assert response["id"] == "racing"
+            assert response["type"] == "verdict"
+            writer.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())
+
+
+def test_fault_site_kills_worker_and_fleet_recovers():
+    async def scenario():
+        gateway, port = await tcp_gateway(shards=1)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            response = await ask(reader, writer, {
+                "type": "decide", "id": "boom", "lhs": "A(x)", "rhs": "A(x)",
+            })
+            # the worker died mid-handle; the envelope was resubmitted to
+            # the respawned worker, which answers normally
+            assert response["type"] == "verdict"
+            assert gateway.fleet.shards[0].respawns == 1
+            writer.close()
+        finally:
+            await gateway.stop()
+
+    # install before start: forked workers inherit the plan
+    with faults.injected_faults("gateway.shard.handle:kill_worker:1"):
+        run(scenario())
+
+
+def test_respawn_cap_marks_shard_dead_with_structured_errors():
+    async def scenario():
+        gateway, port = await tcp_gateway(shards=1, max_respawns=0)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            os.kill(gateway.fleet.shards[0].worker.pid, signal.SIGKILL)
+            for _ in range(600):
+                if gateway.fleet.shards[0].dead:
+                    break
+                await asyncio.sleep(0.01)
+            assert gateway.fleet.shards[0].dead
+            response = await ask(reader, writer, {
+                "type": "decide", "id": "d", "lhs": "A(x)", "rhs": "A(x)",
+            })
+            assert response["type"] == "error"
+            assert "shard unavailable" in response["error"]
+            assert gateway.metrics.shard_counter(0, "dead") == 1
+            writer.close()
+        finally:
+            await gateway.stop()
+
+    run(scenario())

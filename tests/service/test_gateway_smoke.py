@@ -1,0 +1,36 @@
+"""Tier-1 smoke: the E23 gateway benchmark in ``--quick`` mode.
+
+Runs the real multi-process gateway (fork, admission, fairness, verdict
+bit-identity) end to end with one-tenth the full load.  Skipped on
+single-CPU runners — forked shard workers time-slicing one core make the
+smoke pointlessly slow — and under ``REPRO_FAST=1`` via the
+``gateway_mp`` marker.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.gateway_mp
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_bench_gateway_quick():
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("multi-process gateway smoke needs >= 2 CPUs")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "bench_gateway.py"),
+         "--quick"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"bench_gateway --quick failed\nstdout:\n{result.stdout}"
+        f"\nstderr:\n{result.stderr}"
+    )
+    assert "bit-identical to the sequential server" in result.stdout

@@ -142,6 +142,36 @@ class TestSocketMode:
         assert not path.exists()
 
 
+class TestStreamSequencing:
+    def test_default_ids_restart_per_stream(self):
+        """Each connection numbers its requests from 1 — the sequence is
+        per-stream state, not a server-wide counter leaking across
+        clients."""
+        server = _server()
+        for _round in range(2):
+            stream = server.new_stream()
+            responses, _stop = server.handle_line(
+                json.dumps({"type": "decide", "lhs": "A(x)", "rhs": "A(x)"}),
+                stream,
+            )
+            responses, _stop = server.handle_line(
+                json.dumps({"type": "flush"}), stream
+            )
+            # a fresh stream starts at req-1 even after another stream ran
+            assert [r["id"] for r in responses] == ["req-1"]
+
+    def test_interleaved_streams_do_not_share_sequence(self):
+        server = _server()
+        alpha, beta = server.new_stream(), server.new_stream()
+        line = json.dumps({"type": "ping"})
+        (pong_a1,), _ = server.handle_line(line, alpha)
+        (pong_b1,), _ = server.handle_line(line, beta)
+        (pong_a2,), _ = server.handle_line(line, alpha)
+        assert pong_a1["id"] == "req-1"
+        assert pong_b1["id"] == "req-1"
+        assert pong_a2["id"] == "req-2"
+
+
 class TestMetricsMath:
     def test_percentiles_nearest_rank(self):
         samples = [float(n) for n in range(1, 101)]

@@ -1,8 +1,12 @@
-"""Direct unit tests for service metrics: percentile edge cases + snapshot."""
+"""Direct unit tests for service metrics: percentile edge cases + snapshot
+consistency, including under concurrent writers (the gateway feeds one
+shared sink from many tasks and the fleet's reader threads)."""
+
+import threading
 
 import pytest
 
-from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.metrics import ServiceMetrics, latency_summary, percentile
 
 
 class TestPercentile:
@@ -38,6 +42,32 @@ class TestPercentile:
         with pytest.raises(ValueError, match="fraction"):
             percentile([1.0], fraction)
 
+    def test_boundary_fractions_are_exact_endpoints(self):
+        samples = list(range(1, 101))
+        # nearest-rank at the exact boundaries: no off-by-one at either end
+        assert percentile(samples, 0.0) == 1
+        assert percentile(samples, 0.01) == 1
+        assert percentile(samples, 0.99) == 99
+        assert percentile(samples, 1.0) == 100
+
+    def test_two_samples_split_at_half(self):
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile([1.0, 2.0], 0.50001) == 2.0
+
+
+class TestLatencySummary:
+    def test_summary_block_shape(self):
+        block = latency_summary([float(v) for v in range(1, 101)])
+        assert block == {
+            "count": 100, "p50": 50.0, "p90": 90.0, "p95": 95.0,
+            "p99": 99.0, "max": 100.0,
+        }
+
+    def test_empty_summary_is_zeros(self):
+        block = latency_summary([])
+        assert block["count"] == 0
+        assert block["p95"] == 0.0
+
 
 class TestSnapshot:
     def test_snapshot_includes_obs_section(self):
@@ -57,3 +87,125 @@ class TestSnapshot:
     def test_empty_metrics_snapshot_is_all_zeros(self):
         latency = ServiceMetrics().snapshot()["latency_ms"]
         assert latency == {"count": 0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_labeled_families_absent_until_fed(self):
+        snap = ServiceMetrics().snapshot()
+        # sequential-server snapshots keep their historical shape
+        for key in ("tenants", "shards", "gauges", "latency_ms_by_outcome"):
+            assert key not in snap
+
+    def test_labeled_families_appear_once_fed(self):
+        metrics = ServiceMetrics()
+        metrics.tenant_count("acme", "admitted")
+        metrics.shard_count(0, "dispatched", 3)
+        metrics.gauge_set("gateway.inflight", 7)
+        metrics.gauge_set("gateway.inflight", 2)
+        metrics.observe_latency_ms(1.5, outcome="admitted")
+        metrics.observe_latency_ms(0.1, outcome="rejected")
+        snap = metrics.snapshot()
+        assert snap["tenants"] == {"acme": {"admitted": 1}}
+        assert snap["shards"] == {"0": {"dispatched": 3}}
+        assert snap["gauges"]["gateway.inflight"] == {"value": 2, "high_water": 7}
+        assert snap["latency_ms_by_outcome"]["admitted"]["count"] == 1
+        assert snap["latency_ms_by_outcome"]["rejected"]["p95"] == 0.1
+
+    def test_gauge_add_tracks_high_water(self):
+        metrics = ServiceMetrics()
+        assert metrics.gauge_add("g", 5) == 5
+        assert metrics.gauge_add("g", -3) == 2
+        assert metrics.gauge("g") == 2
+        assert metrics.gauge_high_water("g") == 5
+
+
+class TestConcurrency:
+    """The gateway feeds one sink from the event loop plus fleet reader
+    threads — updates must never lose increments or tear a snapshot."""
+
+    THREADS = 8
+    ROUNDS = 500
+
+    def _hammer(self, work):
+        errors = []
+
+        def body(thread_id):
+            try:
+                for i in range(self.ROUNDS):
+                    work(thread_id, i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=body, args=(t,)) for t in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_concurrent_counts_are_exact(self):
+        metrics = ServiceMetrics()
+
+        def work(thread_id, i):
+            metrics.count("shared")
+            metrics.tenant_count(f"tenant{thread_id % 4}", "admitted")
+            metrics.shard_count(thread_id % 2, "dispatched")
+
+        self._hammer(work)
+        total = self.THREADS * self.ROUNDS
+        assert metrics.counter("shared") == total
+        tenant_sum = sum(
+            metrics.tenant_counter(f"tenant{t}", "admitted") for t in range(4)
+        )
+        assert tenant_sum == total
+        assert (
+            metrics.shard_counter(0, "dispatched")
+            + metrics.shard_counter(1, "dispatched")
+        ) == total
+
+    def test_concurrent_latency_and_queue_updates(self):
+        metrics = ServiceMetrics()
+
+        def work(thread_id, i):
+            metrics.observe_latency_ms(
+                float(i), outcome="admitted" if i % 2 else "rejected"
+            )
+            metrics.queue_changed(i)
+            metrics.gauge_add("inflight", 1)
+
+        self._hammer(work)
+        total = self.THREADS * self.ROUNDS
+        snap = metrics.snapshot()
+        assert snap["latency_ms"]["count"] == total
+        by_outcome = snap["latency_ms_by_outcome"]
+        assert by_outcome["admitted"]["count"] + by_outcome["rejected"]["count"] == total
+        assert snap["queue"]["high_water"] == self.ROUNDS - 1
+        assert metrics.gauge("inflight") == total
+
+    def test_snapshot_under_concurrent_writes_is_consistent(self):
+        metrics = ServiceMetrics()
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                metrics.count("w")
+                metrics.observe_latency_ms(float(i % 100), outcome="admitted")
+                metrics.tenant_count("t", "admitted")
+                i += 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                snap = metrics.snapshot()
+                # a torn snapshot would break JSON-ability or drop keys
+                assert snap["latency_ms"]["count"] >= 0
+                if "latency_ms_by_outcome" in snap:
+                    block = snap["latency_ms_by_outcome"]["admitted"]
+                    assert block["max"] >= block["p50"] >= 0.0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()

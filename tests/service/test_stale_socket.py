@@ -65,6 +65,66 @@ def test_regular_file_at_socket_path_is_refused(tmp_path):
     assert path.read_text() == "not a socket\n"
 
 
+def test_losing_the_unlink_race_is_success(tmp_path, monkeypatch):
+    """Another server unlinking between our lstat and unlink is fine.
+
+    Deterministic replay of the race: the rival's unlink is injected right
+    before ours, so ours raises ``FileNotFoundError`` — which must count as
+    success (the stale file is gone either way), not crash startup."""
+    from pathlib import Path
+
+    path = tmp_path / "contested.sock"
+    stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    stale.bind(str(path))
+    stale.close()
+
+    original_unlink = Path.unlink
+
+    def racing_unlink(self, *args, **kwargs):
+        original_unlink(self, *args, **kwargs)  # the rival wins the race
+        return original_unlink(self, *args, **kwargs)  # ours: file is gone
+
+    monkeypatch.setattr(Path, "unlink", racing_unlink)
+    server = _server()
+    server._remove_stale_socket(path)
+    monkeypatch.undo()
+
+    assert not path.exists()
+    # losing the race is not a reclaim: the counter stays untouched
+    assert server.metrics.counter("stale_socket_removed") == 0
+
+
+def test_two_servers_reclaiming_the_same_stale_socket(tmp_path):
+    """Two servers starting on the same path: neither may crash on the
+    lstat → unlink window, whatever the interleaving."""
+    path = tmp_path / "contested.sock"
+    servers = [_server(), _server()]
+    for _ in range(25):
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(str(path))
+        stale.close()
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def reclaim(server):
+            barrier.wait()
+            try:
+                server._remove_stale_socket(path)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reclaim, args=(server,))
+            for server in servers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert not path.exists()
+
+
 def test_missing_socket_path_is_fine(tmp_path):
     path = tmp_path / "fresh.sock"
     server = _server()
