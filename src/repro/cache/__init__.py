@@ -1,0 +1,12 @@
+"""Cross-decision caching layers above the kernel.
+
+The exact-identity layers live elsewhere (the in-process decision memo in
+:mod:`repro.core.containment`, the persistent journal in
+:mod:`repro.service.cache`); this package holds the *semantic* layer — the
+containment lattice of :mod:`repro.cache.semantic` that answers new
+requests by inference over already-decided ones.
+"""
+
+from repro.cache.semantic import SemanticHit, SemanticLattice, syntactic_subset
+
+__all__ = ["SemanticHit", "SemanticLattice", "syntactic_subset"]

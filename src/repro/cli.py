@@ -13,6 +13,8 @@ batch     run a JSONL request file through the containment service
     python -m repro batch requests.jsonl -o verdicts.jsonl
 serve     long-running containment service (JSONL on stdin/stdout or a socket)
     python -m repro serve --socket /tmp/repro.sock
+cache     inspect or clear the persistent decision journals
+    python -m repro cache stats
 
 ``batch`` and ``serve`` speak the ``repro.service`` wire format (see
 ``repro/service/protocol.py``): schema sessions, request dedup, and a
@@ -205,6 +207,7 @@ def _build_server(args: argparse.Namespace):
         workers=args.workers,
         default_timeout_ms=args.timeout_ms,
         backend=args.backend,
+        semantic_cache=args.semantic_cache != "off",
     )
 
 
@@ -225,6 +228,61 @@ def cmd_batch(args: argparse.Namespace) -> int:
             server.serve_pipe(in_stream, sys.stdout)
     _dump_metrics(server, args.metrics_json)
     return 1 if server.metrics.counter("errors") else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent journals (``repro cache ...``)."""
+    from repro.service.cache import (
+        JOURNAL_NAME,
+        SEMANTIC_JOURNAL_NAME,
+        DecisionCache,
+        default_cache_dir,
+    )
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    if args.cache_command == "clear":
+        # unlink without loading: a corrupt journal must still be clearable
+        removed = 0
+        for name in (JOURNAL_NAME, SEMANTIC_JOURNAL_NAME):
+            path = cache_dir / name
+            if path.exists():
+                path.unlink()
+                removed += 1
+                print(f"removed {path}")
+        if not removed:
+            print(f"nothing to clear under {cache_dir}")
+        return 0
+
+    cache = DecisionCache(cache_dir, auto_heal=False)
+    if args.cache_command == "stats":
+        payload = {
+            "cache_dir": str(cache_dir),
+            "fingerprint": cache.fingerprint,
+            "decisions": cache.stats(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    # ls: one line per entry, exact journal then semantic groups
+    limit = args.limit
+    shown = 0
+    for digest, verdict in cache.entries():
+        if limit is not None and shown >= limit:
+            print("...")
+            return 0
+        shown += 1
+        contained = verdict.get("contained")
+        method = verdict.get("method")
+        print(f"decision {digest[:16]} contained={contained} method={method}")
+    for group, count in sorted(cache.semantic_groups().items()):
+        if limit is not None and shown >= limit:
+            print("...")
+            return 0
+        shown += 1
+        print(f"semantic-group {group[:16]} premises={count}")
+    if not shown:
+        print(f"no cached entries under {cache_dir}")
+    return 0
 
 
 def _parse_host_port(spec: str) -> tuple[str, int]:
@@ -279,6 +337,7 @@ def _serve_gateway(args: argparse.Namespace) -> int:
         workers=args.workers,
         default_timeout_ms=args.timeout_ms,
         backend=args.backend,
+        semantic_cache=args.semantic_cache != "off",
     )
     if default_quota is not None:
         config.default_quota = default_quota
@@ -357,6 +416,13 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         "--backend", default=None, choices=["auto", "bitset", "vec"],
         help="default kernel backend for requests without their own "
         "options.backend; verdicts are bit-identical either way",
+    )
+    parser.add_argument(
+        "--semantic-cache", default="on", choices=["on", "off"],
+        dest="semantic_cache",
+        help="answer near-duplicate requests by inference over the "
+        "per-session containment lattice instead of a fresh search "
+        "(default: on; sound either way — semantic answers are proofs)",
     )
 
 
@@ -523,6 +589,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_flags(serve)
     serve.set_defaults(func=cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent decision journals"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry counts, fingerprints, and hit counters"),
+        ("ls", "list journal entries and semantic premise groups"),
+        ("clear", "remove both journals from the cache directory"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=help_text)
+        cache_cmd.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        if name == "ls":
+            cache_cmd.add_argument(
+                "--limit", default=None, type=int, metavar="N",
+                help="show at most N lines",
+            )
+        cache_cmd.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -78,6 +78,13 @@ class ContainmentOptions:
     Deliberately *excluded* from decision keys, caches, and journal
     identity — both backends produce bit-identical verdicts, countermodels,
     and counters by construction (asserted by E21/E22)."""
+    semantic_cache: bool = True
+    """Let the service answer this request from the per-session semantic
+    lattice (:mod:`repro.cache.semantic`) when a sound inference applies,
+    instead of running a search.  Consulted by the service scheduler only —
+    a plain :func:`is_contained` call ignores it.  Deliberately *excluded*
+    from decision keys, caches, and journal identity, like ``backend``:
+    the flag selects how an answer is obtained, never what it is."""
 
 
 _DECISION_MEMO = BoundedMemo(max_entries=2048, name="decision")
@@ -231,6 +238,20 @@ def _supported_combination(lhs: UCRPQ, rhs: UCRPQ, tbox: NormalizedTBox) -> bool
     return False
 
 
+def supported_combination(
+    lhs: Union[str, CRPQ, UCRPQ],
+    rhs: Union[str, CRPQ, UCRPQ],
+    tbox: Union[None, TBox, NormalizedTBox] = None,
+) -> bool:
+    """Public form of the fragment check: do the queries and schema fall
+    into combination C1, C2, or C3 of the paper?  ``None`` schema means no
+    constraints at all, which every method supports."""
+    normalized = _coerce_tbox(tbox)
+    if normalized is None:
+        return True
+    return _supported_combination(_coerce_query(lhs), _coerce_query(rhs), normalized)
+
+
 def _direct_task(payload) -> SearchOutcome:
     """Picklable per-expansion direct search for the process pool."""
     tbox, rhs, seed_graph, limits, disjunct = payload
@@ -334,6 +355,19 @@ def _decision_key(
         normalized.content_key() if normalized is not None else None,
         _options_key(options, pool),
     )
+
+
+def decision_key_parts(key: tuple) -> tuple:
+    """Split a :func:`decision_key` into ``(lhs_key, group_key)``.
+
+    The *group key* is the decision key with the left-hand-side slot
+    removed — ``(method, rhs_key, schema content key, options key)``.  All
+    decisions sharing a group differ only in P, which is exactly the
+    premise family the semantic lattice (:mod:`repro.cache.semantic`)
+    ranges over when inferring an answer for a new P against the same Q,
+    schema, and budgets."""
+    method, lhs_key, rhs_key, content, options = key
+    return lhs_key, (method, rhs_key, content, options)
 
 
 def decision_id(

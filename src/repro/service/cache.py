@@ -32,6 +32,19 @@ append, which starts with a separating newline rather than extending the
 partial line.  Append failures (disk full, permissions, injected faults)
 degrade the cache to memory-only for that entry instead of failing the
 decision.
+
+A second journal, ``semantic.jsonl``, persists the *semantic* layer (the
+per-session containment lattices of :mod:`repro.cache.semantic`): each
+entry records one decided premise — the left-hand query text plus its
+verdict — under a **group digest**, the hash of the decision key with the
+left-hand side removed (see
+:func:`repro.core.containment.decision_key_parts`).  On a warm restart
+the scheduler hydrates a group lazily the first time a request lands in
+it, re-parsing the stored query texts and re-verifying stored
+countermodels before first use.  The semantic journal shares the exact
+journal's contract end to end: the same code fingerprint, the same
+corrupt/stale tolerance and auto-compaction, the same torn-tail repair,
+and a fault site of its own (``cache.semantic.append``).
 """
 
 from __future__ import annotations
@@ -51,6 +64,8 @@ CACHE_EPOCH = 1
 """Bump to invalidate every persisted verdict after a semantic change."""
 
 JOURNAL_NAME = "decisions.jsonl"
+
+SEMANTIC_JOURNAL_NAME = "semantic.jsonl"
 
 
 def default_cache_dir() -> Path:
@@ -78,6 +93,16 @@ def decision_digest(key: tuple, code: Optional[str] = None) -> str:
     return hashlib.sha256(repr((code, key)).encode()).hexdigest()
 
 
+def semantic_group_digest(group_key: tuple, code: Optional[str] = None) -> str:
+    """The semantic-journal identity of a premise group.
+
+    ``group_key`` is the lhs-free decision key from
+    :func:`repro.core.containment.decision_key_parts`; the digest basis is
+    tagged so it can never collide with an exact decision digest."""
+    code = code if code is not None else code_fingerprint()
+    return hashlib.sha256(repr((code, "semantic-group", group_key)).encode()).hexdigest()
+
+
 class DecisionCache:
     """Append-only JSONL journal + in-memory index of decided verdicts."""
 
@@ -85,17 +110,28 @@ class DecisionCache:
         self,
         cache_dir: Union[None, str, Path] = None,
         metrics: Optional[ServiceMetrics] = None,
+        auto_heal: bool = True,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.journal_path = self.cache_dir / JOURNAL_NAME
+        self.semantic_path = self.cache_dir / SEMANTIC_JOURNAL_NAME
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._code = code_fingerprint()
         self._lock = threading.Lock()
         self._index: dict[str, dict] = {}
+        self._semantic: dict[str, dict[str, dict]] = {}
+        """group digest → (lhs query text → verdict dict)."""
+        self.auto_heal = auto_heal
+        """Compact a journal that had to skip lines on load.  Read-only
+        inspectors (``repro cache stats``/``ls``) pass ``False``."""
         self.corrupt_entries = 0
         self.stale_entries = 0
+        self.semantic_corrupt_entries = 0
+        self.semantic_stale_entries = 0
         self._torn_tail = False
+        self._semantic_torn_tail = False
         self._load()
+        self._load_semantic()
 
     def _load(self) -> None:
         if not self.journal_path.exists():
@@ -123,13 +159,76 @@ class DecisionCache:
         self.metrics.count("cache_corrupt_entries", self.corrupt_entries)
         self.metrics.count("cache_stale_entries", self.stale_entries)
         self.metrics.count("cache_loaded_entries", len(self._index))
-        if self.corrupt_entries or self.stale_entries:
+        if self.auto_heal and (self.corrupt_entries or self.stale_entries):
             # heal the journal; the skip counters above stay as the record
             # of what this load had to drop
             try:
                 self.compact()
             except OSError:
                 pass  # a read-only cache dir still works memory-backed
+
+    def _load_semantic(self) -> None:
+        if not self.semantic_path.exists():
+            return
+        text = self.semantic_path.read_text()
+        self._semantic_torn_tail = bool(text) and not text.endswith("\n")
+        loaded = 0
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                code = entry["code"]
+                group = entry["group"]
+                lhs_text = entry["lhs"]
+                verdict = entry["verdict"]
+                if not (
+                    isinstance(group, str)
+                    and isinstance(lhs_text, str)
+                    and isinstance(verdict, dict)
+                ):
+                    raise TypeError("malformed semantic entry")
+            except Exception:
+                self.semantic_corrupt_entries += 1
+                continue
+            if code != self._code:
+                self.semantic_stale_entries += 1
+                continue
+            bucket = self._semantic.setdefault(group, {})
+            if lhs_text not in bucket:
+                bucket[lhs_text] = verdict
+                loaded += 1
+        self.metrics.count("semcache_corrupt_entries", self.semantic_corrupt_entries)
+        self.metrics.count("semcache_stale_entries", self.semantic_stale_entries)
+        self.metrics.count("semcache_loaded_entries", loaded)
+        if self.auto_heal and (
+            self.semantic_corrupt_entries or self.semantic_stale_entries
+        ):
+            try:
+                self.compact_semantic()
+            except OSError:
+                pass
+
+    def compact_semantic(self) -> int:
+        """Atomically rewrite the semantic journal from the in-memory
+        groups; same crash contract as :meth:`compact`.  Returns the
+        number of entries kept."""
+        with self._lock:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.semantic_path.with_name(SEMANTIC_JOURNAL_NAME + ".tmp")
+            kept = 0
+            with tmp.open("w") as out:
+                for group, bucket in self._semantic.items():
+                    for lhs_text, verdict in bucket.items():
+                        out.write(self._semantic_line(group, lhs_text, verdict) + "\n")
+                        kept += 1
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(tmp, self.semantic_path)
+            self._semantic_torn_tail = False
+        self.metrics.count("semcache_compactions")
+        return kept
 
     def compact(self) -> int:
         """Atomically rewrite the journal from the in-memory index.
@@ -160,8 +259,20 @@ class DecisionCache:
             separators=(",", ":"),
         )
 
+    def _semantic_line(self, group: str, lhs_text: str, verdict: dict) -> str:
+        return json.dumps(
+            {"code": self._code, "group": group, "lhs": lhs_text, "verdict": verdict},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
     def __len__(self) -> int:
         return len(self._index)
+
+    @property
+    def fingerprint(self) -> str:
+        """The code fingerprint entries in both journals are bound to."""
+        return self._code
 
     def get(self, key: tuple) -> Optional[dict]:
         """The stored verdict dict for a decision key, if any."""
@@ -199,6 +310,58 @@ class DecisionCache:
                 return
         self.metrics.count("cache_writes")
 
+    def put_semantic(self, group_digest: str, lhs_text: str, verdict: dict) -> None:
+        """Index and journal one semantic premise (no-op for a duplicate
+        (group, lhs) pair).  A failed append degrades to memory-only, like
+        :meth:`put`."""
+        line = self._semantic_line(group_digest, lhs_text, verdict)
+        with self._lock:
+            bucket = self._semantic.setdefault(group_digest, {})
+            if lhs_text in bucket:
+                return
+            bucket[lhs_text] = verdict
+            try:
+                faults.maybe_fault("cache.semantic.append")
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                with self.semantic_path.open("a") as journal:
+                    if self._semantic_torn_tail:
+                        journal.write("\n")
+                        self._semantic_torn_tail = False
+                    journal.write(line + "\n")
+            except (OSError, FaultInjected):
+                self.metrics.count("semcache_write_failures")
+                return
+        self.metrics.count("semcache_writes")
+
+    def semantic_entries(self, group_digest: str) -> list[tuple[str, dict]]:
+        """The persisted ``(lhs text, verdict)`` premises of one group, in
+        journal order — the scheduler's lazy-hydration source."""
+        with self._lock:
+            bucket = self._semantic.get(group_digest)
+            return list(bucket.items()) if bucket else []
+
+    def semantic_groups(self) -> dict[str, int]:
+        """Group digest → persisted premise count (for inspection)."""
+        with self._lock:
+            return {group: len(bucket) for group, bucket in self._semantic.items()}
+
+    def entries(self) -> list[tuple[str, dict]]:
+        """The exact journal's ``(digest, verdict)`` pairs (for inspection)."""
+        with self._lock:
+            return list(self._index.items())
+
+    def semantic_stats(self) -> dict[str, int]:
+        with self._lock:
+            groups = len(self._semantic)
+            entries = sum(len(bucket) for bucket in self._semantic.values())
+        return {
+            "groups": groups,
+            "entries": entries,
+            "corrupt_entries": self.semantic_corrupt_entries,
+            "stale_entries": self.semantic_stale_entries,
+            "writes": self.metrics.counter("semcache_writes"),
+        }
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             entries = len(self._index)
@@ -209,4 +372,5 @@ class DecisionCache:
             "hits": self.metrics.counter("cache_hits"),
             "misses": self.metrics.counter("cache_misses"),
             "writes": self.metrics.counter("cache_writes"),
+            "semantic": self.semantic_stats(),
         }

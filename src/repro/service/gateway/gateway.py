@@ -86,6 +86,10 @@ class GatewayConfig:
     workers: Union[int, str, None] = None
     default_timeout_ms: Optional[int] = None
     backend: Optional[str] = None
+    semantic_cache: bool = True
+    """Enable the per-session semantic lattices on every shard worker
+    (:mod:`repro.cache.semantic`); requests can still opt out per-decision
+    via ``options.semantic_cache``."""
     max_line_bytes: int = 1 << 20
     max_respawns: int = 5
 
@@ -133,6 +137,7 @@ class GatewayServer:
             workers=self.config.workers,
             default_timeout_ms=self.config.default_timeout_ms,
             backend=self.config.backend,
+            semantic_cache=self.config.semantic_cache,
             metrics=self.metrics,
             max_respawns=self.config.max_respawns,
         )
@@ -491,6 +496,15 @@ class GatewayServer:
             self.metrics.count("errors")
             responses = [error_response(None, f"internal gateway error: {exc}")]
         self.metrics.tenant_count(tenant, "responses")
+        for response in responses:
+            # per-tenant verdict provenance: which cache layer answered
+            # (dedup / cache / semantic / computed) — the gateway-level
+            # visibility the semantic cache's warm-shard win shows up in
+            source = response.get("source")
+            if response.get("type") == "verdict" and isinstance(source, str):
+                self.metrics.tenant_count(tenant, f"verdicts_{source}")
+                if source == "semantic":
+                    self.metrics.tenant_count(tenant, "semcache_hits")
         if not future.done():
             future.set_result(responses)
 

@@ -101,6 +101,7 @@ def _shard_server(config: dict, shard_id: int):
         pool_reuse=config.get("pool_reuse", False),
         default_timeout_ms=config.get("default_timeout_ms"),
         backend=config.get("backend"),
+        semantic_cache=config.get("semantic_cache", True),
     )
 
 
@@ -425,6 +426,7 @@ class ShardFleet:
         pool_reuse: bool = False,
         default_timeout_ms: Optional[int] = None,
         backend: Optional[str] = None,
+        semantic_cache: bool = True,
         metrics: Optional[ServiceMetrics] = None,
         max_respawns: int = 5,
         respawn_backoff_s: float = 0.05,
@@ -443,6 +445,7 @@ class ShardFleet:
             "pool_reuse": pool_reuse,
             "default_timeout_ms": default_timeout_ms,
             "backend": backend,
+            "semantic_cache": semantic_cache,
             "processes": processes,
         }
         self.schema_log: list[str] = []

@@ -88,7 +88,7 @@ class Request:
 
 _OPTION_FIELDS = (
     "workers", "incremental", "max_word_length", "max_expansions",
-    "max_nodes", "max_steps", "timeout_ms", "backend",
+    "max_nodes", "max_steps", "timeout_ms", "backend", "semantic_cache",
 )
 
 _NON_NEGATIVE_INT_FIELDS = ("max_nodes", "max_steps", "timeout_ms")
@@ -106,6 +106,10 @@ def _validate_budgets(options: dict) -> None:
         raise ProtocolError(
             f"option 'backend' must be one of {', '.join(BACKENDS)}"
         )
+    if "semantic_cache" in options and not isinstance(
+        options["semantic_cache"], bool
+    ):
+        raise ProtocolError("option 'semantic_cache' must be a boolean")
 
 
 def parse_request(line: str, seq: int) -> Request:
@@ -195,6 +199,8 @@ def build_options(raw: dict) -> ContainmentOptions:
         options = replace(options, incremental=flag)
     if "backend" in raw:
         options = replace(options, backend=str(raw["backend"]))
+    if "semantic_cache" in raw:
+        options = replace(options, semantic_cache=bool(raw["semantic_cache"]))
     limits = options.limits
     if "max_nodes" in raw:
         limits = replace(limits, max_nodes=int(raw["max_nodes"]))

@@ -9,9 +9,19 @@ exactly once per server lifetime:
    (collapsed, zero work);
 2. **cache** — the persistent journal has it from a previous process
    (deserialized, no search runs);
-3. **computed** — dispatched through :func:`repro.core.containment.is_contained`,
+3. **semantic** — no exact hit, but the session's containment lattice
+   (:mod:`repro.cache.semantic`) *infers* the answer from already-decided
+   premises: transitivity through a cached certain True, or replay of a
+   cached countermodel against the new left-hand side.  Both rules are
+   proofs, so the verdict is certain — and it cost an evaluation, not a
+   search.  Semantic verdicts are never written back to the dedup memo or
+   the journal: they are derived facts, not fresh decisions, and a later
+   exact request should still record the search-produced verdict;
+4. **computed** — dispatched through :func:`repro.core.containment.is_contained`,
    which fans its per-candidate subproblems out over the shared
-   ``kernel.parallel`` pool when the request asks for workers.
+   ``kernel.parallel`` pool when the request asks for workers.  Computed
+   deterministic verdicts feed the lattice (and its on-disk journal) as
+   premises for future inference.
 
 Responses are *emitted* in arrival order regardless of execution order, so
 a batch's output is byte-deterministic and comparable line-by-line against
@@ -41,15 +51,22 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
-from repro.core.containment import ContainmentOptions, decision_key, is_contained
-from repro.io import verdict_to_dict
+from repro.core.containment import (
+    ContainmentOptions,
+    decision_key,
+    decision_key_parts,
+    is_contained,
+    supported_combination,
+)
+from repro.core.reduction import query_key
+from repro.io import FORMAT_VERSION, query_to_text, verdict_to_dict
 from repro.kernel.memo import BoundedMemo
 from repro.obs import span
 from repro.queries.parser import parse_query
 from repro.queries.ucrpq import UCRPQ
 from repro.resilience import FaultInjected, faults
 from repro.resilience.deadline import Deadline
-from repro.service.cache import DecisionCache
+from repro.service.cache import DecisionCache, semantic_group_digest
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     ProtocolError,
@@ -92,6 +109,7 @@ class DecisionScheduler:
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
         backend: Optional[str] = None,
+        semantic_cache: bool = True,
     ) -> None:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.sessions = sessions if sessions is not None else SessionManager(self.metrics)
@@ -105,6 +123,9 @@ class DecisionScheduler:
         ``options.backend``; never part of decision identity."""
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.semantic_cache = semantic_cache
+        """Server-level switch for the per-session semantic lattices; a
+        request can additionally opt out via ``options.semantic_cache``."""
         self._queue: list[_Item] = []
         self._results = BoundedMemo(max_entries=8192, name="service.results")
         """Lifetime verdict-dict memo keyed by decision key (dedup source)."""
@@ -227,6 +248,10 @@ class DecisionScheduler:
             if stored is not None:
                 self._results.put(item.key, stored)
                 return stored, "cache"
+        semantic = self._semantic_lookup(item)
+        if semantic is not None:
+            self.metrics.count("semantic_hits")
+            return semantic, "semantic"
         faults.maybe_fault("scheduler.dispatch")
         if item.session is not None:
             if item.session.decisions > 0:
@@ -253,4 +278,77 @@ class DecisionScheduler:
             self._results.put(item.key, verdict)
             if self.cache is not None:
                 self.cache.put(item.key, verdict)
+            self._semantic_insert(item, verdict)
         return verdict, "computed"
+
+    # ------------------------------------------------------------- #
+    # semantic layer
+
+    def _lattice_for(self, item: _Item):
+        """The lattice for this request, or ``None`` when the semantic
+        layer doesn't apply (disabled, opted out, or schema-less)."""
+        if not self.semantic_cache or item.session is None:
+            return None
+        if item.options is not None and not item.options.semantic_cache:
+            return None
+        return item.session.semantic_lattice()
+
+    def _semantic_lookup(self, item: _Item) -> Optional[dict]:
+        lattice = self._lattice_for(item)
+        if lattice is None:
+            return None
+        lhs_key, group_key = decision_key_parts(item.key)
+        self._semantic_hydrate(lattice, group_key)
+        hit = lattice.lookup(
+            group_key, item.lhs, lhs_key, rhs=item.rhs, tbox=item.session.tbox
+        )
+        if hit is None:
+            return None
+        # both rules are proofs, so the derived verdict is certain; the
+        # method names the rule so responses are auditable end to end
+        return {
+            "format": FORMAT_VERSION,
+            "contained": hit.contained,
+            "complete": True,
+            "method": f"semantic.{hit.kind}",
+            "seeds_tried": 0,
+            "supported_by_theory": supported_combination(
+                item.lhs, item.rhs, item.session.tbox
+            ),
+            "countermodel": hit.countermodel,
+        }
+
+    def _semantic_hydrate(self, lattice, group_key: tuple) -> None:
+        """Load a persisted premise group into the lattice on first touch.
+
+        Hydrated records are marked untrusted: the lattice re-verifies
+        their countermodels (T-model, avoids Q) before the first replay is
+        allowed to answer anything."""
+        if self.cache is None:
+            return
+        digest = semantic_group_digest(group_key, self.cache.fingerprint)
+        if not lattice.needs_hydration(digest):
+            return
+        lattice.mark_hydrated(digest)
+        for lhs_text, verdict in self.cache.semantic_entries(digest):
+            try:
+                premise = parse_query(lhs_text)
+            except Exception:
+                self.metrics.count("semantic_hydrate_errors")
+                continue
+            lattice.insert(
+                group_key, premise, query_key(premise), verdict, trusted=False
+            )
+
+    def _semantic_insert(self, item: _Item, verdict: dict) -> None:
+        """Feed a freshly computed deterministic verdict to the lattice as
+        a premise, and persist it to the semantic journal."""
+        lattice = self._lattice_for(item)
+        if lattice is None:
+            return
+        lhs_key, group_key = decision_key_parts(item.key)
+        if not lattice.insert(group_key, item.lhs, lhs_key, verdict):
+            return
+        if self.cache is not None:
+            digest = semantic_group_digest(group_key, self.cache.fingerprint)
+            self.cache.put_semantic(digest, query_to_text(item.lhs), verdict)

@@ -73,6 +73,7 @@ class ContainmentServer:
         pool_reuse: bool = True,
         default_timeout_ms: Optional[int] = None,
         backend: Optional[str] = None,
+        semantic_cache: bool = True,
     ) -> None:
         if scheduler is not None:
             self.scheduler = scheduler
@@ -84,6 +85,7 @@ class ContainmentServer:
                 cache, metrics, workers=workers,
                 default_timeout_ms=default_timeout_ms,
                 backend=backend,
+                semantic_cache=semantic_cache,
             )
         self.metrics = self.scheduler.metrics
         self.sessions = self.scheduler.sessions
@@ -160,6 +162,9 @@ class ContainmentServer:
         payload["pending"] = self.scheduler.pending()
         if self.scheduler.cache is not None:
             payload["cache"] = self.scheduler.cache.stats()
+        semantic = self.sessions.semantic_snapshot()
+        if semantic:
+            payload["semantic"] = semantic
         return payload
 
     # ------------------------------------------------------------- #

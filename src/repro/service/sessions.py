@@ -45,6 +45,18 @@ class SchemaSession:
     name: str = ""
     decisions: int = 0
     """Decide requests dispatched under this session (reuse = decisions - 1)."""
+    semantic: Optional[object] = None
+    """The session's containment lattice
+    (:class:`repro.cache.semantic.SemanticLattice`), built lazily by
+    :meth:`semantic_lattice` the first time the scheduler consults it."""
+
+    def semantic_lattice(self):
+        """The per-session semantic lattice, created on first use."""
+        if self.semantic is None:
+            from repro.cache.semantic import SemanticLattice
+
+            self.semantic = SemanticLattice()
+        return self.semantic
 
     def warm(self, backend: str = "auto") -> None:
         """Build the shared bitset-kernel compilation for the schema's full
@@ -167,6 +179,17 @@ class SessionManager:
                 "fragment": s.tbox.fragment(),
             }
             for s in sessions
+        ]
+
+    def semantic_snapshot(self) -> list[dict]:
+        """Per-session semantic-lattice stats (sessions with a live
+        lattice only)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [
+            {"name": s.name, **s.semantic.stats()}
+            for s in sessions
+            if s.semantic is not None
         ]
 
 

@@ -1,0 +1,128 @@
+"""Property: every countermodel the decision procedure emits replays.
+
+The semantic cache's rule (b) answers False for a new P by *evaluating*
+a stored countermodel M against P.  That inference is sound only if the
+procedure's countermodels are genuine witnesses: M satisfies the schema,
+M satisfies the left-hand side, M refutes the right-hand side — all
+checkable by the compiled matchers, no search involved.  Here we
+property-test exactly that contract over random query/schema pairs, and
+then the round trip: a countermodel pushed through the wire codec and
+into a lattice still answers its own P.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.semantic import SemanticLattice
+from repro.core.containment import (
+    decision_key,
+    decision_key_parts,
+    is_contained,
+)
+from repro.core.containment import ContainmentOptions
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.io import graph_from_dict, graph_to_dict
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_query
+
+LHS_QUERIES = [
+    "A(x)",
+    "A(x), r(x,y)",
+    "A(x), r(x,y), B(y)",
+    "r*(x,y), A(y)",
+    "A(x); B(x)",
+    "r(x,y), r(y,z)",
+]
+
+RHS_QUERIES = [
+    "B(x)",
+    "B(x), r(x,y)",
+    "r(x,y), C(y)",
+    "r*(x,y), B(y), C(y)",
+    "s(x,y)",
+]
+
+SCHEMAS = [
+    [],
+    [("A", "B")],
+    [("A", "B | C")],
+    [("A", "!C"), ("B", "C")],
+]
+
+
+class TestCountermodelsReplay:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.sampled_from(LHS_QUERIES),
+        st.sampled_from(RHS_QUERIES),
+        st.sampled_from(SCHEMAS),
+    )
+    def test_emitted_countermodel_is_a_genuine_witness(
+        self, lhs_text, rhs_text, cis
+    ):
+        tbox = normalize(TBox.of(cis)) if cis else None
+        result = is_contained(lhs_text, rhs_text, tbox)
+        if result.countermodel is None:
+            return
+        witness = (lhs_text, rhs_text, cis)
+        model = result.countermodel
+        assert result.contained is False, witness
+        assert satisfies_union(model, parse_query(lhs_text)), witness
+        assert not satisfies_union(model, parse_query(rhs_text)), witness
+        if tbox is not None:
+            assert tbox.satisfied_by(model), witness
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(LHS_QUERIES),
+        st.sampled_from(RHS_QUERIES),
+        st.sampled_from(SCHEMAS),
+    )
+    def test_countermodel_survives_wire_codec(self, lhs_text, rhs_text, cis):
+        tbox = normalize(TBox.of(cis)) if cis else None
+        result = is_contained(lhs_text, rhs_text, tbox)
+        if result.countermodel is None:
+            return
+        revived = graph_from_dict(graph_to_dict(result.countermodel))
+        assert satisfies_union(revived, parse_query(lhs_text))
+        assert not satisfies_union(revived, parse_query(rhs_text))
+        if tbox is not None:
+            assert tbox.satisfied_by(revived)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(LHS_QUERIES),
+        st.sampled_from(RHS_QUERIES),
+        st.sampled_from(SCHEMAS),
+    )
+    def test_stored_countermodel_answers_its_own_premise(
+        self, lhs_text, rhs_text, cis
+    ):
+        """Round trip through the lattice: insert the False verdict, look
+        the *same* P back up — rule (b) must fire and return False."""
+        tbox = normalize(TBox.of(cis)) if cis else None
+        result = is_contained(lhs_text, rhs_text, tbox)
+        if result.countermodel is None or result.deadline_expired:
+            return
+        options = ContainmentOptions()
+        key = decision_key(lhs_text, rhs_text, tbox, "auto", options)
+        lhs_key, group_key = decision_key_parts(key)
+        verdict = {
+            "format": 1,
+            "contained": False,
+            "complete": result.complete,
+            "method": result.method,
+            "seeds_tried": result.seeds_tried,
+            "supported_by_theory": result.supported_by_theory,
+            "countermodel": graph_to_dict(result.countermodel),
+        }
+        lattice = SemanticLattice()
+        lhs = parse_query(lhs_text)
+        assert lattice.insert(group_key, lhs, lhs_key, verdict)
+        hit = lattice.lookup(
+            group_key, lhs, lhs_key, rhs=parse_query(rhs_text), tbox=tbox
+        )
+        assert hit is not None, (lhs_text, rhs_text, cis)
+        assert hit.kind == "countermodel"
+        assert hit.contained is False

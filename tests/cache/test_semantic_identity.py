@@ -1,0 +1,153 @@
+"""Cache-option identity: ``semantic_cache`` selects *how* an answer is
+obtained, never *what* it is.
+
+Three obligations:
+
+* on a workload the lattice cannot serve (no near-duplicates), responses
+  are byte-identical with the option on or off (modulo ``elapsed_ms``);
+* on a workload the lattice does serve, verdict content (``contained``,
+  ``complete``) agrees everywhere, semantic responses are certain, and a
+  replayed countermodel independently verifies against the new P, Q, T;
+* semantic hits are never written back to the exact journal or the
+  scheduler's dedup memo as fresh decisions — they are derived facts.
+"""
+
+import io
+import json
+
+from repro.core.containment import decision_key
+from repro.dl.normalize import normalize
+from repro.io import graph_from_dict, tbox_from_dict
+from repro.queries.evaluation import satisfies_union
+from repro.queries.parser import parse_query
+from repro.service.protocol import build_options
+from repro.service.server import ContainmentServer
+from repro.service.sessions import reset_process_caches
+
+SCHEMA_CIS = [["A", "B | C"]]
+SCHEMA = {"type": "schema", "ref": "s", "tbox": {"cis": SCHEMA_CIS}}
+RHS = "r*(x,y), B(y), C(y)"
+
+
+def run(requests, tmp_path, tag, semantic_cache):
+    reset_process_caches()
+    server = ContainmentServer(
+        cache_dir=tmp_path / tag, use_cache=True, semantic_cache=semantic_cache
+    )
+    lines = [SCHEMA] + [
+        {"type": "decide", "id": rid, "lhs": lhs, "rhs": rhs, "schema_ref": "s"}
+        for rid, lhs, rhs in requests
+    ]
+    out = io.StringIO()
+    server.serve_pipe(
+        io.StringIO("\n".join(json.dumps(l) for l in lines) + "\n"), out
+    )
+    responses = {}
+    for raw in out.getvalue().splitlines():
+        response = json.loads(raw)
+        if response["type"] == "verdict":
+            response.pop("elapsed_ms")
+            responses[response["id"]] = response
+    return server, responses
+
+
+def path_lhs(n):
+    labels = ", ".join(f"A(x{i})" for i in range(n))
+    edges = ", ".join(f"r(x{i},x{i+1})" for i in range(n - 1))
+    return f"{labels}, {edges}"
+
+
+class TestByteIdentity:
+    def test_no_hit_workload_byte_identical(self, tmp_path):
+        # every request is a distinct fresh decision: the lattice never
+        # answers, so the wire responses must match byte for byte
+        requests = [
+            ("r1", "A(x)", "B(x)"),
+            ("r2", path_lhs(3), RHS),
+            ("r3", "B(x), r(x,y)", "r(x,y), C(y)"),
+        ]
+        _, with_sem = run(requests, tmp_path, "on", semantic_cache=True)
+        _, without = run(requests, tmp_path, "off", semantic_cache=False)
+        assert with_sem == without
+
+    def test_hit_workload_verdicts_agree_and_replay_verifies(self, tmp_path):
+        requests = [
+            ("seed", path_lhs(5), RHS),
+            ("dup-short", path_lhs(3), RHS),
+            ("dup-shorter", path_lhs(2), RHS),
+        ]
+        _, with_sem = run(requests, tmp_path, "on", semantic_cache=True)
+        _, without = run(requests, tmp_path, "off", semantic_cache=False)
+        assert with_sem["seed"] == without["seed"]
+        served = [r for r in with_sem.values() if r["source"] == "semantic"]
+        assert served, "hit workload never exercised the semantic path"
+        tbox = normalize(tbox_from_dict({"cis": SCHEMA_CIS}))
+        rhs = parse_query(RHS)
+        for rid, lhs_text in (("dup-short", path_lhs(3)), ("dup-shorter", path_lhs(2))):
+            on, off = with_sem[rid], without[rid]
+            assert on["verdict"]["contained"] == off["verdict"]["contained"]
+            assert on["verdict"]["complete"] is True
+            if on["source"] != "semantic":
+                continue
+            assert on["verdict"]["method"] == "semantic.countermodel"
+            model = graph_from_dict(on["verdict"]["countermodel"])
+            assert tbox.satisfied_by(model)
+            assert satisfies_union(model, parse_query(lhs_text))
+            assert not satisfies_union(model, rhs)
+
+    def test_per_request_opt_out(self, tmp_path):
+        reset_process_caches()
+        server = ContainmentServer(
+            cache_dir=tmp_path / "opt", use_cache=True, semantic_cache=True
+        )
+        lines = [
+            SCHEMA,
+            {"type": "decide", "id": "seed", "lhs": path_lhs(4), "rhs": RHS,
+             "schema_ref": "s"},
+            {"type": "decide", "id": "dup", "lhs": path_lhs(2), "rhs": RHS,
+             "schema_ref": "s", "options": {"semantic_cache": False}},
+        ]
+        out = io.StringIO()
+        server.serve_pipe(
+            io.StringIO("\n".join(json.dumps(l) for l in lines) + "\n"), out
+        )
+        responses = {
+            json.loads(l)["id"]: json.loads(l)
+            for l in out.getvalue().splitlines()
+            if json.loads(l)["type"] == "verdict"
+        }
+        assert responses["dup"]["source"] == "computed"
+
+
+class TestSemanticHitsNeverJournaled:
+    def test_journal_and_memo_untouched_by_inference(self, tmp_path):
+        requests = [
+            ("seed", path_lhs(4), RHS),
+            ("dup", path_lhs(2), RHS),
+        ]
+        server, responses = run(requests, tmp_path, "j", semantic_cache=True)
+        assert responses["dup"]["source"] == "semantic"
+        tbox = normalize(tbox_from_dict({"cis": SCHEMA_CIS}))
+        dup_key = decision_key(
+            path_lhs(2), RHS, tbox, method="auto", options=build_options({})
+        )
+        # neither the journal nor the dedup memo recorded a decision for
+        # the semantically served key ...
+        assert server.scheduler.cache.get(dup_key) is None
+        assert server.scheduler._results.get(dup_key) is None
+        # ... and the journal holds exactly the one computed decision
+        assert len(server.scheduler.cache) == 1
+        assert server.metrics.counter("decisions_executed") == 1
+
+    def test_exact_repeat_after_semantic_hit_recomputes_once(self, tmp_path):
+        # a later *exact* repeat of a semantically served request still
+        # records a fresh search-produced verdict in the journal
+        requests = [
+            ("seed", path_lhs(4), RHS),
+            ("dup", path_lhs(2), RHS),
+            ("dup-again", path_lhs(2), RHS),
+        ]
+        server, responses = run(requests, tmp_path, "r", semantic_cache=True)
+        assert responses["dup"]["source"] == "semantic"
+        assert responses["dup-again"]["source"] == "semantic"
+        assert server.metrics.counter("decisions_executed") == 1

@@ -1,0 +1,305 @@
+"""Unit tests for the semantic containment lattice.
+
+The lattice's contract: only *usable* premises are stored (certain Trues,
+Falses with countermodels), lookups answer exclusively through the two
+sound rules (transitivity over all-graphs edges, countermodel replay),
+edges come only from the syntactic subset screen and *complete* baseline
+probes, and the per-session caps evict LRU-first without ever corrupting
+the order.
+"""
+
+import pytest
+
+from repro.cache.semantic import (
+    COUNTER_EVICT,
+    COUNTER_HIT_COUNTERMODEL,
+    COUNTER_HIT_TRANSITIVE,
+    COUNTER_PROBE,
+    COUNTER_REJECT,
+    SemanticLattice,
+    syntactic_subset,
+)
+from repro.core.reduction import query_key
+from repro.dl.normalize import normalize
+from repro.dl.tbox import TBox
+from repro.graphs.graph import Graph
+from repro.io import FORMAT_VERSION, graph_to_dict
+from repro.obs import REGISTRY
+from repro.queries.parser import parse_query
+
+GROUP = ("auto", ("rhs",), ("schema",), ("opts",))
+
+
+def q(text):
+    return parse_query(text)
+
+
+def key_of(text):
+    return query_key(parse_query(text))
+
+
+def true_verdict(**over):
+    verdict = {
+        "format": FORMAT_VERSION,
+        "contained": True,
+        "complete": True,
+        "method": "sparse",
+        "seeds_tried": 1,
+        "supported_by_theory": True,
+        "countermodel": None,
+    }
+    verdict.update(over)
+    return verdict
+
+
+def false_verdict(graph):
+    return true_verdict(
+        contained=False, countermodel=graph_to_dict(graph), method="sparse"
+    )
+
+
+def path_model(n):
+    graph = Graph()
+    for i in range(n):
+        graph.add_node(f"v{i}", ["A", "B"])
+    for i in range(n - 1):
+        graph.add_edge(f"v{i}", "r", f"v{i+1}")
+    return graph
+
+
+def counter(name):
+    return REGISTRY.get(name)
+
+
+class TestSyntacticSubset:
+    def test_subset_and_equal(self):
+        assert syntactic_subset(key_of("A(x)"), key_of("A(x); B(x)"))
+        assert syntactic_subset(key_of("A(x)"), key_of("A(x)"))
+
+    def test_not_subset(self):
+        assert not syntactic_subset(key_of("C(x)"), key_of("A(x); B(x)"))
+
+    def test_subset_is_textual_on_canonical_disjuncts(self):
+        # query_key preserves variable names: a renamed disjunct is not a
+        # *syntactic* subset (the probe path handles those, soundly)
+        assert syntactic_subset(key_of("B(x)"), key_of("A(x); B(x)"))
+        assert not syntactic_subset(key_of("B(zz)"), key_of("A(x); B(x)"))
+
+    def test_empty_sub_is_never_a_subset(self):
+        assert not syntactic_subset((), key_of("A(x)"))
+
+
+class TestInsert:
+    def test_usable_true_stored(self):
+        lattice = SemanticLattice()
+        assert lattice.insert(GROUP, q("A(x)"), key_of("A(x)"), true_verdict())
+        assert len(lattice) == 1
+
+    def test_incomplete_true_rejected(self):
+        # "no countermodel found within budget" proves nothing about P',
+        # so nothing about any P below it — it must never become a premise
+        lattice = SemanticLattice()
+        assert not lattice.insert(
+            GROUP, q("A(x)"), key_of("A(x)"), true_verdict(complete=False)
+        )
+
+    def test_false_without_countermodel_rejected(self):
+        lattice = SemanticLattice()
+        assert not lattice.insert(
+            GROUP, q("A(x)"), key_of("A(x)"),
+            true_verdict(contained=False, complete=False),
+        )
+
+    def test_deadline_cut_verdict_rejected(self):
+        lattice = SemanticLattice()
+        assert not lattice.insert(
+            GROUP, q("A(x)"), key_of("A(x)"),
+            true_verdict(deadline_expired=True),
+        )
+
+    def test_duplicate_lhs_in_group_kept_once(self):
+        lattice = SemanticLattice()
+        assert lattice.insert(GROUP, q("A(x)"), key_of("A(x)"), true_verdict())
+        assert not lattice.insert(GROUP, q("A(x)"), key_of("A(x)"), true_verdict())
+        assert len(lattice) == 1
+
+
+class TestTransitivity:
+    def test_syntactic_subset_answers_true(self):
+        lattice = SemanticLattice()
+        lattice.insert(GROUP, q("A(x); B(x)"), key_of("A(x); B(x)"), true_verdict())
+        before = counter(COUNTER_HIT_TRANSITIVE)
+        hit = lattice.lookup(GROUP, q("A(x)"), key_of("A(x)"))
+        assert hit is not None and hit.kind == "transitive" and hit.contained
+        assert hit.premise_key == key_of("A(x); B(x)")
+        assert counter(COUNTER_HIT_TRANSITIVE) == before + 1
+
+    def test_edges_cross_groups(self):
+        # the partial order is schema/rhs-independent: a premise inserted
+        # under one group seeds edges usable by lookups in another
+        other = ("auto", ("other-rhs",), ("schema",), ("opts",))
+        lattice = SemanticLattice()
+        lattice.insert(GROUP, q("A(x); B(x)"), key_of("A(x); B(x)"), true_verdict())
+        lattice.insert(other, q("A(x); B(x)"), key_of("A(x); B(x)"), true_verdict())
+        hit = lattice.lookup(other, q("A(x)"), key_of("A(x)"))
+        assert hit is not None and hit.kind == "transitive"
+
+    def test_unrelated_query_misses(self):
+        lattice = SemanticLattice()
+        lattice.insert(GROUP, q("A(x); B(x)"), key_of("A(x); B(x)"), true_verdict())
+        assert lattice.lookup(GROUP, q("C(x)"), key_of("C(x)")) is None
+
+    def test_false_premise_never_used_transitively(self):
+        # P ⊆ P' and P' ⊄ Q says nothing about P ⊆ Q: a False premise
+        # above us must not produce a False (or any) transitive answer
+        lattice = SemanticLattice(replay_budget=0)
+        lattice.insert(
+            GROUP, q("A(x); B(x)"), key_of("A(x); B(x)"),
+            false_verdict(path_model(1)),
+        )
+        assert lattice.lookup(GROUP, q("A(x)"), key_of("A(x)")) is None
+
+
+class TestCountermodelReplay:
+    def test_model_matching_new_lhs_answers_false(self):
+        lattice = SemanticLattice()
+        model = path_model(4)  # matches any shorter A-labelled r-path
+        lattice.insert(
+            GROUP, q("A(x0), A(x1), r(x0,x1)"),
+            key_of("A(x0), A(x1), r(x0,x1)"), false_verdict(model),
+        )
+        before = counter(COUNTER_HIT_COUNTERMODEL)
+        hit = lattice.lookup(GROUP, q("A(x)"), key_of("A(x)"))
+        assert hit is not None and hit.kind == "countermodel"
+        assert not hit.contained
+        assert hit.countermodel == graph_to_dict(model)
+        assert counter(COUNTER_HIT_COUNTERMODEL) == before + 1
+
+    def test_model_missing_new_lhs_is_a_miss(self):
+        lattice = SemanticLattice()
+        lattice.insert(
+            GROUP, q("A(x)"), key_of("A(x)"), false_verdict(path_model(2))
+        )
+        assert lattice.lookup(GROUP, q("C(x)"), key_of("C(x)")) is None
+
+    def test_untrusted_model_violating_schema_is_rejected(self):
+        # hydrated-from-disk records are re-verified before first use: a
+        # model that breaks T (or matches Q) must never answer anything
+        lattice = SemanticLattice()
+        model = path_model(2)  # nodes are A,B — violates A ⊑ C
+        lattice.insert(
+            GROUP, q("A(x), r(x,y)"), key_of("A(x), r(x,y)"),
+            false_verdict(model), trusted=False,
+        )
+        tbox = normalize(TBox.of([("A", "C")]))
+        before = counter(COUNTER_REJECT)
+        assert (
+            lattice.lookup(GROUP, q("A(x)"), key_of("A(x)"), tbox=tbox) is None
+        )
+        assert counter(COUNTER_REJECT) == before + 1
+        # the record is marked bad: a second lookup doesn't re-verify
+        assert (
+            lattice.lookup(GROUP, q("A(x)"), key_of("A(x)"), tbox=tbox) is None
+        )
+        assert counter(COUNTER_REJECT) == before + 1
+
+    def test_untrusted_model_matching_rhs_is_rejected(self):
+        lattice = SemanticLattice()
+        lattice.insert(
+            GROUP, q("A(x)"), key_of("A(x)"),
+            false_verdict(path_model(2)), trusted=False,
+        )
+        assert (
+            lattice.lookup(GROUP, q("A(x)"), key_of("A(x)"), rhs=q("B(y)"))
+            is None
+        )
+
+    def test_untrusted_model_passing_verification_answers(self):
+        lattice = SemanticLattice()
+        lattice.insert(
+            GROUP, q("A(x)"), key_of("A(x)"),
+            false_verdict(path_model(2)), trusted=False,
+        )
+        hit = lattice.lookup(
+            GROUP, q("A(x), r(x,y)"), key_of("A(x), r(x,y)"), rhs=q("C(z)")
+        )
+        assert hit is not None and hit.kind == "countermodel"
+
+
+class TestProbes:
+    def test_probe_finds_non_syntactic_all_graphs_edge(self):
+        # "A(x), A(y)" ⊆ "A(x)" on all graphs (collapse x=y), but the
+        # disjunct keys differ — only a baseline probe can add this edge
+        lattice = SemanticLattice()
+        lattice.insert(GROUP, q("A(x)"), key_of("A(x)"), true_verdict())
+        before = counter(COUNTER_PROBE)
+        hit = lattice.lookup(GROUP, q("A(x), A(y)"), key_of("A(x), A(y)"))
+        assert hit is not None and hit.kind == "transitive"
+        assert counter(COUNTER_PROBE) == before + 1
+        # the edge is now known: repeating the lookup pays no second probe
+        assert lattice.lookup(GROUP, q("A(x), A(y)"), key_of("A(x), A(y)"))
+        assert counter(COUNTER_PROBE) == before + 1
+
+    def test_failed_probe_pair_remembered(self):
+        lattice = SemanticLattice()
+        lattice.insert(GROUP, q("B(x)"), key_of("B(x)"), true_verdict())
+        before = counter(COUNTER_PROBE)
+        assert lattice.lookup(GROUP, q("C(x)"), key_of("C(x)")) is None
+        assert counter(COUNTER_PROBE) == before + 1
+        assert lattice.lookup(GROUP, q("C(x)"), key_of("C(x)")) is None
+        assert counter(COUNTER_PROBE) == before + 1
+
+    def test_probe_budget_bounds_work_per_lookup(self):
+        lattice = SemanticLattice(probe_budget=2)
+        for i in range(5):
+            text = f"B{i}(x)"
+            lattice.insert(GROUP, q(text), key_of(text), true_verdict())
+        before = counter(COUNTER_PROBE)
+        assert lattice.lookup(GROUP, q("C(x)"), key_of("C(x)")) is None
+        assert counter(COUNTER_PROBE) == before + 2
+
+
+class TestEviction:
+    def test_lru_eviction_drops_nodes_edges_and_records(self):
+        lattice = SemanticLattice(max_nodes=3)
+        for i in range(5):
+            text = f"B{i}(x)"
+            lattice.insert(GROUP, q(text), key_of(text), true_verdict())
+        stats = lattice.stats()
+        assert stats["nodes"] == 3
+        assert stats["records"] == 3
+        assert len(lattice) == 3
+
+    def test_eviction_counted(self):
+        before = counter(COUNTER_EVICT)
+        lattice = SemanticLattice(max_nodes=1)
+        lattice.insert(GROUP, q("B0(x)"), key_of("B0(x)"), true_verdict())
+        lattice.insert(GROUP, q("B1(x)"), key_of("B1(x)"), true_verdict())
+        assert counter(COUNTER_EVICT) == before + 1
+
+    def test_evicted_premise_no_longer_answers(self):
+        lattice = SemanticLattice(max_nodes=3, probe_budget=0)
+        lattice.insert(GROUP, q("A(x); B(x)"), key_of("A(x); B(x)"), true_verdict())
+        lattice.insert(GROUP, q("C(x); D(x)"), key_of("C(x); D(x)"), true_verdict())
+        # answers while the premise is live ...
+        assert lattice.lookup(GROUP, q("A(x)"), key_of("A(x)")) is not None
+        # ... an unrelated lookup pushes node count past the cap, evicting
+        # the LRU premise, after which the same request is a sound miss
+        assert lattice.lookup(GROUP, q("E(x)"), key_of("E(x)")) is None
+        assert lattice.lookup(GROUP, q("A(x)"), key_of("A(x)")) is None
+
+    def test_record_cap_respected(self):
+        lattice = SemanticLattice(max_records=2)
+        for i in range(4):
+            text = f"B{i}(x)"
+            lattice.insert(GROUP, q(text), key_of(text), true_verdict())
+        assert len(lattice) <= 2
+
+
+class TestHydrationBookkeeping:
+    def test_needs_hydration_flips_once(self):
+        lattice = SemanticLattice()
+        assert lattice.needs_hydration("digest-1")
+        lattice.mark_hydrated("digest-1")
+        assert not lattice.needs_hydration("digest-1")
+        assert lattice.needs_hydration("digest-2")

@@ -1,0 +1,175 @@
+"""The semantic journal: persistence, tolerance, hydration, trust.
+
+Same contract as the exact decision journal (corrupt and stale lines are
+skipped and counted, never fatal; damaged journals self-compact; torn
+tails are repaired) plus the semantic layer's own obligation: premises
+hydrated from disk are *untrusted* until their countermodels re-verify
+against the live schema and right-hand side.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.service.cache import (
+    SEMANTIC_JOURNAL_NAME,
+    DecisionCache,
+    semantic_group_digest,
+)
+from repro.service.server import ContainmentServer
+from repro.service.sessions import reset_process_caches
+
+GROUP_KEY = ("auto", ("rhs",), ("schema",), ("opts",))
+
+TRUE_VERDICT = {
+    "format": 1, "contained": True, "complete": True, "method": "sparse",
+    "seeds_tried": 1, "supported_by_theory": True, "countermodel": None,
+}
+
+
+def digest_of(cache):
+    return semantic_group_digest(GROUP_KEY, cache.fingerprint)
+
+
+class TestSemanticJournal:
+    def test_round_trip_across_instances(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put_semantic(digest_of(cache), "A(x); B(x)", TRUE_VERDICT)
+        reloaded = DecisionCache(tmp_path)
+        entries = reloaded.semantic_entries(digest_of(reloaded))
+        assert entries == [("A(x); B(x)", TRUE_VERDICT)]
+
+    def test_duplicate_premise_kept_once(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put_semantic(digest_of(cache), "A(x)", TRUE_VERDICT)
+        cache.put_semantic(digest_of(cache), "A(x)", TRUE_VERDICT)
+        assert len(cache.semantic_entries(digest_of(cache))) == 1
+        assert cache.semantic_stats()["entries"] == 1
+
+    def test_corrupt_lines_skipped_counted_and_healed(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put_semantic(digest_of(cache), "A(x)", TRUE_VERDICT)
+        journal = tmp_path / SEMANTIC_JOURNAL_NAME
+        journal.write_text(journal.read_text() + "{torn\nnot json at all\n")
+        reloaded = DecisionCache(tmp_path)
+        assert reloaded.semantic_corrupt_entries == 2
+        assert len(reloaded.semantic_entries(digest_of(reloaded))) == 1
+        # auto_heal compacted the journal: a third load sees a clean file
+        healed = DecisionCache(tmp_path)
+        assert healed.semantic_corrupt_entries == 0
+
+    def test_stale_fingerprint_entries_invisible(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        line = json.dumps({
+            "code": "stale-build", "group": digest_of(cache),
+            "lhs": "A(x)", "verdict": TRUE_VERDICT,
+        })
+        (tmp_path / SEMANTIC_JOURNAL_NAME).write_text(line + "\n")
+        reloaded = DecisionCache(tmp_path)
+        assert reloaded.semantic_stale_entries == 1
+        assert reloaded.semantic_entries(digest_of(reloaded)) == []
+
+    def test_torn_tail_repaired_on_next_append(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put_semantic(digest_of(cache), "A(x)", TRUE_VERDICT)
+        journal = tmp_path / SEMANTIC_JOURNAL_NAME
+        journal.write_text(journal.read_text() + '{"code": "torn')
+        reloaded = DecisionCache(tmp_path)
+        reloaded.put_semantic(digest_of(reloaded), "B(x)", TRUE_VERDICT)
+        third = DecisionCache(tmp_path)
+        texts = [t for t, _ in third.semantic_entries(digest_of(third))]
+        assert "A(x)" in texts and "B(x)" in texts
+
+    def test_auto_heal_off_leaves_journal_untouched(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put_semantic(digest_of(cache), "A(x)", TRUE_VERDICT)
+        journal = tmp_path / SEMANTIC_JOURNAL_NAME
+        damaged = journal.read_text() + "{torn\n"
+        journal.write_text(damaged)
+        inspector = DecisionCache(tmp_path, auto_heal=False)
+        assert inspector.semantic_corrupt_entries == 1
+        assert journal.read_text() == damaged
+
+    def test_semantic_groups_listing(self, tmp_path):
+        cache = DecisionCache(tmp_path)
+        cache.put_semantic("g1", "A(x)", TRUE_VERDICT)
+        cache.put_semantic("g1", "B(x)", TRUE_VERDICT)
+        cache.put_semantic("g2", "C(x)", TRUE_VERDICT)
+        assert cache.semantic_groups() == {"g1": 2, "g2": 1}
+
+    def test_group_digest_distinct_from_decision_space(self):
+        cache_digest = semantic_group_digest(GROUP_KEY)
+        assert len(cache_digest) == 64
+        assert semantic_group_digest(GROUP_KEY) == cache_digest
+        assert semantic_group_digest(("other",)) != cache_digest
+
+
+def run_server(lines, cache_dir, semantic_cache=True):
+    reset_process_caches()
+    server = ContainmentServer(
+        cache_dir=cache_dir, use_cache=True, semantic_cache=semantic_cache
+    )
+    out = io.StringIO()
+    server.serve_pipe(
+        io.StringIO("\n".join(json.dumps(l) for l in lines) + "\n"), out
+    )
+    responses = [json.loads(l) for l in out.getvalue().splitlines()]
+    return server, {r["id"]: r for r in responses if r["type"] == "verdict"}
+
+
+SCHEMA = {"type": "schema", "ref": "s", "tbox": {"cis": [["A", "B"]]}}
+
+
+class TestWarmRestartHydration:
+    def test_fresh_server_answers_near_duplicate_from_disk(self, tmp_path):
+        run_server(
+            [SCHEMA, {"type": "decide", "id": "seed", "lhs": "A(x); B(x)",
+                      "rhs": "B(x)", "schema_ref": "s"}],
+            tmp_path,
+        )
+        # new server instance, new sessions: only the semantic journal can
+        # explain an inference hit for a never-before-seen lhs
+        server, verdicts = run_server(
+            [SCHEMA, {"type": "decide", "id": "dup", "lhs": "A(x)",
+                      "rhs": "B(x)", "schema_ref": "s"}],
+            tmp_path,
+        )
+        assert verdicts["dup"]["source"] == "semantic"
+        assert verdicts["dup"]["verdict"]["method"] == "semantic.transitive"
+        assert server.metrics.counter("decisions_executed") == 0
+
+    def test_corrupt_semantic_journal_degrades_to_computing(self, tmp_path):
+        run_server(
+            [SCHEMA, {"type": "decide", "id": "seed", "lhs": "A(x); B(x)",
+                      "rhs": "B(x)", "schema_ref": "s"}],
+            tmp_path,
+        )
+        (tmp_path / SEMANTIC_JOURNAL_NAME).write_text("garbage\n")
+        server, verdicts = run_server(
+            [SCHEMA, {"type": "decide", "id": "dup", "lhs": "A(x)",
+                      "rhs": "B(x)", "schema_ref": "s"}],
+            tmp_path,
+        )
+        assert verdicts["dup"]["source"] == "computed"
+        assert verdicts["dup"]["verdict"]["contained"] is True
+
+    def test_unparseable_persisted_premise_skipped(self, tmp_path):
+        server, _ = run_server(
+            [SCHEMA, {"type": "decide", "id": "seed", "lhs": "A(x); B(x)",
+                      "rhs": "B(x)", "schema_ref": "s"}],
+            tmp_path,
+        )
+        # rewrite the premise's query text to something unparseable while
+        # keeping the journal line structurally valid
+        journal = tmp_path / SEMANTIC_JOURNAL_NAME
+        entry = json.loads(journal.read_text())
+        entry["lhs"] = "((not a query"
+        journal.write_text(json.dumps(entry) + "\n")
+        server, verdicts = run_server(
+            [SCHEMA, {"type": "decide", "id": "dup", "lhs": "A(x)",
+                      "rhs": "B(x)", "schema_ref": "s"}],
+            tmp_path,
+        )
+        assert verdicts["dup"]["source"] == "computed"
+        assert server.metrics.counter("semantic_hydrate_errors") == 1

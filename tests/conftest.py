@@ -47,9 +47,14 @@ def pytest_collection_modifyitems(config, items):
     if os.environ.get("REPRO_FAST") != "1":
         return
     skip = pytest.mark.skip(reason="REPRO_FAST=1 skips multi-process gateway tests")
+    skip_smoke = pytest.mark.skip(
+        reason="REPRO_FAST=1 skips subprocess benchmark smokes"
+    )
     for item in items:
         if "gateway_mp" in item.keywords:
             item.add_marker(skip)
+        if "semcache_smoke" in item.keywords:
+            item.add_marker(skip_smoke)
 
 
 def _alarm_usable() -> bool:

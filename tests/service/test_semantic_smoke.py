@@ -1,0 +1,38 @@
+"""CI smoke for the semantic-cache benchmark (E24).
+
+Runs ``benchmarks/bench_semantic_cache.py --quick`` — trimmed seed/warm
+workloads through semantic-on and semantic-off servers — and fails if
+verdicts diverge across the cache setting, a warm near-duplicate phase
+falls below the ≥half inference-hit floor, or a semantically served
+request cost a kernel search.  Marked ``semcache_smoke`` so REPRO_FAST=1
+can skip the subprocess round-trip like the multi-process gateway tests.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_semantic_cache.py"
+
+
+@pytest.mark.semcache_smoke
+def test_quick_semantic_smoke_inference_sound_and_warm():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--quick"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"semantic cache smoke failed (exit {proc.returncode}):\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    assert "VERDICT DIVERGENCE" not in proc.stderr

@@ -1,0 +1,95 @@
+"""The ``repro cache`` subcommand: stats, ls, clear."""
+
+import json
+
+from repro.cli import main
+from repro.service.cache import (
+    JOURNAL_NAME,
+    SEMANTIC_JOURNAL_NAME,
+    DecisionCache,
+)
+
+TRUE_VERDICT = {
+    "format": 1, "contained": True, "complete": True, "method": "sparse",
+    "seeds_tried": 1, "supported_by_theory": True, "countermodel": None,
+}
+
+
+def seed_cache(tmp_path):
+    cache = DecisionCache(tmp_path)
+    cache.put("d" * 64, TRUE_VERDICT)
+    cache.put_semantic("g" * 64, "A(x); B(x)", TRUE_VERDICT)
+    cache.put_semantic("g" * 64, "A(x), r(x,y)", TRUE_VERDICT)
+    return cache
+
+
+class TestStats:
+    def test_stats_payload(self, tmp_path, capsys):
+        seed_cache(tmp_path)
+        rc = main(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_dir"] == str(tmp_path)
+        assert payload["decisions"]["entries"] == 1
+        assert payload["decisions"]["semantic"]["entries"] == 2
+        assert payload["decisions"]["semantic"]["groups"] == 1
+
+    def test_stats_on_empty_dir(self, tmp_path, capsys):
+        rc = main(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decisions"]["entries"] == 0
+
+    def test_stats_never_heals(self, tmp_path, capsys):
+        seed_cache(tmp_path)
+        journal = tmp_path / SEMANTIC_JOURNAL_NAME
+        damaged = journal.read_text() + "{torn\n"
+        journal.write_text(damaged)
+        rc = main(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        # inspection is read-only: the damaged journal is left as found
+        assert journal.read_text() == damaged
+
+
+class TestLs:
+    def test_lists_decisions_then_semantic_groups(self, tmp_path, capsys):
+        seed_cache(tmp_path)
+        rc = main(["cache", "ls", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("decision ")
+        assert "contained=True" in lines[0] and "method=sparse" in lines[0]
+        assert lines[1] == f"semantic-group {'g' * 16} premises=2"
+
+    def test_limit_truncates_with_ellipsis(self, tmp_path, capsys):
+        seed_cache(tmp_path)
+        rc = main(["cache", "ls", "--cache-dir", str(tmp_path), "--limit", "1"])
+        assert rc == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert lines[-1] == "..."
+
+    def test_empty_dir_message(self, tmp_path, capsys):
+        rc = main(["cache", "ls", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "no cached entries" in capsys.readouterr().out
+
+
+class TestClear:
+    def test_removes_both_journals(self, tmp_path, capsys):
+        seed_cache(tmp_path)
+        rc = main(["cache", "clear", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert not (tmp_path / JOURNAL_NAME).exists()
+        assert not (tmp_path / SEMANTIC_JOURNAL_NAME).exists()
+
+    def test_clears_corrupt_journal_without_loading(self, tmp_path, capsys):
+        (tmp_path / JOURNAL_NAME).write_text("garbage that will not parse\n")
+        rc = main(["cache", "clear", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert not (tmp_path / JOURNAL_NAME).exists()
+
+    def test_clear_empty_dir(self, tmp_path, capsys):
+        rc = main(["cache", "clear", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "nothing to clear" in capsys.readouterr().out
