@@ -73,6 +73,7 @@ All counters live in the process-wide :data:`repro.obs.REGISTRY`:
 
 from __future__ import annotations
 
+import copy
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -228,7 +229,8 @@ class SemanticLattice:
                 self._add_edge(other, node)
         self._nodes[key] = node
         while len(self._nodes) > self.max_nodes:
-            self._evict_lru(keep=key)
+            if not self._evict_lru(keep=key):
+                break
         return node
 
     def _add_edge(self, sub: _Node, sup: _Node) -> None:
@@ -238,15 +240,27 @@ class SemanticLattice:
         sup.down.add(sub.key)
         self._edge_count += 1
 
-    def _evict_lru(self, keep: Optional[tuple] = None) -> None:
-        """Drop the least-recently-used node, its edges, and its records."""
+    def _evict_lru(
+        self, keep: Optional[tuple] = None, require_records: bool = False
+    ) -> bool:
+        """Drop the least-recently-used node, its edges, and its records.
+
+        With ``require_records`` the victim is the LRU node that *owns* at
+        least one group record — the record cap is about records, and
+        evicting a record-less node would not move the count (while still
+        wasting a node unrelated to the cap being enforced).  Returns
+        whether a node was evicted.
+        """
         victim = None
-        for key in self._nodes:
-            if key != keep:
-                victim = key
-                break
+        for key, candidate in self._nodes.items():
+            if key == keep:
+                continue
+            if require_records and not candidate.groups:
+                continue
+            victim = key
+            break
         if victim is None:
-            return
+            return False
         node = self._nodes.pop(victim)
         for up in node.up:
             other = self._nodes.get(up)
@@ -266,6 +280,7 @@ class SemanticLattice:
                 if not group:
                     del self._groups[group_key]
         REGISTRY.inc(COUNTER_EVICT)
+        return True
 
     def _up_closure(self, node: _Node) -> list:
         """Reflexive-transitive up-set of a node, in deterministic BFS
@@ -315,9 +330,7 @@ class SemanticLattice:
         node.groups.add(group_key)
         self._record_count += 1
         while self._record_count > self.max_records:
-            before = self._record_count
-            self._evict_lru(keep=lhs_key)
-            if self._record_count >= before:
+            if not self._evict_lru(keep=lhs_key, require_records=True):
                 break  # nothing evictable (single hot node): stop
         REGISTRY.inc(COUNTER_INSERT)
         return True
@@ -377,9 +390,12 @@ class SemanticLattice:
                 record.trusted = True
             if satisfies_union(model, lhs):
                 REGISTRY.inc(COUNTER_HIT_COUNTERMODEL)
+                # hand out a private copy: the wire dict nests lists, and a
+                # caller mutating the returned verdict must not poison the
+                # lattice record (same discipline as the exact-decision memo)
                 return SemanticHit(
                     "countermodel", False, key,
-                    countermodel=record.verdict["countermodel"],
+                    countermodel=copy.deepcopy(record.verdict["countermodel"]),
                 )
 
         # rule (a) again, paying for edges we don't have yet

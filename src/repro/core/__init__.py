@@ -1,6 +1,12 @@
 """The paper's contribution: containment modulo schema and finite entailment."""
 
-from repro.core.baseline import BaselineResult, contained_no_schema, expansions, words_of
+from repro.core.baseline import (
+    BaselineResult,
+    contained_no_schema,
+    enumeration_exhausted,
+    expansions,
+    words_of,
+)
 from repro.core.bounded import exhaustive_countermodel, extensions_of
 from repro.core.coil import Coil, coil, paths_from, paths_up_to, unravel
 from repro.core.containment import ContainmentOptions, ContainmentResult, is_contained
@@ -81,6 +87,7 @@ __all__ = [
     "repair_report",
     "coil_frame",
     "contained_no_schema",
+    "enumeration_exhausted",
     "contained_without_participation",
     "contains_via_reduction",
     "drop_reachability",

@@ -47,6 +47,42 @@ def words_of(compiled: CompiledRegex, max_length: int) -> Iterator[tuple[Label, 
         frontier = next_frontier
 
 
+def enumeration_exhausted(compiled: CompiledRegex, max_length: int) -> bool:
+    """Does ``words_of(compiled, max_length)`` enumerate *all* of L(φ)?
+
+    True iff no accepted word is longer than ``max_length``.  This is the
+    certificate a bounded enumeration needs before calling itself
+    exhaustive: :func:`language_is_finite` alone says nothing about where
+    the longest word falls relative to the bound — ``r.r.r.r`` is finite
+    but empty below length 4.  Runs over state *sets*, so it stays cheap
+    even where ``words_of`` would branch exponentially.
+    """
+    # states that can still reach the end (backward closure, ≥ 0 steps)
+    can_finish = {compiled.pair.end}
+    changed = True
+    while changed:
+        changed = False
+        for s, _lbl, t in compiled.automaton.transitions:
+            if t in can_finish and s not in can_finish:
+                can_finish.add(s)
+                changed = True
+    # states reachable from the start in exactly ``max_length`` steps
+    frontier = {compiled.pair.start}
+    for _step in range(max_length):
+        frontier = {
+            t for s in frontier for _lbl, t in compiled.automaton.outgoing(s)
+        }
+        if not frontier:
+            return True
+    # a longer accepted word exists iff some frontier state has one more
+    # transition into a state that can still finish
+    return not any(
+        t in can_finish
+        for s in frontier
+        for _lbl, t in compiled.automaton.outgoing(s)
+    )
+
+
 def language_is_finite(compiled: CompiledRegex) -> bool:
     """Is L(φ) finite?  True iff no productive state lies on a cycle."""
     # a state is productive if it can reach the end state
@@ -171,10 +207,14 @@ def contained_no_schema(
     max_expansions: int = 2000,
 ) -> BaselineResult:
     """P ⊆ Q over all finite graphs (no schema), by the expansion test."""
-    finite = all(
-        language_is_finite(atom.compiled)
-        for disjunct in lhs
-        for atom in disjunct.path_atoms
+    atoms = [atom for disjunct in lhs for atom in disjunct.path_atoms]
+    finite = all(language_is_finite(atom.compiled) for atom in atoms)
+    # finiteness is necessary but not sufficient: the word enumeration is
+    # cut at ``max_word_length``, so a finite language whose longest word
+    # exceeds the bound is silently under-enumerated (worst case: zero
+    # expansions, which would "certify" P ⊆ Q having tested nothing)
+    exhausted = finite and all(
+        enumeration_exhausted(atom.compiled, max_word_length) for atom in atoms
     )
     checked = 0
     for disjunct in lhs:
@@ -183,6 +223,6 @@ def contained_no_schema(
             if not satisfies_union(expansion.graph, rhs):
                 return BaselineResult(False, True, expansion.graph, checked)
     # containment certified only if all expansion spaces were finite and
-    # fully enumerated within the bounds
-    complete = finite and checked < max_expansions
+    # fully enumerated within both the word-length and expansion bounds
+    complete = exhausted and checked < max_expansions
     return BaselineResult(True, complete, None, checked)

@@ -214,6 +214,21 @@ class TestCountermodelReplay:
             is None
         )
 
+    def test_replay_hit_returns_private_countermodel_copy(self):
+        # a caller mutating the returned verdict must not poison the
+        # stored record for future replays (wire dicts nest lists, so a
+        # reference or shallow copy would leak)
+        lattice = SemanticLattice()
+        model = path_model(4)
+        lattice.insert(GROUP, q("A(x)"), key_of("A(x)"), false_verdict(model))
+        hit = lattice.lookup(GROUP, q("B(x)"), key_of("B(x)"))
+        assert hit is not None and hit.kind == "countermodel"
+        hit.countermodel["nodes"].clear()
+        hit.countermodel["edges"].clear()
+        again = lattice.lookup(GROUP, q("B(x)"), key_of("B(x)"))
+        assert again is not None
+        assert again.countermodel == graph_to_dict(model)
+
     def test_untrusted_model_passing_verification_answers(self):
         lattice = SemanticLattice()
         lattice.insert(
@@ -247,6 +262,23 @@ class TestProbes:
         assert lattice.lookup(GROUP, q("C(x)"), key_of("C(x)")) is None
         assert counter(COUNTER_PROBE) == before + 1
         assert lattice.lookup(GROUP, q("C(x)"), key_of("C(x)")) is None
+        assert counter(COUNTER_PROBE) == before + 1
+
+    def test_probe_rejects_truncated_finite_language(self):
+        # regression: P = (r.r.r.r)(x,y) has a *finite* language whose only
+        # word is longer than the probe word bound (3), so the probe
+        # enumerates zero expansions.  That must read as incomplete — a
+        # transitive hit here would certify the false P ⊆ s(x,y) having
+        # tested nothing.
+        lattice = SemanticLattice()
+        lattice.insert(GROUP, q("s(x,y)"), key_of("s(x,y)"), true_verdict())
+        before = counter(COUNTER_PROBE)
+        assert (
+            lattice.lookup(
+                GROUP, q("(r.r.r.r)(x,y)"), key_of("(r.r.r.r)(x,y)")
+            )
+            is None
+        )
         assert counter(COUNTER_PROBE) == before + 1
 
     def test_probe_budget_bounds_work_per_lookup(self):
@@ -294,6 +326,20 @@ class TestEviction:
             text = f"B{i}(x)"
             lattice.insert(GROUP, q(text), key_of(text), true_verdict())
         assert len(lattice) <= 2
+
+    def test_record_cap_skips_recordless_lru_node(self):
+        # the record cap is about records: a record-less LRU victim moves
+        # nothing, so eviction must pass over it and drop the oldest node
+        # that actually owns a record
+        lattice = SemanticLattice(max_records=1, probe_budget=0)
+        lattice.insert(GROUP, q("B0(x)"), key_of("B0(x)"), true_verdict())
+        # create a record-less node, then touch B0 so it becomes the LRU
+        assert lattice.lookup(GROUP, q("C(x)"), key_of("C(x)")) is None
+        assert lattice.lookup(GROUP, q("B0(x)"), key_of("B0(x)")) is not None
+        lattice.insert(GROUP, q("B1(x)"), key_of("B1(x)"), true_verdict())
+        assert len(lattice) == 1  # enforced even with a record-less LRU
+        assert lattice.lookup(GROUP, q("B0(x)"), key_of("B0(x)")) is None
+        assert lattice.lookup(GROUP, q("B1(x)"), key_of("B1(x)")) is not None
 
 
 class TestHydrationBookkeeping:

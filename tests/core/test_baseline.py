@@ -3,6 +3,7 @@
 from repro.automata.semiautomaton import compile_regex
 from repro.core.baseline import (
     contained_no_schema,
+    enumeration_exhausted,
     expansions,
     language_is_finite,
     words_of,
@@ -29,6 +30,17 @@ class TestWords:
         assert not language_is_finite(compile_regex("r.s+"))
         # the star is unreachable on any accepting path? not here:
         assert not language_is_finite(compile_regex("(r|s)*"))
+
+    def test_enumeration_exhausted_tracks_longest_word(self):
+        assert enumeration_exhausted(compile_regex("r.s"), 2)
+        assert enumeration_exhausted(compile_regex("r.s"), 5)
+        assert not enumeration_exhausted(compile_regex("r.s"), 1)
+        # finite but longest word above the bound: NOT exhausted
+        assert not enumeration_exhausted(compile_regex("r.r.r.r"), 3)
+        assert enumeration_exhausted(compile_regex("r.r.r.r"), 4)
+        # infinite languages are never exhausted at any bound
+        assert not enumeration_exhausted(compile_regex("r*"), 3)
+        assert not enumeration_exhausted(compile_regex("r.s+"), 10)
 
 
 class TestExpansions:
@@ -99,3 +111,17 @@ class TestContainment:
         rhs = parse_query("r*(x,y)")
         result = contained_no_schema(lhs, rhs)
         assert result.contained and not result.complete
+
+    def test_finite_language_beyond_word_bound_is_incomplete(self):
+        # r.r.r.r is finite but its only word has length 4: at bound 3 the
+        # enumeration yields zero expansions, which must NOT certify the
+        # (false) containment r.r.r.r(x,y) ⊆ s(x,y)
+        lhs = parse_query("(r.r.r.r)(x,y)")
+        rhs = parse_query("s(x,y)")
+        truncated = contained_no_schema(lhs, rhs, max_word_length=3)
+        assert truncated.contained and not truncated.complete
+        assert truncated.expansions_checked == 0
+        # at bound 4 the word is enumerated and refutes the containment
+        full = contained_no_schema(lhs, rhs, max_word_length=4)
+        assert not full.contained and full.complete
+        assert full.countermodel is not None
