@@ -65,10 +65,19 @@ counted under ``semcache.reject``.  True premises are not re-checkable
 (certainty is a universal statement), so hydrated True records rest on
 the same code-fingerprint contract as the exact decision journal.
 
+Rejected records are additionally queued for *quarantine*: the scheduler
+drains :meth:`SemanticLattice.take_rejected` after each lookup and evicts
+the backing journal lines through
+:meth:`repro.service.cache.DecisionCache.quarantine_semantic`, so a
+premise that failed its trust gate is gone from disk too — not just
+skipped until the next restart rediscovers it (counted under
+``semcache.quarantined.records``).
+
 All counters live in the process-wide :data:`repro.obs.REGISTRY`:
 ``semcache.hit.transitive``, ``semcache.hit.countermodel``,
 ``semcache.probe``, ``semcache.evict``, ``semcache.miss``,
-``semcache.insert``, ``semcache.reject``.
+``semcache.insert``, ``semcache.reject``,
+``semcache.quarantined.records``.
 """
 
 from __future__ import annotations
@@ -80,7 +89,7 @@ from typing import Optional
 
 from repro.core.baseline import contained_no_schema
 from repro.graphs.graph import Graph
-from repro.io import graph_from_dict
+from repro.io import graph_from_dict, query_to_text
 from repro.obs import REGISTRY
 from repro.queries.evaluation import satisfies_union
 from repro.queries.ucrpq import UCRPQ
@@ -92,6 +101,7 @@ COUNTER_EVICT = "semcache.evict"
 COUNTER_MISS = "semcache.miss"
 COUNTER_INSERT = "semcache.insert"
 COUNTER_REJECT = "semcache.reject"
+COUNTER_QUARANTINED = "semcache.quarantined.records"
 
 
 def syntactic_subset(sub_key: tuple, sup_key: tuple) -> bool:
@@ -198,6 +208,9 @@ class SemanticLattice:
         self._probed: set[tuple] = set()
         self._probed_cap = 4096
         self._hydrated: set[str] = set()
+        self._rejected: list[tuple[tuple, tuple]] = []
+        """(group key, premise node key) pairs rejected since the last
+        :meth:`take_rejected` drain — the journal-quarantine feed."""
 
     # ------------------------------------------------------------- #
     # node registry + partial order
@@ -379,13 +392,11 @@ class SemanticLattice:
             try:
                 model = record.countermodel_graph()
             except Exception:
-                record.bad = True
-                REGISTRY.inc(COUNTER_REJECT)
+                self._reject(group_key, key, record)
                 continue
             if not record.trusted:
                 if not self._verify_countermodel(model, rhs, tbox):
-                    record.bad = True
-                    REGISTRY.inc(COUNTER_REJECT)
+                    self._reject(group_key, key, record)
                     continue
                 record.trusted = True
             if satisfies_union(model, lhs):
@@ -437,15 +448,45 @@ class SemanticLattice:
                 return SemanticHit("transitive", True, key)
         return None
 
+    def _reject(self, group_key: tuple, key: tuple, record: "_Record") -> None:
+        """Mark a record bad and queue its journal line for quarantine."""
+        record.bad = True
+        REGISTRY.inc(COUNTER_REJECT)
+        self._rejected.append((group_key, key))
+
+    def take_rejected(self) -> list[tuple[tuple, str]]:
+        """Drain ``(group key, canonical lhs text)`` for records rejected
+        since the last drain.  The text is the node's canonical rendering —
+        identical to what :meth:`~repro.service.scheduler.DecisionScheduler`
+        persisted, so it addresses the journal line exactly."""
+        out: list[tuple[tuple, str]] = []
+        for group_key, key in self._rejected:
+            node = self._nodes.get(key)
+            if node is not None:
+                out.append((group_key, query_to_text(node.query)))
+                REGISTRY.inc(COUNTER_QUARANTINED)
+        self._rejected.clear()
+        return out
+
     @staticmethod
     def _verify_countermodel(model: Graph, rhs, tbox) -> bool:
         """Re-establish the stored invariant for a disk-loaded record:
         the graph is a T-model avoiding Q.  (Its match of the *original*
-        P′ is irrelevant to rule b and not rechecked.)"""
+        P′ is irrelevant to rule b and not rechecked.)
+
+        Served countermodels have the normalization's fresh names stripped,
+        so the TBox check runs on ``tbox.complete(model)`` — re-placing the
+        fresh names from their definitions — rather than on the raw graph,
+        which would wrongly reject every witness under a schema whose
+        normalization introduced names (and, since PR 10, quarantine its
+        perfectly good journal line)."""
         if rhs is not None and satisfies_union(model, rhs):
             return False
-        if tbox is not None and not tbox.satisfied_by(model):
-            return False
+        if tbox is not None:
+            completer = getattr(tbox, "complete", None)
+            completed = completer(model) if completer is not None else model
+            if not tbox.satisfied_by(completed):
+                return False
         return True
 
     # ------------------------------------------------------------- #

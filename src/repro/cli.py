@@ -208,6 +208,7 @@ def _build_server(args: argparse.Namespace):
         default_timeout_ms=args.timeout_ms,
         backend=args.backend,
         semantic_cache=args.semantic_cache != "off",
+        audit=args.audit != "off",
     )
 
 
@@ -234,6 +235,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear the persistent journals (``repro cache ...``)."""
     from repro.service.cache import (
         JOURNAL_NAME,
+        QUARANTINE_NAME,
         SEMANTIC_JOURNAL_NAME,
         DecisionCache,
         default_cache_dir,
@@ -243,7 +245,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "clear":
         # unlink without loading: a corrupt journal must still be clearable
         removed = 0
-        for name in (JOURNAL_NAME, SEMANTIC_JOURNAL_NAME):
+        for name in (JOURNAL_NAME, SEMANTIC_JOURNAL_NAME, QUARANTINE_NAME):
             path = cache_dir / name
             if path.exists():
                 path.unlink()
@@ -261,6 +263,24 @@ def cmd_cache(args: argparse.Namespace) -> int:
             "decisions": cache.stats(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if args.cache_command == "scrub":
+        from repro.resilience.audit import JournalScrubber
+
+        report = JournalScrubber(cache).scrub_once()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        bad = (
+            report["records"]["decision_quarantined"]
+            + report["records"]["semantic_quarantined"]
+        )
+        print(
+            f"scrub: {report['records']['decision_records']} decision + "
+            f"{report['records']['semantic_records']} semantic records checked, "
+            f"{bad} quarantined this pass, "
+            f"{report['quarantined_lines']} line(s) in quarantine.jsonl",
+            file=sys.stderr,
+        )
         return 0
 
     # ls: one line per entry, exact journal then semantic groups
@@ -338,12 +358,31 @@ def _serve_gateway(args: argparse.Namespace) -> int:
         default_timeout_ms=args.timeout_ms,
         backend=args.backend,
         semantic_cache=args.semantic_cache != "off",
+        audit=args.audit != "off",
     )
     if default_quota is not None:
         config.default_quota = default_quota
 
     async def _run() -> None:
         gateway = GatewayServer(config)
+        stop = asyncio.Event()
+        mode = {"drain": False}
+        loop = asyncio.get_running_loop()
+
+        def _on_signal(drain: bool) -> None:
+            mode["drain"] = drain
+            stop.set()
+
+        # SIGINT stops immediately; SIGTERM drains gracefully — in-flight
+        # decisions complete (and journal) while new ones get a structured
+        # "draining" rejection, then the gateway exits 0.  Installed before
+        # the banner so a supervisor reacting to it can't race the default
+        # (killing) disposition.
+        for sig, drain in ((signal.SIGINT, False), (signal.SIGTERM, True)):
+            try:
+                loop.add_signal_handler(sig, _on_signal, drain)
+            except (NotImplementedError, RuntimeError):
+                pass
         await gateway.start()
         endpoints = []
         if args.socket:
@@ -364,15 +403,11 @@ def _serve_gateway(args: argparse.Namespace) -> int:
             + ", ".join(endpoints),
             file=sys.stderr,
         )
-        stop = asyncio.Event()
-        loop = asyncio.get_running_loop()
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(sig, stop.set)
-            except (NotImplementedError, RuntimeError):
-                pass
         try:
             await stop.wait()
+            if mode["drain"]:
+                print("repro gateway: draining (SIGTERM)", file=sys.stderr)
+                await gateway.drain()
         finally:
             if args.metrics_json:
                 Path(args.metrics_json).write_text(
@@ -423,6 +458,12 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         help="answer near-duplicate requests by inference over the "
         "per-session containment lattice instead of a fresh search "
         "(default: on; sound either way — semantic answers are proofs)",
+    )
+    parser.add_argument(
+        "--audit", default="on", choices=["on", "off"],
+        help="verdict integrity audit: re-verify every False verdict's "
+        "countermodel before serving it and A/B-sample True verdicts on "
+        "the mirror kernel backend (default: on; ~free on the clean path)",
     )
 
 
@@ -558,7 +599,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--http", default=None, type=_parse_host_port, metavar="HOST:PORT",
         help="gateway mode: HTTP/JSON facade on HOST:PORT "
-        "(POST /v1/decide, POST /v1/schemas, GET /v1/stats, GET /v1/healthz)",
+        "(POST /v1/decide, POST /v1/schemas, GET /v1/stats, GET /v1/healthz, "
+        "GET /v1/readyz)",
     )
     serve.add_argument(
         "--shards", default=2, type=int, metavar="N",
@@ -595,9 +637,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     for name, help_text in (
-        ("stats", "entry counts, fingerprints, and hit counters"),
+        ("stats", "entry counts, fingerprints, hit and quarantine counters"),
         ("ls", "list journal entries and semantic premise groups"),
-        ("clear", "remove both journals from the cache directory"),
+        ("scrub", "one synchronous integrity pass over both journals; "
+         "failing lines/records move to quarantine.jsonl"),
+        ("clear", "remove both journals (and quarantine.jsonl) from the "
+         "cache directory"),
     ):
         cache_cmd = cache_sub.add_parser(name, help=help_text)
         cache_cmd.add_argument(

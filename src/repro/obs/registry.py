@@ -119,6 +119,17 @@ class CounterRegistry:
     def counters_snapshot(self) -> Dict[str, int]:
         return dict(self.snapshot()["counters"])
 
+    def snapshot_prefixed(self, prefix: str) -> Dict[str, int]:
+        """The flushed counters of one family (``audit.``, ``semcache.``,
+        ``faults.``), without sampling probes — cheap enough for a stats
+        response to call per request."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     def flushed_counters(self) -> Dict[str, int]:
         """Only the explicitly flushed counters, without sampling probes.
 

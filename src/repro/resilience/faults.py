@@ -34,6 +34,11 @@ site                      where
 ``gateway.shard.handle``  shard worker, before handling one envelope — its
                           ``kill`` callback SIGKILLs the worker process,
                           so ``kill_worker`` here drives the respawn path
+``audit.bitflip``         :mod:`repro.service.cache`, after a journal
+                          line's CRC is computed but before it is written —
+                          a ``raise`` here corrupts one byte of the line on
+                          disk, proving the checksum/quarantine layer keeps
+                          flipped bits away from clients
 ========================  =================================================
 
 Activation: programmatically (:func:`install_faults` /

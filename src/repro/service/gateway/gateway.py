@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.resilience import faults
+from repro.resilience.health import QUARANTINED, HealthPolicy, ShardHealth
 from repro.service.gateway.admission import AdmissionController, FairQueue, TenantQuota
 from repro.service.gateway.models import (
     DecideModel,
@@ -55,6 +56,7 @@ from repro.service.gateway.models import (
 from repro.service.gateway.shards import ShardFleet, ShardUnavailable
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    draining_response,
     encode_response,
     error_response,
     overloaded_response,
@@ -92,6 +94,17 @@ class GatewayConfig:
     via ``options.semantic_cache``."""
     max_line_bytes: int = 1 << 20
     max_respawns: int = 5
+    audit: bool = True
+    """Run the verdict integrity auditor inside every shard worker (the
+    serve-time countermodel check + sampled A/B backend oracle)."""
+    health: bool = True
+    """Drive the per-shard health ladder (``healthy → degraded →
+    quarantined`` with half-open recovery probes)."""
+    health_policy: Optional[HealthPolicy] = None
+    """Ladder/breaker tunables; ``None`` uses :class:`HealthPolicy`
+    defaults."""
+    health_interval_s: float = 0.05
+    """Cadence of the probe loop that re-admits quarantined shards."""
 
 
 class _Connection:
@@ -138,8 +151,18 @@ class GatewayServer:
             default_timeout_ms=self.config.default_timeout_ms,
             backend=self.config.backend,
             semantic_cache=self.config.semantic_cache,
+            audit=self.config.audit,
             metrics=self.metrics,
             max_respawns=self.config.max_respawns,
+            on_worker_loss=self._on_worker_loss if self.config.health else None,
+        )
+        self.health: list[ShardHealth] = (
+            [
+                ShardHealth(i, policy=self.config.health_policy)
+                for i in range(self.config.shards)
+            ]
+            if self.config.health
+            else []
         )
         self._queues = [
             FairQueue(self.admission.weight_of) for _ in range(self.config.shards)
@@ -150,6 +173,8 @@ class GatewayServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._ref_keys: dict[str, str] = {}
         self._started = False
+        self._draining = False
+        self._health_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------- #
     # lifecycle
@@ -163,10 +188,19 @@ class GatewayServer:
             asyncio.ensure_future(self._dispatch_loop(i))
             for i in range(self.config.shards)
         ]
+        if self.health:
+            self._health_task = asyncio.ensure_future(self._health_loop())
         self._started = True
 
     async def stop(self) -> None:
         self._started = False
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._health_task = None
         for server in self._servers:
             server.close()
         for server in self._servers:
@@ -405,6 +439,11 @@ class GatewayServer:
         ``(admission outcome, responses)``."""
         start = time.perf_counter()
         tenant = model.tenant
+        if self._draining:
+            self.metrics.count("gateway_drain_rejected")
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.metrics.observe_latency_ms(elapsed_ms, outcome=OUTCOME_REJECTED)
+            return OUTCOME_REJECTED, [draining_response(model.id)]
         reason = self.admission.admit(tenant)
         if reason is not None:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
@@ -444,7 +483,29 @@ class GatewayServer:
             key = self._schema_key(model.schema)
         else:
             key = f"queries:{model.lhs}\x00{model.rhs}"
-        return self.fleet.shard_id_for(key)
+        base = self.fleet.shard_id_for(key)
+        return self._route_healthy(base)
+
+    def _route_healthy(self, base: int) -> int:
+        """Steer around quarantined/dead shards: scan forward from the
+        fingerprint's home shard to the first one taking traffic (schemas
+        are broadcast to every shard, so any shard can serve any decision
+        — the reroute costs cache locality, not correctness).  When no
+        shard accepts, keep the home shard: it answers the structured
+        ``shard unavailable`` error."""
+        if not self.health:
+            return base
+        for offset in range(self.config.shards):
+            candidate = (base + offset) % self.config.shards
+            if (
+                self.health[candidate].accepts_traffic()
+                and not self.fleet.shards[candidate].dead
+            ):
+                if candidate != base:
+                    self.metrics.count("gateway_rerouted")
+                    self.metrics.shard_count(base, "rerouted_away")
+                return candidate
+        return base
 
     # ------------------------------------------------------------- #
     # dispatch
@@ -482,12 +543,20 @@ class GatewayServer:
         line: str,
         future: asyncio.Future,
     ) -> None:
+        health = self.health[shard_id] if self.health else None
+        if health is not None:
+            overrides = health.overrides()
+            if overrides:
+                line = self._apply_overrides(line, overrides)
+                self.metrics.shard_count(shard_id, "degraded_dispatch")
         try:
             faults.maybe_fault("gateway.dispatch")
             responses = await self.fleet.submit(shard_id, line)
         except faults.FaultInjected as exc:
             self.metrics.count("errors")
             responses = [error_response(None, f"gateway fault: {exc}")]
+            if health is not None:
+                health.record_failure("fault", str(exc))
         except ShardUnavailable as exc:
             self.metrics.count("errors")
             self.metrics.count("gateway_shard_unavailable")
@@ -495,6 +564,11 @@ class GatewayServer:
         except Exception as exc:  # the dispatch loop must never die
             self.metrics.count("errors")
             responses = [error_response(None, f"internal gateway error: {exc}")]
+            if health is not None:
+                health.record_failure("fault", str(exc))
+        else:
+            if health is not None:
+                self._observe_shard_responses(health, responses)
         self.metrics.tenant_count(tenant, "responses")
         for response in responses:
             # per-tenant verdict provenance: which cache layer answered
@@ -507,6 +581,159 @@ class GatewayServer:
                     self.metrics.tenant_count(tenant, "semcache_hits")
         if not future.done():
             future.set_result(responses)
+
+    # ------------------------------------------------------------- #
+    # health ladder
+
+    @staticmethod
+    def _apply_overrides(line: str, overrides: dict) -> str:
+        """Merge degradation-ladder overrides into a decide wire line.
+
+        Every ladder key (``semantic_cache`` / ``backend`` / ``workers``)
+        is excluded from decision identity, so the rewritten request gets
+        the same verdict — computed with less machinery."""
+        try:
+            data = json.loads(line)
+        except ValueError:
+            return line
+        if not isinstance(data, dict) or data.get("type", "decide") != "decide":
+            return line
+        options = data.get("options")
+        options = dict(options) if isinstance(options, dict) else {}
+        options.update(overrides)
+        data["options"] = options
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+    def _observe_shard_responses(
+        self, health: ShardHealth, responses: list[dict]
+    ) -> None:
+        """Fold one dispatch's outcome into the shard's health machine.
+
+        Only *shard-side* failures count against health: injected shard
+        faults and audit failures (the scheduler's ``decision failed:
+        audit failed`` error).  Client mistakes — unparseable queries,
+        unknown ``schema_ref`` — are normal service and must not climb
+        the ladder."""
+        failed = False
+        for response in responses:
+            if response.get("type") != "error":
+                continue
+            message = response.get("error", "")
+            if "audit failed" in message:
+                health.record_failure("audit_failure", message)
+                self.metrics.count("gateway_audit_failures")
+                failed = True
+            elif "shard fault" in message:
+                health.record_failure("fault", message)
+                failed = True
+        if not failed:
+            health.record_success()
+
+    def _on_worker_loss(self, shard_id: int, dead: bool) -> None:
+        """Fleet callback: a worker died (``dead`` once the respawn budget
+        is exhausted — straight to quarantine, probes take it from there)."""
+        if not self.health:
+            return
+        health = self.health[shard_id]
+        if dead:
+            health.quarantine("respawn budget exhausted")
+        else:
+            health.record_failure("worker_loss")
+
+    async def _health_loop(self) -> None:
+        """Half-open recovery driver: each tick, any quarantined shard past
+        its cooloff gets one probe — a cold worker respawn followed by a
+        self-test pair of decisions with known answers."""
+        while True:
+            await asyncio.sleep(self.config.health_interval_s)
+            for health in self.health:
+                if health.state == QUARANTINED and health.allow_probe():
+                    try:
+                        ok = await self._probe_shard(health.shard_id)
+                    except Exception:
+                        ok = False
+                    health.on_probe_result(ok)
+                    self.metrics.shard_count(health.shard_id, "probes")
+                    if ok:
+                        self.metrics.shard_count(health.shard_id, "readmitted")
+                        self.metrics.count("gateway_shard_readmissions")
+
+    async def _probe_shard(self, shard_id: int) -> bool:
+        """Cold-respawn a quarantined shard and self-test it: one known
+        containment and one known non-containment must both come back
+        complete and correct before the shard takes tenant traffic again."""
+        try:
+            await self.fleet.restart_shard(shard_id)
+        except Exception:
+            return False
+        probes = (
+            ({"type": "decide", "id": "probe-pos", "lhs": "A(x)", "rhs": "A(x)"}, True),
+            ({"type": "decide", "id": "probe-neg", "lhs": "A(x)", "rhs": "B(x)"}, False),
+        )
+        for request, expected in probes:
+            try:
+                responses = await self.fleet.submit(
+                    shard_id, json.dumps(request, sort_keys=True, separators=(",", ":"))
+                )
+            except Exception:
+                return False
+            if not self._probe_ok(responses, expected):
+                return False
+        return True
+
+    @staticmethod
+    def _probe_ok(responses: list[dict], expected: bool) -> bool:
+        for response in responses:
+            if response.get("type") == "verdict":
+                verdict = response.get("verdict") or {}
+                return (
+                    verdict.get("contained") is expected
+                    and verdict.get("complete") is True
+                )
+        return False
+
+    # ------------------------------------------------------------- #
+    # drain
+
+    def begin_drain(self) -> None:
+        """Stop admitting decide requests; in-flight work keeps running."""
+        if not self._draining:
+            self._draining = True
+            self.metrics.count("gateway_drains")
+
+    async def drain(self, timeout_s: float = 30.0) -> bool:
+        """Graceful shutdown: reject new decisions, wait for in-flight ones
+        to complete (and journal), then stop the gateway.  Returns True
+        when everything in flight finished inside the timeout."""
+        self.begin_drain()
+        deadline = time.monotonic() + timeout_s
+        while self.admission.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        drained = self.admission.inflight == 0
+        await self.stop()
+        return drained
+
+    def readiness(self) -> tuple[bool, dict]:
+        """The ``/v1/readyz`` payload: ready iff started, not draining, and
+        at least one shard accepts traffic (liveness — ``/v1/healthz`` —
+        stays true through a drain; readiness is what load balancers gate
+        new traffic on)."""
+        if self.health:
+            accepting = sum(
+                1
+                for i, health in enumerate(self.health)
+                if health.accepts_traffic() and not self.fleet.shards[i].dead
+            )
+        else:
+            accepting = sum(1 for shard in self.fleet.shards if not shard.dead)
+        ready = self._started and not self._draining and accepting > 0
+        return ready, {
+            "ready": ready,
+            "started": self._started,
+            "draining": self._draining,
+            "shards_accepting": accepting,
+            "shards": self.config.shards,
+        }
 
     # ------------------------------------------------------------- #
     # stats
@@ -526,7 +753,11 @@ class GatewayServer:
             "inflight": self.admission.inflight,
             "fair_queues": self.fair_dequeue_stats(),
             "schema_refs": len(self._ref_keys),
+            "draining": self._draining,
+            "audit": self.config.audit,
         }
+        if self.health:
+            payload["gateway"]["health"] = [h.snapshot() for h in self.health]
         return payload
 
     async def shard_stats(self) -> list[dict]:

@@ -14,7 +14,11 @@ POST     ``/v1/decide``         one containment decision (body =
 POST     ``/v1/schemas``        register a schema for ``schema_ref`` reuse
 GET      ``/v1/stats``          gateway metrics snapshot
                                 (``?deep=1`` adds per-shard snapshots)
-GET      ``/v1/healthz``        liveness probe
+GET      ``/v1/healthz``        liveness probe (true while the process runs,
+                                even mid-drain)
+GET      ``/v1/readyz``         readiness probe — 200 only when started,
+                                not draining, and ≥1 shard accepts traffic;
+                                503 otherwise (what load balancers gate on)
 =======  =====================  ===========================================
 
 Status mapping: validation failures → 400, admission rejections → 429
@@ -268,4 +272,9 @@ async def _handle(
         if method != "GET":
             raise _HttpError(405, "GET required")
         return 200, {"ok": True, "shards": gateway.config.shards}, None
+    if route == "/v1/readyz":
+        if method != "GET":
+            raise _HttpError(405, "GET required")
+        ready, payload = gateway.readiness()
+        return (200 if ready else 503), payload, None
     raise _HttpError(404, f"no route {route!r}")

@@ -102,6 +102,7 @@ def _shard_server(config: dict, shard_id: int):
         default_timeout_ms=config.get("default_timeout_ms"),
         backend=config.get("backend"),
         semantic_cache=config.get("semantic_cache", True),
+        audit=config.get("audit", True),
     )
 
 
@@ -366,12 +367,14 @@ class _Shard:
         if self.respawns > self.fleet.max_respawns:
             self.dead = True
             metrics.shard_count(self.id, "dead")
+            self._notify_loss(dead=True)
             self._fail_pending(
                 ShardUnavailable(
                     f"shard {self.id} lost {self.respawns} times; giving up"
                 )
             )
             return
+        self._notify_loss(dead=False)
         backoff = min(1.0, self.fleet.respawn_backoff_s * (2 ** (self.respawns - 1)))
         await asyncio.sleep(backoff)
         await self._spawn()
@@ -383,6 +386,51 @@ class _Shard:
             await self._write({"corr": self._corr, "op": "req", "req": line})
         # resubmit everything that was in flight when the worker died
         for corr, (_future, envelope) in sorted(self.pending.items()):
+            await self._write(envelope)
+
+    def _notify_loss(self, dead: bool) -> None:
+        callback = self.fleet.on_worker_loss
+        if callback is None:
+            return
+        try:
+            callback(self.id, dead)
+        except Exception:  # health bookkeeping must never break recovery
+            pass
+
+    async def restart(self) -> None:
+        """Cold respawn for a quarantine-recovery probe: discard whatever
+        worker (or corpse) is attached, reset the respawn budget, replay
+        the schema log, and resubmit anything still pending.  Unlike
+        :meth:`_recover` this also revives a shard already marked dead —
+        the health state machine decides *when* to re-admit it, based on
+        the self-test the gateway runs against the fresh worker."""
+        self.dead = True  # park the read loop / reject submits mid-restart
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        self._close_stream()
+        worker = self.worker
+        loop = asyncio.get_running_loop()
+        if isinstance(worker, multiprocessing.Process):
+            if worker.is_alive():
+                worker.terminate()
+            await loop.run_in_executor(None, worker.join, 5)
+        elif isinstance(worker, threading.Thread):
+            # a thread worker exits on its socket's EOF (already closed)
+            await loop.run_in_executor(None, worker.join, 5)
+        self.respawns = 0
+        self.dead = False
+        await self._spawn()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self.fleet.metrics.shard_count(self.id, "cold_restarts")
+        for line in self.fleet.schema_log:
+            self._corr += 1
+            await self._write({"corr": self._corr, "op": "req", "req": line})
+        for _corr, (_future, envelope) in sorted(self.pending.items()):
             await self._write(envelope)
 
     def _reconcile_fault_accounting(self) -> None:
@@ -427,9 +475,11 @@ class ShardFleet:
         default_timeout_ms: Optional[int] = None,
         backend: Optional[str] = None,
         semantic_cache: bool = True,
+        audit: bool = True,
         metrics: Optional[ServiceMetrics] = None,
         max_respawns: int = 5,
         respawn_backoff_s: float = 0.05,
+        on_worker_loss=None,
     ) -> None:
         if count < 1:
             raise ValueError("a fleet needs at least one shard")
@@ -438,6 +488,10 @@ class ShardFleet:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.max_respawns = max_respawns
         self.respawn_backoff_s = respawn_backoff_s
+        self.on_worker_loss = on_worker_loss
+        """Optional ``(shard_id, dead: bool)`` callback invoked on the
+        event loop every time a worker is lost — the gateway's health
+        state machine subscribes here."""
         self.worker_config = {
             "cache_dir": str(cache_dir) if cache_dir is not None else None,
             "use_cache": use_cache,
@@ -446,6 +500,7 @@ class ShardFleet:
             "default_timeout_ms": default_timeout_ms,
             "backend": backend,
             "semantic_cache": semantic_cache,
+            "audit": audit,
             "processes": processes,
         }
         self.schema_log: list[str] = []
@@ -469,6 +524,10 @@ class ShardFleet:
 
     def shard_id_for(self, key_material: str) -> int:
         return shard_for(key_material, self.count)
+
+    async def restart_shard(self, shard_id: int) -> None:
+        """Cold-respawn one shard (see :meth:`_Shard.restart`)."""
+        await self.shards[shard_id].restart()
 
     async def submit(self, shard_id: int, request_line: str) -> list[dict]:
         """Run one wire-protocol line on a shard; returns its responses."""

@@ -268,3 +268,21 @@ def overloaded_response(
     if retry_after_ms is not None:
         payload["retry_after_ms"] = int(retry_after_ms)
     return payload
+
+
+def draining_response(request_id: Optional[str]) -> dict:
+    """A structured drain rejection: the gateway received SIGTERM and is
+    letting in-flight decisions finish; new work should go elsewhere.
+
+    ``code`` is ``"draining"`` so load balancers and retrying clients can
+    branch without string-matching (the same contract as ``overloaded``);
+    a drained gateway also fails its ``/v1/readyz`` probe.
+    """
+    payload: dict[str, Any] = {
+        "type": "error",
+        "code": "draining",
+        "error": "draining: gateway is shutting down; retry against another instance",
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload

@@ -32,6 +32,20 @@ Request validation (query parse, schema resolution, option whitelisting)
 happens at submit time so malformed requests fail fast with an ``error``
 response and never occupy the queue.
 
+When an auditor is attached (:class:`repro.resilience.audit.VerdictAuditor`,
+the service default), every False verdict about to be served from the
+dedup memo, the persistent journal, or a fresh computation first has its
+countermodel re-verified by the compiled matchers.  A failed journal entry
+is quarantined and the request falls through to a fresh decision; a failed
+*computed* verdict triggers one re-decide on the reference configuration
+(bitset kernel, serial, caches bypassed), and only if *that* also fails
+does the request answer with a structured error.  Semantic hits need no
+serve-time gate: the lattice replays countermodels against the new lhs at
+lookup time, which *is* the audit.  A deterministic 1-in-N sample of
+freshly computed complete verdicts is additionally re-decided on the
+mirror kernel backend (bitset↔vec); on a mismatch the reference answer is
+the one served and stored.
+
 Resolution is fail-soft: transient infrastructure failures (a broken
 process pool, an injected fault) are retried with capped exponential
 backoff; anything else answers that one request with a structured
@@ -61,10 +75,11 @@ from repro.core.containment import (
 from repro.core.reduction import query_key
 from repro.io import FORMAT_VERSION, query_to_text, verdict_to_dict
 from repro.kernel.memo import BoundedMemo
-from repro.obs import span
+from repro.obs import REGISTRY, span
 from repro.queries.parser import parse_query
 from repro.queries.ucrpq import UCRPQ
 from repro.resilience import FaultInjected, faults
+from repro.resilience.audit import AuditFailure, VerdictAuditor
 from repro.resilience.deadline import Deadline
 from repro.service.cache import DecisionCache, semantic_group_digest
 from repro.service.metrics import ServiceMetrics
@@ -110,6 +125,7 @@ class DecisionScheduler:
         retry_backoff_s: float = 0.05,
         backend: Optional[str] = None,
         semantic_cache: bool = True,
+        auditor: Optional[VerdictAuditor] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.sessions = sessions if sessions is not None else SessionManager(self.metrics)
@@ -126,6 +142,9 @@ class DecisionScheduler:
         self.semantic_cache = semantic_cache
         """Server-level switch for the per-session semantic lattices; a
         request can additionally opt out via ``options.semantic_cache``."""
+        self.auditor = auditor
+        """Optional integrity auditor gating every served False verdict
+        (and A/B-sampling computed ones); ``None`` disables auditing."""
         self._queue: list[_Item] = []
         self._results = BoundedMemo(max_entries=8192, name="service.results")
         """Lifetime verdict-dict memo keyed by decision key (dedup source)."""
@@ -241,15 +260,24 @@ class DecisionScheduler:
     def _verdict_for(self, item: _Item) -> tuple[dict, str]:
         cached = self._results.get(item.key)
         if cached is not None:
-            self.metrics.count("dedup_collapses")
-            return cached, "dedup"
+            if self._audit_gate(item, cached, "dedup"):
+                self.metrics.count("dedup_collapses")
+                return cached, "dedup"
+            # a memo entry that no longer proves itself is evicted and the
+            # request falls through to the layers below
+            self._results.discard(item.key)
         if self.cache is not None:
             stored = self.cache.get(item.key)
             if stored is not None:
-                self._results.put(item.key, stored)
-                return stored, "cache"
+                if self._audit_gate(item, stored, "cache"):
+                    self._results.put(item.key, stored)
+                    return stored, "cache"
+                self.cache.quarantine_entry(item.key, "audit.countermodel")
         semantic = self._semantic_lookup(item)
         if semantic is not None:
+            # no serve-time gate here: a replay hit *is* a countermodel
+            # re-verification, and transitive hits are proofs over premises
+            # the lattice's trust gate already re-verified
             self.metrics.count("semantic_hits")
             return semantic, "semantic"
         faults.maybe_fault("scheduler.dispatch")
@@ -273,13 +301,79 @@ class DecisionScheduler:
         if result.deadline_expired:
             # wall-clock-cut verdicts are nondeterministic: answer the
             # caller but keep them out of the dedup memo and the journal
+            # (and out of the auditor's reach — there is nothing to prove)
             self.metrics.count("timeouts")
-        else:
-            self._results.put(item.key, verdict)
-            if self.cache is not None:
-                self.cache.put(item.key, verdict)
-            self._semantic_insert(item, verdict)
+            return verdict, "computed"
+        verdict = self._audit_computed(item, verdict)
+        self._results.put(item.key, verdict)
+        if self.cache is not None:
+            self.cache.put(item.key, verdict)
+        self._semantic_insert(item, verdict)
         return verdict, "computed"
+
+    # ------------------------------------------------------------- #
+    # integrity audit
+
+    def _audit_gate(self, item: _Item, verdict: dict, source: str) -> bool:
+        """Witness check for a verdict about to be served from a cache
+        layer; True when safe (or no auditor is attached)."""
+        if self.auditor is None:
+            return True
+        tbox = item.session.tbox if item.session is not None else None
+        return self.auditor.check_false(
+            verdict, item.lhs, item.rhs, tbox, source=source
+        )
+
+    def _audit_computed(self, item: _Item, verdict: dict) -> dict:
+        """Audit a freshly computed deterministic verdict.
+
+        A failed witness check means the engine itself produced a bad
+        countermodel (or memory corrupted it): re-decide once on the
+        reference configuration and serve that — or fail the request if
+        even the reference answer cannot prove itself.  Complete verdicts
+        that pass are additionally A/B-sampled onto the mirror backend."""
+        if self.auditor is None:
+            return verdict
+        tbox = item.session.tbox if item.session is not None else None
+        if not self.auditor.check_false(
+            verdict, item.lhs, item.rhs, tbox, source="computed"
+        ):
+            return self._reference_verdict(item, tbox)
+        if verdict.get("complete") and self.auditor.should_ab_sample():
+            mirror = self.auditor.ab_verdict(
+                item.lhs, item.rhs, tbox, item.request.method, item.options
+            )
+            if mirror is not None and mirror != verdict:
+                REGISTRY.inc("audit.ab.mismatch")
+                self.metrics.count("audit_ab_mismatches")
+                return self._reference_verdict(item, tbox)
+        return verdict
+
+    def _reference_verdict(self, item: _Item, tbox) -> dict:
+        """Last-resort sound fallback: serial bitset kernel, every cache
+        and inference layer bypassed, no deadline — then audited again."""
+        self.metrics.count("audit_reference_redecides")
+        REGISTRY.inc("audit.reference.redecides")
+        options = replace(
+            item.options,
+            backend="bitset",
+            workers=1,
+            use_cache=False,
+            semantic_cache=False,
+            deadline=None,
+        )
+        result = is_contained(
+            item.lhs, item.rhs, tbox, method=item.request.method, options=options
+        )
+        verdict = verdict_to_dict(result)
+        if not self.auditor.check_false(
+            verdict, item.lhs, item.rhs, tbox, source="reference"
+        ):
+            raise AuditFailure(
+                "audit failed: countermodel rejected even on the reference "
+                "backend (serial bitset, caches bypassed)"
+            )
+        return verdict
 
     # ------------------------------------------------------------- #
     # semantic layer
@@ -302,6 +396,7 @@ class DecisionScheduler:
         hit = lattice.lookup(
             group_key, item.lhs, lhs_key, rhs=item.rhs, tbox=item.session.tbox
         )
+        self._quarantine_rejected(lattice)
         if hit is None:
             return None
         # both rules are proofs, so the derived verdict is certain; the
@@ -317,6 +412,15 @@ class DecisionScheduler:
             ),
             "countermodel": hit.countermodel,
         }
+
+    def _quarantine_rejected(self, lattice) -> None:
+        """Evict the journal lines behind records the lattice's trust gate
+        rejected during the last lookup, so disk heals with memory."""
+        if self.cache is None:
+            return
+        for group_key, lhs_text in lattice.take_rejected():
+            digest = semantic_group_digest(group_key, self.cache.fingerprint)
+            self.cache.quarantine_semantic(digest, lhs_text, "audit.countermodel")
 
     def _semantic_hydrate(self, lattice, group_key: tuple) -> None:
         """Load a persisted premise group into the lattice on first touch.

@@ -31,7 +31,8 @@ from pathlib import Path
 from typing import IO, Iterable, Optional, Union
 
 from repro.kernel.parallel import set_pool_reuse
-from repro.obs import PhaseAggregator, active_collector, install, uninstall
+from repro.obs import REGISTRY, PhaseAggregator, active_collector, install, uninstall
+from repro.resilience.audit import JournalScrubber, VerdictAuditor
 from repro.service.cache import DecisionCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -74,22 +75,36 @@ class ContainmentServer:
         default_timeout_ms: Optional[int] = None,
         backend: Optional[str] = None,
         semantic_cache: bool = True,
+        audit: bool = True,
+        ab_sample_every: int = 64,
+        scrub_interval_s: Optional[float] = None,
     ) -> None:
         if scheduler is not None:
             self.scheduler = scheduler
         else:
             metrics = ServiceMetrics()
             cache = DecisionCache(cache_dir, metrics) if use_cache else None
+            auditor = (
+                VerdictAuditor(metrics, ab_sample_every=ab_sample_every)
+                if audit
+                else None
+            )
             self.scheduler = DecisionScheduler(
                 SessionManager(metrics, backend=backend or "auto"),
                 cache, metrics, workers=workers,
                 default_timeout_ms=default_timeout_ms,
                 backend=backend,
                 semantic_cache=semantic_cache,
+                auditor=auditor,
             )
         self.metrics = self.scheduler.metrics
         self.sessions = self.scheduler.sessions
         self.pool_reuse = pool_reuse
+        self.scrubber: Optional[JournalScrubber] = None
+        if scrub_interval_s is not None and self.scheduler.cache is not None:
+            self.scrubber = JournalScrubber(
+                self.scheduler.cache, self.metrics, interval_s=scrub_interval_s
+            )
         self._default_stream = StreamState()
 
     # ------------------------------------------------------------- #
@@ -165,6 +180,18 @@ class ContainmentServer:
         semantic = self.sessions.semantic_snapshot()
         if semantic:
             payload["semantic"] = semantic
+        audit = REGISTRY.snapshot_prefixed("audit.")
+        if self.scheduler.auditor is not None or audit:
+            payload["audit"] = {
+                "enabled": self.scheduler.auditor is not None,
+                "counters": audit,
+            }
+            if self.scheduler.auditor is not None:
+                payload["audit"]["seconds"] = round(
+                    self.scheduler.auditor.seconds, 6
+                )
+            if self.scrubber is not None:
+                payload["audit"]["scrub_passes"] = self.scrubber.passes
         return payload
 
     # ------------------------------------------------------------- #
@@ -198,9 +225,13 @@ class ContainmentServer:
         """Serve one JSONL conversation from stream to stream."""
         set_pool_reuse(self.pool_reuse)
         installed = self._install_aggregator()
+        if self.scrubber is not None:
+            self.scrubber.start()
         try:
             self._run_stream(in_stream, out_stream)
         finally:
+            if self.scrubber is not None:
+                self.scrubber.stop()
             if installed:
                 uninstall()
             set_pool_reuse(False)
@@ -248,6 +279,8 @@ class ContainmentServer:
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         set_pool_reuse(self.pool_reuse)
         installed = self._install_aggregator()
+        if self.scrubber is not None:
+            self.scrubber.start()
         try:
             listener.bind(str(socket_path))
             listener.listen(8)
@@ -275,6 +308,8 @@ class ContainmentServer:
                             except OSError:
                                 pass
         finally:
+            if self.scrubber is not None:
+                self.scrubber.stop()
             if installed:
                 uninstall()
             set_pool_reuse(False)

@@ -1,0 +1,154 @@
+"""Checksummed persistence: CRC32 per journal line, quarantine of bad
+lines, the ``audit.bitflip`` fault site, and cache-dir startup hygiene."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import REGISTRY
+from repro.resilience.faults import injected_faults
+from repro.service.cache import (
+    JOURNAL_NAME,
+    QUARANTINE_NAME,
+    SEMANTIC_JOURNAL_NAME,
+    DecisionCache,
+    line_crc,
+)
+
+KEY_A = ("exact", "lhs-a", "rhs-a", "auto", "tbox")
+KEY_B = ("exact", "lhs-b", "rhs-b", "auto", "tbox")
+VERDICT = {"contained": True, "complete": True, "countermodel": None}
+
+
+def test_journal_lines_carry_crc(tmp_path):
+    cache = DecisionCache(tmp_path)
+    cache.put(KEY_A, VERDICT)
+    entry = json.loads((tmp_path / JOURNAL_NAME).read_text().splitlines()[0])
+    crc = entry.pop("crc")
+    assert crc == line_crc(entry)
+
+
+def test_crc_roundtrip_reloads(tmp_path):
+    cache = DecisionCache(tmp_path)
+    cache.put(KEY_A, VERDICT)
+    reloaded = DecisionCache(tmp_path)
+    assert reloaded.get(KEY_A) == VERDICT
+    assert reloaded.crc_failures == 0
+
+
+def test_legacy_lines_without_crc_still_load(tmp_path):
+    cache = DecisionCache(tmp_path)
+    cache.put(KEY_A, VERDICT)
+    journal = tmp_path / JOURNAL_NAME
+    entry = json.loads(journal.read_text().splitlines()[0])
+    entry.pop("crc")
+    journal.write_text(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
+    reloaded = DecisionCache(tmp_path)
+    assert reloaded.get(KEY_A) == VERDICT
+    assert reloaded.crc_failures == 0
+
+
+def test_flipped_line_is_quarantined_not_served(tmp_path):
+    cache = DecisionCache(tmp_path)
+    cache.put(KEY_A, VERDICT)
+    cache.put(KEY_B, VERDICT)
+    journal = tmp_path / JOURNAL_NAME
+    lines = journal.read_text().splitlines()
+    # corrupt one byte of the first line's payload, CRC left as-was
+    bad = lines[0].replace('"contained":true', '"contained":folse', 1)
+    journal.write_text("\n".join([bad] + lines[1:]) + "\n")
+
+    reloaded = DecisionCache(tmp_path)
+    assert reloaded.get(KEY_A) is None  # never served
+    assert reloaded.get(KEY_B) == VERDICT  # the good line survives
+    assert reloaded.crc_failures + reloaded.corrupt_entries >= 1
+    quarantine = (tmp_path / QUARANTINE_NAME).read_text().splitlines()
+    assert len(quarantine) == 1
+    record = json.loads(quarantine[0])
+    assert record["journal"] == JOURNAL_NAME
+    assert record["reason"] in ("crc", "corrupt")
+
+
+def test_crc_mismatch_with_valid_json_is_caught(tmp_path):
+    """A 'silent' corruption: the line still parses and has the right
+    shape, only the payload changed — exactly what a checksum is for."""
+    cache = DecisionCache(tmp_path)
+    cache.put(KEY_A, {"contained": False, "complete": True, "countermodel": None})
+    journal = tmp_path / JOURNAL_NAME
+    entry = json.loads(journal.read_text().splitlines()[0])
+    entry["verdict"]["contained"] = True  # flip the verdict, keep the crc
+    journal.write_text(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
+    reloaded = DecisionCache(tmp_path)
+    assert reloaded.get(KEY_A) is None
+    assert reloaded.crc_failures == 1
+
+
+def test_bitflip_fault_site_corrupts_then_quarantines(tmp_path):
+    before = REGISTRY.get("audit.bitflip.injected")
+    with injected_faults("audit.bitflip:raise:1"):
+        cache = DecisionCache(tmp_path)
+        cache.put(KEY_A, VERDICT)
+        cache.put(KEY_B, VERDICT)
+    assert REGISTRY.get("audit.bitflip.injected") == before + 1
+
+    reloaded = DecisionCache(tmp_path)
+    served = [k for k in (KEY_A, KEY_B) if reloaded.get(k) == VERDICT]
+    assert len(served) == 1  # the flipped line is gone, the other intact
+    assert reloaded.crc_failures + reloaded.corrupt_entries == 1
+    assert reloaded.quarantine_count() == 1
+
+
+def test_semantic_journal_crc_quarantine(tmp_path):
+    cache = DecisionCache(tmp_path)
+    cache.put_semantic(("g",), "A(x)", {"contained": False, "complete": True,
+                                        "countermodel": None})
+    journal = tmp_path / SEMANTIC_JOURNAL_NAME
+    entry = json.loads(journal.read_text().splitlines()[0])
+    entry["lhs"] = "B(x)"  # tamper without recomputing the crc
+    journal.write_text(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
+    reloaded = DecisionCache(tmp_path)
+    assert reloaded.semantic_crc_failures == 1
+    assert reloaded.semantic_stats()["entries"] == 0
+    record = json.loads((tmp_path / QUARANTINE_NAME).read_text().splitlines()[0])
+    assert record["journal"] == SEMANTIC_JOURNAL_NAME
+
+
+def test_scrub_files_catches_corruption_behind_a_loaded_cache(tmp_path):
+    cache = DecisionCache(tmp_path)
+    cache.put(KEY_A, VERDICT)
+    journal = tmp_path / JOURNAL_NAME
+    # corrupt on disk *after* load — only a scrub pass can see it
+    journal.write_text(journal.read_text().replace('"contained":true',
+                                                   '"contained":folse', 1))
+    report = cache.scrub_files()
+    assert report[JOURNAL_NAME]["quarantined"] == 1
+    # the scrub compacted the journal from the (clean) in-memory index
+    reloaded = DecisionCache(tmp_path)
+    assert reloaded.get(KEY_A) == VERDICT
+    assert reloaded.crc_failures == 0
+
+
+# ------------------------------------------------------------------ #
+# startup hygiene
+
+
+def test_symlinked_journal_is_refused(tmp_path):
+    target = tmp_path / "elsewhere.jsonl"
+    target.write_text("")
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    os.symlink(target, cache_dir / JOURNAL_NAME)
+    with pytest.raises(OSError, match="symlink"):
+        DecisionCache(cache_dir)
+
+
+def test_fifo_journal_is_refused(tmp_path):
+    os.mkfifo(tmp_path / SEMANTIC_JOURNAL_NAME)
+    with pytest.raises(OSError, match="non-regular"):
+        DecisionCache(tmp_path)
+
+
+def test_regular_files_are_accepted(tmp_path):
+    DecisionCache(tmp_path).put(KEY_A, VERDICT)
+    assert DecisionCache(tmp_path).get(KEY_A) == VERDICT

@@ -161,10 +161,13 @@ class TestWarmRestartHydration:
             tmp_path,
         )
         # rewrite the premise's query text to something unparseable while
-        # keeping the journal line structurally valid
+        # keeping the journal line structurally valid; dropping the CRC
+        # field makes it a legacy (pre-checksum) line, so it loads instead
+        # of being quarantined and the failure surfaces at hydration
         journal = tmp_path / SEMANTIC_JOURNAL_NAME
         entry = json.loads(journal.read_text())
         entry["lhs"] = "((not a query"
+        entry.pop("crc", None)
         journal.write_text(json.dumps(entry) + "\n")
         server, verdicts = run_server(
             [SCHEMA, {"type": "decide", "id": "dup", "lhs": "A(x)",

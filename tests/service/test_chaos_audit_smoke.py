@@ -1,0 +1,36 @@
+"""Tier-1 smoke: the E25 chaos/audit benchmark in ``--quick`` mode.
+
+Runs the bitflip + kill_worker chaos plan end to end (verdict
+bit-identity, quarantine accounting, half-open shard re-admission) with
+quarter load.  Thread-shard mode so the smoke is deterministic on
+single-CPU runners; skipped under ``REPRO_FAST=1`` via the
+``gateway_mp`` marker.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.gateway_mp
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_bench_chaos_audit_quick():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "bench_chaos_audit.py"),
+         "--quick", "--threads"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"bench_chaos_audit --quick failed\nstdout:\n{result.stdout}"
+        f"\nstderr:\n{result.stderr}"
+    )
+    assert "bit-identical to the sequential server" in result.stdout
+    assert "every corrupted journal line was quarantined" in result.stdout

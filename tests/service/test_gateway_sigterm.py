@@ -1,0 +1,119 @@
+"""SIGTERM graceful drain against a real ``repro serve`` gateway process:
+in-flight decisions complete and journal, new requests get the structured
+``draining`` rejection, and the process exits 0."""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.gateway_mp
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def start_gateway(tmp_path, extra_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env.pop("REPRO_FAULTS", None)
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--tcp", "127.0.0.1:0", "--shards", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    # the CLI prints "repro gateway: 1 shard(s) on tcp:127.0.0.1:PORT"
+    line = proc.stderr.readline()
+    assert "tcp:" in line, f"unexpected gateway banner: {line!r}"
+    port = int(line.rsplit(":", 1)[1])
+    return proc, port
+
+
+async def jsonl(port):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+async def ask(reader, writer, obj, timeout=30):
+    writer.write((json.dumps(obj) + "\n").encode())
+    await writer.drain()
+    line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+    assert line, "connection closed unexpectedly"
+    return json.loads(line)
+
+
+def test_sigterm_drains_journals_and_exits_zero(tmp_path):
+    # a one-shot delay in the shard's scheduler keeps one decision in
+    # flight long enough to observe the drain window deterministically
+    proc, port = start_gateway(
+        tmp_path, {"REPRO_FAULTS": "scheduler.dispatch:delay:1:1.0"}
+    )
+
+    async def scenario():
+        reader, writer = await jsonl(port)
+        # in-flight decision (delayed ~1s inside the worker)
+        writer.write((json.dumps({
+            "type": "decide", "id": "slow", "lhs": "A(x)", "rhs": "B(x)",
+        }) + "\n").encode())
+        await writer.drain()
+        await asyncio.sleep(0.3)  # let it reach the shard
+        proc.send_signal(signal.SIGTERM)
+        await asyncio.sleep(0.1)
+        # a second client arriving mid-drain is rejected, structured
+        reader2, writer2 = await jsonl(port)
+        late = await ask(reader2, writer2, {
+            "type": "decide", "id": "late", "lhs": "A(x)", "rhs": "A(x)",
+        })
+        assert late["type"] == "error"
+        assert late["code"] == "draining"
+        writer2.close()
+        # the in-flight decision still answers with its verdict
+        line = await asyncio.wait_for(reader.readline(), timeout=30)
+        slow = json.loads(line)
+        assert slow["type"] == "verdict"
+        assert slow["id"] == "slow"
+        assert slow["verdict"]["contained"] is False
+        writer.close()
+
+    asyncio.run(scenario())
+    assert proc.wait(timeout=30) == 0
+    proc.stderr.close()
+    # the drained decision was journaled before exit
+    journal = tmp_path / "cache" / "shard-0" / "decisions.jsonl"
+    assert journal.exists()
+    entries = [json.loads(line) for line in journal.read_text().splitlines()]
+    assert any(entry["verdict"]["contained"] is False for entry in entries)
+
+
+def test_sigint_still_stops_promptly(tmp_path):
+    proc, port = start_gateway(tmp_path)
+
+    async def scenario():
+        reader, writer = await jsonl(port)
+        verdict = await ask(reader, writer, {
+            "type": "decide", "id": "d", "lhs": "A(x)", "rhs": "A(x)",
+        })
+        assert verdict["verdict"]["contained"] is True
+        writer.close()
+
+    asyncio.run(scenario())
+    proc.send_signal(signal.SIGINT)
+    assert proc.wait(timeout=30) == 0
+    proc.stderr.close()
+
+
+def test_idle_sigterm_drain_exits_zero(tmp_path):
+    """A drain with nothing in flight exits 0 promptly."""
+    proc, _port = start_gateway(tmp_path)
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == 0
+    proc.stderr.close()
